@@ -1,0 +1,204 @@
+//! One benchmark per evaluation table/figure of the paper (Tables 2–15, Figure 13).
+//!
+//! Each benchmark measures the performance-critical loop behind the corresponding paper
+//! artifact: workload generation for the distribution tables, model evaluation throughput for
+//! the q-error tables, per-query prediction latency for the timing tables.  The matching
+//! accuracy numbers are produced by `cargo run -p crn-eval --bin repro -- <id>`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use crn_bench::shared_context;
+use crn_core::{Cnt2Crd, ImprovedEstimator};
+use crn_estimators::{CardinalityEstimator, ContainmentEstimator, PostgresEstimator};
+use crn_eval::experiments::common::{
+    cardinality_ground_truth, containment_ground_truth, evaluate_cardinality_model,
+    evaluate_containment_model,
+};
+use crn_eval::workloads::{cnt_test1, cnt_test2, crd_test1, crd_test2, scale, WorkloadSizes};
+
+/// Table 2 & Table 5 — workload generation cost.
+fn bench_workload_generation(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let mut group = c.benchmark_group("table2_table5_workload_generation");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("cnt_test1", |b| {
+        b.iter(|| black_box(cnt_test1(&ctx.db, &sizes, 11)))
+    });
+    group.bench_function("cnt_test2", |b| {
+        b.iter(|| black_box(cnt_test2(&ctx.db, &sizes, 12)))
+    });
+    group.bench_function("crd_test2", |b| {
+        b.iter(|| black_box(crd_test2(&ctx.db, &sizes, 22)))
+    });
+    group.bench_function("scale", |b| {
+        b.iter(|| black_box(scale(&ctx.db, &sizes, 23)))
+    });
+    group.finish();
+}
+
+/// Table 3 / Figure 5 and Table 4 / Figure 6 — containment-rate estimation throughput.
+fn bench_containment_tables(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let mut group = c.benchmark_group("table3_table4_containment_estimation");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for (id, workload) in [
+        ("table3_cnt_test1", cnt_test1(&ctx.db, &sizes, 11)),
+        ("table4_cnt_test2", cnt_test2(&ctx.db, &sizes, 12)),
+    ] {
+        let truth = containment_ground_truth(&ctx.db, &workload);
+        let crd2cnt_pg = crn_core::Crd2Cnt::new(&ctx.postgres);
+        group.bench_with_input(BenchmarkId::new("CRN", id), &workload, |b, w| {
+            b.iter(|| black_box(evaluate_containment_model(&ctx.crn, w, &truth)))
+        });
+        group.bench_with_input(BenchmarkId::new("Crd2Cnt_PostgreSQL", id), &workload, |b, w| {
+            b.iter(|| black_box(evaluate_containment_model(&crd2cnt_pg, w, &truth)))
+        });
+    }
+    group.finish();
+}
+
+/// Tables 6–9 / Figures 9–11 — cardinality estimation throughput of the headline models.
+fn bench_cardinality_tables(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let mut group = c.benchmark_group("table6_to_table9_cardinality_estimation");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for (id, workload) in [
+        ("table6_crd_test1", crd_test1(&ctx.db, &sizes, 21)),
+        ("table7_crd_test2", crd_test2(&ctx.db, &sizes, 22)),
+    ] {
+        let truth = cardinality_ground_truth(&ctx.db, &workload);
+        let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone());
+        group.bench_with_input(BenchmarkId::new("PostgreSQL", id), &workload, |b, w| {
+            b.iter(|| black_box(evaluate_cardinality_model(&ctx.postgres, w, &truth)))
+        });
+        group.bench_with_input(BenchmarkId::new("MSCN", id), &workload, |b, w| {
+            b.iter(|| black_box(evaluate_cardinality_model(&ctx.mscn, w, &truth)))
+        });
+        group.bench_with_input(BenchmarkId::new("Cnt2Crd_CRN", id), &workload, |b, w| {
+            b.iter(|| black_box(evaluate_cardinality_model(&cnt2crd, w, &truth)))
+        });
+    }
+    group.finish();
+}
+
+/// Table 10 / Figures 12–13 — scale workload evaluation and the all-models comparison.
+fn bench_scale_and_all_models(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let workload = scale(&ctx.db, &sizes, 23);
+    let truth = cardinality_ground_truth(&ctx.db, &workload);
+    let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone());
+    let improved_pg = ImprovedEstimator::new(
+        PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
+        ctx.pool.clone(),
+    );
+    let mut group = c.benchmark_group("table10_fig13_scale_and_all_models");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("table10_scale_Cnt2Crd_CRN", |b| {
+        b.iter(|| black_box(evaluate_cardinality_model(&cnt2crd, &workload, &truth)))
+    });
+    group.bench_function("fig13_improved_postgres", |b| {
+        b.iter(|| black_box(evaluate_cardinality_model(&improved_pg, &workload, &truth)))
+    });
+    group.finish();
+}
+
+/// Tables 11–13 — the improvement technique applied to existing estimators.
+fn bench_improved_models(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let workload = crd_test2(&ctx.db, &sizes, 22);
+    let truth = cardinality_ground_truth(&ctx.db, &workload);
+    let improved_pg = ImprovedEstimator::new(
+        PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
+        ctx.pool.clone(),
+    );
+    let improved_mscn = ImprovedEstimator::new(&ctx.mscn, ctx.pool.clone());
+    let mut group = c.benchmark_group("table11_to_table13_improved_models");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("table11_improved_postgres", |b| {
+        b.iter(|| black_box(evaluate_cardinality_model(&improved_pg, &workload, &truth)))
+    });
+    group.bench_function("table12_improved_mscn", |b| {
+        b.iter(|| black_box(evaluate_cardinality_model(&improved_mscn, &workload, &truth)))
+    });
+    group.bench_function("table13_cnt2crd_crn", |b| {
+        let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone());
+        b.iter(|| black_box(evaluate_cardinality_model(&cnt2crd, &workload, &truth)))
+    });
+    group.finish();
+}
+
+/// Table 14 — prediction cost as a function of the queries-pool size.
+fn bench_pool_size_sweep(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let workload = crd_test2(&ctx.db, &sizes, 22);
+    let mut group = c.benchmark_group("table14_pool_size_sweep");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    let pool_sizes = crn_eval::experiments::timing::pool_size_sweep(ctx.pool.len());
+    for size in pool_sizes {
+        let estimator = Cnt2Crd::new(&ctx.crn, ctx.pool_of_size(size));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &estimator, |b, est| {
+            b.iter(|| {
+                for query in &workload.queries {
+                    black_box(est.estimate(query));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 15 — average prediction time of a single query per model.
+fn bench_single_prediction_time(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sizes = WorkloadSizes::tiny();
+    let workload = crd_test2(&ctx.db, &sizes, 22);
+    let query = workload
+        .queries
+        .iter()
+        .find(|q| q.num_joins() >= 2)
+        .unwrap_or(&workload.queries[0])
+        .clone();
+    let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone());
+    let improved_pg = ImprovedEstimator::new(
+        PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
+        ctx.pool.clone(),
+    );
+    let improved_mscn = ImprovedEstimator::new(&ctx.mscn, ctx.pool.clone());
+    let pair = (&workload.queries[0], &query);
+
+    let mut group = c.benchmark_group("table15_single_query_prediction");
+    group.sample_size(30).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("PostgreSQL", |b| b.iter(|| black_box(ctx.postgres.estimate(&query))));
+    group.bench_function("MSCN", |b| b.iter(|| black_box(ctx.mscn.estimate(&query))));
+    group.bench_function("Cnt2Crd_CRN", |b| b.iter(|| black_box(cnt2crd.estimate(&query))));
+    group.bench_function("Improved_PostgreSQL", |b| {
+        b.iter(|| black_box(improved_pg.estimate(&query)))
+    });
+    group.bench_function("Improved_MSCN", |b| {
+        b.iter(|| black_box(improved_mscn.estimate(&query)))
+    });
+    group.bench_function("CRN_single_containment", |b| {
+        b.iter(|| black_box(ctx.crn.estimate_containment(pair.0, pair.1)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_generation,
+    bench_containment_tables,
+    bench_cardinality_tables,
+    bench_scale_and_all_models,
+    bench_improved_models,
+    bench_pool_size_sweep,
+    bench_single_prediction_time
+);
+criterion_main!(benches);

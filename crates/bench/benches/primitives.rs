@@ -1,0 +1,109 @@
+//! Benchmarks of the substrate primitives the experiments are built on: exact execution,
+//! containment-rate labelling, statistics collection and the neural-network kernels.
+//!
+//! These are not paper artifacts; they exist so that regressions in the substrates (which
+//! dominate the wall-clock time of the full reproduction) are visible in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use crn_bench::shared_context;
+use crn_db::imdb::{generate_imdb, ImdbConfig};
+use crn_estimators::{DatabaseStats, StatsConfig};
+use crn_exec::{Executor, TableSamples};
+use crn_nn::{Dense, Matrix};
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+
+/// Exact cardinality computation per join count (the ground-truth oracle cost).
+fn bench_executor_cardinality(c: &mut Criterion) {
+    let ctx = shared_context();
+    let executor = Executor::new(&ctx.db);
+    let mut generator = QueryGenerator::new(&ctx.db, GeneratorConfig::with_max_joins(7, 5));
+    let mut group = c.benchmark_group("executor_cardinality_by_joins");
+    group.sample_size(20).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for joins in [0usize, 2, 5] {
+        let queries = generator.generate_initial_with_joins(10, joins);
+        group.bench_with_input(BenchmarkId::from_parameter(joins), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(executor.cardinality(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Containment-rate ground truth for one pair.
+fn bench_containment_rate(c: &mut Criterion) {
+    let ctx = shared_context();
+    let executor = Executor::new(&ctx.db);
+    let sample = &ctx.containment_training[0];
+    let mut group = c.benchmark_group("executor_containment_rate");
+    group.sample_size(30).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("single_pair", |b| {
+        b.iter(|| black_box(executor.containment_rate(&sample.q1, &sample.q2)))
+    });
+    group.finish();
+}
+
+/// Synthetic database generation and ANALYZE-style profiling.
+fn bench_database_generation_and_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("database_generation_and_stats");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group.bench_function("generate_imdb_tiny", |b| {
+        b.iter(|| black_box(generate_imdb(&ImdbConfig::tiny(1))))
+    });
+    let db = generate_imdb(&ImdbConfig::tiny(1));
+    group.bench_function("collect_statistics", |b| {
+        b.iter(|| black_box(DatabaseStats::collect(&db, &StatsConfig::default())))
+    });
+    group.bench_function("materialize_samples_64", |b| {
+        b.iter(|| black_box(TableSamples::new(&db, 64, 3)))
+    });
+    group.finish();
+}
+
+/// Neural-network kernels: dense forward/backward and matrix multiplication.
+fn bench_nn_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_kernels");
+    group.sample_size(50).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    let layer = Dense::new(128, 128, 1);
+    let input = Matrix::xavier_seeded(8, 128, 2);
+    group.bench_function("dense_forward_8x128x128", |b| {
+        b.iter(|| black_box(layer.forward(&input)))
+    });
+    let a = Matrix::xavier_seeded(64, 128, 3);
+    let bm = Matrix::xavier_seeded(128, 64, 4);
+    group.bench_function("matmul_64x128x64", |b| b.iter(|| black_box(a.matmul(&bm))));
+    let mut trainable = Dense::new(128, 64, 5);
+    let grad = Matrix::xavier_seeded(8, 64, 6);
+    let x = Matrix::xavier_seeded(8, 128, 7);
+    group.bench_function("dense_backward_8x128x64", |b| {
+        b.iter(|| black_box(trainable.backward(&x, &grad)))
+    });
+    group.finish();
+}
+
+/// CRN prediction latency (featurization + forward pass), the unit of §3.5.2.
+fn bench_crn_prediction(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sample = &ctx.containment_training[0];
+    let mut group = c.benchmark_group("crn_prediction");
+    group.sample_size(50).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group.bench_function("predict_single_pair", |b| {
+        b.iter(|| black_box(ctx.crn.predict(&sample.q1, &sample.q2)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_cardinality,
+    bench_containment_rate,
+    bench_database_generation_and_stats,
+    bench_nn_kernels,
+    bench_crn_prediction
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `crn-bench` — shared setup for the Criterion benchmarks.
+//!
+//! Every bench target needs the same expensive fixture: a built [`ExperimentContext`] (synthetic
+//! database, labelled training data, trained CRN and MSCN models, queries pool).  Building it
+//! inside each benchmark would dominate the measurements, so the fixture is constructed once
+//! per process and shared.
+//!
+//! The benchmarks measure the *performance* aspects of every paper table/figure (prediction
+//! latency, evaluation throughput, training epoch cost, pool-size scaling); the corresponding
+//! *accuracy* numbers are produced by the `repro` binary of `crn-eval`, which shares the same
+//! experiment runners.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use crn_eval::{ExperimentConfig, ExperimentContext};
+use std::sync::OnceLock;
+
+/// Returns the process-wide experiment context used by all benchmarks (tiny preset).
+pub fn shared_context() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(bench_config()))
+}
+
+/// The configuration used by the benchmark fixture.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::tiny()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_context_is_built_once_and_reused() {
+        let a = shared_context() as *const ExperimentContext;
+        let b = shared_context() as *const ExperimentContext;
+        assert_eq!(a, b);
+        assert!(!shared_context().containment_training.is_empty());
+    }
+}

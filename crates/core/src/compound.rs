@@ -1,0 +1,306 @@
+//! Compound queries: `UNION`, `EXCEPT` and `OR`, handled by the containment algebra of the
+//! paper's §9 ("Conclusions and future work").
+//!
+//! The CRN model itself only sees conjunctive queries.  The paper observes that the compound
+//! operators reduce to conjunctive building blocks through identities over cardinalities and
+//! containment rates:
+//!
+//! ```text
+//! |Q1 EXCEPT Q2| = |Q1| − |Q1 ∩ Q2|
+//! |Q1 UNION  Q2| = |Q1| + |Q2|                      (bag/UNION ALL semantics)
+//! |Q1 OR     Q2| = |Q1 UNION Q2| − |Q1 ∩ Q2|        (set union of the two filters)
+//!
+//! (Q1 UNION Q2) ⊂% Q3 = Q1 ⊂% Q3 + Q2 ⊂% Q3 − (Q1 ∩ Q2) ⊂% Q3
+//! (Q1 EXCEPT Q2) ⊂% Q3 = Q1 ⊂% Q3 − (Q1 ∩ Q2) ⊂% Q3
+//! ```
+//!
+//! This module implements those reductions on top of any [`CardinalityEstimator`] /
+//! [`ContainmentEstimator`], so every estimator in the workspace (PostgreSQL, MSCN, CRN,
+//! the improved variants) transparently supports compound queries.
+
+use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
+use crn_query::ast::{Predicate, Query};
+use serde::{Deserialize, Serialize};
+
+/// A query extended with the compound operators of §9.
+///
+/// All component queries must share the same FROM clause; the constructors enforce it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompoundQuery {
+    /// A plain conjunctive query.
+    Simple(Query),
+    /// `left UNION ALL right`.
+    Union(Box<CompoundQuery>, Box<CompoundQuery>),
+    /// `left EXCEPT right`.
+    Except(Box<CompoundQuery>, Box<CompoundQuery>),
+    /// The disjunction of two WHERE clauses over the same FROM clause (`... WHERE A OR B`).
+    Or(Box<CompoundQuery>, Box<CompoundQuery>),
+}
+
+/// Error returned when compound operands do not share a FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromClauseMismatch;
+
+impl std::fmt::Display for FromClauseMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compound query operands must share the same FROM clause")
+    }
+}
+
+impl std::error::Error for FromClauseMismatch {}
+
+impl CompoundQuery {
+    /// Wraps a conjunctive query.
+    pub fn simple(query: Query) -> Self {
+        CompoundQuery::Simple(query)
+    }
+
+    /// Builds `left UNION ALL right`, checking the FROM clauses match.
+    pub fn union(left: CompoundQuery, right: CompoundQuery) -> Result<Self, FromClauseMismatch> {
+        Self::check_same_from(&left, &right)?;
+        Ok(CompoundQuery::Union(Box::new(left), Box::new(right)))
+    }
+
+    /// Builds `left EXCEPT right`, checking the FROM clauses match.
+    pub fn except(left: CompoundQuery, right: CompoundQuery) -> Result<Self, FromClauseMismatch> {
+        Self::check_same_from(&left, &right)?;
+        Ok(CompoundQuery::Except(Box::new(left), Box::new(right)))
+    }
+
+    /// Builds the disjunction of two queries' WHERE clauses, checking the FROM clauses match.
+    pub fn or(left: CompoundQuery, right: CompoundQuery) -> Result<Self, FromClauseMismatch> {
+        Self::check_same_from(&left, &right)?;
+        Ok(CompoundQuery::Or(Box::new(left), Box::new(right)))
+    }
+
+    /// Builds an `OR` query directly from a base query and two alternative predicates — the
+    /// DNF rewriting the paper sketches for `WHERE ... AND (a OR b)`.
+    pub fn or_predicates(base: &Query, a: Predicate, b: Predicate) -> Self {
+        CompoundQuery::Or(
+            Box::new(CompoundQuery::Simple(base.with_predicate(a))),
+            Box::new(CompoundQuery::Simple(base.with_predicate(b))),
+        )
+    }
+
+    fn check_same_from(left: &CompoundQuery, right: &CompoundQuery) -> Result<(), FromClauseMismatch> {
+        match (left.any_component(), right.any_component()) {
+            (Some(l), Some(r)) if l.same_from(r) => Ok(()),
+            _ => Err(FromClauseMismatch),
+        }
+    }
+
+    /// Any conjunctive component (used for FROM-clause checks).
+    fn any_component(&self) -> Option<&Query> {
+        match self {
+            CompoundQuery::Simple(q) => Some(q),
+            CompoundQuery::Union(l, _) | CompoundQuery::Except(l, _) | CompoundQuery::Or(l, _) => {
+                l.any_component()
+            }
+        }
+    }
+
+    /// Number of conjunctive leaves.
+    pub fn num_components(&self) -> usize {
+        match self {
+            CompoundQuery::Simple(_) => 1,
+            CompoundQuery::Union(l, r) | CompoundQuery::Except(l, r) | CompoundQuery::Or(l, r) => {
+                l.num_components() + r.num_components()
+            }
+        }
+    }
+
+    /// Estimates the cardinality of the compound query using `estimator` for the conjunctive
+    /// leaves, via the paper's identities.
+    pub fn estimate_cardinality<M: CardinalityEstimator>(&self, estimator: &M) -> f64 {
+        match self {
+            CompoundQuery::Simple(q) => estimator.estimate(q),
+            CompoundQuery::Union(l, r) => {
+                l.estimate_cardinality(estimator) + r.estimate_cardinality(estimator)
+            }
+            CompoundQuery::Except(l, r) => {
+                let left = l.estimate_cardinality(estimator);
+                let overlap = Self::intersection_cardinality(l, r, estimator);
+                (left - overlap).max(0.0)
+            }
+            CompoundQuery::Or(l, r) => {
+                let union = l.estimate_cardinality(estimator) + r.estimate_cardinality(estimator);
+                let overlap = Self::intersection_cardinality(l, r, estimator);
+                (union - overlap).max(0.0)
+            }
+        }
+    }
+
+    /// Estimates the containment rate `self ⊂% other` where `other` is conjunctive, using the
+    /// paper's §9 identities over a containment estimator for the conjunctive leaves.
+    pub fn estimate_containment_in<M: ContainmentEstimator>(
+        &self,
+        other: &Query,
+        estimator: &M,
+    ) -> f64 {
+        match self {
+            CompoundQuery::Simple(q) => estimator.estimate_containment(q, other),
+            CompoundQuery::Union(l, r) | CompoundQuery::Or(l, r) => {
+                let left = l.estimate_containment_in(other, estimator);
+                let right = r.estimate_containment_in(other, estimator);
+                let overlap = match (l.flatten_conjunctive(), r.flatten_conjunctive()) {
+                    (Some(lq), Some(rq)) => lq
+                        .intersect(&rq)
+                        .map(|i| estimator.estimate_containment(&i, other))
+                        .unwrap_or(0.0),
+                    _ => 0.0,
+                };
+                (left + right - overlap).clamp(0.0, 1.0)
+            }
+            CompoundQuery::Except(l, r) => {
+                let left = l.estimate_containment_in(other, estimator);
+                let overlap = match (l.flatten_conjunctive(), r.flatten_conjunctive()) {
+                    (Some(lq), Some(rq)) => lq
+                        .intersect(&rq)
+                        .map(|i| estimator.estimate_containment(&i, other))
+                        .unwrap_or(0.0),
+                    _ => 0.0,
+                };
+                (left - overlap).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Cardinality of the intersection of two compound operands, when both are conjunctive.
+    fn intersection_cardinality<M: CardinalityEstimator>(
+        left: &CompoundQuery,
+        right: &CompoundQuery,
+        estimator: &M,
+    ) -> f64 {
+        match (left.flatten_conjunctive(), right.flatten_conjunctive()) {
+            (Some(l), Some(r)) => l
+                .intersect(&r)
+                .map(|i| estimator.estimate(&i))
+                .unwrap_or(0.0),
+            // Nested compound operands: fall back to the conservative independence-style bound
+            // min(|L|, |R|) — exact reduction would require full DNF expansion.
+            _ => left
+                .estimate_cardinality(estimator)
+                .min(right.estimate_cardinality(estimator)),
+        }
+    }
+
+    /// Returns the conjunctive query when the compound is a simple leaf.
+    fn flatten_conjunctive(&self) -> Option<Query> {
+        match self {
+            CompoundQuery::Simple(q) => Some(q.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+    use crn_db::schema::ColumnRef;
+    use crn_db::value::CompareOp;
+    use crn_estimators::TrueCardinality;
+    use crn_exec::Executor;
+    use crn_query::ast::Predicate;
+
+    fn pred(col: &str, op: CompareOp, v: i64) -> Predicate {
+        Predicate::new(ColumnRef::new(tables::TITLE, col), op, v)
+    }
+
+    #[test]
+    fn construction_rejects_mismatched_from_clauses() {
+        let a = CompoundQuery::simple(Query::scan(tables::TITLE));
+        let b = CompoundQuery::simple(Query::scan(tables::CAST_INFO));
+        assert_eq!(CompoundQuery::union(a.clone(), b).unwrap_err(), FromClauseMismatch);
+        assert_eq!(a.num_components(), 1);
+    }
+
+    #[test]
+    fn union_except_or_identities_hold_with_the_oracle() {
+        // With exact leaf cardinalities the identities are exact for single-table queries
+        // (every result row is a distinct base row, so set semantics apply).
+        let db = generate_imdb(&ImdbConfig::tiny(91));
+        let exec = Executor::new(&db);
+        let oracle = TrueCardinality::new(&db);
+
+        let base = Query::scan(tables::TITLE);
+        let old = base.with_predicate(pred("production_year", CompareOp::Lt, 1960));
+        let features = base.with_predicate(pred("kind_id", CompareOp::Eq, 1));
+
+        let union = CompoundQuery::union(
+            CompoundQuery::simple(old.clone()),
+            CompoundQuery::simple(features.clone()),
+        )
+        .unwrap();
+        assert_eq!(
+            union.estimate_cardinality(&oracle),
+            (exec.cardinality(&old) + exec.cardinality(&features)) as f64
+        );
+
+        // OR = union minus overlap: count rows satisfying either predicate exactly.
+        let or = CompoundQuery::or(
+            CompoundQuery::simple(old.clone()),
+            CompoundQuery::simple(features.clone()),
+        )
+        .unwrap();
+        let title = db.table(tables::TITLE).unwrap();
+        let years = title.column("production_year").unwrap();
+        let kinds = title.column("kind_id").unwrap();
+        let mut expected_or = 0u64;
+        for row in 0..title.row_count() {
+            let is_old = years.get_int(row).map_or(false, |y| y < 1960);
+            let is_feature = kinds.get_int(row) == Some(1);
+            if is_old || is_feature {
+                expected_or += 1;
+            }
+        }
+        assert_eq!(or.estimate_cardinality(&oracle), expected_or as f64);
+
+        // EXCEPT = |Q1| - |Q1 ∩ Q2|.
+        let except = CompoundQuery::except(
+            CompoundQuery::simple(old.clone()),
+            CompoundQuery::simple(features.clone()),
+        )
+        .unwrap();
+        let overlap = exec.cardinality(&old.intersect(&features).unwrap());
+        assert_eq!(
+            except.estimate_cardinality(&oracle),
+            (exec.cardinality(&old) - overlap) as f64
+        );
+    }
+
+    #[test]
+    fn or_predicates_helper_builds_two_component_query() {
+        let base = Query::scan(tables::TITLE);
+        let q = CompoundQuery::or_predicates(
+            &base,
+            pred("kind_id", CompareOp::Eq, 1),
+            pred("kind_id", CompareOp::Eq, 7),
+        );
+        assert_eq!(q.num_components(), 2);
+    }
+
+    #[test]
+    fn compound_containment_is_bounded_and_consistent() {
+        let db = generate_imdb(&ImdbConfig::tiny(92));
+        let oracle = crate::crd2cnt::Crd2Cnt::new(TrueCardinality::new(&db));
+        let base = Query::scan(tables::TITLE);
+        let narrow = base.with_predicate(pred("production_year", CompareOp::Gt, 2005));
+        let wide = base.with_predicate(pred("production_year", CompareOp::Gt, 1900));
+
+        // A simple leaf behaves exactly like the wrapped estimator.
+        let simple = CompoundQuery::simple(narrow.clone());
+        let direct = oracle.estimate_containment(&narrow, &wide);
+        assert!((simple.estimate_containment_in(&wide, &oracle) - direct).abs() < 1e-12);
+
+        // Union containment stays within [0, 1] and is at least each component's rate
+        // (up to the subtracted overlap).
+        let union = CompoundQuery::union(
+            CompoundQuery::simple(narrow),
+            CompoundQuery::simple(base.with_predicate(pred("kind_id", CompareOp::Eq, 1))),
+        )
+        .unwrap();
+        let rate = union.estimate_containment_in(&wide, &oracle);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

@@ -1,0 +1,56 @@
+//! `crn-core` — the paper's primary contribution: learned containment rates and the
+//! containment-based cardinality estimation technique.
+//!
+//! * [`featurize`] — the shared-format vector featurization of query pairs (§3.2.1, Table 1);
+//! * [`model`] — the CRN model: per-query set encoders, average pooling, the `Expand`
+//!   combination and the containment head, trained on the q-error objective (§3.2–3.3);
+//! * [`crd2cnt`] — `Crd2Cnt(M)`: any cardinality estimator as a containment estimator (§4.1);
+//! * [`pool`] — the queries pool of previously executed queries with true cardinalities (§5.2);
+//! * [`cnt2crd`] — `Cnt2Crd(M)`: the queries-pool cardinality estimation technique with its
+//!   Median/Mean/TrimmedMean final functions (§5.1, §5.3, Figure 8);
+//! * [`improved`] — `Improved(M) = Cnt2Crd(Crd2Cnt(M))`, the drop-in improvement of existing
+//!   estimators (§7).
+//!
+//! # Quick start
+//!
+//! ```
+//! use crn_core::{Cnt2Crd, Crd2Cnt, CrnModel, QueriesPool};
+//! use crn_db::imdb::{generate_imdb, ImdbConfig};
+//! use crn_estimators::{CardinalityEstimator, ContainmentEstimator, PostgresEstimator};
+//! use crn_nn::TrainConfig;
+//! use crn_query::Query;
+//!
+//! let db = generate_imdb(&ImdbConfig::tiny(1));
+//!
+//! // An (untrained) CRN model already exposes the containment-rate API.
+//! let crn = CrnModel::new(&db, TrainConfig::fast_test());
+//! let scan = Query::scan("title");
+//! let rate = crn.estimate_containment(&scan, &scan);
+//! assert!((0.0..=1.0).contains(&rate));
+//!
+//! // The full cardinality pipeline: containment model + queries pool.
+//! let pool = QueriesPool::generate(&db, 30, 1, 7);
+//! let estimator = Cnt2Crd::new(Crd2Cnt::new(PostgresEstimator::analyze(&db)), pool);
+//! assert!(estimator.estimate(&scan) >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cnt2crd;
+pub mod compound;
+pub mod crd2cnt;
+pub mod featurize;
+pub mod improved;
+pub mod model;
+pub mod persist;
+pub mod pool;
+
+pub use cnt2crd::{Cnt2Crd, Cnt2CrdConfig, FinalFunction};
+pub use compound::CompoundQuery;
+pub use crd2cnt::Crd2Cnt;
+pub use featurize::CrnFeaturizer;
+pub use improved::ImprovedEstimator;
+pub use model::{CrnModel, CrnOptions, ExpandMode, Pooling, RATE_FLOOR};
+pub use persist::PersistError;
+pub use pool::{PoolEntry, QueriesPool};

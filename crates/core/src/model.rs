@@ -1,0 +1,587 @@
+//! The CRN (Containment Rate Network) model — the paper's primary contribution (§3.2).
+//!
+//! Three stages, exactly as in Figure 1 of the paper:
+//!
+//! 1. **Featurization** — each query of the input pair `(Q1, Q2)` becomes a set of vectors in
+//!    the shared format of [`crate::featurize::CrnFeaturizer`].
+//! 2. **Set encoding** — each vector of set `Vi` is passed through a one-layer MLP (`MLP1` for
+//!    the first query, `MLP2` for the second) with ReLU, and the transformed vectors are
+//!    *averaged* into a single representative vector `Qvec_i` of width `H` (§3.2.2).
+//! 3. **Containment head** — `Expand(Qvec1, Qvec2) = [v1, v2, |v1 − v2|, v1 ⊙ v2]` is fed into
+//!    a two-layer MLP (`MLPout`) whose sigmoid output is the estimated containment rate
+//!    `Q1 ⊂% Q2 ∈ [0, 1]` (§3.2.3).
+//!
+//! Training minimizes the mean q-error of the predicted rates (§3.2.4) with Adam,
+//! mini-batches and early stopping on a validation split (§3.3); MSE/MAE and sum-pooling /
+//! plain-concatenation variants are available for the ablation experiments.
+
+use crate::featurize::CrnFeaturizer;
+use crn_db::database::Database;
+use crn_exec::ContainmentSample;
+use crn_nn::layers::{
+    mean_pool, mean_pool_backward, relu, relu_backward, sigmoid, sigmoid_backward, Dense,
+};
+use crn_nn::loss::{loss_and_grad, mean_q_error};
+use crn_nn::matrix::Matrix;
+use crn_nn::optim::Adam;
+use crn_nn::train::{
+    shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
+    TrainingHistory,
+};
+use crn_query::ast::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crn_estimators::ContainmentEstimator;
+
+/// Containment rates below this floor are clamped before the q-error is formed (the paper's
+/// q-error is undefined at exactly zero).
+pub const RATE_FLOOR: f32 = 0.01;
+
+/// How the per-element representations are aggregated into a query vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Average over the set elements (the paper's choice, §3.2.2).
+    Mean,
+    /// Sum over the set elements (ablation: the paper argues the average generalizes better
+    /// to different set sizes).
+    Sum,
+}
+
+/// How the two query vectors are combined before `MLPout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpandMode {
+    /// `[v1, v2, |v1 − v2|, v1 ⊙ v2]` — the paper's `Expand` function (§3.2.3).
+    Full,
+    /// Plain concatenation `[v1, v2]` (ablation).
+    Concat,
+}
+
+/// Architecture/ablation options of the CRN model (everything beyond [`TrainConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrnOptions {
+    /// Set aggregation.
+    pub pooling: Pooling,
+    /// Pair combination.
+    pub expand: ExpandMode,
+}
+
+impl Default for CrnOptions {
+    fn default() -> Self {
+        CrnOptions {
+            pooling: Pooling::Mean,
+            expand: ExpandMode::Full,
+        }
+    }
+}
+
+/// The CRN containment-rate estimation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrnModel {
+    featurizer: CrnFeaturizer,
+    /// Set encoder of the first query (`MLP1`).
+    mlp1: Dense,
+    /// Set encoder of the second query (`MLP2`).
+    mlp2: Dense,
+    /// First layer of `MLPout` (`4H → 2H` for the full expand, `2H → 2H` for plain concat).
+    out1: Dense,
+    /// Second layer of `MLPout` (`2H → 1`).
+    out2: Dense,
+    config: TrainConfig,
+    options: CrnOptions,
+}
+
+/// Forward-pass cache of one pair.
+struct PairCache {
+    v1: Matrix,
+    v2: Matrix,
+    z1: Matrix,
+    a1: Matrix,
+    z2: Matrix,
+    a2: Matrix,
+    qvec1: Matrix,
+    qvec2: Matrix,
+    expanded: Matrix,
+    z_out1: Matrix,
+    a_out1: Matrix,
+    sigmoid_out: Matrix,
+}
+
+impl CrnModel {
+    /// Creates an untrained CRN model for a database snapshot with the paper's architecture.
+    pub fn new(db: &Database, config: TrainConfig) -> Self {
+        Self::with_options(db, config, CrnOptions::default())
+    }
+
+    /// Creates an untrained CRN model with explicit ablation options.
+    pub fn with_options(db: &Database, config: TrainConfig, options: CrnOptions) -> Self {
+        let featurizer = CrnFeaturizer::new(db);
+        Self::from_featurizer(featurizer, config, options)
+    }
+
+    /// Creates the model from a pre-built featurizer (used by tests and serialization).
+    pub fn from_featurizer(
+        featurizer: CrnFeaturizer,
+        config: TrainConfig,
+        options: CrnOptions,
+    ) -> Self {
+        let hidden = config.hidden_size;
+        let input_dim = featurizer.vector_dim();
+        let expand_dim = match options.expand {
+            ExpandMode::Full => 4 * hidden,
+            ExpandMode::Concat => 2 * hidden,
+        };
+        let seed = config.seed;
+        CrnModel {
+            mlp1: Dense::new(input_dim, hidden, seed.wrapping_add(100)),
+            mlp2: Dense::new(input_dim, hidden, seed.wrapping_add(200)),
+            out1: Dense::new(expand_dim, 2 * hidden, seed.wrapping_add(300)),
+            out2: Dense::new(2 * hidden, 1, seed.wrapping_add(400)),
+            featurizer,
+            config,
+            options,
+        }
+    }
+
+    /// The featurizer (exposed so transformations can reuse its normalization).
+    pub fn featurizer(&self) -> &CrnFeaturizer {
+        &self.featurizer
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The ablation options.
+    pub fn options(&self) -> &CrnOptions {
+        &self.options
+    }
+
+    /// Hidden layer width `H`.
+    pub fn hidden_size(&self) -> usize {
+        self.config.hidden_size
+    }
+
+    /// Total number of trainable parameters.
+    ///
+    /// For the paper's architecture this matches the closed form of §3.5.3,
+    /// `2·L·H + 8·H² + 6·H + 1` (with the paper's three-operator one-hot replaced by ours).
+    pub fn num_params(&self) -> usize {
+        self.mlp1.num_params() + self.mlp2.num_params() + self.out1.num_params() + self.out2.num_params()
+    }
+
+    fn pool(&self, activated: &Matrix) -> Matrix {
+        match self.options.pooling {
+            Pooling::Mean => mean_pool(activated),
+            Pooling::Sum => {
+                let mut pooled = Matrix::zeros(1, activated.cols());
+                let sums = activated.column_sums();
+                pooled.row_mut(0).copy_from_slice(&sums);
+                pooled
+            }
+        }
+    }
+
+    fn pool_backward(&self, num_rows: usize, grad_pooled: &Matrix) -> Matrix {
+        match self.options.pooling {
+            Pooling::Mean => mean_pool_backward(num_rows, grad_pooled),
+            Pooling::Sum => {
+                let mut grad = Matrix::zeros(num_rows, grad_pooled.cols());
+                for r in 0..num_rows {
+                    grad.row_mut(r).copy_from_slice(grad_pooled.row(0));
+                }
+                grad
+            }
+        }
+    }
+
+    fn expand(&self, qvec1: &Matrix, qvec2: &Matrix) -> Matrix {
+        let hidden = qvec1.cols();
+        match self.options.expand {
+            ExpandMode::Full => {
+                let mut expanded = Matrix::zeros(1, 4 * hidden);
+                for i in 0..hidden {
+                    let a = qvec1.get(0, i);
+                    let b = qvec2.get(0, i);
+                    expanded.set(0, i, a);
+                    expanded.set(0, hidden + i, b);
+                    expanded.set(0, 2 * hidden + i, (a - b).abs());
+                    expanded.set(0, 3 * hidden + i, a * b);
+                }
+                expanded
+            }
+            ExpandMode::Concat => {
+                let mut expanded = Matrix::zeros(1, 2 * hidden);
+                expanded.row_mut(0)[..hidden].copy_from_slice(qvec1.row(0));
+                expanded.row_mut(0)[hidden..].copy_from_slice(qvec2.row(0));
+                expanded
+            }
+        }
+    }
+
+    /// Gradient of the expand function: maps `dL/d expanded` to `(dL/d qvec1, dL/d qvec2)`.
+    fn expand_backward(
+        &self,
+        qvec1: &Matrix,
+        qvec2: &Matrix,
+        grad_expanded: &Matrix,
+    ) -> (Matrix, Matrix) {
+        let hidden = qvec1.cols();
+        let mut grad1 = Matrix::zeros(1, hidden);
+        let mut grad2 = Matrix::zeros(1, hidden);
+        match self.options.expand {
+            ExpandMode::Full => {
+                for i in 0..hidden {
+                    let a = qvec1.get(0, i);
+                    let b = qvec2.get(0, i);
+                    let g_a = grad_expanded.get(0, i);
+                    let g_b = grad_expanded.get(0, hidden + i);
+                    let g_abs = grad_expanded.get(0, 2 * hidden + i);
+                    let g_prod = grad_expanded.get(0, 3 * hidden + i);
+                    // d|a-b|/da = sign(a-b); the subgradient at a == b is taken as 0.
+                    let sign = if a > b {
+                        1.0
+                    } else if a < b {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                    grad1.set(0, i, g_a + g_abs * sign + g_prod * b);
+                    grad2.set(0, i, g_b - g_abs * sign + g_prod * a);
+                }
+            }
+            ExpandMode::Concat => {
+                grad1.row_mut(0).copy_from_slice(&grad_expanded.row(0)[..hidden]);
+                grad2.row_mut(0).copy_from_slice(&grad_expanded.row(0)[hidden..]);
+            }
+        }
+        (grad1, grad2)
+    }
+
+    fn forward(&self, v1: &Matrix, v2: &Matrix) -> PairCache {
+        let z1 = self.mlp1.forward(v1);
+        let a1 = relu(&z1);
+        let qvec1 = self.pool(&a1);
+        let z2 = self.mlp2.forward(v2);
+        let a2 = relu(&z2);
+        let qvec2 = self.pool(&a2);
+        let expanded = self.expand(&qvec1, &qvec2);
+        let z_out1 = self.out1.forward(&expanded);
+        let a_out1 = relu(&z_out1);
+        let z_out2 = self.out2.forward(&a_out1);
+        let sigmoid_out = sigmoid(&z_out2);
+        PairCache {
+            v1: v1.clone(),
+            v2: v2.clone(),
+            z1,
+            a1,
+            z2,
+            a2,
+            qvec1,
+            qvec2,
+            expanded,
+            z_out1,
+            a_out1,
+            sigmoid_out,
+        }
+    }
+
+    fn backward(&mut self, cache: &PairCache, grad_output: f32) {
+        let grad_out = Matrix::from_vec(1, 1, vec![grad_output]);
+        let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, &grad_out);
+        let grad_a_out1 = self.out2.backward(&cache.a_out1, &grad_z_out2);
+        let grad_z_out1 = relu_backward(&cache.z_out1, &grad_a_out1);
+        let grad_expanded = self.out1.backward(&cache.expanded, &grad_z_out1);
+        let (grad_qvec1, grad_qvec2) =
+            self.expand_backward(&cache.qvec1, &cache.qvec2, &grad_expanded);
+
+        let grad_a1 = self.pool_backward(cache.a1.rows(), &grad_qvec1);
+        let grad_z1 = relu_backward(&cache.z1, &grad_a1);
+        let _ = self.mlp1.backward(&cache.v1, &grad_z1);
+
+        let grad_a2 = self.pool_backward(cache.a2.rows(), &grad_qvec2);
+        let grad_z2 = relu_backward(&cache.z2, &grad_a2);
+        let _ = self.mlp2.backward(&cache.v2, &grad_z2);
+    }
+
+    fn zero_grad(&mut self) {
+        self.mlp1.zero_grad();
+        self.mlp2.zero_grad();
+        self.out1.zero_grad();
+        self.out2.zero_grad();
+    }
+
+    fn adam_step(&mut self, adam: &mut Adam) {
+        let CrnModel {
+            mlp1,
+            mlp2,
+            out1,
+            out2,
+            ..
+        } = self;
+        let mut params = Vec::new();
+        params.extend(mlp1.params_mut());
+        params.extend(mlp2.params_mut());
+        params.extend(out1.params_mut());
+        params.extend(out2.params_mut());
+        adam.step(params);
+    }
+
+    /// Trains the model on labelled containment pairs; returns the per-epoch history
+    /// (used to reproduce Figures 3 and 4).
+    pub fn fit(&mut self, samples: &[ContainmentSample]) -> TrainingHistory {
+        let features: Vec<(Matrix, Matrix)> = samples
+            .iter()
+            .map(|s| self.featurizer.featurize_pair(&s.q1, &s.q2))
+            .collect();
+        let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
+
+        let (train_idx, valid_idx) = train_validation_split(
+            samples.len(),
+            self.config.validation_fraction,
+            self.config.seed,
+        );
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(7));
+        let mut early_stopping = EarlyStopping::new(self.config.patience);
+        let mut history = TrainingHistory::default();
+        let mut best: Option<CrnModel> = None;
+
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_samples = 0usize;
+            for batch in shuffled_batches(&train_idx, self.config.batch_size, &mut rng) {
+                self.zero_grad();
+                for &index in &batch {
+                    let (v1, v2) = &features[index];
+                    let cache = self.forward(v1, v2);
+                    let prediction = cache.sigmoid_out.get(0, 0);
+                    let loss = loss_and_grad(
+                        self.config.loss,
+                        prediction,
+                        targets[index],
+                        RATE_FLOOR,
+                    );
+                    epoch_loss += loss.loss as f64;
+                    epoch_samples += 1;
+                    self.backward(&cache, loss.grad / batch.len() as f32);
+                }
+                self.adam_step(&mut adam);
+            }
+
+            let validation_q_error = if valid_idx.is_empty() {
+                epoch_loss / epoch_samples.max(1) as f64
+            } else {
+                let pairs: Vec<(f64, f64)> = valid_idx
+                    .iter()
+                    .map(|&i| {
+                        let (v1, v2) = &features[i];
+                        let prediction = self.forward(v1, v2).sigmoid_out.get(0, 0) as f64;
+                        (prediction, targets[i] as f64)
+                    })
+                    .collect();
+                mean_q_error(&pairs, RATE_FLOOR as f64)
+            };
+            let improved = history.record(EpochStats {
+                epoch,
+                train_loss: epoch_loss / epoch_samples.max(1) as f64,
+                validation_q_error,
+            });
+            if improved {
+                best = Some(self.clone());
+            }
+            if early_stopping.should_stop(!improved) {
+                break;
+            }
+        }
+        if let Some(best) = best {
+            *self = best;
+        }
+        history
+    }
+
+    /// Predicts the containment rate `q1 ⊂% q2` in `[0, 1]`.
+    pub fn predict(&self, q1: &Query, q2: &Query) -> f64 {
+        let (v1, v2) = self.featurizer.featurize_pair(q1, q2);
+        self.forward(&v1, &v2).sigmoid_out.get(0, 0) as f64
+    }
+}
+
+impl ContainmentEstimator for CrnModel {
+    fn name(&self) -> &str {
+        "CRN"
+    }
+
+    fn estimate_containment(&self, q1: &Query, q2: &Query) -> f64 {
+        self.predict(q1, q2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use crn_exec::label_containment_pairs;
+    use crn_query::generator::{GeneratorConfig, QueryGenerator};
+
+    fn training_pairs(db: &Database, pairs: usize, seed: u64) -> Vec<ContainmentSample> {
+        let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+        let raw = gen.generate_pairs(pairs / 4 + 5, pairs);
+        label_containment_pairs(db, &raw, 4)
+    }
+
+    #[test]
+    fn untrained_model_outputs_valid_rates() {
+        let db = generate_imdb(&ImdbConfig::tiny(10));
+        let model = CrnModel::new(&db, TrainConfig::fast_test());
+        let q = Query::scan("title");
+        let rate = model.predict(&q, &q);
+        assert!((0.0..=1.0).contains(&rate));
+        assert_eq!(model.name(), "CRN");
+        assert!(model.num_params() > 0);
+    }
+
+    #[test]
+    fn parameter_count_matches_papers_closed_form() {
+        // The paper (§3.5.3) counts 2·L·H + 8·H² + 6·H + 1 parameters: two set encoders
+        // (L·H + H each), MLPout layer 1 (4H·2H + 2H) and layer 2 (2H·1 + 1).
+        let db = generate_imdb(&ImdbConfig::tiny(10));
+        let config = TrainConfig { hidden_size: 8, ..TrainConfig::fast_test() };
+        let model = CrnModel::new(&db, config);
+        let l = model.featurizer().vector_dim();
+        let h = 8usize;
+        let expected = 2 * l * h + 8 * h * h + 6 * h + 1;
+        assert_eq!(model.num_params(), expected);
+    }
+
+    #[test]
+    fn training_improves_validation_q_error() {
+        let db = generate_imdb(&ImdbConfig::tiny(11));
+        let samples = training_pairs(&db, 200, 11);
+        let mut config = TrainConfig::fast_test();
+        config.epochs = 20;
+        let mut model = CrnModel::new(&db, config);
+        let history = model.fit(&samples);
+        assert!(!history.is_empty());
+        assert!(
+            history.best_validation <= history.epochs[0].validation_q_error,
+            "best {} should improve on first {}",
+            history.best_validation,
+            history.epochs[0].validation_q_error
+        );
+    }
+
+    #[test]
+    fn trained_model_separates_full_and_empty_containment() {
+        let db = generate_imdb(&ImdbConfig::tiny(12));
+        let samples = training_pairs(&db, 300, 12);
+        let mut config = TrainConfig::fast_test();
+        config.epochs = 25;
+        let mut model = CrnModel::new(&db, config);
+        model.fit(&samples);
+        // Fully-contained pairs (rate 1.0) should on average get higher predictions than
+        // disjoint pairs (rate 0.0).
+        let full: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.rate >= 0.999)
+            .take(20)
+            .map(|s| model.predict(&s.q1, &s.q2))
+            .collect();
+        let empty: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.rate <= 0.001)
+            .take(20)
+            .map(|s| model.predict(&s.q1, &s.q2))
+            .collect();
+        if full.len() >= 5 && empty.len() >= 5 {
+            let mean_full: f64 = full.iter().sum::<f64>() / full.len() as f64;
+            let mean_empty: f64 = empty.iter().sum::<f64>() / empty.len() as f64;
+            assert!(
+                mean_full > mean_empty,
+                "full containment should score higher ({mean_full:.3}) than empty ({mean_empty:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_variants_run_end_to_end() {
+        let db = generate_imdb(&ImdbConfig::tiny(13));
+        let samples = training_pairs(&db, 80, 13);
+        for options in [
+            CrnOptions { pooling: Pooling::Sum, expand: ExpandMode::Full },
+            CrnOptions { pooling: Pooling::Mean, expand: ExpandMode::Concat },
+        ] {
+            let mut model = CrnModel::with_options(&db, TrainConfig::fast_test(), options);
+            let history = model.fit(&samples);
+            assert!(!history.is_empty());
+            let rate = model.predict(&samples[0].q1, &samples[0].q2);
+            assert!((0.0..=1.0).contains(&rate), "options {options:?}");
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let db = generate_imdb(&ImdbConfig::tiny(14));
+        let samples = training_pairs(&db, 60, 14);
+        let mut model = CrnModel::new(&db, TrainConfig::fast_test());
+        model.fit(&samples);
+        let (q1, q2) = (&samples[0].q1, &samples[0].q2);
+        assert_eq!(model.predict(q1, q2), model.predict(q1, q2));
+    }
+
+    /// Finite-difference check of the full CRN backward pass (including Expand).
+    #[test]
+    fn gradient_check_full_model() {
+        let db = generate_imdb(&ImdbConfig::tiny(15));
+        let config = TrainConfig { hidden_size: 6, ..TrainConfig::fast_test() };
+        let mut model = CrnModel::new(&db, config);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(15));
+        let pairs = gen.generate_pairs(5, 5);
+        let (q1, q2) = &pairs[0];
+        let (v1, v2) = model.featurizer.featurize_pair(q1, q2);
+        let target = 0.35f32;
+
+        // Analytic gradient of the q-error loss with respect to a few weights of mlp1 and out1.
+        let cache = model.forward(&v1, &v2);
+        let prediction = cache.sigmoid_out.get(0, 0);
+        let loss = loss_and_grad(crn_nn::LossKind::QError, prediction, target, RATE_FLOOR);
+        model.zero_grad();
+        model.backward(&cache, loss.grad);
+
+        let loss_value = |model: &CrnModel| {
+            let p = model.forward(&v1, &v2).sigmoid_out.get(0, 0);
+            loss_and_grad(crn_nn::LossKind::QError, p, target, RATE_FLOOR).loss
+        };
+        let eps = 1e-2f32;
+        for (row, col) in [(0usize, 0usize), (3, 2), (7, 5)] {
+            let analytic = model.mlp1.w.grad.get(row, col);
+            let original = model.mlp1.w.value.get(row, col);
+            model.mlp1.w.value.set(row, col, original + eps);
+            let plus = loss_value(&model);
+            model.mlp1.w.value.set(row, col, original - eps);
+            let minus = loss_value(&model);
+            model.mlp1.w.value.set(row, col, original);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 0.05,
+                "mlp1 ({row},{col}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for (row, col) in [(0usize, 0usize), (5, 3)] {
+            let analytic = model.out1.w.grad.get(row, col);
+            let original = model.out1.w.value.get(row, col);
+            model.out1.w.value.set(row, col, original + eps);
+            let plus = loss_value(&model);
+            model.out1.w.value.set(row, col, original - eps);
+            let minus = loss_value(&model);
+            model.out1.w.value.set(row, col, original);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 0.05,
+                "out1 ({row},{col}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

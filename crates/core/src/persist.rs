@@ -1,0 +1,127 @@
+//! Model persistence: serialize trained models and queries pools to disk.
+//!
+//! The paper reports that the serialized CRN model is roughly 1.5 MB (§3.5.3) and envisions
+//! the queries pool as durable DBMS meta information (§5.2).  This module provides the
+//! corresponding save/load functionality using a self-describing JSON encoding (small models,
+//! readability over compactness).
+
+use crate::model::CrnModel;
+use crate::pool::QueriesPool;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors produced while persisting or loading models.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistError> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), value)?;
+    Ok(())
+}
+
+fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+impl CrnModel {
+    /// Serializes the trained model (weights, featurizer, configuration) to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        save_json(self, path.as_ref())
+    }
+
+    /// Loads a model previously written by [`CrnModel::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load_json(path.as_ref())
+    }
+}
+
+impl QueriesPool {
+    /// Serializes the queries pool to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        save_json(self, path.as_ref())
+    }
+
+    /// Loads a queries pool previously written by [`QueriesPool::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load_json(path.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use crn_nn::TrainConfig;
+    use crn_query::Query;
+
+    #[test]
+    fn crn_model_round_trips_through_disk() {
+        let db = generate_imdb(&ImdbConfig::tiny(71));
+        let model = CrnModel::new(&db, TrainConfig::fast_test());
+        let dir = std::env::temp_dir().join("crn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).expect("save succeeds");
+        let loaded = CrnModel::load(&path).expect("load succeeds");
+        // Identical parameters mean identical predictions.
+        let q1 = Query::scan("title");
+        let q2 = Query::scan("title");
+        assert_eq!(model.predict(&q1, &q2), loaded.predict(&q1, &q2));
+        assert_eq!(model.num_params(), loaded.num_params());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn queries_pool_round_trips_through_disk() {
+        let db = generate_imdb(&ImdbConfig::tiny(72));
+        let pool = QueriesPool::generate(&db, 20, 1, 72);
+        let dir = std::env::temp_dir().join("crn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.json");
+        pool.save(&path).expect("save succeeds");
+        let loaded = QueriesPool::load(&path).expect("load succeeds");
+        assert_eq!(pool.len(), loaded.len());
+        assert_eq!(pool.entries(), loaded.entries());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loading_a_missing_file_reports_io_error() {
+        let err = CrnModel::load("/nonexistent/path/model.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+    }
+}

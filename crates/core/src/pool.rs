@@ -1,0 +1,251 @@
+//! The queries pool: previously executed queries with their actual cardinalities (paper §5.2).
+//!
+//! The pool is envisioned as an additional DBMS component: a compact record of queries that
+//! have already been executed (or were executed ahead of time by a generator) together with
+//! their true result cardinalities — *not* their results.  The `Cnt2Crd` cardinality
+//! estimation technique matches a new query against every pool entry with the same FROM
+//! clause, so the pool is indexed by FROM-clause table set.
+
+use crn_db::database::Database;
+use crn_exec::Executor;
+use crn_query::ast::Query;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One pool entry: a previously executed query and its actual cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolEntry {
+    /// The executed query.
+    pub query: Query,
+    /// Its true result cardinality.
+    pub cardinality: u64,
+}
+
+/// A pool of previously executed queries, indexed by FROM clause.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueriesPool {
+    entries: Vec<PoolEntry>,
+    /// Index from FROM-clause key (tables joined by `,`) to entry positions.  String keys keep
+    /// the pool JSON-serializable (§5.2 envisions it as durable DBMS meta information).
+    by_from: BTreeMap<String, Vec<usize>>,
+}
+
+impl QueriesPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        QueriesPool::default()
+    }
+
+    /// Adds an executed query with its actual cardinality.
+    ///
+    /// Duplicate queries are ignored (the pool keeps the first recorded cardinality).
+    pub fn insert(&mut self, query: Query, cardinality: u64) {
+        if self.entries.iter().any(|e| e.query == query) {
+            return;
+        }
+        let index = self.entries.len();
+        self.by_from
+            .entry(from_key(&query))
+            .or_default()
+            .push(index);
+        self.entries.push(PoolEntry { query, cardinality });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Entries whose FROM clause matches the given query's FROM clause (§5.3: only those can
+    /// participate in the Cnt2Crd estimation).
+    pub fn matching(&self, query: &Query) -> Vec<&PoolEntry> {
+        self.by_from
+            .get(&from_key(query))
+            .map(|indices| indices.iter().map(|&i| &self.entries[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct FROM clauses covered by the pool.
+    pub fn num_from_clauses(&self) -> usize {
+        self.by_from.len()
+    }
+
+    /// Restricts the pool to at most `limit` entries, keeping the distribution across FROM
+    /// clauses as even as possible (used by the pool-size sweep of Table 14).
+    pub fn truncated(&self, limit: usize) -> QueriesPool {
+        let mut result = QueriesPool::new();
+        if limit == 0 {
+            return result;
+        }
+        // Round-robin over FROM clauses so every clause keeps coverage.
+        let mut cursors: Vec<(usize, &Vec<usize>)> =
+            self.by_from.values().map(|v| (0usize, v)).collect();
+        'outer: loop {
+            let mut progressed = false;
+            for (cursor, indices) in cursors.iter_mut() {
+                if *cursor < indices.len() {
+                    let entry = &self.entries[indices[*cursor]];
+                    result.insert(entry.query.clone(), entry.cardinality);
+                    *cursor += 1;
+                    progressed = true;
+                    if result.len() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Builds a synthetic pool by generating queries over every possible FROM clause and
+    /// executing them (paper §5.2's "generate in advance" approach and §6.2's experimental
+    /// pool: "equally distributed among all the possible FROM clauses over the database").
+    ///
+    /// `size` is the total number of pool entries; `max_joins` bounds the FROM clauses
+    /// considered (0..=max_joins joins).
+    pub fn generate(db: &Database, size: usize, max_joins: usize, seed: u64) -> QueriesPool {
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed, max_joins));
+        let executor = Executor::new(db);
+        let mut pool = QueriesPool::new();
+        // Spread the budget uniformly over join counts, then over generated FROM clauses.
+        let per_join = (size / (max_joins + 1)).max(1);
+        for joins in 0..=max_joins {
+            let queries = generator.generate_initial_with_joins(per_join * 2, joins);
+            let mut taken = 0usize;
+            for query in queries {
+                if taken >= per_join || pool.len() >= size {
+                    break;
+                }
+                let cardinality = executor.cardinality(&query);
+                let before = pool.len();
+                pool.insert(query, cardinality);
+                if pool.len() > before {
+                    taken += 1;
+                }
+            }
+            if pool.len() >= size {
+                break;
+            }
+        }
+        // Always include the predicate-free queries ("SELECT * FROM ... WHERE TRUE", §5.2) so
+        // that every FROM clause has at least one guaranteed non-empty match.
+        let from_clauses: BTreeSet<BTreeSet<String>> = pool
+            .entries
+            .iter()
+            .map(|e| e.query.tables().clone())
+            .collect();
+        for tables in from_clauses {
+            let scan_like = pool
+                .entries
+                .iter()
+                .find(|e| e.query.tables() == &tables && e.query.predicates().is_empty());
+            if scan_like.is_none() {
+                // Re-create the empty-predicate query for this FROM clause by stripping an
+                // existing entry's predicates.
+                if let Some(entry) = pool.entries.iter().find(|e| e.query.tables() == &tables) {
+                    let stripped = Query::new(
+                        entry.query.tables().iter().cloned(),
+                        entry.query.joins().to_vec(),
+                        [],
+                    );
+                    let cardinality = executor.cardinality(&stripped);
+                    pool.insert(stripped, cardinality);
+                }
+            }
+        }
+        pool
+    }
+}
+
+/// Canonical string key of a query's FROM clause (tables are already sorted in the AST).
+fn from_key(query: &Query) -> String {
+    query
+        .tables()
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+
+    #[test]
+    fn insert_and_match_by_from_clause() {
+        let mut pool = QueriesPool::new();
+        assert!(pool.is_empty());
+        let title_scan = Query::scan(tables::TITLE);
+        let cast_scan = Query::scan(tables::CAST_INFO);
+        pool.insert(title_scan.clone(), 100);
+        pool.insert(cast_scan.clone(), 50);
+        pool.insert(title_scan.clone(), 999); // duplicate: ignored
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.num_from_clauses(), 2);
+        let matches = pool.matching(&title_scan);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].cardinality, 100);
+        assert!(pool.matching(&Query::scan(tables::MOVIE_INFO)).is_empty());
+    }
+
+    #[test]
+    fn generated_pool_covers_all_join_counts_and_is_exact() {
+        let db = generate_imdb(&ImdbConfig::tiny(44));
+        let pool = QueriesPool::generate(&db, 60, 2, 44);
+        assert!(pool.len() >= 30, "pool should be reasonably filled: {}", pool.len());
+        let executor = Executor::new(&db);
+        // Cardinalities stored in the pool are the true ones.
+        for entry in pool.entries().iter().take(10) {
+            assert_eq!(entry.cardinality, executor.cardinality(&entry.query));
+        }
+        // All join counts from 0 to 2 appear.
+        for joins in 0..=2 {
+            assert!(
+                pool.entries().iter().any(|e| e.query.num_joins() == joins),
+                "missing join count {joins}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_pool_contains_predicate_free_queries() {
+        let db = generate_imdb(&ImdbConfig::tiny(45));
+        let pool = QueriesPool::generate(&db, 40, 2, 45);
+        let from_clauses: BTreeSet<_> = pool.entries().iter().map(|e| e.query.tables().clone()).collect();
+        for tables in from_clauses {
+            assert!(
+                pool.entries()
+                    .iter()
+                    .any(|e| e.query.tables() == &tables && e.query.predicates().is_empty()),
+                "FROM clause {tables:?} lacks a predicate-free entry"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_from_clause_coverage() {
+        let db = generate_imdb(&ImdbConfig::tiny(46));
+        let pool = QueriesPool::generate(&db, 80, 2, 46);
+        let truncated = pool.truncated(20);
+        assert!(truncated.len() <= 20);
+        // Round-robin truncation keeps at least one entry from each of the first FROM clauses.
+        assert!(truncated.num_from_clauses() >= pool.num_from_clauses().min(20) / 2);
+        assert_eq!(pool.truncated(0).len(), 0);
+        assert_eq!(pool.truncated(usize::MAX).len(), pool.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Columnar storage for a single column.
+//!
+//! Values are stored as a dense `Vec<i64>` plus an optional validity bitmap.  This keeps
+//! scans cache-friendly, which matters because ground-truth label generation executes tens of
+//! thousands of queries over the synthetic database.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A dense, append-only column of 64-bit integers with optional NULLs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    values: Vec<i64>,
+    /// Validity bitmap; `None` means "all valid" (the common case, avoiding the allocation).
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Column::default()
+    }
+
+    /// Creates an empty column with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Column {
+            values: Vec::with_capacity(capacity),
+            validity: None,
+        }
+    }
+
+    /// Creates a column from raw non-NULL values.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Column {
+            values,
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a non-NULL value.
+    pub fn push(&mut self, value: i64) {
+        self.values.push(value);
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+    }
+
+    /// Appends a NULL.
+    pub fn push_null(&mut self) {
+        // Materialize the validity bitmap lazily, marking all existing rows valid.
+        let validity = self
+            .validity
+            .get_or_insert_with(|| vec![true; self.values.len()]);
+        validity.push(false);
+        self.values.push(0);
+    }
+
+    /// Appends an optional value.
+    pub fn push_option(&mut self, value: Option<i64>) {
+        match value {
+            Some(v) => self.push(v),
+            None => self.push_null(),
+        }
+    }
+
+    /// Returns the value at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn get(&self, row: usize) -> Value {
+        if let Some(validity) = &self.validity {
+            if !validity[row] {
+                return Value::Null;
+            }
+        }
+        Value::Int(self.values[row])
+    }
+
+    /// Returns the raw integer at `row` if it is not NULL.
+    pub fn get_int(&self, row: usize) -> Option<i64> {
+        if let Some(validity) = &self.validity {
+            if !validity[row] {
+                return None;
+            }
+        }
+        Some(self.values[row])
+    }
+
+    /// Returns true if the value at `row` is NULL.
+    pub fn is_null(&self, row: usize) -> bool {
+        self.validity.as_ref().map_or(false, |v| !v[row])
+    }
+
+    /// Raw value slice (NULL rows contain an unspecified placeholder, check validity first).
+    pub fn raw_values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|&&ok| !ok).count())
+    }
+
+    /// Minimum and maximum over non-NULL values, if any exist.
+    ///
+    /// These bounds are what the featurization uses to normalize predicate literals into
+    /// `[0, 1]` (paper §3.2.1, the `V-seg` segment).
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        let mut result: Option<(i64, i64)> = None;
+        for row in 0..self.len() {
+            if let Some(v) = self.get_int(row) {
+                result = Some(match result {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        result
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct_count(&self) -> usize {
+        let mut seen: Vec<i64> = (0..self.len()).filter_map(|r| self.get_int(r)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Iterates over non-NULL `(row, value)` pairs.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
+        (0..self.len()).filter_map(move |r| self.get_int(r).map(|v| (r, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut c = Column::new();
+        assert!(c.is_empty());
+        c.push(1);
+        c.push(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get_int(1), Some(2));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn nulls_are_tracked_lazily() {
+        let mut c = Column::new();
+        c.push(10);
+        c.push_null();
+        c.push_option(Some(30));
+        c.push_option(None);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.get(0), Value::Int(10));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert!(!c.is_null(2));
+        assert_eq!(c.get_int(3), None);
+    }
+
+    #[test]
+    fn min_max_ignores_nulls() {
+        let mut c = Column::new();
+        c.push_null();
+        assert_eq!(c.min_max(), None);
+        c.push(5);
+        c.push(-3);
+        c.push_null();
+        c.push(9);
+        assert_eq!(c.min_max(), Some((-3, 9)));
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls_and_duplicates() {
+        let mut c = Column::from_values(vec![1, 2, 2, 3, 3, 3]);
+        assert_eq!(c.distinct_count(), 3);
+        c.push_null();
+        assert_eq!(c.distinct_count(), 3);
+    }
+
+    #[test]
+    fn iter_valid_skips_nulls() {
+        let mut c = Column::new();
+        c.push(1);
+        c.push_null();
+        c.push(3);
+        let pairs: Vec<_> = c.iter_valid().collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut c = Column::with_capacity(16);
+        c.push(1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn validity_extended_when_materialized_late() {
+        let mut c = Column::new();
+        c.push(1);
+        c.push(2);
+        c.push_null();
+        // Earlier rows must remain valid after the bitmap materialization.
+        assert!(!c.is_null(0));
+        assert!(!c.is_null(1));
+        assert!(c.is_null(2));
+        // Pushing after materialization keeps the bitmap in sync.
+        c.push(4);
+        assert!(!c.is_null(3));
+        assert_eq!(c.len(), 4);
+    }
+}

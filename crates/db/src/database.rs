@@ -1,0 +1,149 @@
+//! The top-level [`Database`]: a schema plus one [`Table`] instance per table definition.
+
+use crate::schema::{ColumnRef, Schema};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An immutable snapshot of a database.
+///
+/// The paper trains and evaluates on "an immutable snapshot of the database" (§3.3); this type
+/// is that snapshot.  Mutation is only possible while building the database (before handing it
+/// to the executor / models), which mirrors that assumption.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    schema: Schema,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates a database with empty tables for every table in the schema.
+    pub fn empty(schema: Schema) -> Self {
+        let tables = schema
+            .tables()
+            .iter()
+            .map(|def| (def.name.clone(), Table::new(def.clone())))
+            .collect();
+        Database { schema, tables }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Returns the table with the given name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Returns a mutable reference to a table (used only during data generation / loading).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Replaces the contents of a table.
+    ///
+    /// # Panics
+    /// Panics if the table is not declared in the schema.
+    pub fn insert_table(&mut self, table: Table) {
+        assert!(
+            self.schema.table(table.name()).is_some(),
+            "table {} not declared in schema",
+            table.name()
+        );
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Iterates over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Minimum and maximum of a column, used for literal normalization in featurization.
+    pub fn column_min_max(&self, column: &ColumnRef) -> Option<(i64, i64)> {
+        self.table(&column.table)?.column(&column.column)?.min_max()
+    }
+
+    /// Number of distinct values in a column.
+    pub fn column_distinct(&self, column: &ColumnRef) -> Option<usize> {
+        Some(
+            self.table(&column.table)?
+                .column(&column.column)?
+                .distinct_count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ForeignKey, TableDef};
+
+    fn toy() -> Database {
+        let schema = Schema::new(
+            vec![
+                TableDef {
+                    name: "a".into(),
+                    alias: "a".into(),
+                    columns: vec![ColumnDef::key("id"), ColumnDef::int("x")],
+                    primary_key: Some("id".into()),
+                },
+                TableDef {
+                    name: "b".into(),
+                    alias: "b".into(),
+                    columns: vec![ColumnDef::key("id"), ColumnDef::key("a_id")],
+                    primary_key: Some("id".into()),
+                },
+            ],
+            vec![ForeignKey {
+                child_table: "b".into(),
+                child_column: "a_id".into(),
+                parent_table: "a".into(),
+                parent_column: "id".into(),
+            }],
+        );
+        let mut db = Database::empty(schema);
+        let ta = db.table_mut("a").unwrap();
+        ta.push_row(&[Some(1), Some(10)]);
+        ta.push_row(&[Some(2), Some(20)]);
+        let tb = db.table_mut("b").unwrap();
+        tb.push_row(&[Some(1), Some(1)]);
+        db
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let db = toy();
+        assert_eq!(db.total_rows(), 3);
+        assert_eq!(db.table("a").unwrap().row_count(), 2);
+        assert!(db.table("zzz").is_none());
+        assert_eq!(db.tables().count(), 2);
+    }
+
+    #[test]
+    fn column_helpers() {
+        let db = toy();
+        assert_eq!(db.column_min_max(&ColumnRef::new("a", "x")), Some((10, 20)));
+        assert_eq!(db.column_distinct(&ColumnRef::new("a", "x")), Some(2));
+        assert_eq!(db.column_min_max(&ColumnRef::new("a", "nope")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared in schema")]
+    fn inserting_undeclared_table_panics() {
+        let mut db = toy();
+        let rogue = Table::new(TableDef {
+            name: "rogue".into(),
+            alias: "r".into(),
+            columns: vec![ColumnDef::key("id")],
+            primary_key: Some("id".into()),
+        });
+        db.insert_table(rogue);
+    }
+}

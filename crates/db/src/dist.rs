@@ -1,0 +1,202 @@
+//! Random distributions used by the synthetic data generator.
+//!
+//! The real IMDb database exhibits heavy skew (a few prolific companies, actors and keywords
+//! account for most fact-table rows) and cross-column correlations.  The paper leans on those
+//! properties ("join crossing correlations", §1 and §6) to show where traditional estimators
+//! break down, so the synthetic substitute must reproduce them.  This module provides the
+//! skewed samplers; the correlations themselves are wired up in [`crate::imdb`].
+
+use rand::Rng;
+
+/// A Zipf-distributed sampler over `1..=n` with exponent `s`.
+///
+/// Sampling uses the classic inverse-CDF method over a precomputed cumulative table, which is
+/// exact and fast enough for the population sizes used here (at most a few hundred thousand).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with skew exponent `s` (larger = more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf population must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        for v in &mut cdf {
+            *v /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of distinct outcomes.
+    pub fn population(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+/// Draws from a (truncated) geometric distribution: number of failures before the first
+/// success with success probability `p`, capped at `max`.
+///
+/// Used for per-movie fan-outs (number of cast entries, keywords, ...), which in the real
+/// IMDb data have long right tails.
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64, max: usize) -> usize {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    let mut count = 0;
+    while count < max && rng.gen::<f64>() > p {
+        count += 1;
+    }
+    count
+}
+
+/// Draws an integer uniformly from an inclusive range.
+pub fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: i64, hi: i64) -> i64 {
+    if lo >= hi {
+        return lo;
+    }
+    rng.gen_range(lo..=hi)
+}
+
+/// A weighted categorical distribution over `0..weights.len()`.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights must not all be zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "categorical weights must be non-negative");
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Categorical { cdf }
+    }
+
+    /// Draws an outcome index in `0..len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = Zipf::new(100, 1.2);
+        assert_eq!(z.population(), 100);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=100).contains(&v));
+            counts[v] += 1;
+        }
+        // Rank 1 should be drawn much more often than rank 50.
+        assert!(counts[1] > counts[50] * 5, "zipf skew missing: {} vs {}", counts[1], counts[50]);
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 11];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 1..=10 {
+            let frac = counts[k] as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "rank {k} frequency {frac} too far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn zipf_rejects_empty_population() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn geometric_respects_cap_and_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = sample_geometric(&mut rng, 0.5, 8);
+            assert!(v <= 8);
+        }
+        // With p = 1.0 the result is always zero.
+        assert_eq!(sample_geometric(&mut rng, 1.0, 8), 0);
+    }
+
+    #[test]
+    fn range_sampling_handles_degenerate_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_range(&mut rng, 4, 4), 4);
+        assert_eq!(sample_range(&mut rng, 9, 2), 9);
+        for _ in 0..100 {
+            let v = sample_range(&mut rng, -3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 40_000.0;
+        assert!((frac0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn categorical_rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,607 @@
+//! Synthetic IMDb-like database generator.
+//!
+//! The paper evaluates on the real IMDb database (2.5M titles, §3.1.1) because it "contains
+//! many correlations and has been shown to be very challenging for cardinality estimators".
+//! We cannot ship that data, so this module generates a *synthetic* database over the same
+//! JOB-light schema (the schema used by MSCN): a central `title` table plus five fact tables
+//! that all join to it on `title.id = <fact>.movie_id`, which yields exactly the 0–5 join
+//! workloads the paper evaluates.
+//!
+//! The generator deliberately injects the two properties the paper's evaluation depends on:
+//!
+//! * **Skew** — company/person/keyword identifiers follow Zipf distributions, and per-title
+//!   fan-outs have long right tails.
+//! * **Join-crossing correlations** — fact-table attributes depend on attributes of the parent
+//!   title row (e.g. `company_id` ranges shift with `production_year`, a title's popularity
+//!   drives both its cast size and its rating rows), so estimators that assume independence
+//!   across joins underestimate, as in the paper.
+
+use crate::database::Database;
+use crate::dist::{sample_geometric, sample_range, Categorical, Zipf};
+use crate::schema::{ColumnDef, ForeignKey, Schema, TableDef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Table names of the IMDb-like schema.
+pub mod tables {
+    /// The central `title` table (movies, series, episodes).
+    pub const TITLE: &str = "title";
+    /// Production companies per movie.
+    pub const MOVIE_COMPANIES: &str = "movie_companies";
+    /// Cast and crew entries per movie.
+    pub const CAST_INFO: &str = "cast_info";
+    /// Generic additional information rows per movie.
+    pub const MOVIE_INFO: &str = "movie_info";
+    /// Indexed (rating-like) information rows per movie.
+    pub const MOVIE_INFO_IDX: &str = "movie_info_idx";
+    /// Keyword tags per movie.
+    pub const MOVIE_KEYWORD: &str = "movie_keyword";
+
+    /// The fact tables (everything except `title`).
+    pub const FACTS: [&str; 5] = [
+        MOVIE_COMPANIES,
+        CAST_INFO,
+        MOVIE_INFO,
+        MOVIE_INFO_IDX,
+        MOVIE_KEYWORD,
+    ];
+}
+
+/// Configuration of the synthetic database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImdbConfig {
+    /// Random seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+    /// Number of rows in `title`.
+    pub num_titles: usize,
+    /// Number of distinct production companies.
+    pub num_companies: usize,
+    /// Number of distinct persons (actors/directors/...).
+    pub num_persons: usize,
+    /// Number of distinct keywords.
+    pub num_keywords: usize,
+    /// Number of distinct info types in `movie_info`.
+    pub num_info_types: usize,
+    /// Zipf exponent controlling identifier skew (0 = uniform).
+    pub skew: f64,
+    /// Upper bounds on per-title fan-outs for the fact tables, in the order of
+    /// [`tables::FACTS`].
+    pub max_fanout: [usize; 5],
+}
+
+impl ImdbConfig {
+    /// A tiny database for unit tests (runs in milliseconds).
+    pub fn tiny(seed: u64) -> Self {
+        ImdbConfig {
+            seed,
+            num_titles: 300,
+            num_companies: 40,
+            num_persons: 120,
+            num_keywords: 60,
+            num_info_types: 12,
+            skew: 1.1,
+            max_fanout: [4, 8, 6, 3, 5],
+        }
+    }
+
+    /// A small database suitable for fast experiments and benches.
+    pub fn small(seed: u64) -> Self {
+        ImdbConfig {
+            seed,
+            num_titles: 3_000,
+            num_companies: 200,
+            num_persons: 1_500,
+            num_keywords: 400,
+            num_info_types: 20,
+            skew: 1.1,
+            max_fanout: [5, 12, 8, 4, 8],
+        }
+    }
+
+    /// The default experiment database: large enough that correlations and skew dominate,
+    /// small enough that ground-truth labelling of tens of thousands of queries is feasible.
+    pub fn medium(seed: u64) -> Self {
+        ImdbConfig {
+            seed,
+            num_titles: 12_000,
+            num_companies: 500,
+            num_persons: 6_000,
+            num_keywords: 1_200,
+            num_info_types: 30,
+            skew: 1.15,
+            max_fanout: [6, 16, 10, 5, 10],
+        }
+    }
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig::small(42)
+    }
+}
+
+/// Builds the JOB-light style schema used throughout the reproduction.
+pub fn imdb_schema() -> Schema {
+    let title = TableDef {
+        name: tables::TITLE.into(),
+        alias: "t".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::int("kind_id"),
+            ColumnDef::int("production_year").nullable(),
+            ColumnDef::int("season_nr").nullable(),
+            ColumnDef::int("episode_nr").nullable(),
+            ColumnDef::int("runtime"),
+        ],
+        primary_key: Some("id".into()),
+    };
+    let movie_companies = TableDef {
+        name: tables::MOVIE_COMPANIES.into(),
+        alias: "mc".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("movie_id"),
+            ColumnDef::int("company_id"),
+            ColumnDef::int("company_type_id"),
+        ],
+        primary_key: Some("id".into()),
+    };
+    let cast_info = TableDef {
+        name: tables::CAST_INFO.into(),
+        alias: "ci".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("movie_id"),
+            ColumnDef::int("person_id"),
+            ColumnDef::int("role_id"),
+            ColumnDef::int("nr_order"),
+        ],
+        primary_key: Some("id".into()),
+    };
+    let movie_info = TableDef {
+        name: tables::MOVIE_INFO.into(),
+        alias: "mi".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("movie_id"),
+            ColumnDef::int("info_type_id"),
+            ColumnDef::int("info_value"),
+        ],
+        primary_key: Some("id".into()),
+    };
+    let movie_info_idx = TableDef {
+        name: tables::MOVIE_INFO_IDX.into(),
+        alias: "mi_idx".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("movie_id"),
+            ColumnDef::int("info_type_id"),
+            ColumnDef::int("info_value"),
+        ],
+        primary_key: Some("id".into()),
+    };
+    let movie_keyword = TableDef {
+        name: tables::MOVIE_KEYWORD.into(),
+        alias: "mk".into(),
+        columns: vec![
+            ColumnDef::key("id"),
+            ColumnDef::key("movie_id"),
+            ColumnDef::int("keyword_id"),
+        ],
+        primary_key: Some("id".into()),
+    };
+
+    let fks = tables::FACTS
+        .iter()
+        .map(|fact| ForeignKey {
+            child_table: (*fact).to_string(),
+            child_column: "movie_id".into(),
+            parent_table: tables::TITLE.into(),
+            parent_column: "id".into(),
+        })
+        .collect();
+
+    Schema::new(
+        vec![
+            title,
+            movie_companies,
+            cast_info,
+            movie_info,
+            movie_info_idx,
+            movie_keyword,
+        ],
+        fks,
+    )
+}
+
+/// Per-title attributes the fact generators depend on, so that fact-table distributions can be
+/// correlated with the title's own attributes.
+struct TitleRow {
+    id: i64,
+    kind_id: i64,
+    production_year: Option<i64>,
+    /// Popularity rank in `1..=num_titles`; small rank = popular title.
+    popularity_rank: usize,
+}
+
+/// Generates a synthetic IMDb-like database.
+pub fn generate_imdb(config: &ImdbConfig) -> Database {
+    let schema = imdb_schema();
+    let mut db = Database::empty(schema);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let titles = generate_titles(config, &mut rng, &mut db);
+    generate_movie_companies(config, &mut rng, &mut db, &titles);
+    generate_cast_info(config, &mut rng, &mut db, &titles);
+    generate_movie_info(config, &mut rng, &mut db, &titles);
+    generate_movie_info_idx(config, &mut rng, &mut db, &titles);
+    generate_movie_keyword(config, &mut rng, &mut db, &titles);
+    db
+}
+
+fn generate_titles(config: &ImdbConfig, rng: &mut StdRng, db: &mut Database) -> Vec<TitleRow> {
+    // Decade weights skewed toward recent years (like the real IMDb growth curve).
+    let decade_weights: Vec<f64> = (0..14).map(|d| 1.0 + (d as f64).powf(1.8)).collect();
+    let decades = Categorical::new(&decade_weights);
+    let popularity = Zipf::new(config.num_titles, config.skew);
+
+    let mut titles = Vec::with_capacity(config.num_titles);
+    let table = db.table_mut(tables::TITLE).expect("title table");
+    for i in 0..config.num_titles {
+        let id = i as i64 + 1;
+        // production_year: 1880 + decade*10 + offset; ~2% NULLs.
+        let production_year = if rng.gen::<f64>() < 0.02 {
+            None
+        } else {
+            let decade = decades.sample(rng) as i64;
+            Some(1880 + decade * 10 + sample_range(rng, 0, 9))
+        };
+        // kind_id 1..=7; series/episode kinds (4, 7) become much more likely after 1990.
+        let recent = production_year.map_or(false, |y| y >= 1990);
+        let kind_weights = if recent {
+            [3.0, 1.0, 1.0, 2.5, 0.5, 0.5, 2.0]
+        } else {
+            [6.0, 1.5, 1.0, 0.4, 0.3, 0.3, 0.2]
+        };
+        let kind_id = Categorical::new(&kind_weights).sample(rng) as i64 + 1;
+        // Episodes (kind 7) carry season/episode numbers; everything else is NULL there.
+        let (season_nr, episode_nr) = if kind_id == 7 {
+            let season = sample_range(rng, 1, 15);
+            (Some(season), Some(sample_range(rng, 1, 24)))
+        } else {
+            (None, None)
+        };
+        // Runtime correlated with kind: movies long, episodes short.
+        let runtime = match kind_id {
+            1 | 2 => sample_range(rng, 75, 200),
+            7 => sample_range(rng, 18, 60),
+            _ => sample_range(rng, 40, 120),
+        };
+        let popularity_rank = popularity.sample(rng);
+
+        table.push_row(&[
+            Some(id),
+            Some(kind_id),
+            production_year,
+            season_nr,
+            episode_nr,
+            Some(runtime),
+        ]);
+        titles.push(TitleRow {
+            id,
+            kind_id,
+            production_year,
+            popularity_rank,
+        });
+    }
+    titles
+}
+
+/// Fan-out for a title: popular (low rank) and recent titles receive more fact rows.
+fn fanout(rng: &mut StdRng, title: &TitleRow, max: usize) -> usize {
+    let popular = title.popularity_rank <= 10;
+    let recent = title.production_year.map_or(false, |y| y >= 2000);
+    let p = if popular {
+        0.25
+    } else if recent {
+        0.45
+    } else {
+        0.65
+    };
+    // At least one row for popular titles so that frequent join partners exist.
+    let base = usize::from(popular);
+    (base + sample_geometric(rng, p, max)).min(max)
+}
+
+fn generate_movie_companies(
+    config: &ImdbConfig,
+    rng: &mut StdRng,
+    db: &mut Database,
+    titles: &[TitleRow],
+) {
+    let zipf = Zipf::new(config.num_companies, config.skew);
+    let table = db.table_mut(tables::MOVIE_COMPANIES).expect("mc table");
+    let mut next_id = 1i64;
+    for title in titles {
+        let n = fanout(rng, title, config.max_fanout[0]);
+        for _ in 0..n {
+            // Join-crossing correlation: the company pool shifts with the production decade, so
+            // `production_year > X AND company_id < Y` is far from independent.
+            let decade_shift = title
+                .production_year
+                .map_or(0, |y| ((y - 1880) / 10).clamp(0, 13))
+                * (config.num_companies as i64 / 20).max(1);
+            let company_id =
+                ((zipf.sample(rng) as i64 + decade_shift - 1) % config.num_companies as i64) + 1;
+            // Company type correlated with the company identity itself.
+            let company_type_id = (company_id % 4) + 1;
+            table.push_row(&[
+                Some(next_id),
+                Some(title.id),
+                Some(company_id),
+                Some(company_type_id),
+            ]);
+            next_id += 1;
+        }
+    }
+}
+
+fn generate_cast_info(
+    config: &ImdbConfig,
+    rng: &mut StdRng,
+    db: &mut Database,
+    titles: &[TitleRow],
+) {
+    let zipf = Zipf::new(config.num_persons, config.skew);
+    let table = db.table_mut(tables::CAST_INFO).expect("ci table");
+    let mut next_id = 1i64;
+    for title in titles {
+        let n = fanout(rng, title, config.max_fanout[1]);
+        for order in 0..n {
+            let person_id = zipf.sample(rng) as i64;
+            // Billing order correlates with role: leading entries are actors/actresses (1, 2),
+            // later entries are crew roles.
+            let role_id = if order < 2 {
+                sample_range(rng, 1, 2)
+            } else if order < 5 {
+                sample_range(rng, 1, 4)
+            } else {
+                sample_range(rng, 3, 11)
+            };
+            table.push_row(&[
+                Some(next_id),
+                Some(title.id),
+                Some(person_id),
+                Some(role_id),
+                Some(order as i64 + 1),
+            ]);
+            next_id += 1;
+        }
+    }
+}
+
+fn generate_movie_info(
+    config: &ImdbConfig,
+    rng: &mut StdRng,
+    db: &mut Database,
+    titles: &[TitleRow],
+) {
+    let zipf = Zipf::new(config.num_info_types, 0.9);
+    let table = db.table_mut(tables::MOVIE_INFO).expect("mi table");
+    let mut next_id = 1i64;
+    for title in titles {
+        let n = fanout(rng, title, config.max_fanout[2]);
+        for _ in 0..n {
+            let info_type_id = zipf.sample(rng) as i64;
+            // info_value correlated with both the info type and the title's year / kind, e.g.
+            // "budget"-like types grow with the year.
+            let year = title.production_year.unwrap_or(1950);
+            let info_value = match info_type_id % 3 {
+                0 => (year - 1880) * 10 + sample_range(rng, 0, 50),
+                1 => title.kind_id * 100 + sample_range(rng, 0, 99),
+                _ => sample_range(rng, 0, 1000),
+            };
+            table.push_row(&[
+                Some(next_id),
+                Some(title.id),
+                Some(info_type_id),
+                Some(info_value),
+            ]);
+            next_id += 1;
+        }
+    }
+}
+
+fn generate_movie_info_idx(
+    config: &ImdbConfig,
+    rng: &mut StdRng,
+    db: &mut Database,
+    titles: &[TitleRow],
+) {
+    let table = db.table_mut(tables::MOVIE_INFO_IDX).expect("mi_idx table");
+    let mut next_id = 1i64;
+    for title in titles {
+        let n = fanout(rng, title, config.max_fanout[3]);
+        for _ in 0..n {
+            // movie_info_idx holds rating-like indexed info: types 99..=101.
+            let info_type_id = sample_range(rng, 99, 101);
+            // Ratings (scaled by 10) correlate with popularity: popular titles rate higher.
+            let popular_boost = if title.popularity_rank <= 20 { 15 } else { 0 };
+            let info_value = (sample_range(rng, 10, 85) + popular_boost).min(100);
+            table.push_row(&[
+                Some(next_id),
+                Some(title.id),
+                Some(info_type_id),
+                Some(info_value),
+            ]);
+            next_id += 1;
+        }
+    }
+}
+
+fn generate_movie_keyword(
+    config: &ImdbConfig,
+    rng: &mut StdRng,
+    db: &mut Database,
+    titles: &[TitleRow],
+) {
+    let zipf = Zipf::new(config.num_keywords, config.skew);
+    let table = db.table_mut(tables::MOVIE_KEYWORD).expect("mk table");
+    let mut next_id = 1i64;
+    for title in titles {
+        let n = fanout(rng, title, config.max_fanout[4]);
+        for _ in 0..n {
+            // Keyword pools are partitioned by kind: episodes and movies rarely share keywords.
+            let kind_shift = (title.kind_id - 1) * (config.num_keywords as i64 / 8).max(1);
+            let keyword_id =
+                ((zipf.sample(rng) as i64 + kind_shift - 1) % config.num_keywords as i64) + 1;
+            table.push_row(&[Some(next_id), Some(title.id), Some(keyword_id)]);
+            next_id += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRef;
+
+    #[test]
+    fn schema_shape_matches_job_light() {
+        let schema = imdb_schema();
+        assert_eq!(schema.num_tables(), 6);
+        assert_eq!(schema.foreign_keys().len(), 5);
+        assert_eq!(schema.neighbors(tables::TITLE).len(), 5);
+        // Every fact table joins only with title.
+        for fact in tables::FACTS {
+            assert_eq!(schema.neighbors(fact), vec![tables::TITLE.to_string()]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = ImdbConfig::tiny(123);
+        let a = generate_imdb(&cfg);
+        let b = generate_imdb(&cfg);
+        assert_eq!(a.total_rows(), b.total_rows());
+        for t in a.tables() {
+            let other = b.table(t.name()).unwrap();
+            assert_eq!(t.row_count(), other.row_count(), "table {}", t.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_data() {
+        let a = generate_imdb(&ImdbConfig::tiny(1));
+        let b = generate_imdb(&ImdbConfig::tiny(2));
+        assert_ne!(a.total_rows(), b.total_rows());
+    }
+
+    #[test]
+    fn title_table_has_requested_cardinality() {
+        let cfg = ImdbConfig::tiny(7);
+        let db = generate_imdb(&cfg);
+        assert_eq!(db.table(tables::TITLE).unwrap().row_count(), cfg.num_titles);
+        // Every fact table references valid movie ids.
+        for fact in tables::FACTS {
+            let t = db.table(fact).unwrap();
+            let col = t.column("movie_id").unwrap();
+            for (_, movie_id) in col.iter_valid() {
+                assert!(movie_id >= 1 && movie_id <= cfg.num_titles as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn identifier_domains_are_respected() {
+        let cfg = ImdbConfig::tiny(99);
+        let db = generate_imdb(&cfg);
+        let companies = db.table(tables::MOVIE_COMPANIES).unwrap();
+        for (_, v) in companies.column("company_id").unwrap().iter_valid() {
+            assert!(v >= 1 && v <= cfg.num_companies as i64);
+        }
+        let keywords = db.table(tables::MOVIE_KEYWORD).unwrap();
+        for (_, v) in keywords.column("keyword_id").unwrap().iter_valid() {
+            assert!(v >= 1 && v <= cfg.num_keywords as i64);
+        }
+        let kinds = db.table(tables::TITLE).unwrap();
+        for (_, v) in kinds.column("kind_id").unwrap().iter_valid() {
+            assert!((1..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn production_year_contains_some_nulls() {
+        let db = generate_imdb(&ImdbConfig::tiny(5));
+        let nulls = db
+            .table(tables::TITLE)
+            .unwrap()
+            .column("production_year")
+            .unwrap()
+            .null_count();
+        assert!(nulls > 0, "expected a few NULL production years");
+    }
+
+    #[test]
+    fn company_ids_are_skewed() {
+        let db = generate_imdb(&ImdbConfig::small(11));
+        let col = db
+            .table(tables::MOVIE_COMPANIES)
+            .unwrap()
+            .column("company_id")
+            .unwrap();
+        let mut counts = std::collections::BTreeMap::new();
+        for (_, v) in col.iter_valid() {
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = col.len() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > 3.0 * avg,
+            "expected skew: max {max} should dominate average {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn correlation_between_year_and_kind_exists() {
+        let db = generate_imdb(&ImdbConfig::small(3));
+        let title = db.table(tables::TITLE).unwrap();
+        let years = title.column("production_year").unwrap();
+        let kinds = title.column("kind_id").unwrap();
+        let mut old_episode = 0usize;
+        let mut recent_episode = 0usize;
+        let mut old_total = 0usize;
+        let mut recent_total = 0usize;
+        for row in 0..title.row_count() {
+            let Some(year) = years.get_int(row) else { continue };
+            let kind = kinds.get_int(row).unwrap();
+            if year < 1960 {
+                old_total += 1;
+                if kind == 7 {
+                    old_episode += 1;
+                }
+            } else if year >= 1995 {
+                recent_total += 1;
+                if kind == 7 {
+                    recent_episode += 1;
+                }
+            }
+        }
+        let old_rate = old_episode as f64 / old_total.max(1) as f64;
+        let recent_rate = recent_episode as f64 / recent_total.max(1) as f64;
+        assert!(
+            recent_rate > old_rate + 0.05,
+            "episode kind should correlate with recent years ({old_rate:.3} vs {recent_rate:.3})"
+        );
+    }
+
+    #[test]
+    fn min_max_available_for_featurization() {
+        let db = generate_imdb(&ImdbConfig::tiny(21));
+        let (lo, hi) = db
+            .column_min_max(&ColumnRef::new(tables::TITLE, "production_year"))
+            .unwrap();
+        assert!(lo >= 1880 && hi <= 2019 && lo < hi);
+    }
+}

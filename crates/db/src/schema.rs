@@ -1,0 +1,407 @@
+//! Logical schema: tables, columns, keys and the join graph.
+//!
+//! The schema layer is what both the query generator and the featurization rely on: the
+//! featurization's vector segmentation (Table 1 in the paper) needs a stable global numbering
+//! of tables (`#T`) and columns (`#C`), which [`Schema::table_index`] and
+//! [`Schema::global_column_index`] provide.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A column definition inside a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether this column is a key column (primary key or foreign key).
+    ///
+    /// The paper's query generator only places predicates on *non-key* columns (§3.1.2), so
+    /// this flag drives predicate-column selection.
+    pub is_key: bool,
+    /// Whether NULLs may appear in this column.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Creates a non-key, non-nullable integer column.
+    pub fn int(name: &str) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            data_type: DataType::Int,
+            is_key: false,
+            nullable: false,
+        }
+    }
+
+    /// Creates a key (PK/FK) integer column.
+    pub fn key(name: &str) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            data_type: DataType::Int,
+            is_key: true,
+            nullable: false,
+        }
+    }
+
+    /// Marks the column as nullable.
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// Marks the column as dictionary-encoded string.
+    pub fn dict_str(mut self) -> Self {
+        self.data_type = DataType::DictStr;
+        self
+    }
+}
+
+/// A foreign-key relationship `child.child_column -> parent.parent_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing (fact) table.
+    pub child_table: String,
+    /// Referencing column in the child table.
+    pub child_column: String,
+    /// Referenced (dimension) table.
+    pub parent_table: String,
+    /// Referenced column in the parent table, usually its primary key.
+    pub parent_column: String,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (e.g. `title`).
+    pub name: String,
+    /// Short alias used in generated SQL (e.g. `t`), mirroring the JOB/IMDb conventions.
+    pub alias: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Name of the primary-key column, if any.
+    pub primary_key: Option<String>,
+}
+
+impl TableDef {
+    /// Returns the position of `column` within this table, if present.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == column)
+    }
+
+    /// Returns the definition of `column`, if present.
+    pub fn column(&self, column: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == column)
+    }
+
+    /// Iterates over non-key columns (the candidates for query predicates).
+    pub fn non_key_columns(&self) -> impl Iterator<Item = &ColumnDef> {
+        self.columns.iter().filter(|c| !c.is_key)
+    }
+}
+
+/// A fully qualified column reference `table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name.
+    pub table: String,
+    /// Column name within the table.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a column reference from table and column names.
+    pub fn new(table: &str, column: &str) -> Self {
+        ColumnRef {
+            table: table.to_string(),
+            column: column.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A database schema: a set of tables plus foreign keys defining the join graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+    foreign_keys: Vec<ForeignKey>,
+    /// Cached map from table name to index in `tables`.
+    #[serde(skip)]
+    table_lookup: BTreeMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from table definitions and foreign keys.
+    ///
+    /// # Panics
+    /// Panics if table names are not unique, or a foreign key references an unknown
+    /// table/column — these are programming errors in schema construction.
+    pub fn new(tables: Vec<TableDef>, foreign_keys: Vec<ForeignKey>) -> Self {
+        let mut table_lookup = BTreeMap::new();
+        for (i, t) in tables.iter().enumerate() {
+            let prev = table_lookup.insert(t.name.clone(), i);
+            assert!(prev.is_none(), "duplicate table name {}", t.name);
+        }
+        for fk in &foreign_keys {
+            let child = table_lookup
+                .get(&fk.child_table)
+                .unwrap_or_else(|| panic!("unknown FK child table {}", fk.child_table));
+            let parent = table_lookup
+                .get(&fk.parent_table)
+                .unwrap_or_else(|| panic!("unknown FK parent table {}", fk.parent_table));
+            assert!(
+                tables[*child].column_index(&fk.child_column).is_some(),
+                "unknown FK child column {}.{}",
+                fk.child_table,
+                fk.child_column
+            );
+            assert!(
+                tables[*parent].column_index(&fk.parent_column).is_some(),
+                "unknown FK parent column {}.{}",
+                fk.parent_table,
+                fk.parent_column
+            );
+        }
+        Schema {
+            tables,
+            foreign_keys,
+            table_lookup,
+        }
+    }
+
+    /// Rebuilds internal lookup tables; must be called after deserialization.
+    pub fn rebuild_lookup(&mut self) {
+        self.table_lookup = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
+    }
+
+    /// Number of tables (`#T` in the paper's featurization).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of columns over all tables (`#C` in the paper's featurization).
+    pub fn num_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// All table definitions in declaration order.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// All foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Looks up a table definition by name.
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.table_lookup.get(name).map(|&i| &self.tables[i])
+    }
+
+    /// Looks up a table definition by alias (e.g. `t` for `title`).
+    pub fn table_by_alias(&self, alias: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.alias == alias)
+    }
+
+    /// The index of a table in the global table numbering, used for one-hot encodings.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.table_lookup.get(name).copied()
+    }
+
+    /// The index of `table.column` in the global column numbering (tables in declaration
+    /// order, columns in declaration order within each table). Used for one-hot encodings.
+    pub fn global_column_index(&self, column: &ColumnRef) -> Option<usize> {
+        let mut offset = 0usize;
+        for t in &self.tables {
+            if t.name == column.table {
+                return t.column_index(&column.column).map(|i| offset + i);
+            }
+            offset += t.columns.len();
+        }
+        None
+    }
+
+    /// Returns the column definition for a fully-qualified reference.
+    pub fn column(&self, column: &ColumnRef) -> Option<&ColumnDef> {
+        self.table(&column.table)?.column(&column.column)
+    }
+
+    /// Returns all join edges (pairs of columns related by a foreign key).
+    ///
+    /// The paper's generator only emits joins that follow the schema's join graph; this is the
+    /// source of those candidate edges.
+    pub fn join_edges(&self) -> Vec<(ColumnRef, ColumnRef)> {
+        self.foreign_keys
+            .iter()
+            .map(|fk| {
+                (
+                    ColumnRef::new(&fk.child_table, &fk.child_column),
+                    ColumnRef::new(&fk.parent_table, &fk.parent_column),
+                )
+            })
+            .collect()
+    }
+
+    /// Returns the join edge connecting two tables, if one exists (in either direction).
+    pub fn join_edge_between(&self, a: &str, b: &str) -> Option<(ColumnRef, ColumnRef)> {
+        self.foreign_keys.iter().find_map(|fk| {
+            if fk.child_table == a && fk.parent_table == b {
+                Some((
+                    ColumnRef::new(&fk.child_table, &fk.child_column),
+                    ColumnRef::new(&fk.parent_table, &fk.parent_column),
+                ))
+            } else if fk.child_table == b && fk.parent_table == a {
+                Some((
+                    ColumnRef::new(&fk.parent_table, &fk.parent_column),
+                    ColumnRef::new(&fk.child_table, &fk.child_column),
+                ))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Tables directly joinable with `table` according to the join graph.
+    pub fn neighbors(&self, table: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for fk in &self.foreign_keys {
+            if fk.child_table == table {
+                out.push(fk.parent_table.clone());
+            } else if fk.parent_table == table {
+                out.push(fk.child_table.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            vec![
+                TableDef {
+                    name: "a".into(),
+                    alias: "a".into(),
+                    columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y")],
+                    primary_key: Some("id".into()),
+                },
+                TableDef {
+                    name: "b".into(),
+                    alias: "b".into(),
+                    columns: vec![ColumnDef::key("id"), ColumnDef::key("a_id"), ColumnDef::int("z")],
+                    primary_key: Some("id".into()),
+                },
+            ],
+            vec![ForeignKey {
+                child_table: "b".into(),
+                child_column: "a_id".into(),
+                parent_table: "a".into(),
+                parent_column: "id".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn counts_tables_and_columns() {
+        let s = toy_schema();
+        assert_eq!(s.num_tables(), 2);
+        assert_eq!(s.num_columns(), 6);
+    }
+
+    #[test]
+    fn table_and_column_lookup() {
+        let s = toy_schema();
+        assert_eq!(s.table_index("a"), Some(0));
+        assert_eq!(s.table_index("b"), Some(1));
+        assert_eq!(s.table_index("zzz"), None);
+        assert_eq!(s.global_column_index(&ColumnRef::new("a", "id")), Some(0));
+        assert_eq!(s.global_column_index(&ColumnRef::new("a", "y")), Some(2));
+        assert_eq!(s.global_column_index(&ColumnRef::new("b", "z")), Some(5));
+        assert_eq!(s.global_column_index(&ColumnRef::new("b", "nope")), None);
+    }
+
+    #[test]
+    fn join_graph_queries() {
+        let s = toy_schema();
+        let edges = s.join_edges();
+        assert_eq!(edges.len(), 1);
+        let (c, p) = s.join_edge_between("a", "b").expect("edge exists");
+        assert_eq!(c, ColumnRef::new("a", "id"));
+        assert_eq!(p, ColumnRef::new("b", "a_id"));
+        let (c, p) = s.join_edge_between("b", "a").expect("edge exists");
+        assert_eq!(c, ColumnRef::new("b", "a_id"));
+        assert_eq!(p, ColumnRef::new("a", "id"));
+        assert!(s.join_edge_between("a", "a").is_none());
+        assert_eq!(s.neighbors("a"), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn non_key_columns_excludes_keys() {
+        let s = toy_schema();
+        let non_keys: Vec<_> = s.table("b").unwrap().non_key_columns().map(|c| c.name.clone()).collect();
+        assert_eq!(non_keys, vec!["z".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_tables_panic() {
+        let t = TableDef {
+            name: "a".into(),
+            alias: "a".into(),
+            columns: vec![ColumnDef::key("id")],
+            primary_key: Some("id".into()),
+        };
+        let _ = Schema::new(vec![t.clone(), t], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown FK")]
+    fn bad_foreign_key_panics() {
+        let t = TableDef {
+            name: "a".into(),
+            alias: "a".into(),
+            columns: vec![ColumnDef::key("id")],
+            primary_key: Some("id".into()),
+        };
+        let _ = Schema::new(
+            vec![t],
+            vec![ForeignKey {
+                child_table: "a".into(),
+                child_column: "missing".into(),
+                parent_table: "a".into(),
+                parent_column: "id".into(),
+            }],
+        );
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::new("t", "id").to_string(), "t.id");
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let s = toy_schema();
+        assert_eq!(s.table_by_alias("b").unwrap().name, "b");
+        assert!(s.table_by_alias("nope").is_none());
+    }
+}

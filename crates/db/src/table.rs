@@ -1,0 +1,160 @@
+//! A table: a set of equally-long columns conforming to a [`TableDef`].
+
+use crate::column::Column;
+use crate::schema::TableDef;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An in-memory columnar table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    def: TableDef,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Creates an empty table for the given definition.
+    pub fn new(def: TableDef) -> Self {
+        let columns = def.columns.iter().map(|_| Column::new()).collect();
+        Table {
+            def,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    /// Creates an empty table with per-column capacity pre-allocated.
+    pub fn with_capacity(def: TableDef, capacity: usize) -> Self {
+        let columns = def
+            .columns
+            .iter()
+            .map(|_| Column::with_capacity(capacity))
+            .collect();
+        Table {
+            def,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    /// The table definition.
+    pub fn def(&self) -> &TableDef {
+        &self.def
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Returns true when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// Appends one row given as optional values in column declaration order.
+    ///
+    /// # Panics
+    /// Panics if the number of values does not match the number of columns.
+    pub fn push_row(&mut self, row: &[Option<i64>]) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch for table {}",
+            self.def.name
+        );
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push_option(*value);
+        }
+        self.row_count += 1;
+    }
+
+    /// Returns the column at a positional index.
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// Returns a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.def.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Returns a single cell value.
+    pub fn value(&self, row: usize, column: &str) -> Option<Value> {
+        self.column(column).map(|c| c.get(row))
+    }
+
+    /// Builds a map from value to row indices for `column` (NULLs excluded).
+    ///
+    /// Used by the execution engine to hash-join on key columns.
+    pub fn build_index(&self, column: &str) -> Option<BTreeMap<i64, Vec<u32>>> {
+        let col = self.column(column)?;
+        let mut index: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (row, value) in col.iter_valid() {
+            index.entry(value).or_default().push(row as u32);
+        }
+        Some(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn def() -> TableDef {
+        TableDef {
+            name: "t".into(),
+            alias: "t".into(),
+            columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y").nullable()],
+            primary_key: Some("id".into()),
+        }
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = Table::new(def());
+        t.push_row(&[Some(1), Some(10), Some(100)]);
+        t.push_row(&[Some(2), Some(20), None]);
+        assert_eq!(t.row_count(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.value(0, "x"), Some(Value::Int(10)));
+        assert_eq!(t.value(1, "y"), Some(Value::Null));
+        assert_eq!(t.value(1, "missing"), None);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(def());
+        t.push_row(&[Some(1)]);
+    }
+
+    #[test]
+    fn build_index_groups_rows_by_value() {
+        let mut t = Table::with_capacity(def(), 4);
+        t.push_row(&[Some(1), Some(7), Some(0)]);
+        t.push_row(&[Some(2), Some(7), Some(0)]);
+        t.push_row(&[Some(3), Some(8), None]);
+        let idx = t.build_index("x").unwrap();
+        assert_eq!(idx.get(&7).unwrap(), &vec![0u32, 1]);
+        assert_eq!(idx.get(&8).unwrap(), &vec![2u32]);
+        assert!(t.build_index("missing").is_none());
+    }
+
+    #[test]
+    fn column_access_by_position_and_name() {
+        let mut t = Table::new(def());
+        t.push_row(&[Some(5), Some(6), Some(7)]);
+        assert_eq!(t.column_at(1).get_int(0), Some(6));
+        assert_eq!(t.column("y").unwrap().get_int(0), Some(7));
+    }
+}

@@ -1,0 +1,265 @@
+//! Scalar values stored in the database.
+//!
+//! The paper's query model only uses predicates of the form `(column, op, literal)` with
+//! operators `<`, `=`, `>` over numeric domains (string literals are hashed to the integer
+//! domain, as suggested in the paper's "Strings" extension, §9).  We therefore keep the value
+//! model deliberately small: a 64-bit integer domain plus NULL.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for dictionary-encoded strings).
+    Int,
+    /// A string column stored dictionary-encoded as an integer code.
+    ///
+    /// The encoding is exposed so that equality predicates on strings can be converted to
+    /// integer equality predicates, mirroring the paper's proposal of hashing string literals
+    /// into the integer domain.
+    DictStr,
+}
+
+impl DataType {
+    /// Returns `true` when values of this type can be compared with `<` / `>` meaningfully.
+    ///
+    /// Dictionary-encoded strings only support equality (the dictionary codes carry no
+    /// lexicographic meaning).
+    pub fn supports_range_predicates(self) -> bool {
+        matches!(self, DataType::Int)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::DictStr => write!(f, "DICT_STR"),
+        }
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.  Comparisons against NULL are always false (three-valued logic collapsed to
+    /// the boolean result relevant to a WHERE clause).
+    Null,
+    /// An integer (or dictionary code).
+    Int(i64),
+}
+
+impl Value {
+    /// Returns the inner integer, if the value is not NULL.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(v),
+        }
+    }
+
+    /// Returns `true` if the value is NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Option<i64>> for Value {
+    fn from(v: Option<i64>) -> Self {
+        match v {
+            Some(v) => Value::Int(v),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operator used in column predicates.
+///
+/// The paper's query generator draws predicate operators uniformly from `{<, =, >}` (§3.1.2);
+/// `<=`, `>=` and `!=` are supported as well so that downstream users are not artificially
+/// restricted, and so the `BETWEEN`/`IN` rewrites mentioned in §9 are expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Strictly less than (`<`).
+    Lt,
+    /// Less than or equal (`<=`).
+    Le,
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`<>`).
+    Ne,
+    /// Greater than or equal (`>=`).
+    Ge,
+    /// Strictly greater than (`>`).
+    Gt,
+}
+
+impl CompareOp {
+    /// All operators, in the canonical order used by the featurization one-hot encoding.
+    pub const ALL: [CompareOp; 6] = [
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Ge,
+        CompareOp::Gt,
+    ];
+
+    /// The three operators the paper's generator uses.
+    pub const PAPER: [CompareOp; 3] = [CompareOp::Lt, CompareOp::Eq, CompareOp::Gt];
+
+    /// Index of this operator inside [`CompareOp::ALL`]; used for one-hot encoding.
+    pub fn index(self) -> usize {
+        match self {
+            CompareOp::Lt => 0,
+            CompareOp::Le => 1,
+            CompareOp::Eq => 2,
+            CompareOp::Ne => 3,
+            CompareOp::Ge => 4,
+            CompareOp::Gt => 5,
+        }
+    }
+
+    /// Evaluates `lhs op rhs` over non-NULL integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CompareOp::Lt => lhs < rhs,
+            CompareOp::Le => lhs <= rhs,
+            CompareOp::Eq => lhs == rhs,
+            CompareOp::Ne => lhs != rhs,
+            CompareOp::Ge => lhs >= rhs,
+            CompareOp::Gt => lhs > rhs,
+        }
+    }
+
+    /// Evaluates the predicate on a possibly-NULL value. NULL never satisfies a predicate.
+    pub fn eval_value(self, lhs: Value, rhs: i64) -> bool {
+        match lhs {
+            Value::Null => false,
+            Value::Int(v) => self.eval(v, rhs),
+        }
+    }
+
+    /// SQL rendering of the operator.
+    pub fn as_sql(self) -> &'static str {
+        match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Ge => ">=",
+            CompareOp::Gt => ">",
+        }
+    }
+
+    /// Parses an operator from its SQL text.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "<" => Some(CompareOp::Lt),
+            "<=" => Some(CompareOp::Le),
+            "=" | "==" => Some(CompareOp::Eq),
+            "<>" | "!=" => Some(CompareOp::Ne),
+            ">=" => Some(CompareOp::Ge),
+            ">" => Some(CompareOp::Gt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Null.as_int(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn compare_op_eval_covers_all_operators() {
+        assert!(CompareOp::Lt.eval(1, 2));
+        assert!(!CompareOp::Lt.eval(2, 2));
+        assert!(CompareOp::Le.eval(2, 2));
+        assert!(CompareOp::Eq.eval(5, 5));
+        assert!(CompareOp::Ne.eval(5, 6));
+        assert!(CompareOp::Ge.eval(6, 6));
+        assert!(CompareOp::Gt.eval(7, 6));
+        assert!(!CompareOp::Gt.eval(6, 6));
+    }
+
+    #[test]
+    fn null_never_satisfies_predicates() {
+        for op in CompareOp::ALL {
+            assert!(!op.eval_value(Value::Null, 0), "NULL must not satisfy {op}");
+        }
+    }
+
+    #[test]
+    fn operator_indices_are_unique_and_dense() {
+        let mut seen = vec![false; CompareOp::ALL.len()];
+        for op in CompareOp::ALL {
+            assert!(!seen[op.index()]);
+            seen[op.index()] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn sql_round_trip() {
+        for op in CompareOp::ALL {
+            assert_eq!(CompareOp::parse(op.as_sql()), Some(op));
+        }
+        assert_eq!(CompareOp::parse("!="), Some(CompareOp::Ne));
+        assert_eq!(CompareOp::parse("=="), Some(CompareOp::Eq));
+        assert_eq!(CompareOp::parse("like"), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(CompareOp::Ne.to_string(), "<>");
+    }
+
+    #[test]
+    fn dict_str_has_no_range_predicates() {
+        assert!(DataType::Int.supports_range_predicates());
+        assert!(!DataType::DictStr.supports_range_predicates());
+    }
+
+    #[test]
+    fn value_ordering_places_null_first() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(-1)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::Null, Value::Int(-1), Value::Int(3)]);
+    }
+}

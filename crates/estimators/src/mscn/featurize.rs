@@ -1,0 +1,385 @@
+//! MSCN featurization: queries as three sets of fixed-width vectors.
+//!
+//! Following Kipf et al. (the MSCN baseline the paper compares against, §4.1), a query is
+//! represented by three separate sets, each with its own vector format:
+//!
+//! * **table set** — one vector per FROM table: a one-hot table id, optionally followed by the
+//!   bitmap of materialized sample rows satisfying the query's predicates on that table (the
+//!   "MSCN with 1000 samples" variant, §6.6);
+//! * **join set** — one vector per join clause: a one-hot over the schema's possible join
+//!   edges;
+//! * **predicate set** — one vector per column predicate: a one-hot column id, a one-hot
+//!   operator id and the literal normalized into `[0, 1]` by the column's min/max.
+//!
+//! Unlike the CRN featurization (which deliberately uses one shared format for all three
+//! sets, paper §3.2.1), the three formats here have different widths — that difference is one
+//! of the things the `ablation_shared_format` experiment quantifies.
+
+use crn_db::database::Database;
+use crn_db::schema::ColumnRef;
+use crn_db::value::CompareOp;
+use crn_query::ast::{JoinClause, Query};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crn_exec::TableSamples;
+use crn_nn::Matrix;
+
+/// Materialized sample rows, stored column-wise per table so that the featurizer does not need
+/// to keep the database alive.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaterializedSamples {
+    /// Number of sample rows per table (tables smaller than this are fully included).
+    pub sample_size: usize,
+    /// `table -> column -> sampled values` (one entry per sampled row; `None` = NULL).
+    values: HashMap<String, HashMap<String, Vec<Option<i64>>>>,
+}
+
+impl MaterializedSamples {
+    /// Materializes `sample_size` random rows of every table.
+    pub fn new(db: &Database, sample_size: usize, seed: u64) -> Self {
+        let samples = TableSamples::new(db, sample_size, seed);
+        let mut values: HashMap<String, HashMap<String, Vec<Option<i64>>>> = HashMap::new();
+        for table in db.tables() {
+            let rows = samples.rows(table.name()).unwrap_or(&[]);
+            let mut per_column: HashMap<String, Vec<Option<i64>>> = HashMap::new();
+            for column_def in &table.def().columns {
+                let column = table.column(&column_def.name).expect("column exists");
+                let sampled = rows
+                    .iter()
+                    .map(|&row| column.get_int(row as usize))
+                    .collect();
+                per_column.insert(column_def.name.clone(), sampled);
+            }
+            values.insert(table.name().to_string(), per_column);
+        }
+        MaterializedSamples {
+            sample_size,
+            values,
+        }
+    }
+
+    /// Number of sample rows materialized for a table.
+    pub fn rows_for(&self, table: &str) -> usize {
+        self.values
+            .get(table)
+            .and_then(|cols| cols.values().next().map(|v| v.len()))
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the query's predicates on the samples of `table`, one bit per sample row.
+    pub fn bitmap(&self, query: &Query, table: &str) -> Vec<bool> {
+        let Some(columns) = self.values.get(table) else {
+            return Vec::new();
+        };
+        let num_rows = columns.values().next().map_or(0, |v| v.len());
+        let relevant: Vec<_> = query
+            .predicates()
+            .iter()
+            .filter(|p| p.column.table == table)
+            .collect();
+        (0..num_rows)
+            .map(|row| {
+                relevant.iter().all(|p| {
+                    columns
+                        .get(&p.column.column)
+                        .and_then(|vals| vals[row])
+                        .map(|v| p.op.eval(v, p.value))
+                        .unwrap_or(false)
+                })
+            })
+            .collect()
+    }
+}
+
+/// The MSCN featurizer: schema-derived dimensions plus column value ranges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MscnFeaturizer {
+    num_tables: usize,
+    num_columns: usize,
+    table_index: HashMap<String, usize>,
+    column_index: HashMap<(String, String), usize>,
+    column_ranges: HashMap<(String, String), (i64, i64)>,
+    /// Canonicalized possible join edges of the schema, in a stable order.
+    join_edges: Vec<JoinClause>,
+    /// Optional materialized samples (present only for the sample-enhanced variant).
+    samples: Option<MaterializedSamples>,
+    /// Width of the per-table sample bitmap (0 when samples are disabled).
+    sample_bits: usize,
+}
+
+impl MscnFeaturizer {
+    /// Builds a featurizer for the plain MSCN model.
+    pub fn new(db: &Database) -> Self {
+        Self::build(db, None)
+    }
+
+    /// Builds a featurizer for the sample-enhanced MSCN model (`MSCN with N samples`).
+    pub fn with_samples(db: &Database, sample_size: usize, seed: u64) -> Self {
+        Self::build(db, Some(MaterializedSamples::new(db, sample_size, seed)))
+    }
+
+    fn build(db: &Database, samples: Option<MaterializedSamples>) -> Self {
+        let schema = db.schema();
+        let mut table_index = HashMap::new();
+        let mut column_index = HashMap::new();
+        let mut column_ranges = HashMap::new();
+        for (t_idx, table) in schema.tables().iter().enumerate() {
+            table_index.insert(table.name.clone(), t_idx);
+            for column in &table.columns {
+                let column_ref = ColumnRef::new(&table.name, &column.name);
+                let global = schema
+                    .global_column_index(&column_ref)
+                    .expect("declared column");
+                column_index.insert((table.name.clone(), column.name.clone()), global);
+                if let Some(range) = db.column_min_max(&column_ref) {
+                    column_ranges.insert((table.name.clone(), column.name.clone()), range);
+                }
+            }
+        }
+        let join_edges = schema
+            .join_edges()
+            .into_iter()
+            .map(|(a, b)| JoinClause::new(a, b))
+            .collect();
+        let sample_bits = samples.as_ref().map_or(0, |s| s.sample_size);
+        MscnFeaturizer {
+            num_tables: schema.num_tables(),
+            num_columns: schema.num_columns(),
+            table_index,
+            column_index,
+            column_ranges,
+            join_edges,
+            samples,
+            sample_bits,
+        }
+    }
+
+    /// Width of a table-set vector.
+    pub fn table_dim(&self) -> usize {
+        self.num_tables + self.sample_bits
+    }
+
+    /// Width of a join-set vector.
+    pub fn join_dim(&self) -> usize {
+        self.join_edges.len().max(1)
+    }
+
+    /// Width of a predicate-set vector.
+    pub fn predicate_dim(&self) -> usize {
+        self.num_columns + CompareOp::ALL.len() + 1
+    }
+
+    /// Whether this featurizer attaches sample bitmaps.
+    pub fn uses_samples(&self) -> bool {
+        self.samples.is_some()
+    }
+
+    /// Featurizes a query into its three set matrices `(tables, joins, predicates)`.
+    ///
+    /// Empty sets produce a matrix with zero rows; the model's average pooling treats that as
+    /// an all-zero aggregate (the same convention MSCN's zero-padding achieves).
+    pub fn featurize(&self, query: &Query) -> MscnFeatures {
+        // Table set.
+        let mut table_rows = Vec::new();
+        for table in query.tables() {
+            let mut row = vec![0.0f32; self.table_dim()];
+            if let Some(&idx) = self.table_index.get(table) {
+                row[idx] = 1.0;
+            }
+            if let Some(samples) = &self.samples {
+                let bitmap = samples.bitmap(query, table);
+                for (i, bit) in bitmap.iter().enumerate().take(self.sample_bits) {
+                    row[self.num_tables + i] = if *bit { 1.0 } else { 0.0 };
+                }
+            }
+            table_rows.push(row);
+        }
+
+        // Join set.
+        let mut join_rows = Vec::new();
+        for join in query.joins() {
+            let mut row = vec![0.0f32; self.join_dim()];
+            if let Some(idx) = self.join_edges.iter().position(|edge| edge == join) {
+                row[idx] = 1.0;
+            }
+            join_rows.push(row);
+        }
+
+        // Predicate set.
+        let mut predicate_rows = Vec::new();
+        for predicate in query.predicates() {
+            let mut row = vec![0.0f32; self.predicate_dim()];
+            if let Some(&idx) = self
+                .column_index
+                .get(&(predicate.column.table.clone(), predicate.column.column.clone()))
+            {
+                row[idx] = 1.0;
+            }
+            row[self.num_columns + predicate.op.index()] = 1.0;
+            row[self.num_columns + CompareOp::ALL.len()] =
+                self.normalize_literal(&predicate.column, predicate.value);
+            predicate_rows.push(row);
+        }
+
+        MscnFeatures {
+            tables: rows_to_matrix(table_rows, self.table_dim()),
+            joins: rows_to_matrix(join_rows, self.join_dim()),
+            predicates: rows_to_matrix(predicate_rows, self.predicate_dim()),
+        }
+    }
+
+    /// Normalizes a literal into `[0, 1]` using the column's min/max (paper §3.2.1).
+    pub fn normalize_literal(&self, column: &ColumnRef, value: i64) -> f32 {
+        match self
+            .column_ranges
+            .get(&(column.table.clone(), column.column.clone()))
+        {
+            Some(&(lo, hi)) if hi > lo => {
+                (((value - lo) as f64 / (hi - lo) as f64).clamp(0.0, 1.0)) as f32
+            }
+            Some(_) => 0.5,
+            None => 0.5,
+        }
+    }
+}
+
+/// The featurized query: one matrix per set, rows are set elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MscnFeatures {
+    /// Table-set vectors, `(|T|, table_dim)`.
+    pub tables: Matrix,
+    /// Join-set vectors, `(|J|, join_dim)`.
+    pub joins: Matrix,
+    /// Predicate-set vectors, `(|P|, predicate_dim)`.
+    pub predicates: Matrix,
+}
+
+fn rows_to_matrix(rows: Vec<Vec<f32>>, width: usize) -> Matrix {
+    let height = rows.len();
+    let mut data = Vec::with_capacity(height * width);
+    for row in rows {
+        debug_assert_eq!(row.len(), width);
+        data.extend(row);
+    }
+    Matrix::from_vec(height, width, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+    use crn_db::value::CompareOp;
+    use crn_query::ast::{JoinClause, Predicate};
+
+    fn db() -> Database {
+        generate_imdb(&ImdbConfig::tiny(5))
+    }
+
+    fn join_query() -> Query {
+        Query::new(
+            [tables::TITLE.to_string(), tables::MOVIE_COMPANIES.to_string()],
+            [JoinClause::new(
+                ColumnRef::new(tables::TITLE, "id"),
+                ColumnRef::new(tables::MOVIE_COMPANIES, "movie_id"),
+            )],
+            [Predicate::new(
+                ColumnRef::new(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                2000,
+            )],
+        )
+    }
+
+    #[test]
+    fn dimensions_follow_schema() {
+        let db = db();
+        let feat = MscnFeaturizer::new(&db);
+        assert_eq!(feat.table_dim(), 6);
+        assert_eq!(feat.join_dim(), 5);
+        // 26 columns + 6 operators + 1 literal slot.
+        assert_eq!(feat.predicate_dim(), db.schema().num_columns() + 7);
+        assert!(!feat.uses_samples());
+    }
+
+    #[test]
+    fn featurization_shapes_match_query_sets() {
+        let db = db();
+        let feat = MscnFeaturizer::new(&db);
+        let features = feat.featurize(&join_query());
+        assert_eq!(features.tables.rows(), 2);
+        assert_eq!(features.joins.rows(), 1);
+        assert_eq!(features.predicates.rows(), 1);
+        // Exactly one non-zero entry per table one-hot.
+        for r in 0..features.tables.rows() {
+            let non_zero = features.tables.row(r).iter().filter(|&&v| v != 0.0).count();
+            assert_eq!(non_zero, 1);
+        }
+        // Join one-hot has exactly one bit set.
+        assert_eq!(features.joins.row(0).iter().filter(|&&v| v != 0.0).count(), 1);
+        // Predicate vector: column one-hot + op one-hot + normalized literal.
+        let row = features.predicates.row(0);
+        let ones = row.iter().filter(|&&v| v == 1.0).count();
+        assert!(ones >= 2, "column and operator one-hots set");
+        let literal = row[feat.predicate_dim() - 1];
+        assert!((0.0..=1.0).contains(&literal));
+    }
+
+    #[test]
+    fn scan_without_predicates_produces_empty_sets() {
+        let db = db();
+        let feat = MscnFeaturizer::new(&db);
+        let features = feat.featurize(&Query::scan(tables::TITLE));
+        assert_eq!(features.tables.rows(), 1);
+        assert_eq!(features.joins.rows(), 0);
+        assert_eq!(features.predicates.rows(), 0);
+    }
+
+    #[test]
+    fn literal_normalization_uses_column_range() {
+        let db = db();
+        let feat = MscnFeaturizer::new(&db);
+        let column = ColumnRef::new(tables::TITLE, "production_year");
+        let (lo, hi) = db.column_min_max(&column).unwrap();
+        assert_eq!(feat.normalize_literal(&column, lo), 0.0);
+        assert_eq!(feat.normalize_literal(&column, hi), 1.0);
+        let mid = feat.normalize_literal(&column, (lo + hi) / 2);
+        assert!(mid > 0.3 && mid < 0.7);
+        // Unknown columns fall back to the midpoint.
+        assert_eq!(feat.normalize_literal(&ColumnRef::new("x", "y"), 3), 0.5);
+    }
+
+    #[test]
+    fn sample_bitmaps_extend_table_vectors() {
+        let db = db();
+        let feat = MscnFeaturizer::with_samples(&db, 32, 3);
+        assert!(feat.uses_samples());
+        assert_eq!(feat.table_dim(), 6 + 32);
+        let features = feat.featurize(&join_query());
+        assert_eq!(features.tables.cols(), 38);
+        // The title row's bitmap should have some zero and some one entries for a selective
+        // predicate (production_year > 2000 filters part of the sample).
+        let title_row_index = 1; // BTreeSet order: movie_companies < title
+        let bits: Vec<f32> = features.tables.row(title_row_index)[6..].to_vec();
+        assert!(bits.iter().any(|&b| b == 1.0));
+        assert!(bits.iter().any(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn materialized_samples_bitmap_semantics() {
+        let db = db();
+        let samples = MaterializedSamples::new(&db, 16, 9);
+        assert_eq!(samples.rows_for(tables::TITLE), 16);
+        assert_eq!(samples.rows_for("unknown"), 0);
+        // A predicate-free query matches every sample row.
+        let bitmap = samples.bitmap(&Query::scan(tables::TITLE), tables::TITLE);
+        assert!(bitmap.iter().all(|&b| b));
+        // An impossible predicate matches none.
+        let impossible = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(ColumnRef::new(tables::TITLE, "kind_id"), CompareOp::Gt, 1000)],
+        );
+        assert!(samples.bitmap(&impossible, tables::TITLE).iter().all(|&b| !b));
+    }
+}

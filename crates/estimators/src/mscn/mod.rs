@@ -1,0 +1,7 @@
+//! The MSCN learned cardinality estimator (baseline), plus its sample-enhanced variant.
+
+pub mod featurize;
+pub mod model;
+
+pub use featurize::{MaterializedSamples, MscnFeaturizer, MscnFeatures};
+pub use model::MscnModel;

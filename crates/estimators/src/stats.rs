@@ -1,0 +1,254 @@
+//! Database profiling statistics, in the style of PostgreSQL's `pg_statistic`.
+//!
+//! The PostgreSQL baseline in the paper (§4.1, §6) estimates cardinalities from per-column
+//! statistics collected by `ANALYZE`: null fraction, number of distinct values, the most
+//! common values (MCV) with their frequencies, and an equi-depth histogram of the remaining
+//! values.  This module collects the same statistics from the in-memory database.
+
+use crn_db::column::Column;
+use crn_db::database::Database;
+use crn_db::schema::ColumnRef;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Statistics of a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Total number of rows in the table.
+    pub row_count: usize,
+    /// Fraction of NULL values.
+    pub null_fraction: f64,
+    /// Number of distinct non-NULL values.
+    pub n_distinct: usize,
+    /// Minimum non-NULL value (if any non-NULL value exists).
+    pub min: Option<i64>,
+    /// Maximum non-NULL value.
+    pub max: Option<i64>,
+    /// Most common values with their frequencies (fraction of all rows), most frequent first.
+    pub most_common: Vec<(i64, f64)>,
+    /// Equi-depth histogram bucket boundaries over the values *not* covered by the MCV list.
+    /// `bounds[0]` is the minimum, `bounds[len-1]` the maximum; each bucket holds roughly the
+    /// same number of rows.
+    pub histogram_bounds: Vec<i64>,
+}
+
+/// Parameters controlling statistics collection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatsConfig {
+    /// Number of most-common-value entries kept per column (PostgreSQL's default is 100).
+    pub mcv_entries: usize,
+    /// Number of histogram buckets (PostgreSQL's default is 100).
+    pub histogram_buckets: usize,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            mcv_entries: 100,
+            histogram_buckets: 100,
+        }
+    }
+}
+
+impl ColumnStats {
+    /// Collects statistics from a column.
+    pub fn collect(column: &Column, config: &StatsConfig) -> Self {
+        let row_count = column.len();
+        let null_count = column.null_count();
+        let null_fraction = if row_count == 0 {
+            0.0
+        } else {
+            null_count as f64 / row_count as f64
+        };
+
+        // Value frequency map over non-NULL values.
+        let mut frequencies: BTreeMap<i64, usize> = BTreeMap::new();
+        for (_, v) in column.iter_valid() {
+            *frequencies.entry(v).or_insert(0) += 1;
+        }
+        let n_distinct = frequencies.len();
+        let min = frequencies.keys().next().copied();
+        let max = frequencies.keys().next_back().copied();
+
+        // Most common values: keep the top-k by frequency, but only those that appear more
+        // than once (singletons carry no more information than the histogram).
+        let mut by_freq: Vec<(i64, usize)> = frequencies.iter().map(|(&v, &c)| (v, c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let most_common: Vec<(i64, f64)> = by_freq
+            .iter()
+            .take(config.mcv_entries)
+            .filter(|(_, count)| *count > 1)
+            .map(|(v, count)| (*v, *count as f64 / row_count.max(1) as f64))
+            .collect();
+        let mcv_set: HashMap<i64, ()> = most_common.iter().map(|(v, _)| (*v, ())).collect();
+
+        // Equi-depth histogram over the remaining values.
+        let mut rest: Vec<i64> = Vec::new();
+        for (&value, &count) in &frequencies {
+            if mcv_set.contains_key(&value) {
+                continue;
+            }
+            rest.extend(std::iter::repeat(value).take(count));
+        }
+        let histogram_bounds = equi_depth_bounds(&rest, config.histogram_buckets);
+
+        ColumnStats {
+            row_count,
+            null_fraction,
+            n_distinct,
+            min,
+            max,
+            most_common,
+            histogram_bounds,
+        }
+    }
+
+    /// Total fraction of rows covered by the MCV list.
+    pub fn mcv_fraction(&self) -> f64 {
+        self.most_common.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Fraction of rows not covered by MCVs and not NULL (i.e. covered by the histogram).
+    pub fn histogram_fraction(&self) -> f64 {
+        (1.0 - self.null_fraction - self.mcv_fraction()).max(0.0)
+    }
+
+    /// Number of distinct values not covered by the MCV list.
+    pub fn non_mcv_distinct(&self) -> usize {
+        self.n_distinct.saturating_sub(self.most_common.len())
+    }
+}
+
+/// Computes equi-depth histogram bucket boundaries over a sorted multiset of values.
+fn equi_depth_bounds(sorted_values: &[i64], buckets: usize) -> Vec<i64> {
+    if sorted_values.is_empty() || buckets == 0 {
+        return Vec::new();
+    }
+    let buckets = buckets.min(sorted_values.len());
+    let mut bounds = Vec::with_capacity(buckets + 1);
+    for i in 0..=buckets {
+        let index = (i * (sorted_values.len() - 1)) / buckets;
+        bounds.push(sorted_values[index]);
+    }
+    bounds.dedup();
+    bounds
+}
+
+/// Statistics for every column of every table, plus table row counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DatabaseStats {
+    /// Per-table row counts.
+    pub table_rows: HashMap<String, usize>,
+    /// Per-column statistics keyed by `(table, column)`.
+    pub columns: HashMap<(String, String), ColumnStats>,
+}
+
+impl DatabaseStats {
+    /// Profiles the whole database (the equivalent of running `ANALYZE`).
+    pub fn collect(db: &Database, config: &StatsConfig) -> Self {
+        let mut table_rows = HashMap::new();
+        let mut columns = HashMap::new();
+        for table in db.tables() {
+            table_rows.insert(table.name().to_string(), table.row_count());
+            for column_def in &table.def().columns {
+                let column = table
+                    .column(&column_def.name)
+                    .expect("declared column exists");
+                columns.insert(
+                    (table.name().to_string(), column_def.name.clone()),
+                    ColumnStats::collect(column, config),
+                );
+            }
+        }
+        DatabaseStats {
+            table_rows,
+            columns,
+        }
+    }
+
+    /// Row count of a table (0 if unknown).
+    pub fn rows(&self, table: &str) -> usize {
+        self.table_rows.get(table).copied().unwrap_or(0)
+    }
+
+    /// Statistics of a column, if collected.
+    pub fn column(&self, column: &ColumnRef) -> Option<&ColumnStats> {
+        self.columns
+            .get(&(column.table.clone(), column.column.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+
+    #[test]
+    fn column_stats_basic_quantities() {
+        let mut column = Column::new();
+        for v in [1, 1, 1, 2, 2, 3, 4, 5] {
+            column.push(v);
+        }
+        column.push_null();
+        let stats = ColumnStats::collect(&column, &StatsConfig::default());
+        assert_eq!(stats.row_count, 9);
+        assert_eq!(stats.n_distinct, 5);
+        assert_eq!(stats.min, Some(1));
+        assert_eq!(stats.max, Some(5));
+        assert!((stats.null_fraction - 1.0 / 9.0).abs() < 1e-12);
+        // MCVs: 1 (3x) and 2 (2x); singletons are excluded.
+        assert_eq!(stats.most_common.len(), 2);
+        assert_eq!(stats.most_common[0].0, 1);
+        assert!((stats.most_common[0].1 - 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(stats.non_mcv_distinct(), 3);
+        assert!(stats.histogram_fraction() > 0.0);
+    }
+
+    #[test]
+    fn empty_column_produces_empty_stats() {
+        let column = Column::new();
+        let stats = ColumnStats::collect(&column, &StatsConfig::default());
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.n_distinct, 0);
+        assert_eq!(stats.min, None);
+        assert!(stats.most_common.is_empty());
+        assert!(stats.histogram_bounds.is_empty());
+    }
+
+    #[test]
+    fn equi_depth_bounds_are_monotone() {
+        let values: Vec<i64> = (0..1000).map(|i| i % 97).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let bounds = equi_depth_bounds(&sorted, 10);
+        assert!(bounds.len() >= 2);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 96);
+    }
+
+    #[test]
+    fn database_stats_cover_all_columns() {
+        let db = generate_imdb(&ImdbConfig::tiny(17));
+        let stats = DatabaseStats::collect(&db, &StatsConfig::default());
+        assert_eq!(stats.rows(tables::TITLE), db.table(tables::TITLE).unwrap().row_count());
+        let total_columns: usize = db.schema().tables().iter().map(|t| t.columns.len()).sum();
+        assert_eq!(stats.columns.len(), total_columns);
+        let year = stats
+            .column(&ColumnRef::new(tables::TITLE, "production_year"))
+            .unwrap();
+        assert!(year.null_fraction > 0.0, "production_year has NULLs");
+        assert!(year.n_distinct > 10);
+        assert!(stats.column(&ColumnRef::new(tables::TITLE, "missing")).is_none());
+    }
+
+    #[test]
+    fn mcv_fraction_never_exceeds_one() {
+        let db = generate_imdb(&ImdbConfig::tiny(19));
+        let stats = DatabaseStats::collect(&db, &StatsConfig::default());
+        for stat in stats.columns.values() {
+            assert!(stat.mcv_fraction() <= 1.0 + 1e-9);
+            assert!(stat.histogram_fraction() >= 0.0);
+        }
+    }
+}

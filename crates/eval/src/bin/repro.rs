@@ -1,0 +1,128 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all [--preset tiny|small|paper] [--markdown <path>]
+//! repro <experiment-id> [<experiment-id> ...] [--preset ...]
+//! repro list
+//! ```
+//!
+//! Experiment ids are the ones listed in DESIGN.md (`table2`–`table15`, `fig3`–`fig13`,
+//! `ablation_crn`, `ablation_final_fn`).  The output is the same set of rows/series the paper
+//! reports; absolute numbers differ (different database instance and scale), the *shape* is
+//! what should be compared.
+
+use crn_eval::{run_experiment, ExperimentConfig, ExperimentContext, ALL_EXPERIMENTS};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut experiment_ids: Vec<String> = Vec::new();
+    let mut preset = "small".to_string();
+    let mut markdown_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--preset" => {
+                preset = iter.next().unwrap_or_else(|| {
+                    eprintln!("--preset requires a value (tiny|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--markdown" => {
+                markdown_path = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--markdown requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => experiment_ids.push(other.to_string()),
+        }
+    }
+
+    let config = match preset.as_str() {
+        "tiny" => ExperimentConfig::tiny(),
+        "small" => ExperimentConfig::small(),
+        "paper" => ExperimentConfig::paper(),
+        other => {
+            eprintln!("unknown preset {other}; expected tiny, small or paper");
+            std::process::exit(2);
+        }
+    };
+
+    let ids: Vec<String> = if experiment_ids.iter().any(|id| id == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        experiment_ids
+    };
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str())
+            && !matches!(id.as_str(), "fig5" | "fig6" | "fig9" | "fig10" | "fig11" | "fig12")
+        {
+            eprintln!("unknown experiment id: {id} (use `repro list`)");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("[repro] building experiment context (preset: {preset}) ...");
+    let started = Instant::now();
+    let ctx = ExperimentContext::build(config);
+    eprintln!(
+        "[repro] context ready in {:.1}s: {} training pairs, {} MSCN samples, pool of {} queries",
+        started.elapsed().as_secs_f64(),
+        ctx.containment_training.len(),
+        ctx.cardinality_training.len(),
+        ctx.pool.len()
+    );
+
+    let mut markdown = String::new();
+    for id in &ids {
+        let experiment_start = Instant::now();
+        match run_experiment(&ctx, id) {
+            Some(report) => {
+                println!("{}", report.render_text());
+                eprintln!(
+                    "[repro] {id} finished in {:.1}s",
+                    experiment_start.elapsed().as_secs_f64()
+                );
+                markdown.push_str(&report.render_markdown());
+                markdown.push('\n');
+            }
+            None => eprintln!("[repro] skipping unknown experiment {id}"),
+        }
+    }
+
+    if let Some(path) = markdown_path {
+        let mut file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        file.write_all(markdown.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[repro] wrote markdown report to {path}");
+    }
+    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] [--markdown <path>]");
+    eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
+}

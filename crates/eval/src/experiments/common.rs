@@ -1,0 +1,133 @@
+//! Shared evaluation helpers used by every experiment.
+
+use crate::metrics::{q_errors, ModelErrors, CARDINALITY_FLOOR, RATE_FLOOR};
+use crate::workloads::{PairWorkload, Workload};
+use crn_db::database::Database;
+use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
+use crn_exec::Executor;
+use std::time::Instant;
+
+/// Ground truth for a cardinality workload plus per-query join counts.
+#[derive(Debug, Clone)]
+pub struct CardinalityGroundTruth {
+    /// True cardinality per workload query.
+    pub cardinalities: Vec<u64>,
+    /// Join count per workload query.
+    pub join_counts: Vec<usize>,
+}
+
+/// Executes every query of a workload to obtain the ground truth.
+pub fn cardinality_ground_truth(db: &Database, workload: &Workload) -> CardinalityGroundTruth {
+    let executor = Executor::new(db);
+    let cardinalities = workload
+        .queries
+        .iter()
+        .map(|q| executor.cardinality(q))
+        .collect();
+    let join_counts = workload.queries.iter().map(|q| q.num_joins()).collect();
+    CardinalityGroundTruth {
+        cardinalities,
+        join_counts,
+    }
+}
+
+/// Evaluates a cardinality estimator over a workload against pre-computed ground truth,
+/// returning one q-error per query.
+pub fn evaluate_cardinality_model(
+    model: &dyn CardinalityEstimator,
+    workload: &Workload,
+    truth: &CardinalityGroundTruth,
+) -> ModelErrors {
+    let pairs: Vec<(f64, f64)> = workload
+        .queries
+        .iter()
+        .zip(&truth.cardinalities)
+        .map(|(query, &card)| (model.estimate(query), card as f64))
+        .collect();
+    ModelErrors::new(model.name().to_string(), q_errors(&pairs, CARDINALITY_FLOOR))
+}
+
+/// Measures the average prediction latency of a cardinality estimator over a workload,
+/// in milliseconds per query.
+pub fn average_prediction_time_ms(
+    model: &dyn CardinalityEstimator,
+    workload: &Workload,
+) -> f64 {
+    if workload.is_empty() {
+        return 0.0;
+    }
+    let start = Instant::now();
+    for query in &workload.queries {
+        std::hint::black_box(model.estimate(query));
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / workload.len() as f64
+}
+
+/// Ground truth for a containment workload.
+#[derive(Debug, Clone)]
+pub struct ContainmentGroundTruth {
+    /// True containment rate per pair.
+    pub rates: Vec<f64>,
+    /// Join count of the first query of each pair.
+    pub join_counts: Vec<usize>,
+}
+
+/// Executes every pair of a containment workload to obtain true containment rates.
+pub fn containment_ground_truth(db: &Database, workload: &PairWorkload) -> ContainmentGroundTruth {
+    let executor = Executor::new(db);
+    let rates = workload
+        .pairs
+        .iter()
+        .map(|(q1, q2)| executor.containment_rate(q1, q2).unwrap_or(0.0))
+        .collect();
+    let join_counts = workload.pairs.iter().map(|(q1, _)| q1.num_joins()).collect();
+    ContainmentGroundTruth { rates, join_counts }
+}
+
+/// Evaluates a containment estimator over a pair workload against pre-computed ground truth.
+pub fn evaluate_containment_model(
+    model: &dyn ContainmentEstimator,
+    workload: &PairWorkload,
+    truth: &ContainmentGroundTruth,
+) -> ModelErrors {
+    let pairs: Vec<(f64, f64)> = workload
+        .pairs
+        .iter()
+        .zip(&truth.rates)
+        .map(|((q1, q2), &rate)| (model.estimate_containment(q1, q2), rate))
+        .collect();
+    ModelErrors::new(model.name().to_string(), q_errors(&pairs, RATE_FLOOR))
+}
+
+/// Builds the boolean mask selecting queries with join count in `lo..=hi`.
+pub fn join_mask(join_counts: &[usize], lo: usize, hi: usize) -> Vec<bool> {
+    join_counts.iter().map(|&j| j >= lo && j <= hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{crd_test1, WorkloadSizes};
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use crn_estimators::TrueCardinality;
+
+    #[test]
+    fn oracle_has_q_error_one_everywhere() {
+        let db = generate_imdb(&ImdbConfig::tiny(80));
+        let workload = crd_test1(&db, &WorkloadSizes::tiny(), 80);
+        let truth = cardinality_ground_truth(&db, &workload);
+        let oracle = TrueCardinality::new(&db);
+        let errors = evaluate_cardinality_model(&oracle, &workload, &truth);
+        assert_eq!(errors.errors.len(), workload.len());
+        assert!(errors.errors.iter().all(|&e| (e - 1.0).abs() < 1e-9));
+        let time = average_prediction_time_ms(&oracle, &workload);
+        assert!(time >= 0.0);
+    }
+
+    #[test]
+    fn join_mask_selects_expected_range() {
+        let joins = vec![0, 1, 2, 3, 4, 5];
+        assert_eq!(join_mask(&joins, 3, 5), vec![false, false, false, true, true, true]);
+        assert_eq!(join_mask(&joins, 0, 0), vec![true, false, false, false, false, false]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Evaluation metrics: q-error distributions and their percentile summaries.
+//!
+//! Every evaluation table of the paper reports the same seven quantities over a workload's
+//! q-errors: the 50th/75th/90th/95th/99th percentiles, the maximum and the mean (§4.3,
+//! "Table 3: ... we provide the percentiles, maximum, and the mean q-errors of the tests").
+
+use crn_nn::q_error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The floor applied to cardinalities before forming the q-error (at least one row).
+pub const CARDINALITY_FLOOR: f64 = 1.0;
+
+/// The floor applied to containment rates before forming the q-error (1%, matching the
+/// training floor of the CRN model).
+pub const RATE_FLOOR: f64 = 0.01;
+
+/// Summary of a q-error distribution, in the paper's reporting format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QErrorSummary {
+    /// Number of evaluated queries/pairs.
+    pub count: usize,
+    /// 50th percentile (median).
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum q-error.
+    pub max: f64,
+    /// Mean q-error.
+    pub mean: f64,
+}
+
+impl QErrorSummary {
+    /// Summarizes a list of q-errors.
+    ///
+    /// Returns a zeroed summary when the list is empty.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return QErrorSummary {
+                count: 0,
+                p50: 0.0,
+                p75: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+        let percentile = |p: f64| -> f64 {
+            // The p'th percentile is "the q-error value below which p% of the test q-errors
+            // are found" (paper, Table 3 caption); nearest-rank on the sorted list.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        QErrorSummary {
+            count: sorted.len(),
+            p50: percentile(50.0),
+            p75: percentile(75.0),
+            p90: percentile(90.0),
+            p95: percentile(95.0),
+            p99: percentile(99.0),
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+
+    /// Computes the summary of q-errors for `(estimate, truth)` pairs with the given floor.
+    pub fn from_pairs(pairs: &[(f64, f64)], floor: f64) -> Self {
+        let errors: Vec<f64> = pairs.iter().map(|&(e, t)| q_error(e, t, floor)).collect();
+        QErrorSummary::from_errors(&errors)
+    }
+}
+
+impl fmt::Display for QErrorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2} {:>12.2} {:>10.2}",
+            self.p50, self.p75, self.p90, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// The q-errors of one model over one workload (kept raw so tables and plots can re-aggregate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelErrors {
+    /// Model name as it should appear in the table row.
+    pub model: String,
+    /// One q-error per evaluated query or pair, in workload order.
+    pub errors: Vec<f64>,
+}
+
+impl ModelErrors {
+    /// Creates the record from raw errors.
+    pub fn new(model: impl Into<String>, errors: Vec<f64>) -> Self {
+        ModelErrors {
+            model: model.into(),
+            errors,
+        }
+    }
+
+    /// Summary of the stored errors.
+    pub fn summary(&self) -> QErrorSummary {
+        QErrorSummary::from_errors(&self.errors)
+    }
+
+    /// Summary restricted to the positions selected by `mask` (e.g. "only 3–5 join queries",
+    /// Table 8).
+    pub fn summary_where(&self, mask: &[bool]) -> QErrorSummary {
+        assert_eq!(mask.len(), self.errors.len(), "mask length mismatch");
+        let selected: Vec<f64> = self
+            .errors
+            .iter()
+            .zip(mask)
+            .filter(|(_, &keep)| keep)
+            .map(|(&e, _)| e)
+            .collect();
+        QErrorSummary::from_errors(&selected)
+    }
+
+    /// Median of the selected subset (used by the per-join-count breakdown, Figure 11).
+    pub fn median_where(&self, mask: &[bool]) -> f64 {
+        self.summary_where(mask).p50
+    }
+
+    /// Mean of the selected subset (used by the per-join-count breakdown, Table 9).
+    pub fn mean_where(&self, mask: &[bool]) -> f64 {
+        self.summary_where(mask).mean
+    }
+}
+
+/// Computes q-errors for a batch of `(estimate, truth)` pairs.
+pub fn q_errors(pairs: &[(f64, f64)], floor: f64) -> Vec<f64> {
+    pairs.iter().map(|&(e, t)| q_error(e, t, floor)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = QErrorSummary::from_errors(&errors);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p75, 75.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_and_single_lists() {
+        let empty = QErrorSummary::from_errors(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0.0);
+        let single = QErrorSummary::from_errors(&[7.0]);
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p99, 7.0);
+        assert_eq!(single.mean, 7.0);
+    }
+
+    #[test]
+    fn summary_from_pairs_applies_floor() {
+        let pairs = [(10.0, 10.0), (1.0, 100.0), (0.0, 5.0)];
+        let s = QErrorSummary::from_pairs(&pairs, 1.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn model_errors_masking() {
+        let m = ModelErrors::new("X", vec![1.0, 10.0, 2.0, 20.0]);
+        let mask = [true, false, true, false];
+        let s = m.summary_where(&mask);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 2.0);
+        // Nearest-rank median of two elements is the lower one.
+        assert_eq!(m.median_where(&mask), 1.0);
+        assert!((m.mean_where(&mask) - 1.5).abs() < 1e-9);
+        assert_eq!(m.summary().count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn mask_length_is_checked() {
+        let m = ModelErrors::new("X", vec![1.0]);
+        let _ = m.summary_where(&[true, false]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let errors: Vec<f64> = (0..137).map(|i| ((i * 37) % 91) as f64 + 1.0).collect();
+        let s = QErrorSummary::from_errors(&errors);
+        assert!(s.p50 <= s.p75 && s.p75 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(s.mean >= 1.0);
+    }
+}

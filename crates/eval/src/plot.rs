@@ -1,0 +1,187 @@
+//! ASCII rendering of the paper's box plots.
+//!
+//! Figures 5, 6, 9, 10, 12 and 13 of the paper are box-and-whisker plots of q-error
+//! distributions: "the box boundaries are at the 25th/75th percentiles and the horizontal
+//! lines mark the 5th/95th percentiles ... the orange horizontal line marks the 50th
+//! percentile" (Figure 5's caption).  This module renders the same plots as text, on a
+//! logarithmic q-error axis, so the `repro` binary can reproduce the figures (not only the
+//! tables) in a terminal.
+
+use crate::metrics::ModelErrors;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The five quantiles a box plot needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// 5th percentile (lower whisker).
+    pub p5: f64,
+    /// 25th percentile (lower box boundary).
+    pub p25: f64,
+    /// 50th percentile (median line).
+    pub p50: f64,
+    /// 75th percentile (upper box boundary).
+    pub p75: f64,
+    /// 95th percentile (upper whisker).
+    pub p95: f64,
+}
+
+impl BoxStats {
+    /// Computes the box statistics of a q-error list (nearest-rank percentiles).
+    ///
+    /// Returns `None` when the list is empty.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+        let percentile = |p: f64| -> f64 {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(BoxStats {
+            p5: percentile(5.0),
+            p25: percentile(25.0),
+            p50: percentile(50.0),
+            p75: percentile(75.0),
+            p95: percentile(95.0),
+        })
+    }
+}
+
+/// Renders one box plot per model over a shared logarithmic q-error axis.
+///
+/// The output looks like:
+///
+/// ```text
+/// q-error (log scale)   1        10       100      1e3      1e4
+/// PostgreSQL            |----[=====M========]----------|
+/// MSCN                  |-[==M===]-----|
+/// ```
+pub fn render_box_plots(title: &str, models: &[ModelErrors], width: usize) -> String {
+    let width = width.max(30);
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {title} (box: 25th-75th pct, M: median, whiskers: 5th/95th pct; log q-error axis)");
+
+    let stats: Vec<(String, Option<BoxStats>)> = models
+        .iter()
+        .map(|m| (m.model.clone(), BoxStats::from_errors(&m.errors)))
+        .collect();
+    // Global axis bounds over all models, in log10 space; q-errors are >= 1.
+    let mut max_value: f64 = 10.0;
+    for (_, s) in stats.iter().flat_map(|(n, s)| s.map(|s| (n, s))) {
+        max_value = max_value.max(s.p95);
+    }
+    let log_max = max_value.log10().ceil().max(1.0);
+    let to_column = |value: f64| -> usize {
+        let clamped = value.max(1.0).log10() / log_max;
+        ((clamped * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+
+    let label_width = stats.iter().map(|(n, _)| n.len()).max().unwrap_or(8).max(8) + 2;
+
+    // Axis line with decade tick marks.
+    let mut axis = vec![' '; width];
+    let mut ticks = String::new();
+    for decade in 0..=(log_max as usize) {
+        let column = to_column(10f64.powi(decade as i32));
+        axis[column] = '+';
+        let label = if decade == 0 {
+            "1".to_string()
+        } else {
+            format!("1e{decade}")
+        };
+        let _ = write!(ticks, "{label}@{column} ");
+    }
+    let _ = writeln!(out, "{:label_width$}{}", "q-error", axis.iter().collect::<String>());
+    let _ = writeln!(out, "{:label_width$}(ticks at {})", "", ticks.trim_end());
+
+    for (name, stats) in &stats {
+        let mut row = vec![' '; width];
+        match stats {
+            Some(s) => {
+                let (w_lo, b_lo, med, b_hi, w_hi) = (
+                    to_column(s.p5),
+                    to_column(s.p25),
+                    to_column(s.p50),
+                    to_column(s.p75),
+                    to_column(s.p95),
+                );
+                for cell in row.iter_mut().take(w_hi + 1).skip(w_lo) {
+                    *cell = '-';
+                }
+                for cell in row.iter_mut().take(b_hi + 1).skip(b_lo) {
+                    *cell = '=';
+                }
+                row[w_lo] = '|';
+                row[w_hi] = '|';
+                row[b_lo] = '[';
+                row[b_hi] = ']';
+                row[med] = 'M';
+            }
+            None => {
+                let message = "(no data)";
+                for (cell, ch) in row.iter_mut().zip(message.chars()) {
+                    *cell = ch;
+                }
+            }
+        }
+        let _ = writeln!(out, "{name:<label_width$}{}", row.iter().collect::<String>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric_errors(ratio: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| ratio.powi(i as i32 % 7)).collect()
+    }
+
+    #[test]
+    fn box_stats_are_ordered() {
+        let errors = geometric_errors(3.0, 200);
+        let stats = BoxStats::from_errors(&errors).unwrap();
+        assert!(stats.p5 <= stats.p25);
+        assert!(stats.p25 <= stats.p50);
+        assert!(stats.p50 <= stats.p75);
+        assert!(stats.p75 <= stats.p95);
+        assert!(BoxStats::from_errors(&[]).is_none());
+        let single = BoxStats::from_errors(&[4.0]).unwrap();
+        assert_eq!(single.p5, 4.0);
+        assert_eq!(single.p95, 4.0);
+    }
+
+    #[test]
+    fn rendering_contains_every_model_and_markers() {
+        let models = vec![
+            ModelErrors::new("PostgreSQL", geometric_errors(10.0, 100)),
+            ModelErrors::new("CRN", geometric_errors(2.0, 100)),
+            ModelErrors::new("Empty", vec![]),
+        ];
+        let plot = render_box_plots("Figure 5", &models, 60);
+        assert!(plot.contains("PostgreSQL"));
+        assert!(plot.contains("CRN"));
+        assert!(plot.contains("(no data)"));
+        assert!(plot.contains('M'));
+        assert!(plot.contains('['));
+        assert!(plot.contains("Figure 5"));
+        // Every non-header line is bounded by the label width plus the plot width.
+        for line in plot.lines().skip(1) {
+            assert!(line.len() <= 12 + 2 + 120, "line too long: {line}");
+        }
+    }
+
+    #[test]
+    fn wider_distributions_produce_wider_boxes() {
+        let narrow = ModelErrors::new("narrow", geometric_errors(1.5, 200));
+        let wide = ModelErrors::new("wide", geometric_errors(20.0, 200));
+        let plot = render_box_plots("cmp", &[narrow, wide], 80);
+        let narrow_line = plot.lines().find(|l| l.starts_with("narrow")).unwrap();
+        let wide_line = plot.lines().find(|l| l.starts_with("wide")).unwrap();
+        let box_width = |line: &str| line.matches('=').count() + line.matches('[').count();
+        assert!(box_width(wide_line) > box_width(narrow_line));
+    }
+}

@@ -1,0 +1,446 @@
+//! Query execution: exact cardinalities and containment rates.
+//!
+//! The paper needs two ground-truth quantities from the database (both obtained by actually
+//! executing queries on the IMDb snapshot, §3.1.2 and §4.1.2):
+//!
+//! * the result cardinality `|Q|` of a conjunctive query, and
+//! * the containment rate `Q1 ⊂% Q2 = |Q1 ∩ Q2| / |Q1|` of a pair of queries with identical
+//!   FROM clauses (§2).
+//!
+//! All queries produced by the generators have **acyclic (tree-shaped) join graphs** — a
+//! spanning tree over the chosen tables — so cardinalities can be computed without
+//! materializing join results, by dynamic programming over the join tree ("message passing"):
+//! each table row is annotated with the number of join-tree combinations below it, and the
+//! counts are aggregated bottom-up through hash maps on the join keys.  This is exact and runs
+//! in time linear in the table sizes, which is what makes labelling tens of thousands of
+//! training pairs feasible.  A naive tuple-materializing executor is kept (and cross-checked in
+//! tests) for verification.
+
+use crate::filter::filter_table;
+use crn_db::database::Database;
+use crn_db::schema::ColumnRef;
+use crn_db::table::Table;
+use crn_query::ast::{JoinClause, Predicate, Query};
+use std::collections::HashMap;
+
+/// Exact query executor over a database snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(db: &'a Database) -> Self {
+        Executor { db }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Computes the exact result cardinality of a conjunctive query.
+    ///
+    /// Joins must form a forest (no cycles); disconnected components contribute a Cartesian
+    /// product, as SQL semantics dictate.
+    ///
+    /// # Panics
+    /// Panics if the query references tables or columns missing from the database, or if the
+    /// join graph contains a cycle (the generators never produce either).
+    pub fn cardinality(&self, query: &Query) -> u64 {
+        let tables: Vec<&str> = query.tables().iter().map(|s| s.as_str()).collect();
+        if tables.is_empty() {
+            return 0;
+        }
+        // Filtered row ids per table.
+        let filtered: HashMap<&str, Vec<u32>> = tables
+            .iter()
+            .map(|&name| {
+                let table = self
+                    .db
+                    .table(name)
+                    .unwrap_or_else(|| panic!("unknown table {name}"));
+                (name, filter_table(table, query.predicates()))
+            })
+            .collect();
+
+        // Adjacency list of the join tree: table -> (neighbor, own column, neighbor column).
+        let mut adjacency: HashMap<&str, Vec<(&str, &ColumnRef, &ColumnRef)>> = HashMap::new();
+        for join in query.joins() {
+            adjacency.entry(&join.left.table).or_default().push((
+                &join.right.table,
+                &join.left,
+                &join.right,
+            ));
+            adjacency.entry(&join.right.table).or_default().push((
+                &join.left.table,
+                &join.right,
+                &join.left,
+            ));
+        }
+
+        // Process each connected component; multiply the component cardinalities.
+        let mut visited: HashMap<&str, bool> = tables.iter().map(|&t| (t, false)).collect();
+        let mut total: u64 = 1;
+        for &root in &tables {
+            if visited[&root] {
+                continue;
+            }
+            let component = self.count_component(root, &adjacency, &filtered, &mut visited);
+            total = total.saturating_mul(component);
+            if total == 0 {
+                // Early exit: the whole conjunction is empty.
+                // Still mark remaining tables visited for consistency.
+                continue;
+            }
+        }
+        total
+    }
+
+    /// Counts the join-tree combinations of the connected component rooted at `root`.
+    fn count_component<'q>(
+        &self,
+        root: &'q str,
+        adjacency: &HashMap<&'q str, Vec<(&'q str, &'q ColumnRef, &'q ColumnRef)>>,
+        filtered: &HashMap<&'q str, Vec<u32>>,
+        visited: &mut HashMap<&'q str, bool>,
+    ) -> u64 {
+        // Weight of each filtered row of `root`: the number of combinations of descendant rows
+        // joining with it.  Computed recursively over the join tree.
+        let weights = self.subtree_weights(root, None, adjacency, filtered, visited);
+        weights.into_iter().sum()
+    }
+
+    /// Returns, for every filtered row of `table` (in the order of `filtered[table]`), the
+    /// number of join combinations of the subtree rooted at `table` (excluding the edge back to
+    /// `parent`).
+    fn subtree_weights<'q>(
+        &self,
+        table: &'q str,
+        parent: Option<&str>,
+        adjacency: &HashMap<&'q str, Vec<(&'q str, &'q ColumnRef, &'q ColumnRef)>>,
+        filtered: &HashMap<&'q str, Vec<u32>>,
+        visited: &mut HashMap<&'q str, bool>,
+    ) -> Vec<u64> {
+        visited.insert(table, true);
+        let rows = &filtered[table];
+        let mut weights = vec![1u64; rows.len()];
+        let Some(edges) = adjacency.get(table) else {
+            return weights;
+        };
+        let table_data = self.db.table(table).expect("table exists");
+        for (neighbor, own_col, other_col) in edges {
+            if Some(*neighbor) == parent {
+                continue;
+            }
+            assert!(
+                !visited.get(*neighbor).copied().unwrap_or(false),
+                "cyclic join graph involving table {neighbor}"
+            );
+            let child_weights =
+                self.subtree_weights(neighbor, Some(table), adjacency, filtered, visited);
+            // Aggregate the child's weights per join-key value.
+            let child_table = self.db.table(neighbor).expect("table exists");
+            let child_col = child_table
+                .column(&other_col.column)
+                .unwrap_or_else(|| panic!("unknown join column {other_col}"));
+            let mut per_key: HashMap<i64, u64> = HashMap::new();
+            for (child_row, weight) in filtered[*neighbor].iter().zip(&child_weights) {
+                if let Some(key) = child_col.get_int(*child_row as usize) {
+                    *per_key.entry(key).or_insert(0) += *weight;
+                }
+            }
+            // Multiply into this table's row weights.
+            let own_column = table_data
+                .column(&own_col.column)
+                .unwrap_or_else(|| panic!("unknown join column {own_col}"));
+            for (row, weight) in rows.iter().zip(weights.iter_mut()) {
+                let matches = own_column
+                    .get_int(*row as usize)
+                    .and_then(|key| per_key.get(&key).copied())
+                    .unwrap_or(0);
+                *weight *= matches;
+            }
+        }
+        weights
+    }
+
+    /// Computes the containment rate `Q1 ⊂% Q2` on this database (§2).
+    ///
+    /// Returns a rate in `[0, 1]`.  By definition the rate is `0` when `|Q1| = 0`.  Returns
+    /// `None` when the two queries do not share a FROM clause (the rate is undefined then).
+    pub fn containment_rate(&self, q1: &Query, q2: &Query) -> Option<f64> {
+        let intersection = q1.intersect(q2)?;
+        let card_q1 = self.cardinality(q1);
+        if card_q1 == 0 {
+            return Some(0.0);
+        }
+        let card_inter = self.cardinality(&intersection);
+        Some(card_inter as f64 / card_q1 as f64)
+    }
+
+    /// Naive reference executor that materializes all join combinations.
+    ///
+    /// Exponential in the number of joins and only suitable for small inputs; used to
+    /// cross-check [`Executor::cardinality`] in tests and available for debugging.
+    pub fn cardinality_naive(&self, query: &Query) -> u64 {
+        let tables: Vec<&str> = query.tables().iter().map(|s| s.as_str()).collect();
+        if tables.is_empty() {
+            return 0;
+        }
+        // Materialize filtered rows per table, then fold over tables building partial tuples.
+        // Tables are ordered by join-graph degree (hubs first) so join clauses become checkable
+        // as early as possible and intermediate results stay small.
+        let mut ordered = tables.clone();
+        let degree = |t: &str| {
+            query
+                .joins()
+                .iter()
+                .filter(|j| j.left.table == t || j.right.table == t)
+                .count()
+        };
+        ordered.sort_by_key(|t| std::cmp::Reverse(degree(t)));
+        let filtered: Vec<(&str, Vec<u32>)> = ordered
+            .iter()
+            .map(|&name| {
+                let table = self.db.table(name).expect("table exists");
+                (name, filter_table(table, query.predicates()))
+            })
+            .collect();
+        let mut partial: Vec<HashMap<&str, u32>> = vec![HashMap::new()];
+        for (name, rows) in &filtered {
+            let mut next = Vec::new();
+            for combo in &partial {
+                for &row in rows {
+                    let mut extended = combo.clone();
+                    extended.insert(name, row);
+                    if self.joins_hold(query.joins(), &extended) {
+                        next.push(extended);
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                return 0;
+            }
+        }
+        partial.len() as u64
+    }
+
+    /// Checks every join clause whose both sides are already bound in the partial tuple.
+    fn joins_hold(&self, joins: &[JoinClause], bound: &HashMap<&str, u32>) -> bool {
+        for join in joins {
+            let (Some(&left_row), Some(&right_row)) = (
+                bound.get(join.left.table.as_str()),
+                bound.get(join.right.table.as_str()),
+            ) else {
+                continue;
+            };
+            let left = self.column_value(&join.left, left_row);
+            let right = self.column_value(&join.right, right_row);
+            match (left, right) {
+                (Some(l), Some(r)) if l == r => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn column_value(&self, column: &ColumnRef, row: u32) -> Option<i64> {
+        self.db
+            .table(&column.table)
+            .and_then(|t| t.column(&column.column))
+            .and_then(|c| c.get_int(row as usize))
+    }
+
+    /// Counts rows of a single table matching the given predicates (helper used by the
+    /// PostgreSQL-style estimator's sampling validation and by tests).
+    pub fn count_single_table(&self, table: &Table, predicates: &[Predicate]) -> u64 {
+        crate::filter::count_table(table, predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+    use crn_db::value::CompareOp;
+    use crn_query::ast::{JoinClause, Predicate};
+    use crn_query::generator::{GeneratorConfig, QueryGenerator};
+
+    fn db() -> Database {
+        generate_imdb(&ImdbConfig::tiny(3))
+    }
+
+    fn col(t: &str, c: &str) -> ColumnRef {
+        ColumnRef::new(t, c)
+    }
+
+    #[test]
+    fn single_table_scan_counts_all_rows() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let q = Query::scan(tables::TITLE);
+        assert_eq!(
+            exec.cardinality(&q),
+            db.table(tables::TITLE).unwrap().row_count() as u64
+        );
+    }
+
+    #[test]
+    fn single_table_predicate_matches_filter() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let q = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 1)],
+        );
+        let expected = exec.count_single_table(db.table(tables::TITLE).unwrap(), q.predicates());
+        assert_eq!(exec.cardinality(&q), expected);
+        assert!(expected > 0, "tiny database should contain kind_id = 1 titles");
+    }
+
+    #[test]
+    fn join_cardinality_without_predicates_equals_fact_table_size() {
+        // title.id is a primary key, so joining a fact table with title (no predicates)
+        // yields exactly one match per fact row.
+        let db = db();
+        let exec = Executor::new(&db);
+        let q = Query::new(
+            [tables::TITLE.to_string(), tables::MOVIE_COMPANIES.to_string()],
+            [JoinClause::new(
+                col(tables::TITLE, "id"),
+                col(tables::MOVIE_COMPANIES, "movie_id"),
+            )],
+            [],
+        );
+        assert_eq!(
+            exec.cardinality(&q),
+            db.table(tables::MOVIE_COMPANIES).unwrap().row_count() as u64
+        );
+    }
+
+    #[test]
+    fn tree_count_matches_naive_executor_on_random_queries() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::with_max_joins(77, 2));
+        for q in gen.generate_queries(40) {
+            let fast = exec.cardinality(&q);
+            let naive = exec.cardinality_naive(&q);
+            assert_eq!(fast, naive, "mismatch for query {q}");
+        }
+    }
+
+    #[test]
+    fn containment_rate_basic_properties() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let q = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 1990)],
+        );
+        let wider = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 1950)],
+        );
+        // Q is fully contained in the wider query.
+        assert_eq!(exec.containment_rate(&q, &wider), Some(1.0));
+        // Self containment is always 1 for non-empty results.
+        assert_eq!(exec.containment_rate(&q, &q), Some(1.0));
+        // The wider query is only partially contained in the narrower one.
+        let partial = exec.containment_rate(&wider, &q).unwrap();
+        assert!(partial > 0.0 && partial < 1.0, "rate {partial}");
+        // Different FROM clauses have no containment rate.
+        assert_eq!(exec.containment_rate(&q, &Query::scan(tables::CAST_INFO)), None);
+    }
+
+    #[test]
+    fn containment_rate_of_empty_query_is_zero() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let empty = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Gt, 100)],
+        );
+        assert_eq!(exec.cardinality(&empty), 0);
+        assert_eq!(exec.containment_rate(&empty, &Query::scan(tables::TITLE)), Some(0.0));
+    }
+
+    #[test]
+    fn containment_rate_definition_holds() {
+        // x% = |Q1 ∩ Q2| / |Q1| (paper §2): check explicitly on a join query pair.
+        let db = db();
+        let exec = Executor::new(&db);
+        let base = Query::new(
+            [tables::TITLE.to_string(), tables::CAST_INFO.to_string()],
+            [JoinClause::new(col(tables::TITLE, "id"), col(tables::CAST_INFO, "movie_id"))],
+            [Predicate::new(col(tables::CAST_INFO, "role_id"), CompareOp::Lt, 4)],
+        );
+        let other = base.with_predicate(Predicate::new(
+            col(tables::TITLE, "production_year"),
+            CompareOp::Gt,
+            1980,
+        ));
+        let rate = exec.containment_rate(&base, &other).unwrap();
+        let inter = base.intersect(&other).unwrap();
+        let expected = exec.cardinality(&inter) as f64 / exec.cardinality(&base) as f64;
+        assert!((rate - expected).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn disconnected_tables_form_cartesian_products() {
+        let db = db();
+        let exec = Executor::new(&db);
+        // Two tables, no join clause: SQL semantics is a cross product.
+        let q = Query::new(
+            [tables::TITLE.to_string(), tables::MOVIE_KEYWORD.to_string()],
+            [],
+            [],
+        );
+        let expected = db.table(tables::TITLE).unwrap().row_count() as u64
+            * db.table(tables::MOVIE_KEYWORD).unwrap().row_count() as u64;
+        assert_eq!(exec.cardinality(&q), expected);
+    }
+
+    #[test]
+    fn five_join_star_query_is_computed_exactly() {
+        let db = db();
+        let exec = Executor::new(&db);
+        let mut tables_v: Vec<String> = vec![tables::TITLE.to_string()];
+        let mut joins = Vec::new();
+        for fact in tables::FACTS {
+            tables_v.push(fact.to_string());
+            joins.push(JoinClause::new(col(tables::TITLE, "id"), col(fact, "movie_id")));
+        }
+        let q = Query::new(tables_v, joins, [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 1)]);
+        // The tree DP must agree with an independently computed star aggregation.
+        let title = db.table(tables::TITLE).unwrap();
+        let mut expected: u64 = 0;
+        for row in 0..title.row_count() {
+            if title.column("kind_id").unwrap().get_int(row) != Some(1) {
+                continue;
+            }
+            let id = title.column("id").unwrap().get_int(row).unwrap();
+            let mut product: u64 = 1;
+            for fact in tables::FACTS {
+                let t = db.table(fact).unwrap();
+                let matches = t
+                    .column("movie_id")
+                    .unwrap()
+                    .iter_valid()
+                    .filter(|(_, v)| *v == id)
+                    .count() as u64;
+                product *= matches;
+            }
+            expected += product;
+        }
+        assert_eq!(exec.cardinality(&q), expected);
+    }
+}

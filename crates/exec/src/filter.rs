@@ -1,0 +1,145 @@
+//! Per-table predicate evaluation.
+//!
+//! The executor first reduces every base table of a query to the set of row ids satisfying the
+//! query's column predicates on that table; joins are then evaluated over those filtered sets.
+
+use crn_db::table::Table;
+use crn_query::ast::Predicate;
+
+/// Returns the row ids of `table` that satisfy **all** of the given predicates.
+///
+/// Predicates referencing other tables are ignored by this function (callers pass only the
+/// predicates of this table).  NULL values never satisfy a predicate.
+pub fn filter_table(table: &Table, predicates: &[Predicate]) -> Vec<u32> {
+    let relevant: Vec<&Predicate> = predicates
+        .iter()
+        .filter(|p| p.column.table == table.name())
+        .collect();
+    let row_count = table.row_count();
+    if relevant.is_empty() {
+        return (0..row_count as u32).collect();
+    }
+    // Resolve columns once, outside the row loop.
+    let columns: Vec<_> = relevant
+        .iter()
+        .map(|p| {
+            table
+                .column(&p.column.column)
+                .unwrap_or_else(|| panic!("unknown column {} in table {}", p.column, table.name()))
+        })
+        .collect();
+    let mut result = Vec::new();
+    'rows: for row in 0..row_count {
+        for (pred, col) in relevant.iter().zip(&columns) {
+            match col.get_int(row) {
+                Some(v) if pred.op.eval(v, pred.value) => {}
+                _ => continue 'rows,
+            }
+        }
+        result.push(row as u32);
+    }
+    result
+}
+
+/// Counts the rows of `table` satisfying all given predicates without materializing row ids.
+pub fn count_table(table: &Table, predicates: &[Predicate]) -> u64 {
+    let relevant: Vec<&Predicate> = predicates
+        .iter()
+        .filter(|p| p.column.table == table.name())
+        .collect();
+    if relevant.is_empty() {
+        return table.row_count() as u64;
+    }
+    let columns: Vec<_> = relevant
+        .iter()
+        .map(|p| {
+            table
+                .column(&p.column.column)
+                .unwrap_or_else(|| panic!("unknown column {} in table {}", p.column, table.name()))
+        })
+        .collect();
+    let mut count = 0u64;
+    'rows: for row in 0..table.row_count() {
+        for (pred, col) in relevant.iter().zip(&columns) {
+            match col.get_int(row) {
+                Some(v) if pred.op.eval(v, pred.value) => {}
+                _ => continue 'rows,
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::schema::{ColumnDef, ColumnRef, TableDef};
+    use crn_db::value::CompareOp;
+    use crn_query::ast::Predicate;
+
+    fn table() -> Table {
+        let def = TableDef {
+            name: "t".into(),
+            alias: "t".into(),
+            columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y").nullable()],
+            primary_key: Some("id".into()),
+        };
+        let mut t = Table::new(def);
+        t.push_row(&[Some(1), Some(10), Some(100)]);
+        t.push_row(&[Some(2), Some(20), None]);
+        t.push_row(&[Some(3), Some(30), Some(300)]);
+        t.push_row(&[Some(4), Some(40), Some(400)]);
+        t
+    }
+
+    fn pred(col: &str, op: CompareOp, v: i64) -> Predicate {
+        Predicate::new(ColumnRef::new("t", col), op, v)
+    }
+
+    #[test]
+    fn no_predicates_selects_everything() {
+        let t = table();
+        assert_eq!(filter_table(&t, &[]), vec![0, 1, 2, 3]);
+        assert_eq!(count_table(&t, &[]), 4);
+    }
+
+    #[test]
+    fn single_predicate_filters_rows() {
+        let t = table();
+        let p = [pred("x", CompareOp::Gt, 15)];
+        assert_eq!(filter_table(&t, &p), vec![1, 2, 3]);
+        assert_eq!(count_table(&t, &p), 3);
+    }
+
+    #[test]
+    fn conjunction_of_predicates() {
+        let t = table();
+        let p = [pred("x", CompareOp::Gt, 15), pred("x", CompareOp::Lt, 40)];
+        assert_eq!(filter_table(&t, &p), vec![1, 2]);
+        assert_eq!(count_table(&t, &p), 2);
+    }
+
+    #[test]
+    fn null_rows_never_match() {
+        let t = table();
+        // y > 0 matches all non-NULL y rows only.
+        let p = [pred("y", CompareOp::Gt, 0)];
+        assert_eq!(filter_table(&t, &p), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn contradicting_predicates_select_nothing() {
+        let t = table();
+        let p = [pred("x", CompareOp::Lt, 10), pred("x", CompareOp::Gt, 40)];
+        assert!(filter_table(&t, &p).is_empty());
+        assert_eq!(count_table(&t, &p), 0);
+    }
+
+    #[test]
+    fn predicates_on_other_tables_are_ignored() {
+        let t = table();
+        let p = [Predicate::new(ColumnRef::new("other", "x"), CompareOp::Eq, 1)];
+        assert_eq!(filter_table(&t, &p).len(), 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Batch labelling of training corpora.
+//!
+//! Building the paper's development dataset requires executing every generated query (and
+//! every intersection query) against the database to obtain true cardinalities and containment
+//! rates (§3.1.2, §4.1.2).  This module parallelizes that work across threads and caches
+//! cardinalities so that shared sub-queries (`Q1`, `Q1 ∩ Q2`) are executed only once.
+
+use crate::executor::Executor;
+use crn_db::database::Database;
+use crn_query::ast::Query;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A labelled containment-rate sample: the pair, its true containment rate, and the true
+/// cardinalities that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainmentSample {
+    /// The contained-side query (`Q1`).
+    pub q1: Query,
+    /// The containing-side query (`Q2`).
+    pub q2: Query,
+    /// True containment rate `Q1 ⊂% Q2` in `[0, 1]`.
+    pub rate: f64,
+    /// True cardinality of `Q1`.
+    pub card_q1: u64,
+    /// True cardinality of `Q2`.
+    pub card_q2: u64,
+    /// True cardinality of the intersection query `Q1 ∩ Q2`.
+    pub card_intersection: u64,
+}
+
+/// A labelled cardinality sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardinalitySample {
+    /// The query.
+    pub query: Query,
+    /// Its true result cardinality.
+    pub cardinality: u64,
+}
+
+/// An [`Executor`] wrapper that memoizes cardinalities.
+///
+/// Cardinality look-ups repeat heavily while labelling (e.g. `|Q1|` is needed for every pair
+/// containing `Q1`, and the queries-pool technique re-uses pool cardinalities constantly), so
+/// the cache is shared behind a mutex; the executor itself is read-only over the database.
+pub struct CachingExecutor<'a> {
+    executor: Executor<'a>,
+    cache: Mutex<HashMap<Query, u64>>,
+}
+
+impl<'a> CachingExecutor<'a> {
+    /// Creates a caching executor over a database snapshot.
+    pub fn new(db: &'a Database) -> Self {
+        CachingExecutor {
+            executor: Executor::new(db),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying exact executor.
+    pub fn executor(&self) -> Executor<'a> {
+        self.executor
+    }
+
+    /// Number of cached cardinalities.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Cardinality with memoization.
+    pub fn cardinality(&self, query: &Query) -> u64 {
+        if let Some(&hit) = self.cache.lock().get(query) {
+            return hit;
+        }
+        let value = self.executor.cardinality(query);
+        self.cache.lock().insert(query.clone(), value);
+        value
+    }
+
+    /// Containment rate `q1 ⊂% q2` with memoized cardinalities.
+    pub fn containment_rate(&self, q1: &Query, q2: &Query) -> Option<f64> {
+        let intersection = q1.intersect(q2)?;
+        let card_q1 = self.cardinality(q1);
+        if card_q1 == 0 {
+            return Some(0.0);
+        }
+        let card_inter = self.cardinality(&intersection);
+        Some(card_inter as f64 / card_q1 as f64)
+    }
+}
+
+/// Labels a set of query pairs with true containment rates, in parallel.
+///
+/// Pairs whose FROM clauses differ are skipped (their containment rate is undefined).
+pub fn label_containment_pairs(
+    db: &Database,
+    pairs: &[(Query, Query)],
+    num_threads: usize,
+) -> Vec<ContainmentSample> {
+    let num_threads = num_threads.max(1);
+    let cache = CachingExecutor::new(db);
+    let results: Mutex<Vec<(usize, ContainmentSample)>> = Mutex::new(Vec::with_capacity(pairs.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..num_threads {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= pairs.len() {
+                    break;
+                }
+                let (q1, q2) = &pairs[index];
+                let Some(intersection) = q1.intersect(q2) else {
+                    continue;
+                };
+                let card_q1 = cache.cardinality(q1);
+                let card_q2 = cache.cardinality(q2);
+                let card_intersection = cache.cardinality(&intersection);
+                let rate = if card_q1 == 0 {
+                    0.0
+                } else {
+                    card_intersection as f64 / card_q1 as f64
+                };
+                results.lock().push((
+                    index,
+                    ContainmentSample {
+                        q1: q1.clone(),
+                        q2: q2.clone(),
+                        rate,
+                        card_q1,
+                        card_q2,
+                        card_intersection,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("labelling threads must not panic");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, sample)| sample).collect()
+}
+
+/// Labels a set of queries with true cardinalities, in parallel.
+pub fn label_cardinalities(
+    db: &Database,
+    queries: &[Query],
+    num_threads: usize,
+) -> Vec<CardinalitySample> {
+    let num_threads = num_threads.max(1);
+    let executor = Executor::new(db);
+    let results: Mutex<Vec<(usize, CardinalitySample)>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..num_threads {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= queries.len() {
+                    break;
+                }
+                let query = &queries[index];
+                let cardinality = executor.cardinality(query);
+                results.lock().push((
+                    index,
+                    CardinalitySample {
+                        query: query.clone(),
+                        cardinality,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("labelling threads must not panic");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, sample)| sample).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use crn_query::generator::{GeneratorConfig, QueryGenerator};
+
+    #[test]
+    fn labelled_pairs_match_direct_execution() {
+        let db = generate_imdb(&ImdbConfig::tiny(19));
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(19));
+        let pairs = gen.generate_pairs(15, 60);
+        let samples = label_containment_pairs(&db, &pairs, 4);
+        assert_eq!(samples.len(), pairs.len());
+        let exec = Executor::new(&db);
+        for sample in samples.iter().take(10) {
+            let expected = exec.containment_rate(&sample.q1, &sample.q2).unwrap();
+            assert!((sample.rate - expected).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&sample.rate));
+            assert!(sample.card_intersection <= sample.card_q1.max(1));
+        }
+    }
+
+    #[test]
+    fn label_order_is_stable() {
+        let db = generate_imdb(&ImdbConfig::tiny(23));
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(23));
+        let pairs = gen.generate_pairs(10, 30);
+        let a = label_containment_pairs(&db, &pairs, 1);
+        let b = label_containment_pairs(&db, &pairs, 4);
+        assert_eq!(a, b, "parallel labelling must be deterministic in output order");
+    }
+
+    #[test]
+    fn cardinality_labelling_matches_executor() {
+        let db = generate_imdb(&ImdbConfig::tiny(29));
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(29));
+        let queries = gen.generate_queries(20);
+        let samples = label_cardinalities(&db, &queries, 3);
+        assert_eq!(samples.len(), queries.len());
+        let exec = Executor::new(&db);
+        for s in samples.iter().take(10) {
+            assert_eq!(s.cardinality, exec.cardinality(&s.query));
+        }
+    }
+
+    #[test]
+    fn caching_executor_reuses_results() {
+        let db = generate_imdb(&ImdbConfig::tiny(31));
+        let cache = CachingExecutor::new(&db);
+        let q = Query::scan("title");
+        let first = cache.cardinality(&q);
+        let second = cache.cardinality(&q);
+        assert_eq!(first, second);
+        assert_eq!(cache.cache_len(), 1);
+        assert_eq!(cache.containment_rate(&q, &q), Some(1.0));
+    }
+}

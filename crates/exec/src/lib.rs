@@ -1,0 +1,39 @@
+//! `crn-exec` — exact query execution over the in-memory database.
+//!
+//! This crate turns the database substrate into a labelling oracle:
+//!
+//! * [`filter`] — per-table predicate evaluation;
+//! * [`executor`] — exact cardinalities via dynamic programming over acyclic join trees, plus
+//!   containment rates `Q1 ⊂% Q2` (paper §2);
+//! * [`labeler`] — parallel, cached batch labelling of training corpora (§3.1.2, §4.1.2);
+//! * [`sample`] — materialized base-table samples and per-query bitmaps used by the
+//!   sample-enhanced MSCN baseline (§6.6).
+//!
+//! # Example
+//!
+//! ```
+//! use crn_db::imdb::{generate_imdb, ImdbConfig};
+//! use crn_exec::Executor;
+//! use crn_query::Query;
+//!
+//! let db = generate_imdb(&ImdbConfig::tiny(1));
+//! let exec = Executor::new(&db);
+//! let scan = Query::scan("title");
+//! assert_eq!(exec.cardinality(&scan), db.table("title").unwrap().row_count() as u64);
+//! assert_eq!(exec.containment_rate(&scan, &scan), Some(1.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod filter;
+pub mod labeler;
+pub mod sample;
+
+pub use executor::Executor;
+pub use labeler::{
+    label_cardinalities, label_containment_pairs, CachingExecutor, CardinalitySample,
+    ContainmentSample,
+};
+pub use sample::TableSamples;

@@ -1,0 +1,212 @@
+//! Materialized base-table samples.
+//!
+//! The strongest MSCN variant the paper compares against ("MSCN with 1000 samples", §6.6)
+//! augments each query's featurization with a bitmap per base table: which of a fixed set of
+//! materialized sample rows satisfy the query's predicates on that table.  This module
+//! materializes those samples and evaluates the bitmaps.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use crn_db::database::Database;
+use crn_db::table::Table;
+use crn_query::ast::Query;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A fixed sample of row ids per table.
+#[derive(Debug, Clone)]
+pub struct TableSamples {
+    /// Number of sample rows requested per table (tables smaller than this are fully sampled).
+    pub sample_size: usize,
+    samples: HashMap<String, Vec<u32>>,
+}
+
+impl TableSamples {
+    /// Draws `sample_size` uniform random rows from every table of the database.
+    pub fn new(db: &Database, sample_size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = HashMap::new();
+        for table in db.tables() {
+            let n = table.row_count();
+            let k = sample_size.min(n);
+            let mut rows: Vec<u32> = if k == n {
+                (0..n as u32).collect()
+            } else {
+                index_sample(&mut rng, n, k)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
+            };
+            rows.sort_unstable();
+            samples.insert(table.name().to_string(), rows);
+        }
+        TableSamples {
+            sample_size,
+            samples,
+        }
+    }
+
+    /// The sampled row ids of a table.
+    pub fn rows(&self, table: &str) -> Option<&[u32]> {
+        self.samples.get(table).map(|v| v.as_slice())
+    }
+
+    /// Evaluates the query's predicates on the sample of `table`, returning one bit per sample
+    /// row (`true` = the sample row satisfies all predicates of the query on that table).
+    pub fn bitmap(&self, db: &Database, query: &Query, table: &str) -> Vec<bool> {
+        let Some(rows) = self.samples.get(table) else {
+            return Vec::new();
+        };
+        let Some(table_data) = db.table(table) else {
+            return vec![false; rows.len()];
+        };
+        rows.iter()
+            .map(|&row| Self::row_matches(table_data, query, row))
+            .collect()
+    }
+
+    /// The fraction of sample rows of `table` satisfying the query's predicates.
+    ///
+    /// This is the classic Bernoulli-sample selectivity estimate; it is also what the
+    /// sample-enhanced MSCN effectively learns to exploit.
+    pub fn selectivity(&self, db: &Database, query: &Query, table: &str) -> f64 {
+        let bitmap = self.bitmap(db, query, table);
+        if bitmap.is_empty() {
+            return 1.0;
+        }
+        bitmap.iter().filter(|&&b| b).count() as f64 / bitmap.len() as f64
+    }
+
+    /// Serializes a bitmap into a compact byte form (8 sample rows per byte).
+    pub fn pack_bitmap(bitmap: &[bool]) -> Bytes {
+        let mut bytes = BytesMut::with_capacity(bitmap.len().div_ceil(8));
+        for chunk in bitmap.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    byte |= 1 << i;
+                }
+            }
+            bytes.put_u8(byte);
+        }
+        bytes.freeze()
+    }
+
+    /// Deserializes a bitmap produced by [`TableSamples::pack_bitmap`].
+    pub fn unpack_bitmap(bytes: &Bytes, len: usize) -> Vec<bool> {
+        (0..len)
+            .map(|i| {
+                let byte = bytes.get(i / 8).copied().unwrap_or(0);
+                (byte >> (i % 8)) & 1 == 1
+            })
+            .collect()
+    }
+
+    fn row_matches(table: &Table, query: &Query, row: u32) -> bool {
+        query
+            .predicates()
+            .iter()
+            .filter(|p| p.column.table == table.name())
+            .all(|p| {
+                table
+                    .column(&p.column.column)
+                    .and_then(|c| c.get_int(row as usize))
+                    .map(|v| p.op.eval(v, p.value))
+                    .unwrap_or(false)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+    use crn_db::schema::ColumnRef;
+    use crn_db::value::CompareOp;
+    use crn_query::ast::Predicate;
+
+    fn db() -> Database {
+        generate_imdb(&ImdbConfig::tiny(41))
+    }
+
+    #[test]
+    fn samples_cover_small_tables_completely() {
+        let db = db();
+        let samples = TableSamples::new(&db, 10_000, 1);
+        for table in db.tables() {
+            assert_eq!(samples.rows(table.name()).unwrap().len(), table.row_count());
+        }
+    }
+
+    #[test]
+    fn samples_respect_requested_size() {
+        let db = db();
+        let samples = TableSamples::new(&db, 50, 1);
+        for table in db.tables() {
+            let n = samples.rows(table.name()).unwrap().len();
+            assert_eq!(n, table.row_count().min(50));
+        }
+    }
+
+    #[test]
+    fn bitmap_agrees_with_predicates() {
+        let db = db();
+        let samples = TableSamples::new(&db, 64, 7);
+        let q = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(ColumnRef::new(tables::TITLE, "kind_id"), CompareOp::Eq, 1)],
+        );
+        let bitmap = samples.bitmap(&db, &q, tables::TITLE);
+        let rows = samples.rows(tables::TITLE).unwrap();
+        let title = db.table(tables::TITLE).unwrap();
+        for (&row, &bit) in rows.iter().zip(&bitmap) {
+            let expected = title.column("kind_id").unwrap().get_int(row as usize) == Some(1);
+            assert_eq!(bit, expected);
+        }
+    }
+
+    #[test]
+    fn scan_query_selectivity_is_one() {
+        let db = db();
+        let samples = TableSamples::new(&db, 64, 7);
+        let q = Query::scan(tables::TITLE);
+        assert_eq!(samples.selectivity(&db, &q, tables::TITLE), 1.0);
+    }
+
+    #[test]
+    fn selectivity_estimates_are_close_to_truth_on_full_sample() {
+        let db = db();
+        // Sampling every row makes the estimate exact.
+        let samples = TableSamples::new(&db, usize::MAX, 3);
+        let q = Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [Predicate::new(
+                ColumnRef::new(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                1990,
+            )],
+        );
+        let title = db.table(tables::TITLE).unwrap();
+        let truth = crate::filter::count_table(title, q.predicates()) as f64 / title.row_count() as f64;
+        assert!((samples.selectivity(&db, &q, tables::TITLE) - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitmap_round_trips_through_packing() {
+        let bitmap: Vec<bool> = (0..37).map(|i| i % 3 == 0).collect();
+        let packed = TableSamples::pack_bitmap(&bitmap);
+        assert_eq!(packed.len(), 5);
+        assert_eq!(TableSamples::unpack_bitmap(&packed, bitmap.len()), bitmap);
+    }
+
+    #[test]
+    fn unknown_table_yields_empty_bitmap() {
+        let db = db();
+        let samples = TableSamples::new(&db, 16, 9);
+        let q = Query::scan(tables::TITLE);
+        assert!(samples.bitmap(&db, &q, "unknown").is_empty());
+    }
+}

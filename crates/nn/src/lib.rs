@@ -1,0 +1,44 @@
+//! `crn-nn` — a minimal, dependency-free neural-network stack.
+//!
+//! The paper's models are small multi-layer perceptrons trained with Adam on a q-error
+//! objective (§3.2–3.3).  This crate provides exactly those ingredients:
+//!
+//! * [`matrix`] — dense row-major `f32` matrices with the handful of products backprop needs;
+//! * [`layers`] — trainable parameters, fully-connected layers, ReLU / sigmoid activations and
+//!   set average-pooling, each with an explicit hand-written backward pass (verified against
+//!   finite differences in tests);
+//! * [`optim`] — the Adam optimizer;
+//! * [`loss`] — the q-error objective (plus MSE / MAE, which §3.2.4 considers and rejects);
+//! * [`train`] — train/validation splitting, mini-batching, early stopping and training
+//!   history (used to reproduce Figures 3 and 4).
+//!
+//! # Example
+//!
+//! ```
+//! use crn_nn::{Dense, Matrix, relu};
+//!
+//! let layer = Dense::new(4, 8, 1);
+//! let x = Matrix::row_vector(&[0.1, 0.2, 0.3, 0.4]);
+//! let y = relu(&layer.forward(&x));
+//! assert_eq!(y.cols(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod train;
+
+pub use layers::{
+    mean_pool, mean_pool_backward, relu, relu_backward, sigmoid, sigmoid_backward, Dense, Param,
+};
+pub use loss::{loss_and_grad, mean_q_error, q_error, LossKind, LossValue};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use train::{
+    shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
+    TrainingHistory,
+};

@@ -1,0 +1,180 @@
+//! Training objectives: the q-error loss, mean squared error and mean absolute error.
+//!
+//! The paper optimizes the **mean q-error** — `max(ŷ/y, y/ŷ)` — because the ratio between
+//! predicted and actual values is exactly what matters for plan costing; MSE and MAE are also
+//! implemented because §3.2.4 examines them as alternative objectives (and our ablation bench
+//! reproduces that comparison).
+
+use serde::{Deserialize, Serialize};
+
+/// The training objective to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Mean q-error (the paper's choice).
+    QError,
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+}
+
+/// The q-error of a single prediction: `max(ŷ/y, y/ŷ)`.
+///
+/// Both values are clamped to `floor` so that zero targets (empty queries / 0% containment)
+/// do not produce infinite errors; the paper's metric is only evaluated on positive values.
+pub fn q_error(prediction: f64, truth: f64, floor: f64) -> f64 {
+    let p = prediction.max(floor);
+    let t = truth.max(floor);
+    if p > t {
+        p / t
+    } else {
+        t / p
+    }
+}
+
+/// The mean q-error over a slice of `(prediction, truth)` pairs.
+pub fn mean_q_error(pairs: &[(f64, f64)], floor: f64) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(p, t)| q_error(p, t, floor)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Per-sample loss value and its derivative with respect to the prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossValue {
+    /// The loss value.
+    pub loss: f32,
+    /// `dL/dŷ`.
+    pub grad: f32,
+}
+
+/// Computes one sample's loss and gradient for the given objective.
+///
+/// For [`LossKind::QError`], both prediction and target are clamped to `floor > 0` before the
+/// ratio is formed; the gradient is the sub-gradient of `max(ŷ/y, y/ŷ)`:
+/// `1/y` when `ŷ ≥ y` and `-y/ŷ²` otherwise (zero when the prediction is at the clamp floor
+/// and the gradient would push it further down).
+pub fn loss_and_grad(kind: LossKind, prediction: f32, target: f32, floor: f32) -> LossValue {
+    match kind {
+        LossKind::QError => {
+            let clamped_pred = prediction.max(floor);
+            let clamped_target = target.max(floor);
+            if clamped_pred >= clamped_target {
+                let grad = if prediction <= floor { 0.0 } else { 1.0 / clamped_target };
+                LossValue {
+                    loss: clamped_pred / clamped_target,
+                    grad,
+                }
+            } else {
+                let grad = if prediction <= floor {
+                    0.0
+                } else {
+                    -clamped_target / (clamped_pred * clamped_pred)
+                };
+                LossValue {
+                    loss: clamped_target / clamped_pred,
+                    grad,
+                }
+            }
+        }
+        LossKind::Mse => {
+            let diff = prediction - target;
+            LossValue {
+                loss: diff * diff,
+                grad: 2.0 * diff,
+            }
+        }
+        LossKind::Mae => {
+            let diff = prediction - target;
+            LossValue {
+                loss: diff.abs(),
+                grad: if diff >= 0.0 { 1.0 } else { -1.0 },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 10.0, 1e-6), 1.0);
+        assert_eq!(q_error(10.0, 5.0, 1e-6), 2.0);
+        assert_eq!(q_error(5.0, 10.0, 1e-6), 2.0);
+    }
+
+    #[test]
+    fn q_error_clamps_zero_values() {
+        let floor = 1.0;
+        assert!(q_error(0.0, 100.0, floor).is_finite());
+        assert_eq!(q_error(0.0, 100.0, floor), 100.0);
+        assert_eq!(q_error(100.0, 0.0, floor), 100.0);
+    }
+
+    #[test]
+    fn mean_q_error_averages() {
+        let pairs = [(2.0, 1.0), (1.0, 4.0)];
+        assert_eq!(mean_q_error(&pairs, 1e-6), 3.0);
+        assert_eq!(mean_q_error(&[], 1e-6), 0.0);
+    }
+
+    #[test]
+    fn qerror_gradient_signs() {
+        // Over-estimation: positive gradient pushes the prediction down.
+        let over = loss_and_grad(LossKind::QError, 4.0, 2.0, 1e-3);
+        assert!(over.grad > 0.0);
+        assert_eq!(over.loss, 2.0);
+        // Under-estimation: negative gradient pushes the prediction up.
+        let under = loss_and_grad(LossKind::QError, 1.0, 2.0, 1e-3);
+        assert!(under.grad < 0.0);
+        assert_eq!(under.loss, 2.0);
+        // At the floor the gradient is muted to avoid chasing the clamp.
+        let floored = loss_and_grad(LossKind::QError, 0.0, 2.0, 1e-3);
+        assert_eq!(floored.grad, 0.0);
+    }
+
+    #[test]
+    fn qerror_gradient_matches_finite_differences() {
+        let floor = 1e-3;
+        // Points away from the kink at ŷ = y, where the central difference is valid.
+        for (p, t) in [(0.3f32, 0.7f32), (0.9, 0.2), (2.0, 8.0), (5.0, 1.5)] {
+            let analytic = loss_and_grad(LossKind::QError, p, t, floor).grad;
+            let eps = 1e-3;
+            let plus = loss_and_grad(LossKind::QError, p + eps, t, floor).loss;
+            let minus = loss_and_grad(LossKind::QError, p - eps, t, floor).loss;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "({p},{t}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn mse_and_mae_values_and_gradients() {
+        let mse = loss_and_grad(LossKind::Mse, 3.0, 1.0, 0.0);
+        assert_eq!(mse.loss, 4.0);
+        assert_eq!(mse.grad, 4.0);
+        let mae = loss_and_grad(LossKind::Mae, 1.0, 3.0, 0.0);
+        assert_eq!(mae.loss, 2.0);
+        assert_eq!(mae.grad, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_q_error_at_least_one(p in 1e-3f64..1e6, t in 1e-3f64..1e6) {
+            prop_assert!(q_error(p, t, 1e-6) >= 1.0);
+        }
+
+        #[test]
+        fn prop_q_error_symmetric(p in 1e-3f64..1e6, t in 1e-3f64..1e6) {
+            let a = q_error(p, t, 1e-6);
+            let b = q_error(t, p, 1e-6);
+            prop_assert!((a - b).abs() / a.max(b) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! A minimal dense row-major matrix type.
+//!
+//! The CRN and MSCN models are small multi-layer perceptrons (a few hundred units), so an
+//! unblocked `f32` matrix with straightforward `ikj` matrix multiplication is entirely
+//! sufficient — the training bottleneck is the number of samples, not BLAS throughput.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(data: &[f32]) -> Self {
+        Matrix::from_vec(1, data.len(), data.to_vec())
+    }
+
+    /// Xavier/Glorot-uniform initialization, the standard choice for ReLU/sigmoid MLPs.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Deterministic Xavier initialization from a seed.
+    pub fn xavier_seeded(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::xavier(rows, cols, &mut rng)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix multiplication `self (m×k) * other (k×n) -> (m×n)`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order keeps the inner loop contiguous over both `other` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T (k×m) * other (k×n) -> (m×n)`, without materializing the transpose.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul dimension mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let left_row = self.row(k);
+            let right_row = other.row(k);
+            for (i, &a) in left_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(right_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self (m×k) * other^T (n×k) -> (m×n)`, without materializing the transpose.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose dimension mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let left_row = self.row(i);
+            for j in 0..other.rows {
+                let right_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in left_row.iter().zip(right_row) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector (broadcast over rows), e.g. a bias.
+    ///
+    /// # Panics
+    /// Panics if the bias length does not match the number of columns.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise addition of another matrix (in place).
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all elements (in place).
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Sets every element to zero (used to reset accumulated gradients).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of each column, returned as a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(i)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Mean of all rows, returned as a single-row matrix (used for set average-pooling).
+    pub fn row_mean(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        let sums = self.column_sums();
+        for (o, s) in out.row_mut(0).iter_mut().zip(sums) {
+            *o = s / self.rows as f32;
+        }
+        out
+    }
+
+    /// Frobenius norm (used in tests and for diagnostics).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols(), m.len()), (2, 3, 6));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert!(!m.is_empty());
+        let r = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!((r.rows(), r.cols()), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Matrix::xavier_seeded(4, 3, 1);
+        let b = Matrix::xavier_seeded(4, 5, 2);
+        let c = Matrix::xavier_seeded(5, 3, 3);
+        // a^T * b == transpose(a).matmul(b)
+        let expected = a.transpose().matmul(&b);
+        let actual = a.transpose_matmul(&b);
+        for (x, y) in expected.data().iter().zip(actual.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // a * c^T == a.matmul(transpose(c))
+        let expected = a.matmul(&c.transpose());
+        let actual = a.matmul_transpose(&c);
+        for (x, y) in expected.data().iter().zip(actual.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_elementwise_helpers() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(m.data(), &[11.0, 22.0, 13.0, 24.0]);
+        let other = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        m.add_assign(&other);
+        assert_eq!(m.data(), &[12.0, 23.0, 14.0, 25.0]);
+        m.scale(0.5);
+        assert_eq!(m.data(), &[6.0, 11.5, 7.0, 12.5]);
+        m.fill_zero();
+        assert_eq!(m.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn column_sums_and_row_mean() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.column_sums(), vec![5.0, 7.0, 9.0]);
+        let mean = m.row_mean();
+        assert_eq!(mean.data(), &[2.5, 3.5, 4.5]);
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(empty.row_mean().data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_initialization_is_bounded_and_seeded() {
+        let a = Matrix::xavier_seeded(10, 20, 7);
+        let b = Matrix::xavier_seeded(10, 20, 7);
+        assert_eq!(a, b);
+        let limit = (6.0 / 30.0f32).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= limit));
+        assert!(a.norm() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_is_associative_with_identity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let m = Matrix::xavier_seeded(rows, cols, seed);
+            let mut identity = Matrix::zeros(cols, cols);
+            for i in 0..cols {
+                identity.set(i, i, 1.0);
+            }
+            let result = m.matmul(&identity);
+            for (a, b) in m.data().iter().zip(result.data()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_is_involutive(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let m = Matrix::xavier_seeded(rows, cols, seed);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn prop_row_mean_is_bounded_by_extremes(rows in 1usize..8, cols in 1usize..6, seed in 0u64..1000) {
+            let m = Matrix::xavier_seeded(rows, cols, seed);
+            let mean = m.row_mean();
+            for c in 0..cols {
+                let col_values: Vec<f32> = (0..rows).map(|r| m.get(r, c)).collect();
+                let lo = col_values.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = col_values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(mean.get(0, c) >= lo - 1e-6 && mean.get(0, c) <= hi + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The Adam optimizer.
+//!
+//! The paper trains both CRN and MSCN with Adam (§3.3, citing Kingma & Ba).  The implementation
+//! follows the original algorithm with bias-corrected moment estimates.
+
+use crate::layers::Param;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state and hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (the paper's default is `0.001`, §3.5).
+    pub learning_rate: f32,
+    /// Exponential decay rate of the first moment.
+    pub beta1: f32,
+    /// Exponential decay rate of the second moment.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub epsilon: f32,
+    /// Number of optimizer steps taken so far (used for bias correction).
+    pub step_count: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's default hyperparameters.
+    pub fn new(learning_rate: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step_count: 0,
+        }
+    }
+
+    /// Performs one update step over the given parameters, consuming their accumulated
+    /// gradients (which are cleared afterwards).
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for param in params {
+            debug_assert_eq!(param.value.len(), param.grad.len());
+            let grads = param.grad.data().to_vec();
+            let values = param.value.data_mut();
+            let m = param.m.data_mut();
+            let v = param.v.data_mut();
+            for i in 0..grads.len() {
+                let g = grads[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            param.zero_grad();
+        }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new(0.001)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn adam_moves_parameters_against_the_gradient() {
+        let mut param = Param::new(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        param.grad = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let mut adam = Adam::new(0.1);
+        adam.step(vec![&mut param]);
+        // A positive gradient decreases the value, a negative gradient increases it.
+        assert!(param.value.get(0, 0) < 1.0);
+        assert!(param.value.get(0, 1) > -1.0);
+        // Gradients are cleared after the step.
+        assert_eq!(param.grad.data(), &[0.0, 0.0]);
+        assert_eq!(adam.step_count, 1);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize f(x) = (x - 3)^2 starting from 0.
+        let mut param = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(0.05);
+        for _ in 0..2000 {
+            let x = param.value.get(0, 0);
+            param.grad = Matrix::from_vec(1, 1, vec![2.0 * (x - 3.0)]);
+            adam.step(vec![&mut param]);
+        }
+        assert!((param.value.get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn zero_gradient_leaves_parameters_nearly_unchanged() {
+        let mut param = Param::new(Matrix::from_vec(1, 2, vec![0.5, 0.25]));
+        let before = param.value.clone();
+        let mut adam = Adam::default();
+        adam.step(vec![&mut param]);
+        for (a, b) in before.data().iter().zip(param.value.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

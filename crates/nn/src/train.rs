@@ -1,0 +1,258 @@
+//! Training-loop utilities shared by the CRN and MSCN models.
+//!
+//! The models own their forward/backward passes (their architectures differ), but the
+//! surrounding machinery is identical and lives here: hyperparameters, train/validation
+//! splitting, mini-batch iteration and early stopping (§3.3: "we use the early stopping
+//! technique and stop the training before convergence to avoid over-fitting").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::loss::LossKind;
+
+/// Hyperparameters of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden layer size `H` (the paper sweeps this in Figure 3 and settles on 512; the
+    /// reproduction defaults to a smaller value so CPU training stays fast).
+    pub hidden_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (the paper's default is 128, §3.5).
+    pub batch_size: usize,
+    /// Adam learning rate (the paper's default is 0.001, §3.5).
+    pub learning_rate: f32,
+    /// Training objective.
+    pub loss: LossKind,
+    /// Fraction of samples held out for validation (the paper uses 80/20, §3.1.2).
+    pub validation_fraction: f64,
+    /// Early-stopping patience: training stops after this many epochs without improvement of
+    /// the validation metric. `None` disables early stopping.
+    pub patience: Option<usize>,
+    /// Random seed for parameter initialization and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            hidden_size: 64,
+            epochs: 40,
+            batch_size: 128,
+            learning_rate: 0.001,
+            loss: LossKind::QError,
+            validation_fraction: 0.2,
+            patience: Some(8),
+            seed: 42,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A configuration tuned for fast unit tests.
+    pub fn fast_test() -> Self {
+        TrainConfig {
+            hidden_size: 16,
+            epochs: 10,
+            batch_size: 32,
+            patience: Some(4),
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Record of one epoch: index, training loss, validation metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss of the epoch.
+    pub train_loss: f64,
+    /// Mean validation q-error after the epoch.
+    pub validation_q_error: f64,
+}
+
+/// The history of a training run (used to reproduce the convergence plot, Figure 4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Per-epoch statistics in order.
+    pub epochs: Vec<EpochStats>,
+    /// Index of the epoch with the best validation metric.
+    pub best_epoch: usize,
+    /// Best validation metric observed.
+    pub best_validation: f64,
+}
+
+impl TrainingHistory {
+    /// Records an epoch and returns `true` if it improved on the best validation metric.
+    pub fn record(&mut self, stats: EpochStats) -> bool {
+        let improved = self.epochs.is_empty() || stats.validation_q_error < self.best_validation;
+        if improved {
+            self.best_epoch = stats.epoch;
+            self.best_validation = stats.validation_q_error;
+        }
+        self.epochs.push(stats);
+        improved
+    }
+
+    /// Number of epochs actually run.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Returns true when no epoch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+}
+
+/// Early-stopping controller.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: Option<usize>,
+    epochs_without_improvement: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a controller with the given patience (`None` disables early stopping).
+    pub fn new(patience: Option<usize>) -> Self {
+        EarlyStopping {
+            patience,
+            epochs_without_improvement: 0,
+        }
+    }
+
+    /// Reports whether training should stop after observing an epoch that either improved the
+    /// validation metric or not.
+    pub fn should_stop(&mut self, improved: bool) -> bool {
+        if improved {
+            self.epochs_without_improvement = 0;
+            return false;
+        }
+        self.epochs_without_improvement += 1;
+        match self.patience {
+            Some(patience) => self.epochs_without_improvement > patience,
+            None => false,
+        }
+    }
+}
+
+/// Splits sample indices into a training set and a validation set.
+///
+/// The split is deterministic for a given seed and keeps at least one sample on each side
+/// whenever there are at least two samples.
+pub fn train_validation_split(
+    num_samples: usize,
+    validation_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut indices: Vec<usize> = (0..num_samples).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut validation_size = ((num_samples as f64) * validation_fraction).round() as usize;
+    if num_samples >= 2 {
+        validation_size = validation_size.clamp(1, num_samples - 1);
+    } else {
+        validation_size = 0;
+    }
+    let validation = indices.split_off(num_samples - validation_size);
+    (indices, validation)
+}
+
+/// Yields mini-batches of indices, reshuffled each epoch.
+pub fn shuffled_batches(
+    indices: &[usize],
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    let mut shuffled = indices.to_vec();
+    shuffled.shuffle(rng);
+    shuffled
+        .chunks(batch_size.max(1))
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let (train_a, val_a) = train_validation_split(100, 0.2, 7);
+        let (train_b, val_b) = train_validation_split(100, 0.2, 7);
+        assert_eq!(train_a, train_b);
+        assert_eq!(val_a, val_b);
+        assert_eq!(train_a.len(), 80);
+        assert_eq!(val_a.len(), 20);
+        let mut all: Vec<usize> = train_a.iter().chain(val_a.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_handles_tiny_sample_counts() {
+        let (train, val) = train_validation_split(1, 0.2, 1);
+        assert_eq!(train.len(), 1);
+        assert!(val.is_empty());
+        let (train, val) = train_validation_split(2, 0.9, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(val.len(), 1);
+        let (train, val) = train_validation_split(0, 0.2, 1);
+        assert!(train.is_empty() && val.is_empty());
+    }
+
+    #[test]
+    fn batches_cover_all_indices() {
+        let indices: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = shuffled_batches(&indices, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, indices);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let mut es = EarlyStopping::new(Some(2));
+        assert!(!es.should_stop(true));
+        assert!(!es.should_stop(false));
+        assert!(!es.should_stop(false));
+        assert!(es.should_stop(false));
+        // Improvement resets the counter.
+        let mut es = EarlyStopping::new(Some(1));
+        assert!(!es.should_stop(false));
+        assert!(!es.should_stop(true));
+        assert!(!es.should_stop(false));
+        assert!(es.should_stop(false));
+        // Disabled early stopping never stops.
+        let mut es = EarlyStopping::new(None);
+        for _ in 0..100 {
+            assert!(!es.should_stop(false));
+        }
+    }
+
+    #[test]
+    fn history_tracks_best_epoch() {
+        let mut history = TrainingHistory::default();
+        assert!(history.is_empty());
+        assert!(history.record(EpochStats { epoch: 0, train_loss: 5.0, validation_q_error: 4.0 }));
+        assert!(!history.record(EpochStats { epoch: 1, train_loss: 4.0, validation_q_error: 4.5 }));
+        assert!(history.record(EpochStats { epoch: 2, train_loss: 3.0, validation_q_error: 3.5 }));
+        assert_eq!(history.best_epoch, 2);
+        assert_eq!(history.best_validation, 3.5);
+        assert_eq!(history.len(), 3);
+    }
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let config = TrainConfig::default();
+        assert_eq!(config.batch_size, 128);
+        assert!((config.learning_rate - 0.001).abs() < 1e-9);
+        assert_eq!(config.loss, LossKind::QError);
+        assert!((config.validation_fraction - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! The query abstract syntax tree.
+//!
+//! The paper restricts itself to conjunctive `SELECT * FROM ... WHERE ...` queries whose WHERE
+//! clause is a conjunction of equi-join clauses and column predicates (§2, §3.2.1).  A query is
+//! therefore fully described by the three sets the CRN featurization uses:
+//!
+//! * `T` — the tables in the FROM clause,
+//! * `J` — the join clauses,
+//! * `P` — the column predicates `(column, op, literal)`.
+
+use crn_db::schema::{ColumnRef, Schema};
+use crn_db::value::CompareOp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An equi-join clause `left = right` between two columns of different tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JoinClause {
+    /// Left join column.
+    pub left: ColumnRef,
+    /// Right join column.
+    pub right: ColumnRef,
+}
+
+impl JoinClause {
+    /// Creates a join clause, normalising operand order so that logically identical joins
+    /// compare equal regardless of how they were written.
+    pub fn new(a: ColumnRef, b: ColumnRef) -> Self {
+        if a <= b {
+            JoinClause { left: a, right: b }
+        } else {
+            JoinClause { left: b, right: a }
+        }
+    }
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+/// A column predicate `column op literal`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The column the predicate filters.
+    pub column: ColumnRef,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Literal the column is compared against.
+    pub value: i64,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(column: ColumnRef, op: CompareOp, value: i64) -> Self {
+        Predicate { column, op, value }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+/// A conjunctive `SELECT * FROM ... WHERE ...` query.
+///
+/// All collections are kept sorted/deduplicated so that two logically identical queries are
+/// structurally equal; this is what the "unique queries without repetition" requirement of the
+/// training-set construction (§4.1.2) relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Query {
+    tables: BTreeSet<String>,
+    joins: Vec<JoinClause>,
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Creates a query from its three component sets.
+    ///
+    /// Joins and predicates are sorted and deduplicated; exact duplicate predicates carry no
+    /// semantics in a conjunction.
+    pub fn new(
+        tables: impl IntoIterator<Item = String>,
+        joins: impl IntoIterator<Item = JoinClause>,
+        predicates: impl IntoIterator<Item = Predicate>,
+    ) -> Self {
+        let tables: BTreeSet<String> = tables.into_iter().collect();
+        let mut joins: Vec<JoinClause> = joins.into_iter().collect();
+        joins.sort();
+        joins.dedup();
+        let mut predicates: Vec<Predicate> = predicates.into_iter().collect();
+        predicates.sort();
+        predicates.dedup();
+        Query {
+            tables,
+            joins,
+            predicates,
+        }
+    }
+
+    /// A single-table query without predicates (`SELECT * FROM table WHERE TRUE`).
+    pub fn scan(table: &str) -> Self {
+        Query::new([table.to_string()], [], [])
+    }
+
+    /// The set `T` of tables in the FROM clause.
+    pub fn tables(&self) -> &BTreeSet<String> {
+        &self.tables
+    }
+
+    /// The set `J` of join clauses.
+    pub fn joins(&self) -> &[JoinClause] {
+        &self.joins
+    }
+
+    /// The set `P` of column predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of join clauses (the paper reports workloads by "number of joins").
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// True if both queries have the same FROM clause.
+    ///
+    /// Containment rates — and the queries-pool matching step of the cardinality technique —
+    /// are only defined for queries whose SELECT and FROM clauses are identical (§2).
+    pub fn same_from(&self, other: &Query) -> bool {
+        self.tables == other.tables
+    }
+
+    /// Builds the intersection query `Q1 ∩ Q2` used by the `Crd2Cnt` transformation (§4.1.1):
+    /// same SELECT and FROM clause, WHERE clause is the conjunction of both WHERE clauses.
+    ///
+    /// Returns `None` if the FROM clauses differ (the intersection is not defined then).
+    pub fn intersect(&self, other: &Query) -> Option<Query> {
+        if !self.same_from(other) {
+            return None;
+        }
+        Some(Query::new(
+            self.tables.iter().cloned(),
+            self.joins.iter().chain(other.joins.iter()).cloned(),
+            self.predicates
+                .iter()
+                .chain(other.predicates.iter())
+                .cloned(),
+        ))
+    }
+
+    /// Returns a copy of the query with an additional predicate.
+    pub fn with_predicate(&self, predicate: Predicate) -> Query {
+        Query::new(
+            self.tables.iter().cloned(),
+            self.joins.iter().cloned(),
+            self.predicates.iter().cloned().chain([predicate]),
+        )
+    }
+
+    /// Returns a copy of the query with the predicate at `index` replaced.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn with_replaced_predicate(&self, index: usize, predicate: Predicate) -> Query {
+        let mut predicates: Vec<Predicate> = self.predicates.clone();
+        predicates[index] = predicate;
+        Query::new(
+            self.tables.iter().cloned(),
+            self.joins.iter().cloned(),
+            predicates,
+        )
+    }
+
+    /// Returns a copy of the query without the predicate at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn without_predicate(&self, index: usize) -> Query {
+        let mut predicates: Vec<Predicate> = self.predicates.clone();
+        predicates.remove(index);
+        Query::new(
+            self.tables.iter().cloned(),
+            self.joins.iter().cloned(),
+            predicates,
+        )
+    }
+
+    /// Validates the query against a schema: every table must exist, every referenced column
+    /// must belong to a table in the FROM clause, and join clauses must connect FROM tables.
+    pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        if self.tables.is_empty() {
+            return Err(QueryError::EmptyFrom);
+        }
+        for t in &self.tables {
+            if schema.table(t).is_none() {
+                return Err(QueryError::UnknownTable(t.clone()));
+            }
+        }
+        let check_col = |c: &ColumnRef| -> Result<(), QueryError> {
+            if !self.tables.contains(&c.table) {
+                return Err(QueryError::TableNotInFrom(c.clone()));
+            }
+            if schema.column(c).is_none() {
+                return Err(QueryError::UnknownColumn(c.clone()));
+            }
+            Ok(())
+        };
+        for j in &self.joins {
+            check_col(&j.left)?;
+            check_col(&j.right)?;
+            if j.left.table == j.right.table {
+                return Err(QueryError::SelfJoin(j.clone()));
+            }
+        }
+        for p in &self.predicates {
+            check_col(&p.column)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the query as SQL text (`SELECT * FROM ... WHERE ...`).
+    pub fn to_sql(&self) -> String {
+        let tables: Vec<&str> = self.tables.iter().map(|s| s.as_str()).collect();
+        let mut sql = format!("SELECT * FROM {}", tables.join(", "));
+        let mut clauses: Vec<String> = Vec::new();
+        clauses.extend(self.joins.iter().map(|j| j.to_string()));
+        clauses.extend(self.predicates.iter().map(|p| p.to_string()));
+        if clauses.is_empty() {
+            sql.push_str(" WHERE TRUE");
+        } else {
+            sql.push_str(" WHERE ");
+            sql.push_str(&clauses.join(" AND "));
+        }
+        sql
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sql())
+    }
+}
+
+/// Errors produced when validating or parsing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The FROM clause is empty.
+    EmptyFrom,
+    /// A table in the FROM clause does not exist in the schema.
+    UnknownTable(String),
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(ColumnRef),
+    /// A referenced column's table is not part of the FROM clause.
+    TableNotInFrom(ColumnRef),
+    /// A join clause connects a table with itself.
+    SelfJoin(JoinClause),
+    /// The SQL text could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyFrom => write!(f, "FROM clause is empty"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            QueryError::TableNotInFrom(c) => write!(f, "column {c} references a table missing from FROM"),
+            QueryError::SelfJoin(j) => write!(f, "self join {j} is not supported"),
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::imdb_schema;
+
+    fn col(t: &str, c: &str) -> ColumnRef {
+        ColumnRef::new(t, c)
+    }
+
+    fn title_mc_query() -> Query {
+        Query::new(
+            ["title".to_string(), "movie_companies".to_string()],
+            [JoinClause::new(col("title", "id"), col("movie_companies", "movie_id"))],
+            [Predicate::new(col("title", "production_year"), CompareOp::Gt, 2000)],
+        )
+    }
+
+    #[test]
+    fn join_clause_is_order_insensitive() {
+        let a = JoinClause::new(col("title", "id"), col("movie_companies", "movie_id"));
+        let b = JoinClause::new(col("movie_companies", "movie_id"), col("title", "id"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_normalises_duplicates() {
+        let p = Predicate::new(col("title", "kind_id"), CompareOp::Eq, 1);
+        let q = Query::new(
+            ["title".to_string()],
+            [],
+            [p.clone(), p.clone(), Predicate::new(col("title", "kind_id"), CompareOp::Eq, 2)],
+        );
+        assert_eq!(q.predicates().len(), 2);
+    }
+
+    #[test]
+    fn same_from_and_intersection() {
+        let q1 = title_mc_query();
+        let q2 = q1.with_predicate(Predicate::new(col("movie_companies", "company_id"), CompareOp::Lt, 10));
+        assert!(q1.same_from(&q2));
+        let inter = q1.intersect(&q2).unwrap();
+        assert_eq!(inter.predicates().len(), 2);
+        assert_eq!(inter.joins().len(), 1);
+        // Intersection with a different FROM clause is undefined.
+        let q3 = Query::scan("title");
+        assert!(q1.intersect(&q3).is_none());
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_idempotent() {
+        let q1 = title_mc_query();
+        let q2 = q1.with_predicate(Predicate::new(col("movie_companies", "company_id"), CompareOp::Lt, 10));
+        assert_eq!(q1.intersect(&q2), q2.intersect(&q1));
+        assert_eq!(q1.intersect(&q1).unwrap(), q1);
+    }
+
+    #[test]
+    fn predicate_edit_helpers() {
+        let q = title_mc_query();
+        let replaced = q.with_replaced_predicate(0, Predicate::new(col("title", "kind_id"), CompareOp::Eq, 3));
+        assert_eq!(replaced.predicates().len(), 1);
+        assert_eq!(replaced.predicates()[0].column.column, "kind_id");
+        let removed = q.without_predicate(0);
+        assert!(removed.predicates().is_empty());
+        assert_eq!(q.predicates().len(), 1, "original must be unchanged");
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_queries() {
+        let schema = imdb_schema();
+        assert_eq!(title_mc_query().validate(&schema), Ok(()));
+        assert_eq!(Query::scan("title").validate(&schema), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_queries() {
+        let schema = imdb_schema();
+        let empty = Query::new(Vec::<String>::new(), [], []);
+        assert_eq!(empty.validate(&schema), Err(QueryError::EmptyFrom));
+
+        let unknown_table = Query::scan("nope");
+        assert!(matches!(unknown_table.validate(&schema), Err(QueryError::UnknownTable(_))));
+
+        let bad_col = Query::new(
+            ["title".to_string()],
+            [],
+            [Predicate::new(col("title", "nope"), CompareOp::Eq, 1)],
+        );
+        assert!(matches!(bad_col.validate(&schema), Err(QueryError::UnknownColumn(_))));
+
+        let not_in_from = Query::new(
+            ["title".to_string()],
+            [],
+            [Predicate::new(col("movie_companies", "company_id"), CompareOp::Eq, 1)],
+        );
+        assert!(matches!(not_in_from.validate(&schema), Err(QueryError::TableNotInFrom(_))));
+
+        let self_join = Query::new(
+            ["title".to_string()],
+            [JoinClause::new(col("title", "id"), col("title", "kind_id"))],
+            [],
+        );
+        assert!(matches!(self_join.validate(&schema), Err(QueryError::SelfJoin(_))));
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let q = Query::scan("title");
+        assert_eq!(q.to_sql(), "SELECT * FROM title WHERE TRUE");
+        let q = title_mc_query();
+        let sql = q.to_sql();
+        assert!(sql.starts_with("SELECT * FROM movie_companies, title WHERE "));
+        assert!(sql.contains("movie_companies.movie_id = title.id"));
+        assert!(sql.contains("title.production_year > 2000"));
+    }
+
+    #[test]
+    fn num_joins_counts_join_clauses() {
+        assert_eq!(Query::scan("title").num_joins(), 0);
+        assert_eq!(title_mc_query().num_joins(), 1);
+    }
+}

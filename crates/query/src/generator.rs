@@ -1,0 +1,597 @@
+//! Random query generators.
+//!
+//! Two generators are provided:
+//!
+//! * [`QueryGenerator`] — the paper's three-step development-set generator (§3.1.2): generate
+//!   *initial queries* following the schema join graph, perturb them into "similar but
+//!   different" variants, and pair queries that share a FROM clause.
+//! * [`ScaleGenerator`] — a differently-parameterized generator mimicking the MSCN training
+//!   set generator, used to build the `scale` workload that tests generalization to queries
+//!   "not created with the same trained queries' generator" (§6.6).
+
+use crate::ast::{JoinClause, Predicate, Query};
+use crn_db::database::Database;
+use crn_db::schema::ColumnRef;
+use crn_db::value::CompareOp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of the paper's query-pair generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Random seed.
+    pub seed: u64,
+    /// Maximum number of joins in generated queries.
+    ///
+    /// The paper trains with at most two joins "to avoid a combinatorial explosion" and lets
+    /// the model generalize to more joins (§3.1.2); evaluation workloads go up to five.
+    pub max_joins: usize,
+    /// Number of perturbed variants generated per initial query (step 2).
+    pub variants_per_initial: usize,
+    /// Probability that a perturbation adds a new predicate (instead of editing one).
+    pub add_predicate_prob: f64,
+    /// Maximum number of predicates drawn per base table in initial queries.
+    ///
+    /// `None` means "up to the number of non-key columns of the table", as in the paper.
+    pub max_predicates_per_table: Option<usize>,
+}
+
+impl GeneratorConfig {
+    /// The paper's configuration: queries with zero to two joins.
+    pub fn paper(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            max_joins: 2,
+            variants_per_initial: 3,
+            add_predicate_prob: 0.4,
+            max_predicates_per_table: None,
+        }
+    }
+
+    /// A configuration generating queries with up to `max_joins` joins (used for the
+    /// evaluation workloads that probe generalization to more joins).
+    pub fn with_max_joins(seed: u64, max_joins: usize) -> Self {
+        GeneratorConfig {
+            max_joins,
+            ..GeneratorConfig::paper(seed)
+        }
+    }
+}
+
+/// The paper's three-step query/pair generator.
+pub struct QueryGenerator<'a> {
+    db: &'a Database,
+    config: GeneratorConfig,
+    rng: StdRng,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Creates a generator over a database snapshot.
+    pub fn new(db: &'a Database, config: GeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        QueryGenerator { db, config, rng }
+    }
+
+    /// Step 1: generates `n` initial queries (§3.1.2).
+    ///
+    /// Each query chooses a connected set of tables (respecting `max_joins`), adds the join
+    /// edges connecting them, and draws a uniform number of predicates per base table, each
+    /// with a uniform non-key column, a uniform operator from `{<, =, >}` and a literal drawn
+    /// from the column's value range in the database.
+    pub fn generate_initial(&mut self, n: usize) -> Vec<Query> {
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n {
+            queries.push(self.generate_one_initial(None));
+        }
+        queries
+    }
+
+    /// Generates initial queries with an exact number of joins (used to build the evaluation
+    /// workloads of Tables 2 and 5, which fix the per-join-count distribution).
+    pub fn generate_initial_with_joins(&mut self, n: usize, joins: usize) -> Vec<Query> {
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n {
+            queries.push(self.generate_one_initial(Some(joins)));
+        }
+        queries
+    }
+
+    fn generate_one_initial(&mut self, forced_joins: Option<usize>) -> Query {
+        let num_joins = match forced_joins {
+            Some(j) => j,
+            None => self.rng.gen_range(0..=self.config.max_joins),
+        };
+        let tables = self.choose_connected_tables(num_joins + 1);
+        let joins = self.spanning_joins(&tables);
+        let mut predicates = Vec::new();
+        for table in &tables {
+            predicates.extend(self.draw_predicates_for_table(table));
+        }
+        Query::new(tables, joins, predicates)
+    }
+
+    /// Chooses a connected set of `k` tables by a random walk over the join graph.
+    fn choose_connected_tables(&mut self, k: usize) -> BTreeSet<String> {
+        let schema = self.db.schema();
+        let all: Vec<String> = schema.tables().iter().map(|t| t.name.clone()).collect();
+        let mut chosen = BTreeSet::new();
+        let start = all.choose(&mut self.rng).expect("schema has tables").clone();
+        chosen.insert(start);
+        while chosen.len() < k {
+            // Collect neighbors of the current set that are not yet chosen.
+            let mut frontier: Vec<String> = chosen
+                .iter()
+                .flat_map(|t| schema.neighbors(t))
+                .filter(|t| !chosen.contains(t))
+                .collect();
+            frontier.sort();
+            frontier.dedup();
+            match frontier.choose(&mut self.rng) {
+                Some(next) => {
+                    chosen.insert(next.clone());
+                }
+                // The start table has no further joinable neighbors; restart from a table with
+                // neighbors (e.g. a fact table was picked for a multi-join query).
+                None => {
+                    chosen.clear();
+                    let with_neighbors: Vec<&String> = all
+                        .iter()
+                        .filter(|t| !schema.neighbors(t).is_empty())
+                        .collect();
+                    let start = (*with_neighbors
+                        .choose(&mut self.rng)
+                        .expect("join graph is non-empty"))
+                    .clone();
+                    chosen.insert(start);
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Adds the join edges of a spanning tree over the chosen tables.
+    ///
+    /// The chosen table set is connected by construction, so a BFS-style growth — always
+    /// attaching a table that has an edge into the already-connected component — produces
+    /// exactly `|tables| - 1` join clauses.  For the star-shaped IMDb schema this yields the
+    /// usual `title.id = fact.movie_id` edges.
+    fn spanning_joins(&self, tables: &BTreeSet<String>) -> Vec<JoinClause> {
+        let schema = self.db.schema();
+        let mut joins = Vec::new();
+        let mut remaining: Vec<&String> = tables.iter().collect();
+        let mut connected: Vec<&String> = Vec::new();
+        if let Some(first) = remaining.pop() {
+            connected.push(first);
+        }
+        while !remaining.is_empty() {
+            let attach = remaining.iter().position(|t| {
+                connected
+                    .iter()
+                    .any(|c| schema.join_edge_between(c, t).is_some())
+            });
+            match attach {
+                Some(idx) => {
+                    let t = remaining.remove(idx);
+                    let (a, b) = connected
+                        .iter()
+                        .find_map(|c| schema.join_edge_between(c, t))
+                        .expect("edge exists by construction");
+                    joins.push(JoinClause::new(a, b));
+                    connected.push(t);
+                }
+                // Disconnected table set (cannot happen for sets produced by
+                // `choose_connected_tables`); leave the remaining tables as a cross product.
+                None => break,
+            }
+        }
+        joins
+    }
+
+    fn draw_predicates_for_table(&mut self, table: &str) -> Vec<Predicate> {
+        let schema = self.db.schema();
+        let def = schema.table(table).expect("table exists");
+        let non_key: Vec<ColumnRef> = def
+            .non_key_columns()
+            .map(|c| ColumnRef::new(table, &c.name))
+            .collect();
+        if non_key.is_empty() {
+            return Vec::new();
+        }
+        let cap = self
+            .config
+            .max_predicates_per_table
+            .unwrap_or(non_key.len())
+            .min(non_key.len());
+        let count = self.rng.gen_range(0..=cap);
+        // Draw distinct columns so a query never contains contradicting duplicates on the
+        // same column from step 1 (step 2 may still add them, which is intended "hardness").
+        let mut columns = non_key;
+        columns.shuffle(&mut self.rng);
+        columns.truncate(count);
+        columns
+            .into_iter()
+            .map(|col| {
+                let op = *CompareOp::PAPER.choose(&mut self.rng).expect("non-empty");
+                let value = self.draw_value(&col);
+                Predicate::new(col, op, value)
+            })
+            .collect()
+    }
+
+    /// Draws a literal from the column's value range in the database (§3.1.2).
+    fn draw_value(&mut self, column: &ColumnRef) -> i64 {
+        match self.db.column_min_max(column) {
+            Some((lo, hi)) if lo < hi => self.rng.gen_range(lo..=hi),
+            Some((lo, _)) => lo,
+            // Empty column: any literal produces an empty result; zero is as good as any.
+            None => 0,
+        }
+    }
+
+    /// Step 2: generates "similar but different" variants of a query (§3.1.2) by randomly
+    /// changing predicate operators or values, or adding predicates.
+    pub fn perturb(&mut self, query: &Query) -> Query {
+        let add_new = query.predicates().is_empty()
+            || self.rng.gen::<f64>() < self.config.add_predicate_prob;
+        if add_new {
+            // Add a fresh predicate on one of the query's tables.
+            let tables: Vec<&String> = query.tables().iter().collect();
+            let table = (*tables.choose(&mut self.rng).expect("query has tables")).clone();
+            let mut preds = self.draw_predicates_for_table(&table);
+            match preds.pop() {
+                Some(p) => query.with_predicate(p),
+                None => query.clone(),
+            }
+        } else {
+            let idx = self.rng.gen_range(0..query.predicates().len());
+            let original = query.predicates()[idx].clone();
+            let replacement = if self.rng.gen::<bool>() {
+                // Change the operator.
+                let op = *CompareOp::PAPER.choose(&mut self.rng).expect("non-empty");
+                Predicate::new(original.column.clone(), op, original.value)
+            } else {
+                // Change the value.
+                let value = self.draw_value(&original.column);
+                Predicate::new(original.column.clone(), original.op, value)
+            };
+            query.with_replaced_predicate(idx, replacement)
+        }
+    }
+
+    /// Steps 1+2: generates a pool of unique queries (initial queries plus perturbed variants).
+    ///
+    /// This is exactly what the cardinality evaluation workloads use: "we only run the first
+    /// two steps of the generator" (§6).
+    pub fn generate_queries(&mut self, num_initial: usize) -> Vec<Query> {
+        let initial = self.generate_initial(num_initial);
+        let mut all = Vec::with_capacity(initial.len() * (1 + self.config.variants_per_initial));
+        for q in initial {
+            for _ in 0..self.config.variants_per_initial {
+                all.push(self.perturb(&q));
+            }
+            all.push(q);
+        }
+        dedup_queries(all)
+    }
+
+    /// Step 3: pairs queries with identical FROM clauses (§3.1.2).
+    ///
+    /// Returns up to `num_pairs` unique `(Q1, Q2)` pairs drawn from initial queries and their
+    /// perturbed variants.  Pairs are ordered, i.e. `(Q1, Q2)` and `(Q2, Q1)` are distinct
+    /// samples (containment is not symmetric).
+    pub fn generate_pairs(&mut self, num_initial: usize, num_pairs: usize) -> Vec<(Query, Query)> {
+        let initial = self.generate_initial(num_initial);
+        let mut pairs = Vec::with_capacity(num_pairs);
+        let mut seen = BTreeSet::new();
+        // Create a family of variants around each initial query and pair within the family;
+        // this matches the paper's goal of "pairs that look similar but whose containment
+        // rates vary significantly".
+        'outer: loop {
+            for q in &initial {
+                let mut family = vec![q.clone()];
+                for _ in 0..self.config.variants_per_initial {
+                    family.push(self.perturb(q));
+                }
+                // Also occasionally perturb a perturbed query to get second-order variants.
+                let second_order = self.perturb(family.last().expect("non-empty"));
+                family.push(second_order);
+                for _ in 0..family.len() {
+                    let a = family.choose(&mut self.rng).expect("non-empty").clone();
+                    let b = family.choose(&mut self.rng).expect("non-empty").clone();
+                    if a == b || !a.same_from(&b) {
+                        continue;
+                    }
+                    let key = (a.clone(), b.clone());
+                    if seen.insert(key) {
+                        pairs.push((a, b));
+                        if pairs.len() >= num_pairs {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if initial.is_empty() {
+                break;
+            }
+        }
+        pairs
+    }
+}
+
+/// Deduplicates queries while preserving first-seen order.
+pub fn dedup_queries(queries: Vec<Query>) -> Vec<Query> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        if seen.insert(q.clone()) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Configuration for the MSCN-style `scale` workload generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleGeneratorConfig {
+    /// Random seed.
+    pub seed: u64,
+    /// Maximum number of joins (the paper's `scale` workload has zero to four joins).
+    pub max_joins: usize,
+    /// Probability of drawing an equality operator (MSCN's generator favours equalities on
+    /// dictionary-encoded columns).
+    pub eq_bias: f64,
+}
+
+impl Default for ScaleGeneratorConfig {
+    fn default() -> Self {
+        ScaleGeneratorConfig {
+            seed: 7,
+            max_joins: 4,
+            eq_bias: 0.5,
+        }
+    }
+}
+
+/// A second, differently-parameterized query generator.
+///
+/// Differences from [`QueryGenerator`] (mirroring how the MSCN workload generator differs from
+/// the paper's): literals are drawn from *actual rows* rather than uniformly from the value
+/// range, every chosen table receives at least one predicate, the operator distribution is
+/// biased toward equality, and there is no perturbation step.
+pub struct ScaleGenerator<'a> {
+    db: &'a Database,
+    config: ScaleGeneratorConfig,
+    rng: StdRng,
+}
+
+impl<'a> ScaleGenerator<'a> {
+    /// Creates a generator over a database snapshot.
+    pub fn new(db: &'a Database, config: ScaleGeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ScaleGenerator { db, config, rng }
+    }
+
+    /// Generates `n` queries with exactly `joins` joins.
+    pub fn generate_with_joins(&mut self, n: usize, joins: usize) -> Vec<Query> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.generate_one(joins));
+        }
+        out
+    }
+
+    /// Generates `n` queries with join counts drawn uniformly from `0..=max_joins`.
+    pub fn generate(&mut self, n: usize) -> Vec<Query> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let joins = self.rng.gen_range(0..=self.config.max_joins);
+            out.push(self.generate_one(joins));
+        }
+        out
+    }
+
+    fn generate_one(&mut self, joins: usize) -> Query {
+        let schema = self.db.schema();
+        // Reuse the paper generator's table/join selection machinery with a private instance;
+        // the differences are confined to predicate drawing.
+        let mut helper = QueryGenerator::new(
+            self.db,
+            GeneratorConfig {
+                seed: self.rng.gen(),
+                max_joins: self.config.max_joins,
+                ..GeneratorConfig::paper(0)
+            },
+        );
+        let tables = helper.choose_connected_tables(joins + 1);
+        let join_clauses = helper.spanning_joins(&tables);
+        let mut predicates = Vec::new();
+        for table in &tables {
+            let def = schema.table(table).expect("table exists");
+            let non_key: Vec<ColumnRef> = def
+                .non_key_columns()
+                .map(|c| ColumnRef::new(table, &c.name))
+                .collect();
+            if non_key.is_empty() {
+                continue;
+            }
+            // At least one predicate per table, at most three.
+            let count = self.rng.gen_range(1..=non_key.len().min(3));
+            let mut columns = non_key;
+            columns.shuffle(&mut self.rng);
+            columns.truncate(count);
+            for col in columns {
+                let op = if self.rng.gen::<f64>() < self.config.eq_bias {
+                    CompareOp::Eq
+                } else if self.rng.gen::<bool>() {
+                    CompareOp::Lt
+                } else {
+                    CompareOp::Gt
+                };
+                let value = self.draw_row_value(&col);
+                predicates.push(Predicate::new(col, op, value));
+            }
+        }
+        Query::new(tables, join_clauses, predicates)
+    }
+
+    /// Draws a literal from an actual row of the column (so equality predicates are never
+    /// trivially empty), falling back to the value range when the column has only NULLs.
+    fn draw_row_value(&mut self, column: &ColumnRef) -> i64 {
+        let table = self.db.table(&column.table).expect("table exists");
+        let col = table.column(&column.column).expect("column exists");
+        if table.row_count() == 0 {
+            return 0;
+        }
+        for _ in 0..8 {
+            let row = self.rng.gen_range(0..table.row_count());
+            if let Some(v) = col.get_int(row) {
+                return v;
+            }
+        }
+        col.min_max().map_or(0, |(lo, _)| lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+
+    fn db() -> Database {
+        generate_imdb(&ImdbConfig::tiny(11))
+    }
+
+    #[test]
+    fn initial_queries_are_valid_and_respect_max_joins() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(1));
+        let queries = gen.generate_initial(200);
+        assert_eq!(queries.len(), 200);
+        for q in &queries {
+            assert!(q.validate(db.schema()).is_ok(), "invalid query {q}");
+            assert!(q.num_joins() <= 2, "too many joins in {q}");
+            // A query with k joins touches exactly k+1 tables (spanning tree).
+            assert_eq!(q.tables().len(), q.num_joins() + 1, "query {q}");
+        }
+    }
+
+    #[test]
+    fn forced_join_count_is_respected() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::with_max_joins(3, 5));
+        for joins in 0..=5 {
+            for q in gen.generate_initial_with_joins(20, joins) {
+                assert_eq!(q.num_joins(), joins);
+                assert!(q.validate(db.schema()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = db();
+        let a = QueryGenerator::new(&db, GeneratorConfig::paper(5)).generate_initial(50);
+        let b = QueryGenerator::new(&db, GeneratorConfig::paper(5)).generate_initial(50);
+        assert_eq!(a, b);
+        let c = QueryGenerator::new(&db, GeneratorConfig::paper(6)).generate_initial(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbation_keeps_from_clause() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(9));
+        let queries = gen.generate_initial(50);
+        for q in &queries {
+            let v = gen.perturb(q);
+            assert!(v.same_from(q), "perturbation changed FROM: {q} -> {v}");
+            assert!(v.validate(db.schema()).is_ok());
+        }
+    }
+
+    #[test]
+    fn pairs_share_from_clause_and_are_unique() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(13));
+        let pairs = gen.generate_pairs(60, 300);
+        assert_eq!(pairs.len(), 300);
+        let mut seen = BTreeSet::new();
+        for (a, b) in &pairs {
+            assert!(a.same_from(b));
+            assert_ne!(a, b);
+            assert!(seen.insert((a.clone(), b.clone())), "duplicate pair");
+        }
+    }
+
+    #[test]
+    fn generate_queries_returns_unique_queries() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(17));
+        let queries = gen.generate_queries(100);
+        let deduped = dedup_queries(queries.clone());
+        assert_eq!(queries.len(), deduped.len());
+        assert!(queries.len() >= 100);
+    }
+
+    #[test]
+    fn predicates_only_touch_non_key_columns_of_from_tables() {
+        let db = db();
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(23));
+        for q in gen.generate_queries(80) {
+            for p in q.predicates() {
+                assert!(q.tables().contains(&p.column.table));
+                let def = db.schema().column(&p.column).unwrap();
+                assert!(!def.is_key, "predicate on key column {}", p.column);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_generator_produces_valid_queries_with_row_literals() {
+        let db = db();
+        let mut gen = ScaleGenerator::new(&db, ScaleGeneratorConfig::default());
+        let queries = gen.generate(100);
+        for q in &queries {
+            assert!(q.validate(db.schema()).is_ok());
+            assert!(q.num_joins() <= 4);
+            // Every table carries at least one predicate in the scale workload.
+            for t in q.tables() {
+                let has_non_key = db
+                    .schema()
+                    .table(t)
+                    .unwrap()
+                    .non_key_columns()
+                    .next()
+                    .is_some();
+                if has_non_key {
+                    assert!(
+                        q.predicates().iter().any(|p| &p.column.table == t),
+                        "table {t} has no predicate in {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_generator_with_fixed_joins() {
+        let db = db();
+        let mut gen = ScaleGenerator::new(&db, ScaleGeneratorConfig::default());
+        for joins in 0..=4 {
+            for q in gen.generate_with_joins(10, joins) {
+                assert_eq!(q.num_joins(), joins);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_preserves_first_seen_order() {
+        let q1 = Query::scan("title");
+        let q2 = Query::scan("cast_info");
+        let out = dedup_queries(vec![q1.clone(), q2.clone(), q1.clone()]);
+        assert_eq!(out, vec![q1, q2]);
+    }
+}

@@ -1,0 +1,34 @@
+//! `crn-query` — the query layer of the containment-rate reproduction.
+//!
+//! * [`ast`] — the conjunctive query AST: FROM tables (`T`), join clauses (`J`) and column
+//!   predicates (`P`), plus the intersection-query construction used by the `Crd2Cnt`
+//!   transformation (paper §4.1.1);
+//! * [`sql`] — SQL rendering and a small parser for the supported dialect;
+//! * [`generator`] — the paper's three-step development-set generator (§3.1.2) and a second,
+//!   MSCN-style generator for the `scale` workload (§6.6).
+//!
+//! # Example
+//!
+//! ```
+//! use crn_db::imdb::{generate_imdb, ImdbConfig};
+//! use crn_query::generator::{GeneratorConfig, QueryGenerator};
+//!
+//! let db = generate_imdb(&ImdbConfig::tiny(1));
+//! let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(1));
+//! let pairs = gen.generate_pairs(10, 20);
+//! assert_eq!(pairs.len(), 20);
+//! for (q1, q2) in &pairs {
+//!     assert!(q1.same_from(q2));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod generator;
+pub mod sql;
+
+pub use ast::{JoinClause, Predicate, Query, QueryError};
+pub use generator::{dedup_queries, GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
+pub use sql::parse_query;

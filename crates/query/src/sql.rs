@@ -1,0 +1,326 @@
+//! A small SQL parser for the conjunctive query dialect used throughout the reproduction.
+//!
+//! The grammar is intentionally tiny — exactly the queries the paper's model supports:
+//!
+//! ```text
+//! query      := SELECT '*' FROM table (',' table)* [ WHERE conjunction ]
+//! conjunction:= clause (AND clause)*
+//! clause     := TRUE
+//!             | column op column          -- join clause
+//!             | column op integer         -- predicate
+//! column     := identifier '.' identifier
+//! op         := '<' | '<=' | '=' | '<>' | '!=' | '>=' | '>'
+//! ```
+//!
+//! Table aliases from the schema (e.g. `t` for `title`) are accepted and resolved to full
+//! table names, so workloads written in JOB-style shorthand parse as well.
+
+use crate::ast::{JoinClause, Predicate, Query, QueryError};
+use crn_db::schema::{ColumnRef, Schema};
+use crn_db::value::CompareOp;
+
+/// Parses a SQL string into a [`Query`], validating it against `schema`.
+pub fn parse_query(sql: &str, schema: &Schema) -> Result<Query, QueryError> {
+    let tokens = tokenize(sql);
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+        schema,
+    };
+    let query = parser.parse()?;
+    query.validate(schema)?;
+    Ok(query)
+}
+
+fn tokenize(sql: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let flush = |current: &mut String, tokens: &mut Vec<String>| {
+        if !current.is_empty() {
+            tokens.push(std::mem::take(current));
+        }
+    };
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => flush(&mut current, &mut tokens),
+            ',' | '*' | ';' | '(' | ')' => {
+                flush(&mut current, &mut tokens);
+                tokens.push(c.to_string());
+            }
+            '<' | '>' | '=' | '!' => {
+                flush(&mut current, &mut tokens);
+                // Two-character operators: <=, >=, <>, !=, ==
+                if i + 1 < chars.len() && matches!(chars[i + 1], '=' | '>') {
+                    tokens.push(format!("{}{}", c, chars[i + 1]));
+                    i += 1;
+                } else {
+                    tokens.push(c.to_string());
+                }
+            }
+            _ => current.push(c),
+        }
+        i += 1;
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+struct Parser<'a> {
+    tokens: &'a [String],
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.tokens.get(self.pos).map(|s| s.as_str());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(QueryError::Parse(format!(
+                "expected {kw}, found {}",
+                other.unwrap_or("end of input")
+            ))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword("SELECT")?;
+        // Accept `*` or `COUNT ( * )`-style projections; cardinality semantics are identical
+        // as long as DISTINCT is absent (paper §9, "SELECT clause").
+        match self.peek() {
+            Some("*") => {
+                self.next();
+            }
+            Some(t) if t.eq_ignore_ascii_case("count") => {
+                // consume COUNT ( * )
+                self.next();
+                for expected in ["(", "*", ")"] {
+                    match self.next() {
+                        Some(tok) if tok == expected => {}
+                        other => {
+                            return Err(QueryError::Parse(format!(
+                                "malformed COUNT(*): expected {expected}, found {}",
+                                other.unwrap_or("end of input")
+                            )))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "unsupported projection {}",
+                    other.unwrap_or("end of input")
+                )))
+            }
+        }
+        self.expect_keyword("FROM")?;
+
+        let mut tables = Vec::new();
+        loop {
+            let t = self
+                .next()
+                .ok_or_else(|| QueryError::Parse("expected table name".into()))?;
+            tables.push(self.resolve_table(t)?);
+            match self.peek() {
+                Some(",") => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+
+        let mut joins = Vec::new();
+        let mut predicates = Vec::new();
+        if let Some(t) = self.peek() {
+            if t.eq_ignore_ascii_case("WHERE") {
+                self.next();
+                loop {
+                    self.parse_clause(&mut joins, &mut predicates)?;
+                    match self.peek() {
+                        Some(t) if t.eq_ignore_ascii_case("AND") => {
+                            self.next();
+                        }
+                        Some(";") => {
+                            self.next();
+                            break;
+                        }
+                        None => break,
+                        Some(other) => {
+                            return Err(QueryError::Parse(format!("unexpected token {other}")))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Query::new(tables, joins, predicates))
+    }
+
+    fn parse_clause(
+        &mut self,
+        joins: &mut Vec<JoinClause>,
+        predicates: &mut Vec<Predicate>,
+    ) -> Result<(), QueryError> {
+        let first = self
+            .next()
+            .ok_or_else(|| QueryError::Parse("expected clause".into()))?
+            .to_string();
+        if first.eq_ignore_ascii_case("TRUE") {
+            return Ok(());
+        }
+        let left = self.resolve_column(&first)?;
+        let op_token = self
+            .next()
+            .ok_or_else(|| QueryError::Parse("expected operator".into()))?
+            .to_string();
+        let op = CompareOp::parse(&op_token)
+            .ok_or_else(|| QueryError::Parse(format!("unknown operator {op_token}")))?;
+        let rhs = self
+            .next()
+            .ok_or_else(|| QueryError::Parse("expected right-hand side".into()))?
+            .to_string();
+        if rhs.contains('.') && rhs.parse::<f64>().is_err() {
+            // column-to-column comparison: only equality joins are supported.
+            if op != CompareOp::Eq {
+                return Err(QueryError::Parse(format!(
+                    "only equi-joins are supported, found operator {op}"
+                )));
+            }
+            let right = self.resolve_column(&rhs)?;
+            joins.push(JoinClause::new(left, right));
+        } else {
+            let value: i64 = rhs
+                .parse()
+                .map_err(|_| QueryError::Parse(format!("invalid literal {rhs}")))?;
+            predicates.push(Predicate::new(left, op, value));
+        }
+        Ok(())
+    }
+
+    /// Resolves a table name or alias to the canonical table name.
+    fn resolve_table(&self, name: &str) -> Result<String, QueryError> {
+        if let Some(t) = self.schema.table(name) {
+            return Ok(t.name.clone());
+        }
+        if let Some(t) = self.schema.table_by_alias(name) {
+            return Ok(t.name.clone());
+        }
+        Err(QueryError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolves `table.column` (table may be an alias).
+    fn resolve_column(&self, text: &str) -> Result<ColumnRef, QueryError> {
+        let (table, column) = text
+            .split_once('.')
+            .ok_or_else(|| QueryError::Parse(format!("expected table.column, found {text}")))?;
+        let table = self.resolve_table(table)?;
+        Ok(ColumnRef::new(&table, column))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::imdb_schema;
+
+    #[test]
+    fn parses_scan_without_where() {
+        let schema = imdb_schema();
+        let q = parse_query("SELECT * FROM title", &schema).unwrap();
+        assert_eq!(q, Query::scan("title"));
+    }
+
+    #[test]
+    fn parses_where_true() {
+        let schema = imdb_schema();
+        let q = parse_query("SELECT * FROM title WHERE TRUE", &schema).unwrap();
+        assert_eq!(q, Query::scan("title"));
+    }
+
+    #[test]
+    fn parses_joins_and_predicates() {
+        let schema = imdb_schema();
+        let q = parse_query(
+            "SELECT * FROM title, movie_companies WHERE title.id = movie_companies.movie_id AND title.production_year > 2000 AND movie_companies.company_id = 17",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(q.tables().len(), 2);
+        assert_eq!(q.num_joins(), 1);
+        assert_eq!(q.predicates().len(), 2);
+    }
+
+    #[test]
+    fn accepts_aliases_and_count_star() {
+        let schema = imdb_schema();
+        let q = parse_query(
+            "SELECT COUNT(*) FROM t, mc WHERE t.id = mc.movie_id AND t.kind_id = 1",
+            &schema,
+        )
+        .unwrap();
+        assert!(q.tables().contains("title"));
+        assert!(q.tables().contains("movie_companies"));
+        assert_eq!(q.predicates().len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_to_sql() {
+        let schema = imdb_schema();
+        let original = parse_query(
+            "SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.role_id <= 2",
+            &schema,
+        )
+        .unwrap();
+        let reparsed = parse_query(&original.to_sql(), &schema).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_columns() {
+        let schema = imdb_schema();
+        assert!(parse_query("SELECT * FROM nope", &schema).is_err());
+        assert!(parse_query("SELECT * FROM title WHERE title.nope = 1", &schema).is_err());
+    }
+
+    #[test]
+    fn rejects_non_equi_joins_and_garbage() {
+        let schema = imdb_schema();
+        assert!(parse_query(
+            "SELECT * FROM title, movie_companies WHERE title.id < movie_companies.movie_id",
+            &schema
+        )
+        .is_err());
+        assert!(parse_query("SELECT * FROM title WHERE title.kind_id LIKE 3", &schema).is_err());
+        assert!(parse_query("DELETE FROM title", &schema).is_err());
+        assert!(parse_query("SELECT * FROM title WHERE title.kind_id =", &schema).is_err());
+    }
+
+    #[test]
+    fn operators_with_two_characters_tokenize_correctly() {
+        let schema = imdb_schema();
+        for (text, expected) in [
+            ("<=", CompareOp::Le),
+            (">=", CompareOp::Ge),
+            ("<>", CompareOp::Ne),
+            ("!=", CompareOp::Ne),
+        ] {
+            let q = parse_query(
+                &format!("SELECT * FROM title WHERE title.kind_id {text} 3"),
+                &schema,
+            )
+            .unwrap();
+            assert_eq!(q.predicates()[0].op, expected, "operator {text}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The multi-join cardinality estimation workflow — the paper's headline scenario.
+//!
+//! Traditional estimators under-estimate multi-join queries on correlated data, with errors
+//! that grow exponentially in the number of joins (§1, §6.5).  This example reproduces that
+//! story end to end on the synthetic IMDb database: it trains CRN and MSCN on 0–2 join query
+//! pairs, builds a queries pool, and then compares PostgreSQL, MSCN and `Cnt2Crd(CRN)` on
+//! queries with 0–5 joins, reporting the mean q-error per join count (the shape of Table 9 /
+//! Figure 11).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cardinality_workflow
+//! ```
+
+use containment_repro::prelude::*;
+use crn_eval::experiments::common::{cardinality_ground_truth, evaluate_cardinality_model, join_mask};
+use crn_eval::workloads::{crd_test2, WorkloadSizes};
+
+fn main() {
+    // Shared experiment context: database, labelled training data, trained CRN + MSCN,
+    // PostgreSQL statistics and the queries pool.  ExperimentConfig::tiny() keeps this example
+    // fast; switch to ::small() for a closer look at the paper's shape.
+    let ctx = ExperimentContext::build(ExperimentConfig::tiny());
+    println!(
+        "context ready: {} training pairs, pool of {} queries, CRN best validation q-error {:.2}\n",
+        ctx.containment_training.len(),
+        ctx.pool.len(),
+        ctx.crn_history.best_validation
+    );
+
+    // The evaluation workload: queries with zero to five joins (crd_test2).
+    let workload = crd_test2(&ctx.db, &WorkloadSizes::tiny(), 1234);
+    let truth = cardinality_ground_truth(&ctx.db, &workload);
+
+    // The three headline models of §6.
+    let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone())
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let models: Vec<(&str, &dyn CardinalityEstimator)> = vec![
+        ("PostgreSQL", &ctx.postgres),
+        ("MSCN", &ctx.mscn),
+        ("Cnt2Crd(CRN)", &cnt2crd),
+    ];
+
+    println!("{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "mean q-error", "0 joins", "1", "2", "3", "4", "5");
+    for (label, model) in &models {
+        let errors = evaluate_cardinality_model(*model, &workload, &truth);
+        let mut cells = Vec::new();
+        for joins in 0..=5usize {
+            let mask = join_mask(&truth.join_counts, joins, joins);
+            cells.push(format!("{:>10.1}", errors.mean_where(&mask)));
+        }
+        println!("{label:<16} {}", cells.join(" "));
+    }
+
+    println!(
+        "\nExpected shape (paper, Table 9): PostgreSQL and MSCN errors explode as joins grow\n\
+         beyond the training regime (3+ joins), while Cnt2Crd(CRN) stays comparatively flat\n\
+         because each estimate is anchored to a previously executed query's true cardinality."
+    );
+
+    // Show one concrete 4-join query end to end.
+    if let Some((idx, query)) = workload
+        .queries
+        .iter()
+        .enumerate()
+        .find(|(_, q)| q.num_joins() >= 4)
+    {
+        let truth_card = truth.cardinalities[idx] as f64;
+        println!("\nexample {}-join query:\n  {}", query.num_joins(), query.to_sql());
+        for (label, model) in &models {
+            let estimate = model.estimate(query);
+            println!(
+                "  {label:<14} estimate {estimate:>12.1}   (true {truth_card:>10.0}, q-error {:.1})",
+                q_error(estimate, truth_card.max(1.0), 1.0)
+            );
+        }
+    }
+}

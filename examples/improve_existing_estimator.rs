@@ -1,0 +1,87 @@
+//! Improving an *existing* cardinality estimator without changing it (paper §7).
+//!
+//! The paper's last contribution is a recipe any system can adopt: keep your cardinality
+//! estimator `M` exactly as it is, convert it to a containment-rate estimator with `Crd2Cnt`,
+//! and wrap it in the queries-pool technique with `Cnt2Crd`.  The resulting `Improved M`
+//! re-uses the work of previously executed queries and typically dominates `M` on multi-join
+//! queries.  This example does that for the PostgreSQL-style estimator and for MSCN, printing
+//! a before/after comparison (the shape of Tables 11 and 12).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example improve_existing_estimator
+//! ```
+
+use containment_repro::prelude::*;
+use crn_eval::experiments::common::{cardinality_ground_truth, evaluate_cardinality_model};
+use crn_eval::workloads::{crd_test2, WorkloadSizes};
+
+fn print_summary(label: &str, summary: &QErrorSummary) {
+    println!(
+        "{label:<24} p50 {:>8.2}  p90 {:>9.2}  p99 {:>10.2}  max {:>12.2}  mean {:>10.2}",
+        summary.p50, summary.p90, summary.p99, summary.max, summary.mean
+    );
+}
+
+fn main() {
+    // A database plus a queries pool of previously executed queries.  In a live DBMS the pool
+    // would simply record the queries the system has already answered (§5.2); here we generate
+    // and execute one up front.
+    let db = generate_imdb(&ImdbConfig::tiny(99));
+    let pool = QueriesPool::generate(&db, 80, 5, 99);
+    println!(
+        "queries pool: {} previously executed queries over {} distinct FROM clauses\n",
+        pool.len(),
+        pool.num_from_clauses()
+    );
+
+    // The existing estimators we want to improve.
+    let postgres = PostgresEstimator::analyze(&db);
+
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(99));
+    let pairs = generator.generate_pairs(60, 400);
+    let containment_training = label_containment_pairs(&db, &pairs, 4);
+    let cardinality_training = ExperimentContext::derive_cardinality_training(&containment_training);
+    let mut mscn = MscnModel::new(
+        &db,
+        TrainConfig {
+            hidden_size: 32,
+            epochs: 15,
+            ..TrainConfig::default()
+        },
+    );
+    mscn.fit(&cardinality_training);
+
+    // The improved versions: Improved M = Cnt2Crd(Crd2Cnt(M)) with the queries pool.
+    let improved_postgres = ImprovedEstimator::new(PostgresEstimator::analyze(&db), pool.clone());
+    let improved_mscn = ImprovedEstimator::new(&mscn, pool.clone());
+
+    // Evaluate everything on a 0-5 join workload.
+    let workload = crd_test2(&db, &WorkloadSizes::tiny(), 4321);
+    let truth = cardinality_ground_truth(&db, &workload);
+    println!("evaluation workload: {} queries with 0-5 joins\n", workload.len());
+
+    let pg_summary = evaluate_cardinality_model(&postgres, &workload, &truth).summary();
+    let improved_pg_summary =
+        evaluate_cardinality_model(&improved_postgres, &workload, &truth).summary();
+    let mscn_summary = evaluate_cardinality_model(&mscn, &workload, &truth).summary();
+    let improved_mscn_summary =
+        evaluate_cardinality_model(&improved_mscn, &workload, &truth).summary();
+
+    println!("-- Table 11 shape: PostgreSQL vs Improved PostgreSQL --");
+    print_summary("PostgreSQL", &pg_summary);
+    print_summary("Improved PostgreSQL", &improved_pg_summary);
+    println!();
+    println!("-- Table 12 shape: MSCN vs Improved MSCN --");
+    print_summary("MSCN", &mscn_summary);
+    print_summary("Improved MSCN", &improved_mscn_summary);
+
+    println!(
+        "\nThe improvement needs no change to the original models: they are only queried for\n\
+         the cardinalities of Q ∩ Qold and Q, and the queries pool supplies the anchor\n\
+         cardinalities |Qold|.  (With a tiny pool and tiny training budget the margin here is\n\
+         smaller than the paper's x7/x122, but the direction is the same — run the `repro`\n\
+         binary with --preset small for the fuller picture.)"
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: train a small CRN model and use it to estimate containment rates and
+//! cardinalities.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the paper's full pipeline on a deliberately tiny configuration so it finishes in
+//! well under a minute: synthetic database → training pairs → CRN training → containment-rate
+//! predictions → queries pool → cardinality estimates.
+
+use containment_repro::prelude::*;
+
+fn main() {
+    // 1. Generate a synthetic IMDb-like database (the stand-in for the paper's IMDb snapshot).
+    let db = generate_imdb(&ImdbConfig::tiny(42));
+    println!(
+        "database: {} tables, {} total rows",
+        db.schema().num_tables(),
+        db.total_rows()
+    );
+
+    // 2. Generate and label a training corpus of query pairs (0-2 joins), as in §3.1.2.
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(42));
+    let pairs = generator.generate_pairs(60, 400);
+    let training = label_containment_pairs(&db, &pairs, 4);
+    println!("labelled {} containment training pairs", training.len());
+
+    // 3. Train the CRN model.
+    let config = TrainConfig {
+        hidden_size: 32,
+        epochs: 20,
+        ..TrainConfig::default()
+    };
+    let mut crn = CrnModel::new(&db, config);
+    let history = crn.fit(&training);
+    println!(
+        "trained CRN: best validation mean q-error {:.2} at epoch {}",
+        history.best_validation, history.best_epoch
+    );
+
+    // 4. Estimate the containment rate of two hand-written queries.
+    let schema = db.schema();
+    let recent = parse_query(
+        "SELECT * FROM title WHERE title.production_year > 2000",
+        schema,
+    )
+    .expect("valid SQL");
+    let old_or_new = parse_query(
+        "SELECT * FROM title WHERE title.production_year > 1950",
+        schema,
+    )
+    .expect("valid SQL");
+    let executor = Executor::new(&db);
+    println!(
+        "containment of [{}] in [{}]",
+        recent.to_sql(),
+        old_or_new.to_sql()
+    );
+    println!(
+        "  true rate      = {:.3}",
+        executor.containment_rate(&recent, &old_or_new).unwrap()
+    );
+    println!("  CRN estimate   = {:.3}", crn.predict(&recent, &old_or_new));
+
+    // 5. Build a queries pool and estimate cardinalities with the Cnt2Crd technique (§5).
+    let pool = QueriesPool::generate(&db, 60, 2, 7);
+    let estimator = Cnt2Crd::new(&crn, pool)
+        .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+    let postgres = PostgresEstimator::analyze(&db);
+    for sql in [
+        "SELECT * FROM title WHERE title.kind_id = 1 AND title.production_year > 1990",
+        "SELECT * FROM title, movie_companies WHERE title.id = movie_companies.movie_id AND movie_companies.company_type_id = 2",
+    ] {
+        let query = parse_query(sql, schema).expect("valid SQL");
+        let truth = executor.cardinality(&query) as f64;
+        let crn_estimate = estimator.estimate(&query);
+        let pg_estimate = postgres.estimate(&query);
+        println!("query: {sql}");
+        println!(
+            "  true = {truth:>10.0}   Cnt2Crd(CRN) = {crn_estimate:>10.1} (q-error {:.2})   PostgreSQL = {pg_estimate:>10.1} (q-error {:.2})",
+            q_error(crn_estimate, truth, 1.0),
+            q_error(pg_estimate, truth, 1.0),
+        );
+    }
+}

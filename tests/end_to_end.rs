@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full pipeline from synthetic database to cardinality
+//! estimates, exercised through the public API of the umbrella crate.
+
+use containment_repro::prelude::*;
+
+/// Shared tiny database for the integration tests.
+fn database() -> Database {
+    generate_imdb(&ImdbConfig::tiny(2024))
+}
+
+#[test]
+fn executor_and_parser_agree_on_hand_written_sql() {
+    let db = database();
+    let schema = db.schema();
+    let executor = Executor::new(&db);
+
+    let all_titles = parse_query("SELECT * FROM title", schema).unwrap();
+    let feature_films = parse_query("SELECT * FROM title WHERE title.kind_id = 1", schema).unwrap();
+    let total = executor.cardinality(&all_titles);
+    let features = executor.cardinality(&feature_films);
+    assert_eq!(total, db.table("title").unwrap().row_count() as u64);
+    assert!(features <= total);
+    assert!(features > 0, "tiny database always contains feature films");
+
+    // Containment rate of the narrower query in the broader one is exactly 1.
+    assert_eq!(executor.containment_rate(&feature_films, &all_titles), Some(1.0));
+    // And the reverse equals the selectivity of the predicate.
+    let reverse = executor.containment_rate(&all_titles, &feature_films).unwrap();
+    assert!((reverse - features as f64 / total as f64).abs() < 1e-12);
+}
+
+#[test]
+fn training_pipeline_produces_a_usable_crn_model() {
+    let db = database();
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(11));
+    let pairs = generator.generate_pairs(40, 250);
+    let training = label_containment_pairs(&db, &pairs, 4);
+    assert_eq!(training.len(), 250);
+
+    let mut crn = CrnModel::new(
+        &db,
+        TrainConfig {
+            hidden_size: 16,
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+    );
+    let history = crn.fit(&training);
+    assert!(!history.is_empty());
+    assert!(history.best_validation.is_finite());
+
+    // Every prediction is a valid rate.
+    for sample in training.iter().take(50) {
+        let rate = crn.predict(&sample.q1, &sample.q2);
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+    }
+}
+
+#[test]
+fn oracle_based_pipeline_is_exact_end_to_end() {
+    // Cnt2Crd(Crd2Cnt(TrueCardinality)) + exact pool must reproduce exact cardinalities: this
+    // stitches together crn-db, crn-query, crn-exec, crn-estimators and crn-core.
+    let db = database();
+    let executor = Executor::new(&db);
+    let pool = QueriesPool::generate(&db, 60, 2, 5);
+    let estimator = Cnt2Crd::new(Crd2Cnt::new(TrueCardinality::new(&db)), pool);
+
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(77));
+    let mut covered = 0;
+    for query in generator.generate_queries(30) {
+        let truth = executor.cardinality(&query) as f64;
+        if truth == 0.0 || estimator.per_entry_estimates(&query).is_empty() {
+            continue;
+        }
+        let estimate = estimator.estimate(&query);
+        assert!(
+            q_error(estimate, truth, 1.0) < 1.0 + 1e-9,
+            "oracle pipeline must be exact for {query}: {estimate} vs {truth}"
+        );
+        covered += 1;
+    }
+    assert!(covered >= 5, "pool should cover several generated queries");
+}
+
+#[test]
+fn improved_estimator_never_breaks_on_uncovered_queries() {
+    let db = database();
+    let improved = ImprovedEstimator::new(PostgresEstimator::analyze(&db), QueriesPool::new());
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::with_max_joins(3, 5));
+    let baseline = PostgresEstimator::analyze(&db);
+    for query in generator.generate_queries(40) {
+        // With an empty pool the improved model must exactly fall back to the original.
+        assert_eq!(improved.estimate(&query), baseline.estimate(&query));
+    }
+}
+
+#[test]
+fn baselines_and_crn_share_the_containment_interface() {
+    let db = database();
+    let crn = CrnModel::new(&db, TrainConfig::fast_test());
+    let pg = Crd2Cnt::new(PostgresEstimator::analyze(&db));
+    let schema = db.schema();
+    let q1 = parse_query("SELECT * FROM title WHERE title.runtime > 100", schema).unwrap();
+    let q2 = parse_query("SELECT * FROM title WHERE title.runtime > 60", schema).unwrap();
+
+    let models: Vec<&dyn ContainmentEstimator> = vec![&crn, &pg];
+    for model in models {
+        let rate = model.estimate_containment(&q1, &q2);
+        assert!(rate >= 0.0 && rate.is_finite(), "{} produced {rate}", model.name());
+    }
+}
+
+#[test]
+fn mscn_training_set_derivation_matches_paper_rule() {
+    // §4.1.2: for every CRN training pair, MSCN gets Q1 ∩ Q2 and Q1 with their true
+    // cardinalities, deduplicated.
+    let db = database();
+    let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(13));
+    let pairs = generator.generate_pairs(20, 80);
+    let containment = label_containment_pairs(&db, &pairs, 4);
+    let derived = ExperimentContext::derive_cardinality_training(&containment);
+    let executor = Executor::new(&db);
+    for sample in derived.iter().take(30) {
+        assert_eq!(sample.cardinality, executor.cardinality(&sample.query));
+    }
+    // Every Q1 of the containment corpus is present.
+    for c in containment.iter().take(20) {
+        assert!(derived.iter().any(|s| s.query == c.q1));
+    }
+}

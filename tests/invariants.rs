@@ -1,0 +1,138 @@
+//! Property-based integration tests over the core invariants of the system.
+//!
+//! These run the real pipeline pieces (generator → executor → transformations) under proptest
+//! with randomized seeds, checking the mathematical identities the paper's construction relies
+//! on (§2, §4.1.1, §5.1.1).
+
+use containment_repro::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared tiny database: generating it per proptest case would dominate the runtime.
+fn database() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| generate_imdb(&ImdbConfig::tiny(31337)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Containment rates are always in [0, 1] and the defining identity
+    /// `rate = |Q1 ∩ Q2| / |Q1|` holds for every generated pair.
+    #[test]
+    fn containment_rate_identity(seed in 0u64..500) {
+        let db = database();
+        let executor = Executor::new(db);
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+        let pairs = generator.generate_pairs(4, 6);
+        for (q1, q2) in pairs {
+            let rate = executor.containment_rate(&q1, &q2).expect("same FROM clause");
+            prop_assert!((0.0..=1.0).contains(&rate));
+            let card_q1 = executor.cardinality(&q1);
+            let intersection = q1.intersect(&q2).expect("same FROM clause");
+            let card_inter = executor.cardinality(&intersection);
+            prop_assert!(card_inter <= card_q1);
+            if card_q1 > 0 {
+                prop_assert!((rate - card_inter as f64 / card_q1 as f64).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(rate, 0.0);
+            }
+        }
+    }
+
+    /// The intersection query is commutative and shrinking: |Q1 ∩ Q2| <= min(|Q1|, |Q2|).
+    #[test]
+    fn intersection_is_commutative_and_shrinking(seed in 0u64..500) {
+        let db = database();
+        let executor = Executor::new(db);
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::paper(seed.wrapping_add(1000)));
+        let pairs = generator.generate_pairs(3, 5);
+        for (q1, q2) in pairs {
+            let a = q1.intersect(&q2).unwrap();
+            let b = q2.intersect(&q1).unwrap();
+            prop_assert_eq!(&a, &b);
+            let card = executor.cardinality(&a);
+            prop_assert!(card <= executor.cardinality(&q1));
+            prop_assert!(card <= executor.cardinality(&q2));
+        }
+    }
+
+    /// Adding a predicate never increases the cardinality (monotonicity of conjunction).
+    #[test]
+    fn adding_predicates_is_monotone(seed in 0u64..500) {
+        let db = database();
+        let executor = Executor::new(db);
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::paper(seed.wrapping_add(2000)));
+        for query in generator.generate_initial(4) {
+            let narrowed = generator.perturb(&query);
+            // Only compare when the perturbation added a predicate (other perturbations may
+            // widen the result).
+            if narrowed.predicates().len() > query.predicates().len()
+                && query
+                    .predicates()
+                    .iter()
+                    .all(|p| narrowed.predicates().contains(p))
+            {
+                prop_assert!(executor.cardinality(&narrowed) <= executor.cardinality(&query));
+            }
+        }
+    }
+
+    /// SQL round trip: every generated query parses back to itself.
+    #[test]
+    fn generated_queries_round_trip_through_sql(seed in 0u64..500) {
+        let db = database();
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed.wrapping_add(3000), 5));
+        for query in generator.generate_queries(6) {
+            let reparsed = parse_query(&query.to_sql(), db.schema()).expect("rendered SQL parses");
+            prop_assert_eq!(reparsed, query);
+        }
+    }
+
+    /// Crd2Cnt over the exact-cardinality oracle reproduces the exact containment rate.
+    #[test]
+    fn crd2cnt_oracle_is_exact(seed in 0u64..300) {
+        let db = database();
+        let executor = Executor::new(db);
+        let oracle = Crd2Cnt::new(TrueCardinality::new(db));
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::paper(seed.wrapping_add(4000)));
+        for (q1, q2) in generator.generate_pairs(3, 4) {
+            let estimate = oracle.estimate_containment(&q1, &q2);
+            let truth = executor.containment_rate(&q1, &q2).unwrap();
+            prop_assert!((estimate - truth).abs() < 1e-9);
+        }
+    }
+
+    /// The PostgreSQL estimator always produces finite estimates of at least one row, and its
+    /// single-table scan estimates are exact.
+    #[test]
+    fn postgres_estimates_are_sane(seed in 0u64..500) {
+        let db = database();
+        let estimator = PostgresEstimator::analyze(db);
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed.wrapping_add(5000), 4));
+        for query in generator.generate_queries(6) {
+            let estimate = estimator.estimate(&query);
+            prop_assert!(estimate.is_finite() && estimate >= 1.0);
+        }
+        for table in db.schema().tables() {
+            let scan = Query::scan(&table.name);
+            prop_assert_eq!(estimator.estimate(&scan), db.table(&table.name).unwrap().row_count() as f64);
+        }
+    }
+
+    /// The queries-pool estimator returns finite non-negative estimates for arbitrary queries,
+    /// whether or not the pool covers their FROM clause.
+    #[test]
+    fn cnt2crd_total_function(seed in 0u64..300) {
+        let db = database();
+        static POOL: OnceLock<QueriesPool> = OnceLock::new();
+        let pool = POOL.get_or_init(|| QueriesPool::generate(db, 40, 2, 9)).clone();
+        let estimator = Cnt2Crd::new(Crd2Cnt::new(PostgresEstimator::analyze(db)), pool)
+            .with_fallback(Box::new(PostgresEstimator::analyze(db)));
+        let mut generator = QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed.wrapping_add(6000), 5));
+        for query in generator.generate_queries(5) {
+            let estimate = estimator.estimate(&query);
+            prop_assert!(estimate.is_finite() && estimate >= 0.0);
+        }
+    }
+}
