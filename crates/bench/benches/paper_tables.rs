@@ -23,7 +23,10 @@ fn bench_workload_generation(c: &mut Criterion) {
     let ctx = shared_context();
     let sizes = WorkloadSizes::tiny();
     let mut group = c.benchmark_group("table2_table5_workload_generation");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("cnt_test1", |b| {
         b.iter(|| black_box(cnt_test1(&ctx.db, &sizes, 11)))
     });
@@ -44,7 +47,10 @@ fn bench_containment_tables(c: &mut Criterion) {
     let ctx = shared_context();
     let sizes = WorkloadSizes::tiny();
     let mut group = c.benchmark_group("table3_table4_containment_estimation");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (id, workload) in [
         ("table3_cnt_test1", cnt_test1(&ctx.db, &sizes, 11)),
         ("table4_cnt_test2", cnt_test2(&ctx.db, &sizes, 12)),
@@ -54,9 +60,11 @@ fn bench_containment_tables(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("CRN", id), &workload, |b, w| {
             b.iter(|| black_box(evaluate_containment_model(&ctx.crn, w, &truth)))
         });
-        group.bench_with_input(BenchmarkId::new("Crd2Cnt_PostgreSQL", id), &workload, |b, w| {
-            b.iter(|| black_box(evaluate_containment_model(&crd2cnt_pg, w, &truth)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("Crd2Cnt_PostgreSQL", id),
+            &workload,
+            |b, w| b.iter(|| black_box(evaluate_containment_model(&crd2cnt_pg, w, &truth))),
+        );
     }
     group.finish();
 }
@@ -66,7 +74,10 @@ fn bench_cardinality_tables(c: &mut Criterion) {
     let ctx = shared_context();
     let sizes = WorkloadSizes::tiny();
     let mut group = c.benchmark_group("table6_to_table9_cardinality_estimation");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (id, workload) in [
         ("table6_crd_test1", crd_test1(&ctx.db, &sizes, 21)),
         ("table7_crd_test2", crd_test2(&ctx.db, &sizes, 22)),
@@ -98,7 +109,10 @@ fn bench_scale_and_all_models(c: &mut Criterion) {
         ctx.pool.clone(),
     );
     let mut group = c.benchmark_group("table10_fig13_scale_and_all_models");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("table10_scale_Cnt2Crd_CRN", |b| {
         b.iter(|| black_box(evaluate_cardinality_model(&cnt2crd, &workload, &truth)))
     });
@@ -120,12 +134,21 @@ fn bench_improved_models(c: &mut Criterion) {
     );
     let improved_mscn = ImprovedEstimator::new(&ctx.mscn, ctx.pool.clone());
     let mut group = c.benchmark_group("table11_to_table13_improved_models");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("table11_improved_postgres", |b| {
         b.iter(|| black_box(evaluate_cardinality_model(&improved_pg, &workload, &truth)))
     });
     group.bench_function("table12_improved_mscn", |b| {
-        b.iter(|| black_box(evaluate_cardinality_model(&improved_mscn, &workload, &truth)))
+        b.iter(|| {
+            black_box(evaluate_cardinality_model(
+                &improved_mscn,
+                &workload,
+                &truth,
+            ))
+        })
     });
     group.bench_function("table13_cnt2crd_crn", |b| {
         let cnt2crd = Cnt2Crd::new(&ctx.crn, ctx.pool.clone());
@@ -140,7 +163,10 @@ fn bench_pool_size_sweep(c: &mut Criterion) {
     let sizes = WorkloadSizes::tiny();
     let workload = crd_test2(&ctx.db, &sizes, 22);
     let mut group = c.benchmark_group("table14_pool_size_sweep");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     let pool_sizes = crn_eval::experiments::timing::pool_size_sweep(ctx.pool.len());
     for size in pool_sizes {
         let estimator = Cnt2Crd::new(&ctx.crn, ctx.pool_of_size(size));
@@ -175,10 +201,17 @@ fn bench_single_prediction_time(c: &mut Criterion) {
     let pair = (&workload.queries[0], &query);
 
     let mut group = c.benchmark_group("table15_single_query_prediction");
-    group.sample_size(30).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
-    group.bench_function("PostgreSQL", |b| b.iter(|| black_box(ctx.postgres.estimate(&query))));
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("PostgreSQL", |b| {
+        b.iter(|| black_box(ctx.postgres.estimate(&query)))
+    });
     group.bench_function("MSCN", |b| b.iter(|| black_box(ctx.mscn.estimate(&query))));
-    group.bench_function("Cnt2Crd_CRN", |b| b.iter(|| black_box(cnt2crd.estimate(&query))));
+    group.bench_function("Cnt2Crd_CRN", |b| {
+        b.iter(|| black_box(cnt2crd.estimate(&query)))
+    });
     group.bench_function("Improved_PostgreSQL", |b| {
         b.iter(|| black_box(improved_pg.estimate(&query)))
     });

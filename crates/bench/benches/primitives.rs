@@ -9,10 +9,11 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use crn_bench::shared_context;
+use crn_core::{Cnt2Crd, CrnModel, QueriesPool};
 use crn_db::imdb::{generate_imdb, ImdbConfig};
-use crn_estimators::{DatabaseStats, StatsConfig};
+use crn_estimators::{DatabaseStats, MscnModel, StatsConfig};
 use crn_exec::{Executor, TableSamples};
-use crn_nn::{Dense, Matrix};
+use crn_nn::{Dense, Matrix, TrainConfig};
 use crn_query::generator::{GeneratorConfig, QueryGenerator};
 
 /// Exact cardinality computation per join count (the ground-truth oracle cost).
@@ -21,7 +22,10 @@ fn bench_executor_cardinality(c: &mut Criterion) {
     let executor = Executor::new(&ctx.db);
     let mut generator = QueryGenerator::new(&ctx.db, GeneratorConfig::with_max_joins(7, 5));
     let mut group = c.benchmark_group("executor_cardinality_by_joins");
-    group.sample_size(20).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for joins in [0usize, 2, 5] {
         let queries = generator.generate_initial_with_joins(10, joins);
         group.bench_with_input(BenchmarkId::from_parameter(joins), &queries, |b, qs| {
@@ -41,7 +45,10 @@ fn bench_containment_rate(c: &mut Criterion) {
     let executor = Executor::new(&ctx.db);
     let sample = &ctx.containment_training[0];
     let mut group = c.benchmark_group("executor_containment_rate");
-    group.sample_size(30).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("single_pair", |b| {
         b.iter(|| black_box(executor.containment_rate(&sample.q1, &sample.q2)))
     });
@@ -51,7 +58,10 @@ fn bench_containment_rate(c: &mut Criterion) {
 /// Synthetic database generation and ANALYZE-style profiling.
 fn bench_database_generation_and_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("database_generation_and_stats");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("generate_imdb_tiny", |b| {
         b.iter(|| black_box(generate_imdb(&ImdbConfig::tiny(1))))
     });
@@ -68,7 +78,10 @@ fn bench_database_generation_and_stats(c: &mut Criterion) {
 /// Neural-network kernels: dense forward/backward and matrix multiplication.
 fn bench_nn_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_kernels");
-    group.sample_size(50).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     let layer = Dense::new(128, 128, 1);
     let input = Matrix::xavier_seeded(8, 128, 2);
     group.bench_function("dense_forward_8x128x128", |b| {
@@ -83,6 +96,125 @@ fn bench_nn_kernels(c: &mut Criterion) {
     group.bench_function("dense_backward_8x128x64", |b| {
         b.iter(|| black_box(trainable.backward(&x, &grad)))
     });
+
+    // Dense vs sparsity-aware kernel on the three left-operand regimes the models produce —
+    // the measurements behind the `matmul` / `matmul_sparse` routing (see `Matrix::matmul_sparse`).
+    let dense_left = Matrix::xavier_seeded(128, 64, 8);
+    let mut relu_left = Matrix::xavier_seeded(128, 64, 9);
+    for v in relu_left.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    let mut one_hot_left = Matrix::zeros(128, 64);
+    for row in 0..128 {
+        for j in 0..3 {
+            one_hot_left.set(row, (row * 7 + j * 11) % 64, 1.0);
+        }
+    }
+    let right = Matrix::xavier_seeded(64, 128, 10);
+    for (name, left) in [
+        ("dense", &dense_left),
+        ("post_relu", &relu_left),
+        ("one_hot", &one_hot_left),
+    ] {
+        group.bench_function(format!("matmul_branchfree_{name}_128x64x128"), |b| {
+            b.iter(|| black_box(left.matmul(&right)))
+        });
+        group.bench_function(format!("matmul_sparse_{name}_128x64x128"), |b| {
+            b.iter(|| black_box(left.matmul_sparse(&right)))
+        });
+    }
+    group.finish();
+}
+
+/// Batched vs per-sample training epochs for both models (the tentpole comparison): one
+/// ragged-batch forward/backward per mini-batch against one forward/backward per sample,
+/// at the paper's H = 64 / batch = 128 operating point.
+///
+/// Each iteration runs a four-epoch `fit` so the timing reflects steady-state epoch cost
+/// (featurization is done once per training run and amortizes over its epochs, exactly as in
+/// real training); divide the printed times by four for per-epoch numbers — the ratio *is*
+/// the per-epoch ratio.
+fn bench_training_epoch_batched_vs_reference(c: &mut Criterion) {
+    let ctx = shared_context();
+    let config = TrainConfig {
+        hidden_size: 64,
+        epochs: 4,
+        batch_size: 128,
+        patience: None,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("training_epochs_x4_h64_b128");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
+    group.bench_function("crn_batched", |b| {
+        b.iter(|| {
+            let mut model = CrnModel::new(&ctx.db, config.clone());
+            black_box(model.fit(&ctx.containment_training))
+        })
+    });
+    group.bench_function("crn_per_sample_reference", |b| {
+        b.iter(|| {
+            let mut model = CrnModel::new(&ctx.db, config.clone());
+            black_box(model.fit_reference(&ctx.containment_training))
+        })
+    });
+    group.bench_function("mscn_batched", |b| {
+        b.iter(|| {
+            let mut model = MscnModel::new(&ctx.db, config.clone());
+            black_box(model.fit(&ctx.cardinality_training))
+        })
+    });
+    group.bench_function("mscn_per_sample_reference", |b| {
+        b.iter(|| {
+            let mut model = MscnModel::new(&ctx.db, config.clone());
+            black_box(model.fit_reference(&ctx.cardinality_training))
+        })
+    });
+    group.finish();
+}
+
+/// Batched vs sequential Cnt2Crd serving against a 256-anchor pool: two batched forwards per
+/// incoming query versus the Figure-8 loop's 2·N single-pair forwards.
+fn bench_cnt2crd_serving(c: &mut Criterion) {
+    let ctx = shared_context();
+    // Build a pool whose 256 anchors all share the probe query's FROM clause, so every anchor
+    // participates in the estimate (the worst — and intended — serving case).
+    let mut generator = QueryGenerator::new(&ctx.db, GeneratorConfig::with_max_joins(97, 0));
+    let candidates = generator.generate_initial_with_joins(4000, 0);
+    let probe = candidates[0].clone();
+    let mut pool = QueriesPool::new();
+    for query in candidates {
+        if pool.len() >= 256 {
+            break;
+        }
+        if query.tables() == probe.tables() {
+            // Serving cost does not depend on the stored cardinality; skip executing.
+            pool.insert(query, 100);
+        }
+    }
+    assert!(
+        pool.len() >= 128,
+        "need a well-filled single-FROM pool, got {}",
+        pool.len()
+    );
+    let anchor_count = pool.len();
+    let estimator = Cnt2Crd::new(ctx.crn.clone(), pool);
+
+    let mut group = c.benchmark_group("cnt2crd_estimate");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function(BenchmarkId::new("batched", anchor_count), |b| {
+        b.iter(|| black_box(estimator.per_entry_estimates(&probe)))
+    });
+    group.bench_function(BenchmarkId::new("sequential", anchor_count), |b| {
+        b.iter(|| black_box(estimator.per_entry_estimates_sequential(&probe)))
+    });
     group.finish();
 }
 
@@ -91,7 +223,10 @@ fn bench_crn_prediction(c: &mut Criterion) {
     let ctx = shared_context();
     let sample = &ctx.containment_training[0];
     let mut group = c.benchmark_group("crn_prediction");
-    group.sample_size(50).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("predict_single_pair", |b| {
         b.iter(|| black_box(ctx.crn.predict(&sample.q1, &sample.q2)))
     });
@@ -104,6 +239,8 @@ criterion_group!(
     bench_containment_rate,
     bench_database_generation_and_stats,
     bench_nn_kernels,
-    bench_crn_prediction
+    bench_crn_prediction,
+    bench_training_epoch_batched_vs_reference,
+    bench_cnt2crd_serving
 );
 criterion_main!(benches);

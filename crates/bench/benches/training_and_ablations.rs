@@ -12,7 +12,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use crn_bench::shared_context;
-use crn_core::{Cnt2Crd, Cnt2CrdConfig, CrnFeaturizer, CrnModel, CrnOptions, ExpandMode, FinalFunction, Pooling};
+use crn_core::{
+    Cnt2Crd, Cnt2CrdConfig, CrnFeaturizer, CrnModel, CrnOptions, ExpandMode, FinalFunction, Pooling,
+};
 use crn_estimators::{CardinalityEstimator, ContainmentEstimator, MscnFeaturizer};
 use crn_eval::experiments::training::hidden_size_sweep;
 use crn_nn::TrainConfig;
@@ -21,23 +23,30 @@ use crn_nn::TrainConfig;
 fn bench_fig3_hidden_size(c: &mut Criterion) {
     let ctx = shared_context();
     let mut group = c.benchmark_group("fig3_hidden_size_training_cost");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     // A small slice of the training corpus keeps one iteration short while preserving the
     // relative cost across hidden sizes.
     let slice = &ctx.containment_training[..ctx.containment_training.len().min(60)];
     for hidden in hidden_size_sweep(ctx.config.train.hidden_size) {
-        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, &hidden| {
-            b.iter(|| {
-                let config = TrainConfig {
-                    hidden_size: hidden,
-                    epochs: 1,
-                    patience: None,
-                    ..ctx.config.train.clone()
-                };
-                let mut model = CrnModel::new(&ctx.db, config);
-                black_box(model.fit(slice))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(hidden),
+            &hidden,
+            |b, &hidden| {
+                b.iter(|| {
+                    let config = TrainConfig {
+                        hidden_size: hidden,
+                        epochs: 1,
+                        patience: None,
+                        ..ctx.config.train.clone()
+                    };
+                    let mut model = CrnModel::new(&ctx.db, config);
+                    black_box(model.fit(slice))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -47,7 +56,10 @@ fn bench_fig4_training_epoch(c: &mut Criterion) {
     let ctx = shared_context();
     let slice = &ctx.containment_training[..ctx.containment_training.len().min(80)];
     let mut group = c.benchmark_group("fig4_training_epoch");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("crn_one_epoch", |b| {
         b.iter(|| {
             let config = TrainConfig {
@@ -67,12 +79,33 @@ fn bench_ablation_architecture(c: &mut Criterion) {
     let ctx = shared_context();
     let sample = &ctx.containment_training[0];
     let variants = [
-        ("mean_pool_full_expand", CrnOptions { pooling: Pooling::Mean, expand: ExpandMode::Full }),
-        ("sum_pool_full_expand", CrnOptions { pooling: Pooling::Sum, expand: ExpandMode::Full }),
-        ("mean_pool_concat", CrnOptions { pooling: Pooling::Mean, expand: ExpandMode::Concat }),
+        (
+            "mean_pool_full_expand",
+            CrnOptions {
+                pooling: Pooling::Mean,
+                expand: ExpandMode::Full,
+            },
+        ),
+        (
+            "sum_pool_full_expand",
+            CrnOptions {
+                pooling: Pooling::Sum,
+                expand: ExpandMode::Full,
+            },
+        ),
+        (
+            "mean_pool_concat",
+            CrnOptions {
+                pooling: Pooling::Mean,
+                expand: ExpandMode::Concat,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation_crn_architecture_forward");
-    group.sample_size(30).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (name, options) in variants {
         let model = CrnModel::with_options(&ctx.db, ctx.config.train.clone(), options);
         group.bench_function(name, |b| {
@@ -89,7 +122,10 @@ fn bench_ablation_featurization(c: &mut Criterion) {
     let crn_featurizer = CrnFeaturizer::new(&ctx.db);
     let mscn_featurizer = MscnFeaturizer::new(&ctx.db);
     let mut group = c.benchmark_group("ablation_featurization");
-    group.sample_size(50).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("crn_shared_format_pair", |b| {
         b.iter(|| black_box(crn_featurizer.featurize_pair(&sample.q1, &sample.q2)))
     });
@@ -104,7 +140,10 @@ fn bench_ablation_final_function(c: &mut Criterion) {
     let ctx = shared_context();
     let query = &ctx.containment_training[0].q1;
     let mut group = c.benchmark_group("ablation_final_function");
-    group.sample_size(20).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (name, final_function) in [
         ("median", FinalFunction::Median),
         ("mean", FinalFunction::Mean),

@@ -20,23 +20,21 @@ use crate::pool::QueriesPool;
 use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
 use crn_query::ast::Query;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The final function `F` that folds the per-pool-entry estimates into a single cardinality.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum FinalFunction {
     /// The median of the estimates (the paper's choice — most robust to outliers).
+    #[default]
     Median,
     /// The arithmetic mean.
     Mean,
     /// The trimmed mean: drop the given fraction of smallest and largest estimates
     /// (the paper trims 25% of the outliers) before averaging.
     TrimmedMean(f64),
-}
-
-impl Default for FinalFunction {
-    fn default() -> Self {
-        FinalFunction::Median
-    }
 }
 
 impl FinalFunction {
@@ -115,6 +113,11 @@ pub struct Cnt2Crd<M> {
     config: Cnt2CrdConfig,
     fallback: Option<Box<dyn CardinalityEstimator + Send + Sync>>,
     name: String,
+    /// Per-FROM-clause serving state built by the model for its matching anchors
+    /// ([`ContainmentEstimator::prepare_anchors`]), lazily filled on first use and dropped
+    /// when the pool is replaced.  For the CRN model this holds the packed featurization of
+    /// the anchors, so steady-state serving featurizes only the incoming query.
+    prepared_anchors: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
 }
 
 impl<M: ContainmentEstimator> Cnt2Crd<M> {
@@ -128,6 +131,7 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
             config: Cnt2CrdConfig::default(),
             fallback: None,
             name,
+            prepared_anchors: Mutex::new(HashMap::new()),
         }
     }
 
@@ -139,10 +143,7 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
 
     /// Sets a fallback cardinality estimator used when no pool entry matches the query's FROM
     /// clause (§5.2: "we can always rely on the known basic cardinality estimation models").
-    pub fn with_fallback(
-        mut self,
-        fallback: Box<dyn CardinalityEstimator + Send + Sync>,
-    ) -> Self {
+    pub fn with_fallback(mut self, fallback: Box<dyn CardinalityEstimator + Send + Sync>) -> Self {
         self.fallback = Some(fallback);
         self
     }
@@ -160,6 +161,7 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
     /// Replaces the queries pool (used by the pool-size sweep of Table 14).
     pub fn set_pool(&mut self, pool: QueriesPool) {
         self.pool = pool;
+        self.prepared_anchors.lock().expect("not poisoned").clear();
     }
 
     /// The technique's configuration.
@@ -168,7 +170,60 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
     }
 
     /// The per-pool-entry estimates for a query (exposed for diagnostics and tests).
+    ///
+    /// All matching pool anchors are evaluated through the containment model's
+    /// [`predict_batch`](ContainmentEstimator::predict_batch) — for neural models each
+    /// anchor is featurized once and the whole pool runs through exactly two batched
+    /// forward passes, instead of the `2·N` single-pair forwards of the sequential path.
     pub fn per_entry_estimates(&self, query: &Query) -> Vec<f64> {
+        let matching = self.pool.matching(query);
+        if matching.is_empty() {
+            return Vec::new();
+        }
+        let anchors: Vec<&Query> = matching.iter().map(|entry| &entry.query).collect();
+        let prepared = self.prepared_for(query, &anchors);
+        let rates = match &prepared {
+            Some(state) => self
+                .model
+                .predict_batch_prepared(state.as_ref(), &anchors, query),
+            None => self.model.predict_batch(&anchors, query),
+        };
+        let mut results = Vec::with_capacity(matching.len());
+        for (entry, (x_rate, y_rate)) in matching.iter().zip(rates) {
+            if y_rate <= self.config.epsilon {
+                continue;
+            }
+            let estimate = x_rate / y_rate * entry.cardinality as f64;
+            if estimate.is_finite() {
+                results.push(estimate);
+            }
+        }
+        results
+    }
+
+    /// Returns (building on first use) the model's serving state for the anchors matching
+    /// this query's FROM clause.
+    fn prepared_for(
+        &self,
+        query: &Query,
+        anchors: &[&Query],
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        // The same canonical key the pool groups by, so every cache entry corresponds
+        // one-to-one to a `QueriesPool::matching` anchor list.
+        let key = crate::pool::from_key(query);
+        let mut cache = self.prepared_anchors.lock().expect("not poisoned");
+        if let Some(state) = cache.get(&key) {
+            return Some(state.clone());
+        }
+        let state: Arc<dyn Any + Send + Sync> = Arc::from(self.model.prepare_anchors(anchors)?);
+        cache.insert(key, state.clone());
+        Some(state)
+    }
+
+    /// The sequential reference implementation of [`Cnt2Crd::per_entry_estimates`]: one
+    /// `estimate_containment` call per direction per anchor, exactly as Figure 8 writes the
+    /// algorithm.  Kept public for the parity tests and the criterion baseline.
+    pub fn per_entry_estimates_sequential(&self, query: &Query) -> Vec<f64> {
         let mut results = Vec::new();
         for entry in self.pool.matching(query) {
             let x_rate = self.model.estimate_containment(&entry.query, query);
@@ -251,7 +306,10 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked > 5, "the pool should cover several test queries, covered {checked}");
+        assert!(
+            checked > 5,
+            "the pool should cover several test queries, covered {checked}"
+        );
     }
 
     #[test]
@@ -264,8 +322,14 @@ mod tests {
         let expected = PostgresEstimator::analyze(&db).estimate(&scan);
         assert_eq!(estimator.estimate(&scan), expected);
         // Without a fallback, the configured default is returned.
-        let bare = Cnt2Crd::new(Crd2Cnt::new(PostgresEstimator::analyze(&db)), QueriesPool::new());
-        assert_eq!(bare.estimate(&scan), Cnt2CrdConfig::default().default_estimate);
+        let bare = Cnt2Crd::new(
+            Crd2Cnt::new(PostgresEstimator::analyze(&db)),
+            QueriesPool::new(),
+        );
+        assert_eq!(
+            bare.estimate(&scan),
+            Cnt2CrdConfig::default().default_estimate
+        );
         assert_eq!(bare.name(), "Cnt2Crd(Crd2Cnt(PostgreSQL))");
     }
 
@@ -284,6 +348,62 @@ mod tests {
             let estimate = estimator.estimate(&query);
             assert!(estimate.is_finite() && estimate >= 0.0);
         }
+    }
+
+    /// The batched serving path must return the same cardinality as the sequential Figure-8
+    /// loop, both for the oracle pipeline and for a trained CRN model.
+    #[test]
+    fn batched_estimate_matches_sequential_loop() {
+        use crate::model::CrnModel;
+        use crn_exec::label_containment_pairs;
+        use crn_nn::TrainConfig;
+
+        let db = generate_imdb(&ImdbConfig::tiny(56));
+        let pool = QueriesPool::generate(&db, 60, 2, 56);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(57));
+
+        // Oracle containment model (exercises the default trait predict_batch).
+        let oracle = Cnt2Crd::new(Crd2Cnt::new(TrueCardinality::new(&db)), pool.clone());
+        // Trained CRN containment model (exercises the batched override).
+        let pairs = gen.generate_pairs(30, 120);
+        let samples = label_containment_pairs(&db, &pairs, 4);
+        let mut crn = CrnModel::new(&db, TrainConfig::fast_test());
+        crn.fit(&samples);
+        let learned = Cnt2Crd::new(crn, pool);
+
+        let mut covered = 0;
+        for query in gen.generate_queries(25) {
+            for estimates in [
+                (
+                    oracle.per_entry_estimates(&query),
+                    oracle.per_entry_estimates_sequential(&query),
+                ),
+                (
+                    learned.per_entry_estimates(&query),
+                    learned.per_entry_estimates_sequential(&query),
+                ),
+            ] {
+                let (batched, sequential) = estimates;
+                assert_eq!(
+                    batched.len(),
+                    sequential.len(),
+                    "same anchors must survive ε"
+                );
+                for (a, b) in batched.iter().zip(&sequential) {
+                    assert!(
+                        (a - b).abs() < 1e-5 * b.abs().max(1.0),
+                        "batched {a} vs sequential {b} for {query}"
+                    );
+                }
+                if !batched.is_empty() {
+                    covered += 1;
+                }
+            }
+        }
+        assert!(
+            covered > 5,
+            "the pool should cover several test queries, covered {covered}"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl CompoundQuery {
         )
     }
 
-    fn check_same_from(left: &CompoundQuery, right: &CompoundQuery) -> Result<(), FromClauseMismatch> {
+    fn check_same_from(
+        left: &CompoundQuery,
+        right: &CompoundQuery,
+    ) -> Result<(), FromClauseMismatch> {
         match (left.any_component(), right.any_component()) {
             (Some(l), Some(r)) if l.same_from(r) => Ok(()),
             _ => Err(FromClauseMismatch),
@@ -132,7 +135,36 @@ impl CompoundQuery {
 
     /// Estimates the containment rate `self ⊂% other` where `other` is conjunctive, using the
     /// paper's §9 identities over a containment estimator for the conjunctive leaves.
+    ///
+    /// All conjunctive queries the identity tree needs (every leaf plus every pairwise
+    /// overlap) are evaluated in **one**
+    /// [`predict_batch_forward`](ContainmentEstimator::predict_batch_forward) call against
+    /// the shared `other`, then the tree is folded over the precomputed rates — a compound
+    /// query with `k` components costs one batched forward instead of `O(k)` single-pair
+    /// ones for neural models.
     pub fn estimate_containment_in<M: ContainmentEstimator>(
+        &self,
+        other: &Query,
+        estimator: &M,
+    ) -> f64 {
+        let mut queries = Vec::with_capacity(2 * self.num_components());
+        self.collect_containment_queries(&mut queries);
+        let anchors: Vec<&Query> = queries.iter().collect();
+        let rates = estimator.predict_batch_forward(&anchors, other);
+        let mut cursor = 0;
+        let result = self.fold_containment(&rates, &mut cursor);
+        debug_assert_eq!(
+            cursor,
+            rates.len(),
+            "fold must consume every precomputed rate"
+        );
+        result
+    }
+
+    /// The sequential reference implementation of [`CompoundQuery::estimate_containment_in`]:
+    /// one `estimate_containment` call per leaf/overlap, exactly as the identities read.
+    /// Kept public for the parity tests.
+    pub fn estimate_containment_in_sequential<M: ContainmentEstimator>(
         &self,
         other: &Query,
         estimator: &M,
@@ -140,8 +172,8 @@ impl CompoundQuery {
         match self {
             CompoundQuery::Simple(q) => estimator.estimate_containment(q, other),
             CompoundQuery::Union(l, r) | CompoundQuery::Or(l, r) => {
-                let left = l.estimate_containment_in(other, estimator);
-                let right = r.estimate_containment_in(other, estimator);
+                let left = l.estimate_containment_in_sequential(other, estimator);
+                let right = r.estimate_containment_in_sequential(other, estimator);
                 let overlap = match (l.flatten_conjunctive(), r.flatten_conjunctive()) {
                     (Some(lq), Some(rq)) => lq
                         .intersect(&rq)
@@ -152,7 +184,7 @@ impl CompoundQuery {
                 (left + right - overlap).clamp(0.0, 1.0)
             }
             CompoundQuery::Except(l, r) => {
-                let left = l.estimate_containment_in(other, estimator);
+                let left = l.estimate_containment_in_sequential(other, estimator);
                 let overlap = match (l.flatten_conjunctive(), r.flatten_conjunctive()) {
                     (Some(lq), Some(rq)) => lq
                         .intersect(&rq)
@@ -162,6 +194,70 @@ impl CompoundQuery {
                 };
                 (left - overlap).clamp(0.0, 1.0)
             }
+        }
+    }
+
+    /// Collects, in fold order, every conjunctive query whose containment rate against the
+    /// shared right-hand query the identity tree needs.
+    fn collect_containment_queries(&self, out: &mut Vec<Query>) {
+        match self {
+            CompoundQuery::Simple(q) => out.push(q.clone()),
+            CompoundQuery::Union(l, r) | CompoundQuery::Or(l, r) => {
+                l.collect_containment_queries(out);
+                r.collect_containment_queries(out);
+                if let Some(i) = Self::conjunctive_overlap(l, r) {
+                    out.push(i);
+                }
+            }
+            CompoundQuery::Except(l, r) => {
+                l.collect_containment_queries(out);
+                if let Some(i) = Self::conjunctive_overlap(l, r) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+
+    /// Folds the identity tree over rates precomputed in
+    /// [`collect_containment_queries`](Self::collect_containment_queries) order.
+    fn fold_containment(&self, rates: &[f64], cursor: &mut usize) -> f64 {
+        match self {
+            CompoundQuery::Simple(_) => {
+                let rate = rates[*cursor];
+                *cursor += 1;
+                rate
+            }
+            CompoundQuery::Union(l, r) | CompoundQuery::Or(l, r) => {
+                let left = l.fold_containment(rates, cursor);
+                let right = r.fold_containment(rates, cursor);
+                let overlap = if Self::conjunctive_overlap(l, r).is_some() {
+                    let rate = rates[*cursor];
+                    *cursor += 1;
+                    rate
+                } else {
+                    0.0
+                };
+                (left + right - overlap).clamp(0.0, 1.0)
+            }
+            CompoundQuery::Except(l, r) => {
+                let left = l.fold_containment(rates, cursor);
+                let overlap = if Self::conjunctive_overlap(l, r).is_some() {
+                    let rate = rates[*cursor];
+                    *cursor += 1;
+                    rate
+                } else {
+                    0.0
+                };
+                (left - overlap).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// The intersection of two operands when both are conjunctive and intersectable.
+    fn conjunctive_overlap(left: &CompoundQuery, right: &CompoundQuery) -> Option<Query> {
+        match (left.flatten_conjunctive(), right.flatten_conjunctive()) {
+            (Some(l), Some(r)) => l.intersect(&r),
+            _ => None,
         }
     }
 
@@ -211,7 +307,10 @@ mod tests {
     fn construction_rejects_mismatched_from_clauses() {
         let a = CompoundQuery::simple(Query::scan(tables::TITLE));
         let b = CompoundQuery::simple(Query::scan(tables::CAST_INFO));
-        assert_eq!(CompoundQuery::union(a.clone(), b).unwrap_err(), FromClauseMismatch);
+        assert_eq!(
+            CompoundQuery::union(a.clone(), b).unwrap_err(),
+            FromClauseMismatch
+        );
         assert_eq!(a.num_components(), 1);
     }
 
@@ -248,7 +347,7 @@ mod tests {
         let kinds = title.column("kind_id").unwrap();
         let mut expected_or = 0u64;
         for row in 0..title.row_count() {
-            let is_old = years.get_int(row).map_or(false, |y| y < 1960);
+            let is_old = years.get_int(row).is_some_and(|y| y < 1960);
             let is_feature = kinds.get_int(row) == Some(1);
             if is_old || is_feature {
                 expected_or += 1;
@@ -302,5 +401,49 @@ mod tests {
         .unwrap();
         let rate = union.estimate_containment_in(&wide, &oracle);
         assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// The batched containment fold must agree with the sequential recursion on every
+    /// compound shape, including nested ones.
+    #[test]
+    fn batched_containment_fold_matches_sequential_recursion() {
+        let db = generate_imdb(&ImdbConfig::tiny(61));
+        let oracle = crate::crd2cnt::Crd2Cnt::new(TrueCardinality::new(&db));
+        let base = Query::scan(tables::TITLE);
+        let a = base.with_predicate(pred("production_year", CompareOp::Gt, 2000));
+        let b = base.with_predicate(pred("kind_id", CompareOp::Eq, 1));
+        let c = base.with_predicate(pred("production_year", CompareOp::Le, 2010));
+        let wide = base.with_predicate(pred("production_year", CompareOp::Gt, 1900));
+
+        let union_ab = CompoundQuery::union(
+            CompoundQuery::simple(a.clone()),
+            CompoundQuery::simple(b.clone()),
+        )
+        .unwrap();
+        let shapes = [
+            CompoundQuery::simple(a.clone()),
+            union_ab.clone(),
+            CompoundQuery::except(
+                CompoundQuery::simple(a.clone()),
+                CompoundQuery::simple(c.clone()),
+            )
+            .unwrap(),
+            CompoundQuery::or(
+                CompoundQuery::simple(b.clone()),
+                CompoundQuery::simple(c.clone()),
+            )
+            .unwrap(),
+            // Nested: (a ∪ b) EXCEPT c — the union operand is not conjunctive, so no overlap
+            // query is emitted for the outer node.
+            CompoundQuery::except(union_ab, CompoundQuery::simple(c)).unwrap(),
+        ];
+        for compound in shapes {
+            let batched = compound.estimate_containment_in(&wide, &oracle);
+            let sequential = compound.estimate_containment_in_sequential(&wide, &oracle);
+            assert!(
+                (batched - sequential).abs() < 1e-12,
+                "batched {batched} vs sequential {sequential} for {compound:?}"
+            );
+        }
     }
 }

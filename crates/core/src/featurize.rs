@@ -20,8 +20,8 @@
 use crn_db::database::Database;
 use crn_db::schema::ColumnRef;
 use crn_db::value::CompareOp;
-use crn_query::ast::Query;
 use crn_nn::Matrix;
+use crn_query::ast::Query;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -201,7 +201,11 @@ mod tests {
             )],
             [
                 Predicate::new(ColumnRef::new(tables::TITLE, "kind_id"), CompareOp::Eq, 2),
-                Predicate::new(ColumnRef::new(tables::CAST_INFO, "role_id"), CompareOp::Lt, 5),
+                Predicate::new(
+                    ColumnRef::new(tables::CAST_INFO, "role_id"),
+                    CompareOp::Lt,
+                    5,
+                ),
             ],
         )
     }
@@ -210,7 +214,8 @@ mod tests {
     fn vector_dimension_matches_formula() {
         let db = db();
         let feat = CrnFeaturizer::new(&db);
-        let expected = db.schema().num_tables() + 3 * db.schema().num_columns() + CompareOp::ALL.len() + 1;
+        let expected =
+            db.schema().num_tables() + 3 * db.schema().num_columns() + CompareOp::ALL.len() + 1;
         assert_eq!(feat.vector_dim(), expected);
         assert_eq!(feat.num_tables(), 6);
         assert_eq!(feat.num_columns(), db.schema().num_columns());
@@ -274,8 +279,14 @@ mod tests {
         let c_offset = feat.num_tables() + 2 * feat.num_columns();
         let o_offset = feat.num_tables() + 3 * feat.num_columns();
         let v_offset = o_offset + feat.num_operators();
-        let column_bits = pred_row[c_offset..o_offset].iter().filter(|&&x| x != 0.0).count();
-        let op_bits = pred_row[o_offset..v_offset].iter().filter(|&&x| x != 0.0).count();
+        let column_bits = pred_row[c_offset..o_offset]
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .count();
+        let op_bits = pred_row[o_offset..v_offset]
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .count();
         assert_eq!(column_bits, 1);
         assert_eq!(op_bits, 1);
         assert!((0.0..=1.0).contains(&pred_row[v_offset]));
@@ -300,6 +311,9 @@ mod tests {
         let (lo, hi) = db.column_min_max(&column).unwrap();
         assert_eq!(feat.normalize_literal(&column, lo - 100), 0.0);
         assert_eq!(feat.normalize_literal(&column, hi + 100), 1.0);
-        assert_eq!(feat.normalize_literal(&ColumnRef::new("none", "none"), 0), 0.5);
+        assert_eq!(
+            feat.normalize_literal(&ColumnRef::new("none", "none"), 0),
+            0.5
+        );
     }
 }

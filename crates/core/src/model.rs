@@ -18,8 +18,13 @@
 use crate::featurize::CrnFeaturizer;
 use crn_db::database::Database;
 use crn_exec::ContainmentSample;
+use crn_nn::batch::{
+    broadcast_rows, expand_concat, expand_concat_backward, expand_full, expand_full_backward,
+    segment_pool, segment_pool_backward, RaggedBatch, SegmentPool, SparseRows,
+};
 use crn_nn::layers::{
-    mean_pool, mean_pool_backward, relu, relu_backward, sigmoid, sigmoid_backward, Dense,
+    relu, relu_backward, relu_backward_in_place, relu_in_place, sigmoid, sigmoid_backward,
+    sigmoid_in_place, Dense,
 };
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
@@ -92,7 +97,26 @@ pub struct CrnModel {
     options: CrnOptions,
 }
 
-/// Forward-pass cache of one pair.
+/// Forward-pass cache of one ragged mini-batch of pairs (a single pair is the `B = 1` case).
+///
+/// The set-level tensors (`a1`, `a2`) are flattened over all pairs of the batch and
+/// segmented by the offsets of `v1` / `v2`; the pair-level tensors (`qvec*`, `expanded`,
+/// `sigmoid_out`) have one row per pair.  Only post-activation tensors are kept: ReLU runs
+/// in place (its own output is the backward mask) and sigmoid's backward needs the output.
+struct BatchCache {
+    v1: RaggedBatch,
+    v2: RaggedBatch,
+    a1: Matrix,
+    a2: Matrix,
+    qvec1: Matrix,
+    qvec2: Matrix,
+    expanded: Matrix,
+    a_out1: Matrix,
+    sigmoid_out: Matrix,
+}
+
+/// Forward-pass cache of one pair for the seed-faithful per-sample reference path (the
+/// pre-batching implementation kept as the baseline of the parity tests and benchmarks).
 struct PairCache {
     v1: Matrix,
     v2: Matrix,
@@ -169,108 +193,142 @@ impl CrnModel {
     /// For the paper's architecture this matches the closed form of §3.5.3,
     /// `2·L·H + 8·H² + 6·H + 1` (with the paper's three-operator one-hot replaced by ours).
     pub fn num_params(&self) -> usize {
-        self.mlp1.num_params() + self.mlp2.num_params() + self.out1.num_params() + self.out2.num_params()
+        self.mlp1.num_params()
+            + self.mlp2.num_params()
+            + self.out1.num_params()
+            + self.out2.num_params()
     }
 
-    fn pool(&self, activated: &Matrix) -> Matrix {
+    /// The set-aggregation mode as the nn engine's segment-pool kind.
+    fn segment_pool_kind(&self) -> SegmentPool {
         match self.options.pooling {
-            Pooling::Mean => mean_pool(activated),
-            Pooling::Sum => {
-                let mut pooled = Matrix::zeros(1, activated.cols());
-                let sums = activated.column_sums();
-                pooled.row_mut(0).copy_from_slice(&sums);
-                pooled
-            }
+            Pooling::Mean => SegmentPool::Mean,
+            Pooling::Sum => SegmentPool::Sum,
         }
     }
 
-    fn pool_backward(&self, num_rows: usize, grad_pooled: &Matrix) -> Matrix {
-        match self.options.pooling {
-            Pooling::Mean => mean_pool_backward(num_rows, grad_pooled),
-            Pooling::Sum => {
-                let mut grad = Matrix::zeros(num_rows, grad_pooled.cols());
-                for r in 0..num_rows {
-                    grad.row_mut(r).copy_from_slice(grad_pooled.row(0));
-                }
-                grad
-            }
-        }
-    }
-
-    fn expand(&self, qvec1: &Matrix, qvec2: &Matrix) -> Matrix {
-        let hidden = qvec1.cols();
+    /// Batched forward pass over a ragged mini-batch of pairs: every dense layer runs once as
+    /// a single GEMM over the flattened set rows, pooling is a segment reduction, and the
+    /// `Expand` combination is vectorized over all pairs.
+    /// Combines two `(B×H)` query-vector blocks with the configured `Expand` mode.
+    fn expand_pairs(&self, qvec1: &Matrix, qvec2: &Matrix) -> Matrix {
         match self.options.expand {
-            ExpandMode::Full => {
-                let mut expanded = Matrix::zeros(1, 4 * hidden);
-                for i in 0..hidden {
-                    let a = qvec1.get(0, i);
-                    let b = qvec2.get(0, i);
-                    expanded.set(0, i, a);
-                    expanded.set(0, hidden + i, b);
-                    expanded.set(0, 2 * hidden + i, (a - b).abs());
-                    expanded.set(0, 3 * hidden + i, a * b);
-                }
-                expanded
-            }
-            ExpandMode::Concat => {
-                let mut expanded = Matrix::zeros(1, 2 * hidden);
-                expanded.row_mut(0)[..hidden].copy_from_slice(qvec1.row(0));
-                expanded.row_mut(0)[hidden..].copy_from_slice(qvec2.row(0));
-                expanded
-            }
+            ExpandMode::Full => expand_full(qvec1, qvec2),
+            ExpandMode::Concat => expand_concat(qvec1, qvec2),
         }
     }
 
-    /// Gradient of the expand function: maps `dL/d expanded` to `(dL/d qvec1, dL/d qvec2)`.
-    fn expand_backward(
-        &self,
-        qvec1: &Matrix,
-        qvec2: &Matrix,
-        grad_expanded: &Matrix,
-    ) -> (Matrix, Matrix) {
-        let hidden = qvec1.cols();
-        let mut grad1 = Matrix::zeros(1, hidden);
-        let mut grad2 = Matrix::zeros(1, hidden);
-        match self.options.expand {
-            ExpandMode::Full => {
-                for i in 0..hidden {
-                    let a = qvec1.get(0, i);
-                    let b = qvec2.get(0, i);
-                    let g_a = grad_expanded.get(0, i);
-                    let g_b = grad_expanded.get(0, hidden + i);
-                    let g_abs = grad_expanded.get(0, 2 * hidden + i);
-                    let g_prod = grad_expanded.get(0, 3 * hidden + i);
-                    // d|a-b|/da = sign(a-b); the subgradient at a == b is taken as 0.
-                    let sign = if a > b {
-                        1.0
-                    } else if a < b {
-                        -1.0
-                    } else {
-                        0.0
-                    };
-                    grad1.set(0, i, g_a + g_abs * sign + g_prod * b);
-                    grad2.set(0, i, g_b - g_abs * sign + g_prod * a);
-                }
-            }
-            ExpandMode::Concat => {
-                grad1.row_mut(0).copy_from_slice(&grad_expanded.row(0)[..hidden]);
-                grad2.row_mut(0).copy_from_slice(&grad_expanded.row(0)[hidden..]);
-            }
-        }
-        (grad1, grad2)
+    /// One set encoder over a ragged batch, forward only: `encode = pool(relu(W·v))`,
+    /// `(Σnᵢ×L) -> (B×H)`.
+    fn encode_sets(&self, encoder: &Dense, batch: &RaggedBatch) -> Matrix {
+        let mut activated = encoder.forward_ragged(batch);
+        relu_in_place(&mut activated);
+        segment_pool(&activated, batch.offsets(), self.segment_pool_kind())
     }
 
-    fn forward(&self, v1: &Matrix, v2: &Matrix) -> PairCache {
-        let z1 = self.mlp1.forward(v1);
+    /// The containment head over expanded pair representations, forward only:
+    /// `(B×4H) -> (B×1)` sigmoid rates.
+    fn head_inference(&self, expanded: &Matrix) -> Matrix {
+        let mut a_out1 = self.out1.forward(expanded);
+        relu_in_place(&mut a_out1);
+        let mut sigmoid_out = self.out2.forward(&a_out1);
+        sigmoid_in_place(&mut sigmoid_out);
+        sigmoid_out
+    }
+
+    fn forward_batch(&self, v1: RaggedBatch, v2: RaggedBatch) -> BatchCache {
+        debug_assert_eq!(v1.num_segments(), v2.num_segments(), "pairs must line up");
+        let pool = self.segment_pool_kind();
+        // The set encoders iterate the batches' CSR non-zeros; the head's `Expand` input is
+        // dense and takes the blocked SIMD kernel.
+        let mut a1 = self.mlp1.forward_ragged(&v1);
+        relu_in_place(&mut a1);
+        let qvec1 = segment_pool(&a1, v1.offsets(), pool);
+        let mut a2 = self.mlp2.forward_ragged(&v2);
+        relu_in_place(&mut a2);
+        let qvec2 = segment_pool(&a2, v2.offsets(), pool);
+        let expanded = self.expand_pairs(&qvec1, &qvec2);
+        let mut a_out1 = self.out1.forward(&expanded);
+        relu_in_place(&mut a_out1);
+        let mut sigmoid_out = self.out2.forward(&a_out1);
+        sigmoid_in_place(&mut sigmoid_out);
+        BatchCache {
+            v1,
+            v2,
+            a1,
+            a2,
+            qvec1,
+            qvec2,
+            expanded,
+            a_out1,
+            sigmoid_out,
+        }
+    }
+
+    /// Inference-only batched forward: returns the `B×1` sigmoid outputs without retaining
+    /// any intermediate tensors (the serving path of `predict` / `predict_batch`).
+    fn forward_batch_inference(&self, v1: &RaggedBatch, v2: &RaggedBatch) -> Matrix {
+        debug_assert_eq!(v1.num_segments(), v2.num_segments(), "pairs must line up");
+        let qvec1 = self.encode_sets(&self.mlp1, v1);
+        let qvec2 = self.encode_sets(&self.mlp2, v2);
+        self.head_inference(&self.expand_pairs(&qvec1, &qvec2))
+    }
+
+    /// Batched backward pass: `grad_output` holds `dL/d sigmoid_out` per pair (`B×1`).
+    ///
+    /// Accumulates exactly the gradient sums the per-sample loop produced — `Dense::backward`
+    /// over the flattened rows computes the same `Σᵢ xᵢᵀ·gᵢ` in one product.
+    fn backward_batch(&mut self, cache: &BatchCache, grad_output: &Matrix) {
+        let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, grad_output);
+        let mut grad_z_out1 = self.out2.backward_dense(&cache.a_out1, &grad_z_out2);
+        relu_backward_in_place(&cache.a_out1, &mut grad_z_out1);
+        let grad_expanded = self.out1.backward_dense(&cache.expanded, &grad_z_out1);
+        let (grad_qvec1, grad_qvec2) = match self.options.expand {
+            ExpandMode::Full => expand_full_backward(&cache.qvec1, &cache.qvec2, &grad_expanded),
+            ExpandMode::Concat => expand_concat_backward(&grad_expanded),
+        };
+
+        let pool = self.segment_pool_kind();
+        // The set encoders are input layers over one-hot rows: accumulate their weight
+        // gradients by scattering the CSR non-zeros, and skip the (discarded) dL/dx product.
+        let mut grad_z1 = segment_pool_backward(cache.v1.offsets(), &grad_qvec1, pool);
+        relu_backward_in_place(&cache.a1, &mut grad_z1);
+        self.mlp1.backward_ragged_weights_only(&cache.v1, &grad_z1);
+
+        let mut grad_z2 = segment_pool_backward(cache.v2.offsets(), &grad_qvec2, pool);
+        relu_backward_in_place(&cache.a2, &mut grad_z2);
+        self.mlp2.backward_ragged_weights_only(&cache.v2, &grad_z2);
+    }
+
+    /// Seed-faithful single-pair forward pass: 1-row matrices end to end, scalar pooling and
+    /// `Expand`, the full backward including the input layers' discarded `dL/dx` — exactly
+    /// the implementation this repository shipped before the ragged-batch engine.  This is
+    /// the *baseline* the parity tests and criterion benchmarks compare the engine against,
+    /// so it deliberately does not share the engine's execution path.
+    fn forward_pair_reference(&self, v1: &Matrix, v2: &Matrix) -> PairCache {
+        let pool = |activated: &Matrix| -> Matrix {
+            match self.options.pooling {
+                Pooling::Mean => crn_nn::layers::mean_pool(activated),
+                Pooling::Sum => {
+                    let mut pooled = Matrix::zeros(1, activated.cols());
+                    pooled.row_mut(0).copy_from_slice(&activated.column_sums());
+                    pooled
+                }
+            }
+        };
+        let z1 = self.mlp1.forward_sparse(v1);
         let a1 = relu(&z1);
-        let qvec1 = self.pool(&a1);
-        let z2 = self.mlp2.forward(v2);
+        let qvec1 = pool(&a1);
+        let z2 = self.mlp2.forward_sparse(v2);
         let a2 = relu(&z2);
-        let qvec2 = self.pool(&a2);
-        let expanded = self.expand(&qvec1, &qvec2);
-        let z_out1 = self.out1.forward(&expanded);
+        let qvec2 = pool(&a2);
+        let expanded = match self.options.expand {
+            ExpandMode::Full => expand_full(&qvec1, &qvec2),
+            ExpandMode::Concat => expand_concat(&qvec1, &qvec2),
+        };
+        let z_out1 = self.out1.forward_sparse(&expanded);
         let a_out1 = relu(&z_out1);
-        let z_out2 = self.out2.forward(&a_out1);
+        let z_out2 = self.out2.forward_sparse(&a_out1);
         let sigmoid_out = sigmoid(&z_out2);
         PairCache {
             v1: v1.clone(),
@@ -288,20 +346,33 @@ impl CrnModel {
         }
     }
 
-    fn backward(&mut self, cache: &PairCache, grad_output: f32) {
+    /// Seed-faithful single-pair backward pass (see [`CrnModel::forward_pair_reference`]).
+    fn backward_pair_reference(&mut self, cache: &PairCache, grad_output: f32) {
         let grad_out = Matrix::from_vec(1, 1, vec![grad_output]);
         let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, &grad_out);
         let grad_a_out1 = self.out2.backward(&cache.a_out1, &grad_z_out2);
         let grad_z_out1 = relu_backward(&cache.z_out1, &grad_a_out1);
         let grad_expanded = self.out1.backward(&cache.expanded, &grad_z_out1);
-        let (grad_qvec1, grad_qvec2) =
-            self.expand_backward(&cache.qvec1, &cache.qvec2, &grad_expanded);
-
-        let grad_a1 = self.pool_backward(cache.a1.rows(), &grad_qvec1);
+        let (grad_qvec1, grad_qvec2) = match self.options.expand {
+            ExpandMode::Full => expand_full_backward(&cache.qvec1, &cache.qvec2, &grad_expanded),
+            ExpandMode::Concat => expand_concat_backward(&grad_expanded),
+        };
+        let pool_backward = |num_rows: usize, grad_pooled: &Matrix| -> Matrix {
+            match self.options.pooling {
+                Pooling::Mean => crn_nn::layers::mean_pool_backward(num_rows, grad_pooled),
+                Pooling::Sum => {
+                    let mut grad = Matrix::zeros(num_rows, grad_pooled.cols());
+                    for r in 0..num_rows {
+                        grad.row_mut(r).copy_from_slice(grad_pooled.row(0));
+                    }
+                    grad
+                }
+            }
+        };
+        let grad_a1 = pool_backward(cache.a1.rows(), &grad_qvec1);
         let grad_z1 = relu_backward(&cache.z1, &grad_a1);
         let _ = self.mlp1.backward(&cache.v1, &grad_z1);
-
-        let grad_a2 = self.pool_backward(cache.a2.rows(), &grad_qvec2);
+        let grad_a2 = pool_backward(cache.a2.rows(), &grad_qvec2);
         let grad_z2 = relu_backward(&cache.z2, &grad_a2);
         let _ = self.mlp2.backward(&cache.v2, &grad_z2);
     }
@@ -331,7 +402,109 @@ impl CrnModel {
 
     /// Trains the model on labelled containment pairs; returns the per-epoch history
     /// (used to reproduce Figures 3 and 4).
+    ///
+    /// Each mini-batch runs as **one** batched forward/backward through the ragged-batch
+    /// engine (`crn_nn::batch`); the accumulated gradients are mathematically identical to
+    /// the per-sample loop of [`CrnModel::fit_reference`] (the parity tests below pin this to
+    /// 1e-5), but the dense layers execute as a single GEMM per batch.
     pub fn fit(&mut self, samples: &[ContainmentSample]) -> TrainingHistory {
+        // Features are featurized and converted to CSR once, before the epoch loop;
+        // mini-batches are assembled by concatenating the per-sample non-zeros — no dense
+        // row copies or scans inside the training loop.
+        let dim = self.featurizer.vector_dim();
+        let features: Vec<(SparseRows, SparseRows)> = samples
+            .iter()
+            .map(|s| {
+                let (v1, v2) = self.featurizer.featurize_pair(&s.q1, &s.q2);
+                (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
+            })
+            .collect();
+        let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
+
+        let (train_idx, valid_idx) = train_validation_split(
+            samples.len(),
+            self.config.validation_fraction,
+            self.config.seed,
+        );
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(7));
+        let mut early_stopping = EarlyStopping::new(self.config.patience);
+        let mut history = TrainingHistory::default();
+        let mut best: Option<CrnModel> = None;
+
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_samples = 0usize;
+            for batch in shuffled_batches(&train_idx, self.config.batch_size, &mut rng) {
+                let batch1 = RaggedBatch::from_sparse_sets(
+                    dim,
+                    batch.iter().map(|&index| &features[index].0),
+                );
+                let batch2 = RaggedBatch::from_sparse_sets(
+                    dim,
+                    batch.iter().map(|&index| &features[index].1),
+                );
+                let cache = self.forward_batch(batch1, batch2);
+
+                let mut grad_output = Matrix::zeros(batch.len(), 1);
+                let batch_scale = 1.0 / batch.len() as f32;
+                for (position, &index) in batch.iter().enumerate() {
+                    let prediction = cache.sigmoid_out.get(position, 0);
+                    let loss =
+                        loss_and_grad(self.config.loss, prediction, targets[index], RATE_FLOOR);
+                    epoch_loss += loss.loss as f64;
+                    epoch_samples += 1;
+                    grad_output.set(position, 0, loss.grad * batch_scale);
+                }
+                self.zero_grad();
+                self.backward_batch(&cache, &grad_output);
+                self.adam_step(&mut adam);
+            }
+
+            let validation_q_error = if valid_idx.is_empty() {
+                epoch_loss / epoch_samples.max(1) as f64
+            } else {
+                let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(valid_idx.len());
+                for chunk in valid_idx.chunks(self.config.batch_size.max(1)) {
+                    let batch1 = RaggedBatch::from_sparse_sets(
+                        dim,
+                        chunk.iter().map(|&index| &features[index].0),
+                    );
+                    let batch2 = RaggedBatch::from_sparse_sets(
+                        dim,
+                        chunk.iter().map(|&index| &features[index].1),
+                    );
+                    let out = self.forward_batch_inference(&batch1, &batch2);
+                    for (position, &index) in chunk.iter().enumerate() {
+                        pairs.push((out.get(position, 0) as f64, targets[index] as f64));
+                    }
+                }
+                mean_q_error(&pairs, RATE_FLOOR as f64)
+            };
+            let improved = history.record(EpochStats {
+                epoch,
+                train_loss: epoch_loss / epoch_samples.max(1) as f64,
+                validation_q_error,
+            });
+            if improved {
+                best = Some(self.clone());
+            }
+            if early_stopping.should_stop(!improved) {
+                break;
+            }
+        }
+        if let Some(best) = best {
+            *self = best;
+        }
+        history
+    }
+
+    /// Reference per-sample training loop: the pre-batching implementation, issuing one
+    /// forward and one backward per pair.
+    ///
+    /// Kept public so the parity tests and the criterion benchmarks can compare the batched
+    /// [`CrnModel::fit`] against it; there is no reason to use it for real training.
+    pub fn fit_reference(&mut self, samples: &[ContainmentSample]) -> TrainingHistory {
         let features: Vec<(Matrix, Matrix)> = samples
             .iter()
             .map(|s| self.featurizer.featurize_pair(&s.q1, &s.q2))
@@ -356,17 +529,13 @@ impl CrnModel {
                 self.zero_grad();
                 for &index in &batch {
                     let (v1, v2) = &features[index];
-                    let cache = self.forward(v1, v2);
+                    let cache = self.forward_pair_reference(v1, v2);
                     let prediction = cache.sigmoid_out.get(0, 0);
-                    let loss = loss_and_grad(
-                        self.config.loss,
-                        prediction,
-                        targets[index],
-                        RATE_FLOOR,
-                    );
+                    let loss =
+                        loss_and_grad(self.config.loss, prediction, targets[index], RATE_FLOOR);
                     epoch_loss += loss.loss as f64;
                     epoch_samples += 1;
-                    self.backward(&cache, loss.grad / batch.len() as f32);
+                    self.backward_pair_reference(&cache, loss.grad / batch.len() as f32);
                 }
                 self.adam_step(&mut adam);
             }
@@ -378,7 +547,8 @@ impl CrnModel {
                     .iter()
                     .map(|&i| {
                         let (v1, v2) = &features[i];
-                        let prediction = self.forward(v1, v2).sigmoid_out.get(0, 0) as f64;
+                        let prediction =
+                            self.forward_pair_reference(v1, v2).sigmoid_out.get(0, 0) as f64;
                         (prediction, targets[i] as f64)
                     })
                     .collect();
@@ -405,8 +575,84 @@ impl CrnModel {
     /// Predicts the containment rate `q1 ⊂% q2` in `[0, 1]`.
     pub fn predict(&self, q1: &Query, q2: &Query) -> f64 {
         let (v1, v2) = self.featurizer.featurize_pair(q1, q2);
-        self.forward(&v1, &v2).sigmoid_out.get(0, 0) as f64
+        let out = self.forward_batch_inference(
+            &RaggedBatch::from_sets([&v1]),
+            &RaggedBatch::from_sets([&v2]),
+        );
+        out.get(0, 0) as f64
     }
+
+    /// Batched containment prediction against one shared query: for every anchor `aᵢ`
+    /// returns `(aᵢ ⊂% query, query ⊂% aᵢ)`.
+    ///
+    /// Every anchor and the query are featurized exactly once, then the whole batch runs
+    /// through **two** batched forward passes (one per containment direction) — this is the
+    /// serving path of the Cnt2Crd technique (§5.3, Figure 8), which previously issued `2·N`
+    /// single-pair forwards per incoming query.
+    pub fn predict_batch(&self, anchors: &[&Query], query: &Query) -> Vec<(f64, f64)> {
+        if anchors.is_empty() {
+            return Vec::new();
+        }
+        let encodings = self.encode_anchor_queries(anchors);
+        self.serve_against_encodings(&encodings, query)
+    }
+
+    /// Runs an anchor set through both set encoders once: the per-anchor `(B×H)` query
+    /// vectors under `MLP1` and `MLP2`.  This is the whole anchor-side cost of serving, and
+    /// it only depends on the (fixed) anchors — [`ContainmentEstimator::prepare_anchors`]
+    /// caches it across queries.
+    fn encode_anchor_queries(&self, anchors: &[&Query]) -> AnchorEncodings {
+        let anchor_sets: Vec<Matrix> = anchors
+            .iter()
+            .map(|anchor| self.featurizer.featurize(anchor))
+            .collect();
+        let anchor_batch = RaggedBatch::from_sets(anchor_sets.iter());
+        AnchorEncodings {
+            under_mlp1: self.encode_sets(&self.mlp1, &anchor_batch),
+            under_mlp2: self.encode_sets(&self.mlp2, &anchor_batch),
+        }
+    }
+
+    /// The serving core: both containment directions of pre-encoded anchors against one
+    /// query.  The query is featurized and encoded once (under each set encoder), broadcast
+    /// against the anchor encodings, and the containment head runs twice — once per
+    /// direction — over the whole batch.
+    fn serve_against_encodings(
+        &self,
+        encodings: &AnchorEncodings,
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        let num_anchors = encodings.under_mlp1.rows();
+        let query_set = self.featurizer.featurize(query);
+        let query_batch = RaggedBatch::from_sets([&query_set]);
+        let query_under_mlp1 = self.encode_sets(&self.mlp1, &query_batch);
+        let query_under_mlp2 = self.encode_sets(&self.mlp2, &query_batch);
+
+        // Direction 1: anchor ⊂% query (anchor feeds MLP1, query feeds MLP2).
+        let query_rows = broadcast_rows(&query_under_mlp2, num_anchors);
+        let forward_rates =
+            self.head_inference(&self.expand_pairs(&encodings.under_mlp1, &query_rows));
+        // Direction 2: query ⊂% anchor.
+        let query_rows = broadcast_rows(&query_under_mlp1, num_anchors);
+        let backward_rates =
+            self.head_inference(&self.expand_pairs(&query_rows, &encodings.under_mlp2));
+
+        (0..num_anchors)
+            .map(|i| {
+                (
+                    forward_rates.get(i, 0) as f64,
+                    backward_rates.get(i, 0) as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Pre-encoded anchor set: the per-anchor pooled representations under both set encoders
+/// (the cacheable anchor-side state of the Cnt2Crd serving path).
+struct AnchorEncodings {
+    under_mlp1: Matrix,
+    under_mlp2: Matrix,
 }
 
 impl ContainmentEstimator for CrnModel {
@@ -416,6 +662,57 @@ impl ContainmentEstimator for CrnModel {
 
     fn estimate_containment(&self, q1: &Query, q2: &Query) -> f64 {
         self.predict(q1, q2)
+    }
+
+    fn predict_batch(&self, anchors: &[&Query], query: &Query) -> Vec<(f64, f64)> {
+        CrnModel::predict_batch(self, anchors, query)
+    }
+
+    /// Forward direction only: encodes the anchors under `MLP1` and the query under `MLP2`
+    /// once, then runs the containment head a single time over the whole batch — half the
+    /// work of the bidirectional [`predict_batch`](ContainmentEstimator::predict_batch).
+    fn predict_batch_forward(&self, anchors: &[&Query], query: &Query) -> Vec<f64> {
+        if anchors.is_empty() {
+            return Vec::new();
+        }
+        let anchor_sets: Vec<Matrix> = anchors
+            .iter()
+            .map(|anchor| self.featurizer.featurize(anchor))
+            .collect();
+        let anchor_batch = RaggedBatch::from_sets(anchor_sets.iter());
+        let anchors_under_mlp1 = self.encode_sets(&self.mlp1, &anchor_batch);
+
+        let query_set = self.featurizer.featurize(query);
+        let query_batch = RaggedBatch::from_sets([&query_set]);
+        let query_under_mlp2 = self.encode_sets(&self.mlp2, &query_batch);
+        let query_rows = broadcast_rows(&query_under_mlp2, anchors.len());
+
+        let rates = self.head_inference(&self.expand_pairs(&anchors_under_mlp1, &query_rows));
+        (0..anchors.len()).map(|i| rates.get(i, 0) as f64).collect()
+    }
+
+    /// The CRN serving state for a fixed anchor set is its encoded form: the pooled `(B×H)`
+    /// representations under both set encoders.  With it cached, an incoming query pays only
+    /// for its own featurization + encoding and the two batched head passes.
+    fn prepare_anchors(&self, anchors: &[&Query]) -> Option<Box<dyn std::any::Any + Send + Sync>> {
+        if anchors.is_empty() {
+            return None;
+        }
+        Some(Box::new(self.encode_anchor_queries(anchors)))
+    }
+
+    fn predict_batch_prepared(
+        &self,
+        prepared: &(dyn std::any::Any + Send + Sync),
+        anchors: &[&Query],
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        match prepared.downcast_ref::<AnchorEncodings>() {
+            Some(encodings) if encodings.under_mlp1.rows() == anchors.len() => {
+                self.serve_against_encodings(encodings, query)
+            }
+            _ => CrnModel::predict_batch(self, anchors, query),
+        }
     }
 }
 
@@ -448,7 +745,10 @@ mod tests {
         // The paper (§3.5.3) counts 2·L·H + 8·H² + 6·H + 1 parameters: two set encoders
         // (L·H + H each), MLPout layer 1 (4H·2H + 2H) and layer 2 (2H·1 + 1).
         let db = generate_imdb(&ImdbConfig::tiny(10));
-        let config = TrainConfig { hidden_size: 8, ..TrainConfig::fast_test() };
+        let config = TrainConfig {
+            hidden_size: 8,
+            ..TrainConfig::fast_test()
+        };
         let model = CrnModel::new(&db, config);
         let l = model.featurizer().vector_dim();
         let h = 8usize;
@@ -510,8 +810,14 @@ mod tests {
         let db = generate_imdb(&ImdbConfig::tiny(13));
         let samples = training_pairs(&db, 80, 13);
         for options in [
-            CrnOptions { pooling: Pooling::Sum, expand: ExpandMode::Full },
-            CrnOptions { pooling: Pooling::Mean, expand: ExpandMode::Concat },
+            CrnOptions {
+                pooling: Pooling::Sum,
+                expand: ExpandMode::Full,
+            },
+            CrnOptions {
+                pooling: Pooling::Mean,
+                expand: ExpandMode::Concat,
+            },
         ] {
             let mut model = CrnModel::with_options(&db, TrainConfig::fast_test(), options);
             let history = model.fit(&samples);
@@ -531,11 +837,202 @@ mod tests {
         assert_eq!(model.predict(q1, q2), model.predict(q1, q2));
     }
 
+    /// The batched forward pass must agree with per-pair forwards to float tolerance, for
+    /// every pooling/expand ablation.
+    #[test]
+    fn batched_forward_matches_per_pair_forward() {
+        let db = generate_imdb(&ImdbConfig::tiny(16));
+        let samples = training_pairs(&db, 40, 16);
+        for options in [
+            CrnOptions::default(),
+            CrnOptions {
+                pooling: Pooling::Sum,
+                expand: ExpandMode::Full,
+            },
+            CrnOptions {
+                pooling: Pooling::Mean,
+                expand: ExpandMode::Concat,
+            },
+        ] {
+            let model = CrnModel::with_options(&db, TrainConfig::fast_test(), options);
+            let features: Vec<(Matrix, Matrix)> = samples
+                .iter()
+                .map(|s| model.featurizer.featurize_pair(&s.q1, &s.q2))
+                .collect();
+            let batch1 = RaggedBatch::from_sets(features.iter().map(|(v1, _)| v1));
+            let batch2 = RaggedBatch::from_sets(features.iter().map(|(_, v2)| v2));
+            let batched = model.forward_batch(batch1, batch2).sigmoid_out;
+            for (index, (v1, v2)) in features.iter().enumerate() {
+                let single = model.forward_pair_reference(v1, v2).sigmoid_out.get(0, 0);
+                assert!(
+                    (batched.get(index, 0) - single).abs() < 1e-5,
+                    "options {options:?}, pair {index}: batched {} vs single {single}",
+                    batched.get(index, 0)
+                );
+            }
+        }
+    }
+
+    /// The batched backward pass must accumulate the same parameter gradients as the
+    /// per-sample loop, to 1e-5.
+    #[test]
+    fn batched_gradients_match_per_sample_accumulation() {
+        let db = generate_imdb(&ImdbConfig::tiny(17));
+        let samples = training_pairs(&db, 24, 17);
+        for options in [
+            CrnOptions::default(),
+            CrnOptions {
+                pooling: Pooling::Sum,
+                expand: ExpandMode::Concat,
+            },
+        ] {
+            let mut batched_model = CrnModel::with_options(&db, TrainConfig::fast_test(), options);
+            let mut reference_model = batched_model.clone();
+            let features: Vec<(Matrix, Matrix)> = samples
+                .iter()
+                .map(|s| batched_model.featurizer.featurize_pair(&s.q1, &s.q2))
+                .collect();
+            let scale = 1.0 / samples.len() as f32;
+
+            // Per-sample accumulation (the seed-faithful reference path).
+            reference_model.zero_grad();
+            for (sample, (v1, v2)) in samples.iter().zip(&features) {
+                let cache = reference_model.forward_pair_reference(v1, v2);
+                let loss = loss_and_grad(
+                    crn_nn::LossKind::QError,
+                    cache.sigmoid_out.get(0, 0),
+                    sample.rate as f32,
+                    RATE_FLOOR,
+                );
+                reference_model.backward_pair_reference(&cache, loss.grad * scale);
+            }
+
+            // One batched backward.
+            batched_model.zero_grad();
+            let batch1 = RaggedBatch::from_sets(features.iter().map(|(v1, _)| v1));
+            let batch2 = RaggedBatch::from_sets(features.iter().map(|(_, v2)| v2));
+            let cache = batched_model.forward_batch(batch1, batch2);
+            let mut grad = Matrix::zeros(samples.len(), 1);
+            for (index, sample) in samples.iter().enumerate() {
+                let loss = loss_and_grad(
+                    crn_nn::LossKind::QError,
+                    cache.sigmoid_out.get(index, 0),
+                    sample.rate as f32,
+                    RATE_FLOOR,
+                );
+                grad.set(index, 0, loss.grad * scale);
+            }
+            batched_model.backward_batch(&cache, &grad);
+
+            for (name, batched, reference) in [
+                (
+                    "mlp1.w",
+                    &batched_model.mlp1.w.grad,
+                    &reference_model.mlp1.w.grad,
+                ),
+                (
+                    "mlp1.b",
+                    &batched_model.mlp1.b.grad,
+                    &reference_model.mlp1.b.grad,
+                ),
+                (
+                    "mlp2.w",
+                    &batched_model.mlp2.w.grad,
+                    &reference_model.mlp2.w.grad,
+                ),
+                (
+                    "out1.w",
+                    &batched_model.out1.w.grad,
+                    &reference_model.out1.w.grad,
+                ),
+                (
+                    "out2.w",
+                    &batched_model.out2.w.grad,
+                    &reference_model.out2.w.grad,
+                ),
+                (
+                    "out2.b",
+                    &batched_model.out2.b.grad,
+                    &reference_model.out2.b.grad,
+                ),
+            ] {
+                for (index, (a, b)) in batched.data().iter().zip(reference.data()).enumerate() {
+                    // 1e-5 relative tolerance: the batched path re-associates the same f32
+                    // sums, so tiny rounding differences scale with the gradient magnitude.
+                    assert!(
+                        (a - b).abs() < 1e-5 * b.abs().max(1.0),
+                        "options {options:?}, {name}[{index}]: batched {a} vs per-sample {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `predict_batch` must return exactly what per-pair `predict` calls return, in both
+    /// containment directions.
+    #[test]
+    fn predict_batch_matches_sequential_predictions() {
+        let db = generate_imdb(&ImdbConfig::tiny(18));
+        let samples = training_pairs(&db, 30, 18);
+        let mut model = CrnModel::new(&db, TrainConfig::fast_test());
+        model.fit(&samples);
+        let query = &samples[0].q1;
+        let anchors: Vec<&Query> = samples.iter().take(12).map(|s| &s.q2).collect();
+        let batched = model.predict_batch(&anchors, query);
+        assert_eq!(batched.len(), anchors.len());
+        for (anchor, (forward, backward)) in anchors.iter().zip(&batched) {
+            assert!((forward - model.predict(anchor, query)).abs() < 1e-5);
+            assert!((backward - model.predict(query, anchor)).abs() < 1e-5);
+        }
+        assert!(model.predict_batch(&[], query).is_empty());
+        // The forward-only batch agrees with the forward half of the bidirectional one.
+        let forward_only = ContainmentEstimator::predict_batch_forward(&model, &anchors, query);
+        assert_eq!(forward_only.len(), anchors.len());
+        for ((forward, _), single) in batched.iter().zip(&forward_only) {
+            assert!((forward - single).abs() < 1e-9);
+        }
+        assert!(ContainmentEstimator::predict_batch_forward(&model, &[], query).is_empty());
+    }
+
+    /// The batched and reference training loops see identical losses on the first epoch and
+    /// both produce working models.
+    #[test]
+    fn fit_and_fit_reference_trace_the_same_first_epoch() {
+        let db = generate_imdb(&ImdbConfig::tiny(21));
+        let samples = training_pairs(&db, 100, 21);
+        let config = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast_test()
+        };
+        let mut batched = CrnModel::new(&db, config.clone());
+        let mut reference = batched.clone();
+        let batched_history = batched.fit(&samples);
+        let reference_history = reference.fit_reference(&samples);
+        let a = batched_history.epochs[0];
+        let b = reference_history.epochs[0];
+        assert!(
+            (a.train_loss - b.train_loss).abs() < 1e-4 * b.train_loss.abs().max(1.0),
+            "first-epoch losses must match: batched {} vs reference {}",
+            a.train_loss,
+            b.train_loss
+        );
+        assert!(
+            (a.validation_q_error - b.validation_q_error).abs()
+                < 1e-4 * b.validation_q_error.abs().max(1.0),
+            "first-epoch validation must match: batched {} vs reference {}",
+            a.validation_q_error,
+            b.validation_q_error
+        );
+    }
+
     /// Finite-difference check of the full CRN backward pass (including Expand).
     #[test]
     fn gradient_check_full_model() {
         let db = generate_imdb(&ImdbConfig::tiny(15));
-        let config = TrainConfig { hidden_size: 6, ..TrainConfig::fast_test() };
+        let config = TrainConfig {
+            hidden_size: 6,
+            ..TrainConfig::fast_test()
+        };
         let mut model = CrnModel::new(&db, config);
         let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(15));
         let pairs = gen.generate_pairs(5, 5);
@@ -544,14 +1041,14 @@ mod tests {
         let target = 0.35f32;
 
         // Analytic gradient of the q-error loss with respect to a few weights of mlp1 and out1.
-        let cache = model.forward(&v1, &v2);
+        let cache = model.forward_pair_reference(&v1, &v2);
         let prediction = cache.sigmoid_out.get(0, 0);
         let loss = loss_and_grad(crn_nn::LossKind::QError, prediction, target, RATE_FLOOR);
         model.zero_grad();
-        model.backward(&cache, loss.grad);
+        model.backward_pair_reference(&cache, loss.grad);
 
         let loss_value = |model: &CrnModel| {
-            let p = model.forward(&v1, &v2).sigmoid_out.get(0, 0);
+            let p = model.forward_pair_reference(&v1, &v2).sigmoid_out.get(0, 0);
             loss_and_grad(crn_nn::LossKind::QError, p, target, RATE_FLOOR).loss
         };
         let eps = 1e-2f32;

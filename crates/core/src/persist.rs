@@ -76,7 +76,11 @@ impl QueriesPool {
 
     /// Loads a queries pool previously written by [`QueriesPool::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        load_json(path.as_ref())
+        let mut pool: QueriesPool = load_json(path.as_ref())?;
+        // The duplicate-detection hash index is never persisted (hash algorithm stability
+        // across toolchains is not guaranteed); rebuild it for the running binary.
+        pool.rebuild_hash_index();
+        Ok(pool)
     }
 }
 

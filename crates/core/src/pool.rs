@@ -11,7 +11,8 @@ use crn_exec::Executor;
 use crn_query::ast::Query;
 use crn_query::generator::{GeneratorConfig, QueryGenerator};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 /// One pool entry: a previously executed query and its actual cardinality.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +30,25 @@ pub struct QueriesPool {
     /// Index from FROM-clause key (tables joined by `,`) to entry positions.  String keys keep
     /// the pool JSON-serializable (§5.2 envisions it as durable DBMS meta information).
     by_from: BTreeMap<String, Vec<usize>>,
+    /// Index from canonical query hash to entry positions: duplicate detection on insert is
+    /// O(1) expected instead of a linear scan over the whole pool, so bulk construction of a
+    /// pool of `n` entries is O(n) expected rather than O(n²).  Hash collisions are resolved
+    /// by comparing the (few) colliding entries for real equality.
+    ///
+    /// Never serialized: `DefaultHasher`'s algorithm is not guaranteed stable across Rust
+    /// releases, so a persisted index could silently disagree with the hashes a newer binary
+    /// computes.  It is rebuilt after loading ([`QueriesPool::rebuild_hash_index`]) and
+    /// lazily on the first insert into a deserialized pool.
+    #[serde(skip)]
+    by_hash: HashMap<u64, Vec<usize>>,
+}
+
+/// The canonical hash of a query within one process ([`std::collections::hash_map::DefaultHasher`]
+/// is unkeyed, so every `QueriesPool` agrees), used by the pool's duplicate index.
+fn query_hash(query: &Query) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    query.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl QueriesPool {
@@ -37,14 +57,33 @@ impl QueriesPool {
         QueriesPool::default()
     }
 
+    /// Rebuilds the (unserialized) duplicate-detection index from the entries.
+    pub(crate) fn rebuild_hash_index(&mut self) {
+        self.by_hash.clear();
+        for (index, entry) in self.entries.iter().enumerate() {
+            self.by_hash
+                .entry(query_hash(&entry.query))
+                .or_default()
+                .push(index);
+        }
+    }
+
     /// Adds an executed query with its actual cardinality.
     ///
     /// Duplicate queries are ignored (the pool keeps the first recorded cardinality).
     pub fn insert(&mut self, query: Query, cardinality: u64) {
-        if self.entries.iter().any(|e| e.query == query) {
-            return;
+        if self.by_hash.is_empty() && !self.entries.is_empty() {
+            // Deserialized pool (the index is never persisted): restore it first.
+            self.rebuild_hash_index();
+        }
+        let hash = query_hash(&query);
+        if let Some(indices) = self.by_hash.get(&hash) {
+            if indices.iter().any(|&i| self.entries[i].query == query) {
+                return;
+            }
         }
         let index = self.entries.len();
+        self.by_hash.entry(hash).or_default().push(index);
         self.by_from
             .entry(from_key(&query))
             .or_default()
@@ -118,7 +157,8 @@ impl QueriesPool {
     /// `size` is the total number of pool entries; `max_joins` bounds the FROM clauses
     /// considered (0..=max_joins joins).
     pub fn generate(db: &Database, size: usize, max_joins: usize, seed: u64) -> QueriesPool {
-        let mut generator = QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed, max_joins));
+        let mut generator =
+            QueryGenerator::new(db, GeneratorConfig::with_max_joins(seed, max_joins));
         let executor = Executor::new(db);
         let mut pool = QueriesPool::new();
         // Spread the budget uniformly over join counts, then over generated FROM clauses.
@@ -172,7 +212,9 @@ impl QueriesPool {
 }
 
 /// Canonical string key of a query's FROM clause (tables are already sorted in the AST).
-fn from_key(query: &Query) -> String {
+/// Shared with the Cnt2Crd serving cache, whose per-FROM-clause anchor groups must match
+/// [`QueriesPool::matching`]'s grouping exactly.
+pub(crate) fn from_key(query: &Query) -> String {
     query
         .tables()
         .iter()
@@ -204,10 +246,58 @@ mod tests {
     }
 
     #[test]
+    fn bulk_insert_deduplicates_through_the_hash_index() {
+        let db = generate_imdb(&ImdbConfig::tiny(47));
+        let mut gen =
+            crn_query::generator::QueryGenerator::new(&db, GeneratorConfig::with_max_joins(47, 2));
+        let queries = gen.generate_queries(300);
+        let mut pool = QueriesPool::new();
+        for (i, q) in queries.iter().enumerate() {
+            pool.insert(q.clone(), i as u64);
+        }
+        let unique: std::collections::HashSet<&Query> = queries.iter().collect();
+        assert_eq!(
+            pool.len(),
+            unique.len(),
+            "pool keeps exactly the distinct queries"
+        );
+        // Re-inserting the whole workload changes nothing.
+        let before = pool.len();
+        for q in &queries {
+            pool.insert(q.clone(), 999_999);
+        }
+        assert_eq!(pool.len(), before);
+        assert!(pool.entries().iter().all(|e| e.cardinality != 999_999));
+    }
+
+    #[test]
+    fn duplicate_detection_survives_serialization() {
+        let db = generate_imdb(&ImdbConfig::tiny(48));
+        let pool = QueriesPool::generate(&db, 20, 1, 48);
+        let dir = std::env::temp_dir().join("crn_pool_dedup_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.json");
+        pool.save(&path).expect("save succeeds");
+        let mut loaded = QueriesPool::load(&path).expect("load succeeds");
+        std::fs::remove_file(&path).ok();
+        let before = loaded.len();
+        // The hash index round-trips, so re-inserting existing queries is still a no-op.
+        for entry in pool.entries().to_vec() {
+            loaded.insert(entry.query, entry.cardinality + 1);
+        }
+        assert_eq!(loaded.len(), before);
+        assert_eq!(&loaded, &pool);
+    }
+
+    #[test]
     fn generated_pool_covers_all_join_counts_and_is_exact() {
         let db = generate_imdb(&ImdbConfig::tiny(44));
         let pool = QueriesPool::generate(&db, 60, 2, 44);
-        assert!(pool.len() >= 30, "pool should be reasonably filled: {}", pool.len());
+        assert!(
+            pool.len() >= 30,
+            "pool should be reasonably filled: {}",
+            pool.len()
+        );
         let executor = Executor::new(&db);
         // Cardinalities stored in the pool are the true ones.
         for entry in pool.entries().iter().take(10) {
@@ -226,7 +316,11 @@ mod tests {
     fn generated_pool_contains_predicate_free_queries() {
         let db = generate_imdb(&ImdbConfig::tiny(45));
         let pool = QueriesPool::generate(&db, 40, 2, 45);
-        let from_clauses: BTreeSet<_> = pool.entries().iter().map(|e| e.query.tables().clone()).collect();
+        let from_clauses: BTreeSet<_> = pool
+            .entries()
+            .iter()
+            .map(|e| e.query.tables().clone())
+            .collect();
         for tables in from_clauses {
             assert!(
                 pool.entries()

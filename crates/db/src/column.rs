@@ -98,7 +98,7 @@ impl Column {
 
     /// Returns true if the value at `row` is NULL.
     pub fn is_null(&self, row: usize) -> bool {
-        self.validity.as_ref().map_or(false, |v| !v[row])
+        self.validity.as_ref().is_some_and(|v| !v[row])
     }
 
     /// Raw value slice (NULL rows contain an unspecified placeholder, check validity first).

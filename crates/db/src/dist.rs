@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf population must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 1..=n {
@@ -89,7 +92,10 @@ impl Categorical {
     /// # Panics
     /// Panics if `weights` is empty or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "categorical needs at least one outcome"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "categorical weights must not all be zero");
         let mut cdf = Vec::with_capacity(weights.len());
@@ -130,20 +136,29 @@ mod tests {
             counts[v] += 1;
         }
         // Rank 1 should be drawn much more often than rank 50.
-        assert!(counts[1] > counts[50] * 5, "zipf skew missing: {} vs {}", counts[1], counts[50]);
+        assert!(
+            counts[1] > counts[50] * 5,
+            "zipf skew missing: {} vs {}",
+            counts[1],
+            counts[50]
+        );
     }
 
     #[test]
     fn zipf_with_zero_exponent_is_roughly_uniform() {
         let mut rng = StdRng::seed_from_u64(3);
         let z = Zipf::new(10, 0.0);
-        let mut counts = vec![0usize; 11];
+        let mut counts = [0usize; 11];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
         }
+        #[allow(clippy::needless_range_loop)]
         for k in 1..=10 {
             let frac = counts[k] as f64 / 50_000.0;
-            assert!((frac - 0.1).abs() < 0.02, "rank {k} frequency {frac} too far from uniform");
+            assert!(
+                (frac - 0.1).abs() < 0.02,
+                "rank {k} frequency {frac} too far from uniform"
+            );
         }
     }
 

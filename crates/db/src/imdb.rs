@@ -258,7 +258,7 @@ fn generate_titles(config: &ImdbConfig, rng: &mut StdRng, db: &mut Database) -> 
             Some(1880 + decade * 10 + sample_range(rng, 0, 9))
         };
         // kind_id 1..=7; series/episode kinds (4, 7) become much more likely after 1990.
-        let recent = production_year.map_or(false, |y| y >= 1990);
+        let recent = production_year.is_some_and(|y| y >= 1990);
         let kind_weights = if recent {
             [3.0, 1.0, 1.0, 2.5, 0.5, 0.5, 2.0]
         } else {
@@ -301,7 +301,7 @@ fn generate_titles(config: &ImdbConfig, rng: &mut StdRng, db: &mut Database) -> 
 /// Fan-out for a title: popular (low rank) and recent titles receive more fact rows.
 fn fanout(rng: &mut StdRng, title: &TitleRow, max: usize) -> usize {
     let popular = title.popularity_rank <= 10;
-    let recent = title.production_year.map_or(false, |y| y >= 2000);
+    let recent = title.production_year.is_some_and(|y| y >= 2000);
     let p = if popular {
         0.25
     } else if recent {
@@ -574,7 +574,9 @@ mod tests {
         let mut old_total = 0usize;
         let mut recent_total = 0usize;
         for row in 0..title.row_count() {
-            let Some(year) = years.get_int(row) else { continue };
+            let Some(year) = years.get_int(row) else {
+                continue;
+            };
             let kind = kinds.get_int(row).unwrap();
             if year < 1960 {
                 old_total += 1;

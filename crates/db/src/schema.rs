@@ -301,13 +301,21 @@ mod tests {
                 TableDef {
                     name: "a".into(),
                     alias: "a".into(),
-                    columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y")],
+                    columns: vec![
+                        ColumnDef::key("id"),
+                        ColumnDef::int("x"),
+                        ColumnDef::int("y"),
+                    ],
                     primary_key: Some("id".into()),
                 },
                 TableDef {
                     name: "b".into(),
                     alias: "b".into(),
-                    columns: vec![ColumnDef::key("id"), ColumnDef::key("a_id"), ColumnDef::int("z")],
+                    columns: vec![
+                        ColumnDef::key("id"),
+                        ColumnDef::key("a_id"),
+                        ColumnDef::int("z"),
+                    ],
                     primary_key: Some("id".into()),
                 },
             ],
@@ -357,7 +365,12 @@ mod tests {
     #[test]
     fn non_key_columns_excludes_keys() {
         let s = toy_schema();
-        let non_keys: Vec<_> = s.table("b").unwrap().non_key_columns().map(|c| c.name.clone()).collect();
+        let non_keys: Vec<_> = s
+            .table("b")
+            .unwrap()
+            .non_key_columns()
+            .map(|c| c.name.clone())
+            .collect();
         assert_eq!(non_keys, vec!["z".to_string()]);
     }
 

@@ -113,7 +113,11 @@ mod tests {
         TableDef {
             name: "t".into(),
             alias: "t".into(),
-            columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y").nullable()],
+            columns: vec![
+                ColumnDef::key("id"),
+                ColumnDef::int("x"),
+                ColumnDef::int("y").nullable(),
+            ],
             primary_key: Some("id".into()),
         }
     }

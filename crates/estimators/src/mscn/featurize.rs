@@ -210,10 +210,10 @@ impl MscnFeaturizer {
         let mut predicate_rows = Vec::new();
         for predicate in query.predicates() {
             let mut row = vec![0.0f32; self.predicate_dim()];
-            if let Some(&idx) = self
-                .column_index
-                .get(&(predicate.column.table.clone(), predicate.column.column.clone()))
-            {
+            if let Some(&idx) = self.column_index.get(&(
+                predicate.column.table.clone(),
+                predicate.column.column.clone(),
+            )) {
                 row[idx] = 1.0;
             }
             row[self.num_columns + predicate.op.index()] = 1.0;
@@ -278,7 +278,10 @@ mod tests {
 
     fn join_query() -> Query {
         Query::new(
-            [tables::TITLE.to_string(), tables::MOVIE_COMPANIES.to_string()],
+            [
+                tables::TITLE.to_string(),
+                tables::MOVIE_COMPANIES.to_string(),
+            ],
             [JoinClause::new(
                 ColumnRef::new(tables::TITLE, "id"),
                 ColumnRef::new(tables::MOVIE_COMPANIES, "movie_id"),
@@ -316,7 +319,10 @@ mod tests {
             assert_eq!(non_zero, 1);
         }
         // Join one-hot has exactly one bit set.
-        assert_eq!(features.joins.row(0).iter().filter(|&&v| v != 0.0).count(), 1);
+        assert_eq!(
+            features.joins.row(0).iter().filter(|&&v| v != 0.0).count(),
+            1
+        );
         // Predicate vector: column one-hot + op one-hot + normalized literal.
         let row = features.predicates.row(0);
         let ones = row.iter().filter(|&&v| v == 1.0).count();
@@ -361,8 +367,8 @@ mod tests {
         // predicate (production_year > 2000 filters part of the sample).
         let title_row_index = 1; // BTreeSet order: movie_companies < title
         let bits: Vec<f32> = features.tables.row(title_row_index)[6..].to_vec();
-        assert!(bits.iter().any(|&b| b == 1.0));
-        assert!(bits.iter().any(|&b| b == 0.0));
+        assert!(bits.contains(&1.0));
+        assert!(bits.contains(&0.0));
     }
 
     #[test]
@@ -378,8 +384,15 @@ mod tests {
         let impossible = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(ColumnRef::new(tables::TITLE, "kind_id"), CompareOp::Gt, 1000)],
+            [Predicate::new(
+                ColumnRef::new(tables::TITLE, "kind_id"),
+                CompareOp::Gt,
+                1000,
+            )],
         );
-        assert!(samples.bitmap(&impossible, tables::TITLE).iter().all(|&b| !b));
+        assert!(samples
+            .bitmap(&impossible, tables::TITLE)
+            .iter()
+            .all(|&b| !b));
     }
 }

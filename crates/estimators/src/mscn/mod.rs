@@ -3,5 +3,5 @@
 pub mod featurize;
 pub mod model;
 
-pub use featurize::{MaterializedSamples, MscnFeaturizer, MscnFeatures};
+pub use featurize::{MaterializedSamples, MscnFeatures, MscnFeaturizer};
 pub use model::MscnModel;

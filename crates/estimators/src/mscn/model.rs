@@ -12,8 +12,13 @@ use crate::mscn::featurize::{MscnFeatures, MscnFeaturizer};
 use crate::traits::CardinalityEstimator;
 use crn_db::database::Database;
 use crn_exec::CardinalitySample;
+use crn_nn::batch::{
+    concat_columns, segment_pool, segment_pool_backward, split_columns, RaggedBatch, SegmentPool,
+    SparseRows,
+};
 use crn_nn::layers::{
-    mean_pool, mean_pool_backward, relu, relu_backward, sigmoid, sigmoid_backward, Dense,
+    relu, relu_backward, relu_backward_in_place, relu_in_place, sigmoid, sigmoid_backward,
+    sigmoid_in_place, Dense,
 };
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
@@ -37,7 +42,21 @@ struct SetModule {
     l2: Dense,
 }
 
-/// Forward-pass cache of a set module (needed for backprop).
+/// Forward-pass cache of a set module over a ragged mini-batch (a single query is `B = 1`).
+///
+/// The element-level tensors are flattened over all queries of the batch and segmented by the
+/// offsets of `input`; `pooled` has one row per query.  Empty sets (queries without joins or
+/// predicates) are empty segments and pool to a zero row, exactly as the previous per-query
+/// special case did.  Only post-activation tensors are kept (ReLU runs in place; its output
+/// doubles as the backward mask).
+struct BatchSetCache {
+    input: RaggedBatch,
+    a1: Matrix,
+    a2: Matrix,
+    pooled: Matrix,
+}
+
+/// Forward-pass cache of a set module for the seed-faithful per-sample reference path.
 struct SetCache {
     input: Matrix,
     z1: Matrix,
@@ -55,11 +74,9 @@ impl SetModule {
         }
     }
 
-    fn hidden(&self) -> usize {
-        self.l2.output_dim()
-    }
-
-    fn forward(&self, input: &Matrix) -> SetCache {
+    /// Seed-faithful per-query forward pass (the pre-batching implementation, kept as the
+    /// baseline for the parity tests and benchmarks).
+    fn forward_reference(&self, input: &Matrix) -> SetCache {
         if input.rows() == 0 {
             // Empty set: the pooled representation is all zeros.
             return SetCache {
@@ -71,11 +88,11 @@ impl SetModule {
                 pooled: Matrix::zeros(1, self.hidden()),
             };
         }
-        let z1 = self.l1.forward(input);
+        let z1 = self.l1.forward_sparse(input);
         let a1 = relu(&z1);
-        let z2 = self.l2.forward(&a1);
+        let z2 = self.l2.forward_sparse(&a1);
         let a2 = relu(&z2);
-        let pooled = mean_pool(&a2);
+        let pooled = crn_nn::layers::mean_pool(&a2);
         SetCache {
             input: input.clone(),
             z1,
@@ -86,15 +103,59 @@ impl SetModule {
         }
     }
 
-    fn backward(&mut self, cache: &SetCache, grad_pooled: &Matrix) {
+    /// Seed-faithful per-query backward pass (see [`SetModule::forward_reference`]).
+    fn backward_reference(&mut self, cache: &SetCache, grad_pooled: &Matrix) {
         if cache.input.rows() == 0 {
             return;
         }
-        let grad_a2 = mean_pool_backward(cache.a2.rows(), grad_pooled);
+        let grad_a2 = crn_nn::layers::mean_pool_backward(cache.a2.rows(), grad_pooled);
         let grad_z2 = relu_backward(&cache.z2, &grad_a2);
         let grad_a1 = self.l2.backward(&cache.a1, &grad_z2);
         let grad_z1 = relu_backward(&cache.z1, &grad_a1);
         let _ = self.l1.backward(&cache.input, &grad_z1);
+    }
+
+    fn hidden(&self) -> usize {
+        self.l2.output_dim()
+    }
+
+    fn forward_batch(&self, input: RaggedBatch) -> BatchSetCache {
+        // One-hot set vectors feed the first layer through the batch's CSR non-zeros; the
+        // second layer's post-ReLU input is dense enough that the blocked SIMD kernel wins.
+        let mut a1 = self.l1.forward_ragged(&input);
+        relu_in_place(&mut a1);
+        let mut a2 = self.l2.forward(&a1);
+        relu_in_place(&mut a2);
+        let pooled = segment_pool(&a2, input.offsets(), SegmentPool::Mean);
+        BatchSetCache {
+            input,
+            a1,
+            a2,
+            pooled,
+        }
+    }
+
+    /// Inference-only batched forward: the pooled `B×H` representations, no cache.
+    fn forward_batch_inference(&self, input: &RaggedBatch) -> Matrix {
+        let mut a1 = self.l1.forward_ragged(input);
+        relu_in_place(&mut a1);
+        let mut a2 = self.l2.forward(&a1);
+        relu_in_place(&mut a2);
+        segment_pool(&a2, input.offsets(), SegmentPool::Mean)
+    }
+
+    fn backward_batch(&mut self, cache: &BatchSetCache, grad_pooled: &Matrix) {
+        if cache.input.num_rows() == 0 {
+            // Every segment in the batch is empty — nothing flowed forward.
+            return;
+        }
+        let mut grad_z2 =
+            segment_pool_backward(cache.input.offsets(), grad_pooled, SegmentPool::Mean);
+        relu_backward_in_place(&cache.a2, &mut grad_z2);
+        let mut grad_z1 = self.l2.backward_dense(&cache.a1, &grad_z2);
+        relu_backward_in_place(&cache.a1, &mut grad_z1);
+        // `l1` is an input layer over one-hot rows: CSR weight gradients, no dL/dx.
+        self.l1.backward_ragged_weights_only(&cache.input, &grad_z1);
     }
 
     fn zero_grad(&mut self) {
@@ -123,8 +184,25 @@ pub struct MscnModel {
     config: TrainConfig,
 }
 
-/// Forward-pass cache for one query.
-struct ForwardCache {
+/// Forward-pass cache for a ragged mini-batch of queries.
+struct BatchForwardCache {
+    tables: BatchSetCache,
+    joins: BatchSetCache,
+    predicates: BatchSetCache,
+    concat: Matrix,
+    a_out1: Matrix,
+    sigmoid_out: Matrix,
+}
+
+/// Per-sample CSR features, converted once before the epoch loop.
+struct SparseMscnFeatures {
+    tables: SparseRows,
+    joins: SparseRows,
+    predicates: SparseRows,
+}
+
+/// Forward-pass cache for one query on the seed-faithful reference path.
+struct ReferenceForwardCache {
     tables: SetCache,
     joins: SetCache,
     predicates: SetCache,
@@ -181,20 +259,70 @@ impl MscnModel {
         &self.config
     }
 
-    fn forward(&self, features: &MscnFeatures) -> ForwardCache {
-        let tables = self.table_module.forward(&features.tables);
-        let joins = self.join_module.forward(&features.joins);
-        let predicates = self.predicate_module.forward(&features.predicates);
+    /// Batched forward pass: the table/join/predicate sets of a whole mini-batch run through
+    /// their set modules as single GEMMs, and the output MLP consumes the `(B×3H)`
+    /// concatenation of the pooled representations.
+    fn forward_batch(
+        &self,
+        tables: RaggedBatch,
+        joins: RaggedBatch,
+        predicates: RaggedBatch,
+    ) -> BatchForwardCache {
+        let tables = self.table_module.forward_batch(tables);
+        let joins = self.join_module.forward_batch(joins);
+        let predicates = self.predicate_module.forward_batch(predicates);
+        let concat = concat_columns(&[&tables.pooled, &joins.pooled, &predicates.pooled]);
+        let mut a_out1 = self.out1.forward(&concat);
+        relu_in_place(&mut a_out1);
+        let mut sigmoid_out = self.out2.forward(&a_out1);
+        sigmoid_in_place(&mut sigmoid_out);
+        BatchForwardCache {
+            tables,
+            joins,
+            predicates,
+            concat,
+            a_out1,
+            sigmoid_out,
+        }
+    }
+
+    /// Inference-only batched forward: the `B×1` sigmoid outputs, no cache retained.
+    fn forward_batch_inference(
+        &self,
+        tables: &RaggedBatch,
+        joins: &RaggedBatch,
+        predicates: &RaggedBatch,
+    ) -> Matrix {
+        let tables = self.table_module.forward_batch_inference(tables);
+        let joins = self.join_module.forward_batch_inference(joins);
+        let predicates = self.predicate_module.forward_batch_inference(predicates);
+        let concat = concat_columns(&[&tables, &joins, &predicates]);
+        let mut a_out1 = self.out1.forward(&concat);
+        relu_in_place(&mut a_out1);
+        let mut sigmoid_out = self.out2.forward(&a_out1);
+        sigmoid_in_place(&mut sigmoid_out);
+        sigmoid_out
+    }
+
+    /// Seed-faithful single-query forward pass: the pre-batching implementation, kept as the
+    /// baseline for the parity tests and criterion benchmarks (see
+    /// [`SetModule::forward_reference`]).
+    fn forward_reference(&self, features: &MscnFeatures) -> ReferenceForwardCache {
+        let tables = self.table_module.forward_reference(&features.tables);
+        let joins = self.join_module.forward_reference(&features.joins);
+        let predicates = self
+            .predicate_module
+            .forward_reference(&features.predicates);
         let hidden = self.table_module.hidden();
         let mut concat = Matrix::zeros(1, 3 * hidden);
         concat.row_mut(0)[..hidden].copy_from_slice(tables.pooled.row(0));
         concat.row_mut(0)[hidden..2 * hidden].copy_from_slice(joins.pooled.row(0));
         concat.row_mut(0)[2 * hidden..].copy_from_slice(predicates.pooled.row(0));
-        let z_out1 = self.out1.forward(&concat);
+        let z_out1 = self.out1.forward_sparse(&concat);
         let a_out1 = relu(&z_out1);
-        let z_out2 = self.out2.forward(&a_out1);
+        let z_out2 = self.out2.forward_sparse(&a_out1);
         let sigmoid_out = sigmoid(&z_out2);
-        ForwardCache {
+        ReferenceForwardCache {
             tables,
             joins,
             predicates,
@@ -205,25 +333,41 @@ impl MscnModel {
         }
     }
 
-    /// Backpropagates from `d loss / d sigmoid_out` through the whole network.
-    fn backward(&mut self, cache: &ForwardCache, grad_sigmoid_out: f32) {
+    /// Seed-faithful single-query backward pass (see [`MscnModel::forward_reference`]).
+    fn backward_reference(&mut self, cache: &ReferenceForwardCache, grad_sigmoid_out: f32) {
         let grad_out = Matrix::from_vec(1, 1, vec![grad_sigmoid_out]);
         let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, &grad_out);
         let grad_a_out1 = self.out2.backward(&cache.a_out1, &grad_z_out2);
         let grad_z_out1 = relu_backward(&cache.z_out1, &grad_a_out1);
         let grad_concat = self.out1.backward(&cache.concat, &grad_z_out1);
+        let hidden = self.table_module.hidden();
+        let split =
+            |lo: usize, hi: usize| Matrix::from_vec(1, hidden, grad_concat.row(0)[lo..hi].to_vec());
+        self.table_module
+            .backward_reference(&cache.tables, &split(0, hidden));
+        self.join_module
+            .backward_reference(&cache.joins, &split(hidden, 2 * hidden));
+        self.predicate_module
+            .backward_reference(&cache.predicates, &split(2 * hidden, 3 * hidden));
+    }
+
+    /// Backpropagates per-query `d loss / d sigmoid_out` (`B×1`) through the whole network.
+    fn backward_batch(&mut self, cache: &BatchForwardCache, grad_sigmoid_out: &Matrix) {
+        let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, grad_sigmoid_out);
+        let mut grad_z_out1 = self.out2.backward_dense(&cache.a_out1, &grad_z_out2);
+        relu_backward_in_place(&cache.a_out1, &mut grad_z_out1);
+        let grad_concat = self.out1.backward_dense(&cache.concat, &grad_z_out1);
 
         let hidden = self.table_module.hidden();
-        let split = |lo: usize, hi: usize| {
-            Matrix::from_vec(1, hidden, grad_concat.row(0)[lo..hi].to_vec())
-        };
-        let grad_tables = split(0, hidden);
-        let grad_joins = split(hidden, 2 * hidden);
-        let grad_predicates = split(2 * hidden, 3 * hidden);
-        self.table_module.backward(&cache.tables, &grad_tables);
-        self.join_module.backward(&cache.joins, &grad_joins);
+        let mut split = split_columns(&grad_concat, &[hidden, hidden, hidden]).into_iter();
+        let grad_tables = split.next().expect("three blocks");
+        let grad_joins = split.next().expect("three blocks");
+        let grad_predicates = split.next().expect("three blocks");
+        self.table_module
+            .backward_batch(&cache.tables, &grad_tables);
+        self.join_module.backward_batch(&cache.joins, &grad_joins);
         self.predicate_module
-            .backward(&cache.predicates, &grad_predicates);
+            .backward_batch(&cache.predicates, &grad_predicates);
     }
 
     fn zero_grad(&mut self) {
@@ -266,8 +410,147 @@ impl MscnModel {
         self.log_max_cardinality * (sigmoid_out * self.log_max_cardinality).exp()
     }
 
+    /// Packs the features of a subset of samples into the three per-set ragged batches.
+    #[cfg(test)]
+    fn pack_batch(
+        features: &[MscnFeatures],
+        indices: &[usize],
+    ) -> (RaggedBatch, RaggedBatch, RaggedBatch) {
+        (
+            RaggedBatch::from_sets(indices.iter().map(|&i| &features[i].tables)),
+            RaggedBatch::from_sets(indices.iter().map(|&i| &features[i].joins)),
+            RaggedBatch::from_sets(indices.iter().map(|&i| &features[i].predicates)),
+        )
+    }
+
+    /// Packs pre-converted CSR features of a subset of samples into the three per-set ragged
+    /// batches by non-zero concatenation (the training loop's zero-copy path).
+    fn pack_sparse_batch(
+        &self,
+        features: &[SparseMscnFeatures],
+        indices: &[usize],
+    ) -> (RaggedBatch, RaggedBatch, RaggedBatch) {
+        (
+            RaggedBatch::from_sparse_sets(
+                self.featurizer.table_dim(),
+                indices.iter().map(|&i| &features[i].tables),
+            ),
+            RaggedBatch::from_sparse_sets(
+                self.featurizer.join_dim(),
+                indices.iter().map(|&i| &features[i].joins),
+            ),
+            RaggedBatch::from_sparse_sets(
+                self.featurizer.predicate_dim(),
+                indices.iter().map(|&i| &features[i].predicates),
+            ),
+        )
+    }
+
     /// Trains the model on labelled cardinality samples; returns the per-epoch history.
+    ///
+    /// Each mini-batch runs as **one** batched forward/backward through the ragged-batch
+    /// engine (`crn_nn::batch`); gradients are mathematically identical to the per-sample
+    /// loop of [`MscnModel::fit_reference`] (pinned to 1e-5 by the parity tests below).
     pub fn fit(&mut self, samples: &[CardinalitySample]) -> TrainingHistory {
+        // Features are featurized and converted to CSR once, before the epoch loop;
+        // mini-batches are assembled by concatenating the per-sample non-zeros.
+        let features: Vec<SparseMscnFeatures> = samples
+            .iter()
+            .map(|s| {
+                let dense = self.featurizer.featurize(&s.query);
+                SparseMscnFeatures {
+                    tables: SparseRows::from_matrix(&dense.tables),
+                    joins: SparseRows::from_matrix(&dense.joins),
+                    predicates: SparseRows::from_matrix(&dense.predicates),
+                }
+            })
+            .collect();
+        let targets: Vec<f32> = samples.iter().map(|s| s.cardinality as f32).collect();
+        let max_card = targets.iter().cloned().fold(1.0f32, f32::max);
+        self.log_max_cardinality = (max_card + 1.0).ln();
+
+        let (train_idx, valid_idx) = train_validation_split(
+            samples.len(),
+            self.config.validation_fraction,
+            self.config.seed,
+        );
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut early_stopping = EarlyStopping::new(self.config.patience);
+        let mut history = TrainingHistory::default();
+        let mut best: Option<MscnModel> = None;
+
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_samples = 0usize;
+            for batch in shuffled_batches(&train_idx, self.config.batch_size, &mut rng) {
+                let (tables, joins, predicates) = self.pack_sparse_batch(&features, &batch);
+                let cache = self.forward_batch(tables, joins, predicates);
+
+                let mut grad_output = Matrix::zeros(batch.len(), 1);
+                let batch_scale = 1.0 / batch.len() as f32;
+                for (position, &index) in batch.iter().enumerate() {
+                    let sigmoid_out = cache.sigmoid_out.get(position, 0);
+                    let prediction = self.unnormalize(sigmoid_out);
+                    let loss = loss_and_grad(
+                        self.config.loss,
+                        prediction.max(CARD_FLOOR),
+                        targets[index].max(CARD_FLOOR),
+                        CARD_FLOOR,
+                    );
+                    epoch_loss += loss.loss as f64;
+                    epoch_samples += 1;
+                    // Chain rule through the un-normalization, averaged over the batch.
+                    grad_output.set(
+                        position,
+                        0,
+                        loss.grad * self.unnormalize_grad(sigmoid_out) * batch_scale,
+                    );
+                }
+                self.zero_grad();
+                self.backward_batch(&cache, &grad_output);
+                self.adam_step(&mut adam);
+            }
+
+            let validation_q_error = if valid_idx.is_empty() {
+                epoch_loss / epoch_samples.max(1) as f64
+            } else {
+                let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(valid_idx.len());
+                for chunk in valid_idx.chunks(self.config.batch_size.max(1)) {
+                    let (tables, joins, predicates) = self.pack_sparse_batch(&features, chunk);
+                    let out = self.forward_batch_inference(&tables, &joins, &predicates);
+                    for (position, &index) in chunk.iter().enumerate() {
+                        let prediction = self.unnormalize(out.get(position, 0)).max(0.0);
+                        pairs.push((prediction as f64, targets[index] as f64));
+                    }
+                }
+                mean_q_error(&pairs, CARD_FLOOR as f64)
+            };
+            let improved = history.record(EpochStats {
+                epoch,
+                train_loss: epoch_loss / epoch_samples.max(1) as f64,
+                validation_q_error,
+            });
+            if improved {
+                best = Some(self.clone());
+            }
+            if early_stopping.should_stop(!improved) {
+                break;
+            }
+        }
+        // Restore the parameters of the best validation epoch (early stopping, §3.3).
+        if let Some(best) = best {
+            *self = best;
+        }
+        history
+    }
+
+    /// Reference per-sample training loop: the pre-batching implementation, issuing one
+    /// forward and one backward per query.
+    ///
+    /// Kept public so the parity tests and the criterion benchmarks can compare the batched
+    /// [`MscnModel::fit`] against it; there is no reason to use it for real training.
+    pub fn fit_reference(&mut self, samples: &[CardinalitySample]) -> TrainingHistory {
         let features: Vec<MscnFeatures> = samples
             .iter()
             .map(|s| self.featurizer.featurize(&s.query))
@@ -293,7 +576,7 @@ impl MscnModel {
             for batch in shuffled_batches(&train_idx, self.config.batch_size, &mut rng) {
                 self.zero_grad();
                 for &index in &batch {
-                    let cache = self.forward(&features[index]);
+                    let cache = self.forward_reference(&features[index]);
                     let sigmoid_out = cache.sigmoid_out.get(0, 0);
                     let prediction = self.unnormalize(sigmoid_out);
                     let loss = loss_and_grad(
@@ -304,10 +587,9 @@ impl MscnModel {
                     );
                     epoch_loss += loss.loss as f64;
                     epoch_samples += 1;
-                    // Chain rule through the un-normalization, averaged over the batch.
                     let grad_sigmoid =
                         loss.grad * self.unnormalize_grad(sigmoid_out) / batch.len() as f32;
-                    self.backward(&cache, grad_sigmoid);
+                    self.backward_reference(&cache, grad_sigmoid);
                 }
                 self.adam_step(&mut adam);
             }
@@ -318,7 +600,9 @@ impl MscnModel {
                 let pairs: Vec<(f64, f64)> = valid_idx
                     .iter()
                     .map(|&i| {
-                        let prediction = self.predict_features(&features[i]) as f64;
+                        let cache = self.forward_reference(&features[i]);
+                        let prediction =
+                            self.unnormalize(cache.sigmoid_out.get(0, 0)).max(0.0) as f64;
                         (prediction, targets[i] as f64)
                     })
                     .collect();
@@ -336,7 +620,6 @@ impl MscnModel {
                 break;
             }
         }
-        // Restore the parameters of the best validation epoch (early stopping, §3.3).
         if let Some(best) = best {
             *self = best;
         }
@@ -344,8 +627,12 @@ impl MscnModel {
     }
 
     fn predict_features(&self, features: &MscnFeatures) -> f32 {
-        let cache = self.forward(features);
-        self.unnormalize(cache.sigmoid_out.get(0, 0)).max(0.0)
+        let out = self.forward_batch_inference(
+            &RaggedBatch::from_sets([&features.tables]),
+            &RaggedBatch::from_sets([&features.joins]),
+            &RaggedBatch::from_sets([&features.predicates]),
+        );
+        self.unnormalize(out.get(0, 0)).max(0.0)
     }
 
     /// Predicts the cardinality of a query.
@@ -436,6 +723,161 @@ mod tests {
         assert!(!history.is_empty());
         let estimate = model.estimate(&samples[0].query);
         assert!(estimate.is_finite() && estimate >= 1.0);
+    }
+
+    /// The batched forward pass must agree with per-query forwards to float tolerance,
+    /// including queries with empty join/predicate sets.
+    #[test]
+    fn batched_forward_matches_per_query_forward() {
+        let db = generate_imdb(&ImdbConfig::tiny(6));
+        let samples = training_data(&db, 50, 6);
+        let model = MscnModel::new(&db, TrainConfig::fast_test());
+        let features: Vec<_> = samples
+            .iter()
+            .map(|s| model.featurizer.featurize(&s.query))
+            .collect();
+        let indices: Vec<usize> = (0..features.len()).collect();
+        let (tables, joins, predicates) = MscnModel::pack_batch(&features, &indices);
+        assert!(
+            features.iter().any(|f| f.joins.rows() == 0),
+            "fixture should include at least one join-free query"
+        );
+        let batched = model.forward_batch(tables, joins, predicates).sigmoid_out;
+        for (index, feature) in features.iter().enumerate() {
+            let single = model.forward_reference(feature).sigmoid_out.get(0, 0);
+            assert!(
+                (batched.get(index, 0) - single).abs() < 1e-5,
+                "query {index}: batched {} vs single {single}",
+                batched.get(index, 0)
+            );
+        }
+    }
+
+    /// The batched backward pass must accumulate the same parameter gradients as the
+    /// per-sample loop, to 1e-5 (relative).
+    #[test]
+    fn batched_gradients_match_per_sample_accumulation() {
+        let db = generate_imdb(&ImdbConfig::tiny(7));
+        let samples = training_data(&db, 24, 7);
+        let mut batched_model = MscnModel::new(&db, TrainConfig::fast_test());
+        let mut reference_model = batched_model.clone();
+        let features: Vec<_> = samples
+            .iter()
+            .map(|s| batched_model.featurizer.featurize(&s.query))
+            .collect();
+        let scale = 1.0 / samples.len() as f32;
+
+        reference_model.zero_grad();
+        for (sample, feature) in samples.iter().zip(&features) {
+            let cache = reference_model.forward_reference(feature);
+            let sigmoid_out = cache.sigmoid_out.get(0, 0);
+            let prediction = reference_model.unnormalize(sigmoid_out);
+            let loss = loss_and_grad(
+                reference_model.config.loss,
+                prediction.max(CARD_FLOOR),
+                (sample.cardinality as f32).max(CARD_FLOOR),
+                CARD_FLOOR,
+            );
+            let grad = loss.grad * reference_model.unnormalize_grad(sigmoid_out) * scale;
+            reference_model.backward_reference(&cache, grad);
+        }
+
+        batched_model.zero_grad();
+        let indices: Vec<usize> = (0..features.len()).collect();
+        let (tables, joins, predicates) = MscnModel::pack_batch(&features, &indices);
+        let cache = batched_model.forward_batch(tables, joins, predicates);
+        let mut grad = Matrix::zeros(samples.len(), 1);
+        for (index, sample) in samples.iter().enumerate() {
+            let sigmoid_out = cache.sigmoid_out.get(index, 0);
+            let prediction = batched_model.unnormalize(sigmoid_out);
+            let loss = loss_and_grad(
+                batched_model.config.loss,
+                prediction.max(CARD_FLOOR),
+                (sample.cardinality as f32).max(CARD_FLOOR),
+                CARD_FLOOR,
+            );
+            grad.set(
+                index,
+                0,
+                loss.grad * batched_model.unnormalize_grad(sigmoid_out) * scale,
+            );
+        }
+        batched_model.backward_batch(&cache, &grad);
+
+        for (name, a, b) in [
+            (
+                "tables.l1.w",
+                &batched_model.table_module.l1.w.grad,
+                &reference_model.table_module.l1.w.grad,
+            ),
+            (
+                "tables.l2.w",
+                &batched_model.table_module.l2.w.grad,
+                &reference_model.table_module.l2.w.grad,
+            ),
+            (
+                "joins.l1.w",
+                &batched_model.join_module.l1.w.grad,
+                &reference_model.join_module.l1.w.grad,
+            ),
+            (
+                "predicates.l1.w",
+                &batched_model.predicate_module.l1.w.grad,
+                &reference_model.predicate_module.l1.w.grad,
+            ),
+            (
+                "out1.w",
+                &batched_model.out1.w.grad,
+                &reference_model.out1.w.grad,
+            ),
+            (
+                "out2.w",
+                &batched_model.out2.w.grad,
+                &reference_model.out2.w.grad,
+            ),
+            (
+                "out2.b",
+                &batched_model.out2.b.grad,
+                &reference_model.out2.b.grad,
+            ),
+        ] {
+            for (index, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-5 * y.abs().max(1.0),
+                    "{name}[{index}]: batched {x} vs per-sample {y}"
+                );
+            }
+        }
+    }
+
+    /// The batched and reference training loops see identical losses on the first epoch.
+    #[test]
+    fn fit_and_fit_reference_trace_the_same_first_epoch() {
+        let db = generate_imdb(&ImdbConfig::tiny(8));
+        let samples = training_data(&db, 80, 8);
+        let config = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast_test()
+        };
+        let mut batched = MscnModel::new(&db, config.clone());
+        let mut reference = batched.clone();
+        let batched_history = batched.fit(&samples);
+        let reference_history = reference.fit_reference(&samples);
+        let a = batched_history.epochs[0];
+        let b = reference_history.epochs[0];
+        assert!(
+            (a.train_loss - b.train_loss).abs() < 1e-4 * b.train_loss.abs().max(1.0),
+            "first-epoch losses must match: batched {} vs reference {}",
+            a.train_loss,
+            b.train_loss
+        );
+        assert!(
+            (a.validation_q_error - b.validation_q_error).abs()
+                < 1e-4 * b.validation_q_error.abs().max(1.0),
+            "first-epoch validation must match: batched {} vs reference {}",
+            a.validation_q_error,
+            b.validation_q_error
+        );
     }
 
     #[test]

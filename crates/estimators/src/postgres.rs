@@ -247,7 +247,11 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 1)],
+            [Predicate::new(
+                col(tables::TITLE, "kind_id"),
+                CompareOp::Eq,
+                1,
+            )],
         );
         let estimate = est.estimate(&q);
         let truth = exec.cardinality(&q) as f64;
@@ -266,7 +270,11 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 1990)],
+            [Predicate::new(
+                col(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                1990,
+            )],
         );
         let estimate = est.estimate(&q);
         let truth = exec.cardinality(&q) as f64;
@@ -283,7 +291,11 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 999)],
+            [Predicate::new(
+                col(tables::TITLE, "kind_id"),
+                CompareOp::Eq,
+                999,
+            )],
         );
         assert_eq!(est.estimate(&q), 1.0, "clamped to one row");
     }
@@ -322,9 +334,16 @@ mod tests {
             ],
             [
                 JoinClause::new(col(tables::TITLE, "id"), col(tables::CAST_INFO, "movie_id")),
-                JoinClause::new(col(tables::TITLE, "id"), col(tables::MOVIE_KEYWORD, "movie_id")),
+                JoinClause::new(
+                    col(tables::TITLE, "id"),
+                    col(tables::MOVIE_KEYWORD, "movie_id"),
+                ),
             ],
-            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 2000)],
+            [Predicate::new(
+                col(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                2000,
+            )],
         );
         let estimate = est.estimate(&q);
         let truth = exec.cardinality(&q) as f64;

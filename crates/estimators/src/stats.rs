@@ -88,7 +88,7 @@ impl ColumnStats {
             if mcv_set.contains_key(&value) {
                 continue;
             }
-            rest.extend(std::iter::repeat(value).take(count));
+            rest.extend(std::iter::repeat_n(value, count));
         }
         let histogram_bounds = equi_depth_bounds(&rest, config.histogram_buckets);
 
@@ -231,7 +231,10 @@ mod tests {
     fn database_stats_cover_all_columns() {
         let db = generate_imdb(&ImdbConfig::tiny(17));
         let stats = DatabaseStats::collect(&db, &StatsConfig::default());
-        assert_eq!(stats.rows(tables::TITLE), db.table(tables::TITLE).unwrap().row_count());
+        assert_eq!(
+            stats.rows(tables::TITLE),
+            db.table(tables::TITLE).unwrap().row_count()
+        );
         let total_columns: usize = db.schema().tables().iter().map(|t| t.columns.len()).sum();
         assert_eq!(stats.columns.len(), total_columns);
         let year = stats
@@ -239,7 +242,9 @@ mod tests {
             .unwrap();
         assert!(year.null_fraction > 0.0, "production_year has NULLs");
         assert!(year.n_distinct > 10);
-        assert!(stats.column(&ColumnRef::new(tables::TITLE, "missing")).is_none());
+        assert!(stats
+            .column(&ColumnRef::new(tables::TITLE, "missing"))
+            .is_none());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `Crd2Cnt` / `Cnt2Crd` transformations in `crn-core` are generic over these traits.
 
 use crn_query::ast::Query;
+use std::any::Any;
 
 /// Anything that can estimate the result cardinality of a query.
 pub trait CardinalityEstimator {
@@ -30,6 +31,66 @@ pub trait ContainmentEstimator {
     /// Implementations may return any non-negative value; callers treat values above 1 as
     /// legitimate estimates (the Crd2Cnt transformation can produce them).
     fn estimate_containment(&self, q1: &Query, q2: &Query) -> f64;
+
+    /// Batched containment estimation against one shared query: for every anchor `aᵢ`
+    /// returns the pair `(aᵢ ⊂% query, query ⊂% aᵢ)`.
+    ///
+    /// This is the shape the Cnt2Crd cardinality technique consumes — both containment
+    /// directions for every matching pool anchor of an incoming query (paper §5.3,
+    /// Figure 8).  The default implementation loops over [`estimate_containment`]; neural
+    /// models override it to featurize each query once and run two batched forward passes
+    /// instead of `2·N` single-pair ones.
+    ///
+    /// [`estimate_containment`]: ContainmentEstimator::estimate_containment
+    fn predict_batch(&self, anchors: &[&Query], query: &Query) -> Vec<(f64, f64)> {
+        anchors
+            .iter()
+            .map(|anchor| {
+                (
+                    self.estimate_containment(anchor, query),
+                    self.estimate_containment(query, anchor),
+                )
+            })
+            .collect()
+    }
+
+    /// Forward-direction-only batched containment: `anchors[i] ⊂% query` for every anchor.
+    ///
+    /// Used where only one direction is needed (the compound-query identities of §9) —
+    /// half the work of [`predict_batch`](ContainmentEstimator::predict_batch) for neural
+    /// models, which override this with a single batched head pass.
+    fn predict_batch_forward(&self, anchors: &[&Query], query: &Query) -> Vec<f64> {
+        anchors
+            .iter()
+            .map(|anchor| self.estimate_containment(anchor, query))
+            .collect()
+    }
+
+    /// Precomputes model-specific serving state for a *fixed* anchor set, reusable across
+    /// queries (e.g. the CRN model returns the packed featurization of all anchors, so a
+    /// queries-pool serving path featurizes each pool entry once per pool instead of once
+    /// per incoming query).  Returns `None` when the model has nothing to precompute; the
+    /// returned value is opaque and only meaningful to [`predict_batch_prepared`].
+    ///
+    /// [`predict_batch_prepared`]: ContainmentEstimator::predict_batch_prepared
+    fn prepare_anchors(&self, anchors: &[&Query]) -> Option<Box<dyn Any + Send + Sync>> {
+        let _ = anchors;
+        None
+    }
+
+    /// [`predict_batch`](ContainmentEstimator::predict_batch) with state previously built by
+    /// [`prepare_anchors`](ContainmentEstimator::prepare_anchors) for the *same* anchor
+    /// list.  Implementations must fall back to the unprepared path when `prepared` is not
+    /// theirs (wrong type).
+    fn predict_batch_prepared(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        let _ = prepared;
+        self.predict_batch(anchors, query)
+    }
 }
 
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
@@ -60,6 +121,27 @@ impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for &T {
     fn estimate_containment(&self, q1: &Query, q2: &Query) -> f64 {
         (**self).estimate_containment(q1, q2)
     }
+
+    fn predict_batch(&self, anchors: &[&Query], query: &Query) -> Vec<(f64, f64)> {
+        (**self).predict_batch(anchors, query)
+    }
+
+    fn predict_batch_forward(&self, anchors: &[&Query], query: &Query) -> Vec<f64> {
+        (**self).predict_batch_forward(anchors, query)
+    }
+
+    fn prepare_anchors(&self, anchors: &[&Query]) -> Option<Box<dyn Any + Send + Sync>> {
+        (**self).prepare_anchors(anchors)
+    }
+
+    fn predict_batch_prepared(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        (**self).predict_batch_prepared(prepared, anchors, query)
+    }
 }
 
 impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for Box<T> {
@@ -69,6 +151,27 @@ impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for Box<T> {
 
     fn estimate_containment(&self, q1: &Query, q2: &Query) -> f64 {
         (**self).estimate_containment(q1, q2)
+    }
+
+    fn predict_batch(&self, anchors: &[&Query], query: &Query) -> Vec<(f64, f64)> {
+        (**self).predict_batch(anchors, query)
+    }
+
+    fn predict_batch_forward(&self, anchors: &[&Query], query: &Query) -> Vec<f64> {
+        (**self).predict_batch_forward(anchors, query)
+    }
+
+    fn prepare_anchors(&self, anchors: &[&Query]) -> Option<Box<dyn Any + Send + Sync>> {
+        (**self).prepare_anchors(anchors)
+    }
+
+    fn predict_batch_prepared(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        (**self).predict_batch_prepared(prepared, anchors, query)
     }
 }
 

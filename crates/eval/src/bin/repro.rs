@@ -77,7 +77,10 @@ fn main() {
     }
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(&id.as_str())
-            && !matches!(id.as_str(), "fig5" | "fig6" | "fig9" | "fig10" | "fig11" | "fig12")
+            && !matches!(
+                id.as_str(),
+                "fig5" | "fig6" | "fig9" | "fig10" | "fig11" | "fig12"
+            )
         {
             eprintln!("unknown experiment id: {id} (use `repro list`)");
             std::process::exit(2);
@@ -113,8 +116,8 @@ fn main() {
     }
 
     if let Some(path) = markdown_path {
-        let mut file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         file.write_all(markdown.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[repro] wrote markdown report to {path}");
@@ -123,6 +126,8 @@ fn main() {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] [--markdown <path>]");
+    eprintln!(
+        "usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] [--markdown <path>]"
+    );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

@@ -21,7 +21,11 @@ use crn_nn::{LossKind, TrainConfig};
 
 /// Ablation: CRN architecture variants (pooling, expand function, training objective).
 pub fn ablation_crn_architecture(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = cnt_test1(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(11));
+    let workload = cnt_test1(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(11),
+    );
     let truth = containment_ground_truth(&ctx.db, &workload);
     let mut report = ExperimentReport::new(
         "ablation_crn",
@@ -30,15 +34,25 @@ pub fn ablation_crn_architecture(ctx: &ExperimentContext) -> ExperimentReport {
     .with_qerror_headers();
 
     let variants: Vec<(&str, CrnOptions, LossKind)> = vec![
-        ("paper (mean pool, Expand, q-error)", CrnOptions::default(), LossKind::QError),
+        (
+            "paper (mean pool, Expand, q-error)",
+            CrnOptions::default(),
+            LossKind::QError,
+        ),
         (
             "sum pooling",
-            CrnOptions { pooling: Pooling::Sum, expand: ExpandMode::Full },
+            CrnOptions {
+                pooling: Pooling::Sum,
+                expand: ExpandMode::Full,
+            },
             LossKind::QError,
         ),
         (
             "plain concatenation",
-            CrnOptions { pooling: Pooling::Mean, expand: ExpandMode::Concat },
+            CrnOptions {
+                pooling: Pooling::Mean,
+                expand: ExpandMode::Concat,
+            },
             LossKind::QError,
         ),
         ("MSE objective", CrnOptions::default(), LossKind::Mse),
@@ -54,13 +68,20 @@ pub fn ablation_crn_architecture(ctx: &ExperimentContext) -> ExperimentReport {
         let errors = evaluate_containment_model(&model, &workload, &truth);
         report.push_summary(label, &errors.summary());
     }
-    report.push_note("paper's claims: mean pooling, the Expand function and the q-error objective each help".to_string());
+    report.push_note(
+        "paper's claims: mean pooling, the Expand function and the q-error objective each help"
+            .to_string(),
+    );
     report
 }
 
 /// Ablation: the final function `F` of the queries-pool technique (§5.3.1).
 pub fn ablation_final_function(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let mut report = ExperimentReport::new(
         "ablation_final_fn",
@@ -77,11 +98,15 @@ pub fn ablation_final_function(ctx: &ExperimentContext) -> ExperimentReport {
                 final_function,
                 ..Cnt2CrdConfig::default()
             })
-            .with_fallback(Box::new(PostgresEstimator::from_stats(ctx.postgres.stats().clone())));
+            .with_fallback(Box::new(PostgresEstimator::from_stats(
+                ctx.postgres.stats().clone(),
+            )));
         let errors = evaluate_cardinality_model(&estimator, &workload, &truth);
         report.push_summary(label, &errors.summary());
     }
-    report.push_note("paper: all final functions are close; the median is the most robust (§5.3.1)".to_string());
+    report.push_note(
+        "paper: all final functions are close; the median is the most robust (§5.3.1)".to_string(),
+    );
     report
 }
 

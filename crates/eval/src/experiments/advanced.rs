@@ -22,7 +22,11 @@ pub const MSCN_SAMPLED_TRAINING_QUERIES: usize = 400;
 /// Table 10 / Figure 12 — estimation errors on the `scale` workload, including the
 /// sample-enhanced MSCN trained on the scale generator's distribution.
 pub fn table10_scale(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = scale(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(23));
+    let workload = scale(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(23),
+    );
     let (results, truth) = evaluate_headline_models(ctx, &workload);
     let mut report = ExperimentReport::new(
         "table10",
@@ -36,7 +40,10 @@ pub fn table10_scale(ctx: &ExperimentContext) -> ExperimentReport {
     // (the paper deliberately gives it this advantage, §6.6).
     let sampled = ctx.train_sampled_mscn(MSCN_SAMPLE_ROWS, MSCN_SAMPLED_TRAINING_QUERIES);
     let sampled_errors = evaluate_cardinality_model(&sampled, &workload, &truth);
-    report.push_summary(format!("{} (scale-trained)", sampled.name()), &sampled_errors.summary());
+    report.push_summary(
+        format!("{} (scale-trained)", sampled.name()),
+        &sampled_errors.summary(),
+    );
     report.push_note(format!(
         "{} queries; CRN's training data and queries pool are unchanged (not from the scale generator)",
         workload.len()
@@ -50,7 +57,11 @@ pub fn table10_scale(ctx: &ExperimentContext) -> ExperimentReport {
 /// Figure 13 — estimation errors on `crd_test2` compared across **all** models: the three
 /// headline models, the improved models and the sample-enhanced MSCN.
 pub fn fig13_all_models(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let mut report = ExperimentReport::new(
         "fig13",
@@ -88,7 +99,11 @@ pub fn fig13_all_models(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 11 — PostgreSQL vs Improved PostgreSQL on `crd_test2`.
 pub fn table11_improved_postgres(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let improved = ImprovedEstimator::new(
         PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
@@ -113,14 +128,16 @@ pub fn table11_improved_postgres(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 12 — MSCN vs Improved MSCN on `crd_test2`.
 pub fn table12_improved_mscn(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let improved = ImprovedEstimator::new(&ctx.mscn, ctx.pool.clone());
-    let mut report = ExperimentReport::new(
-        "table12",
-        "Table 12 — MSCN vs Improved MSCN on crd_test2",
-    )
-    .with_qerror_headers();
+    let mut report =
+        ExperimentReport::new("table12", "Table 12 — MSCN vs Improved MSCN on crd_test2")
+            .with_qerror_headers();
     report.push_summary(
         "MSCN",
         &evaluate_cardinality_model(&ctx.mscn, &workload, &truth).summary(),
@@ -129,13 +146,18 @@ pub fn table12_improved_mscn(ctx: &ExperimentContext) -> ExperimentReport {
         "Improved MSCN",
         &evaluate_cardinality_model(&improved, &workload, &truth).summary(),
     );
-    report.push_note("paper reports a ~122x mean improvement without changing the model".to_string());
+    report
+        .push_note("paper reports a ~122x mean improvement without changing the model".to_string());
     report
 }
 
 /// Table 13 — Improved PostgreSQL / Improved MSCN vs Cnt2Crd(CRN) on `crd_test2`.
 pub fn table13_improved_vs_crn(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let improved_pg = ImprovedEstimator::new(
         PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
@@ -149,14 +171,21 @@ pub fn table13_improved_vs_crn(ctx: &ExperimentContext) -> ExperimentReport {
     )
     .with_qerror_headers();
     for (label, model) in [
-        ("Improved PostgreSQL", &improved_pg as &dyn CardinalityEstimator),
+        (
+            "Improved PostgreSQL",
+            &improved_pg as &dyn CardinalityEstimator,
+        ),
         ("Improved MSCN", &improved_mscn as &dyn CardinalityEstimator),
         ("Cnt2Crd(CRN)", &cnt2crd as &dyn CardinalityEstimator),
     ] {
-        report.push_summary(label, &evaluate_cardinality_model(model, &workload, &truth).summary());
+        report.push_summary(
+            label,
+            &evaluate_cardinality_model(model, &workload, &truth).summary(),
+        );
     }
     report.push_note(
-        "paper: the direct CRN-based pipeline gives the best percentiles up to the 90th".to_string(),
+        "paper: the direct CRN-based pipeline gives the best percentiles up to the 90th"
+            .to_string(),
     );
     report
 }

@@ -13,11 +13,10 @@ use crn_estimators::CardinalityEstimator;
 
 /// Builds the paper's main cardinality estimator `Cnt2Crd(CRN)` from the context's CRN model
 /// and queries pool, with the PostgreSQL baseline as the out-of-pool fallback (§5.2).
-pub fn cnt2crd_crn<'a>(ctx: &'a ExperimentContext) -> Cnt2Crd<&'a crn_core::CrnModel> {
-    Cnt2Crd::new(&ctx.crn, ctx.pool.clone())
-        .with_fallback(Box::new(crn_estimators::PostgresEstimator::from_stats(
-            ctx.postgres.stats().clone(),
-        )))
+pub fn cnt2crd_crn(ctx: &ExperimentContext) -> Cnt2Crd<&crn_core::CrnModel> {
+    Cnt2Crd::new(&ctx.crn, ctx.pool.clone()).with_fallback(Box::new(
+        crn_estimators::PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
+    ))
 }
 
 /// Evaluates the three headline cardinality models on a workload.
@@ -76,13 +75,21 @@ fn cardinality_comparison(
         report.push_summary(errors.model.clone(), &errors.summary());
     }
     report.push_note(format!("{} queries; {}", workload.len(), note));
-    report.push_plot(render_box_plots(&format!("{title} — box plot"), &results, 70));
+    report.push_plot(render_box_plots(
+        &format!("{title} — box plot"),
+        &results,
+        70,
+    ));
     report
 }
 
 /// Table 6 / Figure 9 — estimation errors on `crd_test1` (0–2 joins).
 pub fn table6_crd_test1(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test1(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(21));
+    let workload = crd_test1(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(21),
+    );
     cardinality_comparison(
         ctx,
         &workload,
@@ -94,7 +101,11 @@ pub fn table6_crd_test1(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 7 / Figure 10 — estimation errors on `crd_test2` (0–5 joins).
 pub fn table7_crd_test2(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     cardinality_comparison(
         ctx,
         &workload,
@@ -106,7 +117,11 @@ pub fn table7_crd_test2(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 8 — estimation errors on `crd_test2` restricted to 3–5 joins.
 pub fn table8_many_joins(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let (results, truth) = evaluate_headline_models(ctx, &workload);
     let mask = join_mask(&truth.join_counts, 3, 5);
     let mut report = ExperimentReport::new(
@@ -127,7 +142,11 @@ pub fn table8_many_joins(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 9 / Figure 11 — mean and median q-error per number of joins on `crd_test2`.
 pub fn table9_per_join(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let (results, truth) = evaluate_headline_models(ctx, &workload);
     let mut report = ExperimentReport::new(
         "table9",

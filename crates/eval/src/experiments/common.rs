@@ -44,15 +44,15 @@ pub fn evaluate_cardinality_model(
         .zip(&truth.cardinalities)
         .map(|(query, &card)| (model.estimate(query), card as f64))
         .collect();
-    ModelErrors::new(model.name().to_string(), q_errors(&pairs, CARDINALITY_FLOOR))
+    ModelErrors::new(
+        model.name().to_string(),
+        q_errors(&pairs, CARDINALITY_FLOOR),
+    )
 }
 
 /// Measures the average prediction latency of a cardinality estimator over a workload,
 /// in milliseconds per query.
-pub fn average_prediction_time_ms(
-    model: &dyn CardinalityEstimator,
-    workload: &Workload,
-) -> f64 {
+pub fn average_prediction_time_ms(model: &dyn CardinalityEstimator, workload: &Workload) -> f64 {
     if workload.is_empty() {
         return 0.0;
     }
@@ -80,7 +80,11 @@ pub fn containment_ground_truth(db: &Database, workload: &PairWorkload) -> Conta
         .iter()
         .map(|(q1, q2)| executor.containment_rate(q1, q2).unwrap_or(0.0))
         .collect();
-    let join_counts = workload.pairs.iter().map(|(q1, _)| q1.num_joins()).collect();
+    let join_counts = workload
+        .pairs
+        .iter()
+        .map(|(q1, _)| q1.num_joins())
+        .collect();
     ContainmentGroundTruth { rates, join_counts }
 }
 
@@ -127,7 +131,13 @@ mod tests {
     #[test]
     fn join_mask_selects_expected_range() {
         let joins = vec![0, 1, 2, 3, 4, 5];
-        assert_eq!(join_mask(&joins, 3, 5), vec![false, false, false, true, true, true]);
-        assert_eq!(join_mask(&joins, 0, 0), vec![true, false, false, false, false, false]);
+        assert_eq!(
+            join_mask(&joins, 3, 5),
+            vec![false, false, false, true, true, true]
+        );
+        assert_eq!(
+            join_mask(&joins, 0, 0),
+            vec![true, false, false, false, false, false]
+        );
     }
 }

@@ -61,13 +61,21 @@ fn containment_comparison(
         workload.len(),
         crate::metrics::RATE_FLOOR
     ));
-    report.push_plot(render_box_plots(&format!("{title} — box plot"), &all_errors, 70));
+    report.push_plot(render_box_plots(
+        &format!("{title} — box plot"),
+        &all_errors,
+        70,
+    ));
     report
 }
 
 /// Table 3 / Figure 5 — containment estimation errors on `cnt_test1` (0–2 joins).
 pub fn table3_cnt_test1(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = cnt_test1(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(11));
+    let workload = cnt_test1(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(11),
+    );
     let mut report = containment_comparison(
         ctx,
         &workload,
@@ -75,7 +83,8 @@ pub fn table3_cnt_test1(ctx: &ExperimentContext) -> ExperimentReport {
         "Table 3 & Figure 5 — containment estimation errors on cnt_test1 (0-2 joins)",
     );
     report.push_note(
-        "expected shape (paper): CRN and Crd2Cnt(MSCN) close, Crd2Cnt(PostgreSQL) heavy-tailed".to_string(),
+        "expected shape (paper): CRN and Crd2Cnt(MSCN) close, Crd2Cnt(PostgreSQL) heavy-tailed"
+            .to_string(),
     );
     report
 }
@@ -83,7 +92,11 @@ pub fn table3_cnt_test1(ctx: &ExperimentContext) -> ExperimentReport {
 /// Table 4 / Figure 6 — containment estimation errors on `cnt_test2` (0–5 joins,
 /// generalization beyond the training join count).
 pub fn table4_cnt_test2(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = cnt_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(12));
+    let workload = cnt_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(12),
+    );
     let truth = containment_ground_truth(&ctx.db, &workload);
     let crd2cnt_postgres = Crd2Cnt::new(&ctx.postgres);
     let crd2cnt_mscn = Crd2Cnt::new(&ctx.mscn);
@@ -151,6 +164,10 @@ mod tests {
     #[test]
     fn table4_adds_many_join_breakdown() {
         let report = table4_cnt_test2(ctx());
-        assert_eq!(report.rows.len(), 6, "three models, each with an all-joins and a 3-5 join row");
+        assert_eq!(
+            report.rows.len(),
+            6,
+            "three models, each with an all-joins and a 3-5 join row"
+        );
     }
 }

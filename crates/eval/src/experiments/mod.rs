@@ -106,10 +106,11 @@ mod tests {
         // The heavy sweeps (fig3, ablations, table10/fig13 which retrain models) are exercised
         // by their own module tests; here cover the fast majority to keep the suite quick.
         for id in [
-            "fig4", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-            "table9", "table11", "table12", "table13", "table14", "table15",
+            "fig4", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+            "table11", "table12", "table13", "table14", "table15",
         ] {
-            let report = run_experiment(ctx(), id).unwrap_or_else(|| panic!("experiment {id} missing"));
+            let report =
+                run_experiment(ctx(), id).unwrap_or_else(|| panic!("experiment {id} missing"));
             assert!(!report.rows.is_empty(), "experiment {id} produced no rows");
             assert!(!report.title.is_empty());
         }

@@ -20,14 +20,26 @@ pub fn pool_size_sweep(max: usize) -> Vec<usize> {
 
 /// Table 14 — median/mean q-error and average prediction time for different pool sizes.
 pub fn table14_pool_sweep(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let truth = cardinality_ground_truth(&ctx.db, &workload);
     let sizes = pool_size_sweep(ctx.pool.len());
     let mut report = ExperimentReport::new(
         "table14",
         "Table 14 — estimation errors and prediction time on crd_test2 vs queries-pool size",
     )
-    .with_headers(&sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    .with_headers(
+        &sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+    );
 
     let mut medians = Vec::new();
     let mut means = Vec::new();
@@ -41,7 +53,10 @@ pub fn table14_pool_sweep(ctx: &ExperimentContext) -> ExperimentReport {
         let summary = errors.summary();
         medians.push(format_number(summary.p50));
         means.push(format_number(summary.mean));
-        times.push(format!("{:.1}ms", average_prediction_time_ms(&estimator, &workload)));
+        times.push(format!(
+            "{:.1}ms",
+            average_prediction_time_ms(&estimator, &workload)
+        ));
     }
     report.push_row("Median", medians);
     report.push_row("Mean", means);
@@ -55,7 +70,11 @@ pub fn table14_pool_sweep(ctx: &ExperimentContext) -> ExperimentReport {
 
 /// Table 15 — average prediction time of a single query for every model.
 pub fn table15_prediction_time(ctx: &ExperimentContext) -> ExperimentReport {
-    let workload = crd_test2(&ctx.db, &ctx.config.workloads, ctx.config.seed.wrapping_add(22));
+    let workload = crd_test2(
+        &ctx.db,
+        &ctx.config.workloads,
+        ctx.config.seed.wrapping_add(22),
+    );
     let cnt2crd = cnt2crd_crn(ctx);
     let improved_pg = ImprovedEstimator::new(
         PostgresEstimator::from_stats(ctx.postgres.stats().clone()),
@@ -101,7 +120,7 @@ mod tests {
     fn pool_sweep_sizes_are_increasing() {
         let sizes = pool_size_sweep(300);
         assert_eq!(sizes, vec![50, 100, 150, 200, 250, 300]);
-        assert!(pool_size_sweep(5).iter().all(|&s| s >= 1 && s <= 5));
+        assert!(pool_size_sweep(5).iter().all(|&s| (1..=5).contains(&s)));
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub fn fig4_convergence(ctx: &ExperimentContext) -> ExperimentReport {
         format_number(ctx.crn_history.best_validation)
     ));
     report.push_note(
-        "paper: converges to a mean q-error of ~4.5 after ~120 epochs on the full corpus".to_string(),
+        "paper: converges to a mean q-error of ~4.5 after ~120 epochs on the full corpus"
+            .to_string(),
     );
     report
 }
@@ -104,6 +105,9 @@ mod tests {
     fn fig3_trains_one_model_per_hidden_size() {
         // Use a dedicated tiny context so this heavier test does not depend on ordering.
         let report = fig3_hidden_size(ctx());
-        assert_eq!(report.rows.len(), hidden_size_sweep(ctx().config.train.hidden_size).len());
+        assert_eq!(
+            report.rows.len(),
+            hidden_size_sweep(ctx().config.train.hidden_size).len()
+        );
     }
 }

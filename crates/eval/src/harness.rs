@@ -15,9 +15,13 @@ use crn_core::{CrnModel, QueriesPool};
 use crn_db::database::Database;
 use crn_db::imdb::{generate_imdb, ImdbConfig};
 use crn_estimators::{MscnModel, PostgresEstimator};
-use crn_exec::{label_cardinalities, label_containment_pairs, CardinalitySample, ContainmentSample};
+use crn_exec::{
+    label_cardinalities, label_containment_pairs, CardinalitySample, ContainmentSample,
+};
 use crn_nn::{TrainConfig, TrainingHistory};
-use crn_query::generator::{dedup_queries, GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
+use crn_query::generator::{
+    dedup_queries, GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::workloads::WorkloadSizes;
@@ -145,8 +149,7 @@ impl ExperimentContext {
     pub fn build(config: ExperimentConfig) -> Self {
         let db = generate_imdb(&config.db);
         let containment_training = Self::build_containment_training(&db, &config);
-        let cardinality_training =
-            Self::derive_cardinality_training(&containment_training);
+        let cardinality_training = Self::derive_cardinality_training(&containment_training);
 
         let mut crn = CrnModel::new(&db, config.train.clone());
         let crn_history = crn.fit(&containment_training);
@@ -182,7 +185,8 @@ impl ExperimentContext {
         config: &ExperimentConfig,
     ) -> Vec<ContainmentSample> {
         let mut generator = QueryGenerator::new(db, GeneratorConfig::paper(config.seed));
-        let pairs = generator.generate_pairs(config.training_initial_queries, config.training_pairs);
+        let pairs =
+            generator.generate_pairs(config.training_initial_queries, config.training_pairs);
         label_containment_pairs(db, &pairs, config.threads)
     }
 
@@ -195,7 +199,9 @@ impl ExperimentContext {
         let mut cards = std::collections::BTreeMap::new();
         for sample in containment {
             if let Some(intersection) = sample.q1.intersect(&sample.q2) {
-                cards.entry(intersection.clone()).or_insert(sample.card_intersection);
+                cards
+                    .entry(intersection.clone())
+                    .or_insert(sample.card_intersection);
                 queries.push(intersection);
             }
             cards.entry(sample.q1.clone()).or_insert(sample.card_q1);
@@ -213,7 +219,11 @@ impl ExperimentContext {
     /// Trains the sample-enhanced MSCN variant (`MSCN1000`-style) on data produced by the
     /// *scale* generator — the paper deliberately "makes the test easier" for this variant by
     /// training it with the same generator as the scale workload (§6.6).
-    pub fn train_sampled_mscn(&self, samples_per_table: usize, training_queries: usize) -> MscnModel {
+    pub fn train_sampled_mscn(
+        &self,
+        samples_per_table: usize,
+        training_queries: usize,
+    ) -> MscnModel {
         let mut generator = ScaleGenerator::new(
             &self.db,
             ScaleGeneratorConfig {
@@ -224,7 +234,8 @@ impl ExperimentContext {
         );
         let queries = dedup_queries(generator.generate(training_queries));
         let labelled = label_cardinalities(&self.db, &queries, self.config.threads);
-        let mut model = MscnModel::with_samples(&self.db, samples_per_table, self.config.train.clone());
+        let mut model =
+            MscnModel::with_samples(&self.db, samples_per_table, self.config.train.clone());
         model.fit(&labelled);
         model
     }
@@ -266,11 +277,17 @@ mod tests {
         // No duplicate queries.
         let mut seen = std::collections::BTreeSet::new();
         for s in &derived {
-            assert!(seen.insert(s.query.clone()), "duplicate query in MSCN training set");
+            assert!(
+                seen.insert(s.query.clone()),
+                "duplicate query in MSCN training set"
+            );
         }
         // Labels match the containment samples they came from.
         for c in containment.iter().take(20) {
-            let q1_entry = derived.iter().find(|s| s.query == c.q1).expect("Q1 present");
+            let q1_entry = derived
+                .iter()
+                .find(|s| s.query == c.q1)
+                .expect("Q1 present");
             assert_eq!(q1_entry.cardinality, c.card_q1);
         }
         // Roughly twice as many unique queries as pairs is an upper bound.

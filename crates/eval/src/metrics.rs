@@ -205,7 +205,9 @@ mod tests {
     fn percentiles_are_monotone() {
         let errors: Vec<f64> = (0..137).map(|i| ((i * 37) % 91) as f64 + 1.0).collect();
         let s = QErrorSummary::from_errors(&errors);
-        assert!(s.p50 <= s.p75 && s.p75 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(
+            s.p50 <= s.p75 && s.p75 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max
+        );
         assert!(s.mean >= 1.0);
     }
 }

@@ -62,7 +62,10 @@ impl BoxStats {
 pub fn render_box_plots(title: &str, models: &[ModelErrors], width: usize) -> String {
     let width = width.max(30);
     let mut out = String::new();
-    let _ = writeln!(out, "-- {title} (box: 25th-75th pct, M: median, whiskers: 5th/95th pct; log q-error axis)");
+    let _ = writeln!(
+        out,
+        "-- {title} (box: 25th-75th pct, M: median, whiskers: 5th/95th pct; log q-error axis)"
+    );
 
     let stats: Vec<(String, Option<BoxStats>)> = models
         .iter()
@@ -94,7 +97,12 @@ pub fn render_box_plots(title: &str, models: &[ModelErrors], width: usize) -> St
         };
         let _ = write!(ticks, "{label}@{column} ");
     }
-    let _ = writeln!(out, "{:label_width$}{}", "q-error", axis.iter().collect::<String>());
+    let _ = writeln!(
+        out,
+        "{:label_width$}{}",
+        "q-error",
+        axis.iter().collect::<String>()
+    );
     let _ = writeln!(out, "{:label_width$}(ticks at {})", "", ticks.trim_end());
 
     for (name, stats) in &stats {
@@ -127,7 +135,11 @@ pub fn render_box_plots(title: &str, models: &[ModelErrors], width: usize) -> St
                 }
             }
         }
-        let _ = writeln!(out, "{name:<label_width$}{}", row.iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{name:<label_width$}{}",
+            row.iter().collect::<String>()
+        );
     }
     out
 }

@@ -127,7 +127,11 @@ impl ExperimentReport {
         let _ = writeln!(
             out,
             "|---|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for (label, cells) in &self.rows {
             let _ = writeln!(out, "| {} | {} |", label, cells.join(" | "));
@@ -174,7 +178,8 @@ mod tests {
 
     #[test]
     fn text_rendering_contains_all_rows_and_notes() {
-        let mut report = ExperimentReport::new("table3", "Table 3 — containment errors").with_qerror_headers();
+        let mut report =
+            ExperimentReport::new("table3", "Table 3 — containment errors").with_qerror_headers();
         let summary = QErrorSummary::from_errors(&[1.0, 2.0, 3.0, 10.0]);
         report.push_summary("CRN", &summary);
         report.push_summary("Crd2Cnt(PostgreSQL)", &summary);
@@ -199,7 +204,8 @@ mod tests {
 
     #[test]
     fn custom_rows_and_headers() {
-        let mut report = ExperimentReport::new("table14", "Pool sweep").with_headers(&["50", "100"]);
+        let mut report =
+            ExperimentReport::new("table14", "Pool sweep").with_headers(&["50", "100"]);
         report.push_row("median", vec!["3.68".into(), "2.55".into()]);
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.headers.len(), 2);

@@ -168,7 +168,7 @@ fn build_pair_workload(
                 }
                 let variant_a = generator.perturb(base);
                 let variant_b = generator.perturb(&variant_a);
-                let (q1, q2) = if attempts % 2 == 0 {
+                let (q1, q2) = if attempts.is_multiple_of(2) {
                     (base.clone(), variant_a)
                 } else {
                     (variant_a, variant_b)
@@ -215,7 +215,8 @@ fn build_query_workload(
     let executor = Executor::new(db);
     let mut queries = Vec::new();
     for joins in 0..=max_joins {
-        let config = GeneratorConfig::with_max_joins(seed.wrapping_add(1000 + joins as u64), max_joins);
+        let config =
+            GeneratorConfig::with_max_joins(seed.wrapping_add(1000 + joins as u64), max_joins);
         let mut generator = QueryGenerator::new(db, config);
         let mut selected: Vec<Query> = Vec::with_capacity(per_join);
         // Run "the first two steps of the generator" (§6): initial queries plus perturbations.
@@ -310,6 +311,7 @@ mod tests {
         let w1 = cnt_test1(&db, &sizes, 1);
         assert!(w1.len() <= sizes.cnt_test1_per_join * 3);
         let dist = w1.join_distribution(5);
+        #[allow(clippy::needless_range_loop)]
         for joins in 0..=2 {
             assert!(dist[joins] > 0, "no pairs with {joins} joins");
             assert!(dist[joins] <= sizes.cnt_test1_per_join);
@@ -340,7 +342,7 @@ mod tests {
         let db = db();
         let sizes = WorkloadSizes::tiny();
         let w1 = crd_test1(&db, &sizes, 5);
-        assert!(w1.len() > 0 && w1.len() <= sizes.crd_test1_per_join * 3);
+        assert!(!w1.is_empty() && w1.len() <= sizes.crd_test1_per_join * 3);
         assert!(w1.queries.iter().all(|q| q.num_joins() <= 2));
 
         let w2 = crd_test2(&db, &sizes, 6);
@@ -370,7 +372,10 @@ mod tests {
         let sizes = WorkloadSizes::tiny();
         assert_eq!(crd_test1(&db, &sizes, 9), crd_test1(&db, &sizes, 9));
         assert_ne!(crd_test1(&db, &sizes, 9), crd_test1(&db, &sizes, 10));
-        assert_eq!(cnt_test1(&db, &sizes, 9).pairs, cnt_test1(&db, &sizes, 9).pairs);
+        assert_eq!(
+            cnt_test1(&db, &sizes, 9).pairs,
+            cnt_test1(&db, &sizes, 9).pairs
+        );
     }
 
     #[test]

@@ -295,11 +295,18 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 1)],
+            [Predicate::new(
+                col(tables::TITLE, "kind_id"),
+                CompareOp::Eq,
+                1,
+            )],
         );
         let expected = exec.count_single_table(db.table(tables::TITLE).unwrap(), q.predicates());
         assert_eq!(exec.cardinality(&q), expected);
-        assert!(expected > 0, "tiny database should contain kind_id = 1 titles");
+        assert!(
+            expected > 0,
+            "tiny database should contain kind_id = 1 titles"
+        );
     }
 
     #[test]
@@ -309,7 +316,10 @@ mod tests {
         let db = db();
         let exec = Executor::new(&db);
         let q = Query::new(
-            [tables::TITLE.to_string(), tables::MOVIE_COMPANIES.to_string()],
+            [
+                tables::TITLE.to_string(),
+                tables::MOVIE_COMPANIES.to_string(),
+            ],
             [JoinClause::new(
                 col(tables::TITLE, "id"),
                 col(tables::MOVIE_COMPANIES, "movie_id"),
@@ -341,12 +351,20 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 1990)],
+            [Predicate::new(
+                col(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                1990,
+            )],
         );
         let wider = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "production_year"), CompareOp::Gt, 1950)],
+            [Predicate::new(
+                col(tables::TITLE, "production_year"),
+                CompareOp::Gt,
+                1950,
+            )],
         );
         // Q is fully contained in the wider query.
         assert_eq!(exec.containment_rate(&q, &wider), Some(1.0));
@@ -356,7 +374,10 @@ mod tests {
         let partial = exec.containment_rate(&wider, &q).unwrap();
         assert!(partial > 0.0 && partial < 1.0, "rate {partial}");
         // Different FROM clauses have no containment rate.
-        assert_eq!(exec.containment_rate(&q, &Query::scan(tables::CAST_INFO)), None);
+        assert_eq!(
+            exec.containment_rate(&q, &Query::scan(tables::CAST_INFO)),
+            None
+        );
     }
 
     #[test]
@@ -366,10 +387,17 @@ mod tests {
         let empty = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Gt, 100)],
+            [Predicate::new(
+                col(tables::TITLE, "kind_id"),
+                CompareOp::Gt,
+                100,
+            )],
         );
         assert_eq!(exec.cardinality(&empty), 0);
-        assert_eq!(exec.containment_rate(&empty, &Query::scan(tables::TITLE)), Some(0.0));
+        assert_eq!(
+            exec.containment_rate(&empty, &Query::scan(tables::TITLE)),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -379,8 +407,15 @@ mod tests {
         let exec = Executor::new(&db);
         let base = Query::new(
             [tables::TITLE.to_string(), tables::CAST_INFO.to_string()],
-            [JoinClause::new(col(tables::TITLE, "id"), col(tables::CAST_INFO, "movie_id"))],
-            [Predicate::new(col(tables::CAST_INFO, "role_id"), CompareOp::Lt, 4)],
+            [JoinClause::new(
+                col(tables::TITLE, "id"),
+                col(tables::CAST_INFO, "movie_id"),
+            )],
+            [Predicate::new(
+                col(tables::CAST_INFO, "role_id"),
+                CompareOp::Lt,
+                4,
+            )],
         );
         let other = base.with_predicate(Predicate::new(
             col(tables::TITLE, "production_year"),
@@ -417,9 +452,20 @@ mod tests {
         let mut joins = Vec::new();
         for fact in tables::FACTS {
             tables_v.push(fact.to_string());
-            joins.push(JoinClause::new(col(tables::TITLE, "id"), col(fact, "movie_id")));
+            joins.push(JoinClause::new(
+                col(tables::TITLE, "id"),
+                col(fact, "movie_id"),
+            ));
         }
-        let q = Query::new(tables_v, joins, [Predicate::new(col(tables::TITLE, "kind_id"), CompareOp::Eq, 1)]);
+        let q = Query::new(
+            tables_v,
+            joins,
+            [Predicate::new(
+                col(tables::TITLE, "kind_id"),
+                CompareOp::Eq,
+                1,
+            )],
+        );
         // The tree DP must agree with an independently computed star aggregation.
         let title = db.table(tables::TITLE).unwrap();
         let mut expected: u64 = 0;

@@ -82,7 +82,11 @@ mod tests {
         let def = TableDef {
             name: "t".into(),
             alias: "t".into(),
-            columns: vec![ColumnDef::key("id"), ColumnDef::int("x"), ColumnDef::int("y").nullable()],
+            columns: vec![
+                ColumnDef::key("id"),
+                ColumnDef::int("x"),
+                ColumnDef::int("y").nullable(),
+            ],
             primary_key: Some("id".into()),
         };
         let mut t = Table::new(def);
@@ -139,7 +143,11 @@ mod tests {
     #[test]
     fn predicates_on_other_tables_are_ignored() {
         let t = table();
-        let p = [Predicate::new(ColumnRef::new("other", "x"), CompareOp::Eq, 1)];
+        let p = [Predicate::new(
+            ColumnRef::new("other", "x"),
+            CompareOp::Eq,
+            1,
+        )];
         assert_eq!(filter_table(&t, &p).len(), 4);
     }
 }

@@ -99,12 +99,13 @@ pub fn label_containment_pairs(
 ) -> Vec<ContainmentSample> {
     let num_threads = num_threads.max(1);
     let cache = CachingExecutor::new(db);
-    let results: Mutex<Vec<(usize, ContainmentSample)>> = Mutex::new(Vec::with_capacity(pairs.len()));
+    let results: Mutex<Vec<(usize, ContainmentSample)>> =
+        Mutex::new(Vec::with_capacity(pairs.len()));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..num_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if index >= pairs.len() {
                     break;
@@ -134,8 +135,7 @@ pub fn label_containment_pairs(
                 ));
             });
         }
-    })
-    .expect("labelling threads must not panic");
+    });
 
     let mut results = results.into_inner();
     results.sort_by_key(|(index, _)| *index);
@@ -150,12 +150,13 @@ pub fn label_cardinalities(
 ) -> Vec<CardinalitySample> {
     let num_threads = num_threads.max(1);
     let executor = Executor::new(db);
-    let results: Mutex<Vec<(usize, CardinalitySample)>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let results: Mutex<Vec<(usize, CardinalitySample)>> =
+        Mutex::new(Vec::with_capacity(queries.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..num_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if index >= queries.len() {
                     break;
@@ -171,8 +172,7 @@ pub fn label_cardinalities(
                 ));
             });
         }
-    })
-    .expect("labelling threads must not panic");
+    });
 
     let mut results = results.into_inner();
     results.sort_by_key(|(index, _)| *index);
@@ -208,7 +208,10 @@ mod tests {
         let pairs = gen.generate_pairs(10, 30);
         let a = label_containment_pairs(&db, &pairs, 1);
         let b = label_containment_pairs(&db, &pairs, 4);
-        assert_eq!(a, b, "parallel labelling must be deterministic in output order");
+        assert_eq!(
+            a, b,
+            "parallel labelling must be deterministic in output order"
+        );
     }
 
     #[test]

@@ -156,7 +156,11 @@ mod tests {
         let q = Query::new(
             [tables::TITLE.to_string()],
             [],
-            [Predicate::new(ColumnRef::new(tables::TITLE, "kind_id"), CompareOp::Eq, 1)],
+            [Predicate::new(
+                ColumnRef::new(tables::TITLE, "kind_id"),
+                CompareOp::Eq,
+                1,
+            )],
         );
         let bitmap = samples.bitmap(&db, &q, tables::TITLE);
         let rows = samples.rows(tables::TITLE).unwrap();
@@ -190,7 +194,8 @@ mod tests {
             )],
         );
         let title = db.table(tables::TITLE).unwrap();
-        let truth = crate::filter::count_table(title, q.predicates()) as f64 / title.row_count() as f64;
+        let truth =
+            crate::filter::count_table(title, q.predicates()) as f64 / title.row_count() as f64;
         assert!((samples.selectivity(&db, &q, tables::TITLE) - truth).abs() < 1e-12);
     }
 

@@ -7,6 +7,10 @@
 //! * [`layers`] — trainable parameters, fully-connected layers, ReLU / sigmoid activations and
 //!   set average-pooling, each with an explicit hand-written backward pass (verified against
 //!   finite differences in tests);
+//! * [`batch`] — the ragged-batch execution engine: variable-sized sets of a whole mini-batch
+//!   flattened into one matrix with segment offsets, so dense layers run as one GEMM per
+//!   batch, pooling becomes a segment reduction, and the CRN `Expand` combination is
+//!   vectorized over all pairs (see the module docs for the design);
 //! * [`optim`] — the Adam optimizer;
 //! * [`loss`] — the q-error objective (plus MSE / MAE, which §3.2.4 considers and rejects);
 //! * [`train`] — train/validation splitting, mini-batching, early stopping and training
@@ -26,14 +30,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod train;
 
+pub use batch::{
+    broadcast_rows, concat_columns, expand_concat, expand_concat_backward, expand_full,
+    expand_full_backward, segment_pool, segment_pool_backward, split_columns, RaggedBatch,
+    SegmentPool, SparseRows,
+};
 pub use layers::{
-    mean_pool, mean_pool_backward, relu, relu_backward, sigmoid, sigmoid_backward, Dense, Param,
+    mean_pool, mean_pool_backward, relu, relu_backward, relu_backward_in_place, relu_in_place,
+    sigmoid, sigmoid_backward, sigmoid_in_place, Dense, Param,
 };
 pub use loss::{loss_and_grad, mean_q_error, q_error, LossKind, LossValue};
 pub use matrix::Matrix;

@@ -37,7 +37,11 @@ pub fn mean_q_error(pairs: &[(f64, f64)], floor: f64) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|&(p, t)| q_error(p, t, floor)).sum::<f64>() / pairs.len() as f64
+    pairs
+        .iter()
+        .map(|&(p, t)| q_error(p, t, floor))
+        .sum::<f64>()
+        / pairs.len() as f64
 }
 
 /// Per-sample loss value and its derivative with respect to the prediction.
@@ -61,7 +65,11 @@ pub fn loss_and_grad(kind: LossKind, prediction: f32, target: f32, floor: f32) -
             let clamped_pred = prediction.max(floor);
             let clamped_target = target.max(floor);
             if clamped_pred >= clamped_target {
-                let grad = if prediction <= floor { 0.0 } else { 1.0 / clamped_target };
+                let grad = if prediction <= floor {
+                    0.0
+                } else {
+                    1.0 / clamped_target
+                };
                 LossValue {
                     loss: clamped_pred / clamped_target,
                     grad,

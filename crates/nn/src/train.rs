@@ -162,11 +162,7 @@ pub fn train_validation_split(
 }
 
 /// Yields mini-batches of indices, reshuffled each epoch.
-pub fn shuffled_batches(
-    indices: &[usize],
-    batch_size: usize,
-    rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
+pub fn shuffled_batches(indices: &[usize], batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     let mut shuffled = indices.to_vec();
     shuffled.shuffle(rng);
     shuffled
@@ -239,9 +235,21 @@ mod tests {
     fn history_tracks_best_epoch() {
         let mut history = TrainingHistory::default();
         assert!(history.is_empty());
-        assert!(history.record(EpochStats { epoch: 0, train_loss: 5.0, validation_q_error: 4.0 }));
-        assert!(!history.record(EpochStats { epoch: 1, train_loss: 4.0, validation_q_error: 4.5 }));
-        assert!(history.record(EpochStats { epoch: 2, train_loss: 3.0, validation_q_error: 3.5 }));
+        assert!(history.record(EpochStats {
+            epoch: 0,
+            train_loss: 5.0,
+            validation_q_error: 4.0
+        }));
+        assert!(!history.record(EpochStats {
+            epoch: 1,
+            train_loss: 4.0,
+            validation_q_error: 4.5
+        }));
+        assert!(history.record(EpochStats {
+            epoch: 2,
+            train_loss: 3.0,
+            validation_q_error: 3.5
+        }));
         assert_eq!(history.best_epoch, 2);
         assert_eq!(history.best_validation, 3.5);
         assert_eq!(history.len(), 3);

@@ -268,7 +268,9 @@ impl fmt::Display for QueryError {
             QueryError::EmptyFrom => write!(f, "FROM clause is empty"),
             QueryError::UnknownTable(t) => write!(f, "unknown table {t}"),
             QueryError::UnknownColumn(c) => write!(f, "unknown column {c}"),
-            QueryError::TableNotInFrom(c) => write!(f, "column {c} references a table missing from FROM"),
+            QueryError::TableNotInFrom(c) => {
+                write!(f, "column {c} references a table missing from FROM")
+            }
             QueryError::SelfJoin(j) => write!(f, "self join {j} is not supported"),
             QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
@@ -289,8 +291,15 @@ mod tests {
     fn title_mc_query() -> Query {
         Query::new(
             ["title".to_string(), "movie_companies".to_string()],
-            [JoinClause::new(col("title", "id"), col("movie_companies", "movie_id"))],
-            [Predicate::new(col("title", "production_year"), CompareOp::Gt, 2000)],
+            [JoinClause::new(
+                col("title", "id"),
+                col("movie_companies", "movie_id"),
+            )],
+            [Predicate::new(
+                col("title", "production_year"),
+                CompareOp::Gt,
+                2000,
+            )],
         )
     }
 
@@ -307,7 +316,11 @@ mod tests {
         let q = Query::new(
             ["title".to_string()],
             [],
-            [p.clone(), p.clone(), Predicate::new(col("title", "kind_id"), CompareOp::Eq, 2)],
+            [
+                p.clone(),
+                p.clone(),
+                Predicate::new(col("title", "kind_id"), CompareOp::Eq, 2),
+            ],
         );
         assert_eq!(q.predicates().len(), 2);
     }
@@ -315,7 +328,11 @@ mod tests {
     #[test]
     fn same_from_and_intersection() {
         let q1 = title_mc_query();
-        let q2 = q1.with_predicate(Predicate::new(col("movie_companies", "company_id"), CompareOp::Lt, 10));
+        let q2 = q1.with_predicate(Predicate::new(
+            col("movie_companies", "company_id"),
+            CompareOp::Lt,
+            10,
+        ));
         assert!(q1.same_from(&q2));
         let inter = q1.intersect(&q2).unwrap();
         assert_eq!(inter.predicates().len(), 2);
@@ -328,7 +345,11 @@ mod tests {
     #[test]
     fn intersection_is_commutative_and_idempotent() {
         let q1 = title_mc_query();
-        let q2 = q1.with_predicate(Predicate::new(col("movie_companies", "company_id"), CompareOp::Lt, 10));
+        let q2 = q1.with_predicate(Predicate::new(
+            col("movie_companies", "company_id"),
+            CompareOp::Lt,
+            10,
+        ));
         assert_eq!(q1.intersect(&q2), q2.intersect(&q1));
         assert_eq!(q1.intersect(&q1).unwrap(), q1);
     }
@@ -336,7 +357,8 @@ mod tests {
     #[test]
     fn predicate_edit_helpers() {
         let q = title_mc_query();
-        let replaced = q.with_replaced_predicate(0, Predicate::new(col("title", "kind_id"), CompareOp::Eq, 3));
+        let replaced =
+            q.with_replaced_predicate(0, Predicate::new(col("title", "kind_id"), CompareOp::Eq, 3));
         assert_eq!(replaced.predicates().len(), 1);
         assert_eq!(replaced.predicates()[0].column.column, "kind_id");
         let removed = q.without_predicate(0);
@@ -358,28 +380,44 @@ mod tests {
         assert_eq!(empty.validate(&schema), Err(QueryError::EmptyFrom));
 
         let unknown_table = Query::scan("nope");
-        assert!(matches!(unknown_table.validate(&schema), Err(QueryError::UnknownTable(_))));
+        assert!(matches!(
+            unknown_table.validate(&schema),
+            Err(QueryError::UnknownTable(_))
+        ));
 
         let bad_col = Query::new(
             ["title".to_string()],
             [],
             [Predicate::new(col("title", "nope"), CompareOp::Eq, 1)],
         );
-        assert!(matches!(bad_col.validate(&schema), Err(QueryError::UnknownColumn(_))));
+        assert!(matches!(
+            bad_col.validate(&schema),
+            Err(QueryError::UnknownColumn(_))
+        ));
 
         let not_in_from = Query::new(
             ["title".to_string()],
             [],
-            [Predicate::new(col("movie_companies", "company_id"), CompareOp::Eq, 1)],
+            [Predicate::new(
+                col("movie_companies", "company_id"),
+                CompareOp::Eq,
+                1,
+            )],
         );
-        assert!(matches!(not_in_from.validate(&schema), Err(QueryError::TableNotInFrom(_))));
+        assert!(matches!(
+            not_in_from.validate(&schema),
+            Err(QueryError::TableNotInFrom(_))
+        ));
 
         let self_join = Query::new(
             ["title".to_string()],
             [JoinClause::new(col("title", "id"), col("title", "kind_id"))],
             [],
         );
-        assert!(matches!(self_join.validate(&schema), Err(QueryError::SelfJoin(_))));
+        assert!(matches!(
+            self_join.validate(&schema),
+            Err(QueryError::SelfJoin(_))
+        ));
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl<'a> QueryGenerator<'a> {
         let schema = self.db.schema();
         let all: Vec<String> = schema.tables().iter().map(|t| t.name.clone()).collect();
         let mut chosen = BTreeSet::new();
-        let start = all.choose(&mut self.rng).expect("schema has tables").clone();
+        let start = all
+            .choose(&mut self.rng)
+            .expect("schema has tables")
+            .clone();
         chosen.insert(start);
         while chosen.len() < k {
             // Collect neighbors of the current set that are not yet chosen.
@@ -234,8 +237,8 @@ impl<'a> QueryGenerator<'a> {
     /// Step 2: generates "similar but different" variants of a query (§3.1.2) by randomly
     /// changing predicate operators or values, or adding predicates.
     pub fn perturb(&mut self, query: &Query) -> Query {
-        let add_new = query.predicates().is_empty()
-            || self.rng.gen::<f64>() < self.config.add_predicate_prob;
+        let add_new =
+            query.predicates().is_empty() || self.rng.gen::<f64>() < self.config.add_predicate_prob;
         if add_new {
             // Add a fresh predicate on one of the query's tables.
             let tables: Vec<&String> = query.tables().iter().collect();

@@ -30,5 +30,7 @@ pub mod generator;
 pub mod sql;
 
 pub use ast::{JoinClause, Predicate, Query, QueryError};
-pub use generator::{dedup_queries, GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
+pub use generator::{
+    dedup_queries, GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig,
+};
 pub use sql::parse_query;

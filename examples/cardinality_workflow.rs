@@ -14,7 +14,9 @@
 //! ```
 
 use containment_repro::prelude::*;
-use crn_eval::experiments::common::{cardinality_ground_truth, evaluate_cardinality_model, join_mask};
+use crn_eval::experiments::common::{
+    cardinality_ground_truth, evaluate_cardinality_model, join_mask,
+};
 use crn_eval::workloads::{crd_test2, WorkloadSizes};
 
 fn main() {
@@ -42,7 +44,10 @@ fn main() {
         ("Cnt2Crd(CRN)", &cnt2crd),
     ];
 
-    println!("{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "mean q-error", "0 joins", "1", "2", "3", "4", "5");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "mean q-error", "0 joins", "1", "2", "3", "4", "5"
+    );
     for (label, model) in &models {
         let errors = evaluate_cardinality_model(*model, &workload, &truth);
         let mut cells = Vec::new();
@@ -67,7 +72,11 @@ fn main() {
         .find(|(_, q)| q.num_joins() >= 4)
     {
         let truth_card = truth.cardinalities[idx] as f64;
-        println!("\nexample {}-join query:\n  {}", query.num_joins(), query.to_sql());
+        println!(
+            "\nexample {}-join query:\n  {}",
+            query.num_joins(),
+            query.to_sql()
+        );
         for (label, model) in &models {
             let estimate = model.estimate(query);
             println!(

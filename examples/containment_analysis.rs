@@ -24,10 +24,22 @@ fn main() {
     // A hand-written analyst workload over the same FROM clause: different ways of asking for
     // "recent successful movies".
     let workload: Vec<(&str, Query)> = [
-        ("recent titles", "SELECT * FROM title WHERE title.production_year > 2000"),
-        ("modern era", "SELECT * FROM title WHERE title.production_year > 1990"),
-        ("recent feature films", "SELECT * FROM title WHERE title.production_year > 2000 AND title.kind_id = 1"),
-        ("long features", "SELECT * FROM title WHERE title.kind_id = 1 AND title.runtime > 150"),
+        (
+            "recent titles",
+            "SELECT * FROM title WHERE title.production_year > 2000",
+        ),
+        (
+            "modern era",
+            "SELECT * FROM title WHERE title.production_year > 1990",
+        ),
+        (
+            "recent feature films",
+            "SELECT * FROM title WHERE title.production_year > 2000 AND title.kind_id = 1",
+        ),
+        (
+            "long features",
+            "SELECT * FROM title WHERE title.kind_id = 1 AND title.runtime > 150",
+        ),
         ("episodes", "SELECT * FROM title WHERE title.kind_id = 7"),
     ]
     .iter()
@@ -68,9 +80,7 @@ fn main() {
             let truth = executor.containment_rate(q1, q2).unwrap_or(0.0);
             let crn_rate = crn.estimate_containment(q1, q2);
             let pg_rate = baseline.estimate_containment(q1, q2);
-            println!(
-                "{name1:<22} {name2:<22} {truth:>10.3} {crn_rate:>10.3} {pg_rate:>12.3}"
-            );
+            println!("{name1:<22} {name2:<22} {truth:>10.3} {crn_rate:>10.3} {pg_rate:>12.3}");
             if truth > 0.95 {
                 contained_pairs.push((name1, name2, truth));
             }

@@ -42,7 +42,8 @@ fn main() {
     let mut generator = QueryGenerator::new(&db, GeneratorConfig::paper(99));
     let pairs = generator.generate_pairs(60, 400);
     let containment_training = label_containment_pairs(&db, &pairs, 4);
-    let cardinality_training = ExperimentContext::derive_cardinality_training(&containment_training);
+    let cardinality_training =
+        ExperimentContext::derive_cardinality_training(&containment_training);
     let mut mscn = MscnModel::new(
         &db,
         TrainConfig {
@@ -60,7 +61,10 @@ fn main() {
     // Evaluate everything on a 0-5 join workload.
     let workload = crd_test2(&db, &WorkloadSizes::tiny(), 4321);
     let truth = cardinality_ground_truth(&db, &workload);
-    println!("evaluation workload: {} queries with 0-5 joins\n", workload.len());
+    println!(
+        "evaluation workload: {} queries with 0-5 joins\n",
+        workload.len()
+    );
 
     let pg_summary = evaluate_cardinality_model(&postgres, &workload, &truth).summary();
     let improved_pg_summary =

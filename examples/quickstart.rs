@@ -63,12 +63,15 @@ fn main() {
         "  true rate      = {:.3}",
         executor.containment_rate(&recent, &old_or_new).unwrap()
     );
-    println!("  CRN estimate   = {:.3}", crn.predict(&recent, &old_or_new));
+    println!(
+        "  CRN estimate   = {:.3}",
+        crn.predict(&recent, &old_or_new)
+    );
 
     // 5. Build a queries pool and estimate cardinalities with the Cnt2Crd technique (§5).
     let pool = QueriesPool::generate(&db, 60, 2, 7);
-    let estimator = Cnt2Crd::new(&crn, pool)
-        .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+    let estimator =
+        Cnt2Crd::new(&crn, pool).with_fallback(Box::new(PostgresEstimator::analyze(&db)));
     let postgres = PostgresEstimator::analyze(&db);
     for sql in [
         "SELECT * FROM title WHERE title.kind_id = 1 AND title.production_year > 1990",

@@ -60,6 +60,8 @@ pub mod prelude {
         Executor, TableSamples,
     };
     pub use crn_nn::{q_error, LossKind, TrainConfig};
-    pub use crn_query::generator::{GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
+    pub use crn_query::generator::{
+        GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig,
+    };
     pub use crn_query::{parse_query, JoinClause, Predicate, Query};
 }

@@ -23,9 +23,14 @@ fn executor_and_parser_agree_on_hand_written_sql() {
     assert!(features > 0, "tiny database always contains feature films");
 
     // Containment rate of the narrower query in the broader one is exactly 1.
-    assert_eq!(executor.containment_rate(&feature_films, &all_titles), Some(1.0));
+    assert_eq!(
+        executor.containment_rate(&feature_films, &all_titles),
+        Some(1.0)
+    );
     // And the reverse equals the selectivity of the predicate.
-    let reverse = executor.containment_rate(&all_titles, &feature_films).unwrap();
+    let reverse = executor
+        .containment_rate(&all_titles, &feature_films)
+        .unwrap();
     assert!((reverse - features as f64 / total as f64).abs() < 1e-12);
 }
 
@@ -106,7 +111,11 @@ fn baselines_and_crn_share_the_containment_interface() {
     let models: Vec<&dyn ContainmentEstimator> = vec![&crn, &pg];
     for model in models {
         let rate = model.estimate_containment(&q1, &q2);
-        assert!(rate >= 0.0 && rate.is_finite(), "{} produced {rate}", model.name());
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "{} produced {rate}",
+            model.name()
+        );
     }
 }
 

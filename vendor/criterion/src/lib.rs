@@ -1,0 +1,358 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion::benchmark_group`,
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — over a plain wall-clock measurement loop.  Statistical rigor is reduced (mean,
+//! median and min over sample batches; no outlier analysis or HTML reports), but the printed
+//! per-iteration times are real measurements, so before/after comparisons remain meaningful.
+//!
+//! `cargo bench -- --test` runs every benchmark body exactly once (smoke mode), matching the
+//! upstream flag used in CI.  A benchmark name substring can be passed as a positional filter,
+//! like upstream.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], mirroring upstream's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into the id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds the harness from command-line arguments (`--test` → run-once smoke mode; a bare
+    /// positional argument filters benchmarks by substring; other flags are ignored).
+    pub fn from_args() -> Self {
+        let mut criterion = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => criterion.test_mode = true,
+                "--bench" => {}
+                // Flags with a value that upstream accepts; skip the value.
+                "--measurement-time" | "--warm-up-time" | "--sample-size" | "--save-baseline"
+                | "--baseline" | "--load-baseline" | "--profile-time" => {
+                    args.next();
+                }
+                other if other.starts_with('-') => {}
+                filter => criterion.filter = Some(filter.to_string()),
+            }
+        }
+        criterion
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks a function outside of any group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = id.into_benchmark_id().id;
+        self.run_one(&name, 10, Duration::from_secs(3), f);
+    }
+
+    fn run_one(
+        &mut self,
+        full_name: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{full_name}: ok (smoke)");
+            return;
+        }
+        println!("{full_name}{}", summarize(&bencher.samples));
+    }
+}
+
+/// Formats per-iteration sample times as `time: [min mean max]`, criterion-style.
+fn summarize(samples: &[f64]) -> String {
+    if samples.is_empty() {
+        return ": no samples".to_string();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut out = String::new();
+    write!(
+        out,
+        "\n                        time:   [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    )
+    .expect("write to string");
+    out
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.4} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else {
+        format!("{:.4} s", seconds)
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the total sampling duration budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let full_name = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.criterion
+            .run_one(&full_name, sample_size, measurement_time, f);
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream finalizes reports here; measurements are already printed).
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs the closure repeatedly and records per-iteration wall-clock times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: find how many iterations fill ~1/sample_size of the time budget, so the
+        // whole measurement stays within measurement_time regardless of body cost.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        std::hint::black_box(f());
+        calibration_iters += 1;
+        let mut elapsed = calibration_start.elapsed();
+        while elapsed < Duration::from_millis(20) && calibration_iters < 1_000_000 {
+            std::hint::black_box(f());
+            calibration_iters += 1;
+            elapsed = calibration_start.elapsed();
+        }
+        let per_iter = elapsed.as_secs_f64() / calibration_iters as f64;
+        let budget_per_sample =
+            self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters_per_sample = ((budget_per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        let measurement_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let sample_start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(sample_start.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if measurement_start.elapsed() > self.measurement_time.mul_f64(1.5) {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!("plain".into_benchmark_id().id, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let mut criterion = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("busy", |b| {
+            b.iter(|| std::hint::black_box((0..100).sum::<u64>()))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: Some("wanted".to_string()),
+        };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("unrelated", |b| b.iter(|| runs += 1));
+        group.bench_function("wanted_one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(2.5e-9).contains("ns"));
+        assert!(format_time(2.5e-6).contains("µs"));
+        assert!(format_time(2.5e-3).contains("ms"));
+        assert!(format_time(2.5).contains(" s"));
+    }
+}

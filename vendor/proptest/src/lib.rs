@@ -1,0 +1,212 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, numeric-range strategies (`0u64..500`,
+//! `1e-3f64..1e6`, ...), and `prop_assert!` / `prop_assert_eq!`.  Unlike upstream there is no
+//! shrinking — on failure the assertion panics with the sampled inputs printed via the
+//! standard assertion message, which is adequate for the deterministic seeds used here.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running the given number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Creates the deterministic RNG for one property, seeded from the property's name so every
+/// test run explores the same cases.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+pub mod strategy {
+    //! Value-generation strategies (numeric ranges).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of random values for one macro argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A fixed list of candidate values, sampled uniformly.
+    impl<T: Clone> Strategy for Vec<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            assert!(
+                !self.is_empty(),
+                "cannot sample from an empty candidate list"
+            );
+            self[rng.gen_range(0..self.len())].clone()
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// that samples the strategies `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    let result: Result<(), String> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!(
+                            "property {} failed at case {case} with inputs {:?}: {message}",
+                            stringify!($name),
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, reporting the sampled inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting the sampled inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(a in 3u64..10, b in -2i64..3, f in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2..3).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f), "f out of range: {f}");
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    fn same_name_gives_same_samples() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        for _ in 0..10 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(v in 0u32..5) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        inner();
+    }
+}

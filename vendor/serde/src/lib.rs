@@ -1,0 +1,501 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a self-contained
+//! (de)serialization framework with the same *spelling* as serde — `Serialize`,
+//! `Deserialize`, `serde::de::DeserializeOwned`, `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(skip)]` — but a much simpler contract: values convert to and from the
+//! self-describing [`content::Content`] tree, and `serde_json` renders that tree as JSON.
+//! Round-tripping through this pair is lossless for every type the workspace serializes;
+//! wire compatibility with upstream serde_json is *not* a goal.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content {
+    //! The self-describing value tree every serializable type converts through.
+
+    /// A serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// JSON `null` (also the encoding of `Option::None` and `()`).
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer.
+        Int(i64),
+        /// An unsigned integer too large for `Int`.
+        UInt(u64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// A sequence (`Vec`, sets, tuples, maps with non-string keys).
+        Seq(Vec<Content>),
+        /// A map with string keys (structs, string-keyed maps, enum variants with data).
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// Views the content as a map, if it is one.
+        pub fn as_map(&self) -> Option<&[(String, Content)]> {
+            match self {
+                Content::Map(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// Views the content as a sequence, if it is one.
+        pub fn as_seq(&self) -> Option<&[Content]> {
+            match self {
+                Content::Seq(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Looks up a struct field by name.
+        pub fn field(&self, name: &str) -> Result<&Content, super::de::Error> {
+            self.as_map()
+                .and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|(key, _)| key == name)
+                        .map(|(_, value)| value)
+                })
+                .ok_or_else(|| super::de::Error::custom(format!("missing field `{name}`")))
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization-side items (`DeserializeOwned`, the error type).
+
+    /// The (de)serialization error type.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error with a custom message.
+        pub fn custom(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for types deserializable without borrowing from the input — with this crate's
+    /// tree-based model every [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+use content::Content;
+use de::Error;
+
+/// Types that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from the content tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Int(v) => Ok(*v as $t),
+                    Content::UInt(v) => Ok(*v as $t),
+                    Content::Float(v) => Ok(*v as $t),
+                    other => Err(Error::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Content::Int(wide as i64)
+                } else {
+                    Content::UInt(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Int(v) if *v >= 0 => Ok(*v as $t),
+                    Content::UInt(v) => Ok(*v as $t),
+                    Content::Float(v) if *v >= 0.0 => Ok(*v as $t),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Float(v) => Ok(*v as $t),
+                    Content::Int(v) => Ok(*v as $t),
+                    Content::UInt(v) => Ok(*v as $t),
+                    other => Err(Error::custom(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) => Ok(v.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Generic container impls
+// ---------------------------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(Box::new(T::from_content(content)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let values: Vec<T> = Vec::from_content(content)?;
+        values
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected sequence of length {N}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::from_content(a)?, B::from_content(b)?)),
+            _ => Err(Error::custom("expected 2-element sequence")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content.as_seq() {
+            Some([a, b, c]) => Ok((
+                A::from_content(a)?,
+                B::from_content(b)?,
+                C::from_content(c)?,
+            )),
+            _ => Err(Error::custom("expected 3-element sequence")),
+        }
+    }
+}
+
+// Maps and sets.  Every map is encoded as a sequence of `[key, value]` pairs so that
+// non-string keys (`i64`, tuples, ...) round-trip without a string conversion — upstream
+// serde_json would reject those keys, this crate simply does not special-case string keys.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        map_pairs(content)?
+            .map(|pair| pair.and_then(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?))))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        map_pairs(content)?
+            .map(|pair| pair.and_then(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?))))
+            .collect()
+    }
+}
+
+/// Iterates the `[key, value]` pairs of an encoded map.
+fn map_pairs(
+    content: &Content,
+) -> Result<impl Iterator<Item = Result<(&Content, &Content), Error>>, Error> {
+    let items = content
+        .as_seq()
+        .ok_or_else(|| Error::custom("expected map encoded as pair sequence"))?;
+    Ok(items.iter().map(|item| match item.as_seq() {
+        Some([k, v]) => Ok((k, v)),
+        _ => Err(Error::custom("expected [key, value] pair")),
+    }))
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let content = value.to_content();
+        let back = T::from_content(&content).expect("round trip");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42i64);
+        round_trip(u64::MAX);
+        round_trip(-7i32);
+        round_trip(3.5f64);
+        round_trip(1.25f32);
+        round_trip(true);
+        round_trip("hello".to_string());
+        round_trip(Some(5u32));
+        round_trip(Option::<u32>::None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip((1i64, "a".to_string()));
+        let mut map = BTreeMap::new();
+        map.insert("x".to_string(), vec![1usize, 2]);
+        round_trip(map);
+        let mut int_keys = BTreeMap::new();
+        int_keys.insert(-3i64, 9u32);
+        round_trip(int_keys);
+        let mut hash = HashMap::new();
+        hash.insert(("a".to_string(), "b".to_string()), (1i64, 2i64));
+        round_trip(hash);
+        round_trip(BTreeSet::from(["q".to_string(), "z".to_string()]));
+        round_trip(Box::new(17u8));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_fields() {
+        let content = Content::Map(vec![("a".to_string(), Content::Int(1))]);
+        assert!(content.field("a").is_ok());
+        let err = content.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

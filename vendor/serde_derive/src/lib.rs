@@ -1,0 +1,338 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.  The build environment has no crates.io access, so there is no `syn`/`quote`;
+//! instead the item's `TokenStream` is parsed directly.  Supported shapes — which cover every
+//! derived type in this workspace — are:
+//!
+//! * structs with named fields (with `#[serde(skip)]` honored: skipped on serialize,
+//!   `Default::default()` on deserialize);
+//! * enums with unit variants and tuple variants (externally tagged, like upstream serde:
+//!   `"Variant"` for unit, `{"Variant": value}` / `{"Variant": [v0, v1, ...]}` otherwise).
+//!
+//! Generic types, tuple structs and struct variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => serialize_struct(&item.name, fields),
+        Body::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => deserialize_struct(&item.name, fields),
+        Body::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields: `(name, skipped)`.
+    Struct(Vec<(String, bool)>),
+    /// Variants: `(name, tuple_field_count)` — 0 means a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                if text == "struct" || text == "enum" {
+                    break text;
+                }
+                // `pub` (possibly followed by a `(crate)` group, consumed on the next spin).
+            }
+            Some(TokenTree::Group(_)) => {}
+            Some(other) => panic!("unexpected token before item keyword: {other}"),
+            None => panic!("derive input ended before struct/enum keyword"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    let body_group = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("the vendored serde derive does not support generic type `{name}`")
+            }
+            Some(_) => {}
+            None => panic!("expected `{{ ... }}` body for `{name}`"),
+        }
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_struct_fields(body_group.stream()))
+    } else {
+        Body::Enum(parse_enum_variants(body_group.stream()))
+    };
+    Item { name, body }
+}
+
+/// Splits a brace/paren body into top-level comma-separated segments, tracking angle-bracket
+/// depth so commas inside `BTreeMap<String, usize>` do not split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().expect("non-empty").push(token);
+    }
+    segments.retain(|segment| !segment.is_empty());
+    segments
+}
+
+/// Strips leading attributes from a segment, returning whether `#[serde(skip)]` was present.
+fn strip_attrs(segment: &mut Vec<TokenTree>) -> bool {
+    let mut skip = false;
+    while segment.len() >= 2 {
+        match (&segment[0], &segment[1]) {
+            (TokenTree::Punct(p), TokenTree::Group(group)) if p.as_char() == '#' => {
+                let mut inner = group.stream().into_iter();
+                if let Some(TokenTree::Ident(ident)) = inner.next() {
+                    if ident.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            let args = args.stream().to_string();
+                            if args.split(',').any(|a| a.trim() == "skip") {
+                                skip = true;
+                            } else {
+                                panic!(
+                                    "the vendored serde derive only supports #[serde(skip)], \
+                                     found #[serde({args})]"
+                                );
+                            }
+                        }
+                    }
+                }
+                segment.drain(0..2);
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Strips a leading `pub` / `pub(...)` visibility.
+fn strip_visibility(segment: &mut Vec<TokenTree>) {
+    if matches!(&segment.first(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        segment.remove(0);
+        if matches!(
+            segment.first(),
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis
+        ) {
+            segment.remove(0);
+        }
+    }
+}
+
+fn parse_struct_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|mut segment| {
+            let skip = strip_attrs(&mut segment);
+            strip_visibility(&mut segment);
+            match segment.first() {
+                Some(TokenTree::Ident(ident)) => (ident.to_string(), skip),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|mut segment| {
+            strip_attrs(&mut segment);
+            let name = match segment.first() {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let field_count = match segment.get(1) {
+                None => 0,
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    split_top_level(group.stream()).len()
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    panic!("the vendored serde derive does not support struct variant `{name}`")
+                }
+                Some(other) => panic!("unexpected token after variant `{name}`: {other}"),
+            };
+            (name, field_count)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------------------------
+// Code generation (emitted as source text and re-parsed; fully-qualified paths throughout)
+// ---------------------------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[(String, bool)]) -> String {
+    let mut pushes = String::new();
+    for (field, skip) in fields {
+        if *skip {
+            continue;
+        }
+        pushes.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{field}\"), \
+             ::serde::Serialize::to_content(&self.{field})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::content::Content {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::content::Content)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::content::Content::Map(fields)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[(String, bool)]) -> String {
+    let mut inits = String::new();
+    for (field, skip) in fields {
+        if *skip {
+            inits.push_str(&format!("{field}: ::std::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!(
+                "{field}: ::serde::Deserialize::from_content(content.field(\"{field}\")?)?,\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::content::Content) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut arms = String::new();
+    for (variant, field_count) in variants {
+        match field_count {
+            0 => arms.push_str(&format!(
+                "{name}::{variant} => ::serde::content::Content::Str(\
+                 ::std::string::String::from(\"{variant}\")),\n"
+            )),
+            1 => arms.push_str(&format!(
+                "{name}::{variant}(__f0) => ::serde::content::Content::Map(vec![(\
+                 ::std::string::String::from(\"{variant}\"), \
+                 ::serde::Serialize::to_content(__f0))]),\n"
+            )),
+            n => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elements: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{variant}({}) => ::serde::content::Content::Map(vec![(\
+                     ::std::string::String::from(\"{variant}\"), \
+                     ::serde::content::Content::Seq(vec![{}]))]),\n",
+                    bindings.join(", "),
+                    elements.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::content::Content {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (variant, field_count) in variants {
+        match field_count {
+            0 => unit_arms.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+            )),
+            1 => data_arms.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                 ::serde::Deserialize::from_content(__value)?)),\n"
+            )),
+            n => {
+                let elements: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{variant}\" => {{\n\
+                         let __seq = __value.as_seq().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected sequence for variant {variant}\"))?;\n\
+                         if __seq.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 \"wrong arity for variant {variant}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{variant}({}))\n\
+                     }}\n",
+                    elements.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::content::Content) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 match content {{\n\
+                     ::serde::content::Content::Str(__variant) => match __variant.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::content::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__variant, __value) = &__entries[0];\n\
+                         match __variant.as_str() {{\n\
+                             {data_arms}\
+                             other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"expected enum encoding for {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

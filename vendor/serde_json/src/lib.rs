@@ -1,0 +1,362 @@
+//! Vendored offline stand-in for `serde_json`: renders the vendored serde
+//! [`Content`](serde::content::Content) tree as JSON and parses it back.  The encoding is
+//! self-consistent (everything written by [`to_writer`]/[`to_string`] is read back by
+//! [`from_reader`]/[`from_str`]); byte-compatibility with upstream serde_json is a non-goal
+//! (most visibly, maps are encoded as `[key, value]` pair arrays).
+
+#![warn(missing_docs)]
+
+use serde::content::Content;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{Read, Write};
+
+/// The error type of this crate (shared with the vendored serde).
+pub type Error = serde::de::Error;
+
+/// Serializes a value as JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    writer
+        .write_all(out.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON reader.
+pub fn from_reader<R: Read, T: DeserializeOwned>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::custom(format!("read failed: {e}")))?;
+    from_str(&text)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let content = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_content(&content)
+}
+
+fn write_content(content: &Content, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::Int(v) => out.push_str(&v.to_string()),
+        Content::UInt(v) => out.push_str(&v.to_string()),
+        Content::Float(v) => {
+            if v.is_finite() {
+                // `{:?}` of f64 keeps full round-trip precision in Rust.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // JSON has no inf/nan; encode as null like upstream's lossy modes.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_content(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected character {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte sequences arrive as raw bytes).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => return Err(Error::custom(format!("expected , or ] found {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => return Err(Error::custom(format!("expected , or }} found {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(from_str::<i64>(&to_string(&-42i64).unwrap()).unwrap(), -42);
+        assert_eq!(
+            from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(),
+            u64::MAX
+        );
+        let f = 0.1f64 + 0.2;
+        assert_eq!(from_str::<f64>(&to_string(&f).unwrap()).unwrap(), f);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(
+            from_str::<String>(&to_string("a \"quoted\"\nline\t\\x").unwrap()).unwrap(),
+            "a \"quoted\"\nline\t\\x"
+        );
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1i64, "a".to_string()), (-2, "b".to_string())];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(i64, String)>>(&json).unwrap(), v);
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("k".to_string(), vec![1.5f32, 2.5]);
+        let json = to_string(&map).unwrap();
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<String, Vec<f32>>>(&json).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn malformed_input_reports_errors() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<bool>("truth").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        let s = "naïve — ünïcode 💡 \u{1} end".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+    }
+}
