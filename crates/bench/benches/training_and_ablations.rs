@@ -4,6 +4,9 @@
 //! * `fig3_hidden_size` — cost of one training epoch as a function of the hidden layer size
 //!   (the paper's Figure 3 trades accuracy against exactly this cost).
 //! * `fig4_training_epoch` — cost of one epoch at the default size (Figure 4's x-axis unit).
+//! * `parallel_epoch_{crn,mscn}` — one epoch at H = 64 / batch = 128 swept over the
+//!   data-parallel engine's worker-thread count (plus the deterministic mode), against the
+//!   PR-1 single-thread batched baseline.
 //! * `ablation_*` — forward-pass cost of the design variants (pooling, Expand, featurization)
 //!   and of the final functions of the queries-pool technique.
 
@@ -15,9 +18,9 @@ use crn_bench::shared_context;
 use crn_core::{
     Cnt2Crd, Cnt2CrdConfig, CrnFeaturizer, CrnModel, CrnOptions, ExpandMode, FinalFunction, Pooling,
 };
-use crn_estimators::{CardinalityEstimator, ContainmentEstimator, MscnFeaturizer};
+use crn_estimators::{CardinalityEstimator, ContainmentEstimator, MscnFeaturizer, MscnModel};
 use crn_eval::experiments::training::hidden_size_sweep;
-use crn_nn::TrainConfig;
+use crn_nn::{ThreadPoolConfig, TrainConfig};
 
 /// Figure 3 — training cost vs hidden layer size (one short fit per size).
 fn bench_fig3_hidden_size(c: &mut Criterion) {
@@ -71,6 +74,70 @@ fn bench_fig4_training_epoch(c: &mut Criterion) {
             black_box(model.fit(slice))
         })
     });
+    group.finish();
+}
+
+/// Data-parallel epoch engine — one CRN / MSCN training epoch at the paper's H = 64 /
+/// batch = 128 shape, swept over the worker-thread count of `crn_nn::parallel`.
+///
+/// `threads_1` is exactly the PR-1 single-thread batched path (one shard per mini-batch);
+/// the acceptance bar is ≥ 2.5× at `threads_4` over it.  `threads_4_det` measures the
+/// deterministic mode (canonical 8-shard splitting + sequential reduction) at the same
+/// worker count — the price of bit-identical results across thread counts.
+fn bench_parallel_epoch_threads(c: &mut Criterion) {
+    let ctx = shared_context();
+    let sweep: [(&str, ThreadPoolConfig); 5] = [
+        ("threads_1", ThreadPoolConfig::single_threaded()),
+        ("threads_2", ThreadPoolConfig::with_threads(2)),
+        ("threads_4", ThreadPoolConfig::with_threads(4)),
+        ("threads_8", ThreadPoolConfig::with_threads(8)),
+        ("threads_4_det", ThreadPoolConfig::deterministic(4)),
+    ];
+
+    let mut group = c.benchmark_group("parallel_epoch_crn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    for (label, parallel) in sweep {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = TrainConfig {
+                    hidden_size: 64,
+                    batch_size: 128,
+                    epochs: 1,
+                    patience: None,
+                    parallel,
+                    ..ctx.config.train.clone()
+                };
+                let mut model = CrnModel::new(&ctx.db, config);
+                black_box(model.fit(&ctx.containment_training))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel_epoch_mscn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    for (label, parallel) in sweep {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = TrainConfig {
+                    hidden_size: 64,
+                    batch_size: 128,
+                    epochs: 1,
+                    patience: None,
+                    parallel,
+                    ..ctx.config.train.clone()
+                };
+                let mut model = MscnModel::new(&ctx.db, config);
+                black_box(model.fit(&ctx.cardinality_training))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -162,6 +229,7 @@ criterion_group!(
     benches,
     bench_fig3_hidden_size,
     bench_fig4_training_epoch,
+    bench_parallel_epoch_threads,
     bench_ablation_architecture,
     bench_ablation_featurization,
     bench_ablation_final_function

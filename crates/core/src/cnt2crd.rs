@@ -406,6 +406,54 @@ mod tests {
         );
     }
 
+    /// Regression: an empty anchor set must short-circuit to an empty result on every CRN
+    /// serving entry point instead of reaching the GEMM path with a zero-row (0×0) packed
+    /// batch, which the matmul shape asserts reject.  Covers the bare batched calls, the
+    /// prepared-state call (with a stale non-empty state), and the full `Cnt2Crd` estimate
+    /// over a pool whose matching anchor list is emptied by `remove`.
+    #[test]
+    fn empty_anchor_pool_returns_empty_instead_of_hitting_gemm() {
+        use crate::model::CrnModel;
+        use crn_nn::TrainConfig;
+        use crn_query::generator::GeneratorConfig;
+
+        let db = generate_imdb(&ImdbConfig::tiny(58));
+        let model = CrnModel::new(&db, TrainConfig::fast_test());
+        let query = Query::scan(tables::TITLE);
+
+        // Bare batched entry points.
+        assert!(model.predict_batch(&[], &query).is_empty());
+        assert!(ContainmentEstimator::predict_batch_forward(&model, &[], &query).is_empty());
+        assert!(model.prepare_anchors(&[]).is_none());
+        // Prepared-state entry point with an empty anchor list and a (stale) non-empty
+        // serving state — must not be fed to the head GEMMs.
+        let stale = model
+            .prepare_anchors(&[&query])
+            .expect("non-empty anchor set prepares");
+        assert!(model
+            .predict_batch_prepared(stale.as_ref(), &[], &query)
+            .is_empty());
+
+        // Full estimator over a pool whose only anchor for this FROM clause is removed:
+        // the matching list is empty and the estimate falls back to the default.
+        let mut pool = QueriesPool::new();
+        pool.insert(query.clone(), 123);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(58));
+        for q in gen.generate_queries(10) {
+            if q.tables() != query.tables() {
+                // Keep the pool non-empty, but leave the query's own FROM clause bare.
+                pool.insert(q, 1);
+            }
+        }
+        pool.remove(&query);
+        let estimator = Cnt2Crd::new(model, pool);
+        assert!(estimator.per_entry_estimates(&query).is_empty());
+        assert_eq!(
+            estimator.estimate(&query),
+            Cnt2CrdConfig::default().default_estimate
+        );
+    }
+
     #[test]
     fn pool_replacement_changes_estimates() {
         let db = generate_imdb(&ImdbConfig::tiny(55));

@@ -18,6 +18,7 @@
 use crate::featurize::CrnFeaturizer;
 use crn_db::database::Database;
 use crn_exec::ContainmentSample;
+use crn_nn::batch::shard_ranges;
 use crn_nn::batch::{
     broadcast_rows, expand_concat, expand_concat_backward, expand_full, expand_full_backward,
     segment_pool, segment_pool_backward, RaggedBatch, SegmentPool, SparseRows,
@@ -29,6 +30,9 @@ use crn_nn::layers::{
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
 use crn_nn::optim::Adam;
+use crn_nn::parallel::{
+    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig,
+};
 use crn_nn::train::{
     shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
     TrainingHistory,
@@ -43,6 +47,20 @@ use crn_estimators::ContainmentEstimator;
 /// Containment rates below this floor are clamped before the q-error is formed (the paper's
 /// q-error is undefined at exactly zero).
 pub const RATE_FLOOR: f32 = 0.01;
+
+/// Index of each CRN parameter tensor inside its [`GradientSet`] — the fixed order shared by
+/// [`CrnModel::gradient_set`], [`CrnModel::params_vec_mut`] and the shard reduction (the
+/// optimizer pairs parameters and merged gradients positionally).
+mod grad_index {
+    pub const MLP1_W: usize = 0;
+    pub const MLP1_B: usize = 1;
+    pub const MLP2_W: usize = 2;
+    pub const MLP2_B: usize = 3;
+    pub const OUT1_W: usize = 4;
+    pub const OUT1_B: usize = 5;
+    pub const OUT2_W: usize = 6;
+    pub const OUT2_B: usize = 7;
+}
 
 /// How the per-element representations are aggregated into a query vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -277,12 +295,38 @@ impl CrnModel {
     /// Batched backward pass: `grad_output` holds `dL/d sigmoid_out` per pair (`B×1`).
     ///
     /// Accumulates exactly the gradient sums the per-sample loop produced — `Dense::backward`
-    /// over the flattened rows computes the same `Σᵢ xᵢᵀ·gᵢ` in one product.
+    /// over the flattened rows computes the same `Σᵢ xᵢᵀ·gᵢ` in one product.  Kept for the
+    /// parity tests; training goes through [`CrnModel::backward_batch_into`] so shards can
+    /// accumulate privately.
+    #[cfg(test)]
     fn backward_batch(&mut self, cache: &BatchCache, grad_output: &Matrix) {
+        let mut grads = self.gradient_set();
+        self.backward_batch_into(cache, grad_output, &mut grads);
+        for (param, grad) in self.params_vec_mut().into_iter().zip(grads.parts()) {
+            param.grad.add_assign(grad);
+        }
+    }
+
+    /// [`CrnModel::backward_batch`] into a caller-provided [`GradientSet`] (indexed by
+    /// [`grad_index`]), leaving the model untouched — every shard of a data-parallel
+    /// mini-batch runs this against the same read-only model.
+    fn backward_batch_into(
+        &self,
+        cache: &BatchCache,
+        grad_output: &Matrix,
+        grads: &mut GradientSet,
+    ) {
+        use grad_index::*;
         let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, grad_output);
-        let mut grad_z_out1 = self.out2.backward_dense(&cache.a_out1, &grad_z_out2);
+        let (grad_w, grad_b, mut grad_z_out1) =
+            self.out2.backward_dense_calc(&cache.a_out1, &grad_z_out2);
+        grads.part_mut(OUT2_W).add_assign(&grad_w);
+        grads.part_mut(OUT2_B).add_assign(&grad_b);
         relu_backward_in_place(&cache.a_out1, &mut grad_z_out1);
-        let grad_expanded = self.out1.backward_dense(&cache.expanded, &grad_z_out1);
+        let (grad_w, grad_b, grad_expanded) =
+            self.out1.backward_dense_calc(&cache.expanded, &grad_z_out1);
+        grads.part_mut(OUT1_W).add_assign(&grad_w);
+        grads.part_mut(OUT1_B).add_assign(&grad_b);
         let (grad_qvec1, grad_qvec2) = match self.options.expand {
             ExpandMode::Full => expand_full_backward(&cache.qvec1, &cache.qvec2, &grad_expanded),
             ExpandMode::Concat => expand_concat_backward(&grad_expanded),
@@ -293,11 +337,23 @@ impl CrnModel {
         // gradients by scattering the CSR non-zeros, and skip the (discarded) dL/dx product.
         let mut grad_z1 = segment_pool_backward(cache.v1.offsets(), &grad_qvec1, pool);
         relu_backward_in_place(&cache.a1, &mut grad_z1);
-        self.mlp1.backward_ragged_weights_only(&cache.v1, &grad_z1);
+        let (grad_w, grad_b) = grads.pair_mut(MLP1_W, MLP1_B);
+        Dense::accumulate_ragged_weights_only(&cache.v1, &grad_z1, grad_w, grad_b);
 
         let mut grad_z2 = segment_pool_backward(cache.v2.offsets(), &grad_qvec2, pool);
         relu_backward_in_place(&cache.a2, &mut grad_z2);
-        self.mlp2.backward_ragged_weights_only(&cache.v2, &grad_z2);
+        let (grad_w, grad_b) = grads.pair_mut(MLP2_W, MLP2_B);
+        Dense::accumulate_ragged_weights_only(&cache.v2, &grad_z2, grad_w, grad_b);
+    }
+
+    /// A zeroed gradient set shaped like this model's parameters (order: [`grad_index`]).
+    fn gradient_set(&self) -> GradientSet {
+        let mut shapes = Vec::with_capacity(8);
+        shapes.extend(self.mlp1.grad_shapes());
+        shapes.extend(self.mlp2.grad_shapes());
+        shapes.extend(self.out1.grad_shapes());
+        shapes.extend(self.out2.grad_shapes());
+        GradientSet::zeros(&shapes)
     }
 
     /// Seed-faithful single-pair forward pass: 1-row matrices end to end, scalar pooling and
@@ -384,7 +440,8 @@ impl CrnModel {
         self.out2.zero_grad();
     }
 
-    fn adam_step(&mut self, adam: &mut Adam) {
+    /// All trainable parameters in [`grad_index`] order.
+    fn params_vec_mut(&mut self) -> Vec<&mut crn_nn::layers::Param> {
         let CrnModel {
             mlp1,
             mlp2,
@@ -397,28 +454,56 @@ impl CrnModel {
         params.extend(mlp2.params_mut());
         params.extend(out1.params_mut());
         params.extend(out2.params_mut());
+        params
+    }
+
+    fn adam_step(&mut self, adam: &mut Adam) {
+        let params = self.params_vec_mut();
         adam.step(params);
+    }
+
+    /// One (single-threaded) Adam step over an externally merged gradient set — the tail of
+    /// every data-parallel mini-batch.
+    fn adam_step_with(&mut self, adam: &mut Adam, grads: &GradientSet) {
+        let params = self.params_vec_mut();
+        adam.step_with(params, grads.parts());
     }
 
     /// Trains the model on labelled containment pairs; returns the per-epoch history
     /// (used to reproduce Figures 3 and 4).
     ///
-    /// Each mini-batch runs as **one** batched forward/backward through the ragged-batch
-    /// engine (`crn_nn::batch`); the accumulated gradients are mathematically identical to
-    /// the per-sample loop of [`CrnModel::fit_reference`] (the parity tests below pin this to
-    /// 1e-5), but the dense layers execute as a single GEMM per batch.
+    /// Each mini-batch runs through the ragged-batch engine (`crn_nn::batch`), split into
+    /// shards executed by the data-parallel pool of [`TrainConfig::parallel`]
+    /// (`crn_nn::parallel`): every shard runs the batched forward/backward against the same
+    /// read-only model into its own gradient set, the shards are merged in fixed order, and
+    /// a single-threaded Adam step applies the merged gradient.  At `threads = 1` (the
+    /// default) this is exactly the one-GEMM-per-batch path; the accumulated gradients are
+    /// in every mode mathematically identical to the per-sample loop of
+    /// [`CrnModel::fit_reference`] (the parity tests below pin this to 1e-5), and in
+    /// deterministic mode bit-identical across thread counts.
     pub fn fit(&mut self, samples: &[ContainmentSample]) -> TrainingHistory {
+        let parallel = self.config.parallel;
         // Features are featurized and converted to CSR once, before the epoch loop;
         // mini-batches are assembled by concatenating the per-sample non-zeros — no dense
-        // row copies or scans inside the training loop.
+        // row copies or scans inside the training loop.  Per-sample featurization is pure,
+        // so it shards trivially across the worker threads.
         let dim = self.featurizer.vector_dim();
-        let features: Vec<(SparseRows, SparseRows)> = samples
-            .iter()
-            .map(|s| {
-                let (v1, v2) = self.featurizer.featurize_pair(&s.q1, &s.q2);
-                (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
+        let features: Vec<(SparseRows, SparseRows)> = {
+            let model = &*self;
+            let ranges = shard_ranges(samples.len(), parallel.threads);
+            run_over_ranges(parallel.threads, &ranges, |range| {
+                samples[range]
+                    .iter()
+                    .map(|s| {
+                        let (v1, v2) = model.featurizer.featurize_pair(&s.q1, &s.q2);
+                        (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
+                    })
+                    .collect::<Vec<_>>()
             })
-            .collect();
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
 
         let (train_idx, valid_idx) = train_validation_split(
@@ -444,41 +529,46 @@ impl CrnModel {
                     dim,
                     batch.iter().map(|&index| &features[index].1),
                 );
-                let cache = self.forward_batch(batch1, batch2);
-
-                let mut grad_output = Matrix::zeros(batch.len(), 1);
-                let batch_scale = 1.0 / batch.len() as f32;
-                for (position, &index) in batch.iter().enumerate() {
-                    let prediction = cache.sigmoid_out.get(position, 0);
-                    let loss =
-                        loss_and_grad(self.config.loss, prediction, targets[index], RATE_FLOOR);
-                    epoch_loss += loss.loss as f64;
+                let (losses, grads) =
+                    self.sharded_batch_step(&parallel, &batch, batch1, batch2, &targets);
+                for loss in losses {
+                    epoch_loss += loss as f64;
                     epoch_samples += 1;
-                    grad_output.set(position, 0, loss.grad * batch_scale);
                 }
-                self.zero_grad();
-                self.backward_batch(&cache, &grad_output);
-                self.adam_step(&mut adam);
+                self.adam_step_with(&mut adam, &grads);
             }
 
             let validation_q_error = if valid_idx.is_empty() {
                 epoch_loss / epoch_samples.max(1) as f64
             } else {
-                let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(valid_idx.len());
-                for chunk in valid_idx.chunks(self.config.batch_size.max(1)) {
-                    let batch1 = RaggedBatch::from_sparse_sets(
-                        dim,
-                        chunk.iter().map(|&index| &features[index].0),
-                    );
-                    let batch2 = RaggedBatch::from_sparse_sets(
-                        dim,
-                        chunk.iter().map(|&index| &features[index].1),
-                    );
-                    let out = self.forward_batch_inference(&batch1, &batch2);
-                    for (position, &index) in chunk.iter().enumerate() {
-                        pairs.push((out.get(position, 0) as f64, targets[index] as f64));
-                    }
-                }
+                // Validation chunks are fixed by the batch size (never by the thread
+                // count), so the chunk contents — and the per-chunk inference — are the
+                // same for every pool configuration; only the chunk scheduling spreads
+                // across threads.
+                let chunks: Vec<&[usize]> =
+                    valid_idx.chunks(self.config.batch_size.max(1)).collect();
+                let model = &*self;
+                let per_chunk: Vec<Vec<(f64, f64)>> =
+                    run_sharded(parallel.threads, chunks.len(), |shard| {
+                        let chunk = chunks[shard];
+                        let batch1 = RaggedBatch::from_sparse_sets(
+                            dim,
+                            chunk.iter().map(|&index| &features[index].0),
+                        );
+                        let batch2 = RaggedBatch::from_sparse_sets(
+                            dim,
+                            chunk.iter().map(|&index| &features[index].1),
+                        );
+                        let out = model.forward_batch_inference(&batch1, &batch2);
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(position, &index)| {
+                                (out.get(position, 0) as f64, targets[index] as f64)
+                            })
+                            .collect()
+                    });
+                let pairs: Vec<(f64, f64)> = per_chunk.into_iter().flatten().collect();
                 mean_q_error(&pairs, RATE_FLOOR as f64)
             };
             let improved = history.record(EpochStats {
@@ -497,6 +587,59 @@ impl CrnModel {
             *self = best;
         }
         history
+    }
+
+    /// One data-parallel mini-batch: shards the pair of ragged batches at segment
+    /// boundaries, runs the batched forward/backward per shard on the pool, and merges the
+    /// per-shard gradients in fixed shard order.  Returns the per-sample losses in batch
+    /// order and the merged gradient set; the caller applies the (single-threaded)
+    /// optimizer step.
+    fn sharded_batch_step(
+        &self,
+        parallel: &ThreadPoolConfig,
+        batch_indices: &[usize],
+        batch1: RaggedBatch,
+        batch2: RaggedBatch,
+        targets: &[f32],
+    ) -> (Vec<f32>, GradientSet) {
+        let batch_scale = 1.0 / batch_indices.len() as f32;
+        let num_shards = parallel.shard_count(batch_indices.len());
+
+        // The per-shard work: forward, per-sample losses, backward into a private set.
+        let step = |v1: RaggedBatch, v2: RaggedBatch, indices: &[usize]| {
+            let cache = self.forward_batch(v1, v2);
+            let mut losses = Vec::with_capacity(indices.len());
+            let mut grad_output = Matrix::zeros(indices.len(), 1);
+            for (position, &index) in indices.iter().enumerate() {
+                let prediction = cache.sigmoid_out.get(position, 0);
+                let loss = loss_and_grad(self.config.loss, prediction, targets[index], RATE_FLOOR);
+                losses.push(loss.loss);
+                grad_output.set(position, 0, loss.grad * batch_scale);
+            }
+            let mut grads = self.gradient_set();
+            self.backward_batch_into(&cache, &grad_output, &mut grads);
+            (losses, grads)
+        };
+
+        if num_shards <= 1 {
+            return step(batch1, batch2, batch_indices);
+        }
+        let ranges = shard_ranges(batch_indices.len(), num_shards);
+        let results: Vec<(Vec<f32>, GradientSet)> =
+            run_over_ranges(parallel.threads, &ranges, |range| {
+                let v1 = batch1.slice_segments(range.clone());
+                let v2 = batch2.slice_segments(range.clone());
+                step(v1, v2, &batch_indices[range])
+            });
+        let mut losses = Vec::with_capacity(batch_indices.len());
+        let mut shards = Vec::with_capacity(results.len());
+        for (shard_losses, shard_grads) in results {
+            losses.extend(shard_losses);
+            shards.push(shard_grads);
+        }
+        let merged = reduce_gradients(shards, parallel.deterministic)
+            .expect("a non-empty batch produces at least one shard");
+        (losses, merged)
     }
 
     /// Reference per-sample training loop: the pre-batching implementation, issuing one
@@ -623,6 +766,11 @@ impl CrnModel {
         query: &Query,
     ) -> Vec<(f64, f64)> {
         let num_anchors = encodings.under_mlp1.rows();
+        if num_anchors == 0 {
+            // An empty anchor set must short-circuit: the head GEMMs reject zero-row
+            // operands (see the regression tests in `cnt2crd`).
+            return Vec::new();
+        }
         let query_set = self.featurizer.featurize(query);
         let query_batch = RaggedBatch::from_sets([&query_set]);
         let query_under_mlp1 = self.encode_sets(&self.mlp1, &query_batch);
@@ -707,6 +855,11 @@ impl ContainmentEstimator for CrnModel {
         anchors: &[&Query],
         query: &Query,
     ) -> Vec<(f64, f64)> {
+        if anchors.is_empty() {
+            // Never reaches the GEMM path: an empty anchor pool has an empty result,
+            // whatever serving state the caller cached.
+            return Vec::new();
+        }
         match prepared.downcast_ref::<AnchorEncodings>() {
             Some(encodings) if encodings.under_mlp1.rows() == anchors.len() => {
                 self.serve_against_encodings(encodings, query)
@@ -1023,6 +1176,174 @@ mod tests {
             a.validation_q_error,
             b.validation_q_error
         );
+    }
+
+    /// Deterministic mode must be **bit-identical** across thread counts: the shard
+    /// partition and the gradient-reduction order are canonical, so `threads = 1, 2, 4`
+    /// must produce the same per-epoch losses, the same validation trace and the same
+    /// trained parameters — not merely close ones.
+    #[test]
+    fn deterministic_parallel_fit_is_thread_count_invariant() {
+        let db = generate_imdb(&ImdbConfig::tiny(22));
+        let samples = training_pairs(&db, 120, 22);
+        let make_config = |threads: usize| TrainConfig {
+            epochs: 2,
+            patience: None,
+            parallel: ThreadPoolConfig::deterministic(threads),
+            ..TrainConfig::fast_test()
+        };
+        let mut baseline = CrnModel::new(&db, make_config(1));
+        let baseline_history = baseline.fit(&samples);
+        for threads in [2, 4] {
+            let mut model = CrnModel::new(&db, make_config(threads));
+            let history = model.fit(&samples);
+            assert_eq!(
+                history.epochs.len(),
+                baseline_history.epochs.len(),
+                "threads = {threads}"
+            );
+            for (a, b) in history.epochs.iter().zip(&baseline_history.epochs) {
+                assert_eq!(
+                    a.train_loss, b.train_loss,
+                    "threads = {threads}: deterministic losses must be identical"
+                );
+                assert_eq!(
+                    a.validation_q_error, b.validation_q_error,
+                    "threads = {threads}: deterministic validation must be identical"
+                );
+            }
+            for (sample, _) in samples.iter().zip(0..10) {
+                assert_eq!(
+                    model.predict(&sample.q1, &sample.q2),
+                    baseline.predict(&sample.q1, &sample.q2),
+                    "threads = {threads}: deterministic predictions must be identical"
+                );
+            }
+            assert_eq!(
+                model.mlp1.w.value, baseline.mlp1.w.value,
+                "threads = {threads}: trained weights must be identical"
+            );
+        }
+    }
+
+    /// The deterministic parallel path must stay pinned to the seed-faithful per-sample
+    /// reference: after two epochs at `threads = 1, 2, 4`, losses and predictions agree
+    /// with [`CrnModel::fit_reference`] to 1e-5 (relative) — the same reassociation
+    /// tolerance the PR-1 parity tests established.
+    #[test]
+    fn parallel_fit_matches_fit_reference_across_thread_counts() {
+        let db = generate_imdb(&ImdbConfig::tiny(23));
+        let samples = training_pairs(&db, 120, 23);
+        let config = TrainConfig {
+            epochs: 2,
+            patience: None,
+            parallel: ThreadPoolConfig::single_threaded(),
+            ..TrainConfig::fast_test()
+        };
+        let mut reference = CrnModel::new(&db, config.clone());
+        let reference_history = reference.fit_reference(&samples);
+        let reference_predictions: Vec<f64> = samples
+            .iter()
+            .take(10)
+            .map(|s| reference.predict(&s.q1, &s.q2))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut parallel_config = config.clone();
+            parallel_config.parallel = ThreadPoolConfig::deterministic(threads);
+            let mut model = CrnModel::new(&db, parallel_config);
+            let history = model.fit(&samples);
+            for (a, b) in history.epochs.iter().zip(&reference_history.epochs) {
+                assert!(
+                    (a.train_loss - b.train_loss).abs() < 1e-5 * b.train_loss.abs().max(1.0),
+                    "threads = {threads}, epoch {}: loss {} vs reference {}",
+                    a.epoch,
+                    a.train_loss,
+                    b.train_loss
+                );
+            }
+            for (index, (sample, expected)) in
+                samples.iter().zip(&reference_predictions).enumerate()
+            {
+                let prediction = model.predict(&sample.q1, &sample.q2);
+                assert!(
+                    (prediction - expected).abs() < 1e-5,
+                    "threads = {threads}, pair {index}: prediction {prediction} vs reference {expected}"
+                );
+            }
+        }
+    }
+
+    /// The sharded backward (slice → per-shard backward → fixed-order reduction) must
+    /// accumulate the same parameter gradients as the per-sample reference loop, to 1e-5
+    /// relative — for several shard counts and for both reduction orders.
+    #[test]
+    fn sharded_gradients_match_per_sample_accumulation() {
+        let db = generate_imdb(&ImdbConfig::tiny(24));
+        let samples = training_pairs(&db, 24, 24);
+        let mut reference_model = CrnModel::new(&db, TrainConfig::fast_test());
+        let features: Vec<(Matrix, Matrix)> = samples
+            .iter()
+            .map(|s| reference_model.featurizer.featurize_pair(&s.q1, &s.q2))
+            .collect();
+        let scale = 1.0 / samples.len() as f32;
+
+        // Per-sample accumulation (the seed-faithful reference path).
+        reference_model.zero_grad();
+        for (sample, (v1, v2)) in samples.iter().zip(&features) {
+            let cache = reference_model.forward_pair_reference(v1, v2);
+            let loss = loss_and_grad(
+                crn_nn::LossKind::QError,
+                cache.sigmoid_out.get(0, 0),
+                sample.rate as f32,
+                RATE_FLOOR,
+            );
+            reference_model.backward_pair_reference(&cache, loss.grad * scale);
+        }
+
+        let batch1 = RaggedBatch::from_sets(features.iter().map(|(v1, _)| v1));
+        let batch2 = RaggedBatch::from_sets(features.iter().map(|(_, v2)| v2));
+        let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        let model = CrnModel::new(&db, TrainConfig::fast_test());
+        for (threads, deterministic) in [(1, false), (2, false), (4, false), (4, true), (3, true)] {
+            let pool = if deterministic {
+                ThreadPoolConfig::deterministic(threads)
+            } else {
+                ThreadPoolConfig::with_threads(threads)
+            };
+            let (losses, grads) =
+                model.sharded_batch_step(&pool, &indices, batch1.clone(), batch2.clone(), &targets);
+            assert_eq!(losses.len(), samples.len());
+            for ((name, index), reference) in [
+                ("mlp1.w", grad_index::MLP1_W),
+                ("mlp1.b", grad_index::MLP1_B),
+                ("mlp2.w", grad_index::MLP2_W),
+                ("out1.w", grad_index::OUT1_W),
+                ("out2.w", grad_index::OUT2_W),
+                ("out2.b", grad_index::OUT2_B),
+            ]
+            .into_iter()
+            .zip([
+                &reference_model.mlp1.w.grad,
+                &reference_model.mlp1.b.grad,
+                &reference_model.mlp2.w.grad,
+                &reference_model.out1.w.grad,
+                &reference_model.out2.w.grad,
+                &reference_model.out2.b.grad,
+            ]) {
+                for (position, (a, b)) in grads.parts()[index]
+                    .data()
+                    .iter()
+                    .zip(reference.data())
+                    .enumerate()
+                {
+                    assert!(
+                        (a - b).abs() < 1e-5 * b.abs().max(1.0),
+                        "threads {threads} det {deterministic}, {name}[{position}]: sharded {a} vs per-sample {b}"
+                    );
+                }
+            }
+        }
     }
 
     /// Finite-difference check of the full CRN backward pass (including Expand).

@@ -91,6 +91,42 @@ impl QueriesPool {
         self.entries.push(PoolEntry { query, cardinality });
     }
 
+    /// Removes a previously inserted query, returning its recorded cardinality (`None` when
+    /// the query is not in the pool).
+    ///
+    /// Removal keeps both indexes exact: the entry positions above the removed one shift
+    /// down by one, so every stored index is rewritten and FROM-clause / hash buckets that
+    /// become empty are dropped (so [`QueriesPool::num_from_clauses`] and
+    /// [`QueriesPool::matching`] never see ghosts).  The duplicate index stays consistent
+    /// with a linear-scan oracle under arbitrary insert/remove/reload interleavings — the
+    /// property tests below pin this.
+    pub fn remove(&mut self, query: &Query) -> Option<u64> {
+        if self.by_hash.is_empty() && !self.entries.is_empty() {
+            // Deserialized pool (the index is never persisted): restore it first.
+            self.rebuild_hash_index();
+        }
+        let hash = query_hash(query);
+        let position = self
+            .by_hash
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&index| self.entries[index].query == *query)?;
+        let removed = self.entries.remove(position);
+        let fix_indices = |indices: &mut Vec<usize>| {
+            indices.retain(|&index| index != position);
+            for index in indices.iter_mut() {
+                if *index > position {
+                    *index -= 1;
+                }
+            }
+            !indices.is_empty()
+        };
+        self.by_hash.retain(|_, indices| fix_indices(indices));
+        self.by_from.retain(|_, indices| fix_indices(indices));
+        Some(removed.cardinality)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -271,6 +307,28 @@ mod tests {
     }
 
     #[test]
+    fn remove_deletes_entries_and_prunes_indexes() {
+        let mut pool = QueriesPool::new();
+        let title_scan = Query::scan(tables::TITLE);
+        let cast_scan = Query::scan(tables::CAST_INFO);
+        pool.insert(title_scan.clone(), 100);
+        pool.insert(cast_scan.clone(), 50);
+        assert_eq!(pool.remove(&title_scan), Some(100));
+        assert_eq!(pool.remove(&title_scan), None, "already removed");
+        assert_eq!(pool.len(), 1);
+        assert!(pool.matching(&title_scan).is_empty());
+        assert_eq!(pool.num_from_clauses(), 1, "empty FROM buckets are dropped");
+        // The surviving entry's shifted index still resolves.
+        assert_eq!(pool.matching(&cast_scan)[0].cardinality, 50);
+        // Remove-then-reinsert works (the tombstone really is gone from the hash index).
+        pool.insert(title_scan.clone(), 77);
+        assert_eq!(pool.matching(&title_scan)[0].cardinality, 77);
+        assert_eq!(pool.remove(&cast_scan), Some(50));
+        assert_eq!(pool.remove(&cast_scan), None);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
     fn duplicate_detection_survives_serialization() {
         let db = generate_imdb(&ImdbConfig::tiny(48));
         let pool = QueriesPool::generate(&db, 20, 1, 48);
@@ -341,5 +399,123 @@ mod tests {
         assert!(truncated.num_from_clauses() >= pool.num_from_clauses().min(20) / 2);
         assert_eq!(pool.truncated(0).len(), 0);
         assert_eq!(pool.truncated(usize::MAX).len(), pool.len());
+    }
+}
+
+#[cfg(test)]
+mod index_proptests {
+    //! Property tests of the canonical-hash duplicate index: under random interleavings of
+    //! insert / remove / serialization reload, the indexed pool must agree operation by
+    //! operation with a brute-force oracle that scans linearly (the O(n²) semantics the
+    //! index replaced).
+
+    use super::*;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::OnceLock;
+
+    /// A brute-force pool with the exact same semantics: first insert wins, removal shifts,
+    /// membership by full query equality via linear scan.
+    #[derive(Default)]
+    struct OraclePool {
+        entries: Vec<(Query, u64)>,
+    }
+
+    impl OraclePool {
+        fn insert(&mut self, query: Query, cardinality: u64) {
+            if !self.entries.iter().any(|(q, _)| *q == query) {
+                self.entries.push((query, cardinality));
+            }
+        }
+
+        fn remove(&mut self, query: &Query) -> Option<u64> {
+            let position = self.entries.iter().position(|(q, _)| q == query)?;
+            Some(self.entries.remove(position).1)
+        }
+
+        fn matching(&self, query: &Query) -> Vec<(&Query, u64)> {
+            let key = from_key(query);
+            self.entries
+                .iter()
+                .filter(|(q, _)| from_key(q) == key)
+                .map(|(q, c)| (q, *c))
+                .collect()
+        }
+    }
+
+    /// A fixed universe of candidate queries with plenty of duplicates-by-construction, so
+    /// random op sequences actually hit the duplicate and ghost-bucket paths.
+    fn query_universe() -> &'static Vec<Query> {
+        static UNIVERSE: OnceLock<Vec<Query>> = OnceLock::new();
+        UNIVERSE.get_or_init(|| {
+            let db = generate_imdb(&ImdbConfig::tiny(60));
+            let mut gen = QueryGenerator::new(&db, GeneratorConfig::with_max_joins(60, 2));
+            gen.generate_queries(24)
+        })
+    }
+
+    fn assert_pools_agree(pool: &QueriesPool, oracle: &OraclePool) -> Result<(), String> {
+        prop_assert_eq!(pool.len(), oracle.entries.len());
+        // Same entries in the same (insertion, shifted-by-removal) order.
+        for (entry, (query, cardinality)) in pool.entries().iter().zip(&oracle.entries) {
+            prop_assert_eq!(&entry.query, query);
+            prop_assert_eq!(entry.cardinality, *cardinality);
+        }
+        // FROM-clause lookups agree for every universe query, and no ghost clauses linger.
+        for query in query_universe() {
+            let via_index: Vec<(&Query, u64)> = pool
+                .matching(query)
+                .into_iter()
+                .map(|e| (&e.query, e.cardinality))
+                .collect();
+            prop_assert_eq!(via_index, oracle.matching(query));
+        }
+        let live_clauses: std::collections::BTreeSet<String> =
+            oracle.entries.iter().map(|(q, _)| from_key(q)).collect();
+        prop_assert_eq!(pool.num_from_clauses(), live_clauses.len());
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random insert/remove/reload interleavings: the indexed pool and the linear-scan
+        /// oracle agree on every returned value and on the full observable state.
+        #[test]
+        fn insert_remove_reload_agree_with_scan_oracle(seed in 0u64..10_000) {
+            let universe = query_universe();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pool = QueriesPool::new();
+            let mut oracle = OraclePool::default();
+            for op in 0..40 {
+                let query = universe[rng.gen_range(0..universe.len())].clone();
+                match rng.gen_range(0..10u32) {
+                    // Inserts dominate so the pool actually grows.
+                    0..=5 => {
+                        let cardinality = rng.gen_range(0..1000u64);
+                        pool.insert(query.clone(), cardinality);
+                        oracle.insert(query, cardinality);
+                    }
+                    6..=8 => {
+                        let (mine, theirs) = (pool.remove(&query), oracle.remove(&query));
+                        prop_assert!(
+                            mine == theirs,
+                            "op {op}: remove returned {mine:?}, oracle {theirs:?}"
+                        );
+                    }
+                    _ => {
+                        // Serialization reload: drops the (unserialized) hash index, which
+                        // must lazily rebuild on the next mutation.
+                        let json = serde_json::to_string(&pool)
+                            .map_err(|e| format!("serialize: {e}"))?;
+                        pool = serde_json::from_str(&json)
+                            .map_err(|e| format!("deserialize: {e}"))?;
+                    }
+                }
+                assert_pools_agree(&pool, &oracle)?;
+            }
+        }
     }
 }

@@ -13,8 +13,8 @@ use crate::traits::CardinalityEstimator;
 use crn_db::database::Database;
 use crn_exec::CardinalitySample;
 use crn_nn::batch::{
-    concat_columns, segment_pool, segment_pool_backward, split_columns, RaggedBatch, SegmentPool,
-    SparseRows,
+    concat_columns, segment_pool, segment_pool_backward, shard_ranges, split_columns, RaggedBatch,
+    SegmentPool, SparseRows,
 };
 use crn_nn::layers::{
     relu, relu_backward, relu_backward_in_place, relu_in_place, sigmoid, sigmoid_backward,
@@ -23,6 +23,9 @@ use crn_nn::layers::{
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
 use crn_nn::optim::Adam;
+use crn_nn::parallel::{
+    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig,
+};
 use crn_nn::train::{
     shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
     TrainingHistory,
@@ -34,6 +37,24 @@ use serde::{Deserialize, Serialize};
 
 /// Cardinalities below this floor are clamped before the q-error is formed.
 const CARD_FLOOR: f32 = 1.0;
+
+/// The fixed [`GradientSet`] layout of the MSCN parameters: four tensors per set module
+/// (`l1.w, l1.b, l2.w, l2.b`) for tables, joins and predicates, then the output MLP — the
+/// same order [`MscnModel::params_vec_mut`] yields, so the optimizer pairs parameters and
+/// merged gradients positionally.
+mod grad_index {
+    /// Tensors per set module.
+    pub const PER_MODULE: usize = 4;
+    /// Offset of the join module's tensors (the table module sits at 0, the predicate
+    /// module at `2 * PER_MODULE`).
+    pub const JOINS: usize = PER_MODULE;
+    pub const OUT1_W: usize = 3 * PER_MODULE;
+    pub const OUT1_B: usize = OUT1_W + 1;
+    pub const OUT2_W: usize = OUT1_W + 2;
+    pub const OUT2_B: usize = OUT1_W + 3;
+    /// Total tensor count.
+    pub const TOTAL: usize = OUT1_W + 4;
+}
 
 /// A per-element two-layer MLP followed by average pooling — one per query set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,7 +165,16 @@ impl SetModule {
         segment_pool(&a2, input.offsets(), SegmentPool::Mean)
     }
 
-    fn backward_batch(&mut self, cache: &BatchSetCache, grad_pooled: &Matrix) {
+    /// Batched backward pass of the set module, into the module's four gradient buffers
+    /// (`[l1.w, l1.b, l2.w, l2.b]`), leaving the module untouched — the per-shard form of
+    /// the data-parallel engine.
+    fn backward_batch_into(
+        &self,
+        cache: &BatchSetCache,
+        grad_pooled: &Matrix,
+        grads: &mut [Matrix],
+    ) {
+        assert_eq!(grads.len(), grad_index::PER_MODULE);
         if cache.input.num_rows() == 0 {
             // Every segment in the batch is empty — nothing flowed forward.
             return;
@@ -152,10 +182,26 @@ impl SetModule {
         let mut grad_z2 =
             segment_pool_backward(cache.input.offsets(), grad_pooled, SegmentPool::Mean);
         relu_backward_in_place(&cache.a2, &mut grad_z2);
-        let mut grad_z1 = self.l2.backward_dense(&cache.a1, &grad_z2);
+        let (grad_w2, grad_b2, mut grad_z1) = self.l2.backward_dense_calc(&cache.a1, &grad_z2);
+        grads[2].add_assign(&grad_w2);
+        grads[3].add_assign(&grad_b2);
         relu_backward_in_place(&cache.a1, &mut grad_z1);
         // `l1` is an input layer over one-hot rows: CSR weight gradients, no dL/dx.
-        self.l1.backward_ragged_weights_only(&cache.input, &grad_z1);
+        let (grad_w1, rest) = grads.split_at_mut(1);
+        Dense::accumulate_ragged_weights_only(
+            &cache.input,
+            &grad_z1,
+            &mut grad_w1[0],
+            &mut rest[0],
+        );
+    }
+
+    /// The `(rows, cols)` shapes of the module's parameters in gradient order.
+    fn grad_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = Vec::with_capacity(grad_index::PER_MODULE);
+        shapes.extend(self.l1.grad_shapes());
+        shapes.extend(self.l2.grad_shapes());
+        shapes
     }
 
     fn zero_grad(&mut self) {
@@ -351,23 +397,68 @@ impl MscnModel {
             .backward_reference(&cache.predicates, &split(2 * hidden, 3 * hidden));
     }
 
-    /// Backpropagates per-query `d loss / d sigmoid_out` (`B×1`) through the whole network.
+    /// Backpropagates per-query `d loss / d sigmoid_out` (`B×1`) through the whole network,
+    /// accumulating into the parameter gradients.  Kept for the parity tests; training goes
+    /// through [`MscnModel::backward_batch_into`] so shards can accumulate privately.
+    #[cfg(test)]
     fn backward_batch(&mut self, cache: &BatchForwardCache, grad_sigmoid_out: &Matrix) {
+        let mut grads = self.gradient_set();
+        self.backward_batch_into(cache, grad_sigmoid_out, &mut grads);
+        for (param, grad) in self.params_vec_mut().into_iter().zip(grads.parts()) {
+            param.grad.add_assign(grad);
+        }
+    }
+
+    /// [`MscnModel::backward_batch`] into a caller-provided [`GradientSet`] (layout:
+    /// [`grad_index`]), leaving the model untouched — every shard of a data-parallel
+    /// mini-batch runs this against the same read-only model.
+    fn backward_batch_into(
+        &self,
+        cache: &BatchForwardCache,
+        grad_sigmoid_out: &Matrix,
+        grads: &mut GradientSet,
+    ) {
+        use grad_index::*;
         let grad_z_out2 = sigmoid_backward(&cache.sigmoid_out, grad_sigmoid_out);
-        let mut grad_z_out1 = self.out2.backward_dense(&cache.a_out1, &grad_z_out2);
+        let (grad_w, grad_b, mut grad_z_out1) =
+            self.out2.backward_dense_calc(&cache.a_out1, &grad_z_out2);
+        grads.part_mut(OUT2_W).add_assign(&grad_w);
+        grads.part_mut(OUT2_B).add_assign(&grad_b);
         relu_backward_in_place(&cache.a_out1, &mut grad_z_out1);
-        let grad_concat = self.out1.backward_dense(&cache.concat, &grad_z_out1);
+        let (grad_w, grad_b, grad_concat) =
+            self.out1.backward_dense_calc(&cache.concat, &grad_z_out1);
+        grads.part_mut(OUT1_W).add_assign(&grad_w);
+        grads.part_mut(OUT1_B).add_assign(&grad_b);
 
         let hidden = self.table_module.hidden();
         let mut split = split_columns(&grad_concat, &[hidden, hidden, hidden]).into_iter();
         let grad_tables = split.next().expect("three blocks");
         let grad_joins = split.next().expect("three blocks");
         let grad_predicates = split.next().expect("three blocks");
+        let parts = grads.parts_mut();
+        let (table_grads, rest) = parts.split_at_mut(JOINS);
+        let (join_grads, rest) = rest.split_at_mut(PER_MODULE);
+        let (predicate_grads, _) = rest.split_at_mut(PER_MODULE);
         self.table_module
-            .backward_batch(&cache.tables, &grad_tables);
-        self.join_module.backward_batch(&cache.joins, &grad_joins);
-        self.predicate_module
-            .backward_batch(&cache.predicates, &grad_predicates);
+            .backward_batch_into(&cache.tables, &grad_tables, table_grads);
+        self.join_module
+            .backward_batch_into(&cache.joins, &grad_joins, join_grads);
+        self.predicate_module.backward_batch_into(
+            &cache.predicates,
+            &grad_predicates,
+            predicate_grads,
+        );
+    }
+
+    /// A zeroed gradient set shaped like this model's parameters (layout: [`grad_index`]).
+    fn gradient_set(&self) -> GradientSet {
+        let mut shapes = Vec::with_capacity(grad_index::TOTAL);
+        shapes.extend(self.table_module.grad_shapes());
+        shapes.extend(self.join_module.grad_shapes());
+        shapes.extend(self.predicate_module.grad_shapes());
+        shapes.extend(self.out1.grad_shapes());
+        shapes.extend(self.out2.grad_shapes());
+        GradientSet::zeros(&shapes)
     }
 
     fn zero_grad(&mut self) {
@@ -378,7 +469,8 @@ impl MscnModel {
         self.out2.zero_grad();
     }
 
-    fn adam_step(&mut self, adam: &mut Adam) {
+    /// All trainable parameters in [`grad_index`] order.
+    fn params_vec_mut(&mut self) -> Vec<&mut crn_nn::layers::Param> {
         // Destructure so the borrow checker sees disjoint mutable borrows per field.
         let MscnModel {
             table_module,
@@ -397,7 +489,19 @@ impl MscnModel {
         all.extend(predicate_module.l2.params_mut());
         all.extend(out1.params_mut());
         all.extend(out2.params_mut());
+        all
+    }
+
+    fn adam_step(&mut self, adam: &mut Adam) {
+        let all = self.params_vec_mut();
         adam.step(all);
+    }
+
+    /// One (single-threaded) Adam step over an externally merged gradient set — the tail of
+    /// every data-parallel mini-batch.
+    fn adam_step_with(&mut self, adam: &mut Adam, grads: &GradientSet) {
+        let all = self.params_vec_mut();
+        adam.step_with(all, grads.parts());
     }
 
     /// Converts the sigmoid output into a cardinality.
@@ -448,23 +552,39 @@ impl MscnModel {
 
     /// Trains the model on labelled cardinality samples; returns the per-epoch history.
     ///
-    /// Each mini-batch runs as **one** batched forward/backward through the ragged-batch
-    /// engine (`crn_nn::batch`); gradients are mathematically identical to the per-sample
-    /// loop of [`MscnModel::fit_reference`] (pinned to 1e-5 by the parity tests below).
+    /// Each mini-batch runs through the ragged-batch engine (`crn_nn::batch`), sharded
+    /// across the data-parallel pool of [`TrainConfig::parallel`] (`crn_nn::parallel`):
+    /// every shard runs the batched forward/backward into its own gradient set, the shards
+    /// merge in fixed order, and a single-threaded Adam step applies the result.  At
+    /// `threads = 1` (the default) this is exactly the one-GEMM-per-batch path; gradients
+    /// are in every mode mathematically identical to the per-sample loop of
+    /// [`MscnModel::fit_reference`] (pinned to 1e-5 by the parity tests below), and in
+    /// deterministic mode bit-identical across thread counts.
     pub fn fit(&mut self, samples: &[CardinalitySample]) -> TrainingHistory {
+        let parallel = self.config.parallel;
         // Features are featurized and converted to CSR once, before the epoch loop;
-        // mini-batches are assembled by concatenating the per-sample non-zeros.
-        let features: Vec<SparseMscnFeatures> = samples
-            .iter()
-            .map(|s| {
-                let dense = self.featurizer.featurize(&s.query);
-                SparseMscnFeatures {
-                    tables: SparseRows::from_matrix(&dense.tables),
-                    joins: SparseRows::from_matrix(&dense.joins),
-                    predicates: SparseRows::from_matrix(&dense.predicates),
-                }
+        // mini-batches are assembled by concatenating the per-sample non-zeros.  Per-sample
+        // featurization is pure, so it shards trivially across the worker threads.
+        let features: Vec<SparseMscnFeatures> = {
+            let model = &*self;
+            let ranges = shard_ranges(samples.len(), parallel.threads);
+            run_over_ranges(parallel.threads, &ranges, |range| {
+                samples[range]
+                    .iter()
+                    .map(|s| {
+                        let dense = model.featurizer.featurize(&s.query);
+                        SparseMscnFeatures {
+                            tables: SparseRows::from_matrix(&dense.tables),
+                            joins: SparseRows::from_matrix(&dense.joins),
+                            predicates: SparseRows::from_matrix(&dense.predicates),
+                        }
+                    })
+                    .collect::<Vec<_>>()
             })
-            .collect();
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         let targets: Vec<f32> = samples.iter().map(|s| s.cardinality as f32).collect();
         let max_card = targets.iter().cloned().fold(1.0f32, f32::max);
         self.log_max_cardinality = (max_card + 1.0).ln();
@@ -485,45 +605,42 @@ impl MscnModel {
             let mut epoch_samples = 0usize;
             for batch in shuffled_batches(&train_idx, self.config.batch_size, &mut rng) {
                 let (tables, joins, predicates) = self.pack_sparse_batch(&features, &batch);
-                let cache = self.forward_batch(tables, joins, predicates);
-
-                let mut grad_output = Matrix::zeros(batch.len(), 1);
-                let batch_scale = 1.0 / batch.len() as f32;
-                for (position, &index) in batch.iter().enumerate() {
-                    let sigmoid_out = cache.sigmoid_out.get(position, 0);
-                    let prediction = self.unnormalize(sigmoid_out);
-                    let loss = loss_and_grad(
-                        self.config.loss,
-                        prediction.max(CARD_FLOOR),
-                        targets[index].max(CARD_FLOOR),
-                        CARD_FLOOR,
-                    );
-                    epoch_loss += loss.loss as f64;
+                let (losses, grads) = self.sharded_batch_step(
+                    &parallel,
+                    &batch,
+                    (tables, joins, predicates),
+                    &targets,
+                );
+                for loss in losses {
+                    epoch_loss += loss as f64;
                     epoch_samples += 1;
-                    // Chain rule through the un-normalization, averaged over the batch.
-                    grad_output.set(
-                        position,
-                        0,
-                        loss.grad * self.unnormalize_grad(sigmoid_out) * batch_scale,
-                    );
                 }
-                self.zero_grad();
-                self.backward_batch(&cache, &grad_output);
-                self.adam_step(&mut adam);
+                self.adam_step_with(&mut adam, &grads);
             }
 
             let validation_q_error = if valid_idx.is_empty() {
                 epoch_loss / epoch_samples.max(1) as f64
             } else {
-                let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(valid_idx.len());
-                for chunk in valid_idx.chunks(self.config.batch_size.max(1)) {
-                    let (tables, joins, predicates) = self.pack_sparse_batch(&features, chunk);
-                    let out = self.forward_batch_inference(&tables, &joins, &predicates);
-                    for (position, &index) in chunk.iter().enumerate() {
-                        let prediction = self.unnormalize(out.get(position, 0)).max(0.0);
-                        pairs.push((prediction as f64, targets[index] as f64));
-                    }
-                }
+                // Chunk boundaries depend only on the batch size, never the thread count —
+                // the per-chunk inference is identical for every pool configuration.
+                let chunks: Vec<&[usize]> =
+                    valid_idx.chunks(self.config.batch_size.max(1)).collect();
+                let model = &*self;
+                let per_chunk: Vec<Vec<(f64, f64)>> =
+                    run_sharded(parallel.threads, chunks.len(), |shard| {
+                        let chunk = chunks[shard];
+                        let (tables, joins, predicates) = model.pack_sparse_batch(&features, chunk);
+                        let out = model.forward_batch_inference(&tables, &joins, &predicates);
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(position, &index)| {
+                                let prediction = model.unnormalize(out.get(position, 0)).max(0.0);
+                                (prediction as f64, targets[index] as f64)
+                            })
+                            .collect()
+                    });
+                let pairs: Vec<(f64, f64)> = per_chunk.into_iter().flatten().collect();
                 mean_q_error(&pairs, CARD_FLOOR as f64)
             };
             let improved = history.record(EpochStats {
@@ -543,6 +660,77 @@ impl MscnModel {
             *self = best;
         }
         history
+    }
+
+    /// One data-parallel mini-batch: shards the three per-set ragged batches at the same
+    /// segment boundaries, runs the batched forward/backward per shard on the pool, and
+    /// merges the per-shard gradients in fixed shard order.  Returns the per-sample losses
+    /// in batch order and the merged gradient set; the caller applies the
+    /// (single-threaded) optimizer step.
+    fn sharded_batch_step(
+        &self,
+        parallel: &ThreadPoolConfig,
+        batch_indices: &[usize],
+        batches: (RaggedBatch, RaggedBatch, RaggedBatch),
+        targets: &[f32],
+    ) -> (Vec<f32>, GradientSet) {
+        let (tables, joins, predicates) = batches;
+        let batch_scale = 1.0 / batch_indices.len() as f32;
+        let num_shards = parallel.shard_count(batch_indices.len());
+
+        // The per-shard work: forward, per-sample losses (through the un-normalization
+        // chain rule), backward into a private gradient set.
+        let step = |tables: RaggedBatch,
+                    joins: RaggedBatch,
+                    predicates: RaggedBatch,
+                    indices: &[usize]| {
+            let cache = self.forward_batch(tables, joins, predicates);
+            let mut losses = Vec::with_capacity(indices.len());
+            let mut grad_output = Matrix::zeros(indices.len(), 1);
+            for (position, &index) in indices.iter().enumerate() {
+                let sigmoid_out = cache.sigmoid_out.get(position, 0);
+                let prediction = self.unnormalize(sigmoid_out);
+                let loss = loss_and_grad(
+                    self.config.loss,
+                    prediction.max(CARD_FLOOR),
+                    targets[index].max(CARD_FLOOR),
+                    CARD_FLOOR,
+                );
+                losses.push(loss.loss);
+                // Chain rule through the un-normalization, averaged over the whole batch.
+                grad_output.set(
+                    position,
+                    0,
+                    loss.grad * self.unnormalize_grad(sigmoid_out) * batch_scale,
+                );
+            }
+            let mut grads = self.gradient_set();
+            self.backward_batch_into(&cache, &grad_output, &mut grads);
+            (losses, grads)
+        };
+
+        if num_shards <= 1 {
+            return step(tables, joins, predicates, batch_indices);
+        }
+        let ranges = shard_ranges(batch_indices.len(), num_shards);
+        let results: Vec<(Vec<f32>, GradientSet)> =
+            run_over_ranges(parallel.threads, &ranges, |range| {
+                step(
+                    tables.slice_segments(range.clone()),
+                    joins.slice_segments(range.clone()),
+                    predicates.slice_segments(range.clone()),
+                    &batch_indices[range],
+                )
+            });
+        let mut losses = Vec::with_capacity(batch_indices.len());
+        let mut shards = Vec::with_capacity(results.len());
+        for (shard_losses, shard_grads) in results {
+            losses.extend(shard_losses);
+            shards.push(shard_grads);
+        }
+        let merged = reduce_gradients(shards, parallel.deterministic)
+            .expect("a non-empty batch produces at least one shard");
+        (losses, merged)
     }
 
     /// Reference per-sample training loop: the pre-batching implementation, issuing one
@@ -878,6 +1066,169 @@ mod tests {
             a.validation_q_error,
             b.validation_q_error
         );
+    }
+
+    /// Deterministic mode must be **bit-identical** across thread counts: same per-epoch
+    /// losses, same validation trace, same trained parameters at `threads = 1, 2, 4`.
+    #[test]
+    fn deterministic_parallel_fit_is_thread_count_invariant() {
+        let db = generate_imdb(&ImdbConfig::tiny(9));
+        let samples = training_data(&db, 120, 9);
+        let make_config = |threads: usize| TrainConfig {
+            epochs: 2,
+            patience: None,
+            parallel: ThreadPoolConfig::deterministic(threads),
+            ..TrainConfig::fast_test()
+        };
+        let mut baseline = MscnModel::new(&db, make_config(1));
+        let baseline_history = baseline.fit(&samples);
+        for threads in [2, 4] {
+            let mut model = MscnModel::new(&db, make_config(threads));
+            let history = model.fit(&samples);
+            assert_eq!(history.epochs.len(), baseline_history.epochs.len());
+            for (a, b) in history.epochs.iter().zip(&baseline_history.epochs) {
+                assert_eq!(
+                    a.train_loss, b.train_loss,
+                    "threads = {threads}: deterministic losses must be identical"
+                );
+                assert_eq!(
+                    a.validation_q_error, b.validation_q_error,
+                    "threads = {threads}: deterministic validation must be identical"
+                );
+            }
+            for sample in samples.iter().take(10) {
+                assert_eq!(
+                    model.predict(&sample.query),
+                    baseline.predict(&sample.query),
+                    "threads = {threads}: deterministic predictions must be identical"
+                );
+            }
+            assert_eq!(
+                model.out1.w.value, baseline.out1.w.value,
+                "threads = {threads}: trained weights must be identical"
+            );
+        }
+    }
+
+    /// The deterministic parallel path must stay pinned to the seed-faithful per-sample
+    /// reference: after two epochs at `threads = 1, 2, 4`, losses and predictions agree
+    /// with [`MscnModel::fit_reference`] to 1e-5 (relative).
+    #[test]
+    fn parallel_fit_matches_fit_reference_across_thread_counts() {
+        let db = generate_imdb(&ImdbConfig::tiny(10));
+        let samples = training_data(&db, 120, 10);
+        let config = TrainConfig {
+            epochs: 2,
+            patience: None,
+            parallel: ThreadPoolConfig::single_threaded(),
+            ..TrainConfig::fast_test()
+        };
+        let mut reference = MscnModel::new(&db, config.clone());
+        let reference_history = reference.fit_reference(&samples);
+        let reference_predictions: Vec<f64> = samples
+            .iter()
+            .take(10)
+            .map(|s| reference.predict(&s.query))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut parallel_config = config.clone();
+            parallel_config.parallel = ThreadPoolConfig::deterministic(threads);
+            let mut model = MscnModel::new(&db, parallel_config);
+            let history = model.fit(&samples);
+            for (a, b) in history.epochs.iter().zip(&reference_history.epochs) {
+                assert!(
+                    (a.train_loss - b.train_loss).abs() < 1e-5 * b.train_loss.abs().max(1.0),
+                    "threads = {threads}, epoch {}: loss {} vs reference {}",
+                    a.epoch,
+                    a.train_loss,
+                    b.train_loss
+                );
+            }
+            for (index, (sample, expected)) in
+                samples.iter().zip(&reference_predictions).enumerate()
+            {
+                let prediction = model.predict(&sample.query);
+                // Predictions are un-normalized cardinalities, so compare relatively.
+                assert!(
+                    (prediction - expected).abs() < 1e-5 * expected.abs().max(1.0),
+                    "threads = {threads}, query {index}: prediction {prediction} vs reference {expected}"
+                );
+            }
+        }
+    }
+
+    /// The sharded backward (slice → per-shard backward → fixed-order reduction) must
+    /// accumulate the same parameter gradients as the per-sample reference loop, to 1e-5
+    /// relative — for several shard counts and both reduction orders.
+    #[test]
+    fn sharded_gradients_match_per_sample_accumulation() {
+        let db = generate_imdb(&ImdbConfig::tiny(11));
+        let samples = training_data(&db, 24, 11);
+        let mut reference_model = MscnModel::new(&db, TrainConfig::fast_test());
+        let features: Vec<_> = samples
+            .iter()
+            .map(|s| reference_model.featurizer.featurize(&s.query))
+            .collect();
+        let scale = 1.0 / samples.len() as f32;
+
+        reference_model.zero_grad();
+        for (sample, feature) in samples.iter().zip(&features) {
+            let cache = reference_model.forward_reference(feature);
+            let sigmoid_out = cache.sigmoid_out.get(0, 0);
+            let prediction = reference_model.unnormalize(sigmoid_out);
+            let loss = loss_and_grad(
+                reference_model.config.loss,
+                prediction.max(CARD_FLOOR),
+                (sample.cardinality as f32).max(CARD_FLOOR),
+                CARD_FLOOR,
+            );
+            let grad = loss.grad * reference_model.unnormalize_grad(sigmoid_out) * scale;
+            reference_model.backward_reference(&cache, grad);
+        }
+
+        let model = MscnModel::new(&db, TrainConfig::fast_test());
+        let targets: Vec<f32> = samples.iter().map(|s| s.cardinality as f32).collect();
+        let indices: Vec<usize> = (0..features.len()).collect();
+        for (threads, deterministic) in [(1, false), (2, false), (4, false), (4, true), (3, true)] {
+            let pool = if deterministic {
+                ThreadPoolConfig::deterministic(threads)
+            } else {
+                ThreadPoolConfig::with_threads(threads)
+            };
+            let (tables, joins, predicates) = MscnModel::pack_batch(&features, &indices);
+            let (losses, grads) =
+                model.sharded_batch_step(&pool, &indices, (tables, joins, predicates), &targets);
+            assert_eq!(losses.len(), samples.len());
+            for ((name, index), reference) in [
+                ("tables.l1.w", 0usize),
+                ("tables.l2.w", 2),
+                ("joins.l1.w", grad_index::JOINS),
+                ("out1.w", grad_index::OUT1_W),
+                ("out2.w", grad_index::OUT2_W),
+                ("out2.b", grad_index::OUT2_B),
+            ]
+            .into_iter()
+            .zip([
+                &reference_model.table_module.l1.w.grad,
+                &reference_model.table_module.l2.w.grad,
+                &reference_model.join_module.l1.w.grad,
+                &reference_model.out1.w.grad,
+                &reference_model.out2.w.grad,
+                &reference_model.out2.b.grad,
+            ]) {
+                for (position, (a, b)) in grads.parts()[index]
+                    .data()
+                    .iter()
+                    .zip(reference.data())
+                    .enumerate()
+                {
+                    assert!(
+                        (a - b).abs() < 1e-5 * b.abs().max(1.0),
+                        "threads {threads} det {deterministic}, {name}[{position}]: sharded {a} vs per-sample {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

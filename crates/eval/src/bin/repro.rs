@@ -3,10 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--preset tiny|small|paper] [--markdown <path>]
+//! repro all [--preset tiny|small|paper] [--threads N] [--deterministic] [--markdown <path>]
 //! repro <experiment-id> [<experiment-id> ...] [--preset ...]
 //! repro list
 //! ```
+//!
+//! `--threads N` runs model training (CRN and MSCN epochs) on the data-parallel shard pool
+//! with `N` worker threads, and uses the same count for ground-truth labelling;
+//! `--deterministic` selects the canonical shard/reduction order so the trained models are
+//! bit-identical for every `N` (see `crn_nn::parallel`).
 //!
 //! Experiment ids are the ones listed in DESIGN.md (`table2`–`table15`, `fig3`–`fig13`,
 //! `ablation_crn`, `ablation_final_fn`).  The output is the same set of rows/series the paper
@@ -27,6 +32,8 @@ fn main() {
     let mut experiment_ids: Vec<String> = Vec::new();
     let mut preset = "small".to_string();
     let mut markdown_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut deterministic = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -36,6 +43,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a worker count");
+                    std::process::exit(2);
+                });
+                threads = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires a positive integer, got {value}");
+                    std::process::exit(2);
+                }));
+            }
+            "--deterministic" => deterministic = true,
             "--markdown" => {
                 markdown_path = Some(iter.next().unwrap_or_else(|| {
                     eprintln!("--markdown requires a path");
@@ -56,7 +74,7 @@ fn main() {
         }
     }
 
-    let config = match preset.as_str() {
+    let mut config = match preset.as_str() {
         "tiny" => ExperimentConfig::tiny(),
         "small" => ExperimentConfig::small(),
         "paper" => ExperimentConfig::paper(),
@@ -65,6 +83,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(threads) = threads {
+        config.train.parallel.threads = threads.max(1);
+        // Ground-truth labelling shares the worker budget.
+        config.threads = threads.max(1);
+    }
+    if deterministic {
+        config.train.parallel.deterministic = true;
+    }
 
     let ids: Vec<String> = if experiment_ids.iter().any(|id| id == "all") {
         ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
@@ -127,7 +153,8 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] [--markdown <path>]"
+        "usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] \
+         [--threads N] [--deterministic] [--markdown <path>]"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

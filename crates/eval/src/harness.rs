@@ -35,7 +35,11 @@ pub struct ExperimentConfig {
     pub training_initial_queries: usize,
     /// Number of labelled training pairs (the paper uses 100,000; scaled down by default).
     pub training_pairs: usize,
-    /// Neural-network training configuration shared by CRN and MSCN.
+    /// Neural-network training configuration shared by CRN and MSCN.  Its `parallel` field
+    /// selects the data-parallel epoch engine (`crn_nn::parallel`): worker threads and the
+    /// deterministic shard/reduction mode; the `repro` binary exposes it as
+    /// `--threads N [--deterministic]`, and the `THREADS` environment variable seeds the
+    /// default.
     pub train: TrainConfig,
     /// Queries-pool size (the paper's default QP has 300 entries, §6.2).
     pub pool_size: usize,

@@ -255,6 +255,94 @@ impl RaggedBatch {
     pub fn sparse(&self) -> Option<&SparseRows> {
         self.sparse.as_ref()
     }
+
+    /// Extracts the sub-batch of the segments in `range` — the shard primitive of the
+    /// data-parallel training engine.
+    ///
+    /// Shards cut strictly at segment boundaries (a segment-pool reduction never straddles
+    /// two shards), row data and segment offsets are rebased to the shard, and the storage
+    /// form is preserved: a CSR-only batch ([`RaggedBatch::from_sparse_sets`]) yields
+    /// CSR-only shards by slicing the non-zeros, a dense batch yields dense shards.
+    /// Concatenating the shards of [`RaggedBatch::split_shards`] therefore reproduces the
+    /// original batch exactly (pinned by the proptest invariants).
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds [`RaggedBatch::num_segments`].
+    pub fn slice_segments(&self, range: std::ops::Range<usize>) -> RaggedBatch {
+        assert!(
+            range.start <= range.end && range.end <= self.num_segments(),
+            "segment range {range:?} out of bounds for {} segments",
+            self.num_segments()
+        );
+        let row_start = self.offsets[range.start];
+        let row_end = self.offsets[range.end];
+        let offsets: Vec<usize> = self.offsets[range.start..=range.end]
+            .iter()
+            .map(|&offset| offset - row_start)
+            .collect();
+        if let Some(sparse) = self.sparse.as_ref().filter(|_| self.rows.rows() == 0) {
+            // CSR-only batch: slice the non-zeros directly, keeping the shard CSR-only so
+            // the set encoders take the same sparse path they would for the whole batch.
+            let nnz_start = sparse.row_offsets[row_start] as usize;
+            let nnz_end = sparse.row_offsets[row_end] as usize;
+            let row_offsets: Vec<u32> = sparse.row_offsets[row_start..=row_end]
+                .iter()
+                .map(|&offset| offset - nnz_start as u32)
+                .collect();
+            RaggedBatch {
+                rows: Matrix::zeros(0, self.dim),
+                offsets,
+                sparse: Some(SparseRows {
+                    row_offsets,
+                    columns: sparse.columns[nnz_start..nnz_end].to_vec(),
+                    values: sparse.values[nnz_start..nnz_end].to_vec(),
+                }),
+                num_rows: row_end - row_start,
+                dim: self.dim,
+            }
+        } else {
+            let data = self.rows.data()[row_start * self.dim..row_end * self.dim].to_vec();
+            RaggedBatch::new(
+                Matrix::from_vec(row_end - row_start, self.dim, data),
+                offsets,
+            )
+        }
+    }
+
+    /// Splits the batch into at most `num_shards` canonical contiguous shards (see
+    /// [`shard_ranges`] for the partition and [`RaggedBatch::slice_segments`] for the
+    /// slicing guarantees).
+    pub fn split_shards(&self, num_shards: usize) -> Vec<RaggedBatch> {
+        shard_ranges(self.num_segments(), num_shards)
+            .into_iter()
+            .map(|range| self.slice_segments(range))
+            .collect()
+    }
+}
+
+/// The canonical partition of `num_items` consecutive items into at most `num_shards`
+/// contiguous, non-empty, near-even ranges (the first `num_items % shards` ranges hold one
+/// extra item).
+///
+/// The partition is a pure function of `(num_items, num_shards)` — this is what makes
+/// deterministic-mode training independent of scheduling: the shard boundaries, and hence
+/// every per-shard f32 sum, depend only on the batch and the shard count.
+pub fn shard_ranges(num_items: usize, num_shards: usize) -> Vec<std::ops::Range<usize>> {
+    if num_items == 0 || num_shards == 0 {
+        return Vec::new();
+    }
+    let shards = num_shards.min(num_items);
+    let base = num_items / shards;
+    let extra = num_items % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_items);
+    ranges
 }
 
 /// How a segment of transformed element vectors is reduced to one row.
@@ -607,6 +695,54 @@ mod tests {
     }
 
     #[test]
+    fn shard_ranges_partition_canonically() {
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(shard_ranges(2, 5), vec![0..1, 1..2], "capped by item count");
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+        assert!(shard_ranges(0, 3).is_empty());
+        assert!(shard_ranges(3, 0).is_empty());
+    }
+
+    #[test]
+    fn slice_segments_preserves_rows_and_empty_segments() {
+        let batch = ragged_fixture(); // segments of 2, 0, 1 rows
+        let head = batch.slice_segments(0..2);
+        assert_eq!(head.num_segments(), 2);
+        assert_eq!(head.num_rows(), 2);
+        assert_eq!(head.offsets(), &[0, 2, 2]);
+        assert_eq!(head.rows().row(1), &[4.0, 5.0, 6.0]);
+        let tail = batch.slice_segments(2..3);
+        assert_eq!(tail.num_segments(), 1);
+        assert_eq!(tail.rows().row(0), &[7.0, 8.0, 9.0]);
+        let empty = batch.slice_segments(1..1);
+        assert_eq!(empty.num_segments(), 0);
+        assert_eq!(empty.num_rows(), 0);
+    }
+
+    #[test]
+    fn split_shards_of_csr_batch_stays_csr() {
+        let a = Matrix::from_vec(2, 4, vec![0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0]);
+        let b = Matrix::from_vec(1, 4, vec![0.0, 0.0, 3.0, 0.0]);
+        let sparse: Vec<SparseRows> = [&a, &b].map(SparseRows::from_matrix).to_vec();
+        let batch = RaggedBatch::from_sparse_sets(4, sparse.iter());
+        let shards = batch.split_shards(2);
+        assert_eq!(shards.len(), 2);
+        for shard in &shards {
+            assert!(shard.sparse().is_some(), "CSR-only shards stay CSR-only");
+            assert_eq!(shard.rows().rows(), 0);
+        }
+        let nz: Vec<(usize, f32)> = shards[1].sparse().unwrap().row(0).collect();
+        assert_eq!(nz, vec![(2, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_segments_rejects_out_of_range() {
+        let _ = ragged_fixture().slice_segments(0..4);
+    }
+
+    #[test]
     fn column_concat_and_split_are_inverses() {
         let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
         let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
@@ -616,5 +752,135 @@ mod tests {
         let split = split_columns(&joined, &[1, 2]);
         assert_eq!(split[0], a);
         assert_eq!(split[1], b);
+    }
+}
+
+#[cfg(test)]
+mod shard_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a random ragged shape: per-segment row counts (empty segments included) and
+    /// random row values.
+    fn random_sets(seed: u64) -> Vec<Matrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_segments = rng.gen_range(0..12usize);
+        let dim = rng.gen_range(1..7usize);
+        (0..num_segments)
+            .map(|_| {
+                let rows = rng.gen_range(0..5usize);
+                let data = (0..rows * dim)
+                    .map(|_| rng.gen_range(-2.0f32..2.0))
+                    .collect();
+                Matrix::from_vec(rows, dim, data)
+            })
+            .collect()
+    }
+
+    /// Checks the shard invariants for one batch: the partition is exhaustive and ordered,
+    /// no segment (and hence no segment-pool boundary) straddles two shards, and
+    /// concatenating the shards reproduces the original batch's offsets and row data.
+    fn assert_shards_reassemble(batch: &RaggedBatch, num_shards: usize) -> Result<(), String> {
+        let shards = batch.split_shards(num_shards);
+        let ranges = shard_ranges(batch.num_segments(), num_shards);
+        prop_assert_eq!(shards.len(), ranges.len());
+
+        let mut segment_lens = Vec::new();
+        let mut rows_seen = 0usize;
+        for (shard, range) in shards.iter().zip(&ranges) {
+            prop_assert_eq!(shard.num_segments(), range.len());
+            prop_assert_eq!(shard.dim(), batch.dim());
+            prop_assert_eq!(shard.offsets()[0], 0usize);
+            // Segment boundaries survive intact: each shard segment is exactly one
+            // original segment, in order.
+            for i in 0..shard.num_segments() {
+                segment_lens.push(shard.segment_len(i));
+            }
+            rows_seen += shard.num_rows();
+        }
+        let original_lens: Vec<usize> = (0..batch.num_segments())
+            .map(|i| batch.segment_len(i))
+            .collect();
+        prop_assert_eq!(segment_lens, original_lens);
+        prop_assert_eq!(rows_seen, batch.num_rows());
+
+        // Row data round-trips: walk the shards in order and compare against the original
+        // flattened rows (through the CSR view for CSR-only shards).
+        let densify = |b: &RaggedBatch| -> Vec<f32> {
+            match b.sparse() {
+                Some(sparse) if b.rows().rows() == 0 => {
+                    let mut data = vec![0.0f32; b.num_rows() * b.dim()];
+                    for r in 0..b.num_rows() {
+                        for (col, value) in sparse.row(r) {
+                            data[r * b.dim() + col] = value;
+                        }
+                    }
+                    data
+                }
+                _ => b.rows().data().to_vec(),
+            }
+        };
+        let reassembled: Vec<f32> = shards.iter().flat_map(&densify).collect();
+        prop_assert_eq!(reassembled, densify(batch));
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Dense batches: for random ragged shapes and shard counts, concatenating the
+        /// shards reproduces the original batch and segments never straddle a shard.
+        #[test]
+        fn dense_shards_reassemble(seed in 0u64..10_000, num_shards in 1usize..10) {
+            let sets = random_sets(seed);
+            if sets.is_empty() {
+                let batch = RaggedBatch::from_sets(std::iter::empty::<&Matrix>());
+                prop_assert!(batch.split_shards(num_shards).is_empty());
+            } else {
+                let batch = RaggedBatch::from_sets(sets.iter());
+                assert_shards_reassemble(&batch, num_shards)?;
+            }
+        }
+
+        /// CSR-only batches (the training loop's packing): same invariants, and the shards
+        /// must stay CSR-only.
+        #[test]
+        fn sparse_shards_reassemble(seed in 10_000u64..20_000, num_shards in 1usize..10) {
+            let sets = random_sets(seed);
+            if sets.is_empty() {
+                return Ok(());
+            }
+            let dim = sets[0].cols();
+            let sparse_sets: Vec<SparseRows> =
+                sets.iter().map(SparseRows::from_matrix).collect();
+            let batch = RaggedBatch::from_sparse_sets(dim, sparse_sets.iter());
+            for shard in batch.split_shards(num_shards) {
+                prop_assert!(shard.sparse().is_some());
+            }
+            assert_shards_reassemble(&batch, num_shards)?;
+        }
+
+        /// Sharding then segment-pooling each shard equals pooling the whole batch: the
+        /// invariant the data-parallel forward pass relies on.
+        #[test]
+        fn shard_pooling_matches_whole_batch_pooling(seed in 20_000u64..30_000, num_shards in 1usize..10) {
+            let sets = random_sets(seed);
+            if sets.is_empty() {
+                return Ok(());
+            }
+            let batch = RaggedBatch::from_sets(sets.iter());
+            let whole = segment_pool(batch.rows(), batch.offsets(), SegmentPool::Mean);
+            let mut segment = 0usize;
+            for shard in batch.split_shards(num_shards) {
+                let pooled = segment_pool(shard.rows(), shard.offsets(), SegmentPool::Mean);
+                for row in 0..pooled.rows() {
+                    prop_assert_eq!(pooled.row(row), whole.row(segment));
+                    segment += 1;
+                }
+            }
+            prop_assert_eq!(segment, batch.num_segments());
+        }
     }
 }

@@ -114,11 +114,21 @@ impl Dense {
     /// [`Dense::backward`], but both contractions run through the blocked dense kernel
     /// ([`Matrix::transpose_matmul_dense`] / [`Matrix::matmul_transpose_dense`]).
     pub fn backward_dense(&mut self, x: &Matrix, grad_y: &Matrix) -> Matrix {
-        let grad_w = x.transpose_matmul_dense(grad_y);
+        let (grad_w, grad_b, grad_x) = self.backward_dense_calc(x, grad_y);
         self.w.grad.add_assign(&grad_w);
-        let bias_grad = Matrix::row_vector(&grad_y.column_sums());
-        self.b.grad.add_assign(&bias_grad);
-        grad_y.matmul_transpose_dense(&self.w.value)
+        self.b.grad.add_assign(&grad_b);
+        grad_x
+    }
+
+    /// Non-mutating form of [`Dense::backward_dense`]: returns `(dL/dW, dL/db, dL/dx)`
+    /// without touching the parameter gradient accumulators.  The data-parallel training
+    /// engine uses this so every shard of a mini-batch can accumulate into its own private
+    /// [`crate::parallel::GradientSet`] while sharing one read-only model.
+    pub fn backward_dense_calc(&self, x: &Matrix, grad_y: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let grad_w = x.transpose_matmul_dense(grad_y);
+        let grad_b = Matrix::row_vector(&grad_y.column_sums());
+        let grad_x = grad_y.matmul_transpose_dense(&self.w.value);
+        (grad_w, grad_b, grad_x)
     }
 
     /// Backward pass for an *input* layer fed with sparse rows (one-hot featurized query
@@ -163,28 +173,50 @@ impl Dense {
     /// [`Dense::backward_weights_only_sparse`] over a ragged batch: accumulates `dL/dW` by
     /// scattering each non-zero input against its gradient row (CSR when available).
     pub fn backward_ragged_weights_only(&mut self, batch: &RaggedBatch, grad_y: &Matrix) {
+        Dense::accumulate_ragged_weights_only(batch, grad_y, &mut self.w.grad, &mut self.b.grad);
+    }
+
+    /// [`Dense::backward_ragged_weights_only`] into caller-provided gradient buffers (which
+    /// need not belong to any layer): the form the data-parallel engine uses to scatter an
+    /// input layer's weight gradient directly into a shard's private
+    /// [`crate::parallel::GradientSet`], with no intermediate allocation on the CSR path.
+    pub fn accumulate_ragged_weights_only(
+        batch: &RaggedBatch,
+        grad_y: &Matrix,
+        grad_w: &mut Matrix,
+        grad_b: &mut Matrix,
+    ) {
         match batch.sparse() {
             Some(sparse) => {
                 debug_assert_eq!(grad_y.rows(), batch.num_rows());
                 for r in 0..batch.num_rows() {
                     let grad_row = grad_y.row(r);
                     for (col, val) in sparse.row(r) {
-                        for (o, &g) in self.w.grad.row_mut(col).iter_mut().zip(grad_row) {
+                        for (o, &g) in grad_w.row_mut(col).iter_mut().zip(grad_row) {
                             *o += val * g;
                         }
                     }
                 }
                 let bias_grad = Matrix::row_vector(&grad_y.column_sums());
-                self.b.grad.add_assign(&bias_grad);
+                grad_b.add_assign(&bias_grad);
             }
             // No CSR view ⇒ dense rows ⇒ dense transpose kernel for the weight gradient.
             None => {
-                let grad_w = batch.rows().transpose_matmul_dense(grad_y);
-                self.w.grad.add_assign(&grad_w);
+                let delta = batch.rows().transpose_matmul_dense(grad_y);
+                grad_w.add_assign(&delta);
                 let bias_grad = Matrix::row_vector(&grad_y.column_sums());
-                self.b.grad.add_assign(&bias_grad);
+                grad_b.add_assign(&bias_grad);
             }
         }
+    }
+
+    /// The `(rows, cols)` shapes of the layer's parameters in `[W, b]` order — the building
+    /// block models use to size their [`crate::parallel::GradientSet`]s.
+    pub fn grad_shapes(&self) -> [(usize, usize); 2] {
+        [
+            (self.w.value.rows(), self.w.value.cols()),
+            (self.b.value.rows(), self.b.value.cols()),
+        ]
     }
 
     /// Clears accumulated gradients.

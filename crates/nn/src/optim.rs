@@ -4,6 +4,7 @@
 //! follows the original algorithm with bias-corrected moment estimates.
 
 use crate::layers::Param;
+use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Adam optimizer state and hyperparameters.
@@ -36,25 +37,59 @@ impl Adam {
     /// Performs one update step over the given parameters, consuming their accumulated
     /// gradients (which are cleared afterwards).
     pub fn step(&mut self, params: Vec<&mut Param>) {
-        self.step_count += 1;
-        let t = self.step_count as f32;
-        let bias1 = 1.0 - self.beta1.powf(t);
-        let bias2 = 1.0 - self.beta2.powf(t);
+        self.advance();
+        let (bias1, bias2) = self.bias_corrections();
         for param in params {
             debug_assert_eq!(param.value.len(), param.grad.len());
             let grads = param.grad.data().to_vec();
-            let values = param.value.data_mut();
-            let m = param.m.data_mut();
-            let v = param.v.data_mut();
-            for i in 0..grads.len() {
-                let g = grads[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = m[i] / bias1;
-                let v_hat = v[i] / bias2;
-                values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
-            }
+            self.update_param(param, &grads, bias1, bias2);
             param.zero_grad();
+        }
+    }
+
+    /// Performs one update step reading the gradients from `grads` (one matrix per
+    /// parameter, in the same order) instead of the parameters' own accumulators.
+    ///
+    /// This is the data-parallel training path: per-shard gradients are merged into a
+    /// [`crate::parallel::GradientSet`] and applied here in one pass, so the parameters'
+    /// `grad` accumulators are never touched (and are left unchanged).  The update
+    /// arithmetic is identical to [`Adam::step`] — only the gradient source differs.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match the parameters in arity or element counts.
+    pub fn step_with(&mut self, params: Vec<&mut Param>, grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter");
+        self.advance();
+        let (bias1, bias2) = self.bias_corrections();
+        for (param, grad) in params.into_iter().zip(grads) {
+            assert_eq!(param.value.len(), grad.len(), "gradient shape mismatch");
+            self.update_param(param, grad.data(), bias1, bias2);
+        }
+    }
+
+    /// Advances the step counter (shared prologue of the step variants).
+    fn advance(&mut self) {
+        self.step_count += 1;
+    }
+
+    /// The bias-correction denominators of the current step.
+    fn bias_corrections(&self) -> (f32, f32) {
+        let t = self.step_count as f32;
+        (1.0 - self.beta1.powf(t), 1.0 - self.beta2.powf(t))
+    }
+
+    /// The core Adam update of one parameter tensor against an explicit gradient slice.
+    fn update_param(&self, param: &mut Param, grads: &[f32], bias1: f32, bias2: f32) {
+        let values = param.value.data_mut();
+        let m = param.m.data_mut();
+        let v = param.v.data_mut();
+        for i in 0..grads.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
         }
     }
 }
@@ -95,6 +130,36 @@ mod tests {
             adam.step(vec![&mut param]);
         }
         assert!((param.value.get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    /// `step_with` over external gradients must produce bit-identical parameters, moments
+    /// and step count as `step` over accumulated gradients — it is the same update, the
+    /// data-parallel engine only changes where the gradients live.
+    #[test]
+    fn step_with_matches_step_exactly() {
+        let mut via_grad = Param::new(Matrix::from_vec(1, 3, vec![0.4, -0.8, 1.5]));
+        let mut via_set = via_grad.clone();
+        let mut adam_a = Adam::new(0.01);
+        let mut adam_b = Adam::new(0.01);
+        for step in 0..5 {
+            let grads = Matrix::from_vec(1, 3, vec![0.3 * step as f32, -0.2, 0.05]);
+            via_grad.grad = grads.clone();
+            adam_a.step(vec![&mut via_grad]);
+            adam_b.step_with(vec![&mut via_set], std::slice::from_ref(&grads));
+        }
+        assert_eq!(via_grad.value, via_set.value);
+        assert_eq!(via_grad.m, via_set.m);
+        assert_eq!(via_grad.v, via_set.v);
+        assert_eq!(adam_a.step_count, adam_b.step_count);
+        // step_with leaves the accumulator untouched.
+        assert_eq!(via_set.grad.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter")]
+    fn step_with_rejects_arity_mismatch() {
+        let mut param = Param::new(Matrix::zeros(1, 2));
+        Adam::default().step_with(vec![&mut param], &[]);
     }
 
     #[test]

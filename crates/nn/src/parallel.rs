@@ -1,0 +1,433 @@
+//! Data-parallel epoch execution: a `std::thread`-scoped shard pool with deterministic
+//! gradient reduction.
+//!
+//! Mini-batch training is data-parallel up to the optimizer step: the per-sample losses and
+//! gradients of one mini-batch are independent, only their *sum* feeds Adam.  This module
+//! supplies the machinery the CRN and MSCN training loops use to exploit that:
+//!
+//! * [`ThreadPoolConfig`] — how many worker threads to use and whether to run in
+//!   *deterministic* mode;
+//! * [`run_sharded`] — a scoped shard pool: `num_shards` independent work items executed by
+//!   at most `threads` `std::thread::scope` workers (the vendored-deps policy rules out
+//!   rayon), results returned **in canonical shard order** regardless of which worker ran
+//!   which shard;
+//! * [`GradientSet`] — a model's gradient tensors as plain matrices, detached from the
+//!   parameters so every shard can accumulate privately;
+//! * [`reduce_gradients`] — merges per-shard gradient sets in a **fixed shard order**
+//!   (tree reduction by default, strictly sequential in deterministic mode).
+//!
+//! # Determinism contract
+//!
+//! Floating-point addition is not associative, so *how* shard gradients are merged decides
+//! reproducibility:
+//!
+//! * **Default mode** shards each mini-batch into `threads` pieces and tree-reduces them in
+//!   fixed shard order.  Results are bit-for-bit reproducible *for a given thread count*
+//!   (re-running with the same `threads` gives identical models), but change when the
+//!   thread count changes, because the shard boundaries move.
+//! * **Deterministic mode** ([`ThreadPoolConfig::deterministic`]) always splits into
+//!   [`DETERMINISTIC_SHARDS`] canonical shards — independent of the thread count — and
+//!   reduces them in canonical (sequential) order.  Training is then bit-for-bit identical
+//!   at `threads = 1, 2, 4, ...`; the thread count only changes wall-clock time.  The
+//!   cross-thread parity tests in `crn-core` and `crn-estimators` pin this.
+//!
+//! In both modes the work queue hands shards to workers dynamically (an atomic cursor), but
+//! every shard's result lands in its own slot and merging happens on the calling thread in
+//! shard order, so scheduling jitter never reaches the arithmetic.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of canonical shards used by deterministic mode, chosen independently of the
+/// thread count so that the f32 reduction order — and therefore the trained model — is
+/// identical no matter how many workers execute the shards.  8 keeps per-shard batches
+/// large enough for the blocked GEMM kernels at the paper's batch size of 128 while
+/// allowing up to 8 workers to help.
+pub const DETERMINISTIC_SHARDS: usize = 8;
+
+/// Thread-pool configuration of the data-parallel training engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadPoolConfig {
+    /// Number of worker threads for sharded epoch work (`1` disables spawning entirely and
+    /// runs the exact single-threaded batched path).
+    pub threads: usize,
+    /// Deterministic mode: shard each mini-batch into [`DETERMINISTIC_SHARDS`] canonical
+    /// pieces and reduce gradients in canonical order, so results are bit-identical for
+    /// every thread count (see the module docs for the full contract).
+    pub deterministic: bool,
+}
+
+impl ThreadPoolConfig {
+    /// The exact PR-1 single-threaded batched path: one shard per mini-batch, no spawning.
+    pub fn single_threaded() -> Self {
+        ThreadPoolConfig {
+            threads: 1,
+            deterministic: false,
+        }
+    }
+
+    /// `threads` workers in default (per-thread-count reproducible) mode.
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadPoolConfig {
+            threads: threads.max(1),
+            deterministic: false,
+        }
+    }
+
+    /// `threads` workers in deterministic mode (bit-identical across thread counts).
+    pub fn deterministic(threads: usize) -> Self {
+        ThreadPoolConfig {
+            threads: threads.max(1),
+            deterministic: true,
+        }
+    }
+
+    /// Reads the configuration from the environment: `THREADS` (worker count, default 1)
+    /// and `DETERMINISTIC` (`1`/`true`/`yes` enables deterministic mode).  This is what
+    /// [`crate::train::TrainConfig::default`] uses, so `THREADS=4 cargo test` runs the whole
+    /// suite through the parallel engine — the CI thread-matrix job relies on it.
+    pub fn from_env() -> Self {
+        Self::parse(
+            std::env::var("THREADS").ok().as_deref(),
+            std::env::var("DETERMINISTIC").ok().as_deref(),
+        )
+    }
+
+    /// Pure parsing core of [`ThreadPoolConfig::from_env`] (split out for testability).
+    fn parse(threads: Option<&str>, deterministic: Option<&str>) -> Self {
+        let threads = threads
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        let deterministic = deterministic.map(str::trim).is_some_and(|v| {
+            ["1", "true", "yes"]
+                .iter()
+                .any(|on| v.eq_ignore_ascii_case(on))
+        });
+        ThreadPoolConfig {
+            threads,
+            deterministic,
+        }
+    }
+
+    /// Number of shards one mini-batch of `num_items` samples is split into: the canonical
+    /// [`DETERMINISTIC_SHARDS`] in deterministic mode, else the thread count — capped by the
+    /// item count in both cases (a shard is never empty).
+    pub fn shard_count(&self, num_items: usize) -> usize {
+        if num_items == 0 {
+            return 0;
+        }
+        let shards = if self.deterministic {
+            DETERMINISTIC_SHARDS
+        } else {
+            self.threads.max(1)
+        };
+        shards.min(num_items)
+    }
+}
+
+impl Default for ThreadPoolConfig {
+    /// Environment-driven ([`ThreadPoolConfig::from_env`]): single-threaded unless `THREADS`
+    /// is set.
+    fn default() -> Self {
+        ThreadPoolConfig::from_env()
+    }
+}
+
+/// Executes `num_shards` independent work items on at most `threads` scoped workers and
+/// returns the results **in shard order**.
+///
+/// Shards are handed out dynamically (an atomic cursor), so uneven shard costs balance
+/// across workers; results are written into per-shard slots, so the returned order — and
+/// any reduction the caller performs over it — is independent of scheduling.  The calling
+/// thread participates as a worker (only `threads - 1` threads are spawned), so with
+/// `threads <= 1` (or a single shard) the work runs inline, spawning nothing.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn run_sharded<T, F>(threads: usize, num_shards: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if num_shards == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(num_shards);
+    if workers <= 1 {
+        return (0..num_shards).map(work).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let work = &work;
+    let drain = |produced: &mut Vec<(usize, T)>| loop {
+        let shard = cursor.fetch_add(1, Ordering::Relaxed);
+        if shard >= num_shards {
+            break;
+        }
+        produced.push((shard, work(shard)));
+    };
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    drain(&mut produced);
+                    produced
+                })
+            })
+            .collect();
+        // The calling thread is worker 0: it drains the queue alongside the spawned
+        // workers instead of blocking idle on the joins.
+        let mut own = Vec::new();
+        drain(&mut own);
+        let mut all = vec![own];
+        all.extend(
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard worker panicked")),
+        );
+        all
+    });
+    let mut slots: Vec<Option<T>> = (0..num_shards).map(|_| None).collect();
+    for (shard, value) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[shard].is_none(), "shard {shard} produced twice");
+        slots[shard] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard produced exactly once"))
+        .collect()
+}
+
+/// Convenience form of [`run_sharded`] for range-partitioned work: runs `work` once per
+/// range of `ranges` and returns the results in range order.
+pub fn run_over_ranges<T, F>(threads: usize, ranges: &[Range<usize>], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    run_sharded(threads, ranges.len(), |shard| work(ranges[shard].clone()))
+}
+
+/// A model's gradient tensors as plain matrices in a fixed, model-defined parameter order,
+/// detached from the parameters themselves so that every shard of a mini-batch can
+/// accumulate into its own private set before the merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientSet {
+    parts: Vec<Matrix>,
+}
+
+impl GradientSet {
+    /// Creates a zeroed gradient set with one matrix per `(rows, cols)` shape.
+    pub fn zeros(shapes: &[(usize, usize)]) -> Self {
+        GradientSet {
+            parts: shapes
+                .iter()
+                .map(|&(rows, cols)| Matrix::zeros(rows, cols))
+                .collect(),
+        }
+    }
+
+    /// Number of gradient tensors.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Returns true when the set holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The gradient tensors in parameter order.
+    pub fn parts(&self) -> &[Matrix] {
+        &self.parts
+    }
+
+    /// Mutable access to the gradient tensors in parameter order.
+    pub fn parts_mut(&mut self) -> &mut [Matrix] {
+        &mut self.parts
+    }
+
+    /// Mutable access to one gradient tensor.
+    pub fn part_mut(&mut self, index: usize) -> &mut Matrix {
+        &mut self.parts[index]
+    }
+
+    /// Mutable access to two distinct gradient tensors at once (e.g. a layer's weight and
+    /// bias gradients for a fused scatter).
+    ///
+    /// # Panics
+    /// Panics unless `first < second < len`.
+    pub fn pair_mut(&mut self, first: usize, second: usize) -> (&mut Matrix, &mut Matrix) {
+        assert!(first < second && second < self.parts.len());
+        let (left, right) = self.parts.split_at_mut(second);
+        (&mut left[first], &mut right[0])
+    }
+
+    /// Element-wise `self += other` over every tensor.
+    ///
+    /// # Panics
+    /// Panics if the two sets disagree in arity or shapes.
+    pub fn add_assign(&mut self, other: &GradientSet) {
+        assert_eq!(
+            self.parts.len(),
+            other.parts.len(),
+            "gradient arity mismatch"
+        );
+        for (mine, theirs) in self.parts.iter_mut().zip(&other.parts) {
+            mine.add_assign(theirs);
+        }
+    }
+}
+
+/// Merges per-shard gradient sets into one, consuming the shards.
+///
+/// * `deterministic = false`: **fixed shard-order tree reduction** — pairwise merges with
+///   doubling stride (`0+=1, 2+=3, ... then 0+=2, ...`).  The association depends only on
+///   the shard *count*, never on scheduling, so results are reproducible for a given
+///   thread count.
+/// * `deterministic = true`: strictly **canonical (sequential) order** — shard 0 absorbs
+///   shard 1, then 2, ... — the association a single thread walking the shards would
+///   produce, making the merged gradient independent of how the shard work was scheduled
+///   *and* of the thread count (the shard count is canonical in this mode, see
+///   [`ThreadPoolConfig::shard_count`]).
+///
+/// Returns `None` for an empty input.
+pub fn reduce_gradients(mut shards: Vec<GradientSet>, deterministic: bool) -> Option<GradientSet> {
+    if shards.is_empty() {
+        return None;
+    }
+    if deterministic {
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.add_assign(shard);
+        }
+        return Some(merged);
+    }
+    let mut stride = 1;
+    while stride < shards.len() {
+        let mut left = 0;
+        while left + stride < shards.len() {
+            let (head, tail) = shards.split_at_mut(left + stride);
+            head[left].add_assign(&tail[0]);
+            left += 2 * stride;
+        }
+        stride *= 2;
+    }
+    Some(shards.swap_remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_reads_threads_and_deterministic() {
+        assert_eq!(
+            ThreadPoolConfig::parse(None, None),
+            ThreadPoolConfig::single_threaded()
+        );
+        assert_eq!(
+            ThreadPoolConfig::parse(Some("4"), None),
+            ThreadPoolConfig::with_threads(4)
+        );
+        assert_eq!(
+            ThreadPoolConfig::parse(Some(" 2 "), Some("true")),
+            ThreadPoolConfig::deterministic(2)
+        );
+        // Garbage and zero fall back to a single thread.
+        assert_eq!(ThreadPoolConfig::parse(Some("zero"), None).threads, 1);
+        assert_eq!(ThreadPoolConfig::parse(Some("0"), None).threads, 1);
+        assert!(!ThreadPoolConfig::parse(None, Some("no")).deterministic);
+        // The deterministic switch is case-insensitive.
+        assert!(ThreadPoolConfig::parse(None, Some("TRUE")).deterministic);
+        assert!(ThreadPoolConfig::parse(None, Some(" Yes ")).deterministic);
+    }
+
+    #[test]
+    fn shard_count_is_canonical_in_deterministic_mode() {
+        for threads in [1, 2, 4, 16] {
+            let config = ThreadPoolConfig::deterministic(threads);
+            assert_eq!(config.shard_count(128), DETERMINISTIC_SHARDS);
+            assert_eq!(config.shard_count(3), 3, "capped by item count");
+            assert_eq!(config.shard_count(0), 0);
+        }
+        assert_eq!(ThreadPoolConfig::with_threads(4).shard_count(128), 4);
+        assert_eq!(ThreadPoolConfig::with_threads(4).shard_count(2), 2);
+        assert_eq!(ThreadPoolConfig::single_threaded().shard_count(128), 1);
+    }
+
+    #[test]
+    fn run_sharded_returns_results_in_shard_order() {
+        for threads in [1, 2, 4, 7] {
+            let results = run_sharded(threads, 23, |shard| shard * shard);
+            assert_eq!(results, (0..23).map(|s| s * s).collect::<Vec<_>>());
+        }
+        assert!(run_sharded::<usize, _>(4, 0, |_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn run_sharded_balances_uneven_work() {
+        // Shard 0 is slow; the dynamic queue must still hand every other shard out and the
+        // results must come back in order.
+        let results = run_sharded(4, 8, |shard| {
+            if shard == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            shard
+        });
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_over_ranges_passes_each_range() {
+        let ranges = vec![0..3, 3..5, 5..9];
+        let lens = run_over_ranges(2, &ranges, |range| range.len());
+        assert_eq!(lens, vec![3, 2, 4]);
+    }
+
+    fn set_of(values: &[f32]) -> GradientSet {
+        let mut set = GradientSet::zeros(&[(1, values.len())]);
+        set.part_mut(0).data_mut().copy_from_slice(values);
+        set
+    }
+
+    #[test]
+    fn reductions_sum_every_shard() {
+        for deterministic in [false, true] {
+            for count in 1..=9usize {
+                let shards: Vec<GradientSet> =
+                    (0..count).map(|i| set_of(&[i as f32, 1.0])).collect();
+                let merged = reduce_gradients(shards, deterministic).expect("non-empty");
+                let expected: f32 = (0..count).map(|i| i as f32).sum();
+                assert_eq!(merged.parts()[0].data(), &[expected, count as f32]);
+            }
+            assert!(reduce_gradients(Vec::new(), deterministic).is_none());
+        }
+    }
+
+    #[test]
+    fn sequential_reduction_is_shard_count_order() {
+        // With values chosen to expose association, sequential order must equal a plain
+        // left fold (this is the canonical order deterministic mode promises).
+        let values = [1.0e8f32, 1.0, -1.0e8, 1.0];
+        let shards: Vec<GradientSet> = values.iter().map(|&v| set_of(&[v])).collect();
+        let merged = reduce_gradients(shards, true).expect("non-empty");
+        let folded = values.iter().fold(0.0f32, |acc, &v| acc + v);
+        assert_eq!(merged.parts()[0].data(), &[folded]);
+    }
+
+    #[test]
+    fn gradient_set_pair_mut_returns_disjoint_parts() {
+        let mut set = GradientSet::zeros(&[(1, 1), (1, 2), (1, 3)]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let (a, b) = set.pair_mut(0, 2);
+        a.data_mut()[0] = 1.0;
+        b.data_mut()[2] = 2.0;
+        assert_eq!(set.parts()[0].data(), &[1.0]);
+        assert_eq!(set.parts()[2].data(), &[0.0, 0.0, 2.0]);
+    }
+}

@@ -11,9 +11,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::loss::LossKind;
+use crate::parallel::ThreadPoolConfig;
 
 /// Hyperparameters of a training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Hidden layer size `H` (the paper sweeps this in Figure 3 and settles on 512; the
     /// reproduction defaults to a smaller value so CPU training stays fast).
@@ -33,6 +34,34 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// Random seed for parameter initialization and batch shuffling.
     pub seed: u64,
+    /// Data-parallel epoch execution: worker-thread count and deterministic-reduction mode
+    /// (see [`crate::parallel`] for the shard-pool design and determinism contract).  The
+    /// shuffling, split and initialization seeds are unaffected by this — only how each
+    /// mini-batch's forward/backward is sharded.
+    ///
+    /// Never serialized: the pool shape belongs to the *machine* running the training, not
+    /// to a persisted model (a model saved on a 32-core box must not pin 32 workers when
+    /// reloaded on a laptop), and skipping it keeps model files from before this field
+    /// loadable.  Deserialized configs fall back to [`ThreadPoolConfig::from_env`].
+    #[serde(skip)]
+    pub parallel: ThreadPoolConfig,
+}
+
+/// Equality over the *persisted training recipe* only: `parallel` is machine-local
+/// execution state (serde-skipped, refilled from the environment on deserialization), so
+/// including it would make config equality depend on the host's `THREADS` setting rather
+/// than the hyperparameters.
+impl PartialEq for TrainConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.hidden_size == other.hidden_size
+            && self.epochs == other.epochs
+            && self.batch_size == other.batch_size
+            && self.learning_rate == other.learning_rate
+            && self.loss == other.loss
+            && self.validation_fraction == other.validation_fraction
+            && self.patience == other.patience
+            && self.seed == other.seed
+    }
 }
 
 impl Default for TrainConfig {
@@ -46,6 +75,10 @@ impl Default for TrainConfig {
             validation_fraction: 0.2,
             patience: Some(8),
             seed: 42,
+            // Environment-driven (`THREADS` / `DETERMINISTIC`), single-threaded when unset —
+            // this is how the CI thread-matrix job pushes the whole suite through the
+            // parallel engine without touching every call site.
+            parallel: ThreadPoolConfig::from_env(),
         }
     }
 }
@@ -253,6 +286,16 @@ mod tests {
         assert_eq!(history.best_epoch, 2);
         assert_eq!(history.best_validation, 3.5);
         assert_eq!(history.len(), 3);
+    }
+
+    #[test]
+    fn config_equality_ignores_the_machine_local_pool_shape() {
+        let a = TrainConfig::default();
+        let mut b = a.clone();
+        b.parallel = crate::parallel::ThreadPoolConfig::deterministic(8);
+        assert_eq!(a, b, "parallel is execution state, not a hyperparameter");
+        b.seed = a.seed + 1;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! with randomized seeds, checking the mathematical identities the paper's construction relies
 //! on (§2, §4.1.1, §5.1.1).
 
+use containment_repro::nn::batch::{shard_ranges, RaggedBatch, SparseRows};
+use containment_repro::nn::Matrix;
 use containment_repro::prelude::*;
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -117,6 +119,72 @@ proptest! {
         for table in db.schema().tables() {
             let scan = Query::scan(&table.name);
             prop_assert_eq!(estimator.estimate(&scan), db.table(&table.name).unwrap().row_count() as f64);
+        }
+    }
+
+    /// Shard splitting of ragged batches (the data-parallel training primitive): for random
+    /// ragged shapes and shard counts, the canonical ranges partition the segments exactly,
+    /// segment-pool boundaries never straddle a shard, and concatenating the shards
+    /// reproduces the original batch — for the dense and the CSR-only representation alike.
+    #[test]
+    fn ragged_shard_splitting_round_trips(seed in 0u64..400) {
+        // Derive a ragged shape from the seed (no external RNG needed: small moduli give
+        // good coverage of empty segments and shard counts exceeding the segment count).
+        let num_segments = (seed % 9) as usize + 1;
+        let dim = (seed % 5) as usize + 1;
+        let sets: Vec<Matrix> = (0..num_segments)
+            .map(|i| {
+                let rows = ((seed / 9 + i as u64) % 4) as usize;
+                Matrix::xavier_seeded(rows, dim, seed.wrapping_add(i as u64))
+            })
+            .collect();
+        let dense = RaggedBatch::from_sets(sets.iter());
+        let sparse_sets: Vec<SparseRows> = sets.iter().map(SparseRows::from_matrix).collect();
+        let csr = RaggedBatch::from_sparse_sets(dim, sparse_sets.iter());
+
+        for num_shards in [1usize, 2, 3, 5, num_segments + 3] {
+            let ranges = shard_ranges(num_segments, num_shards);
+            // The ranges are a canonical partition: contiguous, exhaustive, non-empty.
+            prop_assert_eq!(ranges[0].start, 0usize);
+            prop_assert_eq!(ranges[ranges.len() - 1].end, num_segments);
+            for window in ranges.windows(2) {
+                prop_assert_eq!(window[0].end, window[1].start);
+                prop_assert!(!window[0].is_empty());
+            }
+
+            for batch in [&dense, &csr] {
+                let shards = batch.split_shards(num_shards);
+                prop_assert_eq!(shards.len(), ranges.len());
+                // Segment boundaries survive: shard segment lengths concatenate to the
+                // original segment lengths (no segment straddles two shards).
+                let lens: Vec<usize> = shards
+                    .iter()
+                    .flat_map(|s| (0..s.num_segments()).map(move |i| s.segment_len(i)))
+                    .collect();
+                let original: Vec<usize> =
+                    (0..num_segments).map(|i| batch.segment_len(i)).collect();
+                prop_assert_eq!(lens, original);
+                // Row payloads concatenate back to the original batch (compare via the
+                // encoder-visible values: dense rows or CSR non-zeros).
+                let rows_of = |b: &RaggedBatch| -> Vec<Vec<(usize, f32)>> {
+                    (0..b.num_rows())
+                        .map(|r| match b.sparse() {
+                            Some(s) if b.rows().rows() == 0 => s.row(r).collect(),
+                            _ => b
+                                .rows()
+                                .row(r)
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, v)| **v != 0.0)
+                                .map(|(c, v)| (c, *v))
+                                .collect(),
+                        })
+                        .collect()
+                };
+                let reassembled: Vec<Vec<(usize, f32)>> =
+                    shards.iter().flat_map(&rows_of).collect();
+                prop_assert_eq!(reassembled, rows_of(batch));
+            }
         }
     }
 
