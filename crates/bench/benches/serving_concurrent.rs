@@ -1,0 +1,117 @@
+//! `serving_concurrent` — the concurrent estimator service under load.
+//!
+//! Measures the layered serving subsystem end to end: batches of concurrent queries through
+//! [`EstimatorService`] at several `(shards × threads)` points, against the per-query
+//! sequential `Cnt2Crd` baseline over the same pool.
+//!
+//! Reading the sweep: on a multi-core host the per-shard work items of one serve call (and
+//! the queries of concurrent callers) distribute across the worker threads, so
+//! `shards4_threads4` should approach the per-shard fraction of `shards1_threads1`.  On a
+//! single-core container only the *overhead* of sharding/merging is visible — the regression
+//! gate for that environment is "sharded serving stays within a bounded overhead of
+//! sequential", exactly like the PR-2 `parallel_epoch_*` benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use crn_bench::shared_context;
+use crn_core::{Cnt2Crd, EstimatorService, ShardedPool};
+use crn_estimators::CardinalityEstimator;
+use crn_nn::parallel::WorkerPool;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+
+/// The concurrent workload: one batch of queries as a front-end would hand them over.
+fn workload(ctx: &crn_eval::ExperimentContext, count: usize) -> Vec<Query> {
+    let mut generator = QueryGenerator::new(&ctx.db, GeneratorConfig::paper(ctx.config.seed ^ 77));
+    let mut queries = generator.generate_queries(count);
+    queries.truncate(count);
+    queries
+}
+
+/// Sequential baseline: the single-query batched `Cnt2Crd` path, one call per query.
+fn bench_sequential_baseline(c: &mut Criterion) {
+    let ctx = shared_context();
+    let queries = workload(ctx, 32);
+    let estimator = Cnt2Crd::new(ctx.crn.clone(), ctx.pool.clone());
+    // Warm the per-FROM-clause anchor caches so steady-state serving is measured.
+    for query in &queries {
+        black_box(estimator.estimate(query));
+    }
+    let mut group = c.benchmark_group("serving_concurrent");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sequential_batch32", |b| {
+        b.iter(|| {
+            for query in &queries {
+                black_box(estimator.estimate(query));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The service sweep: batch-of-32 serving at `(shards × threads)` grid points.
+fn bench_service_sweep(c: &mut Criterion) {
+    let ctx = shared_context();
+    let queries = workload(ctx, 32);
+    let mut group = c.benchmark_group("serving_concurrent");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    for (shards, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 4)] {
+        let service = EstimatorService::new(
+            ctx.crn.clone(),
+            ShardedPool::from_pool(&ctx.pool, shards),
+            WorkerPool::shared(threads),
+        );
+        // Warm the per-shard anchor caches.
+        black_box(service.serve(&queries));
+        group.bench_function(
+            format!("service_batch32_shards{shards}_threads{threads}"),
+            |b| b.iter(|| black_box(service.serve(&queries))),
+        );
+    }
+    group.finish();
+}
+
+/// Concurrent submitters: four caller threads pushing batches through one shared service —
+/// the serving-layer contention profile (snapshot reads, worker-pool job serialization,
+/// prepared-anchor cache hits).
+fn bench_concurrent_callers(c: &mut Criterion) {
+    let ctx = shared_context();
+    let queries = workload(ctx, 32);
+    let service = EstimatorService::new(
+        ctx.crn.clone(),
+        ShardedPool::from_pool(&ctx.pool, 4),
+        WorkerPool::shared(2),
+    );
+    black_box(service.serve(&queries));
+    let mut group = c.benchmark_group("serving_concurrent");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("four_callers_batch32_shards4_threads2", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| black_box(service.serve(&queries)));
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_baseline,
+    bench_service_sweep,
+    bench_concurrent_callers
+);
+criterion_main!(benches);

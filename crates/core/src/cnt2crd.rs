@@ -16,8 +16,9 @@
 //! settles on the Median, §5.3.1).  When no pool entry matches, the technique falls back to a
 //! basic cardinality estimator, exactly as §5.2 prescribes.
 
-use crate::pool::QueriesPool;
+use crate::pool::{query_hash, QueriesPool};
 use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
+use crn_nn::parallel::WorkerPool;
 use crn_query::ast::Query;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -96,6 +97,23 @@ pub struct Cnt2CrdConfig {
     pub default_estimate: f64,
 }
 
+impl Cnt2CrdConfig {
+    /// Folds one anchor/rate pairing into a per-entry estimate, applying the ε filter
+    /// (Figure 8's inner loop body).
+    ///
+    /// This is THE definition of a per-entry estimate: every serving path — sequential,
+    /// batched, sharded [`Cnt2Crd`] and the concurrent
+    /// [`EstimatorService`](crate::service::EstimatorService) — must fold through this one
+    /// function, or the bit-parity contract between them silently breaks.
+    pub fn entry_estimate(&self, cardinality: u64, x_rate: f64, y_rate: f64) -> Option<f64> {
+        if y_rate <= self.epsilon {
+            return None;
+        }
+        let estimate = x_rate / y_rate * cardinality as f64;
+        estimate.is_finite().then_some(estimate)
+    }
+}
+
 impl Default for Cnt2CrdConfig {
     fn default() -> Self {
         Cnt2CrdConfig {
@@ -106,6 +124,14 @@ impl Default for Cnt2CrdConfig {
     }
 }
 
+/// Sharded-serving configuration of a [`Cnt2Crd`] estimator: how many canonical-hash shards
+/// the matching anchors are partitioned into and the persistent worker pool evaluating them.
+#[derive(Debug, Clone)]
+struct ShardedServing {
+    shards: usize,
+    workers: WorkerPool,
+}
+
 /// A cardinality estimator built from a containment-rate model and a queries pool.
 pub struct Cnt2Crd<M> {
     model: M,
@@ -113,11 +139,15 @@ pub struct Cnt2Crd<M> {
     config: Cnt2CrdConfig,
     fallback: Option<Box<dyn CardinalityEstimator + Send + Sync>>,
     name: String,
-    /// Per-FROM-clause serving state built by the model for its matching anchors
-    /// ([`ContainmentEstimator::prepare_anchors`]), lazily filled on first use and dropped
-    /// when the pool is replaced.  For the CRN model this holds the packed featurization of
-    /// the anchors, so steady-state serving featurizes only the incoming query.
+    /// Per-FROM-clause (and, in sharded mode, per-shard) serving state built by the model
+    /// for its matching anchors ([`ContainmentEstimator::prepare_anchors`]), lazily filled
+    /// on first use and dropped when the pool is replaced.  For the CRN model this holds
+    /// the packed featurization of the anchors, so steady-state serving featurizes only the
+    /// incoming query.
     prepared_anchors: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    /// `Some` routes [`Cnt2Crd::per_entry_estimates`] through the persistent worker pool
+    /// over canonical-hash anchor shards (see [`Cnt2Crd::with_serving`]).
+    serving: Option<ShardedServing>,
 }
 
 impl<M: ContainmentEstimator> Cnt2Crd<M> {
@@ -132,7 +162,28 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
             fallback: None,
             name,
             prepared_anchors: Mutex::new(HashMap::new()),
+            serving: None,
         }
+    }
+
+    /// Enables sharded serving: [`Cnt2Crd::per_entry_estimates`] partitions the matching
+    /// anchors into `shards` canonical-hash shards (the same routing as
+    /// [`crate::sharded::ShardedPool`]) and evaluates them in parallel on the given
+    /// persistent [`WorkerPool`], each shard against its own cached
+    /// [`prepare_anchors`](ContainmentEstimator::prepare_anchors) state, merged in
+    /// canonical shard order.
+    ///
+    /// The merged per-entry list is a permutation of the sequential scan's, so the final
+    /// functions (which sort) — and therefore [`CardinalityEstimator::estimate`] — are
+    /// bit-identical at every shard/thread count; the parity tests in [`crate::service`]
+    /// pin this.  `shards <= 1` keeps the sequential path.
+    pub fn with_serving(mut self, shards: usize, workers: WorkerPool) -> Self {
+        self.serving = if shards > 1 {
+            Some(ShardedServing { shards, workers })
+        } else {
+            None
+        };
+        self
     }
 
     /// Overrides the technique's configuration.
@@ -169,78 +220,146 @@ impl<M: ContainmentEstimator> Cnt2Crd<M> {
         &self.config
     }
 
+    /// [`Cnt2CrdConfig::entry_estimate`] with this estimator's configuration.
+    fn entry_estimate(&self, cardinality: u64, x_rate: f64, y_rate: f64) -> Option<f64> {
+        self.config.entry_estimate(cardinality, x_rate, y_rate)
+    }
+}
+
+impl<M: ContainmentEstimator + Sync> Cnt2Crd<M> {
     /// The per-pool-entry estimates for a query (exposed for diagnostics and tests).
     ///
     /// All matching pool anchors are evaluated through the containment model's
     /// [`predict_batch`](ContainmentEstimator::predict_batch) — for neural models each
     /// anchor is featurized once and the whole pool runs through exactly two batched
     /// forward passes, instead of the `2·N` single-pair forwards of the sequential path.
+    ///
+    /// With [`Cnt2Crd::with_serving`] enabled, the anchors are partitioned into
+    /// canonical-hash shards evaluated in parallel on the persistent worker pool and the
+    /// per-shard lists are concatenated in canonical shard order — a permutation of the
+    /// sequential list with bit-identical values, so the (sorting) final functions return
+    /// bit-identical estimates.
     pub fn per_entry_estimates(&self, query: &Query) -> Vec<f64> {
-        let matching = self.pool.matching(query);
-        if matching.is_empty() {
+        if let Some(serving) = &self.serving {
+            return self.per_entry_estimates_sharded(query, serving);
+        }
+        // One traversal of the matching bucket: anchors for the batched model call,
+        // cardinalities for the estimate fold.
+        let mut anchors: Vec<&Query> = Vec::new();
+        let mut cardinalities: Vec<u64> = Vec::new();
+        for entry in self.pool.matching(query) {
+            anchors.push(&entry.query);
+            cardinalities.push(entry.cardinality);
+        }
+        if anchors.is_empty() {
             return Vec::new();
         }
-        let anchors: Vec<&Query> = matching.iter().map(|entry| &entry.query).collect();
-        let prepared = self.prepared_for(query, &anchors);
-        let rates = match &prepared {
-            Some(state) => self
-                .model
-                .predict_batch_prepared(state.as_ref(), &anchors, query),
-            None => self.model.predict_batch(&anchors, query),
-        };
-        let mut results = Vec::with_capacity(matching.len());
-        for (entry, (x_rate, y_rate)) in matching.iter().zip(rates) {
-            if y_rate <= self.config.epsilon {
-                continue;
-            }
-            let estimate = x_rate / y_rate * entry.cardinality as f64;
-            if estimate.is_finite() {
-                results.push(estimate);
-            }
-        }
-        results
+        let key = crate::pool::from_key(query);
+        let rates = self.rates_for_anchors(key, &anchors, query);
+        cardinalities
+            .iter()
+            .zip(rates)
+            .filter_map(|(&cardinality, (x_rate, y_rate))| {
+                self.entry_estimate(cardinality, x_rate, y_rate)
+            })
+            .collect()
     }
 
-    /// Returns (building on first use) the model's serving state for the anchors matching
-    /// this query's FROM clause.
-    fn prepared_for(
-        &self,
-        query: &Query,
-        anchors: &[&Query],
-    ) -> Option<Arc<dyn Any + Send + Sync>> {
-        // The same canonical key the pool groups by, so every cache entry corresponds
-        // one-to-one to a `QueriesPool::matching` anchor list.
+    /// The sharded serving path: matching anchors partitioned by canonical query hash (the
+    /// [`crate::sharded::ShardedPool`] routing), one work item per non-empty shard on the
+    /// persistent pool, per-shard `prepare_anchors` caches, merged in canonical shard order.
+    fn per_entry_estimates_sharded(&self, query: &Query, serving: &ShardedServing) -> Vec<f64> {
+        let num_shards = serving.shards;
+        let mut per_shard: Vec<Vec<(&Query, u64)>> = vec![Vec::new(); num_shards];
+        for entry in self.pool.matching(query) {
+            let shard = (query_hash(&entry.query) % num_shards as u64) as usize;
+            per_shard[shard].push((&entry.query, entry.cardinality));
+        }
+        if per_shard.iter().all(|shard| shard.is_empty()) {
+            return Vec::new();
+        }
         let key = crate::pool::from_key(query);
-        let mut cache = self.prepared_anchors.lock().expect("not poisoned");
-        if let Some(state) = cache.get(&key) {
+        let shard_estimates: Vec<Vec<f64>> = serving.workers.run_sharded(num_shards, |shard| {
+            let entries = &per_shard[shard];
+            if entries.is_empty() {
+                return Vec::new();
+            }
+            let anchors: Vec<&Query> = entries.iter().map(|(anchor, _)| *anchor).collect();
+            // Distinct cache slot per (FROM clause, shard, shard count): the anchor list a
+            // slot caches must match this exact partition.
+            let rates =
+                self.rates_for_anchors(format!("{key}#{shard}/{num_shards}"), &anchors, query);
+            entries
+                .iter()
+                .zip(rates)
+                .filter_map(|(&(_, cardinality), (x_rate, y_rate))| {
+                    self.entry_estimate(cardinality, x_rate, y_rate)
+                })
+                .collect()
+        });
+        shard_estimates.concat()
+    }
+
+    /// Both containment directions of an anchor list against one query, through the cached
+    /// [`prepare_anchors`](ContainmentEstimator::prepare_anchors) state for `cache_key`
+    /// (built on first use, dropped when the pool is replaced).
+    fn rates_for_anchors(
+        &self,
+        cache_key: String,
+        anchors: &[&Query],
+        query: &Query,
+    ) -> Vec<(f64, f64)> {
+        match self.prepared_for(cache_key, anchors) {
+            Some(state) => self
+                .model
+                .predict_batch_prepared(state.as_ref(), anchors, query),
+            None => self.model.predict_batch(anchors, query),
+        }
+    }
+
+    /// Returns (building on first use) the model's serving state for an anchor list under
+    /// the given cache key (the canonical FROM-clause key, suffixed with the shard
+    /// coordinates in sharded mode — each key corresponds one-to-one to an anchor list).
+    fn prepared_for(&self, key: String, anchors: &[&Query]) -> Option<Arc<dyn Any + Send + Sync>> {
+        if let Some(state) = self
+            .prepared_anchors
+            .lock()
+            .expect("not poisoned")
+            .get(&key)
+        {
             return Some(state.clone());
         }
+        // Build outside the lock: per-shard warmup runs on the worker pool, and holding the
+        // cache lock across the (batched-GEMM) preparation would serialize it.  Two threads
+        // racing on the same key both build; the first insert wins and both states are
+        // equivalent (the preparation is a pure function of the anchor list).
         let state: Arc<dyn Any + Send + Sync> = Arc::from(self.model.prepare_anchors(anchors)?);
-        cache.insert(key, state.clone());
-        Some(state)
+        Some(
+            self.prepared_anchors
+                .lock()
+                .expect("not poisoned")
+                .entry(key)
+                .or_insert(state)
+                .clone(),
+        )
     }
 
     /// The sequential reference implementation of [`Cnt2Crd::per_entry_estimates`]: one
     /// `estimate_containment` call per direction per anchor, exactly as Figure 8 writes the
     /// algorithm.  Kept public for the parity tests and the criterion baseline.
     pub fn per_entry_estimates_sequential(&self, query: &Query) -> Vec<f64> {
-        let mut results = Vec::new();
-        for entry in self.pool.matching(query) {
-            let x_rate = self.model.estimate_containment(&entry.query, query);
-            let y_rate = self.model.estimate_containment(query, &entry.query);
-            if y_rate <= self.config.epsilon {
-                continue;
-            }
-            let estimate = x_rate / y_rate * entry.cardinality as f64;
-            if estimate.is_finite() {
-                results.push(estimate);
-            }
-        }
-        results
+        self.pool
+            .matching(query)
+            .filter_map(|entry| {
+                let x_rate = self.model.estimate_containment(&entry.query, query);
+                let y_rate = self.model.estimate_containment(query, &entry.query);
+                self.entry_estimate(entry.cardinality, x_rate, y_rate)
+            })
+            .collect()
     }
 }
 
-impl<M: ContainmentEstimator> CardinalityEstimator for Cnt2Crd<M> {
+impl<M: ContainmentEstimator + Sync> CardinalityEstimator for Cnt2Crd<M> {
     fn name(&self) -> &str {
         &self.name
     }

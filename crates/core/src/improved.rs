@@ -17,7 +17,7 @@ pub struct ImprovedEstimator<M> {
     name: String,
 }
 
-impl<M: CardinalityEstimator> ImprovedEstimator<M> {
+impl<M: CardinalityEstimator + Sync> ImprovedEstimator<M> {
     /// Wraps an existing estimator with the three-step improvement technique.
     pub fn new(estimator: M, pool: QueriesPool) -> Self {
         let name = format!("Improved {}", estimator.name());
@@ -49,7 +49,7 @@ impl<M: CardinalityEstimator> ImprovedEstimator<M> {
     }
 }
 
-impl<M: CardinalityEstimator> CardinalityEstimator for ImprovedEstimator<M> {
+impl<M: CardinalityEstimator + Sync> CardinalityEstimator for ImprovedEstimator<M> {
     fn name(&self) -> &str {
         &self.name
     }

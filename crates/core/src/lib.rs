@@ -5,9 +5,16 @@
 //! * [`model`] — the CRN model: per-query set encoders, average pooling, the `Expand`
 //!   combination and the containment head, trained on the q-error objective (§3.2–3.3);
 //! * [`crd2cnt`] — `Crd2Cnt(M)`: any cardinality estimator as a containment estimator (§4.1);
-//! * [`pool`] — the queries pool of previously executed queries with true cardinalities (§5.2);
+//! * [`pool`] — the queries pool of previously executed queries with true cardinalities
+//!   (§5.2), layered as [`pool::PoolShard`] storage units behind the classic
+//!   [`QueriesPool`] facade;
+//! * [`sharded`] — the sharded pool: N canonical-hash shards behind an immutable-snapshot
+//!   API, the storage layer of the concurrent serving subsystem;
 //! * [`cnt2crd`] — `Cnt2Crd(M)`: the queries-pool cardinality estimation technique with its
-//!   Median/Mean/TrimmedMean final functions (§5.1, §5.3, Figure 8);
+//!   Median/Mean/TrimmedMean final functions (§5.1, §5.3, Figure 8), optionally sharded
+//!   over a persistent worker pool;
+//! * [`service`] — the concurrent serving front-end: FROM-clause-grouped fused batches of
+//!   concurrent queries against a shared pool snapshot, with per-layer stats;
 //! * [`improved`] — `Improved(M) = Cnt2Crd(Crd2Cnt(M))`, the drop-in improvement of existing
 //!   estimators (§7).
 //!
@@ -45,6 +52,8 @@ pub mod improved;
 pub mod model;
 pub mod persist;
 pub mod pool;
+pub mod service;
+pub mod sharded;
 
 pub use cnt2crd::{Cnt2Crd, Cnt2CrdConfig, FinalFunction};
 pub use compound::CompoundQuery;
@@ -53,4 +62,6 @@ pub use featurize::CrnFeaturizer;
 pub use improved::ImprovedEstimator;
 pub use model::{CrnModel, CrnOptions, ExpandMode, Pooling, RATE_FLOOR};
 pub use persist::PersistError;
-pub use pool::{PoolEntry, QueriesPool};
+pub use pool::{PoolEntry, PoolShard, QueriesPool};
+pub use service::{EstimatorService, ServeResponse, ServeStats};
+pub use sharded::{PoolSnapshot, ShardedPool};

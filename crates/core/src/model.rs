@@ -20,8 +20,9 @@ use crn_db::database::Database;
 use crn_exec::ContainmentSample;
 use crn_nn::batch::shard_ranges;
 use crn_nn::batch::{
-    broadcast_rows, expand_concat, expand_concat_backward, expand_full, expand_full_backward,
-    segment_pool, segment_pool_backward, RaggedBatch, SegmentPool, SparseRows,
+    broadcast_rows, concat_rows, expand_concat, expand_concat_backward, expand_full,
+    expand_full_backward, segment_pool, segment_pool_backward, RaggedBatch, SegmentPool,
+    SparseRows,
 };
 use crn_nn::layers::{
     relu, relu_backward, relu_backward_in_place, relu_in_place, sigmoid, sigmoid_backward,
@@ -30,9 +31,7 @@ use crn_nn::layers::{
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
 use crn_nn::optim::Adam;
-use crn_nn::parallel::{
-    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig,
-};
+use crn_nn::parallel::{reduce_gradients, GradientSet, ThreadPoolConfig, WorkerPool};
 use crn_nn::train::{
     shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
     TrainingHistory,
@@ -483,6 +482,11 @@ impl CrnModel {
     /// deterministic mode bit-identical across thread counts.
     pub fn fit(&mut self, samples: &[ContainmentSample]) -> TrainingHistory {
         let parallel = self.config.parallel;
+        // One persistent worker-pool handle for the whole fit: every featurization shard,
+        // mini-batch and validation chunk below runs on the same spawn-once threads
+        // (`crn_nn::parallel::WorkerPool::shared`) instead of re-spawning scoped workers
+        // per mini-batch — the spawn overhead PR 2 measured at +24% for small batches.
+        let workers = parallel.worker_pool();
         // Features are featurized and converted to CSR once, before the epoch loop;
         // mini-batches are assembled by concatenating the per-sample non-zeros — no dense
         // row copies or scans inside the training loop.  Per-sample featurization is pure,
@@ -491,18 +495,19 @@ impl CrnModel {
         let features: Vec<(SparseRows, SparseRows)> = {
             let model = &*self;
             let ranges = shard_ranges(samples.len(), parallel.threads);
-            run_over_ranges(parallel.threads, &ranges, |range| {
-                samples[range]
-                    .iter()
-                    .map(|s| {
-                        let (v1, v2) = model.featurizer.featurize_pair(&s.q1, &s.q2);
-                        (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            workers
+                .run_over_ranges(&ranges, |range| {
+                    samples[range]
+                        .iter()
+                        .map(|s| {
+                            let (v1, v2) = model.featurizer.featurize_pair(&s.q1, &s.q2);
+                            (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
         };
         let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
 
@@ -530,7 +535,7 @@ impl CrnModel {
                     batch.iter().map(|&index| &features[index].1),
                 );
                 let (losses, grads) =
-                    self.sharded_batch_step(&parallel, &batch, batch1, batch2, &targets);
+                    self.sharded_batch_step(&parallel, &workers, &batch, batch1, batch2, &targets);
                 for loss in losses {
                     epoch_loss += loss as f64;
                     epoch_samples += 1;
@@ -548,26 +553,25 @@ impl CrnModel {
                 let chunks: Vec<&[usize]> =
                     valid_idx.chunks(self.config.batch_size.max(1)).collect();
                 let model = &*self;
-                let per_chunk: Vec<Vec<(f64, f64)>> =
-                    run_sharded(parallel.threads, chunks.len(), |shard| {
-                        let chunk = chunks[shard];
-                        let batch1 = RaggedBatch::from_sparse_sets(
-                            dim,
-                            chunk.iter().map(|&index| &features[index].0),
-                        );
-                        let batch2 = RaggedBatch::from_sparse_sets(
-                            dim,
-                            chunk.iter().map(|&index| &features[index].1),
-                        );
-                        let out = model.forward_batch_inference(&batch1, &batch2);
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(position, &index)| {
-                                (out.get(position, 0) as f64, targets[index] as f64)
-                            })
-                            .collect()
-                    });
+                let per_chunk: Vec<Vec<(f64, f64)>> = workers.run_sharded(chunks.len(), |shard| {
+                    let chunk = chunks[shard];
+                    let batch1 = RaggedBatch::from_sparse_sets(
+                        dim,
+                        chunk.iter().map(|&index| &features[index].0),
+                    );
+                    let batch2 = RaggedBatch::from_sparse_sets(
+                        dim,
+                        chunk.iter().map(|&index| &features[index].1),
+                    );
+                    let out = model.forward_batch_inference(&batch1, &batch2);
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(position, &index)| {
+                            (out.get(position, 0) as f64, targets[index] as f64)
+                        })
+                        .collect()
+                });
                 let pairs: Vec<(f64, f64)> = per_chunk.into_iter().flatten().collect();
                 mean_q_error(&pairs, RATE_FLOOR as f64)
             };
@@ -590,13 +594,14 @@ impl CrnModel {
     }
 
     /// One data-parallel mini-batch: shards the pair of ragged batches at segment
-    /// boundaries, runs the batched forward/backward per shard on the pool, and merges the
-    /// per-shard gradients in fixed shard order.  Returns the per-sample losses in batch
-    /// order and the merged gradient set; the caller applies the (single-threaded)
-    /// optimizer step.
+    /// boundaries, runs the batched forward/backward per shard on the persistent worker
+    /// pool, and merges the per-shard gradients in fixed shard order.  Returns the
+    /// per-sample losses in batch order and the merged gradient set; the caller applies the
+    /// (single-threaded) optimizer step.
     fn sharded_batch_step(
         &self,
         parallel: &ThreadPoolConfig,
+        workers: &WorkerPool,
         batch_indices: &[usize],
         batch1: RaggedBatch,
         batch2: RaggedBatch,
@@ -625,12 +630,11 @@ impl CrnModel {
             return step(batch1, batch2, batch_indices);
         }
         let ranges = shard_ranges(batch_indices.len(), num_shards);
-        let results: Vec<(Vec<f32>, GradientSet)> =
-            run_over_ranges(parallel.threads, &ranges, |range| {
-                let v1 = batch1.slice_segments(range.clone());
-                let v2 = batch2.slice_segments(range.clone());
-                step(v1, v2, &batch_indices[range])
-            });
+        let results: Vec<(Vec<f32>, GradientSet)> = workers.run_over_ranges(&ranges, |range| {
+            let v1 = batch1.slice_segments(range.clone());
+            let v2 = batch2.slice_segments(range.clone());
+            step(v1, v2, &batch_indices[range])
+        });
         let mut losses = Vec::with_capacity(batch_indices.len());
         let mut shards = Vec::with_capacity(results.len());
         for (shard_losses, shard_grads) in results {
@@ -749,7 +753,11 @@ impl CrnModel {
             .iter()
             .map(|anchor| self.featurizer.featurize(anchor))
             .collect();
-        let anchor_batch = RaggedBatch::from_sets(anchor_sets.iter());
+        // Forced-CSR packing: featurized rows are the one-hot regime where CSR wins, and a
+        // density-routed choice would make the execution path (and the per-row f32 order)
+        // depend on which anchors share the batch — sharded serving needs every anchor
+        // subset to encode bit-identically to the full set.
+        let anchor_batch = RaggedBatch::from_sets_csr(anchor_sets.iter());
         AnchorEncodings {
             under_mlp1: self.encode_sets(&self.mlp1, &anchor_batch),
             under_mlp2: self.encode_sets(&self.mlp2, &anchor_batch),
@@ -772,7 +780,7 @@ impl CrnModel {
             return Vec::new();
         }
         let query_set = self.featurizer.featurize(query);
-        let query_batch = RaggedBatch::from_sets([&query_set]);
+        let query_batch = RaggedBatch::from_sets_csr([&query_set]);
         let query_under_mlp1 = self.encode_sets(&self.mlp1, &query_batch);
         let query_under_mlp2 = self.encode_sets(&self.mlp2, &query_batch);
 
@@ -791,6 +799,62 @@ impl CrnModel {
                     forward_rates.get(i, 0) as f64,
                     backward_rates.get(i, 0) as f64,
                 )
+            })
+            .collect()
+    }
+
+    /// Group serving: both containment directions of pre-encoded anchors against a whole
+    /// *group* of queries (the concurrent front-end's unit of work), with the two
+    /// containment-head passes fused over the group — one `(M·B)×4H` head batch per
+    /// direction instead of `M` separate `B×4H` ones.
+    ///
+    /// Each query's featurization and set encoding deliberately runs through the exact
+    /// single-query path ([`CrnModel::serve_against_encodings`]'s head inputs are built the
+    /// same way): the ragged-batch CSR-vs-dense routing decision depends on batch density,
+    /// so packing the (tiny) per-query encodings differently could re-associate their f32
+    /// sums.  The head GEMMs compute every output row independently of the row count, which
+    /// is what makes the fused group pass bit-identical to `M` single-query passes — the
+    /// `EstimatorService` parity tests pin this.
+    fn serve_group_against_encodings(
+        &self,
+        encodings: &AnchorEncodings,
+        queries: &[&Query],
+    ) -> Vec<Vec<(f64, f64)>> {
+        let num_anchors = encodings.under_mlp1.rows();
+        if num_anchors == 0 || queries.is_empty() {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let mut forward_blocks = Vec::with_capacity(queries.len());
+        let mut backward_blocks = Vec::with_capacity(queries.len());
+        for query in queries {
+            let query_set = self.featurizer.featurize(query);
+            let query_batch = RaggedBatch::from_sets_csr([&query_set]);
+            let query_under_mlp1 = self.encode_sets(&self.mlp1, &query_batch);
+            let query_under_mlp2 = self.encode_sets(&self.mlp2, &query_batch);
+            // Direction 1: anchor ⊂% query (anchor feeds MLP1, query feeds MLP2).
+            forward_blocks.push(self.expand_pairs(
+                &encodings.under_mlp1,
+                &broadcast_rows(&query_under_mlp2, num_anchors),
+            ));
+            // Direction 2: query ⊂% anchor.
+            backward_blocks.push(self.expand_pairs(
+                &broadcast_rows(&query_under_mlp1, num_anchors),
+                &encodings.under_mlp2,
+            ));
+        }
+        let forward_rates = self.head_inference(&concat_rows(&forward_blocks));
+        let backward_rates = self.head_inference(&concat_rows(&backward_blocks));
+        (0..queries.len())
+            .map(|q| {
+                (0..num_anchors)
+                    .map(|i| {
+                        let row = q * num_anchors + i;
+                        (
+                            forward_rates.get(row, 0) as f64,
+                            backward_rates.get(row, 0) as f64,
+                        )
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -865,6 +929,30 @@ impl ContainmentEstimator for CrnModel {
                 self.serve_against_encodings(encodings, query)
             }
             _ => CrnModel::predict_batch(self, anchors, query),
+        }
+    }
+
+    /// Fused group serving (see [`CrnModel::serve_group_against_encodings`]): one pair of
+    /// containment-head batches for the whole query group, bit-identical per query to the
+    /// single-query [`predict_batch_prepared`](ContainmentEstimator::predict_batch_prepared).
+    fn predict_batch_prepared_multi(
+        &self,
+        prepared: &(dyn std::any::Any + Send + Sync),
+        anchors: &[&Query],
+        queries: &[&Query],
+    ) -> Vec<Vec<(f64, f64)>> {
+        if anchors.is_empty() {
+            // Never reaches the GEMM path, whatever serving state the caller cached.
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        match prepared.downcast_ref::<AnchorEncodings>() {
+            Some(encodings) if encodings.under_mlp1.rows() == anchors.len() => {
+                self.serve_group_against_encodings(encodings, queries)
+            }
+            _ => queries
+                .iter()
+                .map(|query| CrnModel::predict_batch(self, anchors, query))
+                .collect(),
         }
     }
 }
@@ -1311,8 +1399,14 @@ mod tests {
             } else {
                 ThreadPoolConfig::with_threads(threads)
             };
-            let (losses, grads) =
-                model.sharded_batch_step(&pool, &indices, batch1.clone(), batch2.clone(), &targets);
+            let (losses, grads) = model.sharded_batch_step(
+                &pool,
+                &pool.worker_pool(),
+                &indices,
+                batch1.clone(),
+                batch2.clone(),
+                &targets,
+            );
             assert_eq!(losses.len(), samples.len());
             for ((name, index), reference) in [
                 ("mlp1.w", grad_index::MLP1_W),

@@ -7,6 +7,7 @@
 
 use crate::model::CrnModel;
 use crate::pool::QueriesPool;
+use crate::sharded::ShardedPool;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs::File;
@@ -84,6 +85,25 @@ impl QueriesPool {
     }
 }
 
+impl ShardedPool {
+    /// Serializes the pool to a JSON file by flattening the current snapshot into the
+    /// single-shard format — the durable form is shard-count-agnostic, so a pool saved at
+    /// one shard count loads at any other (sharding is a runtime serving decision, not a
+    /// storage property).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.to_pool().save(path)
+    }
+
+    /// Loads a pool previously written by [`ShardedPool::save`] (or [`QueriesPool::save`] —
+    /// the formats are identical) and re-routes its entries over `num_shards` shards.
+    pub fn load(path: impl AsRef<Path>, num_shards: usize) -> Result<Self, PersistError> {
+        Ok(ShardedPool::from_pool(
+            &QueriesPool::load(path)?,
+            num_shards,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +140,33 @@ mod tests {
         assert_eq!(pool.len(), loaded.len());
         assert_eq!(pool.entries(), loaded.entries());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_pool_round_trips_across_shard_counts() {
+        let db = generate_imdb(&ImdbConfig::tiny(73));
+        let pool = QueriesPool::generate(&db, 30, 1, 73);
+        let sharded = ShardedPool::from_pool(&pool, 4);
+        let dir = std::env::temp_dir().join("crn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sharded_pool.json");
+        sharded.save(&path).expect("save succeeds");
+        // The durable form is shard-count-agnostic: load at a different count.
+        let reloaded = ShardedPool::load(&path, 2).expect("load succeeds");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.num_shards(), 2);
+        assert_eq!(reloaded.len(), pool.len());
+        // Same entry set, and the classic loader reads the same file.
+        let mut original: Vec<String> = pool.entries().iter().map(|e| format!("{e:?}")).collect();
+        let mut roundtrip: Vec<String> = reloaded
+            .to_pool()
+            .entries()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect();
+        original.sort();
+        roundtrip.sort();
+        assert_eq!(original, roundtrip);
     }
 
     #[test]

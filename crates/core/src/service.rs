@@ -1,0 +1,619 @@
+//! The concurrent estimator service — the serving front-end of the layered subsystem.
+//!
+//! [`EstimatorService`] accepts a *slice of concurrent queries* (the unit a database
+//! front-end would hand over per scheduling tick), and produces one cardinality estimate per
+//! query plus a [`ServeStats`] describing how the batch was served.  The three layers:
+//!
+//! 1. **Storage** — an immutable [`PoolSnapshot`](crate::sharded::PoolSnapshot) of the
+//!    [`ShardedPool`]: taken once per `serve` call, shared by every worker, never blocking
+//!    concurrent pool maintenance.
+//! 2. **Compute** — the queries are grouped by FROM clause (only same-FROM anchors can
+//!    participate, §5.3), each `(group × non-empty shard)` becomes one work item on the
+//!    persistent [`WorkerPool`], and each work item runs the whole group against the
+//!    shard's anchors in one fused batch
+//!    ([`ContainmentEstimator::predict_batch_prepared_multi`]) with a per-shard cached
+//!    [`prepare_anchors`](ContainmentEstimator::prepare_anchors) state keyed by the shard's
+//!    snapshot version.
+//! 3. **Merge** — per-shard estimate lists concatenate in canonical shard order, the final
+//!    function (median by default) folds them, and queries without any matching anchor fall
+//!    back exactly like [`Cnt2Crd`](crate::cnt2crd::Cnt2Crd).
+//!
+//! # Bit-identical to sequential serving
+//!
+//! For every query, the service's estimate is **bit-identical** to what the sequential
+//! single-query `Cnt2Crd` path returns over the flattened pool, at *any* shard and thread
+//! count: per-anchor rates are computed by row-count-independent kernels over forced-CSR
+//! featurizations (so shard partitioning cannot re-associate any f32 sum), the merged
+//! per-entry list is a permutation of the sequential one, and the final functions sort
+//! before folding.  The parity tests below pin shards = 1/2/8.
+
+use crate::cnt2crd::Cnt2CrdConfig;
+use crate::pool::from_key;
+use crate::sharded::{PoolSnapshot, ShardedPool};
+use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
+use crn_nn::parallel::WorkerPool;
+use crn_query::ast::Query;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How one `serve` call was executed: counters per layer plus wall-clock per phase.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Queries in the served slice.
+    pub queries: usize,
+    /// Distinct FROM-clause groups the slice collapsed into.
+    pub groups: usize,
+    /// Shards in the pool snapshot.
+    pub shards: usize,
+    /// Pool entries in the snapshot.
+    pub pool_entries: usize,
+    /// `(group × non-empty shard)` work items evaluated on the worker pool.
+    pub work_items: usize,
+    /// Queries answered from the pool (at least one per-entry estimate survived ε).
+    pub pool_hits: usize,
+    /// Queries answered by the fallback estimator (or the configured default).
+    pub fallbacks: usize,
+    /// Taking the pool snapshot.
+    pub snapshot_time: Duration,
+    /// Grouping queries by FROM clause and planning work items.
+    pub group_time: Duration,
+    /// Evaluating all work items on the worker pool.
+    pub compute_time: Duration,
+    /// Merging per-shard results, final functions and fallbacks.
+    pub merge_time: Duration,
+    /// End-to-end `serve` wall clock.
+    pub total_time: Duration,
+}
+
+impl ServeStats {
+    /// One-line human-readable rendering (used by `repro serve`).
+    pub fn render(&self) -> String {
+        format!(
+            "{} queries in {} groups over {} shards ({} entries): {} work items, \
+             {} pool hits, {} fallbacks | snapshot {:.1?} group {:.1?} compute {:.1?} \
+             merge {:.1?} total {:.1?}",
+            self.queries,
+            self.groups,
+            self.shards,
+            self.pool_entries,
+            self.work_items,
+            self.pool_hits,
+            self.fallbacks,
+            self.snapshot_time,
+            self.group_time,
+            self.compute_time,
+            self.merge_time,
+            self.total_time,
+        )
+    }
+}
+
+/// One `serve` call's result: the per-query estimates (in input order) and the stats.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// One cardinality estimate per input query, in input order.
+    pub estimates: Vec<f64>,
+    /// How the batch was served.
+    pub stats: ServeStats,
+}
+
+/// A per-shard cached anchor serving state, valid for one shard version.
+struct CachedShardAnchors {
+    version: u64,
+    state: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+/// The concurrent serving front-end over a containment model and a sharded queries pool.
+///
+/// The service owns its storage ([`ShardedPool`] — concurrent maintenance via
+/// [`EstimatorService::pool`] is visible to the next `serve` call) and shares a persistent
+/// [`WorkerPool`] with whatever else the process runs (training, other services).
+pub struct EstimatorService<M> {
+    model: M,
+    pool: ShardedPool,
+    workers: WorkerPool,
+    config: Cnt2CrdConfig,
+    fallback: Option<Box<dyn CardinalityEstimator + Send + Sync>>,
+    name: String,
+    /// Per-`(shard, FROM-clause)` anchor serving state, keyed by the shard's snapshot
+    /// version so pool maintenance invalidates exactly the shards it touched.
+    prepared: Mutex<BTreeMap<(usize, String), CachedShardAnchors>>,
+}
+
+impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
+    /// Builds the service from a containment model, a sharded pool and a worker pool.
+    pub fn new(model: M, pool: ShardedPool, workers: WorkerPool) -> Self {
+        let name = format!("EstimatorService({})", model.name());
+        EstimatorService {
+            model,
+            pool,
+            workers,
+            config: Cnt2CrdConfig::default(),
+            fallback: None,
+            name,
+            prepared: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Overrides the Cnt2Crd configuration (final function, ε, default estimate).
+    pub fn with_config(mut self, config: Cnt2CrdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the fallback cardinality estimator used when no pool entry matches a query's
+    /// FROM clause (§5.2: "we can always rely on the known basic cardinality estimation
+    /// models").
+    pub fn with_fallback(mut self, fallback: Box<dyn CardinalityEstimator + Send + Sync>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The service's name ("EstimatorService(<model>)").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped containment model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The sharded queries pool (insert/remove here between `serve` calls — snapshots in
+    /// flight are unaffected).
+    pub fn pool(&self) -> &ShardedPool {
+        &self.pool
+    }
+
+    /// The technique's configuration.
+    pub fn config(&self) -> &Cnt2CrdConfig {
+        &self.config
+    }
+
+    /// Serves a slice of concurrent queries: one estimate per query, in input order, plus
+    /// the per-layer stats.  See the module docs for the execution plan.
+    pub fn serve(&self, queries: &[Query]) -> ServeResponse {
+        let started = Instant::now();
+        let mut stats = ServeStats {
+            queries: queries.len(),
+            ..ServeStats::default()
+        };
+
+        // Layer 1 — storage: one immutable snapshot for the whole batch.
+        let snapshot = self.pool.snapshot();
+        stats.shards = snapshot.num_shards();
+        stats.pool_entries = snapshot.len();
+        stats.snapshot_time = started.elapsed();
+
+        // Layer 2a — plan: group queries by FROM clause (BTreeMap: deterministic group
+        // order), then one work item per (group, shard with matching anchors).
+        let group_started = Instant::now();
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (index, query) in queries.iter().enumerate() {
+            groups.entry(from_key(query)).or_default().push(index);
+        }
+        let groups: Vec<(String, Vec<usize>)> = groups.into_iter().collect();
+        stats.groups = groups.len();
+        let mut work_items: Vec<(usize, usize)> = Vec::new(); // (group index, shard index)
+        for (group_index, (key, _)) in groups.iter().enumerate() {
+            for shard in 0..snapshot.num_shards() {
+                if snapshot.shard(shard).matching_key(key).next().is_some() {
+                    work_items.push((group_index, shard));
+                }
+            }
+        }
+        stats.work_items = work_items.len();
+        stats.group_time = group_started.elapsed();
+
+        // Layer 2b — compute: every work item runs its whole group against one shard's
+        // anchors in a single fused multi-query batch.  Work items are independent; the
+        // worker pool hands them out dynamically and returns them in item order.
+        let compute_started = Instant::now();
+        let per_item: Vec<Vec<Vec<f64>>> = self.workers.run_sharded(work_items.len(), |item| {
+            let (group_index, shard) = work_items[item];
+            let (key, query_indices) = &groups[group_index];
+            self.evaluate_group_on_shard(&snapshot, key, query_indices, queries, shard)
+        });
+        stats.compute_time = compute_started.elapsed();
+
+        // Layer 3 — merge: per-query estimate lists concatenate in canonical shard order
+        // (work items are sorted by (group, shard) and returned in item order), then the
+        // final function folds each query's list.
+        let merge_started = Instant::now();
+        let mut per_query: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        for ((group_index, _), item_estimates) in work_items.iter().zip(per_item) {
+            let (_, query_indices) = &groups[*group_index];
+            for (&query_index, estimates) in query_indices.iter().zip(item_estimates) {
+                per_query[query_index].extend(estimates);
+            }
+        }
+        let estimates: Vec<f64> = per_query
+            .iter()
+            .zip(queries)
+            .map(|(entry_estimates, query)| {
+                match self.config.final_function.apply(entry_estimates) {
+                    Some(value) => {
+                        stats.pool_hits += 1;
+                        value.max(0.0)
+                    }
+                    None => {
+                        stats.fallbacks += 1;
+                        match &self.fallback {
+                            Some(fallback) => fallback.estimate(query),
+                            None => self.config.default_estimate,
+                        }
+                    }
+                }
+            })
+            .collect();
+        stats.merge_time = merge_started.elapsed();
+        stats.total_time = started.elapsed();
+        ServeResponse { estimates, stats }
+    }
+
+    /// Convenience single-query entry point (a one-element `serve`).
+    pub fn estimate_one(&self, query: &Query) -> f64 {
+        self.serve(std::slice::from_ref(query)).estimates[0]
+    }
+
+    /// One work item: a FROM-clause group of queries against one shard's matching anchors.
+    /// Returns per-query (in group order) per-entry estimate lists, ε-filtered.
+    fn evaluate_group_on_shard(
+        &self,
+        snapshot: &PoolSnapshot,
+        key: &str,
+        query_indices: &[usize],
+        queries: &[Query],
+        shard: usize,
+    ) -> Vec<Vec<f64>> {
+        let shard_storage = snapshot.shard(shard);
+        let mut anchors: Vec<&Query> = Vec::new();
+        let mut cardinalities: Vec<u64> = Vec::new();
+        for entry in shard_storage.matching_key(key) {
+            anchors.push(&entry.query);
+            cardinalities.push(entry.cardinality);
+        }
+        let group_queries: Vec<&Query> = query_indices.iter().map(|&i| &queries[i]).collect();
+        let prepared = self.prepared_for_shard(snapshot, shard, key, &anchors);
+        // A model with nothing to precompute still goes through the multi-query entry
+        // point: the default implementation ignores the (dummy) state and loops the
+        // unprepared batch path.
+        static NO_STATE: () = ();
+        let state: &(dyn Any + Send + Sync) = match &prepared {
+            Some(state) => state.as_ref(),
+            None => &NO_STATE,
+        };
+        let per_query_rates =
+            self.model
+                .predict_batch_prepared_multi(state, &anchors, &group_queries);
+        per_query_rates
+            .into_iter()
+            .map(|rates| {
+                cardinalities
+                    .iter()
+                    .zip(rates)
+                    .filter_map(|(&cardinality, (x_rate, y_rate))| {
+                        // The one shared definition of a per-entry estimate — the
+                        // bit-parity contract with sequential serving depends on it.
+                        self.config.entry_estimate(cardinality, x_rate, y_rate)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Returns (building on first use) the model's serving state for one shard's anchors of
+    /// one FROM clause, keyed by the shard's snapshot version — maintenance that replaced
+    /// the shard invalidates exactly these entries.
+    fn prepared_for_shard(
+        &self,
+        snapshot: &PoolSnapshot,
+        shard: usize,
+        key: &str,
+        anchors: &[&Query],
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        let version = snapshot.shard_version(shard);
+        let cache_key = (shard, key.to_string());
+        if let Some(cached) = self.prepared.lock().expect("not poisoned").get(&cache_key) {
+            if cached.version == version {
+                return cached.state.clone();
+            }
+        }
+        // Build outside the lock (see `Cnt2Crd::prepared_for`): racing builders produce
+        // equivalent states and the first insert wins.
+        let state: Option<Arc<dyn Any + Send + Sync>> =
+            self.model.prepare_anchors(anchors).map(Arc::from);
+        let mut cache = self.prepared.lock().expect("not poisoned");
+        let entry = cache.entry(cache_key).or_insert(CachedShardAnchors {
+            version,
+            state: state.clone(),
+        });
+        if entry.version != version {
+            // A stale entry survived from an older snapshot: replace it.
+            *entry = CachedShardAnchors {
+                version,
+                state: state.clone(),
+            };
+        }
+        entry.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnt2crd::Cnt2Crd;
+    use crate::crd2cnt::Crd2Cnt;
+    use crate::model::CrnModel;
+    use crate::pool::QueriesPool;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+    use crn_db::Database;
+    use crn_estimators::{PostgresEstimator, TrueCardinality};
+    use crn_exec::label_containment_pairs;
+    use crn_nn::TrainConfig;
+    use crn_query::generator::{GeneratorConfig, QueryGenerator};
+
+    fn trained_crn(db: &Database, seed: u64) -> CrnModel {
+        let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+        let pairs = gen.generate_pairs(30, 120);
+        let samples = label_containment_pairs(db, &pairs, 4);
+        let mut crn = CrnModel::new(db, TrainConfig::fast_test());
+        crn.fit(&samples);
+        crn
+    }
+
+    fn workload(db: &Database, seed: u64, count: usize) -> Vec<Query> {
+        let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+        gen.generate_queries(count)
+    }
+
+    /// The acceptance-criterion parity pin: at shards = 1/2/8 (and several thread counts)
+    /// the service's estimate for every query is **bit-identical** to the sequential
+    /// single-query `Cnt2Crd::per_entry_estimates` path over the same (flattened) pool —
+    /// for the trained CRN model (fused batched GEMM serving) and for the oracle pipeline
+    /// (default trait serving).
+    #[test]
+    fn service_is_bit_identical_to_sequential_cnt2crd() {
+        let db = generate_imdb(&ImdbConfig::tiny(80));
+        let pool = QueriesPool::generate(&db, 60, 2, 80);
+        let queries = workload(&db, 81, 30);
+        let crn = trained_crn(&db, 81);
+
+        let sequential_crn = Cnt2Crd::new(crn.clone(), pool.clone())
+            .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+        let sequential_oracle = Cnt2Crd::new(Crd2Cnt::new(TrueCardinality::new(&db)), pool.clone());
+        let expected_crn: Vec<f64> = queries.iter().map(|q| sequential_crn.estimate(q)).collect();
+        let expected_oracle: Vec<f64> = queries
+            .iter()
+            .map(|q| sequential_oracle.estimate(q))
+            .collect();
+        let mut covered = 0usize;
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 4] {
+                let workers = WorkerPool::shared(threads);
+                let service = EstimatorService::new(
+                    crn.clone(),
+                    ShardedPool::from_pool(&pool, shards),
+                    workers.clone(),
+                )
+                .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+                let response = service.serve(&queries);
+                assert_eq!(response.estimates.len(), queries.len());
+                for (index, (actual, expected)) in
+                    response.estimates.iter().zip(&expected_crn).enumerate()
+                {
+                    assert!(
+                        actual == expected,
+                        "CRN shards={shards} threads={threads} query {index}: \
+                         service {actual} vs sequential {expected}"
+                    );
+                }
+                covered += response.stats.pool_hits;
+                assert_eq!(
+                    response.stats.pool_hits + response.stats.fallbacks,
+                    queries.len()
+                );
+
+                let oracle_service = EstimatorService::new(
+                    Crd2Cnt::new(TrueCardinality::new(&db)),
+                    ShardedPool::from_pool(&pool, shards),
+                    workers,
+                );
+                let oracle_response = oracle_service.serve(&queries);
+                for (index, (actual, expected)) in oracle_response
+                    .estimates
+                    .iter()
+                    .zip(&expected_oracle)
+                    .enumerate()
+                {
+                    assert!(
+                        actual == expected,
+                        "oracle shards={shards} threads={threads} query {index}: \
+                         service {actual} vs sequential {expected}"
+                    );
+                }
+            }
+        }
+        assert!(covered > 5, "the pool should cover several test queries");
+    }
+
+    /// `Cnt2Crd::with_serving` (canonical-hash anchor shards on the persistent pool) must
+    /// produce a bit-exact permutation of the unsharded per-entry list — and therefore a
+    /// bit-identical final estimate.
+    #[test]
+    fn sharded_cnt2crd_is_a_bit_exact_permutation_of_unsharded() {
+        let db = generate_imdb(&ImdbConfig::tiny(82));
+        let pool = QueriesPool::generate(&db, 60, 2, 82);
+        let queries = workload(&db, 83, 20);
+        let crn = trained_crn(&db, 83);
+        let unsharded = Cnt2Crd::new(crn.clone(), pool.clone());
+        for shards in [2usize, 8] {
+            let sharded =
+                Cnt2Crd::new(crn.clone(), pool.clone()).with_serving(shards, WorkerPool::shared(4));
+            for query in &queries {
+                let mut expected = unsharded.per_entry_estimates(query);
+                let mut actual = sharded.per_entry_estimates(query);
+                assert_eq!(expected.len(), actual.len(), "same anchors survive ε");
+                expected.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                actual.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                assert_eq!(expected, actual, "shards = {shards}, query {query}");
+                assert!(
+                    crn_estimators::CardinalityEstimator::estimate(&unsharded, query)
+                        == crn_estimators::CardinalityEstimator::estimate(&sharded, query),
+                    "estimates must be bit-identical"
+                );
+            }
+        }
+    }
+
+    /// The fused multi-query serving of the CRN model must be bit-identical, per query, to
+    /// the single-query prepared path.
+    #[test]
+    fn fused_group_serving_matches_single_query_serving() {
+        use crn_estimators::ContainmentEstimator;
+        let db = generate_imdb(&ImdbConfig::tiny(84));
+        let crn = trained_crn(&db, 84);
+        let pool = QueriesPool::generate(&db, 40, 1, 84);
+        let scan = Query::scan(tables::TITLE);
+        let anchors: Vec<&Query> = pool.matching(&scan).map(|e| &e.query).collect();
+        assert!(anchors.len() >= 2, "fixture needs anchors");
+        let queries = workload(&db, 85, 12);
+        let group: Vec<&Query> = queries
+            .iter()
+            .filter(|q| q.tables() == scan.tables())
+            .chain(std::iter::once(&scan))
+            .collect();
+        let prepared = crn.prepare_anchors(&anchors).expect("anchors prepare");
+        let multi = crn.predict_batch_prepared_multi(prepared.as_ref(), &anchors, &group);
+        assert_eq!(multi.len(), group.len());
+        for (query, rates) in group.iter().zip(&multi) {
+            let single = crn.predict_batch_prepared(prepared.as_ref(), &anchors, query);
+            assert_eq!(
+                rates, &single,
+                "fused group rates must match single-query rates"
+            );
+        }
+        // Empty cases short-circuit.
+        assert!(crn
+            .predict_batch_prepared_multi(prepared.as_ref(), &[], &group)
+            .iter()
+            .all(|rates| rates.is_empty()));
+        assert!(crn
+            .predict_batch_prepared_multi(prepared.as_ref(), &anchors, &[])
+            .is_empty());
+    }
+
+    /// Pool maintenance between `serve` calls: new snapshots (and shard versions) are
+    /// picked up, stale per-shard anchor caches are invalidated, and in-flight semantics
+    /// stay exactly the sequential ones.
+    #[test]
+    fn maintenance_between_serves_invalidates_per_shard_caches() {
+        let db = generate_imdb(&ImdbConfig::tiny(86));
+        let pool = QueriesPool::generate(&db, 50, 1, 86);
+        let crn = trained_crn(&db, 86);
+        let queries = workload(&db, 87, 15);
+        let service = EstimatorService::new(
+            crn.clone(),
+            ShardedPool::from_pool(&pool, 4),
+            WorkerPool::shared(2),
+        );
+        // Warm the caches.
+        let first = service.serve(&queries);
+        assert_eq!(first.estimates.len(), queries.len());
+
+        // Mutate: drop every anchor of the first query's FROM clause, add one back.
+        let victim = &queries[0];
+        let victims: Vec<Query> = pool
+            .matching(victim)
+            .map(|entry| entry.query.clone())
+            .collect();
+        assert!(!victims.is_empty(), "fixture covers the victim query");
+        let mut updated = pool.clone();
+        for query in &victims {
+            assert!(service.pool().remove(query).is_some());
+            updated.remove(query);
+        }
+        assert!(service.pool().insert(victims[0].clone(), 123));
+        updated.insert(victims[0].clone(), 123);
+
+        // The next serve must agree bit-for-bit with the sequential path over the updated
+        // pool — a stale anchor cache (pre-removal encodings) would break this.
+        let sequential = Cnt2Crd::new(crn, updated);
+        let second = service.serve(&queries);
+        for (index, (actual, query)) in second.estimates.iter().zip(&queries).enumerate() {
+            let expected = crn_estimators::CardinalityEstimator::estimate(&sequential, query);
+            assert!(
+                *actual == expected,
+                "query {index} after maintenance: service {actual} vs sequential {expected}"
+            );
+        }
+    }
+
+    /// Stats bookkeeping: groups, work items, hits and fallbacks add up, and the fallback
+    /// estimator is consulted exactly when no pool entry matches.
+    #[test]
+    fn serve_stats_and_fallbacks_add_up() {
+        let db = generate_imdb(&ImdbConfig::tiny(88));
+        let crn = trained_crn(&db, 88);
+        // A pool covering only `title` scans.
+        let mut pool = QueriesPool::new();
+        pool.insert(Query::scan(tables::TITLE), 100);
+        let service =
+            EstimatorService::new(crn, ShardedPool::from_pool(&pool, 4), WorkerPool::shared(2))
+                .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+        assert!(service.name().starts_with("EstimatorService("));
+        let queries = vec![
+            Query::scan(tables::TITLE),
+            Query::scan(tables::TITLE),
+            Query::scan(tables::MOVIE_COMPANIES),
+        ];
+        let response = service.serve(&queries);
+        let stats = &response.stats;
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.groups, 2, "two distinct FROM clauses");
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.pool_entries, 1);
+        assert_eq!(stats.work_items, 1, "only the covered group hits a shard");
+        assert_eq!(stats.pool_hits + stats.fallbacks, 3);
+        assert!(stats.fallbacks >= 1, "the uncovered FROM clause falls back");
+        let expected_fallback = PostgresEstimator::analyze(&db).estimate(&queries[2]);
+        assert_eq!(response.estimates[2], expected_fallback);
+        assert!(stats.total_time >= stats.compute_time);
+        assert!(stats.render().contains("3 queries in 2 groups"));
+        // Single-query convenience agrees with the batch path.
+        assert_eq!(service.estimate_one(&queries[0]), response.estimates[0]);
+        // An empty slice is a no-op.
+        let empty = service.serve(&[]);
+        assert!(empty.estimates.is_empty());
+        assert_eq!(empty.stats.work_items, 0);
+    }
+
+    /// Concurrent `serve` callers share the worker pool and the caches without interfering:
+    /// every caller gets the bit-exact sequential answer.
+    #[test]
+    fn concurrent_serve_calls_agree_with_sequential() {
+        let db = generate_imdb(&ImdbConfig::tiny(89));
+        let pool = QueriesPool::generate(&db, 50, 1, 89);
+        let crn = trained_crn(&db, 89);
+        let queries = workload(&db, 90, 12);
+        let sequential = Cnt2Crd::new(crn.clone(), pool.clone());
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| crn_estimators::CardinalityEstimator::estimate(&sequential, q))
+            .collect();
+        let service =
+            EstimatorService::new(crn, ShardedPool::from_pool(&pool, 4), WorkerPool::shared(3));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..3 {
+                        let response = service.serve(&queries);
+                        assert_eq!(response.estimates, expected);
+                    }
+                });
+            }
+        });
+    }
+}

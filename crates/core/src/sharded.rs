@@ -1,0 +1,501 @@
+//! Sharded queries-pool storage behind an immutable-snapshot API — the storage layer of the
+//! concurrent serving subsystem.
+//!
+//! A [`ShardedPool`] distributes pool entries over `N` [`PoolShard`]s by **canonical query
+//! hash** (the same unkeyed hash the duplicate index uses), so each shard owns a disjoint
+//! slice of the entries together with its own FROM-clause and duplicate indexes.  The live
+//! state is a [`PoolSnapshot`]: an `Arc`'d, fully immutable view swapped under a
+//! `parking_lot::RwLock`.
+//!
+//! * **Readers never block on writers** beyond the pointer swap: [`ShardedPool::snapshot`]
+//!   clones the current `Arc` under a read lock and serves from the frozen shards for as
+//!   long as it likes — inserts and removals build a *new* snapshot (copy-on-write of the
+//!   single affected shard; the untouched shards are shared by `Arc`) and swap it in.
+//! * **Sharded matching is a partition of sequential matching**: a query's matching entries
+//!   in shard `s` are exactly the pool-wide matching entries routed to `s`, so
+//!   concatenating the per-shard lists in canonical shard order `0..N` is a permutation of
+//!   the single-shard scan.  The serving layer's final functions (median / mean over the
+//!   per-entry estimates) are order-insensitive, which makes sharded serving bit-identical
+//!   to the sequential path — the parity tests in [`crate::service`] pin this at
+//!   `N = 1, 2, 8`.
+//! * **Shard versions** (monotonic per pool, bumped on every copy-on-write replacement) let
+//!   the serving layer cache per-shard anchor state and invalidate exactly the shards a
+//!   write touched.
+
+use crate::pool::{query_hash, PoolEntry, PoolShard, QueriesPool};
+use crn_query::ast::Query;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable point-in-time view of a sharded pool: the unit the serving layer reads.
+///
+/// Snapshots are cheap to hold (a vector of `Arc`s) and never change after construction;
+/// concurrent maintenance on the owning [`ShardedPool`] produces *new* snapshots.
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    shards: Vec<Arc<PoolShard>>,
+    /// Per-shard versions: monotonic within the owning pool, bumped whenever the shard is
+    /// replaced by a write.  Serving caches key their per-shard state by this.
+    versions: Vec<u64>,
+}
+
+impl PoolSnapshot {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The frozen shards, in canonical shard order.
+    pub fn shards(&self) -> &[Arc<PoolShard>] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, index: usize) -> &PoolShard {
+        &self.shards[index]
+    }
+
+    /// The version of one shard (see the type docs for the invalidation contract).
+    pub fn shard_version(&self, index: usize) -> u64 {
+        self.versions[index]
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Returns true when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Entries matching the query's FROM clause across all shards, in canonical shard order
+    /// (within a shard: insertion order).  A permutation of the single-shard
+    /// [`QueriesPool::matching`] list.
+    pub fn matching<'a>(&'a self, query: &Query) -> impl Iterator<Item = &'a PoolEntry> {
+        let key = crate::pool::from_key(query);
+        self.shards
+            .iter()
+            .flat_map(move |shard| shard.matching_key(&key).collect::<Vec<_>>())
+    }
+
+    /// Number of distinct FROM clauses covered by the pool (union over shards).
+    pub fn num_from_clauses(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.from_keys())
+            .collect::<std::collections::BTreeSet<&str>>()
+            .len()
+    }
+
+    /// Flattens the snapshot into a single-shard pool, in canonical shard order (used by
+    /// persistence and the parity tests; the result is `matching`-equivalent, not
+    /// entry-order-identical, to the pool the snapshot was built from).
+    pub fn to_pool(&self) -> QueriesPool {
+        let mut pool = QueriesPool::new();
+        for shard in &self.shards {
+            for entry in shard.entries() {
+                pool.insert(entry.query.clone(), entry.cardinality);
+            }
+        }
+        pool
+    }
+}
+
+/// `N` pool shards keyed by canonical query hash behind an immutable-snapshot API.
+///
+/// All reads go through [`ShardedPool::snapshot`]; [`ShardedPool::insert`] and
+/// [`ShardedPool::remove`] are copy-on-write over the single affected shard.  Writers are
+/// serialized by a dedicated mutex and build the successor shard **outside** the snapshot
+/// lock, taking the write lock only for the `Arc` swap — so the type is `Sync` and
+/// concurrent readers contend with maintenance only on that pointer swap, never on the
+/// O(shard-size) clone/re-index.
+#[derive(Debug)]
+pub struct ShardedPool {
+    snapshot: RwLock<Arc<PoolSnapshot>>,
+    /// Serializes writers: with this held, the current snapshot can only be replaced by
+    /// the holder, so read-clone-swap without keeping the snapshot lock is race-free.
+    writer: parking_lot::Mutex<()>,
+    /// Source of fresh shard versions (see [`PoolSnapshot::shard_version`]).
+    next_version: AtomicU64,
+}
+
+impl ShardedPool {
+    /// Creates an empty pool with `num_shards` shards (at least one).
+    pub fn new(num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let shards = (0..num_shards)
+            .map(|_| Arc::new(PoolShard::new()))
+            .collect();
+        let versions = (1..=num_shards as u64).collect();
+        ShardedPool {
+            snapshot: RwLock::new(Arc::new(PoolSnapshot { shards, versions })),
+            writer: parking_lot::Mutex::new(()),
+            next_version: AtomicU64::new(num_shards as u64 + 1),
+        }
+    }
+
+    /// Builds a sharded pool from a single-owner pool by routing every entry to its
+    /// canonical-hash shard (bulk construction: each shard is built once, no copy-on-write).
+    pub fn from_pool(pool: &QueriesPool, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let mut shards: Vec<PoolShard> = (0..num_shards).map(|_| PoolShard::new()).collect();
+        for entry in pool.entries() {
+            let shard = (query_hash(&entry.query) % num_shards as u64) as usize;
+            shards[shard].insert(entry.query.clone(), entry.cardinality);
+        }
+        let shards: Vec<Arc<PoolShard>> = shards.into_iter().map(Arc::new).collect();
+        let versions = (1..=num_shards as u64).collect();
+        ShardedPool {
+            snapshot: RwLock::new(Arc::new(PoolSnapshot { shards, versions })),
+            writer: parking_lot::Mutex::new(()),
+            next_version: AtomicU64::new(num_shards as u64 + 1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.snapshot.read().num_shards()
+    }
+
+    /// The canonical shard index of a query (stable for the pool's lifetime: entries are
+    /// routed by the process-wide canonical query hash modulo the shard count).
+    pub fn shard_of(&self, query: &Query) -> usize {
+        (query_hash(query) % self.num_shards() as u64) as usize
+    }
+
+    /// The current immutable snapshot.  Hold it as long as needed; it never changes and
+    /// never blocks maintenance (which swaps in successors).
+    pub fn snapshot(&self) -> Arc<PoolSnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Adds an executed query with its actual cardinality; returns whether the entry was new
+    /// (duplicates keep the first recorded cardinality, exactly like the single-owner pool).
+    ///
+    /// Copy-on-write: clones the target shard and mutates the clone **outside** the
+    /// snapshot lock (writers are serialized by [`ShardedPool::writer`], so the snapshot
+    /// cannot change under us), then swaps in a new snapshot sharing the `N − 1` untouched
+    /// shards — readers only ever wait for the pointer swap.
+    pub fn insert(&self, query: Query, cardinality: u64) -> bool {
+        let _writer = self.writer.lock();
+        let current = self.snapshot();
+        let index = (query_hash(&query) % current.num_shards() as u64) as usize;
+        let mut shard = (*current.shards[index]).clone();
+        if !shard.insert(query, cardinality) {
+            return false;
+        }
+        let next = Arc::new(self.replaced(&current, index, shard));
+        *self.snapshot.write() = next;
+        true
+    }
+
+    /// Removes a previously inserted query, returning its recorded cardinality (`None` when
+    /// absent).  Copy-on-write like [`ShardedPool::insert`] (successor built outside the
+    /// snapshot lock).
+    pub fn remove(&self, query: &Query) -> Option<u64> {
+        let _writer = self.writer.lock();
+        let current = self.snapshot();
+        let index = (query_hash(query) % current.num_shards() as u64) as usize;
+        let mut shard = (*current.shards[index]).clone();
+        let removed = shard.remove(query)?;
+        let next = Arc::new(self.replaced(&current, index, shard));
+        *self.snapshot.write() = next;
+        Some(removed)
+    }
+
+    /// Total number of entries (over the current snapshot).
+    pub fn len(&self) -> usize {
+        self.snapshot.read().len()
+    }
+
+    /// Returns true when the current snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.read().is_empty()
+    }
+
+    /// Flattens the current snapshot into a single-owner pool (see
+    /// [`PoolSnapshot::to_pool`]).
+    pub fn to_pool(&self) -> QueriesPool {
+        self.snapshot().to_pool()
+    }
+
+    /// A successor snapshot with shard `index` replaced (and re-versioned).
+    fn replaced(&self, current: &PoolSnapshot, index: usize, shard: PoolShard) -> PoolSnapshot {
+        let mut shards = current.shards.clone();
+        let mut versions = current.versions.clone();
+        shards[index] = Arc::new(shard);
+        versions[index] = self.next_version.fetch_add(1, Ordering::Relaxed);
+        PoolSnapshot { shards, versions }
+    }
+}
+
+impl Clone for ShardedPool {
+    /// Clones the pool at its current snapshot (cheap: shards are shared until either copy
+    /// writes).
+    fn clone(&self) -> Self {
+        let snapshot = self.snapshot();
+        ShardedPool {
+            snapshot: RwLock::new(snapshot),
+            writer: parking_lot::Mutex::new(()),
+            next_version: AtomicU64::new(self.next_version.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_db::imdb::{generate_imdb, tables, ImdbConfig};
+
+    #[test]
+    fn routing_distributes_and_preserves_matching() {
+        let db = generate_imdb(&ImdbConfig::tiny(90));
+        let pool = QueriesPool::generate(&db, 60, 2, 90);
+        for num_shards in [1usize, 2, 3, 8] {
+            let sharded = ShardedPool::from_pool(&pool, num_shards);
+            assert_eq!(sharded.num_shards(), num_shards);
+            assert_eq!(sharded.len(), pool.len());
+            let snapshot = sharded.snapshot();
+            assert_eq!(snapshot.num_from_clauses(), pool.num_from_clauses());
+            // Every query's sharded matching list is a permutation of the sequential one.
+            for entry in pool.entries().iter().take(20) {
+                let mut sequential: Vec<(&Query, u64)> = pool
+                    .matching(&entry.query)
+                    .map(|e| (&e.query, e.cardinality))
+                    .collect();
+                let mut sharded_matches: Vec<(&Query, u64)> = snapshot
+                    .matching(&entry.query)
+                    .map(|e| (&e.query, e.cardinality))
+                    .collect();
+                sequential.sort_by_key(|(q, _)| format!("{q}"));
+                sharded_matches.sort_by_key(|(q, _)| format!("{q}"));
+                assert_eq!(sequential, sharded_matches, "shards = {num_shards}");
+            }
+            // Entries land on their canonical-hash shard.
+            for (index, shard) in snapshot.shards().iter().enumerate() {
+                for entry in shard.entries() {
+                    assert_eq!(
+                        (query_hash(&entry.query) % num_shards as u64) as usize,
+                        index
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_writes() {
+        let sharded = ShardedPool::new(4);
+        let title_scan = Query::scan(tables::TITLE);
+        let cast_scan = Query::scan(tables::CAST_INFO);
+        assert!(sharded.insert(title_scan.clone(), 100));
+        let before = sharded.snapshot();
+        assert_eq!(before.len(), 1);
+
+        assert!(sharded.insert(cast_scan.clone(), 50));
+        assert!(!sharded.insert(cast_scan.clone(), 999), "duplicate ignored");
+        assert_eq!(sharded.remove(&title_scan), Some(100));
+        assert_eq!(sharded.remove(&title_scan), None);
+
+        // The old snapshot still sees the pre-write world.
+        assert_eq!(before.len(), 1);
+        assert_eq!(before.matching(&title_scan).count(), 1);
+        // The new snapshot sees the post-write world.
+        let after = sharded.snapshot();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after.matching(&title_scan).count(), 0);
+        assert_eq!(after.matching(&cast_scan).next().unwrap().cardinality, 50);
+    }
+
+    #[test]
+    fn shard_versions_change_exactly_for_written_shards() {
+        let sharded = ShardedPool::new(4);
+        let query = Query::scan(tables::TITLE);
+        let target = sharded.shard_of(&query);
+        let before = sharded.snapshot();
+        assert!(sharded.insert(query.clone(), 1));
+        let after = sharded.snapshot();
+        for shard in 0..4 {
+            if shard == target {
+                assert_ne!(before.shard_version(shard), after.shard_version(shard));
+            } else {
+                assert_eq!(before.shard_version(shard), after.shard_version(shard));
+                assert!(
+                    Arc::ptr_eq(&before.shards()[shard], &after.shards()[shard]),
+                    "untouched shards are shared, not copied"
+                );
+            }
+        }
+        // A rejected duplicate swaps nothing.
+        assert!(!sharded.insert(query, 2));
+        let unchanged = sharded.snapshot();
+        assert_eq!(after.shard_version(target), unchanged.shard_version(target));
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_state() {
+        let db = generate_imdb(&ImdbConfig::tiny(91));
+        let pool = QueriesPool::generate(&db, 40, 1, 91);
+        let sharded = ShardedPool::from_pool(&pool, 4);
+        let entries: Vec<PoolEntry> = pool.entries().to_vec();
+        std::thread::scope(|scope| {
+            // Writer: churn the same entries in and out.
+            scope.spawn(|| {
+                for entry in &entries {
+                    sharded.remove(&entry.query);
+                    sharded.insert(entry.query.clone(), entry.cardinality);
+                }
+            });
+            // Readers: every snapshot is internally consistent (len equals the sum over
+            // shards, and matching never yields an entry the snapshot does not hold).
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let snapshot = sharded.snapshot();
+                        let total: usize = snapshot.shards().iter().map(|s| s.len()).sum();
+                        assert_eq!(snapshot.len(), total);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.len(), pool.len());
+    }
+
+    #[test]
+    fn sharded_proptest_oracle_agreement() {
+        // The proptest proper lives in `routing_proptests` below; this anchor test keeps a
+        // fast deterministic instance in the default filter set.
+        let db = generate_imdb(&ImdbConfig::tiny(93));
+        let pool = QueriesPool::generate(&db, 30, 1, 93);
+        let sharded = ShardedPool::from_pool(&pool, 3);
+        for entry in pool.entries() {
+            assert_eq!(sharded.remove(&entry.query), Some(entry.cardinality));
+            assert!(sharded.insert(entry.query.clone(), entry.cardinality));
+        }
+        assert_eq!(sharded.len(), pool.len());
+    }
+
+    #[test]
+    fn to_pool_round_trips_through_any_shard_count() {
+        let db = generate_imdb(&ImdbConfig::tiny(92));
+        let pool = QueriesPool::generate(&db, 50, 2, 92);
+        for num_shards in [1usize, 3, 8] {
+            let sharded = ShardedPool::from_pool(&pool, num_shards);
+            let flattened = sharded.to_pool();
+            assert_eq!(flattened.len(), pool.len());
+            assert_eq!(flattened.num_from_clauses(), pool.num_from_clauses());
+            // Entry order may be permuted, the entry set may not.
+            let mut a: Vec<String> = pool.entries().iter().map(|e| format!("{:?}", e)).collect();
+            let mut b: Vec<String> = flattened
+                .entries()
+                .iter()
+                .map(|e| format!("{:?}", e))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            // One-shard mode reproduces the facade's entry order exactly.
+            if num_shards == 1 {
+                assert_eq!(flattened.entries(), pool.entries());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod routing_proptests {
+    //! Property tests of the sharded routing: under random interleavings of insert /
+    //! remove / persistence reload (including reload into a *different* shard count), a
+    //! [`ShardedPool`] must agree with the PR-2 one-shard `OraclePool` harness on every
+    //! returned value and on the full observable matching state.
+
+    use super::*;
+    use crate::pool::index_proptests::{query_universe, OraclePool};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_sharded_agrees(sharded: &ShardedPool, oracle: &OraclePool) -> Result<(), String> {
+        let snapshot = sharded.snapshot();
+        prop_assert_eq!(snapshot.len(), oracle.entries.len());
+        prop_assert_eq!(snapshot.num_from_clauses(), oracle.num_from_clauses());
+        // Matching agrees as a multiset for every universe query (sharding permutes the
+        // order; the serving layer's final functions are order-insensitive).
+        for query in query_universe() {
+            let mut via_shards: Vec<(String, u64)> = snapshot
+                .matching(query)
+                .map(|e| (format!("{}", e.query), e.cardinality))
+                .collect();
+            let mut via_oracle: Vec<(String, u64)> = oracle
+                .matching(query)
+                .into_iter()
+                .map(|(q, c)| (format!("{q}"), c))
+                .collect();
+            via_shards.sort();
+            via_oracle.sort();
+            prop_assert_eq!(via_shards, via_oracle);
+        }
+        // Every entry sits on its canonical-hash shard with exact per-shard indexes.
+        for (index, shard) in snapshot.shards().iter().enumerate() {
+            for entry in shard.entries() {
+                prop_assert_eq!(
+                    (crate::pool::query_hash(&entry.query) % snapshot.num_shards() as u64) as usize,
+                    index
+                );
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random insert/remove/reload interleavings at random shard counts: the sharded
+        /// pool and the linear-scan oracle agree on every returned value and on the full
+        /// observable state; reloads may change the shard count without changing semantics.
+        #[test]
+        fn sharded_routing_agrees_with_one_shard_oracle(seed in 0u64..10_000) {
+            let universe = query_universe();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sharded = ShardedPool::new(rng.gen_range(1usize..=8));
+            let mut oracle = OraclePool::default();
+            for op in 0..40 {
+                let query = universe[rng.gen_range(0..universe.len())].clone();
+                match rng.gen_range(0..10u32) {
+                    // Inserts dominate so the pool actually grows.
+                    0..=5 => {
+                        let cardinality = rng.gen_range(0..1000u64);
+                        let inserted = sharded.insert(query.clone(), cardinality);
+                        let before = oracle.entries.len();
+                        oracle.insert(query, cardinality);
+                        prop_assert!(
+                            inserted == (oracle.entries.len() > before),
+                            "op {op}: insert disagreement"
+                        );
+                    }
+                    6..=8 => {
+                        let (mine, theirs) = (sharded.remove(&query), oracle.remove(&query));
+                        prop_assert!(
+                            mine == theirs,
+                            "op {op}: remove returned {mine:?}, oracle {theirs:?}"
+                        );
+                    }
+                    _ => {
+                        // Persistence reload into a random (possibly different) shard
+                        // count: flatten, JSON round-trip, re-shard.
+                        let flattened = sharded.to_pool();
+                        let json = serde_json::to_string(&flattened)
+                            .map_err(|e| format!("serialize: {e}"))?;
+                        let reloaded: QueriesPool = serde_json::from_str(&json)
+                            .map_err(|e| format!("deserialize: {e}"))?;
+                        sharded = ShardedPool::from_pool(&reloaded, rng.gen_range(1usize..=8));
+                    }
+                }
+                assert_sharded_agrees(&sharded, &oracle)?;
+            }
+        }
+    }
+}

@@ -23,9 +23,7 @@ use crn_nn::layers::{
 use crn_nn::loss::{loss_and_grad, mean_q_error};
 use crn_nn::matrix::Matrix;
 use crn_nn::optim::Adam;
-use crn_nn::parallel::{
-    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig,
-};
+use crn_nn::parallel::{reduce_gradients, GradientSet, ThreadPoolConfig, WorkerPool};
 use crn_nn::train::{
     shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
     TrainingHistory,
@@ -562,28 +560,33 @@ impl MscnModel {
     /// deterministic mode bit-identical across thread counts.
     pub fn fit(&mut self, samples: &[CardinalitySample]) -> TrainingHistory {
         let parallel = self.config.parallel;
+        // One persistent worker-pool handle for the whole fit (see `CrnModel::fit`): every
+        // featurization shard, mini-batch and validation chunk runs on the same spawn-once
+        // threads instead of re-spawning scoped workers per mini-batch.
+        let workers = parallel.worker_pool();
         // Features are featurized and converted to CSR once, before the epoch loop;
         // mini-batches are assembled by concatenating the per-sample non-zeros.  Per-sample
         // featurization is pure, so it shards trivially across the worker threads.
         let features: Vec<SparseMscnFeatures> = {
             let model = &*self;
             let ranges = shard_ranges(samples.len(), parallel.threads);
-            run_over_ranges(parallel.threads, &ranges, |range| {
-                samples[range]
-                    .iter()
-                    .map(|s| {
-                        let dense = model.featurizer.featurize(&s.query);
-                        SparseMscnFeatures {
-                            tables: SparseRows::from_matrix(&dense.tables),
-                            joins: SparseRows::from_matrix(&dense.joins),
-                            predicates: SparseRows::from_matrix(&dense.predicates),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            workers
+                .run_over_ranges(&ranges, |range| {
+                    samples[range]
+                        .iter()
+                        .map(|s| {
+                            let dense = model.featurizer.featurize(&s.query);
+                            SparseMscnFeatures {
+                                tables: SparseRows::from_matrix(&dense.tables),
+                                joins: SparseRows::from_matrix(&dense.joins),
+                                predicates: SparseRows::from_matrix(&dense.predicates),
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
         };
         let targets: Vec<f32> = samples.iter().map(|s| s.cardinality as f32).collect();
         let max_card = targets.iter().cloned().fold(1.0f32, f32::max);
@@ -607,6 +610,7 @@ impl MscnModel {
                 let (tables, joins, predicates) = self.pack_sparse_batch(&features, &batch);
                 let (losses, grads) = self.sharded_batch_step(
                     &parallel,
+                    &workers,
                     &batch,
                     (tables, joins, predicates),
                     &targets,
@@ -626,20 +630,19 @@ impl MscnModel {
                 let chunks: Vec<&[usize]> =
                     valid_idx.chunks(self.config.batch_size.max(1)).collect();
                 let model = &*self;
-                let per_chunk: Vec<Vec<(f64, f64)>> =
-                    run_sharded(parallel.threads, chunks.len(), |shard| {
-                        let chunk = chunks[shard];
-                        let (tables, joins, predicates) = model.pack_sparse_batch(&features, chunk);
-                        let out = model.forward_batch_inference(&tables, &joins, &predicates);
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(position, &index)| {
-                                let prediction = model.unnormalize(out.get(position, 0)).max(0.0);
-                                (prediction as f64, targets[index] as f64)
-                            })
-                            .collect()
-                    });
+                let per_chunk: Vec<Vec<(f64, f64)>> = workers.run_sharded(chunks.len(), |shard| {
+                    let chunk = chunks[shard];
+                    let (tables, joins, predicates) = model.pack_sparse_batch(&features, chunk);
+                    let out = model.forward_batch_inference(&tables, &joins, &predicates);
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(position, &index)| {
+                            let prediction = model.unnormalize(out.get(position, 0)).max(0.0);
+                            (prediction as f64, targets[index] as f64)
+                        })
+                        .collect()
+                });
                 let pairs: Vec<(f64, f64)> = per_chunk.into_iter().flatten().collect();
                 mean_q_error(&pairs, CARD_FLOOR as f64)
             };
@@ -670,6 +673,7 @@ impl MscnModel {
     fn sharded_batch_step(
         &self,
         parallel: &ThreadPoolConfig,
+        workers: &WorkerPool,
         batch_indices: &[usize],
         batches: (RaggedBatch, RaggedBatch, RaggedBatch),
         targets: &[f32],
@@ -713,15 +717,14 @@ impl MscnModel {
             return step(tables, joins, predicates, batch_indices);
         }
         let ranges = shard_ranges(batch_indices.len(), num_shards);
-        let results: Vec<(Vec<f32>, GradientSet)> =
-            run_over_ranges(parallel.threads, &ranges, |range| {
-                step(
-                    tables.slice_segments(range.clone()),
-                    joins.slice_segments(range.clone()),
-                    predicates.slice_segments(range.clone()),
-                    &batch_indices[range],
-                )
-            });
+        let results: Vec<(Vec<f32>, GradientSet)> = workers.run_over_ranges(&ranges, |range| {
+            step(
+                tables.slice_segments(range.clone()),
+                joins.slice_segments(range.clone()),
+                predicates.slice_segments(range.clone()),
+                &batch_indices[range],
+            )
+        });
         let mut losses = Vec::with_capacity(batch_indices.len());
         let mut shards = Vec::with_capacity(results.len());
         for (shard_losses, shard_grads) in results {
@@ -1196,8 +1199,13 @@ mod tests {
                 ThreadPoolConfig::with_threads(threads)
             };
             let (tables, joins, predicates) = MscnModel::pack_batch(&features, &indices);
-            let (losses, grads) =
-                model.sharded_batch_step(&pool, &indices, (tables, joins, predicates), &targets);
+            let (losses, grads) = model.sharded_batch_step(
+                &pool,
+                &pool.worker_pool(),
+                &indices,
+                (tables, joins, predicates),
+                &targets,
+            );
             assert_eq!(losses.len(), samples.len());
             for ((name, index), reference) in [
                 ("tables.l1.w", 0usize),

@@ -91,6 +91,28 @@ pub trait ContainmentEstimator {
         let _ = prepared;
         self.predict_batch(anchors, query)
     }
+
+    /// [`predict_batch_prepared`](ContainmentEstimator::predict_batch_prepared) for a whole
+    /// *group* of concurrent queries sharing the anchor list: returns one rate vector per
+    /// query, in query order, each element exactly what the single-query call returns.
+    ///
+    /// This is the shape the concurrent serving front-end consumes — it groups incoming
+    /// queries by FROM clause and evaluates each group against the shared pool snapshot in
+    /// one call.  The default loops over the single-query path; neural models override it to
+    /// pack the whole group into one ragged batch (one set-encoder pass for all queries,
+    /// fused containment-head GEMMs), with per-row results bit-identical to the per-query
+    /// calls.
+    fn predict_batch_prepared_multi(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        queries: &[&Query],
+    ) -> Vec<Vec<(f64, f64)>> {
+        queries
+            .iter()
+            .map(|query| self.predict_batch_prepared(prepared, anchors, query))
+            .collect()
+    }
 }
 
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for &T {
@@ -142,6 +164,15 @@ impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for &T {
     ) -> Vec<(f64, f64)> {
         (**self).predict_batch_prepared(prepared, anchors, query)
     }
+
+    fn predict_batch_prepared_multi(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        queries: &[&Query],
+    ) -> Vec<Vec<(f64, f64)>> {
+        (**self).predict_batch_prepared_multi(prepared, anchors, queries)
+    }
 }
 
 impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for Box<T> {
@@ -172,6 +203,15 @@ impl<T: ContainmentEstimator + ?Sized> ContainmentEstimator for Box<T> {
         query: &Query,
     ) -> Vec<(f64, f64)> {
         (**self).predict_batch_prepared(prepared, anchors, query)
+    }
+
+    fn predict_batch_prepared_multi(
+        &self,
+        prepared: &(dyn Any + Send + Sync),
+        anchors: &[&Query],
+        queries: &[&Query],
+    ) -> Vec<Vec<(f64, f64)>> {
+        (**self).predict_batch_prepared_multi(prepared, anchors, queries)
     }
 }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! repro all [--preset tiny|small|paper] [--threads N] [--deterministic] [--markdown <path>]
 //! repro <experiment-id> [<experiment-id> ...] [--preset ...]
+//! repro serve [--preset ...] [--shards N] [--threads N] [--queries N] [--batch N]
 //! repro list
 //! ```
 //!
@@ -13,12 +14,20 @@
 //! `--deterministic` selects the canonical shard/reduction order so the trained models are
 //! bit-identical for every `N` (see `crn_nn::parallel`).
 //!
+//! `repro serve` drives the concurrent estimator service instead of an experiment: the
+//! queries pool is sharded `--shards` ways behind an immutable snapshot, `--batch`-sized
+//! slices of a `--queries`-long workload are served on the persistent `--threads`-worker
+//! pool, and the first batch is verified bit-for-bit against sequential serving.
+//!
 //! Experiment ids are the ones listed in DESIGN.md (`table2`–`table15`, `fig3`–`fig13`,
 //! `ablation_crn`, `ablation_final_fn`).  The output is the same set of rows/series the paper
 //! reports; absolute numbers differ (different database instance and scale), the *shape* is
 //! what should be compared.
 
-use crn_eval::{run_experiment, ExperimentConfig, ExperimentContext, ALL_EXPERIMENTS};
+use crn_eval::{
+    run_experiment, run_serve_demo, ExperimentConfig, ExperimentContext, ServeDemoConfig,
+    ALL_EXPERIMENTS,
+};
 use std::io::Write;
 use std::time::Instant;
 
@@ -27,6 +36,10 @@ fn main() {
     if args.is_empty() {
         print_usage();
         std::process::exit(2);
+    }
+    if args[0] == "serve" {
+        run_serve(&args[1..]);
+        return;
     }
 
     let mut experiment_ids: Vec<String> = Vec::new();
@@ -151,10 +164,70 @@ fn main() {
     eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
 }
 
+/// Parses and runs `repro serve ...` (see the module docs for the flags).
+fn run_serve(args: &[String]) {
+    let mut preset = "tiny".to_string();
+    let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+    let mut iter = args.iter();
+    let flag_value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
+        iter.next().cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--preset" => preset = flag_value(&mut iter, "--preset"),
+            "--shards" => {
+                config.shards = parse_count(&flag_value(&mut iter, "--shards"), "--shards")
+            }
+            "--threads" => {
+                config.threads = parse_count(&flag_value(&mut iter, "--threads"), "--threads")
+            }
+            "--queries" => {
+                config.queries = parse_count(&flag_value(&mut iter, "--queries"), "--queries")
+            }
+            "--batch" => config.batch = parse_count(&flag_value(&mut iter, "--batch"), "--batch"),
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown serve flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    config.experiment = match preset.as_str() {
+        "tiny" => ExperimentConfig::tiny(),
+        "small" => ExperimentConfig::small(),
+        "paper" => ExperimentConfig::paper(),
+        other => {
+            eprintln!("unknown preset {other}; expected tiny, small or paper");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", run_serve_demo(&config));
+}
+
+fn parse_count(value: &str, flag: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(parsed) if parsed >= 1 => parsed,
+        _ => {
+            eprintln!("{flag} requires a positive integer, got {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: repro <all|list|experiment-id ...> [--preset tiny|small|paper] \
          [--threads N] [--deterministic] [--markdown <path>]"
+    );
+    eprintln!(
+        "       repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
+         [--queries N] [--batch N]"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

@@ -6,7 +6,9 @@
 //!   (§4.2, §6.1);
 //! * [`harness`] — the shared [`harness::ExperimentContext`]: database, training corpora,
 //!   trained CRN/MSCN models, the PostgreSQL baseline and the queries pool;
-//! * [`experiments`] — one runner per paper table/figure plus ablations.
+//! * [`experiments`] — one runner per paper table/figure plus ablations;
+//! * [`serve`] — the `repro serve` driver: the concurrent estimator service over a sharded
+//!   pool snapshot, with a bit-parity tripwire against sequential serving.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -23,6 +25,7 @@ pub mod harness;
 pub mod metrics;
 pub mod plot;
 pub mod report;
+pub mod serve;
 pub mod workloads;
 
 pub use experiments::{run_all, run_experiment, ALL_EXPERIMENTS};
@@ -30,4 +33,5 @@ pub use harness::{ExperimentConfig, ExperimentContext};
 pub use metrics::{ModelErrors, QErrorSummary};
 pub use plot::{render_box_plots, BoxStats};
 pub use report::ExperimentReport;
+pub use serve::{run_serve_demo, ServeDemoConfig};
 pub use workloads::{PairWorkload, Workload, WorkloadSizes};

@@ -202,6 +202,23 @@ impl RaggedBatch {
         RaggedBatch::new(Matrix::from_vec(total_rows, dim, data), offsets)
     }
 
+    /// [`RaggedBatch::from_sets`] with the CSR view built **unconditionally**, independent
+    /// of batch density.
+    ///
+    /// The serving layer packs featurized query/anchor sets with this: those rows are the
+    /// one-hot regime where the CSR path wins anyway, and — unlike the density-routed
+    /// [`RaggedBatch::from_sets`] — the chosen execution path (and therefore the f32
+    /// summation order per row) is a structural constant, not a function of which subset of
+    /// rows happens to share a batch.  That invariance is what lets sharded serving split an
+    /// anchor set arbitrarily and stay bit-identical to the unsharded scan.
+    pub fn from_sets_csr<'a>(sets: impl IntoIterator<Item = &'a Matrix>) -> Self {
+        let mut batch = RaggedBatch::from_sets(sets);
+        if batch.sparse.is_none() {
+            batch.sparse = Some(SparseRows::from_matrix(&batch.rows));
+        }
+        batch
+    }
+
     /// Packs `copies` repetitions of one set (used to broadcast a single query against a
     /// batch of anchors in the Cnt2Crd serving path).
     pub fn from_repeated(set: &Matrix, copies: usize) -> Self {
@@ -511,6 +528,20 @@ pub fn broadcast_rows(row: &Matrix, copies: usize) -> Matrix {
         data.extend_from_slice(row.data());
     }
     Matrix::from_vec(copies, row.cols(), data)
+}
+
+/// Vertical concatenation of equal-width blocks: `[(B₁×d), (B₂×d), ...] -> (ΣBᵢ×d)` (used
+/// by the group serving path to fuse per-query containment-head inputs into one batch —
+/// the head kernels compute every output row independently, so stacking is bit-neutral).
+pub fn concat_rows(blocks: &[Matrix]) -> Matrix {
+    let dim = blocks.first().map_or(0, |m| m.cols());
+    let total: usize = blocks.iter().map(|m| m.rows()).sum();
+    let mut data = Vec::with_capacity(total * dim);
+    for block in blocks {
+        assert_eq!(block.cols(), dim, "all blocks must share the width");
+        data.extend_from_slice(block.data());
+    }
+    Matrix::from_vec(total, dim, data)
 }
 
 /// Horizontal concatenation of equal-height blocks: `[(B×d₁), (B×d₂), ...] -> (B×Σdⱼ)`

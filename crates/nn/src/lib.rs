@@ -11,9 +11,9 @@
 //!   flattened into one matrix with segment offsets, so dense layers run as one GEMM per
 //!   batch, pooling becomes a segment reduction, and the CRN `Expand` combination is
 //!   vectorized over all pairs (see the module docs for the design);
-//! * [`parallel`] — data-parallel epoch execution: a `std::thread`-scoped shard pool,
-//!   detached per-shard gradient sets and fixed-order (optionally fully deterministic)
-//!   gradient reduction;
+//! * [`parallel`] — data-parallel execution: a persistent spawn-once worker pool (plus the
+//!   original scoped shard pool), detached per-shard gradient sets and fixed-order
+//!   (optionally fully deterministic) gradient reduction;
 //! * [`optim`] — the Adam optimizer;
 //! * [`loss`] — the q-error objective (plus MSE / MAE, which §3.2.4 considers and rejects);
 //! * [`train`] — train/validation splitting, mini-batching, early stopping and training
@@ -42,9 +42,9 @@ pub mod parallel;
 pub mod train;
 
 pub use batch::{
-    broadcast_rows, concat_columns, expand_concat, expand_concat_backward, expand_full,
-    expand_full_backward, segment_pool, segment_pool_backward, shard_ranges, split_columns,
-    RaggedBatch, SegmentPool, SparseRows,
+    broadcast_rows, concat_columns, concat_rows, expand_concat, expand_concat_backward,
+    expand_full, expand_full_backward, segment_pool, segment_pool_backward, shard_ranges,
+    split_columns, RaggedBatch, SegmentPool, SparseRows,
 };
 pub use layers::{
     mean_pool, mean_pool_backward, relu, relu_backward, relu_backward_in_place, relu_in_place,
@@ -54,7 +54,7 @@ pub use loss::{loss_and_grad, mean_q_error, q_error, LossKind, LossValue};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use parallel::{
-    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig,
+    reduce_gradients, run_over_ranges, run_sharded, GradientSet, ThreadPoolConfig, WorkerPool,
     DETERMINISTIC_SHARDS,
 };
 pub use train::{

@@ -11,6 +11,10 @@
 //!   at most `threads` `std::thread::scope` workers (the vendored-deps policy rules out
 //!   rayon), results returned **in canonical shard order** regardless of which worker ran
 //!   which shard;
+//! * [`WorkerPool`] — the persistent (spawn-once) form of the same shard pool, shared
+//!   process-wide per thread count: training loops and the Cnt2Crd serving layer submit
+//!   every mini-batch / per-query job to the same long-lived workers instead of re-spawning
+//!   scoped threads per call;
 //! * [`GradientSet`] — a model's gradient tensors as plain matrices, detached from the
 //!   parameters so every shard can accumulate privately;
 //! * [`reduce_gradients`] — merges per-shard gradient sets in a **fixed shard order**
@@ -37,8 +41,12 @@
 
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Number of canonical shards used by deterministic mode, chosen independently of the
 /// thread count so that the f32 reduction order — and therefore the trained model — is
@@ -209,6 +217,323 @@ where
     F: Fn(Range<usize>) -> T + Sync,
 {
     run_sharded(threads, ranges.len(), |shard| work(ranges[shard].clone()))
+}
+
+/// A persistent data-parallel worker pool: `threads - 1` workers spawned **once** and reused
+/// across jobs, with the same contract as [`run_sharded`] (dynamic shard hand-out via an
+/// atomic cursor, results in canonical shard order, the calling thread draining the queue
+/// alongside the workers, panics propagated).
+///
+/// [`run_sharded`] spawns fresh `std::thread::scope` workers per call, which is fine for a
+/// handful of epoch-level calls but measurably not for per-mini-batch or per-query work: at
+/// PR 2's scale the spawn/join overhead was +24% of a small-batch training epoch.  Training
+/// (`CrnModel::fit` / `MscnModel::fit`) and the Cnt2Crd serving layer therefore take a
+/// `WorkerPool` handle — obtained once via [`WorkerPool::shared`] — and submit every
+/// mini-batch and every per-shard serving job to the same long-lived workers.
+///
+/// Handles are cheap clones of one shared pool (`Arc` internally); the spawned threads exit
+/// when the last handle drops.  Jobs from concurrent submitters are serialized in submission
+/// order — the pool runs one job at a time, so per-job determinism is exactly that of
+/// [`run_sharded`].  Jobs must not submit nested jobs to the same pool (the nested submit
+/// would wait on its own job's completion); shard bodies are expected to be pure compute.
+#[derive(Clone)]
+pub struct WorkerPool {
+    core: Arc<PoolCore>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.core.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (the calling thread counts as one: only
+    /// `threads - 1` OS threads are spawned, and `threads <= 1` spawns none and runs every
+    /// job inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner::default());
+        let handles = (1..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        WorkerPool {
+            core: Arc::new(PoolCore {
+                inner,
+                threads,
+                handles,
+            }),
+        }
+    }
+
+    /// Returns the process-wide shared pool for the given thread count, creating (and
+    /// spawning) it on first use.  This is how the training loops and the serving layer
+    /// amortize thread spawns across *all* mini-batches and queries of the process: every
+    /// `ThreadPoolConfig` with the same `threads` resolves to the same OS threads.
+    ///
+    /// Shared pools live for the remainder of the process (the registry keeps one handle).
+    pub fn shared(threads: usize) -> WorkerPool {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, WorkerPool>>> = OnceLock::new();
+        let threads = threads.max(1);
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut pools = lock_ignoring_poison(registry);
+        pools
+            .entry(threads)
+            .or_insert_with(|| WorkerPool::new(threads))
+            .clone()
+    }
+
+    /// The pool's worker count (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.core.threads
+    }
+
+    /// Executes `num_shards` work items on the pool and returns the results **in shard
+    /// order** — the persistent-pool form of [`run_sharded`], with the identical contract:
+    /// shards are handed out dynamically, every result lands in its own slot, and the
+    /// returned order is independent of scheduling.
+    ///
+    /// # Panics
+    /// Propagates a panic from any shard's work.
+    pub fn run_sharded<T, F>(&self, num_shards: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if num_shards == 0 {
+            return Vec::new();
+        }
+        if self.core.threads <= 1 || num_shards <= 1 {
+            return (0..num_shards).map(work).collect();
+        }
+        let slots: Vec<ResultSlot<T>> = (0..num_shards).map(|_| ResultSlot::new()).collect();
+        let slots_ref = &slots;
+        let work_ref = &work;
+        let task = move |shard: usize| {
+            let value = work_ref(shard);
+            // SAFETY: the job cursor hands each shard index to exactly one executor, so
+            // this is the only writer of slot `shard`.
+            unsafe { slots_ref[shard].set(value) };
+        };
+        let erased: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY: `submit_and_drain` blocks until every shard invocation has returned, so
+        // the erased borrow of `task` (and everything it captures) outlives all uses.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(erased) };
+        let panicked = self.core.inner.submit_and_drain(erased, num_shards);
+        if panicked {
+            panic!("worker pool shard panicked");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.take().expect("every shard produced exactly once"))
+            .collect()
+    }
+
+    /// [`run_over_ranges`] on the persistent pool: runs `work` once per range, results in
+    /// range order.
+    pub fn run_over_ranges<T, F>(&self, ranges: &[Range<usize>], work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        self.run_sharded(ranges.len(), |shard| work(ranges[shard].clone()))
+    }
+}
+
+impl ThreadPoolConfig {
+    /// The process-shared persistent [`WorkerPool`] for this configuration's thread count.
+    pub fn worker_pool(&self) -> WorkerPool {
+        WorkerPool::shared(self.threads)
+    }
+}
+
+/// The user-facing shared state of one pool: dropped when the last [`WorkerPool`] handle
+/// drops, which shuts the workers down.
+struct PoolCore {
+    inner: Arc<PoolInner>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        {
+            let mut state = lock_ignoring_poison(&self.inner.state);
+            state.shutdown = true;
+            self.inner.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside a job already surfaced through the submit
+            // path; at shutdown all that matters is that the thread is gone.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker-visible pool state.
+#[derive(Default)]
+struct PoolInner {
+    /// Serializes submitters: one job runs at a time, in submission order.
+    submit: Mutex<()>,
+    /// The published job and the shutdown flag, guarded for the condvars.
+    state: Mutex<JobState>,
+    /// Signalled when a new job is published (and at shutdown).
+    work_ready: Condvar,
+    /// Signalled when a job's last shard completes.
+    work_done: Condvar,
+}
+
+#[derive(Default)]
+struct JobState {
+    job: Option<Job>,
+    /// Bumped per job so a worker never re-enters the job it just drained.
+    generation: u64,
+    shutdown: bool,
+}
+
+/// One submitted job.  Each job owns its *own* cursor/completion atomics: a worker that
+/// wakes up late (or lingers after draining) can only touch the atomics of the job it
+/// actually observed, never a successor job's hand-out state.
+#[derive(Clone)]
+struct Job {
+    task: TaskPtr,
+    num_shards: usize,
+    cursor: Arc<AtomicUsize>,
+    completed: Arc<AtomicUsize>,
+    panicked: Arc<AtomicBool>,
+}
+
+/// The erased task pointer of a [`Job`].
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is its contract), and
+// the submitter keeps it alive until the job completes, which bounds every dereference.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+impl PoolInner {
+    /// Publishes a job, drains it from the calling thread alongside the workers, and blocks
+    /// until every shard has completed.  Returns whether any shard panicked.
+    fn submit_and_drain(&self, task: *const (dyn Fn(usize) + Sync), num_shards: usize) -> bool {
+        let _submit = lock_ignoring_poison(&self.submit);
+        let job = Job {
+            task: TaskPtr(task),
+            num_shards,
+            cursor: Arc::new(AtomicUsize::new(0)),
+            completed: Arc::new(AtomicUsize::new(0)),
+            panicked: Arc::new(AtomicBool::new(false)),
+        };
+        {
+            let mut state = lock_ignoring_poison(&self.state);
+            debug_assert!(state.job.is_none(), "submitters are serialized");
+            state.generation = state.generation.wrapping_add(1);
+            state.job = Some(job.clone());
+            self.work_ready.notify_all();
+        }
+        self.drain(&job);
+        {
+            let mut state = lock_ignoring_poison(&self.state);
+            while job.completed.load(Ordering::Acquire) < num_shards {
+                state = wait_ignoring_poison(&self.work_done, state);
+            }
+            state.job = None;
+        }
+        job.panicked.load(Ordering::Acquire)
+    }
+
+    /// Pulls shards off a job's cursor until the queue is exhausted.  Shared by the workers
+    /// and the submitting thread.
+    fn drain(&self, job: &Job) {
+        loop {
+            let shard = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if shard >= job.num_shards {
+                return;
+            }
+            // SAFETY: the submitter keeps the task alive until `completed == num_shards`,
+            // and this dereference strictly precedes this shard's completion increment.
+            let task = unsafe { &*job.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(shard))).is_err() {
+                job.panicked.store(true, Ordering::Release);
+            }
+            if job.completed.fetch_add(1, Ordering::AcqRel) + 1 == job.num_shards {
+                // Lock the state mutex before notifying so the submitter cannot check the
+                // predicate and then miss this wakeup.
+                let _state = lock_ignoring_poison(&self.state);
+                self.work_done.notify_all();
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut state = lock_ignoring_poison(&inner.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation != seen_generation {
+                    if let Some(job) = &state.job {
+                        seen_generation = state.generation;
+                        break job.clone();
+                    }
+                }
+                state = wait_ignoring_poison(&inner.work_ready, state);
+            }
+        };
+        inner.drain(&job);
+    }
+}
+
+/// One shard's result cell: written exactly once by whichever thread ran the shard, read by
+/// the submitter after the completion barrier.
+struct ResultSlot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the job cursor hands each shard index out exactly once, so each cell has exactly
+// one writer, and the submitter only reads after the `completed` acquire barrier.
+unsafe impl<T: Send> Sync for ResultSlot<T> {}
+
+impl<T> ResultSlot<T> {
+    fn new() -> Self {
+        ResultSlot(UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    /// Must be called at most once per slot, by the unique executor of its shard.
+    unsafe fn set(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+
+    fn take(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+/// `Mutex::lock` that recovers the guard from a poisoned lock: a panicked shard is already
+/// reported through the job's `panicked` flag, and pool state transitions are all
+/// exception-safe single-field writes.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_ignoring_poison`].
+fn wait_ignoring_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// A model's gradient tensors as plain matrices in a fixed, model-defined parameter order,
@@ -417,6 +742,88 @@ mod tests {
         let merged = reduce_gradients(shards, true).expect("non-empty");
         let folded = values.iter().fold(0.0f32, |acc, &v| acc + v);
         assert_eq!(merged.parts()[0].data(), &[folded]);
+    }
+
+    #[test]
+    fn worker_pool_matches_scoped_run_sharded() {
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            // The pool is persistent: several jobs reuse the same workers.
+            for job in 0..3usize {
+                let results = pool.run_sharded(23, |shard| shard * shard + job);
+                assert_eq!(results, (0..23).map(|s| s * s + job).collect::<Vec<_>>());
+            }
+            assert!(pool
+                .run_sharded::<usize, _>(0, |_| unreachable!())
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_pool_balances_uneven_work() {
+        let pool = WorkerPool::new(4);
+        let results = pool.run_sharded(8, |shard| {
+            if shard == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            shard
+        });
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_pool_runs_ranges_in_order() {
+        let pool = WorkerPool::new(3);
+        let ranges = vec![0..3, 3..5, 5..9];
+        assert_eq!(pool.run_over_ranges(&ranges, |r| r.len()), vec![3, 2, 4]);
+    }
+
+    #[test]
+    fn worker_pool_propagates_shard_panics() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_sharded(6, |shard| {
+                if shard == 3 {
+                    panic!("boom");
+                }
+                shard
+            })
+        }));
+        assert!(result.is_err(), "a shard panic must reach the submitter");
+        // The pool survives a panicked job and serves the next one.
+        assert_eq!(pool.run_sharded(4, |shard| shard), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_pool_serializes_concurrent_submitters() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        let results = pool.clone().run_sharded(9, |shard| shard + 1);
+                        assert_eq!(results, (1..=9).collect::<Vec<_>>());
+                        sum.fetch_add(results.iter().sum::<usize>(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4 * 5 * 45);
+    }
+
+    #[test]
+    fn shared_pools_are_reused_per_thread_count() {
+        let a = WorkerPool::shared(2);
+        let b = WorkerPool::shared(2);
+        assert!(
+            Arc::ptr_eq(&a.core, &b.core),
+            "same thread count, same pool"
+        );
+        let c = WorkerPool::shared(3);
+        assert!(!Arc::ptr_eq(&a.core, &c.core));
+        assert_eq!(ThreadPoolConfig::with_threads(2).worker_pool().threads(), 2);
     }
 
     #[test]

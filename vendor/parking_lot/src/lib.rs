@@ -1,10 +1,12 @@
-//! Vendored offline stand-in for `parking_lot`: a [`Mutex`] over [`std::sync::Mutex`] with
-//! parking_lot's API shape (`lock()` returns the guard directly; poisoning is ignored, which
-//! matches parking_lot's behavior of not propagating panics through locks).
+//! Vendored offline stand-in for `parking_lot`: a [`Mutex`] and an [`RwLock`] over their
+//! `std::sync` counterparts with parking_lot's API shape (`lock()`/`read()`/`write()` return
+//! the guard directly; poisoning is ignored, which matches parking_lot's behavior of not
+//! propagating panics through locks).
 
 #![warn(missing_docs)]
 
 use std::sync::MutexGuard as StdMutexGuard;
+use std::sync::{RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard};
 
 /// A mutual-exclusion primitive with parking_lot's non-poisoning `lock` signature.
 #[derive(Debug, Default)]
@@ -39,6 +41,51 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock with parking_lot's non-poisoning `read`/`write` signatures.
+///
+/// Used by the queries-pool snapshot machinery: readers briefly hold `read()` to clone the
+/// current `Arc` snapshot, writers hold `write()` only to swap a freshly built snapshot in —
+/// so estimate serving never blocks on pool maintenance beyond the pointer swap.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock protecting the given value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    pub fn read(&self) -> StdRwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until all readers and writers release.
+    pub fn write(&self) -> StdRwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +95,24 @@ mod tests {
         let m = Mutex::new(41);
         *m.lock() += 1;
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = std::sync::Arc::new(RwLock::new(7));
+        let guard = l.read();
+        let l2 = l.clone();
+        let handle = std::thread::spawn(move || *l2.read());
+        assert_eq!(handle.join().unwrap(), 7);
+        assert_eq!(*guard, 7);
     }
 }
