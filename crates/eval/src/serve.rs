@@ -1,0 +1,147 @@
+//! `repro serve` — drives the concurrent estimator service end to end.
+//!
+//! Builds the shared experiment context (database, trained CRN, queries pool), wraps the
+//! pool in a [`ShardedPool`] at the requested shard count, wires the model into an
+//! [`EstimatorService`] backed by the persistent worker pool, and pushes a synthetic
+//! concurrent workload through it in fixed-size batches — printing the per-batch
+//! [`ServeStats`] and an aggregate throughput line.
+//!
+//! The first batch is additionally verified **bit-for-bit** against the sequential
+//! single-query `Cnt2Crd` path over the same (flattened) pool, so the CI smoke run fails
+//! loudly if sharded serving ever drifts from the sequential semantics.
+
+use crate::harness::{ExperimentConfig, ExperimentContext};
+use crn_core::{Cnt2Crd, EstimatorService, ServeStats, ShardedPool};
+use crn_estimators::{CardinalityEstimator, PostgresEstimator};
+use crn_nn::parallel::WorkerPool;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+use std::time::Instant;
+
+/// Configuration of one `repro serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeDemoConfig {
+    /// The experiment preset supplying the database, trained model and pool.
+    pub experiment: ExperimentConfig,
+    /// Pool shard count (`--shards`).
+    pub shards: usize,
+    /// Worker threads of the persistent pool (`--threads`).
+    pub threads: usize,
+    /// Total workload size (`--queries`).
+    pub queries: usize,
+    /// Concurrent queries handed to `serve` per call (`--batch`).
+    pub batch: usize,
+}
+
+impl ServeDemoConfig {
+    /// Defaults matching the tiny CI smoke: 4 shards, 2 threads, 64 queries in batches of 16.
+    pub fn new(experiment: ExperimentConfig) -> Self {
+        ServeDemoConfig {
+            experiment,
+            shards: 4,
+            threads: 2,
+            queries: 64,
+            batch: 16,
+        }
+    }
+}
+
+/// Runs the serve demo, returning the printed report (one line per batch plus the summary).
+///
+/// # Panics
+/// Panics if the service's first batch is not bit-identical to the sequential path — this
+/// is the CI smoke's parity tripwire.
+pub fn run_serve_demo(config: &ServeDemoConfig) -> String {
+    let started = Instant::now();
+    let ctx = ExperimentContext::build(config.experiment.clone());
+    let mut lines = vec![format!(
+        "[serve] context ready in {:.1}s: pool of {} entries over {} FROM clauses",
+        started.elapsed().as_secs_f64(),
+        ctx.pool.len(),
+        ctx.pool.num_from_clauses()
+    )];
+
+    let sharded = ShardedPool::from_pool(&ctx.pool, config.shards);
+    let workers = WorkerPool::shared(config.threads.max(1));
+    let service = EstimatorService::new(ctx.crn.clone(), sharded, workers)
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+
+    // `generate_queries` expands each initial query with perturbed variants, so truncate to
+    // the requested workload size exactly.
+    let mut generator =
+        QueryGenerator::new(&ctx.db, GeneratorConfig::paper(ctx.config.seed ^ 0x5e));
+    let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
+    workload.truncate(config.queries.max(1));
+
+    // Parity tripwire: the first batch must match the sequential single-query path bit for
+    // bit (the acceptance contract of the sharded serving subsystem).
+    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
+    let sequential = Cnt2Crd::new(ctx.crn.clone(), ctx.pool.clone())
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let response = service.serve(first_batch);
+    for (index, (query, estimate)) in first_batch.iter().zip(&response.estimates).enumerate() {
+        let expected = sequential.estimate(query);
+        assert!(
+            *estimate == expected,
+            "parity violation at query {index}: service {estimate} vs sequential {expected}"
+        );
+    }
+    lines.push(format!(
+        "[serve] parity check passed: {} estimates bit-identical to the sequential path",
+        first_batch.len()
+    ));
+
+    // The measured run: the whole workload in `batch`-sized serve calls.
+    let mut total = ServeStats::default();
+    let run_started = Instant::now();
+    for chunk in workload.chunks(config.batch.max(1)) {
+        let response = service.serve(chunk);
+        let stats = response.stats;
+        lines.push(format!("[serve] {}", stats.render()));
+        total.queries += stats.queries;
+        total.groups += stats.groups;
+        total.work_items += stats.work_items;
+        total.pool_hits += stats.pool_hits;
+        total.fallbacks += stats.fallbacks;
+        total.snapshot_time += stats.snapshot_time;
+        total.group_time += stats.group_time;
+        total.compute_time += stats.compute_time;
+        total.merge_time += stats.merge_time;
+        total.total_time += stats.total_time;
+    }
+    let elapsed = run_started.elapsed();
+    lines.push(format!(
+        "[serve] served {} queries over {} shards x {} threads in {:.3}s ({:.0} queries/s); \
+         {} pool hits, {} fallbacks; layer time: snapshot {:.1?} group {:.1?} compute {:.1?} \
+         merge {:.1?}",
+        total.queries,
+        config.shards,
+        config.threads,
+        elapsed.as_secs_f64(),
+        total.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        total.pool_hits,
+        total.fallbacks,
+        total.snapshot_time,
+        total.group_time,
+        total.compute_time,
+        total.merge_time,
+    ));
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_demo_runs_on_the_tiny_preset() {
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        let report = run_serve_demo(&config);
+        assert!(report.contains("parity check passed"));
+        assert!(report.contains("served 24 queries over 2 shards x 2 threads"));
+    }
+}
