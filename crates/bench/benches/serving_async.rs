@@ -1,0 +1,107 @@
+//! `serving_async` — the async request-queue runtime under closed-loop load.
+//!
+//! Sweeps the cross-call batching configuration over window sizes and caller counts,
+//! always pushing the same 32-query workload through a persistent [`ServeRuntime`] with
+//! `callers` closed-loop threads (submit → wait → next).  The interesting comparison is
+//! **one-call-per-query submission** (`batch_max = 1`, window 0 — every request becomes
+//! its own batch, the overhead profile of a front-end that never batches) against the
+//! **fused** configurations (`batch_max = callers` with a straggler window), where
+//! concurrent callers' requests merge into one multi-query head batch per round:
+//!
+//! * at 1 caller the two are equivalent (nothing to fuse) — that pair measures the pure
+//!   runtime overhead (queue, condvars, scheduler) over direct `serve` calls;
+//! * at ≥ 4 concurrent callers the fused configurations amortize the per-call serving
+//!   overhead (snapshot, grouping, GEMM setup) across the round's callers, so per-query
+//!   wall clock must drop vs `one_per_query_callers4` — the acceptance criterion this
+//!   bench exists to witness.  Window size then only bounds the straggler wait: 200µs
+//!   vs 2000µs should measure alike in steady closed-loop state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crn_bench::shared_context;
+use crn_core::{EstimatorService, ShardedPool};
+use crn_nn::parallel::WorkerPool;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+use crn_serve::{RuntimeConfig, ServeRuntime};
+
+/// The workload: the same 32 queries every configuration serves.
+fn workload(ctx: &crn_eval::ExperimentContext, count: usize) -> Vec<Query> {
+    let mut generator = QueryGenerator::new(&ctx.db, GeneratorConfig::paper(ctx.config.seed ^ 91));
+    let mut queries = generator.generate_queries(count);
+    queries.truncate(count);
+    queries
+}
+
+/// One closed-loop pass: `callers` threads interleave the workload round-robin, each
+/// waiting for every outcome before its next submission (retrying when admission sheds).
+fn run_closed_loop(runtime: &ServeRuntime<crn_core::CrnModel>, queries: &[Query], callers: usize) {
+    std::thread::scope(|scope| {
+        for caller in 0..callers {
+            scope.spawn(move || {
+                for (index, query) in queries.iter().enumerate() {
+                    if index % callers != caller {
+                        continue;
+                    }
+                    let ticket = runtime
+                        .submit_retrying(caller as u64, query)
+                        .expect("the bench owns the runtime");
+                    black_box(ticket.wait());
+                }
+            });
+        }
+    });
+}
+
+/// The sweep: one-call-per-query baselines vs fused windows, at 1/2/4 callers.
+fn bench_async_sweep(c: &mut Criterion) {
+    let ctx = shared_context();
+    let queries = workload(ctx, 32);
+    let mut group = c.benchmark_group("serving_async");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    for (label, callers, window_us, batch_max) in [
+        // One batch per request: the no-batching overhead profile.
+        ("one_per_query_callers1", 1usize, 0u64, 1usize),
+        ("one_per_query_callers4", 4, 0, 1),
+        // Cross-call fusion: a round of concurrent callers closes one batch by size,
+        // the window only bounds stragglers.
+        ("fused_callers2_window200", 2, 200, 2),
+        ("fused_callers4_window200", 4, 200, 4),
+        ("fused_callers4_window2000", 4, 2000, 4),
+    ] {
+        let service = Arc::new(EstimatorService::new(
+            ctx.crn.clone(),
+            ShardedPool::from_pool(&ctx.pool, 2),
+            WorkerPool::shared(2),
+        ));
+        let runtime = ServeRuntime::new(
+            service,
+            RuntimeConfig::default()
+                .with_window_us(window_us)
+                .with_batch_max(batch_max)
+                .with_queue_depth(64),
+        );
+        // Warm the per-shard anchor caches so steady-state serving is measured.
+        run_closed_loop(&runtime, &queries, callers);
+        group.bench_function(label, |b| {
+            b.iter(|| run_closed_loop(&runtime, &queries, callers))
+        });
+        let stats = runtime.shutdown();
+        if batch_max > 1 && callers >= 2 {
+            assert!(
+                stats.max_batch >= 2,
+                "{label}: concurrent callers must have fused at least once: {stats:?}"
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_sweep);
+criterion_main!(benches);

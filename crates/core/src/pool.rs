@@ -148,6 +148,21 @@ impl PoolShard {
         Some(removed.cardinality)
     }
 
+    /// Inserts the query or refreshes its recorded cardinality, returning the replaced
+    /// cardinality (`None` when the query was new).
+    ///
+    /// Observable semantics are **exactly** remove-then-insert: a refreshed entry moves to
+    /// the end of the shard's insertion order (the proptests pin this against the
+    /// remove+insert oracle).  The point of the dedicated entry point is one level up —
+    /// [`crate::sharded::ShardedPool::upsert`] turns what used to be *two* copy-on-write
+    /// snapshot swaps into one, which is what the serving runtime's maintenance lane
+    /// (refreshing completed queries' true cardinalities) hammers.
+    pub fn upsert(&mut self, query: Query, cardinality: u64) -> Option<u64> {
+        let replaced = self.remove(&query);
+        self.insert(query, cardinality);
+        replaced
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -256,6 +271,12 @@ impl QueriesPool {
     /// contract.
     pub fn remove(&mut self, query: &Query) -> Option<u64> {
         self.shard.remove(query)
+    }
+
+    /// Inserts the query or refreshes its recorded cardinality (remove-then-insert
+    /// semantics, see [`PoolShard::upsert`]), returning the replaced cardinality.
+    pub fn upsert(&mut self, query: Query, cardinality: u64) -> Option<u64> {
+        self.shard.upsert(query, cardinality)
     }
 
     /// Number of entries.
@@ -452,6 +473,32 @@ mod tests {
         assert_eq!(pool.remove(&cast_scan), Some(50));
         assert_eq!(pool.remove(&cast_scan), None);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn upsert_refreshes_cardinality_with_remove_insert_semantics() {
+        let mut pool = QueriesPool::new();
+        let title_scan = Query::scan(tables::TITLE);
+        let cast_scan = Query::scan(tables::CAST_INFO);
+        assert_eq!(pool.upsert(title_scan.clone(), 100), None, "new entry");
+        pool.insert(cast_scan.clone(), 50);
+        // A refresh replaces the cardinality (insert would keep the first) and moves the
+        // entry to the end of the insertion order, exactly like remove-then-insert.
+        assert_eq!(pool.upsert(title_scan.clone(), 123), Some(100));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(
+            pool.matching(&title_scan).next().unwrap().cardinality,
+            123,
+            "upsert replaces the recorded cardinality"
+        );
+        assert_eq!(pool.entries().last().unwrap().query, title_scan);
+        // The oracle comparison in miniature: remove+insert on a clone agrees exactly.
+        let mut oracle = QueriesPool::new();
+        oracle.insert(title_scan.clone(), 100);
+        oracle.insert(cast_scan, 50);
+        oracle.remove(&title_scan);
+        oracle.insert(title_scan, 123);
+        assert_eq!(pool, oracle);
     }
 
     #[test]

@@ -68,6 +68,32 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// Sum of the four per-phase timings.  Always `<= total_time`: the phases are timed
+    /// over disjoint intervals of one `serve` call, so the difference is the (small)
+    /// bookkeeping between phases.
+    pub fn phase_time(&self) -> Duration {
+        self.snapshot_time + self.group_time + self.compute_time + self.merge_time
+    }
+
+    /// Folds another call's stats into this one: counters and timings add, while
+    /// `shards`/`pool_entries` take the other call's values (they describe the latest
+    /// snapshot, not a running total).  This is how multi-batch drivers — `repro serve`
+    /// and the async runtime's scheduler — aggregate a whole run's serving profile.
+    pub fn accumulate(&mut self, other: &ServeStats) {
+        self.queries += other.queries;
+        self.groups += other.groups;
+        self.work_items += other.work_items;
+        self.pool_hits += other.pool_hits;
+        self.fallbacks += other.fallbacks;
+        self.snapshot_time += other.snapshot_time;
+        self.group_time += other.group_time;
+        self.compute_time += other.compute_time;
+        self.merge_time += other.merge_time;
+        self.total_time += other.total_time;
+        self.shards = other.shards;
+        self.pool_entries = other.pool_entries;
+    }
+
     /// One-line human-readable rendering (used by `repro serve`).
     pub fn render(&self) -> String {
         format!(
@@ -588,6 +614,111 @@ mod tests {
         let empty = service.serve(&[]);
         assert!(empty.estimates.is_empty());
         assert_eq!(empty.stats.work_items, 0);
+    }
+
+    /// The empty-pool fallback path: every query falls back (to the configured default
+    /// estimate without a fallback estimator), no work items are planned, and the timings
+    /// stay monotone (every phase fits inside the total).
+    #[test]
+    fn serve_stats_on_an_empty_pool_are_all_fallbacks() {
+        let db = generate_imdb(&ImdbConfig::tiny(95));
+        let crn = trained_crn(&db, 95);
+        // `workload` expands each initial query with perturbed variants, so count what it
+        // actually produced.
+        let queries = workload(&db, 96, 9);
+        let total = queries.len();
+        let service = EstimatorService::new(crn, ShardedPool::new(4), WorkerPool::shared(2));
+        let response = service.serve(&queries);
+        let stats = &response.stats;
+        assert_eq!(stats.queries, total);
+        assert_eq!(stats.pool_entries, 0);
+        assert_eq!(stats.work_items, 0, "an empty pool plans no work");
+        assert_eq!(stats.pool_hits, 0);
+        assert_eq!(stats.fallbacks, total, "every query falls back");
+        let default = service.config().default_estimate;
+        assert!(response.estimates.iter().all(|&e| e == default));
+        assert!(
+            stats.total_time >= stats.phase_time(),
+            "phases are disjoint sub-intervals of the total"
+        );
+    }
+
+    /// The no-matching-anchors fallback path: a pool that covers *other* FROM clauses
+    /// plans no work for the uncovered group, and the configured fallback estimator (not
+    /// the default) answers.
+    #[test]
+    fn serve_stats_when_no_anchor_matches_use_the_fallback_estimator() {
+        let db = generate_imdb(&ImdbConfig::tiny(97));
+        let crn = trained_crn(&db, 97);
+        let mut pool = QueriesPool::new();
+        pool.insert(Query::scan(tables::TITLE), 100);
+        pool.insert(Query::scan(tables::CAST_INFO), 60);
+        let service =
+            EstimatorService::new(crn, ShardedPool::from_pool(&pool, 4), WorkerPool::shared(2))
+                .with_fallback(Box::new(PostgresEstimator::analyze(&db)));
+        // Neither query's FROM clause is covered by the pool.
+        let queries = vec![
+            Query::scan(tables::MOVIE_COMPANIES),
+            Query::scan(tables::MOVIE_INFO),
+        ];
+        let response = service.serve(&queries);
+        let stats = &response.stats;
+        assert_eq!(stats.pool_entries, 2);
+        assert_eq!(stats.work_items, 0, "no shard matches either FROM clause");
+        assert_eq!(stats.pool_hits, 0);
+        assert_eq!(stats.fallbacks, 2);
+        let fallback = PostgresEstimator::analyze(&db);
+        for (query, estimate) in queries.iter().zip(&response.estimates) {
+            assert_eq!(*estimate, fallback.estimate(query));
+        }
+        assert!(stats.total_time >= stats.phase_time());
+    }
+
+    /// The all-duplicates batch: one FROM-clause group, per-query results bit-identical,
+    /// and hit/fallback counters that add up to the (duplicated) query count.  Also pins
+    /// `accumulate`: counters add and timings stay monotone across folds.
+    #[test]
+    fn serve_stats_on_all_duplicate_batches_and_accumulate_are_monotone() {
+        let db = generate_imdb(&ImdbConfig::tiny(98));
+        let pool = QueriesPool::generate(&db, 40, 1, 98);
+        let crn = trained_crn(&db, 98);
+        let service =
+            EstimatorService::new(crn, ShardedPool::from_pool(&pool, 4), WorkerPool::shared(2));
+        let covered = pool.entries()[0].query.clone();
+        let queries: Vec<Query> = std::iter::repeat_with(|| covered.clone()).take(8).collect();
+        let response = service.serve(&queries);
+        let stats = &response.stats;
+        assert_eq!(stats.queries, 8);
+        assert_eq!(stats.groups, 1, "duplicates collapse into one group");
+        assert_eq!(stats.pool_hits + stats.fallbacks, 8);
+        assert_eq!(stats.pool_hits, 8, "the pool covers its own entry");
+        assert!(response
+            .estimates
+            .iter()
+            .all(|&e| e == response.estimates[0]));
+        assert!(stats.total_time >= stats.phase_time());
+
+        // Accumulation is monotone: every counter and timing of the running total is
+        // >= its value after the previous fold.
+        let mut total = ServeStats::default();
+        let mut last_queries = 0usize;
+        let mut last_total_time = Duration::ZERO;
+        for _ in 0..3 {
+            let stats = service.serve(&queries).stats;
+            total.accumulate(&stats);
+            assert!(total.queries > last_queries);
+            assert!(total.total_time >= last_total_time);
+            assert!(total.total_time >= total.phase_time());
+            last_queries = total.queries;
+            last_total_time = total.total_time;
+        }
+        assert_eq!(total.queries, 24);
+        assert_eq!(total.pool_hits + total.fallbacks, 24);
+        assert_eq!(
+            total.shards, 4,
+            "accumulate keeps the latest snapshot shape"
+        );
+        assert_eq!(total.pool_entries, pool.len());
     }
 
     /// Concurrent `serve` callers share the worker pool and the caches without interfering:

@@ -206,6 +206,28 @@ impl ShardedPool {
         Some(removed)
     }
 
+    /// Inserts the query or refreshes its recorded cardinality in **one** copy-on-write
+    /// swap, returning the replaced cardinality (`None` when the query was new).
+    ///
+    /// Observable semantics are exactly `remove` followed by `insert` (the refreshed entry
+    /// moves to the end of its shard's insertion order; the routing proptests pin this
+    /// against the remove+insert oracle), but where that sequence clones the target shard
+    /// twice and publishes two successor snapshots — exposing an intermediate state in
+    /// which the entry is *absent* — `upsert` clones once, publishes once, and bumps the
+    /// shard version once.  This is the maintenance-lane primitive: the serving runtime
+    /// refreshes completed queries' true cardinalities through it, so concurrent readers
+    /// either see the old cardinality or the new one, never a pool without the entry.
+    pub fn upsert(&self, query: Query, cardinality: u64) -> Option<u64> {
+        let _writer = self.writer.lock();
+        let current = self.snapshot();
+        let index = (query_hash(&query) % current.num_shards() as u64) as usize;
+        let mut shard = (*current.shards[index]).clone();
+        let replaced = shard.upsert(query, cardinality);
+        let next = Arc::new(self.replaced(&current, index, shard));
+        *self.snapshot.write() = next;
+        replaced
+    }
+
     /// Total number of entries (over the current snapshot).
     pub fn len(&self) -> usize {
         self.snapshot.read().len()
@@ -333,6 +355,61 @@ mod tests {
         assert!(!sharded.insert(query, 2));
         let unchanged = sharded.snapshot();
         assert_eq!(after.shard_version(target), unchanged.shard_version(target));
+    }
+
+    #[test]
+    fn upsert_is_a_single_swap_with_remove_insert_semantics() {
+        let db = generate_imdb(&ImdbConfig::tiny(94));
+        let pool = QueriesPool::generate(&db, 30, 1, 94);
+        let sharded = ShardedPool::from_pool(&pool, 4);
+        let victim = pool.entries()[0].query.clone();
+        let target = sharded.shard_of(&victim);
+        let before = sharded.snapshot();
+
+        // Refresh: exactly one fresh version is allocated, on exactly the target shard
+        // (remove+insert would allocate two and publish an entry-less intermediate
+        // snapshot).  Versions are globally monotonic, so "one allocation" shows up as
+        // max-version + 1.
+        let max_before = (0..4).map(|s| before.shard_version(s)).max().unwrap();
+        assert_eq!(
+            sharded.upsert(victim.clone(), 4242),
+            Some(pool.entries()[0].cardinality)
+        );
+        let after = sharded.snapshot();
+        assert_eq!(after.len(), pool.len(), "refresh keeps the entry count");
+        for shard in 0..4 {
+            if shard == target {
+                assert_eq!(
+                    after.shard_version(shard),
+                    max_before + 1,
+                    "one copy-on-write swap, one version allocation"
+                );
+            } else {
+                assert!(Arc::ptr_eq(&before.shards()[shard], &after.shards()[shard]));
+            }
+        }
+        let refreshed: Vec<u64> = after
+            .matching(&victim)
+            .filter(|e| e.query == victim)
+            .map(|e| e.cardinality)
+            .collect();
+        assert_eq!(refreshed, vec![4242]);
+        // The old snapshot still sees the old cardinality — snapshot isolation.
+        assert!(before
+            .matching(&victim)
+            .any(|e| e.query == victim && e.cardinality == pool.entries()[0].cardinality));
+
+        // Upsert of an absent query inserts (again in one swap).
+        let fresh = Query::scan(tables::MOVIE_INFO_IDX);
+        sharded.remove(&fresh); // may or may not be in the generated pool
+        let baseline = sharded.len();
+        let pre_insert = sharded.snapshot();
+        assert_eq!(sharded.upsert(fresh.clone(), 7), None);
+        assert_eq!(sharded.len(), baseline + 1);
+        let post_insert = sharded.snapshot();
+        let fresh_shard = sharded.shard_of(&fresh);
+        let max_pre = (0..4).map(|s| pre_insert.shard_version(s)).max().unwrap();
+        assert_eq!(post_insert.shard_version(fresh_shard), max_pre + 1);
     }
 
     #[test]
@@ -476,11 +553,23 @@ mod routing_proptests {
                             "op {op}: insert disagreement"
                         );
                     }
-                    6..=8 => {
+                    6..=7 => {
                         let (mine, theirs) = (sharded.remove(&query), oracle.remove(&query));
                         prop_assert!(
                             mine == theirs,
                             "op {op}: remove returned {mine:?}, oracle {theirs:?}"
+                        );
+                    }
+                    8 => {
+                        // Upsert (the maintenance-lane single-swap refresh) must agree
+                        // with its remove-then-insert oracle decomposition exactly.
+                        let cardinality = rng.gen_range(0..1000u64);
+                        let mine = sharded.upsert(query.clone(), cardinality);
+                        let theirs = oracle.remove(&query);
+                        oracle.insert(query, cardinality);
+                        prop_assert!(
+                            mine == theirs,
+                            "op {op}: upsert replaced {mine:?}, oracle removed {theirs:?}"
                         );
                     }
                     _ => {

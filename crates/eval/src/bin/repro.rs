@@ -6,6 +6,8 @@
 //! repro all [--preset tiny|small|paper] [--threads N] [--deterministic] [--markdown <path>]
 //! repro <experiment-id> [<experiment-id> ...] [--preset ...]
 //! repro serve [--preset ...] [--shards N] [--threads N] [--queries N] [--batch N]
+//!             [--async] [--batch-window-us N] [--queue-depth N] [--callers N]
+//!             [--bench-json <path>]
 //! repro list
 //! ```
 //!
@@ -14,10 +16,14 @@
 //! `--deterministic` selects the canonical shard/reduction order so the trained models are
 //! bit-identical for every `N` (see `crn_nn::parallel`).
 //!
-//! `repro serve` drives the concurrent estimator service instead of an experiment: the
-//! queries pool is sharded `--shards` ways behind an immutable snapshot, `--batch`-sized
-//! slices of a `--queries`-long workload are served on the persistent `--threads`-worker
-//! pool, and the first batch is verified bit-for-bit against sequential serving.
+//! `repro serve` drives the serving stack instead of an experiment: the queries pool is
+//! sharded `--shards` ways behind an immutable snapshot and served on the persistent
+//! `--threads`-worker pool — synchronously in `--batch`-sized `serve` calls, or through
+//! the async request-queue runtime (`--async`) with a closed-loop `--callers`-thread load
+//! generator, a `--batch-window-us` cross-call batching window and a `--queue-depth`
+//! admission bound.  In both modes the first batch is verified bit-for-bit against
+//! sequential serving and any violation exits non-zero (`repro serve --help` has the
+//! parameter-selection guidance).
 //!
 //! Experiment ids are the ones listed in DESIGN.md (`table2`–`table15`, `fig3`–`fig13`,
 //! `ablation_crn`, `ablation_final_fn`).  The output is the same set of rows/series the paper
@@ -188,8 +194,27 @@ fn run_serve(args: &[String]) {
                 config.queries = parse_count(&flag_value(&mut iter, "--queries"), "--queries")
             }
             "--batch" => config.batch = parse_count(&flag_value(&mut iter, "--batch"), "--batch"),
+            "--async" => config.async_mode = true,
+            "--batch-window-us" => {
+                // Zero is legitimate: it means "serve whatever has accumulated".
+                let value = flag_value(&mut iter, "--batch-window-us");
+                config.batch_window_us = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--batch-window-us requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--queue-depth" => {
+                config.queue_depth =
+                    parse_count(&flag_value(&mut iter, "--queue-depth"), "--queue-depth")
+            }
+            "--callers" => {
+                config.callers = parse_count(&flag_value(&mut iter, "--callers"), "--callers")
+            }
+            "--bench-json" => {
+                config.bench_json = Some(flag_value(&mut iter, "--bench-json"));
+            }
             "--help" | "-h" => {
-                print_usage();
+                print_serve_usage();
                 return;
             }
             other => {
@@ -207,7 +232,64 @@ fn run_serve(args: &[String]) {
             std::process::exit(2);
         }
     };
-    println!("{}", run_serve_demo(&config));
+    config.preset_label = preset;
+    match run_serve_demo(&config) {
+        Ok(report) => println!("{report}"),
+        Err(violation) => {
+            // The bit-parity tripwire: a drifted serving path must fail the CI smoke
+            // loudly, not scroll past in a log.
+            eprintln!("[serve] FATAL: {violation}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro serve --help`: flags plus the parameter-selection guidance.
+fn print_serve_usage() {
+    eprintln!(
+        "usage: repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
+         [--queries N] [--batch N]\n\
+         \x20                  [--async] [--batch-window-us N] [--queue-depth N] \
+         [--callers N] [--bench-json <path>]\n\
+         \n\
+         Serves a synthetic workload through the sharded estimator service — \
+         synchronously in --batch-sized\n\
+         serve calls, or with --async through the request-queue runtime (bounded \
+         admission, cross-call\n\
+         batching windows, closed-loop --callers load generator, online pool \
+         maintenance).  The first batch\n\
+         is always verified bit-for-bit against sequential serving; a violation exits \
+         non-zero.\n\
+         \n\
+         Choosing --shards: shards bound the per-work-item anchor batch.  Use 1 on a \
+         single core (anything\n\
+         more is pure merge overhead); on multi-core hosts pick \
+         min(FROM-clause bucket size / ~32, worker\n\
+         threads) — more shards than threads only adds merge overhead, fewer starves \
+         the workers when a\n\
+         batch collapses into few FROM-clause groups.\n\
+         \n\
+         Choosing --threads: the persistent worker pool serving every batch.  Physical \
+         cores (or slightly\n\
+         below) for a dedicated serving host; 1 reproduces the sequential path with \
+         zero thread overhead.\n\
+         \n\
+         Choosing --batch-window-us (async): the tail-latency budget you are willing to \
+         spend on batching.\n\
+         0 fuses only what has already queued (lowest latency, least fusion); ~100-500us \
+         fuses bursts of\n\
+         concurrent callers (the sweet spot at >=4 callers); multi-ms windows maximize \
+         fusion for\n\
+         throughput-bound replay.  Estimates are bit-identical at every setting — the \
+         window only moves\n\
+         the latency/throughput trade-off.\n\
+         \n\
+         Choosing --queue-depth (async): the load-shedding bound.  ~2x (callers x \
+         batch) absorbs bursts\n\
+         without unbounded queueing; depth 1 degenerates to one-request batches \
+         (parity-testing floor).\n\
+         Per-caller fairness quotas are queue-depth / callers."
+    );
 }
 
 fn parse_count(value: &str, flag: &str) -> usize {
@@ -227,7 +309,8 @@ fn print_usage() {
     );
     eprintln!(
         "       repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
-         [--queries N] [--batch N]"
+         [--queries N] [--batch N] [--async] [--batch-window-us N] [--queue-depth N] \
+         [--callers N] [--bench-json <path>]  (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

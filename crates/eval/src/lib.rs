@@ -8,7 +8,9 @@
 //!   trained CRN/MSCN models, the PostgreSQL baseline and the queries pool;
 //! * [`experiments`] — one runner per paper table/figure plus ablations;
 //! * [`serve`] — the `repro serve` driver: the concurrent estimator service over a sharded
-//!   pool snapshot, with a bit-parity tripwire against sequential serving.
+//!   pool snapshot (sync mode) or the async request-queue runtime with its closed-loop
+//!   multi-caller load generator (`--async`), both with a bit-parity tripwire against
+//!   sequential serving and an optional machine-readable `BENCH_serving.json` summary.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -33,5 +35,5 @@ pub use harness::{ExperimentConfig, ExperimentContext};
 pub use metrics::{ModelErrors, QErrorSummary};
 pub use plot::{render_box_plots, BoxStats};
 pub use report::ExperimentReport;
-pub use serve::{run_serve_demo, ServeDemoConfig};
+pub use serve::{run_serve_demo, BenchRecord, BenchSummary, ServeDemoConfig};
 pub use workloads::{PairWorkload, Workload, WorkloadSizes};

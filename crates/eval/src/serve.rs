@@ -1,14 +1,26 @@
-//! `repro serve` — drives the concurrent estimator service end to end.
+//! `repro serve` — drives the serving stack end to end, synchronously or async.
 //!
 //! Builds the shared experiment context (database, trained CRN, queries pool), wraps the
-//! pool in a [`ShardedPool`] at the requested shard count, wires the model into an
-//! [`EstimatorService`] backed by the persistent worker pool, and pushes a synthetic
-//! concurrent workload through it in fixed-size batches — printing the per-batch
-//! [`ServeStats`] and an aggregate throughput line.
+//! pool in a [`ShardedPool`] at the requested shard count and wires the model into an
+//! [`EstimatorService`] backed by the persistent worker pool.  Two modes:
 //!
-//! The first batch is additionally verified **bit-for-bit** against the sequential
-//! single-query `Cnt2Crd` path over the same (flattened) pool, so the CI smoke run fails
-//! loudly if sharded serving ever drifts from the sequential semantics.
+//! * **Synchronous** (default): pushes a synthetic workload through `serve` in
+//!   fixed-size batches — the PR-3 demo — printing per-batch [`ServeStats`] and an
+//!   aggregate throughput line.
+//! * **Async** (`--async`): stands up a [`ServeRuntime`] over the service and runs a
+//!   *closed-loop multi-caller load generator*: `--callers` threads each submit their
+//!   share of the workload one request at a time (submit → wait → next, retrying when
+//!   admission sheds), exercising the bounded queue, the `--batch-window-us` cross-call
+//!   batching window and the per-caller fairness quota; afterwards the maintenance lane
+//!   is fed true cardinalities and flushed — the paper's pool-refresh loop live.
+//!
+//! In both modes the first batch is verified **bit-for-bit** against the sequential
+//! single-query `Cnt2Crd` path over the same (flattened) pool; a violation returns an
+//! `Err` so the `repro` binary exits non-zero and the CI smoke fails loudly.
+//!
+//! With `--bench-json <path>` the run additionally emits a machine-readable
+//! `BENCH_serving.json` record (p50/p99 latency and throughput for the exact
+//! configuration) so the serving perf trajectory is trackable across PRs.
 
 use crate::harness::{ExperimentConfig, ExperimentContext};
 use crn_core::{Cnt2Crd, EstimatorService, ServeStats, ShardedPool};
@@ -16,6 +28,9 @@ use crn_estimators::{CardinalityEstimator, PostgresEstimator};
 use crn_nn::parallel::WorkerPool;
 use crn_query::generator::{GeneratorConfig, QueryGenerator};
 use crn_query::Query;
+use crn_serve::{RuntimeConfig, ServeRuntime};
+use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of one `repro serve` run.
@@ -23,35 +38,107 @@ use std::time::Instant;
 pub struct ServeDemoConfig {
     /// The experiment preset supplying the database, trained model and pool.
     pub experiment: ExperimentConfig,
+    /// The preset's name, echoed into the bench JSON (`--preset`).
+    pub preset_label: String,
     /// Pool shard count (`--shards`).
     pub shards: usize,
     /// Worker threads of the persistent pool (`--threads`).
     pub threads: usize,
     /// Total workload size (`--queries`).
     pub queries: usize,
-    /// Concurrent queries handed to `serve` per call (`--batch`).
+    /// Synchronous mode: concurrent queries handed to `serve` per call (`--batch`).
+    /// Async mode: the runtime's batch size threshold.
     pub batch: usize,
+    /// Drive the async request-queue runtime instead of direct `serve` calls (`--async`).
+    pub async_mode: bool,
+    /// Async batching window in microseconds (`--batch-window-us`).
+    pub batch_window_us: u64,
+    /// Async bounded submission-queue depth (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Closed-loop load-generator threads (`--callers`).
+    pub callers: usize,
+    /// Emit the machine-readable latency/throughput record here (`--bench-json`).
+    pub bench_json: Option<String>,
 }
 
 impl ServeDemoConfig {
-    /// Defaults matching the tiny CI smoke: 4 shards, 2 threads, 64 queries in batches of 16.
+    /// Defaults matching the tiny CI smoke: 4 shards, 2 threads, 64 queries in batches of
+    /// 16; async mode off (flags switch it on) with a 200µs window, depth 32, 4 callers.
     pub fn new(experiment: ExperimentConfig) -> Self {
         ServeDemoConfig {
             experiment,
+            preset_label: "tiny".to_string(),
             shards: 4,
             threads: 2,
             queries: 64,
             batch: 16,
+            async_mode: false,
+            batch_window_us: 200,
+            queue_depth: 32,
+            callers: 4,
+            bench_json: None,
         }
     }
 }
 
-/// Runs the serve demo, returning the printed report (one line per batch plus the summary).
-///
-/// # Panics
-/// Panics if the service's first batch is not bit-identical to the sequential path — this
-/// is the CI smoke's parity tripwire.
-pub fn run_serve_demo(config: &ServeDemoConfig) -> String {
+/// One configuration's latency/throughput record inside [`BenchSummary`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// `"sync"` or `"async"`.
+    pub mode: String,
+    /// The experiment preset.
+    pub preset: String,
+    /// Pool shard count.
+    pub shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Async queue depth (0 in sync mode).
+    pub queue_depth: usize,
+    /// Async batching window in µs (0 in sync mode).
+    pub batch_window_us: u64,
+    /// Concurrent callers (1 in sync mode: the driver thread).
+    pub callers: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Batches executed (serve calls in sync mode).
+    pub batches: u64,
+    /// Mean executed batch size — the cross-call fusion factor.
+    pub mean_batch: f64,
+    /// Admission rejections observed by the load generator (always 0 in sync mode).
+    pub rejected: u64,
+    /// Median latency in µs (per request in async mode, per serve call in sync mode).
+    pub p50_us: f64,
+    /// 99th-percentile latency in µs.
+    pub p99_us: f64,
+    /// Mean latency in µs.
+    pub mean_us: f64,
+    /// End-to-end served queries per second.
+    pub throughput_qps: f64,
+}
+
+/// The `BENCH_serving.json` shape: a schema tag plus one record per measured config.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSummary {
+    /// Format version tag for downstream tooling.
+    pub schema: String,
+    /// The measured configurations.
+    pub configs: Vec<BenchRecord>,
+}
+
+/// Nearest-rank percentile over an unsorted latency sample (µs), 0 for an empty sample.
+fn percentile_us(latencies: &mut [f64], fraction: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((latencies.len() - 1) as f64 * fraction).round() as usize;
+    latencies[rank]
+}
+
+/// Runs the serve demo, returning the printed report (one line per batch plus the
+/// summary) — or an `Err` describing the first bit-parity violation, which the `repro`
+/// binary turns into a non-zero exit (the CI smoke's tripwire).
+pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
     let started = Instant::now();
     let ctx = ExperimentContext::build(config.experiment.clone());
     let mut lines = vec![format!(
@@ -63,8 +150,10 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> String {
 
     let sharded = ShardedPool::from_pool(&ctx.pool, config.shards);
     let workers = WorkerPool::shared(config.threads.max(1));
-    let service = EstimatorService::new(ctx.crn.clone(), sharded, workers)
-        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let service = Arc::new(
+        EstimatorService::new(ctx.crn.clone(), sharded, workers)
+            .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
+    );
 
     // `generate_queries` expands each initial query with perturbed variants, so truncate to
     // the requested workload size exactly.
@@ -73,43 +162,76 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> String {
     let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
     workload.truncate(config.queries.max(1));
 
-    // Parity tripwire: the first batch must match the sequential single-query path bit for
-    // bit (the acceptance contract of the sharded serving subsystem).
-    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
     let sequential = Cnt2Crd::new(ctx.crn.clone(), ctx.pool.clone())
         .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
-    let response = service.serve(first_batch);
-    for (index, (query, estimate)) in first_batch.iter().zip(&response.estimates).enumerate() {
-        let expected = sequential.estimate(query);
-        assert!(
-            *estimate == expected,
-            "parity violation at query {index}: service {estimate} vs sequential {expected}"
-        );
+
+    let record = if config.async_mode {
+        run_async_demo(config, &ctx, &service, &sequential, &workload, &mut lines)?
+    } else {
+        run_sync_demo(config, &service, &sequential, &workload, &mut lines)?
+    };
+
+    if let Some(path) = &config.bench_json {
+        let summary = BenchSummary {
+            schema: "crn-serve-bench-v1".to_string(),
+            configs: vec![record],
+        };
+        let json =
+            serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        lines.push(format!("[serve] wrote bench summary to {path}"));
     }
+    Ok(lines.join("\n"))
+}
+
+/// The startup parity tripwire shared by both modes: every estimate of the first batch
+/// must be bit-identical to the sequential single-query path.
+fn verify_parity(
+    estimates: &[f64],
+    queries: &[Query],
+    sequential: &Cnt2Crd<crn_core::CrnModel>,
+    mode: &str,
+) -> Result<(), String> {
+    for (index, (query, estimate)) in queries.iter().zip(estimates).enumerate() {
+        let expected = sequential.estimate(query);
+        if *estimate != expected {
+            return Err(format!(
+                "parity violation ({mode}) at query {index}: served {estimate} vs \
+                 sequential {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The synchronous demo: the whole workload in `batch`-sized `serve` calls.
+fn run_sync_demo(
+    config: &ServeDemoConfig,
+    service: &EstimatorService<crn_core::CrnModel>,
+    sequential: &Cnt2Crd<crn_core::CrnModel>,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<BenchRecord, String> {
+    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
+    let response = service.serve(first_batch);
+    verify_parity(&response.estimates, first_batch, sequential, "sync")?;
     lines.push(format!(
         "[serve] parity check passed: {} estimates bit-identical to the sequential path",
         first_batch.len()
     ));
 
-    // The measured run: the whole workload in `batch`-sized serve calls.
     let mut total = ServeStats::default();
+    let mut latencies_us: Vec<f64> = Vec::new();
     let run_started = Instant::now();
     for chunk in workload.chunks(config.batch.max(1)) {
+        let call_started = Instant::now();
         let response = service.serve(chunk);
-        let stats = response.stats;
-        lines.push(format!("[serve] {}", stats.render()));
-        total.queries += stats.queries;
-        total.groups += stats.groups;
-        total.work_items += stats.work_items;
-        total.pool_hits += stats.pool_hits;
-        total.fallbacks += stats.fallbacks;
-        total.snapshot_time += stats.snapshot_time;
-        total.group_time += stats.group_time;
-        total.compute_time += stats.compute_time;
-        total.merge_time += stats.merge_time;
-        total.total_time += stats.total_time;
+        latencies_us.push(call_started.elapsed().as_secs_f64() * 1e6);
+        lines.push(format!("[serve] {}", response.stats.render()));
+        total.accumulate(&response.stats);
     }
     let elapsed = run_started.elapsed();
+    let batches = latencies_us.len() as u64;
     lines.push(format!(
         "[serve] served {} queries over {} shards x {} threads in {:.3}s ({:.0} queries/s); \
          {} pool hits, {} fallbacks; layer time: snapshot {:.1?} group {:.1?} compute {:.1?} \
@@ -126,7 +248,180 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> String {
         total.compute_time,
         total.merge_time,
     ));
-    lines.join("\n")
+    let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+    Ok(BenchRecord {
+        mode: "sync".to_string(),
+        preset: config.preset_label.clone(),
+        shards: config.shards,
+        threads: config.threads,
+        queue_depth: 0,
+        batch_window_us: 0,
+        callers: 1,
+        queries: total.queries,
+        batches,
+        mean_batch: total.queries as f64 / batches.max(1) as f64,
+        rejected: 0,
+        p50_us: percentile_us(&mut latencies_us, 0.50),
+        p99_us: percentile_us(&mut latencies_us, 0.99),
+        mean_us,
+        throughput_qps: total.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}
+
+/// The async demo: runtime + closed-loop multi-caller load generator + maintenance lane.
+fn run_async_demo(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    service: &Arc<EstimatorService<crn_core::CrnModel>>,
+    sequential: &Cnt2Crd<crn_core::CrnModel>,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<BenchRecord, String> {
+    let callers = config.callers.max(1);
+    let runtime_config = RuntimeConfig::default()
+        .with_window_us(config.batch_window_us)
+        .with_queue_depth(config.queue_depth.max(1))
+        .with_per_caller_depth((config.queue_depth.max(1) / callers).max(1))
+        .with_batch_max(config.batch.max(1));
+    let runtime = ServeRuntime::new(Arc::clone(service), runtime_config);
+    lines.push(format!(
+        "[serve] async runtime up: window {}us, queue depth {}, per-caller quota {}, \
+         batch max {}",
+        config.batch_window_us,
+        runtime.config().queue_depth,
+        runtime.config().per_caller_depth,
+        runtime.config().batch_max,
+    ));
+
+    // Parity tripwire: the first batch goes through the *runtime* (so the whole
+    // queue → scheduler → service path is on the hook), checked against the sequential
+    // single-query semantics.  Closed-loop one at a time: the warmup then neither skews
+    // `max_batch` nor the fusion stats of the measured run below.
+    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
+    let estimates: Vec<f64> = first_batch
+        .iter()
+        .map(|query| {
+            runtime
+                .submit_retrying(0, query)
+                .expect("the driver owns the runtime")
+                .wait()
+                .estimate
+        })
+        .collect();
+    verify_parity(&estimates, first_batch, sequential, "async")?;
+    lines.push(format!(
+        "[serve] parity check passed: {} async estimates bit-identical to the sequential \
+         path",
+        first_batch.len()
+    ));
+
+    // The measured run: closed-loop callers, per-request latencies.  Every counter
+    // reported below deltas against this snapshot so the parity warmup stays out of the
+    // measured figures.
+    let pre_load = runtime.stats();
+    let run_started = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let runtime = &runtime;
+        let handles: Vec<_> = (0..callers)
+            .map(|caller| {
+                scope.spawn(move || {
+                    let mut own = Vec::new();
+                    for (index, query) in workload.iter().enumerate() {
+                        if index % callers == caller {
+                            let submitted = Instant::now();
+                            let outcome = runtime
+                                .submit_retrying(caller as u64, query)
+                                .expect("the driver owns the runtime")
+                                .wait();
+                            own.push(submitted.elapsed().as_secs_f64() * 1e6);
+                            debug_assert!(outcome.estimate >= 0.0);
+                        }
+                    }
+                    own
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies_us.extend(handle.join().expect("caller thread"));
+        }
+    });
+    let elapsed = run_started.elapsed();
+
+    // The maintenance lane: feed true cardinalities of the first few served queries back
+    // into the pool (the §5.2 refresh loop) and wait for the upserts to land.
+    let executor = crn_exec::Executor::new(&ctx.db);
+    let feedback = workload.len().min(8);
+    for query in workload.iter().take(feedback) {
+        let cardinality = executor.cardinality(query);
+        if runtime.record_feedback(query.clone(), cardinality).is_err() {
+            break;
+        }
+    }
+    runtime.flush();
+
+    let stats = runtime.shutdown();
+    let rejected = stats.rejected_queue_full + stats.rejected_caller_quota
+        - pre_load.rejected_queue_full
+        - pre_load.rejected_caller_quota;
+    let load_completed = stats.completed - pre_load.completed;
+    let load_batches = stats.batches - pre_load.batches;
+    let load_mean_batch = if load_batches == 0 {
+        0.0
+    } else {
+        load_completed as f64 / load_batches as f64
+    };
+    lines.push(format!(
+        "[serve] async: {} completed in {} batches (mean {:.2}, max {}) — {} size-closed, \
+         {} window-closed, {} drain-closed; {} rejections absorbed by retries; \
+         maintenance applied {} refreshes (pool now {} entries)",
+        load_completed,
+        load_batches,
+        load_mean_batch,
+        stats.max_batch,
+        stats.size_closes - pre_load.size_closes,
+        stats.window_closes - pre_load.window_closes,
+        stats.drain_closes - pre_load.drain_closes,
+        rejected,
+        stats.maintenance_applied,
+        service.pool().len(),
+    ));
+    lines.push(format!(
+        "[serve] aggregate (incl. parity warmup) {}",
+        stats.serve.render()
+    ));
+    let total_queries = latencies_us.len();
+    let mean_us = latencies_us.iter().sum::<f64>() / total_queries.max(1) as f64;
+    let p50 = percentile_us(&mut latencies_us, 0.50);
+    let p99 = percentile_us(&mut latencies_us, 0.99);
+    lines.push(format!(
+        "[serve] served {} queries via {} callers in {:.3}s ({:.0} queries/s); latency \
+         p50 {:.0}us p99 {:.0}us mean {:.0}us",
+        total_queries,
+        callers,
+        elapsed.as_secs_f64(),
+        total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50,
+        p99,
+        mean_us,
+    ));
+    Ok(BenchRecord {
+        mode: "async".to_string(),
+        preset: config.preset_label.clone(),
+        shards: config.shards,
+        threads: config.threads,
+        queue_depth: config.queue_depth,
+        batch_window_us: config.batch_window_us,
+        callers,
+        queries: total_queries,
+        batches: load_batches,
+        mean_batch: load_mean_batch,
+        rejected,
+        p50_us: p50,
+        p99_us: p99,
+        mean_us,
+        throughput_qps: total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
 }
 
 #[cfg(test)]
@@ -140,8 +435,34 @@ mod tests {
         config.batch = 8;
         config.shards = 2;
         config.threads = 2;
-        let report = run_serve_demo(&config);
+        let report = run_serve_demo(&config).expect("parity holds");
         assert!(report.contains("parity check passed"));
         assert!(report.contains("served 24 queries over 2 shards x 2 threads"));
+    }
+
+    #[test]
+    fn async_serve_demo_runs_and_emits_bench_json() {
+        let dir = std::env::temp_dir().join("crn_serve_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serving.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        config.async_mode = true;
+        config.batch_window_us = 100;
+        config.queue_depth = 16;
+        config.callers = 3;
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("parity holds");
+        assert!(report.contains("async runtime up"));
+        assert!(report.contains("parity check passed"));
+        assert!(report.contains("maintenance applied"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("crn-serve-bench-v1"));
+        assert!(json.contains("\"mode\":\"async\""));
+        assert!(json.contains("throughput_qps"));
     }
 }

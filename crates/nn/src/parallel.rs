@@ -521,7 +521,12 @@ impl<T> ResultSlot<T> {
 /// `Mutex::lock` that recovers the guard from a poisoned lock: a panicked shard is already
 /// reported through the job's `panicked` flag, and pool state transitions are all
 /// exception-safe single-field writes.
-fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+///
+/// Public because this is the worker pool's wakeup machinery, shared by everything that
+/// parks threads against the pool's job lifecycle — `crn-serve`'s submission queue and
+/// completion tickets sleep and wake through these same helpers, so a poisoned lock never
+/// wedges a serving runtime any more than it wedges the pool itself.
+pub fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
@@ -529,10 +534,35 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// `Condvar::wait` with the same poison recovery as [`lock_ignoring_poison`].
-fn wait_ignoring_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+pub fn wait_ignoring_poison<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
     match condvar.wait(guard) {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// `Condvar::wait_timeout` with the same poison recovery as [`lock_ignoring_poison`];
+/// returns the guard and whether the wait timed out.
+///
+/// This is the primitive behind batching *windows*: `crn-serve`'s scheduler parks on its
+/// submission queue with the window's remaining time as the timeout, so a new submission
+/// wakes it early (to check the size threshold) and an expired window wakes it at the
+/// deadline — the same wakeup discipline the worker pool uses for job hand-out, extended
+/// with a deadline.
+pub fn wait_timeout_ignoring_poison<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, result)) => (guard, result.timed_out()),
+        Err(poisoned) => {
+            let (guard, result) = poisoned.into_inner();
+            (guard, result.timed_out())
+        }
     }
 }
 
@@ -824,6 +854,38 @@ mod tests {
         let c = WorkerPool::shared(3);
         assert!(!Arc::ptr_eq(&a.core, &c.core));
         assert_eq!(ThreadPoolConfig::with_threads(2).worker_pool().threads(), 2);
+    }
+
+    #[test]
+    fn wait_timeout_helper_reports_timeouts_and_wakeups() {
+        use std::time::Duration;
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nothing signals: the wait must report a timeout with the predicate unchanged.
+        {
+            let guard = lock_ignoring_poison(&state.0);
+            let (guard, timed_out) =
+                wait_timeout_ignoring_poison(&state.1, guard, Duration::from_millis(5));
+            assert!(timed_out);
+            assert!(!*guard);
+        }
+        // A signaller flips the predicate: the wait must wake well before a long deadline.
+        let signaller = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                *lock_ignoring_poison(&state.0) = true;
+                state.1.notify_all();
+            })
+        };
+        let mut guard = lock_ignoring_poison(&state.0);
+        while !*guard {
+            let (next, timed_out) =
+                wait_timeout_ignoring_poison(&state.1, guard, Duration::from_secs(10));
+            guard = next;
+            assert!(!timed_out || *guard, "a 10s timeout must not expire here");
+        }
+        drop(guard);
+        signaller.join().expect("signaller exits");
     }
 
     #[test]

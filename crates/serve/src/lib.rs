@@ -1,0 +1,53 @@
+//! `crn-serve` — the asynchronous request-queue serving runtime over the concurrent
+//! [`EstimatorService`](crn_core::EstimatorService).
+//!
+//! PR 3's `EstimatorService` is *synchronous*: a caller hands over a slice of concurrent
+//! queries and blocks until the whole batch is served.  That leaves the batching decision
+//! — the thing the fused multi-query head batches feed on — to every caller individually,
+//! and a production front-end has neither a natural batch boundary nor the luxury of
+//! blocking its request threads.  This crate adds the genuinely async front-end the
+//! ROADMAP names: a queue + completion-handle runtime with admission control and
+//! cross-call batching windows, hand-rolled on `std::sync` primitives (the vendored-deps
+//! policy rules out tokio — everything here is a bounded `VecDeque` behind a mutex plus
+//! the worker pool's poison-robust condvar wakeup helpers from `crn_nn::parallel`).
+//!
+//! The moving parts:
+//!
+//! * [`ticket`] — [`Ticket`]: the condvar-backed completion handle a submission returns;
+//!   `poll` (non-blocking), `wait` and `wait_timeout` resolve to the estimate plus batch
+//!   provenance.
+//! * [`queue`] — the bounded MPSC submission queue with admission control: a hard
+//!   `queue_depth` bound and a per-caller fairness quota, both load-shedding with
+//!   [`SubmitError::Overloaded`] instead of blocking the submitter.
+//! * [`runtime`] — [`ServeRuntime`]: the scheduler thread that forms batches (closing on
+//!   a size threshold *or* a time window, so cross-call traffic fuses into one
+//!   multi-query head batch), executes them on the wrapped service, and resolves the
+//!   tickets; plus the background *maintenance lane* applying completed queries' true
+//!   cardinalities back into the pool via single-swap copy-on-write
+//!   [`upsert`](crn_core::ShardedPool::upsert)s — the paper's §5.2 pool-refresh loop,
+//!   never blocking concurrent readers.
+//!
+//! # Bit-parity contract
+//!
+//! For a fixed set of submitted queries, the estimates the runtime resolves are
+//! **bit-identical** to what one synchronous [`EstimatorService::serve`] call over the
+//! same queries returns — at *any* batch window, queue depth, caller interleaving or
+//! worker count.  This is inherited, not re-proven: the service's per-query results are
+//! independent of batch composition (forced-CSR featurization, row-count-independent
+//! kernels, canonical-order merges — see `crn_core::service`), so however the scheduler
+//! slices the traffic into batches, every query's answer is the one the sequential path
+//! computes.  The parity tests in `tests/async_parity.rs` pin the full
+//! window × depth × workers matrix.
+//!
+//! [`EstimatorService::serve`]: crn_core::EstimatorService::serve
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod queue;
+pub mod runtime;
+pub mod ticket;
+
+pub use queue::{RejectReason, SubmitError};
+pub use runtime::{RuntimeConfig, RuntimeStats, ServeRuntime};
+pub use ticket::{Ticket, TicketOutcome};

@@ -1,0 +1,217 @@
+//! The bounded MPSC submission queue and its admission control.
+//!
+//! Submitters push [`Request`]s under a mutex; the single scheduler thread pops batches.
+//! Admission is *load-shedding*, never blocking: a submission against a full queue (or a
+//! caller already at its fairness quota) returns [`SubmitError::Overloaded`] immediately,
+//! so a overload surfaces as explicit rejections the caller can retry, shed or report —
+//! exactly the behaviour a tail-latency budget wants, instead of unbounded queueing.
+
+use crate::ticket::TicketCell;
+use crn_query::ast::Query;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a submission was load-shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded submission queue is at its configured depth
+    /// ([`RuntimeConfig::queue_depth`](crate::RuntimeConfig::queue_depth)).
+    QueueFull,
+    /// The submitting caller already has its fairness quota of pending requests
+    /// ([`RuntimeConfig::per_caller_depth`](crate::RuntimeConfig::per_caller_depth)) —
+    /// other callers' shares of the queue stay admissible.
+    CallerQuota,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Load shed: the queue (or the caller's share of it) is full.  Retry later, shed, or
+    /// fall back to a synchronous estimate.
+    Overloaded {
+        /// Which admission bound rejected the submission.
+        reason: RejectReason,
+        /// Requests pending in the queue at rejection time.
+        pending: usize,
+    },
+    /// The runtime is shutting down and no longer admits work (already-admitted requests
+    /// still complete — the scheduler drains the queue before exiting).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { reason, pending } => match reason {
+                RejectReason::QueueFull => {
+                    write!(f, "overloaded: submission queue full ({pending} pending)")
+                }
+                RejectReason::CallerQuota => write!(
+                    f,
+                    "overloaded: caller at its fairness quota ({pending} pending)"
+                ),
+            },
+            SubmitError::ShuttingDown => write!(f, "runtime is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One admitted request: the query, its completion cell and admission bookkeeping.
+pub(crate) struct Request {
+    pub(crate) caller: u64,
+    pub(crate) query: Query,
+    pub(crate) ticket: Arc<TicketCell>,
+    pub(crate) enqueued: Instant,
+}
+
+/// The scheduler-facing queue state (guarded by the runtime's queue mutex).
+pub(crate) struct QueueState {
+    /// Admitted requests in arrival order.
+    pub(crate) pending: VecDeque<Request>,
+    /// Pending-request count per caller (entries removed at zero), enforcing the quota.
+    pub(crate) per_caller: HashMap<u64, usize>,
+    /// Requests popped into a batch that has not completed yet (drained by `flush`).
+    pub(crate) in_flight: usize,
+    /// Set once at shutdown: admissions stop, the scheduler drains and exits.
+    pub(crate) closed: bool,
+}
+
+impl QueueState {
+    pub(crate) fn new() -> Self {
+        QueueState {
+            pending: VecDeque::new(),
+            per_caller: HashMap::new(),
+            in_flight: 0,
+            closed: false,
+        }
+    }
+
+    /// Admission control: admits the query (returning its completion cell) or rejects it
+    /// with the bound that failed.  `queue_depth` bounds total pending requests,
+    /// `per_caller_depth` bounds one caller's share.
+    pub(crate) fn admit(
+        &mut self,
+        caller: u64,
+        query: Query,
+        queue_depth: usize,
+        per_caller_depth: usize,
+    ) -> Result<Arc<TicketCell>, SubmitError> {
+        if self.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if self.pending.len() >= queue_depth {
+            return Err(SubmitError::Overloaded {
+                reason: RejectReason::QueueFull,
+                pending: self.pending.len(),
+            });
+        }
+        let count = self.per_caller.entry(caller).or_insert(0);
+        if *count >= per_caller_depth {
+            return Err(SubmitError::Overloaded {
+                reason: RejectReason::CallerQuota,
+                pending: self.pending.len(),
+            });
+        }
+        *count += 1;
+        let ticket = TicketCell::new();
+        self.pending.push_back(Request {
+            caller,
+            query,
+            ticket: Arc::clone(&ticket),
+            enqueued: Instant::now(),
+        });
+        Ok(ticket)
+    }
+
+    /// Pops up to `max` requests in arrival order into a batch, releasing their callers'
+    /// quota shares and counting them in flight.
+    pub(crate) fn pop_batch(&mut self, max: usize) -> Vec<Request> {
+        let take = self.pending.len().min(max);
+        let batch: Vec<Request> = self.pending.drain(..take).collect();
+        for request in &batch {
+            match self.per_caller.get_mut(&request.caller) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.per_caller.remove(&request.caller);
+                }
+            }
+        }
+        self.in_flight += batch.len();
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> Query {
+        Query::scan("title")
+    }
+
+    #[test]
+    fn admission_enforces_queue_depth_and_caller_quota() {
+        let mut state = QueueState::new();
+        // Caller 1 fills its quota of 2; the third submission is shed with CallerQuota
+        // while caller 2 is still admissible — per-caller fairness.
+        assert!(state.admit(1, query(), 4, 2).is_ok());
+        assert!(state.admit(1, query(), 4, 2).is_ok());
+        assert_eq!(
+            state.admit(1, query(), 4, 2).map(|_| ()).unwrap_err(),
+            SubmitError::Overloaded {
+                reason: RejectReason::CallerQuota,
+                pending: 2,
+            }
+        );
+        assert!(state.admit(2, query(), 4, 2).is_ok());
+        assert!(state.admit(3, query(), 4, 2).is_ok());
+        // The queue itself is now at depth 4: even a fresh caller is shed.
+        let rejection = state.admit(4, query(), 4, 2).map(|_| ()).unwrap_err();
+        assert_eq!(
+            rejection,
+            SubmitError::Overloaded {
+                reason: RejectReason::QueueFull,
+                pending: 4,
+            }
+        );
+        assert!(rejection.to_string().contains("queue full"));
+
+        // Popping a batch releases quota shares: caller 1 can submit again.
+        let batch = state.pop_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(state.in_flight, 3);
+        assert_eq!(state.pending.len(), 1);
+        assert!(state.admit(1, query(), 4, 2).is_ok());
+
+        // Closing stops admission entirely.
+        state.closed = true;
+        assert_eq!(
+            state.admit(9, query(), 4, 2).map(|_| ()).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn pop_batch_respects_arrival_order_and_max() {
+        let mut state = QueueState::new();
+        for caller in 0..5u64 {
+            state.admit(caller, query(), 16, 16).expect("admitted");
+        }
+        let first = state.pop_batch(2);
+        assert_eq!(
+            first.iter().map(|r| r.caller).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let rest = state.pop_batch(16);
+        assert_eq!(
+            rest.iter().map(|r| r.caller).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(state.per_caller.is_empty(), "all quota shares released");
+        assert_eq!(state.in_flight, 5);
+        assert!(state.pop_batch(4).is_empty());
+    }
+}

@@ -1,0 +1,614 @@
+//! The serving runtime: batch-forming scheduler, admission front door, maintenance lane.
+//!
+//! One [`ServeRuntime`] owns two background threads:
+//!
+//! * the **scheduler** parks on the submission queue, opens a batch when the first
+//!   request arrives, and closes it when either the size threshold
+//!   ([`RuntimeConfig::batch_max`]) is reached or the batching window
+//!   ([`RuntimeConfig::batch_window`]) measured from that first request expires — then
+//!   executes the batch as **one** [`EstimatorService::serve`] call (so cross-call
+//!   traffic fuses into the same multi-query head batches a single synchronous caller
+//!   would get) and resolves the tickets;
+//! * the **maintenance lane** drains the feedback queue of `(query, true cardinality)`
+//!   records and applies each one to the pool as a single-swap copy-on-write
+//!   [`upsert`](crn_core::ShardedPool::upsert) — the paper's pool-refresh loop, running
+//!   concurrently with serving and never blocking snapshot readers.
+//!
+//! Shutdown is graceful: [`ServeRuntime::shutdown`] (or drop) stops admission, drains
+//! both queues — every admitted ticket resolves, every accepted feedback record applies —
+//! and joins both threads.
+
+use crate::queue::{QueueState, SubmitError};
+use crate::ticket::{Ticket, TicketOutcome};
+use crn_core::{EstimatorService, ServeStats};
+use crn_estimators::ContainmentEstimator;
+use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
+use crn_query::ast::Query;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one [`ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Bound on *queued* (admitted, not yet batched) requests; submissions against a full
+    /// queue are shed with [`SubmitError::Overloaded`].  Depth 1 degenerates to
+    /// one-request batches — the useful floor for parity testing.
+    pub queue_depth: usize,
+    /// Per-caller fairness quota: one caller's share of `queue_depth`.  A flooding caller
+    /// is shed at this bound while other callers' submissions stay admissible.
+    pub per_caller_depth: usize,
+    /// Size threshold closing a batch: the scheduler stops waiting as soon as this many
+    /// requests are pending.  Normalized to at most `queue_depth` — admission caps the
+    /// pending count there, so a larger threshold could never be met and waiting out the
+    /// window for it would be pure dead latency.
+    pub batch_max: usize,
+    /// Time window closing a batch: measured from the *oldest* pending request, so no
+    /// admitted request waits in the queue longer than this before its batch executes
+    /// (zero serves whatever has accumulated the moment the scheduler wakes).
+    pub batch_window: Duration,
+    /// Bound on queued maintenance records; feedback against a full lane is shed (serving
+    /// traffic is never displaced by maintenance).
+    pub maintenance_depth: usize,
+}
+
+impl Default for RuntimeConfig {
+    /// Defaults matching the CI smoke: depth 64, no per-caller cap beyond the depth,
+    /// batches of at most 32 closing after 100µs, maintenance lane of 1024.
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_depth: 64,
+            per_caller_depth: 64,
+            batch_max: 32,
+            batch_window: Duration::from_micros(100),
+            maintenance_depth: 1024,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Sets the batching window from microseconds (the `--batch-window-us` CLI unit).
+    pub fn with_window_us(mut self, micros: u64) -> Self {
+        self.batch_window = Duration::from_micros(micros);
+        self
+    }
+
+    /// Sets the queue depth (and caps the per-caller quota at it).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self.per_caller_depth = self.per_caller_depth.min(self.queue_depth);
+        self
+    }
+
+    /// Sets the per-caller fairness quota.
+    pub fn with_per_caller_depth(mut self, depth: usize) -> Self {
+        self.per_caller_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the batch size threshold.
+    pub fn with_batch_max(mut self, max: usize) -> Self {
+        self.batch_max = max.max(1);
+        self
+    }
+}
+
+/// Why the scheduler closed a batch (counted in [`RuntimeStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// `batch_max` pending requests accumulated before the window expired.
+    Size,
+    /// The window expired with fewer than `batch_max` pending.
+    Window,
+    /// Shutdown drain: the queue is being emptied without waiting for windows.
+    Drain,
+}
+
+/// Monotonic counters describing a runtime's lifetime (snapshot via
+/// [`ServeRuntime::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Requests admitted by the submission queue.
+    pub submitted: u64,
+    /// Requests whose tickets have resolved with an estimate.
+    pub completed: u64,
+    /// Requests whose batch panicked during execution (their tickets re-raise; the
+    /// scheduler survives and keeps serving).
+    pub failed: u64,
+    /// Submissions shed because the queue was at depth.
+    pub rejected_queue_full: u64,
+    /// Submissions shed by the per-caller fairness quota.
+    pub rejected_caller_quota: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches closed by the size threshold.
+    pub size_closes: u64,
+    /// Batches closed by the expired window.
+    pub window_closes: u64,
+    /// Batches closed by the shutdown drain.
+    pub drain_closes: u64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+    /// Maintenance records applied to the pool.
+    pub maintenance_applied: u64,
+    /// Maintenance records shed because the lane was at depth.
+    pub maintenance_rejected: u64,
+    /// Maintenance records whose upsert panicked (contained; the lane keeps draining).
+    pub maintenance_failed: u64,
+    /// The accumulated per-layer serving stats over every executed batch
+    /// (see [`ServeStats::accumulate`]).
+    pub serve: ServeStats,
+}
+
+impl RuntimeStats {
+    /// Mean executed batch size (0 when no batch ran) — the cross-call fusion factor.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Lock-free counter block (the scheduler and submitters bump these without the queue
+/// mutex; `stats` snapshots them).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_caller_quota: AtomicU64,
+    batches: AtomicU64,
+    size_closes: AtomicU64,
+    window_closes: AtomicU64,
+    drain_closes: AtomicU64,
+    max_batch: AtomicUsize,
+    maintenance_applied: AtomicU64,
+    maintenance_rejected: AtomicU64,
+    maintenance_failed: AtomicU64,
+}
+
+/// The maintenance lane's queue state (guarded by its own mutex).
+struct MaintState {
+    pending: VecDeque<(Query, u64)>,
+    /// True while the maintenance thread is applying a popped record (so `flush` waits
+    /// for the in-flight upsert, not just an empty queue).
+    applying: bool,
+    closed: bool,
+}
+
+/// Everything both background threads and the handle share.
+struct Shared<M> {
+    service: Arc<EstimatorService<M>>,
+    config: RuntimeConfig,
+    queue: Mutex<QueueState>,
+    /// Submitters → scheduler: a new request (or shutdown) arrived.
+    queue_ready: Condvar,
+    /// Scheduler → blocked [`submit_retrying`](ServeRuntime::submit_retrying) callers: a
+    /// batch was popped, so queue depth and caller quotas freed up (also signalled at
+    /// shutdown so parked submitters observe `ShuttingDown`).
+    queue_space: Condvar,
+    /// Scheduler → `flush`/idle waiters: the queue emptied and no batch is in flight.
+    queue_idle: Condvar,
+    maint: Mutex<MaintState>,
+    /// Feedback producers → maintenance thread.
+    maint_ready: Condvar,
+    /// Maintenance thread → `flush` waiters.
+    maint_idle: Condvar,
+    counters: Counters,
+    serve_stats: Mutex<ServeStats>,
+}
+
+/// The async request-queue serving runtime over an [`EstimatorService`].
+///
+/// See the [module docs](self) for the execution model and the crate docs for the
+/// bit-parity contract.  The handle is the only owner of the background threads: dropping
+/// it shuts the runtime down gracefully (drain, then join).
+pub struct ServeRuntime<M: ContainmentEstimator + Send + Sync + 'static> {
+    shared: Arc<Shared<M>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    maintenance: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
+    /// Spawns the runtime (scheduler + maintenance threads) over a shared service.
+    pub fn new(service: Arc<EstimatorService<M>>, config: RuntimeConfig) -> Self {
+        let queue_depth = config.queue_depth.max(1);
+        let config = RuntimeConfig {
+            queue_depth,
+            per_caller_depth: config.per_caller_depth.clamp(1, queue_depth),
+            // A threshold above the queue depth could never be reached (admission caps
+            // pending there), so the scheduler would always wait out the full window.
+            batch_max: config.batch_max.clamp(1, queue_depth),
+            batch_window: config.batch_window,
+            maintenance_depth: config.maintenance_depth.max(1),
+        };
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            queue: Mutex::new(QueueState::new()),
+            queue_ready: Condvar::new(),
+            queue_space: Condvar::new(),
+            queue_idle: Condvar::new(),
+            maint: Mutex::new(MaintState {
+                pending: VecDeque::new(),
+                applying: false,
+                closed: false,
+            }),
+            maint_ready: Condvar::new(),
+            maint_idle: Condvar::new(),
+            counters: Counters::default(),
+            serve_stats: Mutex::new(ServeStats::default()),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("crn-serve-scheduler".into())
+                .spawn(move || scheduler_loop(&shared))
+                .expect("spawn scheduler thread")
+        };
+        let maintenance = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("crn-serve-maintenance".into())
+                .spawn(move || maintenance_loop(&shared))
+                .expect("spawn maintenance thread")
+        };
+        ServeRuntime {
+            shared,
+            scheduler: Some(scheduler),
+            maintenance: Some(maintenance),
+        }
+    }
+
+    /// The wrapped service (its pool is the one the maintenance lane refreshes).
+    pub fn service(&self) -> &Arc<EstimatorService<M>> {
+        &self.shared.service
+    }
+
+    /// The runtime's (normalized) configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.config
+    }
+
+    /// Submits one query on behalf of `caller`, returning its completion [`Ticket`].
+    ///
+    /// Never blocks: a full queue (or an exhausted caller quota) sheds the submission
+    /// with [`SubmitError::Overloaded`] immediately — admission control, not backpressure
+    /// by stalling.  `caller` is an arbitrary fairness key (connection id, tenant, ...).
+    pub fn submit(&self, caller: u64, query: Query) -> Result<Ticket, SubmitError> {
+        let admitted = {
+            let mut state = lock_ignoring_poison(&self.shared.queue);
+            self.try_admit(&mut state, caller, query)
+        };
+        admitted.map(|cell| {
+            self.shared.queue_ready.notify_all();
+            Ticket::new(cell)
+        })
+    }
+
+    /// [`submit`](ServeRuntime::submit) for closed-loop clients: when admission sheds the
+    /// attempt, parks on the queue-space condvar (woken whenever the scheduler pops a
+    /// batch, freeing depth and quota) and retries — no busy-spinning, and each shed
+    /// attempt counts once in the rejection stats.  Returns `Err` only once the runtime
+    /// is shutting down.  This is the one blocking submission shape — the load generator,
+    /// the benches and the parity tests all go through it, so they measure the same
+    /// client behaviour.
+    pub fn submit_retrying(&self, caller: u64, query: &Query) -> Result<Ticket, SubmitError> {
+        let mut state = lock_ignoring_poison(&self.shared.queue);
+        loop {
+            match self.try_admit(&mut state, caller, query.clone()) {
+                Ok(cell) => {
+                    drop(state);
+                    self.shared.queue_ready.notify_all();
+                    return Ok(Ticket::new(cell));
+                }
+                Err(SubmitError::Overloaded { .. }) => {
+                    state = wait_ignoring_poison(&self.shared.queue_space, state);
+                }
+                Err(error @ SubmitError::ShuttingDown) => return Err(error),
+            }
+        }
+    }
+
+    /// The shared admission step of [`submit`](ServeRuntime::submit) and
+    /// [`submit_retrying`](ServeRuntime::submit_retrying): runs admission control under
+    /// the caller-held queue lock and keeps the counters.
+    fn try_admit(
+        &self,
+        state: &mut QueueState,
+        caller: u64,
+        query: Query,
+    ) -> Result<Arc<crate::ticket::TicketCell>, SubmitError> {
+        let admitted = state.admit(
+            caller,
+            query,
+            self.shared.config.queue_depth,
+            self.shared.config.per_caller_depth,
+        );
+        match &admitted {
+            Ok(_) => {
+                self.shared
+                    .counters
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SubmitError::Overloaded { reason, .. }) => {
+                let counter = match reason {
+                    crate::queue::RejectReason::QueueFull => {
+                        &self.shared.counters.rejected_queue_full
+                    }
+                    crate::queue::RejectReason::CallerQuota => {
+                        &self.shared.counters.rejected_caller_quota
+                    }
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SubmitError::ShuttingDown) => {}
+        }
+        admitted
+    }
+
+    /// Feeds one completed query's true cardinality to the maintenance lane.
+    ///
+    /// The record is applied asynchronously as a single-swap
+    /// [`upsert`](crn_core::ShardedPool::upsert) — new entries join the pool, stale
+    /// entries get their cardinality refreshed, and in-flight snapshots are untouched.
+    /// A full lane sheds the record ([`SubmitError::Overloaded`]); the next execution of
+    /// the same query can resubmit it.
+    pub fn record_feedback(&self, query: Query, cardinality: u64) -> Result<(), SubmitError> {
+        let mut state = lock_ignoring_poison(&self.shared.maint);
+        if state.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.pending.len() >= self.shared.config.maintenance_depth {
+            self.shared
+                .counters
+                .maintenance_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                reason: crate::queue::RejectReason::QueueFull,
+                pending: state.pending.len(),
+            });
+        }
+        state.pending.push_back((query, cardinality));
+        drop(state);
+        self.shared.maint_ready.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until both lanes are quiescent: no queued or in-flight request, no queued
+    /// or in-flight maintenance record.  (A quiesce point for tests and drivers; new
+    /// submissions may race in after it returns.)
+    pub fn flush(&self) {
+        {
+            let mut state = lock_ignoring_poison(&self.shared.queue);
+            while !(state.pending.is_empty() && state.in_flight == 0) {
+                state = wait_ignoring_poison(&self.shared.queue_idle, state);
+            }
+        }
+        {
+            let mut state = lock_ignoring_poison(&self.shared.maint);
+            while !state.pending.is_empty() || state.applying {
+                state = wait_ignoring_poison(&self.shared.maint_idle, state);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the runtime's counters and accumulated serving stats.
+    pub fn stats(&self) -> RuntimeStats {
+        let counters = &self.shared.counters;
+        RuntimeStats {
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+            rejected_queue_full: counters.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_caller_quota: counters.rejected_caller_quota.load(Ordering::Relaxed),
+            batches: counters.batches.load(Ordering::Relaxed),
+            size_closes: counters.size_closes.load(Ordering::Relaxed),
+            window_closes: counters.window_closes.load(Ordering::Relaxed),
+            drain_closes: counters.drain_closes.load(Ordering::Relaxed),
+            max_batch: counters.max_batch.load(Ordering::Relaxed) as u64,
+            maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
+            maintenance_rejected: counters.maintenance_rejected.load(Ordering::Relaxed),
+            maintenance_failed: counters.maintenance_failed.load(Ordering::Relaxed),
+            serve: lock_ignoring_poison(&self.shared.serve_stats).clone(),
+        }
+    }
+
+    /// Initiates the graceful drain without blocking: admission stops on both lanes
+    /// ([`SubmitError::ShuttingDown`] from here on), while already-admitted requests and
+    /// feedback records still execute.  Callers keep polling/waiting their tickets;
+    /// [`ServeRuntime::shutdown`] (or drop) completes the drain and joins the threads.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut state = lock_ignoring_poison(&self.shared.queue);
+            state.closed = true;
+        }
+        self.shared.queue_ready.notify_all();
+        // Parked blocking submitters must wake to observe `ShuttingDown`.
+        self.shared.queue_space.notify_all();
+        {
+            let mut state = lock_ignoring_poison(&self.shared.maint);
+            state.closed = true;
+        }
+        self.shared.maint_ready.notify_all();
+    }
+
+    /// Graceful shutdown: stops admission, drains both queues (every admitted ticket
+    /// resolves, every accepted feedback record applies), joins both threads and returns
+    /// the final stats.  Dropping the runtime does the same minus the stats.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.scheduler.take() {
+            handle.join().expect("scheduler thread exits cleanly");
+        }
+        if let Some(handle) = self.maintenance.take() {
+            handle.join().expect("maintenance thread exits cleanly");
+        }
+    }
+}
+
+impl<M: ContainmentEstimator + Send + Sync + 'static> Drop for ServeRuntime<M> {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl<M: ContainmentEstimator + Send + Sync + 'static> std::fmt::Debug for ServeRuntime<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeRuntime")
+            .field("service", &self.shared.service.name())
+            .field("config", &self.shared.config)
+            .finish()
+    }
+}
+
+/// The scheduler: forms batches off the submission queue and executes them.
+fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    loop {
+        // Phase 1 — wait for the batch-opening request (or shutdown with an empty queue).
+        let mut state = lock_ignoring_poison(&shared.queue);
+        loop {
+            if !state.pending.is_empty() {
+                break;
+            }
+            if state.closed {
+                shared.queue_idle.notify_all();
+                return;
+            }
+            state = wait_ignoring_poison(&shared.queue_ready, state);
+        }
+
+        // Phase 2 — hold the batch open until the size threshold, the window deadline
+        // (measured from the oldest pending request) or shutdown closes it.
+        let opened = state.pending.front().expect("non-empty").enqueued;
+        let deadline = opened + shared.config.batch_window;
+        while state.pending.len() < shared.config.batch_max && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _timed_out) =
+                wait_timeout_ignoring_poison(&shared.queue_ready, state, deadline - now);
+            state = next;
+        }
+        let reason = if state.pending.len() >= shared.config.batch_max {
+            CloseReason::Size
+        } else if state.closed {
+            CloseReason::Drain
+        } else {
+            CloseReason::Window
+        };
+        let batch = state.pop_batch(shared.config.batch_max);
+        drop(state);
+        // The pop freed queue depth and caller quotas: wake parked blocking submitters.
+        shared.queue_space.notify_all();
+
+        // Phase 3 — execute the whole batch as ONE service call: this is where
+        // cross-call traffic fuses into the service's multi-query head batches.
+        let closed_at = Instant::now();
+        let batch_size = batch.len();
+        let mut queries = Vec::with_capacity(batch_size);
+        let mut tickets = Vec::with_capacity(batch_size);
+        let mut waits = Vec::with_capacity(batch_size);
+        for request in batch {
+            queries.push(request.query);
+            tickets.push(request.ticket);
+            waits.push(closed_at.saturating_duration_since(request.enqueued));
+        }
+        // The worker pool propagates shard panics to its submitter — here, this thread.
+        // Contain them: a panicked batch must neither strand its waiters (they re-raise
+        // through their tickets) nor kill the scheduler (later batches still serve).
+        let response = catch_unwind(AssertUnwindSafe(|| shared.service.serve(&queries)));
+
+        // Phase 4 — bookkeeping, then resolve every ticket.
+        let counters = &shared.counters;
+        let batch_seq = counters.batches.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            CloseReason::Size => counters.size_closes.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Window => counters.window_closes.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Drain => counters.drain_closes.fetch_add(1, Ordering::Relaxed),
+        };
+        counters.max_batch.fetch_max(batch_size, Ordering::Relaxed);
+        match response {
+            Ok(response) => {
+                debug_assert_eq!(response.estimates.len(), batch_size);
+                counters
+                    .completed
+                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
+                for ((ticket, estimate), queue_wait) in
+                    tickets.iter().zip(&response.estimates).zip(waits)
+                {
+                    ticket.complete(TicketOutcome {
+                        estimate: *estimate,
+                        batch_size,
+                        batch_seq,
+                        queue_wait,
+                    });
+                }
+            }
+            Err(_panic) => {
+                counters
+                    .failed
+                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                for ticket in &tickets {
+                    ticket.fail();
+                }
+            }
+        }
+
+        // Phase 5 — retire the batch; wake `flush` when fully idle.
+        let mut state = lock_ignoring_poison(&shared.queue);
+        state.in_flight -= batch_size;
+        if state.pending.is_empty() && state.in_flight == 0 {
+            shared.queue_idle.notify_all();
+        }
+    }
+}
+
+/// The maintenance lane: applies feedback records to the pool, one single-swap upsert at
+/// a time, concurrently with serving.
+fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    loop {
+        let (query, cardinality) = {
+            let mut state = lock_ignoring_poison(&shared.maint);
+            loop {
+                if let Some(record) = state.pending.pop_front() {
+                    state.applying = true;
+                    break record;
+                }
+                if state.closed {
+                    shared.maint_idle.notify_all();
+                    return;
+                }
+                state = wait_ignoring_poison(&shared.maint_ready, state);
+            }
+        };
+        // Same containment as the scheduler: a panicking upsert must not wedge `flush`
+        // (the `applying` flag below) or kill the lane for later records.
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            shared.service.pool().upsert(query, cardinality)
+        }));
+        let counter = match applied {
+            Ok(_) => &shared.counters.maintenance_applied,
+            Err(_panic) => &shared.counters.maintenance_failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let mut state = lock_ignoring_poison(&shared.maint);
+        state.applying = false;
+        if state.pending.is_empty() {
+            shared.maint_idle.notify_all();
+        }
+    }
+}

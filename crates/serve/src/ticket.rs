@@ -1,0 +1,216 @@
+//! Completion handles: the condvar-backed future-like half of a submission.
+//!
+//! A successful [`submit`](crate::ServeRuntime::submit) returns a [`Ticket`].  The
+//! scheduler resolves it exactly once — when the batch containing the request has been
+//! served (or during the shutdown drain) — and every resolution wakes all waiters through
+//! the same poison-robust condvar discipline the worker pool uses.
+
+use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What a completed request resolved to: the estimate plus batch provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TicketOutcome {
+    /// The cardinality estimate — bit-identical to what a synchronous
+    /// [`EstimatorService::serve`](crn_core::EstimatorService::serve) over any batch
+    /// containing this query returns.
+    pub estimate: f64,
+    /// How many requests the batch that served this request fused (cross-call batching
+    /// evidence: under concurrent callers and a non-zero window this exceeds 1).
+    pub batch_size: usize,
+    /// The runtime-wide sequence number of that batch (0-based).
+    pub batch_seq: u64,
+    /// How long the request waited in the submission queue before its batch closed.
+    pub queue_wait: Duration,
+}
+
+/// The ticket's resolution state.
+enum TicketState {
+    /// Queued or in flight.
+    Pending,
+    /// Served.
+    Done(TicketOutcome),
+    /// The batch's execution panicked; observing the ticket re-raises the panic (the
+    /// runtime's analogue of the worker pool propagating shard panics to the submitter).
+    Failed,
+}
+
+/// The shared completion cell: written once by the scheduler, read by the ticket holder.
+pub(crate) struct TicketCell {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketCell {
+            state: Mutex::new(TicketState::Pending),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Resolves the ticket.  Called exactly once, by whichever thread served the batch.
+    pub(crate) fn complete(&self, outcome: TicketOutcome) {
+        let mut state = lock_ignoring_poison(&self.state);
+        debug_assert!(
+            matches!(*state, TicketState::Pending),
+            "a ticket resolves exactly once"
+        );
+        *state = TicketState::Done(outcome);
+        self.done.notify_all();
+    }
+
+    /// Marks the ticket's batch as panicked; waiters re-raise instead of hanging.
+    pub(crate) fn fail(&self) {
+        let mut state = lock_ignoring_poison(&self.state);
+        debug_assert!(
+            matches!(*state, TicketState::Pending),
+            "a ticket resolves exactly once"
+        );
+        *state = TicketState::Failed;
+        self.done.notify_all();
+    }
+}
+
+/// The completion handle of one submitted query.
+///
+/// Cheap to move across threads; the submitting caller typically `wait`s (closed-loop
+/// clients) or `poll`s from an event loop.  Dropping an unresolved ticket is fine — the
+/// scheduler still serves the request, the outcome is simply never observed.
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let resolved = !matches!(
+            *lock_ignoring_poison(&self.cell.state),
+            TicketState::Pending
+        );
+        f.debug_struct("Ticket")
+            .field("resolved", &resolved)
+            .finish()
+    }
+}
+
+/// Shared panic message of every observation of a failed ticket.
+const BATCH_PANICKED: &str =
+    "crn-serve: the batch executing this request panicked (see the scheduler's report)";
+
+impl Ticket {
+    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
+        Ticket { cell }
+    }
+
+    /// Non-blocking completion check: `Some` once the request's batch has been served.
+    ///
+    /// # Panics
+    /// Re-raises if the batch's execution panicked (the runtime survives; this waiter
+    /// must not silently miss its answer).
+    pub fn poll(&self) -> Option<TicketOutcome> {
+        match *lock_ignoring_poison(&self.cell.state) {
+            TicketState::Pending => None,
+            TicketState::Done(outcome) => Some(outcome),
+            TicketState::Failed => panic!("{BATCH_PANICKED}"),
+        }
+    }
+
+    /// Blocks until the request has been served and returns the outcome.
+    ///
+    /// Every admitted request eventually resolves — the scheduler drains the queue even
+    /// on shutdown and marks batches that panicked — so this cannot wait forever against
+    /// a live or shutting-down runtime.
+    ///
+    /// # Panics
+    /// Re-raises if the batch's execution panicked.
+    pub fn wait(&self) -> TicketOutcome {
+        let mut state = lock_ignoring_poison(&self.cell.state);
+        loop {
+            match *state {
+                TicketState::Pending => state = wait_ignoring_poison(&self.cell.done, state),
+                TicketState::Done(outcome) => return outcome,
+                TicketState::Failed => panic!("{BATCH_PANICKED}"),
+            }
+        }
+    }
+
+    /// [`wait`](Ticket::wait) with a deadline: `None` if the request is still queued or
+    /// in flight when `timeout` elapses.
+    ///
+    /// # Panics
+    /// Re-raises if the batch's execution panicked.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TicketOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = lock_ignoring_poison(&self.cell.state);
+        loop {
+            match *state {
+                TicketState::Pending => {}
+                TicketState::Done(outcome) => return Some(outcome),
+                TicketState::Failed => panic!("{BATCH_PANICKED}"),
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timed_out) =
+                wait_timeout_ignoring_poison(&self.cell.done, state, deadline - now);
+            state = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_wait_and_timeout_observe_one_completion() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(Arc::clone(&cell));
+        assert!(ticket.poll().is_none());
+        assert!(ticket.wait_timeout(Duration::from_millis(5)).is_none());
+        assert!(format!("{ticket:?}").contains("resolved: false"));
+
+        let outcome = TicketOutcome {
+            estimate: 42.5,
+            batch_size: 3,
+            batch_seq: 7,
+            queue_wait: Duration::from_micros(120),
+        };
+        let completer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                cell.complete(outcome);
+            })
+        };
+        // A blocking waiter wakes on completion.
+        assert_eq!(ticket.wait(), outcome);
+        completer.join().expect("completer exits");
+        // Completion is sticky: every subsequent observation sees the same outcome.
+        assert_eq!(ticket.poll(), Some(outcome));
+        assert_eq!(ticket.wait_timeout(Duration::ZERO), Some(outcome));
+        assert_eq!(ticket.wait(), outcome);
+    }
+
+    #[test]
+    fn failed_tickets_reraise_instead_of_hanging() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(Arc::clone(&cell));
+        cell.fail();
+        for observation in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ticket.poll();
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ticket.wait();
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ticket.wait_timeout(Duration::ZERO);
+            })),
+        ] {
+            assert!(observation.is_err(), "a failed ticket must re-raise");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Integration tests of the async serving runtime against the synchronous
+//! [`EstimatorService`] — above all the acceptance-criterion **bit-parity matrix**: for a
+//! fixed submitted query set, the runtime's estimates must be bit-identical to one
+//! synchronous `serve` call at window-us = {0, 100, 5000} × queue-depth = {1, 64} ×
+//! workers = {1, 4}.
+
+use crn_core::{CrnModel, EstimatorService, QueriesPool, ShardedPool};
+use crn_exec::label_containment_pairs;
+use crn_nn::parallel::WorkerPool;
+use crn_nn::TrainConfig;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+use crn_serve::{RuntimeConfig, ServeRuntime, Ticket};
+use std::sync::Arc;
+
+use crn_db::imdb::{generate_imdb, ImdbConfig};
+use crn_db::Database;
+
+fn trained_crn(db: &Database, seed: u64) -> CrnModel {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let pairs = gen.generate_pairs(30, 120);
+    let samples = label_containment_pairs(db, &pairs, 4);
+    let mut crn = CrnModel::new(db, TrainConfig::fast_test());
+    crn.fit(&samples);
+    crn
+}
+
+fn workload(db: &Database, seed: u64, count: usize) -> Vec<Query> {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let mut queries = gen.generate_queries(count);
+    queries.truncate(count);
+    queries
+}
+
+/// The acceptance matrix: async estimates are bit-identical to the synchronous service
+/// path at every (window × depth × workers) grid point, under concurrent submitters.
+#[test]
+fn async_runtime_is_bit_identical_to_synchronous_service() {
+    let db = generate_imdb(&ImdbConfig::tiny(70));
+    let pool = QueriesPool::generate(&db, 60, 2, 70);
+    let crn = trained_crn(&db, 70);
+    let queries = workload(&db, 71, 24);
+
+    // The synchronous reference: one serve call over the whole set (its per-query results
+    // are independent of batch composition, which is exactly what the matrix re-checks
+    // through the runtime's arbitrary batch slicing).
+    let reference = EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(2),
+    );
+    let expected = reference.serve(&queries).estimates;
+    assert_eq!(expected.len(), queries.len());
+
+    for window_us in [0u64, 100, 5000] {
+        for queue_depth in [1usize, 64] {
+            for workers in [1usize, 4] {
+                let service = Arc::new(EstimatorService::new(
+                    crn.clone(),
+                    ShardedPool::from_pool(&pool, 4),
+                    WorkerPool::shared(workers),
+                ));
+                let config = RuntimeConfig::default()
+                    .with_window_us(window_us)
+                    .with_queue_depth(queue_depth);
+                let runtime = ServeRuntime::new(service, config);
+
+                // Three concurrent callers interleave the workload round-robin.
+                let mut actual = vec![f64::NAN; queries.len()];
+                std::thread::scope(|scope| {
+                    let runtime = &runtime;
+                    let queries = &queries;
+                    let handles: Vec<_> = (0..3u64)
+                        .map(|caller| {
+                            scope.spawn(move || {
+                                let mut tickets = Vec::new();
+                                for (index, query) in queries.iter().enumerate() {
+                                    if index as u64 % 3 == caller {
+                                        let ticket = runtime
+                                            .submit_retrying(caller, query)
+                                            .expect("runtime alive");
+                                        tickets.push((index, ticket));
+                                    }
+                                }
+                                tickets
+                                    .into_iter()
+                                    .map(|(index, ticket)| (index, ticket.wait().estimate))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (index, estimate) in handle.join().expect("caller thread") {
+                            actual[index] = estimate;
+                        }
+                    }
+                });
+
+                for (index, (a, e)) in actual.iter().zip(&expected).enumerate() {
+                    assert!(
+                        a == e,
+                        "window={window_us}us depth={queue_depth} workers={workers} \
+                         query {index}: async {a} vs sync {e}"
+                    );
+                }
+                let stats = runtime.shutdown();
+                assert_eq!(stats.submitted, queries.len() as u64);
+                assert_eq!(stats.completed, queries.len() as u64);
+                assert_eq!(stats.serve.pool_hits + stats.serve.fallbacks, 24);
+            }
+        }
+    }
+}
+
+/// The maintenance lane: feedback records apply to the live pool exactly like synchronous
+/// single-swap upserts, and subsequent async estimates match a synchronous service over
+/// the identically-updated pool bit for bit.
+#[test]
+fn maintenance_lane_matches_synchronous_upserts() {
+    let db = generate_imdb(&ImdbConfig::tiny(72));
+    let pool = QueriesPool::generate(&db, 50, 1, 72);
+    let crn = trained_crn(&db, 72);
+    let queries = workload(&db, 73, 12);
+
+    let service = Arc::new(EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(2),
+    ));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default().with_window_us(100),
+    );
+
+    // Feed "executed query" feedback: refreshed cardinalities for existing entries plus a
+    // brand-new entry per workload query.
+    let executor = crn_exec::Executor::new(&db);
+    let mut updated = pool.clone();
+    for entry in pool.entries().iter().take(4) {
+        let refreshed = entry.cardinality + 17;
+        runtime
+            .record_feedback(entry.query.clone(), refreshed)
+            .expect("maintenance admits");
+        updated.upsert(entry.query.clone(), refreshed);
+    }
+    for query in queries.iter().take(3) {
+        let cardinality = executor.cardinality(query);
+        runtime
+            .record_feedback(query.clone(), cardinality)
+            .expect("maintenance admits");
+        updated.upsert(query.clone(), cardinality);
+    }
+    runtime.flush();
+    let stats = runtime.stats();
+    assert_eq!(stats.maintenance_applied, 7);
+    assert_eq!(service.pool().len(), updated.len());
+
+    // Async estimates over the maintained pool == sync service over the same upserts.
+    let reference = EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&updated, 4),
+        WorkerPool::shared(2),
+    );
+    let expected = reference.serve(&queries).estimates;
+    let tickets: Vec<Ticket> = queries
+        .iter()
+        .map(|query| runtime.submit_retrying(0, query).expect("runtime alive"))
+        .collect();
+    for (index, (ticket, e)) in tickets.iter().zip(&expected).enumerate() {
+        let a = ticket.wait().estimate;
+        assert!(
+            a == *e,
+            "query {index} after maintenance: async {a} vs sync-upserted {e}"
+        );
+    }
+    runtime.shutdown();
+}
+
+/// Cross-call batching: concurrent closed-loop callers fuse into shared batches when the
+/// window is open wide enough, and every fused estimate still matches the reference.
+#[test]
+fn concurrent_callers_fuse_into_shared_batches() {
+    let db = generate_imdb(&ImdbConfig::tiny(74));
+    let pool = QueriesPool::generate(&db, 40, 1, 74);
+    let crn = trained_crn(&db, 74);
+    let queries = workload(&db, 75, 6);
+    let reference = EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&pool, 2),
+        WorkerPool::shared(2),
+    );
+    let expected = reference.serve(&queries).estimates;
+
+    let service = Arc::new(EstimatorService::new(
+        crn,
+        ShardedPool::from_pool(&pool, 2),
+        WorkerPool::shared(2),
+    ));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default().with_window_us(20_000),
+    );
+    std::thread::scope(|scope| {
+        for caller in 0..4u64 {
+            let runtime = &runtime;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Closed loop: wait for each outcome before the next submission.
+                for (query, e) in queries.iter().zip(expected) {
+                    let outcome = runtime
+                        .submit_retrying(caller, query)
+                        .expect("runtime alive")
+                        .wait();
+                    assert!(outcome.estimate == *e, "fused estimate must match");
+                    assert!(outcome.batch_size >= 1);
+                }
+            });
+        }
+    });
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 24);
+    assert!(
+        stats.max_batch >= 2,
+        "4 concurrent callers inside a 20ms window must fuse: {stats:?}"
+    );
+    assert!(
+        stats.batches < stats.completed,
+        "cross-call batching must need fewer batches than requests: {stats:?}"
+    );
+    assert!(stats.mean_batch() > 1.0);
+}

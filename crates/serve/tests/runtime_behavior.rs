@@ -1,0 +1,277 @@
+//! Behavioural tests of the runtime machinery itself — admission control, graceful
+//! drain, window semantics — over a trivial containment model (an empty pool resolves
+//! every query to the configured default estimate, so serving is near-instant and the
+//! tests exercise pure queue/scheduler behaviour).
+
+use crn_core::{EstimatorService, ShardedPool};
+use crn_estimators::ContainmentEstimator;
+use crn_nn::parallel::WorkerPool;
+use crn_query::Query;
+use crn_serve::{RejectReason, RuntimeConfig, ServeRuntime, SubmitError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A trivial containment model: constant rate, no precomputation.
+struct ConstModel;
+
+impl ContainmentEstimator for ConstModel {
+    fn name(&self) -> &str {
+        "const"
+    }
+
+    fn estimate_containment(&self, _q1: &Query, _q2: &Query) -> f64 {
+        0.5
+    }
+}
+
+/// A model that sleeps on every pair — pins a batch in flight so the admission bounds
+/// *behind* the executing batch are observable.
+struct SlowModel(Duration);
+
+impl ContainmentEstimator for SlowModel {
+    fn name(&self) -> &str {
+        "slow"
+    }
+
+    fn estimate_containment(&self, _q1: &Query, _q2: &Query) -> f64 {
+        std::thread::sleep(self.0);
+        0.5
+    }
+}
+
+/// A model that panics on every pair — exercises the runtime's panic containment.
+struct PanicModel;
+
+impl ContainmentEstimator for PanicModel {
+    fn name(&self) -> &str {
+        "panicky"
+    }
+
+    fn estimate_containment(&self, _q1: &Query, _q2: &Query) -> f64 {
+        panic!("injected model panic")
+    }
+}
+
+fn runtime_over<M: ContainmentEstimator + Send + Sync + 'static>(
+    model: M,
+    pool: ShardedPool,
+    config: RuntimeConfig,
+) -> ServeRuntime<M> {
+    let service = Arc::new(EstimatorService::new(model, pool, WorkerPool::shared(1)));
+    ServeRuntime::new(service, config)
+}
+
+fn instant_runtime(config: RuntimeConfig) -> ServeRuntime<ConstModel> {
+    runtime_over(ConstModel, ShardedPool::new(2), config)
+}
+
+#[test]
+fn admission_sheds_load_and_drain_resolves_every_ticket() {
+    // The pool covers only `title` scans, and the model sleeps per pair — so the first
+    // (title-scan) request pins the scheduler in a slow batch while the queue fills with
+    // instant (uncovered) requests behind it, making the admission bounds observable.
+    let pool = ShardedPool::new(2);
+    pool.insert(Query::scan("title"), 10);
+    let runtime = runtime_over(
+        SlowModel(Duration::from_millis(100)),
+        pool,
+        RuntimeConfig::default()
+            .with_queue_depth(4)
+            .with_per_caller_depth(2)
+            .with_batch_max(1)
+            .with_window_us(0),
+    );
+    let covered = Query::scan("title");
+    let uncovered = Query::scan("cast_info");
+
+    // The plug: popped immediately (window 0, batch max 1), then ~200ms in flight.
+    let plug = runtime.submit(9, covered.clone()).expect("admitted");
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(plug.poll().is_none(), "the plug batch is still executing");
+
+    let a1 = runtime.submit(1, uncovered.clone()).expect("admitted");
+    let a2 = runtime.submit(1, uncovered.clone()).expect("admitted");
+    // Caller 1 is at its quota; caller 2 still gets its share.
+    match runtime.submit(1, uncovered.clone()) {
+        Err(SubmitError::Overloaded {
+            reason: RejectReason::CallerQuota,
+            ..
+        }) => {}
+        other => panic!("expected a caller-quota rejection, got {other:?}"),
+    }
+    let b1 = runtime.submit(2, uncovered.clone()).expect("admitted");
+    let b2 = runtime.submit(2, uncovered.clone()).expect("admitted");
+    // The queue is at depth: even a fresh caller is shed.
+    match runtime.submit(3, uncovered.clone()) {
+        Err(SubmitError::Overloaded {
+            reason: RejectReason::QueueFull,
+            ..
+        }) => {}
+        other => panic!("expected a queue-full rejection, got {other:?}"),
+    }
+
+    // Initiating the drain stops admission but still serves everything queued.
+    runtime.begin_shutdown();
+    assert!(matches!(
+        runtime.submit(2, uncovered.clone()),
+        Err(SubmitError::ShuttingDown)
+    ));
+    assert!(matches!(
+        runtime.record_feedback(uncovered, 9),
+        Err(SubmitError::ShuttingDown)
+    ));
+    for outcome in [plug.wait(), a1.wait(), a2.wait(), b1.wait(), b2.wait()] {
+        assert_eq!(outcome.batch_size, 1, "batch max 1: served one by one");
+        assert!(outcome.estimate > 0.0);
+    }
+    // The queued requests waited at least as long as the plug batch executed.
+    assert!(a1.wait().queue_wait > Duration::ZERO);
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.rejected_caller_quota, 1);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.batches, 5);
+    assert_eq!(stats.max_batch, 1);
+}
+
+#[test]
+fn batch_max_is_clamped_to_queue_depth() {
+    // A size threshold above the queue depth could never be met (admission caps pending
+    // there) — the runtime normalizes it down so a full queue closes immediately instead
+    // of waiting out the window.
+    let runtime = instant_runtime(
+        RuntimeConfig::default()
+            .with_queue_depth(4)
+            .with_batch_max(100)
+            .with_window_us(10_000_000),
+    );
+    assert_eq!(runtime.config().batch_max, 4);
+    let query = Query::scan("title");
+    let tickets: Vec<_> = (0..4u64)
+        .map(|caller| runtime.submit(caller, query.clone()).expect("admitted"))
+        .collect();
+    // The 4th submission fills the queue = meets the clamped threshold: the batch closes
+    // by SIZE long before the 10s window.
+    for ticket in &tickets {
+        assert!(
+            ticket.wait_timeout(Duration::from_secs(5)).is_some(),
+            "a full queue must not wait out the window"
+        );
+    }
+    let stats = runtime.shutdown();
+    assert!(stats.size_closes >= 1, "{stats:?}");
+}
+
+#[test]
+fn panicked_batches_fail_their_tickets_and_the_runtime_survives() {
+    // The pool covers `title` scans, so a title-scan query routes through the panicking
+    // model; uncovered queries take the fallback path and never touch it.
+    let pool = ShardedPool::new(2);
+    pool.insert(Query::scan("title"), 10);
+    let runtime = runtime_over(PanicModel, pool, RuntimeConfig::default().with_window_us(0));
+    let doomed = runtime.submit(0, Query::scan("title")).expect("admitted");
+    let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait()));
+    assert!(observed.is_err(), "the waiter re-raises the batch panic");
+
+    // The scheduler survived: the fallback path still serves, flush() does not hang on
+    // the failed batch's accounting, and shutdown is clean.
+    let ok = runtime
+        .submit(0, Query::scan("cast_info"))
+        .expect("admitted")
+        .wait();
+    assert!(ok.estimate > 0.0);
+    runtime.flush();
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.batches, 2);
+}
+
+#[test]
+fn zero_window_serves_a_closed_loop_caller_one_by_one() {
+    let runtime = instant_runtime(RuntimeConfig::default().with_window_us(0));
+    let query = Query::scan("title");
+    let mut estimates = Vec::new();
+    for _ in 0..10 {
+        // Closed loop: at most one request is ever pending, so every batch is size 1.
+        let outcome = runtime.submit(7, query.clone()).expect("admitted").wait();
+        assert_eq!(outcome.batch_size, 1);
+        estimates.push(outcome.estimate);
+    }
+    assert!(estimates.windows(2).all(|w| w[0] == w[1]));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.batches, 10);
+    assert_eq!(stats.max_batch, 1);
+    assert_eq!(
+        stats.size_closes + stats.window_closes + stats.drain_closes,
+        stats.batches
+    );
+}
+
+#[test]
+fn size_threshold_closes_batches_before_the_window() {
+    let runtime = instant_runtime(
+        RuntimeConfig::default()
+            .with_batch_max(2)
+            .with_window_us(10_000_000),
+    );
+    let query = Query::scan("title");
+    // Two submissions hit the size threshold immediately — the 10s window never matters.
+    let t1 = runtime.submit(0, query.clone()).expect("admitted");
+    let t2 = runtime.submit(1, query.clone()).expect("admitted");
+    let (o1, o2) = (t1.wait(), t2.wait());
+    assert_eq!(o1.batch_size, 2);
+    assert_eq!(o1.batch_seq, o2.batch_seq);
+    let stats = runtime.shutdown();
+    assert!(stats.size_closes >= 1, "{stats:?}");
+}
+
+#[test]
+fn dropping_the_runtime_drains_gracefully() {
+    let runtime = instant_runtime(
+        RuntimeConfig::default()
+            .with_batch_max(100)
+            .with_window_us(10_000_000),
+    );
+    let ticket = runtime.submit(0, Query::scan("title")).expect("admitted");
+    runtime
+        .record_feedback(Query::scan("cast_info"), 123)
+        .expect("maintenance admits");
+    let pool_len_handle = Arc::clone(runtime.service());
+    drop(runtime);
+    // The queued request resolved and the feedback record applied before the threads
+    // were joined.
+    assert!(ticket.poll().is_some());
+    assert_eq!(pool_len_handle.pool().len(), 1);
+}
+
+#[test]
+fn maintenance_lane_sheds_at_depth() {
+    let config = RuntimeConfig {
+        maintenance_depth: 2,
+        ..RuntimeConfig::default()
+    };
+    // Stall the maintenance thread? Not needed: fill faster than it can drain is racy,
+    // so instead verify the bound with the runtime quiesced via flush() in between.
+    let runtime = instant_runtime(config);
+    for i in 0..20u64 {
+        // Either admitted or shed with QueueFull — never a panic, never blocking.
+        match runtime.record_feedback(Query::scan("title"), i) {
+            Ok(()) | Err(SubmitError::Overloaded { .. }) => {}
+            other => panic!("unexpected feedback result {other:?}"),
+        }
+    }
+    runtime.flush();
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.maintenance_applied + stats.maintenance_rejected,
+        20,
+        "every record either applied or was shed: {stats:?}"
+    );
+    // Upserting the same query repeatedly keeps exactly one entry.
+    assert_eq!(runtime.service().pool().len(), 1);
+    runtime.shutdown();
+}

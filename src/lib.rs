@@ -11,6 +11,8 @@
 //! * [`estimators`] — PostgreSQL-style and MSCN baselines ([`crn_estimators`]);
 //! * [`core`] — the CRN model, the `Crd2Cnt`/`Cnt2Crd` transformations, the queries pool and
 //!   the improved-estimator wrapper ([`crn_core`]);
+//! * [`serve`] — the async request-queue serving runtime: admission control, cross-call
+//!   batching windows and the online pool-maintenance lane ([`crn_serve`]);
 //! * [`eval`] — workloads, metrics and the per-table/figure experiment harness ([`crn_eval`]).
 //!
 //! # Quick start
@@ -42,6 +44,7 @@ pub use crn_eval as eval;
 pub use crn_exec as exec;
 pub use crn_nn as nn;
 pub use crn_query as query;
+pub use crn_serve as serve;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -64,4 +67,5 @@ pub mod prelude {
         GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig,
     };
     pub use crn_query::{parse_query, JoinClause, Predicate, Query};
+    pub use crn_serve::{RuntimeConfig, ServeRuntime, SubmitError, Ticket};
 }
