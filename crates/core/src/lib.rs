@@ -62,6 +62,6 @@ pub use featurize::CrnFeaturizer;
 pub use improved::ImprovedEstimator;
 pub use model::{CrnModel, CrnOptions, ExpandMode, Pooling, RATE_FLOOR};
 pub use persist::PersistError;
-pub use pool::{PoolEntry, PoolShard, QueriesPool};
-pub use service::{EstimatorService, ServeResponse, ServeStats};
+pub use pool::{query_hash, PoolEntry, PoolShard, QueriesPool};
+pub use service::{EstimatorService, ModelSnapshot, ServeResponse, ServeStats};
 pub use sharded::{PoolSnapshot, ShardedPool};

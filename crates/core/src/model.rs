@@ -489,26 +489,9 @@ impl CrnModel {
         let workers = parallel.worker_pool();
         // Features are featurized and converted to CSR once, before the epoch loop;
         // mini-batches are assembled by concatenating the per-sample non-zeros — no dense
-        // row copies or scans inside the training loop.  Per-sample featurization is pure,
-        // so it shards trivially across the worker threads.
+        // row copies or scans inside the training loop.
         let dim = self.featurizer.vector_dim();
-        let features: Vec<(SparseRows, SparseRows)> = {
-            let model = &*self;
-            let ranges = shard_ranges(samples.len(), parallel.threads);
-            workers
-                .run_over_ranges(&ranges, |range| {
-                    samples[range]
-                        .iter()
-                        .map(|s| {
-                            let (v1, v2) = model.featurizer.featurize_pair(&s.q1, &s.q2);
-                            (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-        };
+        let features = self.featurize_sparse(samples, &workers, parallel.threads);
         let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
 
         let (train_idx, valid_idx) = train_validation_split(
@@ -589,6 +572,124 @@ impl CrnModel {
         }
         if let Some(best) = best {
             *self = best;
+        }
+        history
+    }
+
+    /// Featurizes a sample slice into per-pair CSR rows on the worker pool (per-sample
+    /// featurization is pure, so it shards trivially; `run_over_ranges` returns the
+    /// shards in range order, so the result order never depends on the thread count).
+    fn featurize_sparse(
+        &self,
+        samples: &[ContainmentSample],
+        workers: &WorkerPool,
+        threads: usize,
+    ) -> Vec<(SparseRows, SparseRows)> {
+        let ranges = shard_ranges(samples.len(), threads);
+        workers
+            .run_over_ranges(&ranges, |range| {
+                samples[range]
+                    .iter()
+                    .map(|s| {
+                        let (v1, v2) = self.featurizer.featurize_pair(&s.q1, &s.q2);
+                        (SparseRows::from_matrix(&v1), SparseRows::from_matrix(&v2))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Zeroes the Adam moment estimates carried inside every parameter.
+    ///
+    /// The moments a `fit` leaves behind belong to an optimizer whose step count was
+    /// discarded with it — resuming them against a *fresh* [`Adam`] (step count 0)
+    /// amplifies the first bias-corrected updates by `1 / (1 − β)` (10× for the first
+    /// moment) and reliably wrecks the warm-started weights.  A continual-learning
+    /// controller therefore resets the moments once, when it adopts a model trained
+    /// elsewhere; from then on it keeps its own `Adam` paired with the moments its
+    /// refreshes produce.
+    pub fn reset_optimizer_state(&mut self) {
+        for param in self.params_vec_mut() {
+            let shape = (param.m.rows(), param.m.cols());
+            param.m = crn_nn::Matrix::zeros(shape.0, shape.1);
+            param.v = crn_nn::Matrix::zeros(shape.0, shape.1);
+        }
+    }
+
+    /// Warm-start incremental fit: fine-tunes the (already trained) model in place on a
+    /// fresh corpus for a fixed number of epochs, **resuming** the caller's Adam state.
+    ///
+    /// This is the continual-learning primitive of the online refresh subsystem
+    /// (`crn-online`): the refresh controller clones the live model, fine-tunes the clone
+    /// on a replay-buffer mix of fresh feedback and reservoir-sampled history, and
+    /// hot-swaps it in only if it passes the validation gate.  Division of labour with
+    /// [`CrnModel::fit`]:
+    ///
+    /// * **Adam state resumes.**  The first and second moments live inside each
+    ///   [`Param`](crn_nn::layers::Param) and travel with the model clone; the caller's
+    ///   [`Adam`] carries the step count, so bias correction continues where the previous
+    ///   (initial or incremental) fit left off instead of re-warming from step 0.
+    /// * **No validation split, early stopping or best-epoch restore** — the online
+    ///   controller owns model selection through its held-out probe gate, so the
+    ///   fine-tune runs exactly `epochs` epochs over the whole corpus.  The recorded
+    ///   `validation_q_error` is the epoch's mean training loss.
+    /// * **Same execution engine.**  Every mini-batch shards through the persistent
+    ///   [`WorkerPool`] exactly like `fit` (same forced-CSR featurization, same
+    ///   fixed-order gradient reduction), so deterministic mode keeps the incremental fit
+    ///   bit-identical across thread counts.
+    ///
+    /// Shuffling is deterministic per refresh: the RNG is seeded from the config seed and
+    /// the optimizer's step count, which advances monotonically across refreshes — each
+    /// refresh reshuffles differently, the whole online trajectory stays reproducible.
+    pub fn fit_incremental(
+        &mut self,
+        samples: &[ContainmentSample],
+        adam: &mut Adam,
+        epochs: usize,
+    ) -> TrainingHistory {
+        let mut history = TrainingHistory::default();
+        if samples.is_empty() || epochs == 0 {
+            return history;
+        }
+        let parallel = self.config.parallel;
+        let workers = parallel.worker_pool();
+        let dim = self.featurizer.vector_dim();
+        let features = self.featurize_sparse(samples, &workers, parallel.threads);
+        let targets: Vec<f32> = samples.iter().map(|s| s.rate as f32).collect();
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(adam.step_count.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        for epoch in 0..epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_samples = 0usize;
+            for batch in shuffled_batches(&indices, self.config.batch_size, &mut rng) {
+                let batch1 = RaggedBatch::from_sparse_sets(
+                    dim,
+                    batch.iter().map(|&index| &features[index].0),
+                );
+                let batch2 = RaggedBatch::from_sparse_sets(
+                    dim,
+                    batch.iter().map(|&index| &features[index].1),
+                );
+                let (losses, grads) =
+                    self.sharded_batch_step(&parallel, &workers, &batch, batch1, batch2, &targets);
+                for loss in losses {
+                    epoch_loss += loss as f64;
+                    epoch_samples += 1;
+                }
+                self.adam_step_with(adam, &grads);
+            }
+            let train_loss = epoch_loss / epoch_samples.max(1) as f64;
+            history.record(EpochStats {
+                epoch,
+                train_loss,
+                validation_q_error: train_loss,
+            });
         }
         history
     }
@@ -1494,6 +1595,91 @@ mod tests {
                 (numeric - analytic).abs() < 0.05,
                 "out1 ({row},{col}): numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    /// The warm-start incremental fit adapts a trained model to a fresh corpus (its
+    /// training loss on that corpus drops), runs exactly the requested epochs, and is
+    /// deterministic: two clones fine-tuned with cloned Adam states come out bit-identical.
+    #[test]
+    fn fit_incremental_adapts_and_is_deterministic() {
+        let db = generate_imdb(&ImdbConfig::tiny(26));
+        let base_samples = training_pairs(&db, 120, 26);
+        let mut model = CrnModel::new(&db, TrainConfig::fast_test());
+        model.fit(&base_samples);
+
+        // A "fresh feedback" corpus the base fit never saw.
+        let fresh = training_pairs(&db, 60, 27);
+        let mut adam = Adam::new(model.config().learning_rate);
+        let mut tuned = model.clone();
+        let history = tuned.fit_incremental(&fresh, &mut adam, 4);
+        assert_eq!(history.len(), 4, "no early stopping in incremental mode");
+        assert!(adam.step_count > 0, "the caller's Adam state advanced");
+        assert!(
+            history.epochs.last().unwrap().train_loss < history.epochs[0].train_loss,
+            "fine-tuning must reduce the training loss on the fresh corpus \
+             (first {}, last {})",
+            history.epochs[0].train_loss,
+            history.epochs.last().unwrap().train_loss
+        );
+
+        // Determinism: same start, same corpus, same Adam state -> bit-identical weights.
+        let mut adam_again = Adam::new(model.config().learning_rate);
+        let mut tuned_again = model.clone();
+        let history_again = tuned_again.fit_incremental(&fresh, &mut adam_again, 4);
+        assert_eq!(history.epochs, history_again.epochs);
+        assert_eq!(tuned.mlp1.w.value, tuned_again.mlp1.w.value);
+        assert_eq!(tuned.out2.w.value, tuned_again.out2.w.value);
+        assert_eq!(adam.step_count, adam_again.step_count);
+
+        // Resuming the same Adam for a second refresh keeps advancing (and reshuffles:
+        // the second refresh's first epoch differs from re-running the first).
+        let steps_after_first = adam.step_count;
+        let second = tuned.fit_incremental(&fresh, &mut adam, 1);
+        assert_eq!(second.len(), 1);
+        assert!(adam.step_count > steps_after_first);
+
+        // Degenerate inputs are no-ops.
+        let mut untouched = model.clone();
+        assert!(untouched.fit_incremental(&[], &mut adam, 3).is_empty());
+        assert!(untouched.fit_incremental(&fresh, &mut adam, 0).is_empty());
+        assert_eq!(untouched.mlp1.w.value, model.mlp1.w.value);
+    }
+
+    /// Deterministic mode carries over to the incremental fit: at `threads = 1, 2, 4`
+    /// the fine-tuned models are bit-identical (same canonical shards, same reduction
+    /// order — the online refresh keeps the repository's reproducibility story).
+    #[test]
+    fn fit_incremental_is_bit_identical_across_thread_counts_in_deterministic_mode() {
+        let db = generate_imdb(&ImdbConfig::tiny(28));
+        let base_samples = training_pairs(&db, 100, 28);
+        let fresh = training_pairs(&db, 50, 29);
+        let mut baseline: Option<CrnModel> = None;
+        for threads in [1usize, 2, 4] {
+            let mut config = TrainConfig::fast_test();
+            config.parallel = ThreadPoolConfig::deterministic(threads);
+            let mut model = CrnModel::new(&db, config);
+            model.fit(&base_samples);
+            let mut adam = Adam::new(model.config().learning_rate);
+            model.fit_incremental(&fresh, &mut adam, 3);
+            match &baseline {
+                None => baseline = Some(model),
+                Some(reference) => {
+                    assert_eq!(
+                        model.mlp1.w.value, reference.mlp1.w.value,
+                        "threads = {threads}: deterministic incremental weights must match"
+                    );
+                    assert_eq!(model.out1.w.value, reference.out1.w.value);
+                    assert_eq!(model.out2.w.value, reference.out2.w.value);
+                    for sample in fresh.iter().take(8) {
+                        assert_eq!(
+                            model.predict(&sample.q1, &sample.q2),
+                            reference.predict(&sample.q1, &sample.q2),
+                            "threads = {threads}: deterministic predictions must match"
+                        );
+                    }
+                }
+            }
         }
     }
 }

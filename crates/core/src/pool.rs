@@ -61,9 +61,11 @@ pub struct PoolShard {
 }
 
 /// The canonical hash of a query within one process ([`std::collections::hash_map::DefaultHasher`]
-/// is unkeyed, so every pool agrees), used by the duplicate index and as the
-/// [`crate::sharded::ShardedPool`] routing key.
-pub(crate) fn query_hash(query: &Query) -> u64 {
+/// is unkeyed, so every pool agrees), used by the duplicate index, as the
+/// [`crate::sharded::ShardedPool`] routing key, and by the serving runtime as the
+/// dedupe key when coalescing duplicate in-window requests.  Never persist it (the
+/// algorithm is not guaranteed stable across Rust releases).
+pub fn query_hash(query: &Query) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     query.hash(&mut hasher);
     hasher.finish()

@@ -33,10 +33,55 @@ use crate::sharded::{PoolSnapshot, ShardedPool};
 use crn_estimators::{CardinalityEstimator, ContainmentEstimator};
 use crn_nn::parallel::WorkerPool;
 use crn_query::ast::Query;
+use parking_lot::RwLock;
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A versioned, immutable view of the served containment model — the model-side analogue
+/// of [`PoolSnapshot`].
+///
+/// The service's live model sits behind an `Arc`-swapped snapshot: readers
+/// ([`EstimatorService::serve`]) clone the current `Arc` once per call and compute the
+/// *whole* batch against that frozen model, while [`EstimatorService::swap_model`]
+/// publishes a successor snapshot with a fresh (monotonically increasing) version.  The
+/// version keys the per-shard anchor caches together with the pool shard version, so a
+/// hot-swap invalidates exactly the cached encodings the old model produced.
+///
+/// **Swap-atomicity contract**: every served batch is computed entirely under one model
+/// snapshot — never a blend of old and new.  A `serve` call that raced a swap returns
+/// either the complete old-model answer or the complete new-model answer, bit-identical
+/// to a sequential computation under that model (the swap-atomicity proptest below pins
+/// this at shards {1, 4} × workers {1, 4}).
+#[derive(Debug)]
+pub struct ModelSnapshot<M> {
+    model: Arc<M>,
+    version: u64,
+}
+
+impl<M> ModelSnapshot<M> {
+    /// The frozen model.
+    pub fn model(&self) -> &Arc<M> {
+        &self.model
+    }
+
+    /// The snapshot's version (monotonic within the owning service; the initial model is
+    /// version 1 and every [`EstimatorService::swap_model`] allocates the next one).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl<M> Clone for ModelSnapshot<M> {
+    fn clone(&self) -> Self {
+        ModelSnapshot {
+            model: Arc::clone(&self.model),
+            version: self.version,
+        }
+    }
+}
 
 /// How one `serve` call was executed: counters per layer plus wall-clock per phase.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +100,9 @@ pub struct ServeStats {
     pub pool_hits: usize,
     /// Queries answered by the fallback estimator (or the configured default).
     pub fallbacks: usize,
+    /// Version of the [`ModelSnapshot`] the whole batch was computed under (0 only in a
+    /// default/empty stats value; real serves start at version 1).
+    pub model_version: u64,
     /// Taking the pool snapshot.
     pub snapshot_time: Duration,
     /// Grouping queries by FROM clause and planning work items.
@@ -92,18 +140,20 @@ impl ServeStats {
         self.total_time += other.total_time;
         self.shards = other.shards;
         self.pool_entries = other.pool_entries;
+        self.model_version = other.model_version;
     }
 
     /// One-line human-readable rendering (used by `repro serve`).
     pub fn render(&self) -> String {
         format!(
-            "{} queries in {} groups over {} shards ({} entries): {} work items, \
+            "{} queries in {} groups over {} shards ({} entries, model v{}): {} work items, \
              {} pool hits, {} fallbacks | snapshot {:.1?} group {:.1?} compute {:.1?} \
              merge {:.1?} total {:.1?}",
             self.queries,
             self.groups,
             self.shards,
             self.pool_entries,
+            self.model_version,
             self.work_items,
             self.pool_hits,
             self.fallbacks,
@@ -125,35 +175,49 @@ pub struct ServeResponse {
     pub stats: ServeStats,
 }
 
-/// A per-shard cached anchor serving state, valid for one shard version.
+/// A per-shard cached anchor serving state, valid for one `(pool shard version, model
+/// version)` pairing: pool maintenance invalidates exactly the shards it touched, and a
+/// model hot-swap invalidates every entry the old model encoded.
 struct CachedShardAnchors {
-    version: u64,
+    pool_version: u64,
+    model_version: u64,
     state: Option<Arc<dyn Any + Send + Sync>>,
 }
 
 /// The concurrent serving front-end over a containment model and a sharded queries pool.
 ///
 /// The service owns its storage ([`ShardedPool`] — concurrent maintenance via
-/// [`EstimatorService::pool`] is visible to the next `serve` call) and shares a persistent
+/// [`EstimatorService::pool`] is visible to the next `serve` call), its *model* (an
+/// `Arc`-swapped [`ModelSnapshot`] — [`EstimatorService::swap_model`] hot-swaps an
+/// improved model without pausing traffic; readers never block) and shares a persistent
 /// [`WorkerPool`] with whatever else the process runs (training, other services).
 pub struct EstimatorService<M> {
-    model: M,
+    /// The live model snapshot.  Readers clone the `Arc` under the read lock (a pointer
+    /// swap's worth of contention) and serve whole batches against the frozen snapshot;
+    /// [`EstimatorService::swap_model`] publishes successors.
+    model: RwLock<Arc<ModelSnapshot<M>>>,
+    /// Source of fresh model versions (the initial model is version 1).
+    next_model_version: AtomicU64,
     pool: ShardedPool,
     workers: WorkerPool,
     config: Cnt2CrdConfig,
     fallback: Option<Box<dyn CardinalityEstimator + Send + Sync>>,
     name: String,
     /// Per-`(shard, FROM-clause)` anchor serving state, keyed by the shard's snapshot
-    /// version so pool maintenance invalidates exactly the shards it touched.
+    /// version *and* the model version (see [`CachedShardAnchors`]).
     prepared: Mutex<BTreeMap<(usize, String), CachedShardAnchors>>,
 }
 
-impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
+impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
     /// Builds the service from a containment model, a sharded pool and a worker pool.
     pub fn new(model: M, pool: ShardedPool, workers: WorkerPool) -> Self {
         let name = format!("EstimatorService({})", model.name());
         EstimatorService {
-            model,
+            model: RwLock::new(Arc::new(ModelSnapshot {
+                model: Arc::new(model),
+                version: 1,
+            })),
+            next_model_version: AtomicU64::new(2),
             pool,
             workers,
             config: Cnt2CrdConfig::default(),
@@ -182,9 +246,37 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
         &self.name
     }
 
-    /// The wrapped containment model.
-    pub fn model(&self) -> &M {
-        &self.model
+    /// The current model snapshot (hold it as long as needed; swaps publish successors).
+    pub fn model_snapshot(&self) -> Arc<ModelSnapshot<M>> {
+        Arc::clone(&self.model.read())
+    }
+
+    /// The currently served containment model (the current snapshot's model).
+    pub fn model(&self) -> Arc<M> {
+        Arc::clone(&self.model.read().model)
+    }
+
+    /// The version of the currently served model snapshot.
+    pub fn model_version(&self) -> u64 {
+        self.model.read().version
+    }
+
+    /// Hot-swaps the served model: publishes a new [`ModelSnapshot`] with the next
+    /// version and returns that version.  In-flight `serve` calls finish entirely under
+    /// the snapshot they took (swap atomicity — no batch ever blends models); calls that
+    /// take their snapshot after the swap serve the new model.  Stale per-shard anchor
+    /// caches are invalidated lazily by the version key, exactly like pool maintenance.
+    pub fn swap_model(&self, model: M) -> u64 {
+        // Allocate the version under the write lock: with it outside, two racing swaps
+        // could publish in the opposite order of their version draws, leaving an older
+        // model live under a non-monotonic version.
+        let mut live = self.model.write();
+        let version = self.next_model_version.fetch_add(1, Ordering::Relaxed);
+        *live = Arc::new(ModelSnapshot {
+            model: Arc::new(model),
+            version,
+        });
+        version
     }
 
     /// The sharded queries pool (insert/remove here between `serve` calls — snapshots in
@@ -207,10 +299,15 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
             ..ServeStats::default()
         };
 
-        // Layer 1 — storage: one immutable snapshot for the whole batch.
+        // Layer 1 — storage and model: one immutable snapshot of each for the whole
+        // batch.  Taking both up front is the swap-atomicity contract: however the pool
+        // or model is refreshed concurrently, every estimate below comes from exactly
+        // this (pool, model) pairing.
         let snapshot = self.pool.snapshot();
+        let model = self.model_snapshot();
         stats.shards = snapshot.num_shards();
         stats.pool_entries = snapshot.len();
+        stats.model_version = model.version;
         stats.snapshot_time = started.elapsed();
 
         // Layer 2a — plan: group queries by FROM clause (BTreeMap: deterministic group
@@ -240,7 +337,7 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
         let per_item: Vec<Vec<Vec<f64>>> = self.workers.run_sharded(work_items.len(), |item| {
             let (group_index, shard) = work_items[item];
             let (key, query_indices) = &groups[group_index];
-            self.evaluate_group_on_shard(&snapshot, key, query_indices, queries, shard)
+            self.evaluate_group_on_shard(&snapshot, &model, key, query_indices, queries, shard)
         });
         stats.compute_time = compute_started.elapsed();
 
@@ -284,11 +381,13 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
         self.serve(std::slice::from_ref(query)).estimates[0]
     }
 
-    /// One work item: a FROM-clause group of queries against one shard's matching anchors.
+    /// One work item: a FROM-clause group of queries against one shard's matching anchors,
+    /// computed under one model snapshot (the one `serve` took for the whole batch).
     /// Returns per-query (in group order) per-entry estimate lists, ε-filtered.
     fn evaluate_group_on_shard(
         &self,
         snapshot: &PoolSnapshot,
+        model: &ModelSnapshot<M>,
         key: &str,
         query_indices: &[usize],
         queries: &[Query],
@@ -302,7 +401,7 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
             cardinalities.push(entry.cardinality);
         }
         let group_queries: Vec<&Query> = query_indices.iter().map(|&i| &queries[i]).collect();
-        let prepared = self.prepared_for_shard(snapshot, shard, key, &anchors);
+        let prepared = self.prepared_for_shard(snapshot, model, shard, key, &anchors);
         // A model with nothing to precompute still goes through the multi-query entry
         // point: the default implementation ignores the (dummy) state and loops the
         // unprepared batch path.
@@ -312,7 +411,8 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
             None => &NO_STATE,
         };
         let per_query_rates =
-            self.model
+            model
+                .model
                 .predict_batch_prepared_multi(state, &anchors, &group_queries);
         per_query_rates
             .into_iter()
@@ -331,37 +431,54 @@ impl<M: ContainmentEstimator + Sync> EstimatorService<M> {
     }
 
     /// Returns (building on first use) the model's serving state for one shard's anchors of
-    /// one FROM clause, keyed by the shard's snapshot version — maintenance that replaced
-    /// the shard invalidates exactly these entries.
+    /// one FROM clause, keyed by the shard's snapshot version *and* the model snapshot's
+    /// version — maintenance that replaced the shard invalidates exactly these entries,
+    /// and a model hot-swap invalidates every entry the old model encoded (a stale cache
+    /// here would serve old-model anchor encodings through the new model's head: the
+    /// stale-cache-after-swap regression test below pins this).
     fn prepared_for_shard(
         &self,
         snapshot: &PoolSnapshot,
+        model: &ModelSnapshot<M>,
         shard: usize,
         key: &str,
         anchors: &[&Query],
     ) -> Option<Arc<dyn Any + Send + Sync>> {
-        let version = snapshot.shard_version(shard);
+        let pool_version = snapshot.shard_version(shard);
+        let model_version = model.version;
         let cache_key = (shard, key.to_string());
         if let Some(cached) = self.prepared.lock().expect("not poisoned").get(&cache_key) {
-            if cached.version == version {
+            if cached.pool_version == pool_version && cached.model_version == model_version {
                 return cached.state.clone();
             }
         }
         // Build outside the lock (see `Cnt2Crd::prepared_for`): racing builders produce
         // equivalent states and the first insert wins.
         let state: Option<Arc<dyn Any + Send + Sync>> =
-            self.model.prepare_anchors(anchors).map(Arc::from);
+            model.model.prepare_anchors(anchors).map(Arc::from);
         let mut cache = self.prepared.lock().expect("not poisoned");
         let entry = cache.entry(cache_key).or_insert(CachedShardAnchors {
-            version,
+            pool_version,
+            model_version,
             state: state.clone(),
         });
-        if entry.version != version {
-            // A stale entry survived from an older snapshot: replace it.
+        let stale = entry.pool_version != pool_version || entry.model_version != model_version;
+        // Replace only a *strictly older* entry: while an old-snapshot serve drains
+        // concurrently with a new-snapshot one, the old reader must not downgrade the
+        // cache the new readers key on (both versions are monotonic, so lexicographic
+        // (model, pool) order is "older").
+        if stale && (entry.model_version, entry.pool_version) < (model_version, pool_version) {
             *entry = CachedShardAnchors {
-                version,
+                pool_version,
+                model_version,
                 state: state.clone(),
             };
+            return state;
+        }
+        if stale {
+            // Our state is valid for *our* snapshot even though the cache keeps a newer
+            // entry; serve with it rather than the mismatched cached one.
+            return state;
         }
         entry.state.clone()
     }
@@ -746,5 +863,218 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// The stale-cache-after-swap regression test: a model hot-swap must invalidate
+    /// exactly the per-shard anchor caches the old model encoded.  With the cache keyed
+    /// on the pool shard version only, the post-swap serve would push old-model anchor
+    /// encodings through the new model's containment head and silently drift from the
+    /// sequential path.
+    #[test]
+    fn hot_swap_invalidates_anchor_caches_exactly() {
+        let db = generate_imdb(&ImdbConfig::tiny(99));
+        let pool = QueriesPool::generate(&db, 50, 1, 99);
+        let queries = workload(&db, 100, 15);
+        let model_a = trained_crn(&db, 99);
+        let model_b = trained_crn(&db, 101);
+        let expected = |model: &CrnModel| -> Vec<f64> {
+            let sequential = Cnt2Crd::new(model.clone(), pool.clone());
+            queries
+                .iter()
+                .map(|q| crn_estimators::CardinalityEstimator::estimate(&sequential, q))
+                .collect()
+        };
+        let expected_a = expected(&model_a);
+        let expected_b = expected(&model_b);
+        assert_ne!(expected_a, expected_b, "fixture models must disagree");
+
+        let service = EstimatorService::new(
+            model_a.clone(),
+            ShardedPool::from_pool(&pool, 4),
+            WorkerPool::shared(2),
+        );
+        assert_eq!(service.model_version(), 1);
+        // Warm every per-shard anchor cache under model A.
+        let first = service.serve(&queries);
+        assert_eq!(first.estimates, expected_a);
+        assert_eq!(first.stats.model_version, 1);
+
+        // Hot-swap to B: the warmed caches are for A's encodings and must not be served.
+        let version_b = service.swap_model(model_b.clone());
+        assert_eq!(version_b, 2);
+        assert_eq!(service.model_version(), 2);
+        let second = service.serve(&queries);
+        assert_eq!(
+            second.estimates, expected_b,
+            "post-swap serving must be bit-identical to sequential serving under the new model"
+        );
+        assert_eq!(second.stats.model_version, version_b);
+
+        // Swap back to A: again no stale reuse (now of B's cached encodings), and the
+        // version keeps moving forward.
+        let version_a_again = service.swap_model(model_a.clone());
+        assert_eq!(version_a_again, 3);
+        let third = service.serve(&queries);
+        assert_eq!(third.estimates, expected_a);
+        assert_eq!(third.stats.model_version, version_a_again);
+
+        // Pool maintenance composes with model versioning: an upsert bumps the touched
+        // shard's pool version and the next serve agrees bit-for-bit with the sequential
+        // path over the updated pool under the current model.
+        let victim = pool.entries()[0].clone();
+        service
+            .pool()
+            .upsert(victim.query.clone(), victim.cardinality + 17);
+        let mut updated = pool.clone();
+        updated.upsert(victim.query, victim.cardinality + 17);
+        let sequential = Cnt2Crd::new(model_a, updated);
+        let fourth = service.serve(&queries);
+        assert_eq!(fourth.stats.model_version, version_a_again);
+        for (index, (actual, query)) in fourth.estimates.iter().zip(&queries).enumerate() {
+            let expected = crn_estimators::CardinalityEstimator::estimate(&sequential, query);
+            assert!(
+                *actual == expected,
+                "query {index} after upsert+swap: service {actual} vs sequential {expected}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod swap_proptests {
+    //! Swap atomicity under concurrent serve + refresh: every served batch's estimates
+    //! must match **exactly one** model snapshot (old or new) — never a blend — at
+    //! shards {1, 4} × workers {1, 4}.  The reported `ServeStats::model_version` must
+    //! name that snapshot.
+
+    use super::*;
+    use crate::cnt2crd::Cnt2Crd;
+    use crate::model::CrnModel;
+    use crate::pool::QueriesPool;
+    use crn_db::imdb::{generate_imdb, ImdbConfig};
+    use crn_db::Database;
+    use crn_exec::label_containment_pairs;
+    use crn_nn::TrainConfig;
+    use crn_query::generator::{GeneratorConfig, QueryGenerator};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+    use std::sync::OnceLock;
+
+    /// Everything the (expensive) fixture provides: two differently-trained models, a
+    /// pool, a workload, and the per-model sequential expectations.
+    struct SwapFixture {
+        model_a: CrnModel,
+        model_b: CrnModel,
+        pool: QueriesPool,
+        queries: Vec<Query>,
+        expected_a: Vec<f64>,
+        expected_b: Vec<f64>,
+    }
+
+    fn trained(db: &Database, seed: u64) -> CrnModel {
+        let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+        let pairs = gen.generate_pairs(30, 100);
+        let samples = label_containment_pairs(db, &pairs, 4);
+        let mut crn = CrnModel::new(db, TrainConfig::fast_test());
+        crn.fit(&samples);
+        crn
+    }
+
+    fn fixture() -> &'static SwapFixture {
+        static FIXTURE: OnceLock<SwapFixture> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let db = generate_imdb(&ImdbConfig::tiny(110));
+            let pool = QueriesPool::generate(&db, 50, 1, 110);
+            let mut gen = QueryGenerator::new(&db, GeneratorConfig::paper(111));
+            let queries = gen.generate_queries(18);
+            let model_a = trained(&db, 110);
+            let model_b = trained(&db, 112);
+            let expected = |model: &CrnModel| -> Vec<f64> {
+                let sequential = Cnt2Crd::new(model.clone(), pool.clone());
+                queries
+                    .iter()
+                    .map(|q| crn_estimators::CardinalityEstimator::estimate(&sequential, q))
+                    .collect()
+            };
+            let expected_a = expected(&model_a);
+            let expected_b = expected(&model_b);
+            assert_ne!(expected_a, expected_b, "fixture models must disagree");
+            SwapFixture {
+                model_a,
+                model_b,
+                pool,
+                queries,
+                expected_a,
+                expected_b,
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Random swap cadences against a continuously serving thread: every response is
+        /// bit-identical to the sequential computation under the single snapshot its
+        /// `model_version` names.
+        #[test]
+        fn concurrent_serve_and_refresh_never_blend_snapshots(seed in 0u64..10_000) {
+            let fx = fixture();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for shards in [1usize, 4] {
+                for threads in [1usize, 4] {
+                    let service = EstimatorService::new(
+                        fx.model_a.clone(),
+                        ShardedPool::from_pool(&fx.pool, shards),
+                        WorkerPool::shared(threads),
+                    );
+                    // version -> the expected estimates of the model it serves.
+                    let mut by_version: BTreeMap<u64, &Vec<f64>> = BTreeMap::new();
+                    by_version.insert(1, &fx.expected_a);
+                    let swaps = rng.gen_range(1usize..4);
+                    let swap_pauses: Vec<u64> =
+                        (0..swaps).map(|_| rng.gen_range(0u64..400)).collect();
+                    let serves = rng.gen_range(3usize..7);
+                    let responses = std::thread::scope(|scope| {
+                        let server = {
+                            let service = &service;
+                            let queries = &fx.queries;
+                            scope.spawn(move || {
+                                (0..serves)
+                                    .map(|_| {
+                                        let response = service.serve(queries);
+                                        (response.stats.model_version, response.estimates)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        };
+                        // The refresher: alternate B/A swaps with random pauses, exactly
+                        // what the online controller's hot-swap does under live traffic.
+                        for (index, pause) in swap_pauses.iter().enumerate() {
+                            std::thread::sleep(std::time::Duration::from_micros(*pause));
+                            let (model, expected) = if index % 2 == 0 {
+                                (fx.model_b.clone(), &fx.expected_b)
+                            } else {
+                                (fx.model_a.clone(), &fx.expected_a)
+                            };
+                            let version = service.swap_model(model);
+                            by_version.insert(version, expected);
+                        }
+                        server.join().expect("serving thread")
+                    });
+                    for (index, (version, estimates)) in responses.iter().enumerate() {
+                        let expected = by_version.get(version).unwrap_or_else(|| {
+                            panic!("serve {index} reported unknown model version {version}")
+                        });
+                        prop_assert!(
+                            estimates == *expected,
+                            "shards={shards} threads={threads} serve {index}: a batch \
+                             must match exactly the snapshot its version names (v{version})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -195,6 +195,26 @@ fn run_serve(args: &[String]) {
             }
             "--batch" => config.batch = parse_count(&flag_value(&mut iter, "--batch"), "--batch"),
             "--async" => config.async_mode = true,
+            "--online" => config.online = true,
+            "--refresh-interval" => {
+                // Zero is legitimate: it disables model refresh (pool maintenance still
+                // runs), the bit-parity mode of the acceptance criterion.
+                let value = flag_value(&mut iter, "--refresh-interval");
+                config.refresh_interval = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--refresh-interval requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--probe-frac" => {
+                let value = flag_value(&mut iter, "--probe-frac");
+                config.probe_fraction = match value.parse::<f64>() {
+                    Ok(parsed) if (0.0..=0.9).contains(&parsed) => parsed,
+                    _ => {
+                        eprintln!("--probe-frac requires a fraction in [0, 0.9], got {value}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--batch-window-us" => {
                 // Zero is legitimate: it means "serve whatever has accumulated".
                 let value = flag_value(&mut iter, "--batch-window-us");
@@ -251,6 +271,7 @@ fn print_serve_usage() {
          [--queries N] [--batch N]\n\
          \x20                  [--async] [--batch-window-us N] [--queue-depth N] \
          [--callers N] [--bench-json <path>]\n\
+         \x20                  [--online] [--refresh-interval N] [--probe-frac F]\n\
          \n\
          Serves a synthetic workload through the sharded estimator service — \
          synchronously in --batch-sized\n\
@@ -260,6 +281,33 @@ fn print_serve_usage() {
          maintenance).  The first batch\n\
          is always verified bit-for-bit against sequential serving; a violation exits \
          non-zero.\n\
+         \n\
+         --online runs the continual-learning demo on top: after a baseline segment \
+         the workload shifts\n\
+         to an equality-biased scale distribution the model never trained on; served \
+         truths flow back\n\
+         through the maintenance lane, a sliding-window drift detector triggers \
+         warm-start fine-tunes,\n\
+         and candidates hot-swap into serving only after beating the live model's \
+         median q-error on a\n\
+         held-out probe set (the validation gate; violations, or an applied refresh \
+         that fails to beat\n\
+         the frozen model on the shifted segment, exit non-zero).  Emits \
+         BENCH_online.json via --bench-json.\n\
+         \n\
+         Choosing --refresh-interval: feedback records between refresh opportunities. \
+         Small intervals\n\
+         react fast but fine-tune on thin evidence (more gate rejections); one to two \
+         drift windows'\n\
+         worth (~16-64 records) is the sweet spot.  0 disables model refresh — \
+         serving is then\n\
+         bit-identical to --async (pool maintenance still runs).\n\
+         \n\
+         Choosing --probe-frac: the held-out share of feedback funding the validation \
+         gate.  0.2-0.3\n\
+         buys a trustworthy gate at modest training-data cost; below ~0.1 the gate \
+         gets noisy and a\n\
+         bad candidate can slip through on luck.\n\
          \n\
          Choosing --shards: shards bound the per-work-item anchor batch.  Use 1 on a \
          single core (anything\n\
@@ -310,7 +358,8 @@ fn print_usage() {
     eprintln!(
         "       repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
          [--queries N] [--batch N] [--async] [--batch-window-us N] [--queue-depth N] \
-         [--callers N] [--bench-json <path>]  (see `repro serve --help`)"
+         [--callers N] [--online] [--refresh-interval N] [--probe-frac F] \
+         [--bench-json <path>]  (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

@@ -35,5 +35,5 @@ pub use harness::{ExperimentConfig, ExperimentContext};
 pub use metrics::{ModelErrors, QErrorSummary};
 pub use plot::{render_box_plots, BoxStats};
 pub use report::ExperimentReport;
-pub use serve::{run_serve_demo, BenchRecord, BenchSummary, ServeDemoConfig};
+pub use serve::{run_serve_demo, BenchRecord, BenchSummary, OnlineBenchSummary, ServeDemoConfig};
 pub use workloads::{PairWorkload, Workload, WorkloadSizes};

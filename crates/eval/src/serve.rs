@@ -23,12 +23,14 @@
 //! configuration) so the serving perf trajectory is trackable across PRs.
 
 use crate::harness::{ExperimentConfig, ExperimentContext};
-use crn_core::{Cnt2Crd, EstimatorService, ServeStats, ShardedPool};
+use crate::metrics::QErrorSummary;
+use crn_core::{Cnt2Crd, CrnModel, EstimatorService, ServeStats, ShardedPool};
 use crn_estimators::{CardinalityEstimator, PostgresEstimator};
 use crn_nn::parallel::WorkerPool;
-use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_online::{ExecLabeler, OnlineConfig, RefreshController, RefreshDecision, RefreshOutcome};
+use crn_query::generator::{GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
 use crn_query::Query;
-use crn_serve::{RuntimeConfig, ServeRuntime};
+use crn_serve::{FeedbackObserver, RuntimeConfig, ServeRuntime};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,6 +61,17 @@ pub struct ServeDemoConfig {
     pub callers: usize,
     /// Emit the machine-readable latency/throughput record here (`--bench-json`).
     pub bench_json: Option<String>,
+    /// Drive the online model-refresh demo (`--online`): async serving plus a
+    /// drifting-workload phase with feedback, drift detection, gated fine-tuning and
+    /// hot-swap.
+    pub online: bool,
+    /// Feedback records between refresh checks in the online demo
+    /// (`--refresh-interval`); 0 disables refresh entirely (pool maintenance still
+    /// runs — the parity mode of the acceptance criterion).
+    pub refresh_interval: usize,
+    /// Fraction of the feedback stream held out as the validation gate's probe set
+    /// (`--probe-frac`).
+    pub probe_fraction: f64,
 }
 
 impl ServeDemoConfig {
@@ -77,6 +90,9 @@ impl ServeDemoConfig {
             queue_depth: 32,
             callers: 4,
             bench_json: None,
+            online: false,
+            refresh_interval: 16,
+            probe_fraction: 0.25,
         }
     }
 }
@@ -164,6 +180,26 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
 
     let sequential = Cnt2Crd::new(ctx.crn.clone(), ctx.pool.clone())
         .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+
+    if config.online {
+        let summary =
+            match run_online_demo(config, &ctx, &service, &sequential, &workload, &mut lines) {
+                Ok(summary) => summary,
+                Err(violation) => {
+                    // The report so far is the diagnostic context of the violation: emit it
+                    // on stderr so the CI log shows what led up to the non-zero exit.
+                    eprintln!("{}", lines.join("\n"));
+                    return Err(violation);
+                }
+            };
+        if let Some(path) = &config.bench_json {
+            let json =
+                serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lines.push(format!("[serve] wrote online bench summary to {path}"));
+        }
+        return Ok(lines.join("\n"));
+    }
 
     let record = if config.async_mode {
         run_async_demo(config, &ctx, &service, &sequential, &workload, &mut lines)?
@@ -372,18 +408,20 @@ fn run_async_demo(
         load_completed as f64 / load_batches as f64
     };
     lines.push(format!(
-        "[serve] async: {} completed in {} batches (mean {:.2}, max {}) — {} size-closed, \
-         {} window-closed, {} drain-closed; {} rejections absorbed by retries; \
-         maintenance applied {} refreshes (pool now {} entries)",
+        "[serve] async: {} completed in {} batches (mean {:.2}, max {}, {} coalesced) — \
+         {} size-closed, {} window-closed, {} drain-closed; {} rejections absorbed by \
+         retries; maintenance applied {} refreshes, {} failed (pool now {} entries)",
         load_completed,
         load_batches,
         load_mean_batch,
         stats.max_batch,
+        stats.coalesced,
         stats.size_closes - pre_load.size_closes,
         stats.window_closes - pre_load.window_closes,
         stats.drain_closes - pre_load.drain_closes,
         rejected,
         stats.maintenance_applied,
+        stats.maintenance_failed,
         service.pool().len(),
     ));
     lines.push(format!(
@@ -424,6 +462,366 @@ fn run_async_demo(
     })
 }
 
+/// The `BENCH_online.json` shape: everything the online-refresh demo measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct OnlineBenchSummary {
+    /// Format version tag for downstream tooling.
+    pub schema: String,
+    /// The experiment preset.
+    pub preset: String,
+    /// Pool shard count.
+    pub shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Feedback records between refresh checks (0 = refresh disabled).
+    pub refresh_interval: usize,
+    /// Held-out probe fraction of the feedback stream.
+    pub probe_frac: f64,
+    /// Baseline-segment queries served (the distribution the model trained on).
+    pub baseline_queries: usize,
+    /// Median q-error on the baseline segment.
+    pub baseline_median: f64,
+    /// Shifted-segment evaluation queries (held out of all feedback).
+    pub shifted_eval_queries: usize,
+    /// Median q-error of the frozen model on the shifted eval segment over the
+    /// *original* pool (pure staleness, before any feedback).
+    pub shifted_frozen_median: f64,
+    /// Median q-error of the frozen model on the shifted eval segment over the *final*
+    /// (maintenance-refreshed) pool — isolates what pool refresh alone bought.
+    pub shifted_frozen_final_median: f64,
+    /// Median q-error of the live (possibly hot-swapped) model on the shifted eval
+    /// segment over the final pool — the model refresh's contribution on top.
+    pub shifted_refreshed_median: f64,
+    /// Feedback records fed through the maintenance lane.
+    pub feedback_records: usize,
+    /// Refresh cycles started / applied / gate-rejected / without training pairs.
+    pub refreshes_attempted: u64,
+    /// See [`OnlineBenchSummary::refreshes_attempted`].
+    pub refreshes_applied: u64,
+    /// See [`OnlineBenchSummary::refreshes_attempted`].
+    pub refreshes_rejected: u64,
+    /// See [`OnlineBenchSummary::refreshes_attempted`].
+    pub refreshes_without_pairs: u64,
+    /// The served model version at the end of the run (1 = never swapped).
+    pub model_version: u64,
+    /// Maintenance-lane upserts applied / failed over the whole run.
+    pub maintenance_applied: u64,
+    /// See [`OnlineBenchSummary::maintenance_applied`].
+    pub maintenance_failed: u64,
+    /// Duplicate in-window requests coalesced by the runtime.
+    pub coalesced: u64,
+}
+
+/// Serves `queries` through the runtime closed-loop on one caller, returning the
+/// estimates in query order.
+fn serve_all(
+    runtime: &ServeRuntime<CrnModel>,
+    caller: u64,
+    queries: &[Query],
+) -> Result<Vec<f64>, String> {
+    queries
+        .iter()
+        .map(|query| {
+            runtime
+                .submit_retrying(caller, query)
+                .map(|ticket| ticket.wait().estimate)
+                .map_err(|e| format!("submission failed: {e}"))
+        })
+        .collect()
+}
+
+/// Median q-error of `(estimate, truth)` pairs (nearest-rank p50, cardinality floor 1).
+fn median_q_error(estimates: &[f64], truths: &[u64]) -> f64 {
+    let pairs: Vec<(f64, f64)> = estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &t)| (e, t as f64))
+        .collect();
+    QErrorSummary::from_pairs(&pairs, crate::metrics::CARDINALITY_FLOOR).p50
+}
+
+/// The online model-refresh demo (`repro serve --online`): a drifting-workload run over
+/// the full subsystem — async serving, maintenance-lane feedback, drift detection,
+/// gated warm-start fine-tuning and validated hot-swap — reporting median q-errors
+/// before/after refresh on the shifted segment.
+///
+/// Phases:
+///
+/// 1. **Parity tripwire** — the first batch through the runtime must be bit-identical
+///    to the sequential path (same as `--async`; with refresh disabled the whole run
+///    stays on model version 1, so `--online` serving is bit-identical to `--async`).
+/// 2. **Baseline segment** — the training-distribution workload; its median q-error
+///    calibrates the drift threshold.
+/// 3. **Shift** — traffic switches to the MSCN-style scale generator (equality-biased
+///    predicates, literals from actual rows — a distribution the model never saw).  A
+///    held-out eval slice measures the frozen model's staleness; the rest flows back as
+///    `(query, true cardinality, estimate)` feedback, and every `--refresh-interval`
+///    records the controller gets a refresh opportunity.
+/// 4. **Verdict** — the same eval slice re-served after the refreshes, plus a
+///    frozen-model evaluation over the *final* pool so the model refresh's contribution
+///    is separated from what pool maintenance alone bought.  Any violated gate
+///    invariant, an applied refresh that fails to beat the frozen model on the shifted
+///    segment, or a swap with refresh disabled returns `Err` — `repro` exits non-zero
+///    and the CI smoke fails loudly.
+fn run_online_demo(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    service: &Arc<EstimatorService<CrnModel>>,
+    sequential: &Cnt2Crd<CrnModel>,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<OnlineBenchSummary, String> {
+    let runtime_config = RuntimeConfig::default()
+        .with_window_us(config.batch_window_us)
+        .with_queue_depth(config.queue_depth.max(1))
+        .with_batch_max(config.batch.max(1));
+    let runtime = ServeRuntime::new(Arc::clone(service), runtime_config);
+    let refresh_enabled = config.refresh_interval > 0;
+    lines.push(format!(
+        "[serve] online runtime up: refresh {} (interval {}), probe fraction {:.2}",
+        if refresh_enabled { "ON" } else { "OFF" },
+        config.refresh_interval,
+        config.probe_fraction,
+    ));
+
+    // Phase 1 — the parity tripwire (identical to --async: the queue → scheduler →
+    // service path on the hook against sequential serving).
+    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
+    let estimates = serve_all(&runtime, 0, first_batch)?;
+    verify_parity(&estimates, first_batch, sequential, "online")?;
+    lines.push(format!(
+        "[serve] parity check passed: {} online estimates bit-identical to the \
+         sequential path",
+        first_batch.len()
+    ));
+
+    // Phase 2 — baseline segment: the distribution the model trained on.
+    let executor = crn_exec::Executor::new(&ctx.db);
+    let baseline_estimates = serve_all(&runtime, 0, workload)?;
+    let baseline_truths: Vec<u64> = workload.iter().map(|q| executor.cardinality(q)).collect();
+    let baseline_median = median_q_error(&baseline_estimates, &baseline_truths);
+    lines.push(format!(
+        "[serve] baseline segment: {} queries, median q-error {:.3}",
+        workload.len(),
+        baseline_median,
+    ));
+
+    // The controller, with its drift threshold calibrated off the healthy segment.
+    let drift_threshold = (baseline_median * 1.3).max(2.0);
+    let online_config = OnlineConfig {
+        drift_threshold,
+        drift_window: 32,
+        min_observations: 12,
+        // Well-fed cycles over trigger-happy ones: a fine-tune on a dozen records with
+        // a 4-record probe gate is noise on both sides of the gate.
+        min_fresh: 24,
+        probe_fraction: config.probe_fraction,
+        min_probe: 6,
+        fine_tune_epochs: 8,
+        seed: ctx.config.seed,
+        ..OnlineConfig::default()
+    };
+    let controller = Arc::new(RefreshController::new(
+        Arc::clone(service),
+        Box::new(ExecLabeler::new(
+            Arc::new(ctx.db.clone()),
+            config.threads.max(1),
+        )),
+        online_config,
+    ));
+    runtime.set_feedback_observer(Arc::clone(&controller) as Arc<dyn FeedbackObserver>);
+
+    // Phase 3 — the shift: scale-generator traffic (equality-biased, actual-row
+    // literals, no perturbation clusters), filtered to pool-covered FROM clauses.  A
+    // held-out eval slice never enters any feedback; the rest is the feedback stream.
+    let eval_size = (config.queries / 4).clamp(8, 64);
+    let feedback_size = config.queries.max(eval_size * 2);
+    let mut generator = ScaleGenerator::new(
+        &ctx.db,
+        ScaleGeneratorConfig {
+            seed: ctx.config.seed ^ 0xd41f,
+            max_joins: ctx.config.pool_max_joins.min(2),
+            eq_bias: 0.7,
+        },
+    );
+    // Keep only pool-covered queries with a non-trivial true cardinality: equality-
+    // biased predicates often select ~0 rows, where the q-error floor makes every
+    // estimator look perfect and the segment medians stop discriminating.  The
+    // cardinalities computed here ARE the segment's ground truth — cached alongside
+    // each query so the expensive executions are never repeated.
+    let shifted: Vec<(Query, u64)> = generator
+        .generate((eval_size + feedback_size) * 8)
+        .into_iter()
+        .filter(|q| ctx.pool.matching(q).next().is_some())
+        .filter_map(|q| {
+            let cardinality = executor.cardinality(&q);
+            (cardinality >= 4).then_some((q, cardinality))
+        })
+        .take(eval_size + feedback_size)
+        .collect();
+    if shifted.len() < eval_size + 8 {
+        return Err(format!(
+            "shifted workload too small: {} pool-covered queries",
+            shifted.len()
+        ));
+    }
+    let (eval_pairs, feedback_slice) = shifted.split_at(eval_size.min(shifted.len() / 3));
+    let eval_slice: Vec<Query> = eval_pairs.iter().map(|(q, _)| q.clone()).collect();
+    let eval_truths: Vec<u64> = eval_pairs.iter().map(|(_, c)| *c).collect();
+    let eval_slice = &eval_slice[..];
+
+    // Frozen-model staleness on the shifted eval slice, over the original pool.
+    let frozen_model = (*service.model()).clone();
+    let pre_estimates = serve_all(&runtime, 1, eval_slice)?;
+    let shifted_frozen_median = median_q_error(&pre_estimates, &eval_truths);
+    lines.push(format!(
+        "[serve] shifted segment: frozen model median q-error {:.3} over {} held-out \
+         queries (baseline was {:.3}, drift threshold {:.3})",
+        shifted_frozen_median,
+        eval_slice.len(),
+        baseline_median,
+        drift_threshold,
+    ));
+
+    // The feedback stream: serve, observe truth, feed the maintenance lane; every
+    // `refresh_interval` records the controller gets its refresh opportunity.
+    let mut outcomes: Vec<RefreshOutcome> = Vec::new();
+    let chunk_size = if refresh_enabled {
+        config.refresh_interval
+    } else {
+        feedback_slice.len().max(1)
+    };
+    for chunk in feedback_slice.chunks(chunk_size) {
+        let chunk_queries: Vec<Query> = chunk.iter().map(|(q, _)| q.clone()).collect();
+        let estimates = serve_all(&runtime, 2, &chunk_queries)?;
+        for ((query, truth), estimate) in chunk.iter().zip(&estimates) {
+            if runtime
+                .record_observed(query.clone(), *truth, *estimate)
+                .is_err()
+            {
+                return Err("maintenance lane rejected feedback".to_string());
+            }
+        }
+        runtime.flush();
+        if refresh_enabled {
+            if let Some(outcome) = controller.refresh_if_needed() {
+                lines.push(format!(
+                    "[serve] refresh cycle: {:?} — probe median live {:.3} vs candidate \
+                     {:.3} ({} fresh, {} pairs, {} replayed) -> model v{}",
+                    outcome.decision,
+                    outcome.live_probe_median,
+                    outcome.candidate_probe_median,
+                    outcome.fresh_records,
+                    outcome.labeled_pairs,
+                    outcome.replayed,
+                    outcome.model_version,
+                ));
+                if !outcome.gate_respected() {
+                    return Err(format!(
+                        "validation-gate violation: applied refresh with candidate \
+                         probe median {:.3} >= live {:.3}",
+                        outcome.candidate_probe_median, outcome.live_probe_median
+                    ));
+                }
+                outcomes.push(outcome);
+            }
+        }
+    }
+    runtime.flush();
+
+    // Phase 4 — the verdict on the same held-out slice.
+    let post_estimates = serve_all(&runtime, 1, eval_slice)?;
+    let shifted_refreshed_median = median_q_error(&post_estimates, &eval_truths);
+    // Frozen model over the *final* pool: what §5.2 pool maintenance alone would have
+    // achieved, so the model swap's contribution is attributable.
+    let final_pool = service.pool().to_pool();
+    let frozen_final = Cnt2Crd::new(frozen_model, final_pool)
+        .with_config(*service.config())
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let frozen_final_estimates: Vec<f64> = eval_slice
+        .iter()
+        .map(|q| frozen_final.estimate(q))
+        .collect();
+    let shifted_frozen_final_median = median_q_error(&frozen_final_estimates, &eval_truths);
+
+    let applied = outcomes
+        .iter()
+        .filter(|o| o.decision == RefreshDecision::Applied)
+        .count();
+    let online_stats = controller.stats();
+    let stats = runtime.shutdown();
+    lines.push(format!(
+        "[serve] shifted segment after {} applied refresh(es): median q-error {:.3} \
+         (frozen model on the same final pool: {:.3}; pre-feedback: {:.3})",
+        applied, shifted_refreshed_median, shifted_frozen_final_median, shifted_frozen_median,
+    ));
+    lines.push(format!(
+        "[serve] online summary: {} feedback records, {} cycles ({} applied, {} \
+         rejected by the gate, {} without pairs), model v{}; maintenance applied {} \
+         refreshes, {} failed (pool now {} entries); {} requests coalesced",
+        online_stats.feedback_seen,
+        online_stats.refreshes_attempted,
+        online_stats.refreshes_applied,
+        online_stats.refreshes_rejected,
+        online_stats.refreshes_without_pairs,
+        service.model_version(),
+        stats.maintenance_applied,
+        stats.maintenance_failed,
+        service.pool().len(),
+        stats.coalesced,
+    ));
+
+    // Hard tripwires for the CI smoke.
+    if !refresh_enabled && service.model_version() != 1 {
+        return Err(format!(
+            "refresh disabled but the model was swapped to v{}",
+            service.model_version()
+        ));
+    }
+    if refresh_enabled && applied == 0 {
+        return Err(format!(
+            "drifting-workload demo applied no refresh ({} cycles: {} rejected, {} \
+             without pairs; window median {:.3}, threshold {:.3})",
+            online_stats.refreshes_attempted,
+            online_stats.refreshes_rejected,
+            online_stats.refreshes_without_pairs,
+            online_stats.window_median,
+            drift_threshold,
+        ));
+    }
+    if applied > 0 && shifted_refreshed_median >= shifted_frozen_final_median {
+        return Err(format!(
+            "post-refresh median q-error {shifted_refreshed_median:.3} is not strictly \
+             better than the frozen-model baseline {shifted_frozen_final_median:.3} on \
+             the shifted segment"
+        ));
+    }
+
+    Ok(OnlineBenchSummary {
+        schema: "crn-online-bench-v1".to_string(),
+        preset: config.preset_label.clone(),
+        shards: config.shards,
+        threads: config.threads,
+        refresh_interval: config.refresh_interval,
+        probe_frac: config.probe_fraction,
+        baseline_queries: workload.len(),
+        baseline_median,
+        shifted_eval_queries: eval_slice.len(),
+        shifted_frozen_median,
+        shifted_frozen_final_median,
+        shifted_refreshed_median,
+        feedback_records: feedback_slice.len(),
+        refreshes_attempted: online_stats.refreshes_attempted,
+        refreshes_applied: online_stats.refreshes_applied,
+        refreshes_rejected: online_stats.refreshes_rejected,
+        refreshes_without_pairs: online_stats.refreshes_without_pairs,
+        model_version: service.model_version(),
+        maintenance_applied: stats.maintenance_applied,
+        maintenance_failed: stats.maintenance_failed,
+        coalesced: stats.coalesced,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +836,54 @@ mod tests {
         let report = run_serve_demo(&config).expect("parity holds");
         assert!(report.contains("parity check passed"));
         assert!(report.contains("served 24 queries over 2 shards x 2 threads"));
+    }
+
+    /// The full online demo on the tiny preset: drift detected, at least one gated
+    /// refresh applied, post-refresh median strictly better than the frozen model on
+    /// the shifted segment, and the machine-readable summary written.
+    #[test]
+    fn online_demo_refreshes_and_emits_bench_json() {
+        let dir = std::env::temp_dir().join("crn_online_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_online.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 64;
+        config.batch = 16;
+        config.shards = 4;
+        config.threads = 2;
+        config.online = true;
+        config.refresh_interval = 16;
+        config.probe_fraction = 0.25;
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("gates hold and the refresh improves");
+        assert!(report.contains("online runtime up"));
+        assert!(report.contains("parity check passed"));
+        assert!(report.contains("refresh cycle: Applied"));
+        assert!(report.contains("maintenance applied"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("crn-online-bench-v1"));
+        assert!(json.contains("refreshes_applied"));
+        assert!(json.contains("shifted_refreshed_median"));
+        assert!(json.contains("maintenance_failed"));
+    }
+
+    /// `--online` with refresh disabled is the PR-4 async path bit-for-bit: the model
+    /// version never moves and the post-segment medians coincide exactly with the
+    /// frozen model over the same pool.
+    #[test]
+    fn online_demo_with_refresh_disabled_never_swaps() {
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 48;
+        config.batch = 16;
+        config.shards = 2;
+        config.threads = 2;
+        config.online = true;
+        config.refresh_interval = 0;
+        let report = run_serve_demo(&config).expect("parity mode always passes");
+        assert!(report.contains("refresh OFF"));
+        assert!(report.contains("model v1"));
+        assert!(report.contains("0 cycles"));
     }
 
     #[test]

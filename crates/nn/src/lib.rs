@@ -58,6 +58,6 @@ pub use parallel::{
     DETERMINISTIC_SHARDS,
 };
 pub use train::{
-    shuffled_batches, train_validation_split, EarlyStopping, EpochStats, TrainConfig,
+    shuffled_batches, train_validation_split, EarlyStopping, EpochStats, ReplayBuffer, TrainConfig,
     TrainingHistory,
 };

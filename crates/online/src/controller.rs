@@ -1,0 +1,609 @@
+//! The refresh controller: feedback intake, fine-tune trigger, validation gate, hot swap.
+//!
+//! One [`RefreshController`] sits between the serving runtime's maintenance lane (it is
+//! the runtime's [`FeedbackObserver`]) and the live [`EstimatorService`].  Intake is
+//! cheap and lock-scoped (the maintenance thread must never stall on training); the
+//! expensive refresh cycle — labelling, warm-start fine-tune, probe-set gate — runs on
+//! whichever thread calls [`RefreshController::refresh_if_needed`]: a driver at its own
+//! cadence, or the background [`RefreshWorker`].
+
+use crate::feedback::{DriftDetector, FeedbackRecord, CARDINALITY_FLOOR};
+use crn_core::{Cnt2Crd, CrnModel, EstimatorService, FinalFunction, QueriesPool};
+use crn_db::Database;
+use crn_estimators::CardinalityEstimator;
+use crn_exec::{label_containment_pairs, ContainmentSample};
+use crn_nn::{Adam, ReplayBuffer};
+use crn_query::ast::Query;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Knobs of the online refresh loop (guidance: ROADMAP "Online refresh").
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Sliding q-error window size of the drift detector.
+    pub drift_window: usize,
+    /// Median q-error above which the window signals drift.
+    pub drift_threshold: f64,
+    /// Minimum q-errors in the window before drift can be declared.
+    pub min_observations: usize,
+    /// Minimum fresh (non-probe) feedback records before a fine-tune can trigger.
+    pub min_fresh: usize,
+    /// Fraction of the feedback stream routed to the held-out probe set (never trained
+    /// on; deterministic stride routing).  0 disables the gate's data source — with an
+    /// empty probe set no candidate can pass, so refreshes are effectively off.
+    pub probe_fraction: f64,
+    /// Most recent probe records kept (the gate evaluates against current traffic).
+    pub probe_capacity: usize,
+    /// Minimum probe records before a refresh may run (a gate over 2 queries is noise).
+    pub min_probe: usize,
+    /// Reservoir capacity of the training-history replay buffer.
+    pub replay_capacity: usize,
+    /// Fraction of each fine-tune corpus drawn from the replay buffer (the rest is the
+    /// freshly labelled feedback).  0 disables replay, 0.5 mixes half-and-half.
+    pub replay_fraction: f64,
+    /// Epochs of each warm-start fine-tune ([`CrnModel::fit_incremental`]).
+    pub fine_tune_epochs: usize,
+    /// Fine-tune learning rate as a fraction of the model's training rate.  Full-rate
+    /// Adam steps on a small fresh corpus overshoot a warm start; 0.2–0.5 adapts
+    /// steadily without wrecking what the model already knows.
+    pub learning_rate_scale: f64,
+    /// Cap on freshly labelled pairs per refresh (labelling executes queries; this
+    /// bounds the background-work budget of one cycle).
+    pub max_pairs_per_refresh: usize,
+    /// Seed of the controller's deterministic machinery (replay reservoir).
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            drift_window: 32,
+            drift_threshold: 3.0,
+            min_observations: 16,
+            min_fresh: 16,
+            probe_fraction: 0.25,
+            probe_capacity: 64,
+            min_probe: 4,
+            replay_capacity: 256,
+            replay_fraction: 0.5,
+            fine_tune_epochs: 6,
+            learning_rate_scale: 0.25,
+            max_pairs_per_refresh: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Produces labelled containment training pairs for fresh feedback queries — the bridge
+/// from `(query, true cardinality)` feedback to the CRN's training format.
+///
+/// The canonical implementation ([`ExecLabeler`]) pairs each fresh query with the pool
+/// anchors sharing its FROM clause (exactly the pairings serving evaluates, §5.3) and
+/// labels both containment directions by execution — the same ground-truth source the
+/// feedback itself came from, spent as background work off the serving path.
+pub trait FeedbackLabeler: Send + Sync {
+    /// Labels fresh feedback against the current pool anchors.  `budget` caps how many
+    /// pairs to produce (implementations should spread it over the fresh queries).
+    fn label(
+        &self,
+        fresh: &[FeedbackRecord],
+        anchors: &QueriesPool,
+        budget: usize,
+    ) -> Vec<ContainmentSample>;
+}
+
+/// The execution-backed [`FeedbackLabeler`]: pairs fresh queries with same-FROM-clause
+/// pool anchors (both containment directions, round-robin over the fresh queries so the
+/// budget spreads instead of exhausting on the first query) and labels by executing on
+/// the given database snapshot.
+pub struct ExecLabeler {
+    db: Arc<Database>,
+    threads: usize,
+}
+
+impl ExecLabeler {
+    /// Creates the labeler over a database snapshot with a labelling thread budget.
+    pub fn new(db: Arc<Database>, threads: usize) -> Self {
+        ExecLabeler {
+            db,
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl FeedbackLabeler for ExecLabeler {
+    fn label(
+        &self,
+        fresh: &[FeedbackRecord],
+        anchors: &QueriesPool,
+        budget: usize,
+    ) -> Vec<ContainmentSample> {
+        // Per-fresh-query anchor references, in pool matching order.  The maintenance
+        // lane upserts each fed query into the pool before the observer fires, so the
+        // query itself usually sits among its own anchors: skip it — a (q, q) pair's
+        // label is trivially 1.0 and would burn labelling budget twice per record.
+        let per_query: Vec<(&Query, Vec<&Query>)> = fresh
+            .iter()
+            .map(|record| {
+                let matching: Vec<&Query> = anchors
+                    .matching(&record.query)
+                    .map(|entry| &entry.query)
+                    .filter(|anchor| **anchor != record.query)
+                    .collect();
+                (&record.query, matching)
+            })
+            .collect();
+        // Round-robin across fresh queries up to the budget, cloning only what is
+        // emitted.  Both containment directions per pairing: serving consults
+        // anchor ⊂% query AND query ⊂% anchor, so the fine-tune must cover both heads.
+        let mut pairs: Vec<(Query, Query)> = Vec::new();
+        let mut depth = 0usize;
+        'fill: loop {
+            let mut any = false;
+            for (query, query_anchors) in &per_query {
+                if let Some(anchor) = query_anchors.get(depth) {
+                    any = true;
+                    for pair in [
+                        ((*anchor).clone(), (*query).clone()),
+                        ((*query).clone(), (*anchor).clone()),
+                    ] {
+                        pairs.push(pair);
+                        if pairs.len() >= budget {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+        }
+        label_containment_pairs(&self.db, &pairs, self.threads)
+    }
+}
+
+/// Why a refresh cycle ended the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshDecision {
+    /// The candidate beat the live model on the probe set and was hot-swapped in.
+    Applied,
+    /// The candidate failed the validation gate and was discarded (counted, never
+    /// served).
+    RejectedByGate,
+    /// The labeler produced no training pairs (e.g. no anchors share the fresh queries'
+    /// FROM clauses); nothing was trained.
+    NoTrainingPairs,
+}
+
+/// The outcome of one refresh cycle (returned by
+/// [`RefreshController::refresh_if_needed`] when a cycle ran).
+#[derive(Debug, Clone)]
+pub struct RefreshOutcome {
+    /// What happened.
+    pub decision: RefreshDecision,
+    /// The live model's median q-error on the held-out probe set at gate time.
+    pub live_probe_median: f64,
+    /// The candidate's median q-error on the same probe set.
+    pub candidate_probe_median: f64,
+    /// The model version serving after the cycle (bumped only on `Applied`).
+    pub model_version: u64,
+    /// Fresh feedback records consumed by the cycle.
+    pub fresh_records: usize,
+    /// Labelled pairs produced for the fine-tune.
+    pub labeled_pairs: usize,
+    /// History samples mixed in from the replay buffer.
+    pub replayed: usize,
+    /// Probe records the gate evaluated on.
+    pub probe_records: usize,
+}
+
+impl RefreshOutcome {
+    /// The gate invariant: an applied refresh must have strictly beaten the live model
+    /// on the probe set.  `repro serve --online` re-checks this per cycle and exits
+    /// non-zero on violation (the CI tripwire).
+    pub fn gate_respected(&self) -> bool {
+        match self.decision {
+            RefreshDecision::Applied => self.candidate_probe_median < self.live_probe_median,
+            RefreshDecision::RejectedByGate | RefreshDecision::NoTrainingPairs => true,
+        }
+    }
+}
+
+/// Monotonic counters describing a controller's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    /// Feedback records observed (probe + fresh).
+    pub feedback_seen: u64,
+    /// Records routed to the held-out probe set.
+    pub probe_routed: u64,
+    /// Times the drift detector's signal (with enough fresh data) started a cycle.
+    pub refreshes_attempted: u64,
+    /// Cycles whose candidate passed the gate and was hot-swapped.
+    pub refreshes_applied: u64,
+    /// Cycles whose candidate the gate discarded — counted, never served.
+    pub refreshes_rejected: u64,
+    /// Cycles that found no labelable training pairs.
+    pub refreshes_without_pairs: u64,
+    /// The live model version after the most recent cycle (1 = the initial model).
+    pub live_model_version: u64,
+    /// Gate medians of the most recent cycle (0 until a cycle ran).
+    pub last_live_probe_median: f64,
+    /// See [`OnlineStats::last_live_probe_median`].
+    pub last_candidate_probe_median: f64,
+    /// The drift window's current median q-error (serving health at a glance).
+    pub window_median: f64,
+}
+
+/// Mutable controller state behind one mutex (intake is cheap; refresh cycles move the
+/// expensive work outside — see the module docs).
+struct ControllerState {
+    detector: DriftDetector,
+    /// Fresh (non-probe) feedback since the last refresh cycle.
+    fresh: Vec<FeedbackRecord>,
+    /// The held-out probe set: most recent `probe_capacity` probe-routed records.
+    probe: Vec<FeedbackRecord>,
+    /// Reservoir-sampled training history (labelled pairs of past refreshes).
+    replay: ReplayBuffer<ContainmentSample>,
+    /// The optimizer state resumed across refreshes (moments travel inside the live
+    /// model's parameters; this carries the step count for bias correction).
+    adam: Adam,
+    /// Deterministic probe routing: every record where `route_count * fraction` crosses
+    /// an integer boundary goes to the probe set.
+    route_count: u64,
+    probe_routed_acc: f64,
+    /// True while a refresh cycle is in flight (cycles never run concurrently).
+    refreshing: bool,
+    stats: OnlineStats,
+}
+
+/// The refresh controller — see the [module docs](self).
+pub struct RefreshController {
+    service: Arc<EstimatorService<CrnModel>>,
+    labeler: Box<dyn FeedbackLabeler>,
+    config: OnlineConfig,
+    state: Mutex<ControllerState>,
+    /// Signalled when intake makes a refresh possible (wakes the [`RefreshWorker`]).
+    trigger: Condvar,
+}
+
+impl RefreshController {
+    /// Creates the controller over the live service with the given labeler.
+    pub fn new(
+        service: Arc<EstimatorService<CrnModel>>,
+        labeler: Box<dyn FeedbackLabeler>,
+        config: OnlineConfig,
+    ) -> Self {
+        let learning_rate =
+            service.model().config().learning_rate * config.learning_rate_scale.max(0.0) as f32;
+        let detector = DriftDetector::new(
+            config.drift_window,
+            config.drift_threshold,
+            config.min_observations,
+        );
+        let stats = OnlineStats {
+            live_model_version: service.model_version(),
+            ..OnlineStats::default()
+        };
+        RefreshController {
+            state: Mutex::new(ControllerState {
+                detector,
+                fresh: Vec::new(),
+                probe: Vec::new(),
+                replay: ReplayBuffer::new(config.replay_capacity, config.seed),
+                adam: Adam::new(learning_rate),
+                route_count: 0,
+                probe_routed_acc: 0.0,
+                refreshing: false,
+                stats,
+            }),
+            service,
+            labeler,
+            config,
+            trigger: Condvar::new(),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<EstimatorService<CrnModel>> {
+        &self.service
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Records one feedback triple (what [`crn_serve::FeedbackObserver::observe`]
+    /// forwards).  Cheap: a q-error, a window push and a routing decision under one
+    /// short lock — safe to call from the maintenance thread.
+    pub fn record(&self, record: FeedbackRecord) {
+        let mut state = self.state.lock().expect("controller state lock");
+        state.detector.observe(record.q_error());
+        state.stats.feedback_seen += 1;
+        state.stats.window_median = state.detector.median().unwrap_or(0.0);
+        // Deterministic stride routing: accumulate the fraction and peel a probe record
+        // whenever it crosses an integer (e.g. fraction 0.25 -> every 4th record).
+        state.route_count += 1;
+        state.probe_routed_acc += self.config.probe_fraction.clamp(0.0, 1.0);
+        if state.probe_routed_acc >= 1.0 {
+            state.probe_routed_acc -= 1.0;
+            state.stats.probe_routed += 1;
+            if state.probe.len() == self.config.probe_capacity.max(1) {
+                state.probe.remove(0);
+            }
+            state.probe.push(record);
+        } else {
+            state.fresh.push(record);
+        }
+        if self.refresh_possible(&state) {
+            self.trigger.notify_all();
+        }
+    }
+
+    /// Whether a refresh cycle would start right now (drift + enough fresh + a viable
+    /// probe set + no cycle already in flight).
+    fn refresh_possible(&self, state: &ControllerState) -> bool {
+        !state.refreshing
+            && state.detector.drifted()
+            && state.fresh.len() >= self.config.min_fresh
+            && state.probe.len() >= self.config.min_probe.max(1)
+    }
+
+    /// A point-in-time snapshot of the controller's counters.
+    pub fn stats(&self) -> OnlineStats {
+        self.state
+            .lock()
+            .expect("controller state lock")
+            .stats
+            .clone()
+    }
+
+    /// Runs one refresh cycle if the trigger conditions hold, returning its outcome
+    /// (`None` when nothing triggered).  The expensive phases — labelling, fine-tune,
+    /// probe gate — run on the calling thread with the intake lock *released*, so
+    /// serving and feedback intake continue untouched; the concluding hot swap is an
+    /// `Arc` pointer swap.
+    pub fn refresh_if_needed(&self) -> Option<RefreshOutcome> {
+        // Phase 0 — claim the cycle and take its inputs under the intake lock.
+        let (fresh, probe) = {
+            let mut state = self.state.lock().expect("controller state lock");
+            if !self.refresh_possible(&state) {
+                return None;
+            }
+            state.refreshing = true;
+            state.stats.refreshes_attempted += 1;
+            let fresh = std::mem::take(&mut state.fresh);
+            let probe = state.probe.clone();
+            (fresh, probe)
+        };
+        let outcome = self.run_cycle(&fresh, &probe);
+        // Phase 4 — publish the outcome and re-arm.
+        let mut state = self.state.lock().expect("controller state lock");
+        state.refreshing = false;
+        // Re-arm drift on post-refresh observations only (whatever the decision: a
+        // rejected candidate should not immediately re-trip on the same stale window).
+        state.detector.reset();
+        state.stats.window_median = 0.0;
+        match outcome.decision {
+            RefreshDecision::Applied => state.stats.refreshes_applied += 1,
+            RefreshDecision::RejectedByGate => state.stats.refreshes_rejected += 1,
+            RefreshDecision::NoTrainingPairs => state.stats.refreshes_without_pairs += 1,
+        }
+        state.stats.live_model_version = outcome.model_version;
+        state.stats.last_live_probe_median = outcome.live_probe_median;
+        state.stats.last_candidate_probe_median = outcome.candidate_probe_median;
+        Some(outcome)
+    }
+
+    /// The cycle body: label, mix, fine-tune, gate, swap.  Runs without the intake lock.
+    fn run_cycle(&self, fresh: &[FeedbackRecord], probe: &[FeedbackRecord]) -> RefreshOutcome {
+        // One flattened pool snapshot for the whole cycle, with every probe query
+        // *removed*: the maintenance lane upserts executed queries (including the
+        // probe-routed ones) into the pool with their true cardinalities, so a pool
+        // entry identical to a probe query would let BOTH models answer it from memory
+        // (q-error ≈ 1) and the gate would measure pool recall instead of model
+        // quality.  Probe queries are held out of the entire cycle: never an anchor in
+        // the gate's evaluations, never a labelling pairing.
+        let mut pool = self.service.pool().to_pool();
+        for record in probe {
+            pool.remove(&record.query);
+        }
+        let labeled = self
+            .labeler
+            .label(fresh, &pool, self.config.max_pairs_per_refresh);
+        if labeled.is_empty() {
+            return RefreshOutcome {
+                decision: RefreshDecision::NoTrainingPairs,
+                live_probe_median: 0.0,
+                candidate_probe_median: 0.0,
+                model_version: self.service.model_version(),
+                fresh_records: fresh.len(),
+                labeled_pairs: 0,
+                replayed: 0,
+                probe_records: probe.len(),
+            };
+        }
+
+        // Replay mix: draw history so that `replay_fraction` of the corpus is replayed
+        // (n_replay = fresh * f / (1 - f)), then bank the fresh labels for future cycles.
+        let (replayed, mut adam) = {
+            let mut state = self.state.lock().expect("controller state lock");
+            let fraction = self.config.replay_fraction.clamp(0.0, 0.9);
+            let want = ((labeled.len() as f64) * fraction / (1.0 - fraction)).round() as usize;
+            let replayed = state.replay.sample(want);
+            for sample in &labeled {
+                state.replay.push(sample.clone());
+            }
+            (replayed, state.adam.clone())
+        };
+        let mut corpus = labeled.clone();
+        corpus.extend(replayed.iter().cloned());
+
+        // Warm-start fine-tune of a clone, off the serving path.  On the very first
+        // cycle the clone's Adam moments belong to the initial fit's (discarded)
+        // optimizer — reset them once so the fresh step count and the moments agree;
+        // later cycles resume the moments their own refreshes produced.
+        let live = self.service.model();
+        let mut candidate = (*live).clone();
+        if adam.step_count == 0 {
+            candidate.reset_optimizer_state();
+        }
+        candidate.fit_incremental(&corpus, &mut adam, self.config.fine_tune_epochs);
+
+        // The validation gate: both models on the same probe set over the same pool and
+        // serving configuration.  Strictly-better or discarded.
+        let live_probe_median = self.probe_median(&live, &pool, probe);
+        let candidate_probe_median = self.probe_median(&candidate, &pool, probe);
+        if candidate_probe_median < live_probe_median {
+            let model_version = self.service.swap_model(candidate);
+            // The candidate's Adam moments are now live; resume its step count too.
+            self.state.lock().expect("controller state lock").adam = adam;
+            RefreshOutcome {
+                decision: RefreshDecision::Applied,
+                live_probe_median,
+                candidate_probe_median,
+                model_version,
+                fresh_records: fresh.len(),
+                labeled_pairs: labeled.len(),
+                replayed: replayed.len(),
+                probe_records: probe.len(),
+            }
+        } else {
+            // Discard the candidate (and its advanced Adam state — the moments live in
+            // the discarded parameters; the retained step count must keep matching the
+            // live model's moments).
+            RefreshOutcome {
+                decision: RefreshDecision::RejectedByGate,
+                live_probe_median,
+                candidate_probe_median,
+                model_version: self.service.model_version(),
+                fresh_records: fresh.len(),
+                labeled_pairs: labeled.len(),
+                replayed: replayed.len(),
+                probe_records: probe.len(),
+            }
+        }
+    }
+
+    /// Median q-error of one model over the probe set, evaluated through the sequential
+    /// `Cnt2Crd` path over the cycle's pool with the service's serving configuration —
+    /// bit-identical to what the service itself would serve for these queries under that
+    /// model (the parity contract), so the gate measures exactly the serving behaviour.
+    fn probe_median(&self, model: &CrnModel, pool: &QueriesPool, probe: &[FeedbackRecord]) -> f64 {
+        let estimator =
+            Cnt2Crd::new(model.clone(), pool.clone()).with_config(*self.service.config());
+        let errors: Vec<f64> = probe
+            .iter()
+            .map(|record| {
+                crn_nn::q_error(
+                    estimator.estimate(&record.query).max(CARDINALITY_FLOOR),
+                    (record.true_cardinality as f64).max(CARDINALITY_FLOOR),
+                    CARDINALITY_FLOOR,
+                )
+            })
+            .collect();
+        FinalFunction::Median.apply(&errors).unwrap_or(0.0)
+    }
+
+    /// Parks the calling thread until a refresh becomes possible or the timeout elapses
+    /// (the [`RefreshWorker`]'s wait primitive).  Returns whether a refresh is possible.
+    fn wait_for_trigger(&self, timeout: Duration) -> bool {
+        let state = self.state.lock().expect("controller state lock");
+        if self.refresh_possible(&state) {
+            return true;
+        }
+        let (state, _timed_out) = self
+            .trigger
+            .wait_timeout(state, timeout)
+            .expect("controller state lock");
+        self.refresh_possible(&state)
+    }
+}
+
+impl crn_serve::FeedbackObserver for RefreshController {
+    fn observe(&self, query: &Query, true_cardinality: u64, estimate: f64) {
+        self.record(FeedbackRecord {
+            query: query.clone(),
+            true_cardinality,
+            estimate,
+        });
+    }
+}
+
+impl std::fmt::Debug for RefreshController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefreshController")
+            .field("service", &self.service.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// The background trainer: a thread that parks on the controller's trigger and runs
+/// refresh cycles as they become possible — model refresh fully off the serving path.
+///
+/// Dropping (or [`stop`](RefreshWorker::stop)ping) the worker finishes any in-flight
+/// cycle and joins the thread.  Drivers that need determinism (demos, CI) skip the
+/// worker and pace [`RefreshController::refresh_if_needed`] themselves.
+pub struct RefreshWorker {
+    stop: Arc<Mutex<bool>>,
+    controller: Arc<RefreshController>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RefreshWorker {
+    /// Spawns the worker over a shared controller.  `poll_interval` bounds how long the
+    /// worker sleeps between trigger checks (it also wakes immediately when intake
+    /// signals a possible refresh).
+    pub fn spawn(controller: Arc<RefreshController>, poll_interval: Duration) -> Self {
+        let stop = Arc::new(Mutex::new(false));
+        let handle = {
+            let controller = Arc::clone(&controller);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("crn-online-refresh".into())
+                .spawn(move || loop {
+                    if *stop.lock().expect("stop flag lock") {
+                        return;
+                    }
+                    if controller.wait_for_trigger(poll_interval) {
+                        controller.refresh_if_needed();
+                    }
+                })
+                .expect("spawn refresh worker")
+        };
+        RefreshWorker {
+            stop,
+            controller,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared controller.
+    pub fn controller(&self) -> &Arc<RefreshController> {
+        &self.controller
+    }
+
+    /// Stops the worker: any in-flight cycle completes, then the thread joins.
+    pub fn stop(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        *self.stop.lock().expect("stop flag lock") = true;
+        // Wake the worker out of its timed park so it observes the flag promptly.
+        self.controller.trigger.notify_all();
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("refresh worker exits cleanly");
+        }
+    }
+}
+
+impl Drop for RefreshWorker {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_impl();
+        }
+    }
+}

@@ -49,5 +49,5 @@ pub mod runtime;
 pub mod ticket;
 
 pub use queue::{RejectReason, SubmitError};
-pub use runtime::{RuntimeConfig, RuntimeStats, ServeRuntime};
+pub use runtime::{FeedbackObserver, RuntimeConfig, RuntimeStats, ServeRuntime};
 pub use ticket::{Ticket, TicketOutcome};

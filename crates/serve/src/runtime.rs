@@ -20,15 +20,32 @@
 
 use crate::queue::{QueueState, SubmitError};
 use crate::ticket::{Ticket, TicketOutcome};
-use crn_core::{EstimatorService, ServeStats};
+use crn_core::{query_hash, EstimatorService, ServeStats};
 use crn_estimators::ContainmentEstimator;
 use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
 use crn_query::ast::Query;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Downstream consumer of the maintenance lane's observed feedback — the channel the
+/// online model-refresh subsystem (`crn-online`) listens on.
+///
+/// The maintenance thread calls [`observe`](FeedbackObserver::observe) for every record
+/// submitted through [`ServeRuntime::record_observed`] *after* its pool upsert applied,
+/// so an observer sees exactly the `(query, true cardinality, estimate)` triples that
+/// reached the pool, in application order.  Observers run on the maintenance thread:
+/// keep `observe` cheap (enqueue-and-return) — a slow observer stalls pool refreshes,
+/// never serving.  A panicking observer is contained separately from the (already
+/// applied) upsert: counted in [`RuntimeStats::observer_failed`], the lane keeps
+/// draining.
+pub trait FeedbackObserver: Send + Sync {
+    /// One applied feedback record: the executed query, its true cardinality, and the
+    /// estimate the runtime served for it (what the drift detector compares).
+    fn observe(&self, query: &Query, true_cardinality: u64, estimate: f64);
+}
 
 /// Configuration of one [`ServeRuntime`].
 #[derive(Debug, Clone)]
@@ -131,12 +148,19 @@ pub struct RuntimeStats {
     pub drain_closes: u64,
     /// Largest batch executed.
     pub max_batch: u64,
+    /// Requests answered from another in-window request's computed row: duplicate
+    /// queries inside one batch (by canonical query hash) are coalesced into a single
+    /// served row fanned out to every duplicate's ticket.
+    pub coalesced: u64,
     /// Maintenance records applied to the pool.
     pub maintenance_applied: u64,
     /// Maintenance records shed because the lane was at depth.
     pub maintenance_rejected: u64,
     /// Maintenance records whose upsert panicked (contained; the lane keeps draining).
     pub maintenance_failed: u64,
+    /// Applied records whose [`FeedbackObserver`] panicked (contained separately: the
+    /// upsert itself succeeded and stays counted in `maintenance_applied`).
+    pub observer_failed: u64,
     /// The accumulated per-layer serving stats over every executed batch
     /// (see [`ServeStats::accumulate`]).
     pub serve: ServeStats,
@@ -167,14 +191,25 @@ struct Counters {
     window_closes: AtomicU64,
     drain_closes: AtomicU64,
     max_batch: AtomicUsize,
+    coalesced: AtomicU64,
     maintenance_applied: AtomicU64,
     maintenance_rejected: AtomicU64,
     maintenance_failed: AtomicU64,
+    observer_failed: AtomicU64,
+}
+
+/// One queued maintenance record: the query, its observed true cardinality, and — when
+/// submitted through [`ServeRuntime::record_observed`] — the estimate the runtime served
+/// for it (forwarded to the [`FeedbackObserver`] after the upsert applies).
+struct MaintRecord {
+    query: Query,
+    cardinality: u64,
+    estimate: Option<f64>,
 }
 
 /// The maintenance lane's queue state (guarded by its own mutex).
 struct MaintState {
-    pending: VecDeque<(Query, u64)>,
+    pending: VecDeque<MaintRecord>,
     /// True while the maintenance thread is applying a popped record (so `flush` waits
     /// for the in-flight upsert, not just an empty queue).
     applying: bool,
@@ -199,6 +234,8 @@ struct Shared<M> {
     maint_ready: Condvar,
     /// Maintenance thread → `flush` waiters.
     maint_idle: Condvar,
+    /// The downstream feedback consumer (the online refresh controller), if any.
+    feedback_observer: Mutex<Option<Arc<dyn FeedbackObserver>>>,
     counters: Counters,
     serve_stats: Mutex<ServeStats>,
 }
@@ -241,6 +278,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             }),
             maint_ready: Condvar::new(),
             maint_idle: Condvar::new(),
+            feedback_observer: Mutex::new(None),
             counters: Counters::default(),
             serve_stats: Mutex::new(ServeStats::default()),
         });
@@ -361,6 +399,37 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     /// A full lane sheds the record ([`SubmitError::Overloaded`]); the next execution of
     /// the same query can resubmit it.
     pub fn record_feedback(&self, query: Query, cardinality: u64) -> Result<(), SubmitError> {
+        self.enqueue_maintenance(query, cardinality, None)
+    }
+
+    /// [`record_feedback`](ServeRuntime::record_feedback) carrying the estimate the
+    /// runtime served for the query: after the pool upsert applies, the full
+    /// `(query, true cardinality, estimate)` triple is forwarded to the configured
+    /// [`FeedbackObserver`] — the feedback channel of the online model-refresh
+    /// subsystem.  Without an observer this behaves exactly like `record_feedback`.
+    pub fn record_observed(
+        &self,
+        query: Query,
+        cardinality: u64,
+        estimate: f64,
+    ) -> Result<(), SubmitError> {
+        self.enqueue_maintenance(query, cardinality, Some(estimate))
+    }
+
+    /// Installs (or replaces) the downstream feedback consumer.  Applies to records
+    /// enqueued from now on; records already in the lane keep the observer that is
+    /// current when they apply.
+    pub fn set_feedback_observer(&self, observer: Arc<dyn FeedbackObserver>) {
+        *lock_ignoring_poison(&self.shared.feedback_observer) = Some(observer);
+    }
+
+    /// The shared admission step of both feedback shapes.
+    fn enqueue_maintenance(
+        &self,
+        query: Query,
+        cardinality: u64,
+        estimate: Option<f64>,
+    ) -> Result<(), SubmitError> {
         let mut state = lock_ignoring_poison(&self.shared.maint);
         if state.closed {
             return Err(SubmitError::ShuttingDown);
@@ -375,7 +444,11 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 pending: state.pending.len(),
             });
         }
-        state.pending.push_back((query, cardinality));
+        state.pending.push_back(MaintRecord {
+            query,
+            cardinality,
+            estimate,
+        });
         drop(state);
         self.shared.maint_ready.notify_all();
         Ok(())
@@ -413,9 +486,11 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             window_closes: counters.window_closes.load(Ordering::Relaxed),
             drain_closes: counters.drain_closes.load(Ordering::Relaxed),
             max_batch: counters.max_batch.load(Ordering::Relaxed) as u64,
+            coalesced: counters.coalesced.load(Ordering::Relaxed),
             maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
             maintenance_rejected: counters.maintenance_rejected.load(Ordering::Relaxed),
             maintenance_failed: counters.maintenance_failed.load(Ordering::Relaxed),
+            observer_failed: counters.observer_failed.load(Ordering::Relaxed),
             serve: lock_ignoring_poison(&self.shared.serve_stats).clone(),
         }
     }
@@ -516,20 +591,42 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
 
         // Phase 3 — execute the whole batch as ONE service call: this is where
         // cross-call traffic fuses into the service's multi-query head batches.
+        // Duplicate in-window queries (same canonical query hash, equality-checked
+        // against collisions) are coalesced into a single computed row whose estimate
+        // fans out to every duplicate's ticket — per-query results are independent of
+        // batch composition (the service's bit-parity contract), so a duplicate's answer
+        // is exactly what its own row would have computed.
         let closed_at = Instant::now();
         let batch_size = batch.len();
-        let mut queries = Vec::with_capacity(batch_size);
         let mut tickets = Vec::with_capacity(batch_size);
         let mut waits = Vec::with_capacity(batch_size);
+        let mut unique: Vec<Query> = Vec::with_capacity(batch_size);
+        let mut slots: Vec<usize> = Vec::with_capacity(batch_size);
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::with_capacity(batch_size);
         for request in batch {
-            queries.push(request.query);
+            let candidates = by_hash.entry(query_hash(&request.query)).or_default();
+            let slot = match candidates
+                .iter()
+                .copied()
+                .find(|&slot| unique[slot] == request.query)
+            {
+                Some(slot) => slot,
+                None => {
+                    let slot = unique.len();
+                    unique.push(request.query);
+                    candidates.push(slot);
+                    slot
+                }
+            };
+            slots.push(slot);
             tickets.push(request.ticket);
             waits.push(closed_at.saturating_duration_since(request.enqueued));
         }
+        let coalesced = batch_size - unique.len();
         // The worker pool propagates shard panics to its submitter — here, this thread.
         // Contain them: a panicked batch must neither strand its waiters (they re-raise
         // through their tickets) nor kill the scheduler (later batches still serve).
-        let response = catch_unwind(AssertUnwindSafe(|| shared.service.serve(&queries)));
+        let response = catch_unwind(AssertUnwindSafe(|| shared.service.serve(&unique)));
 
         // Phase 4 — bookkeeping, then resolve every ticket.
         let counters = &shared.counters;
@@ -540,18 +637,19 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             CloseReason::Drain => counters.drain_closes.fetch_add(1, Ordering::Relaxed),
         };
         counters.max_batch.fetch_max(batch_size, Ordering::Relaxed);
+        counters
+            .coalesced
+            .fetch_add(coalesced as u64, Ordering::Relaxed);
         match response {
             Ok(response) => {
-                debug_assert_eq!(response.estimates.len(), batch_size);
+                debug_assert_eq!(response.estimates.len(), unique.len());
                 counters
                     .completed
                     .fetch_add(batch_size as u64, Ordering::Relaxed);
                 lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
-                for ((ticket, estimate), queue_wait) in
-                    tickets.iter().zip(&response.estimates).zip(waits)
-                {
+                for ((ticket, &slot), queue_wait) in tickets.iter().zip(&slots).zip(waits) {
                     ticket.complete(TicketOutcome {
-                        estimate: *estimate,
+                        estimate: response.estimates[slot],
                         batch_size,
                         batch_seq,
                         queue_wait,
@@ -581,7 +679,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
 /// a time, concurrently with serving.
 fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     loop {
-        let (query, cardinality) = {
+        let record = {
             let mut state = lock_ignoring_poison(&shared.maint);
             loop {
                 if let Some(record) = state.pending.pop_front() {
@@ -598,13 +696,37 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // Same containment as the scheduler: a panicking upsert must not wedge `flush`
         // (the `applying` flag below) or kill the lane for later records.
         let applied = catch_unwind(AssertUnwindSafe(|| {
-            shared.service.pool().upsert(query, cardinality)
+            shared
+                .service
+                .pool()
+                .upsert(record.query.clone(), record.cardinality);
         }));
-        let counter = match applied {
+        let counter = match &applied {
             Ok(_) => &shared.counters.maintenance_applied,
             Err(_panic) => &shared.counters.maintenance_failed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        // Forward the applied triple to the online feedback channel, if one is
+        // listening.  After the upsert (an observer reacting to the record — e.g. by
+        // reading the pool — must see the refreshed entry), and contained separately:
+        // an observer panic must neither kill the lane nor mislabel the (successful)
+        // upsert as a maintenance failure.
+        if applied.is_ok() {
+            if let Some(estimate) = record.estimate {
+                let observer = lock_ignoring_poison(&shared.feedback_observer).clone();
+                if let Some(observer) = observer {
+                    let observed = catch_unwind(AssertUnwindSafe(|| {
+                        observer.observe(&record.query, record.cardinality, estimate);
+                    }));
+                    if observed.is_err() {
+                        shared
+                            .counters
+                            .observer_failed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
         let mut state = lock_ignoring_poison(&shared.maint);
         state.applying = false;
         if state.pending.is_empty() {

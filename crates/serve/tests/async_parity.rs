@@ -230,3 +230,74 @@ fn concurrent_callers_fuse_into_shared_batches() {
     );
     assert!(stats.mean_batch() > 1.0);
 }
+
+/// Duplicate in-window queries coalesce into one computed row fanned out to every
+/// duplicate's ticket — and the answers stay bit-identical to the synchronous reference
+/// (the dedupe must be invisible except in the work counters).
+#[test]
+fn duplicate_in_window_queries_coalesce_with_bit_parity() {
+    let db = generate_imdb(&ImdbConfig::tiny(76));
+    let pool = QueriesPool::generate(&db, 40, 1, 76);
+    let crn = trained_crn(&db, 76);
+    let distinct = workload(&db, 77, 4);
+    let reference = EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&pool, 2),
+        WorkerPool::shared(2),
+    );
+    let expected = reference.serve(&distinct).estimates;
+
+    let service = Arc::new(EstimatorService::new(
+        crn,
+        ShardedPool::from_pool(&pool, 2),
+        WorkerPool::shared(2),
+    ));
+    // A wide window so every caller's duplicate of the same query lands in one batch.
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default().with_window_us(50_000),
+    );
+    let rounds = 3usize;
+    std::thread::scope(|scope| {
+        for caller in 0..4u64 {
+            let runtime = &runtime;
+            let distinct = &distinct;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Every caller submits the SAME queries: each window holds up to 4
+                // duplicates of each, which must fan out from one computed row.
+                for _ in 0..rounds {
+                    let tickets: Vec<Ticket> = distinct
+                        .iter()
+                        .map(|query| runtime.submit_retrying(caller, query).expect("alive"))
+                        .collect();
+                    for (index, (ticket, e)) in tickets.iter().zip(expected).enumerate() {
+                        let outcome = ticket.wait();
+                        assert!(
+                            outcome.estimate == *e,
+                            "caller {caller} query {index}: coalesced {} vs reference {e}",
+                            outcome.estimate
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, (4 * rounds * distinct.len()) as u64);
+    assert!(
+        stats.coalesced > 0,
+        "4 callers submitting identical queries into 50ms windows must coalesce: {stats:?}"
+    );
+    // The service computed strictly fewer rows than the runtime resolved tickets — the
+    // aggregate serve stats count unique rows, the completion counter counts requests.
+    assert!(
+        stats.serve.queries < stats.completed as usize,
+        "coalescing must shrink the computed batches: {stats:?}"
+    );
+    assert_eq!(
+        stats.serve.queries as u64 + stats.coalesced,
+        stats.completed,
+        "every request is either computed or coalesced onto a computed row"
+    );
+}

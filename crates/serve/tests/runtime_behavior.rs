@@ -275,3 +275,82 @@ fn maintenance_lane_sheds_at_depth() {
     assert_eq!(runtime.service().pool().len(), 1);
     runtime.shutdown();
 }
+
+/// The feedback channel: `record_observed` triples reach the configured observer in
+/// application order and only after their upsert applied; plain `record_feedback`
+/// records (no estimate) never reach it; a panicking observer is contained exactly like
+/// a panicking upsert.
+#[test]
+fn feedback_observer_receives_applied_triples_in_order() {
+    struct Collector(std::sync::Mutex<Vec<(String, u64, f64)>>);
+    impl crn_serve::FeedbackObserver for Collector {
+        fn observe(&self, query: &Query, true_cardinality: u64, estimate: f64) {
+            self.0
+                .lock()
+                .unwrap()
+                .push((format!("{query}"), true_cardinality, estimate));
+        }
+    }
+
+    let runtime = instant_runtime(RuntimeConfig::default());
+    let collector = Arc::new(Collector(std::sync::Mutex::new(Vec::new())));
+    runtime.set_feedback_observer(Arc::clone(&collector) as Arc<dyn crn_serve::FeedbackObserver>);
+
+    let scans = ["title", "cast_info", "movie_companies"];
+    for (index, table) in scans.iter().enumerate() {
+        runtime
+            .record_observed(Query::scan(table), 100 + index as u64, 50.0 + index as f64)
+            .expect("maintenance admits");
+    }
+    // A record without an estimate refreshes the pool but is not part of the channel.
+    runtime
+        .record_feedback(Query::scan("movie_info"), 7)
+        .expect("maintenance admits");
+    runtime.flush();
+
+    let stats = runtime.stats();
+    assert_eq!(stats.maintenance_applied, 4, "all four records applied");
+    assert_eq!(runtime.service().pool().len(), 4);
+    let observed = collector.0.lock().unwrap().clone();
+    assert_eq!(observed.len(), 3, "only observed records reach the channel");
+    for (index, (query, cardinality, estimate)) in observed.iter().enumerate() {
+        assert!(query.contains(scans[index]), "application order preserved");
+        assert_eq!(*cardinality, 100 + index as u64);
+        assert_eq!(*estimate, 50.0 + index as f64);
+    }
+
+    // A panicking observer is contained separately from the upsert: the upsert itself
+    // applied (and stays counted as applied), the panic lands in observer_failed, and
+    // the lane survives.
+    struct PanickyObserver;
+    impl crn_serve::FeedbackObserver for PanickyObserver {
+        fn observe(&self, _query: &Query, _true_cardinality: u64, _estimate: f64) {
+            panic!("injected observer panic");
+        }
+    }
+    runtime.set_feedback_observer(Arc::new(PanickyObserver));
+    runtime
+        .record_observed(Query::scan("movie_keyword"), 9, 3.0)
+        .expect("maintenance admits");
+    runtime.flush();
+    let stats = runtime.stats();
+    assert_eq!(stats.observer_failed, 1, "observer panic contained");
+    assert_eq!(stats.maintenance_failed, 0, "the upsert itself succeeded");
+    assert_eq!(
+        stats.maintenance_applied, 5,
+        "the applied counter tracks the pool"
+    );
+    assert_eq!(runtime.service().pool().len(), 5);
+    // The lane keeps draining afterwards.
+    runtime.set_feedback_observer(collector);
+    runtime
+        .record_observed(Query::scan("movie_info_idx"), 11, 4.0)
+        .expect("maintenance admits");
+    runtime.flush();
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.maintenance_applied, 6,
+        "4 initial + panicky-observer + 1 more"
+    );
+    runtime.shutdown();
+}
