@@ -49,7 +49,7 @@ fn run_closed_loop(runtime: &ServeRuntime<crn_core::CrnModel>, queries: &[Query]
                     let ticket = runtime
                         .submit_retrying(caller as u64, query)
                         .expect("the bench owns the runtime");
-                    black_box(ticket.wait());
+                    black_box(ticket.wait().expect("served"));
                 }
             });
         }

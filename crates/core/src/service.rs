@@ -381,6 +381,20 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
         self.serve(std::slice::from_ref(query)).estimates[0]
     }
 
+    /// The service's degraded answer for one query: the configured fallback estimator if
+    /// one is installed, else the flat default estimate — exactly what `serve` resolves
+    /// a query to when no pool entry survives the ε-filter.  The serving runtime uses
+    /// this to answer tickets whose batch panicked (tagged `Degraded`): a reduced-
+    /// fidelity estimate within budget instead of a hang or an error.  Deliberately
+    /// avoids the pool/model/worker-pool machinery — the paths a mid-batch panic may
+    /// have been caused by.
+    pub fn fallback_estimate(&self, query: &Query) -> f64 {
+        match &self.fallback {
+            Some(fallback) => fallback.estimate(query),
+            None => self.config.default_estimate,
+        }
+    }
+
     /// One work item: a FROM-clause group of queries against one shard's matching anchors,
     /// computed under one model snapshot (the one `serve` took for the whole batch).
     /// Returns per-query (in group order) per-entry estimate lists, ε-filtered.

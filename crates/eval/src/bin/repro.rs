@@ -7,7 +7,9 @@
 //! repro <experiment-id> [<experiment-id> ...] [--preset ...]
 //! repro serve [--preset ...] [--shards N] [--threads N] [--queries N] [--batch N]
 //!             [--async] [--batch-window-us N] [--queue-depth N] [--callers N]
-//!             [--bench-json <path>]
+//!             [--online] [--refresh-interval N] [--probe-frac F] [--gate-margin F]
+//!             [--deadline-us N] [--restart-budget N] [--checkpoint-dir D]
+//!             [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]
 //! repro list
 //! ```
 //!
@@ -233,6 +235,45 @@ fn run_serve(args: &[String]) {
             "--bench-json" => {
                 config.bench_json = Some(flag_value(&mut iter, "--bench-json"));
             }
+            "--gate-margin" => {
+                let value = flag_value(&mut iter, "--gate-margin");
+                config.gate_margin = match value.parse::<f64>() {
+                    Ok(parsed) if (0.0..=0.9).contains(&parsed) => parsed,
+                    _ => {
+                        eprintln!("--gate-margin requires a fraction in [0, 0.9], got {value}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--deadline-us" => {
+                config.deadline_us = Some(parse_count(
+                    &flag_value(&mut iter, "--deadline-us"),
+                    "--deadline-us",
+                ) as u64);
+            }
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(flag_value(&mut iter, "--checkpoint-dir"));
+            }
+            "--checkpoint-every" => {
+                // Zero is legitimate: the directory is still restored from (and the
+                // crash-restore demo writes explicitly), cadence writes are just off.
+                let value = flag_value(&mut iter, "--checkpoint-every");
+                config.checkpoint_every = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--checkpoint-every requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--restart-budget" => {
+                // Zero is legitimate: the first panic of a lane degrades it.
+                let value = flag_value(&mut iter, "--restart-budget");
+                config.restart_budget = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--restart-budget requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                }));
+            }
+            "--chaos" => {
+                config.chaos = Some(flag_value(&mut iter, "--chaos"));
+            }
             "--help" | "-h" => {
                 print_serve_usage();
                 return;
@@ -271,7 +312,11 @@ fn print_serve_usage() {
          [--queries N] [--batch N]\n\
          \x20                  [--async] [--batch-window-us N] [--queue-depth N] \
          [--callers N] [--bench-json <path>]\n\
-         \x20                  [--online] [--refresh-interval N] [--probe-frac F]\n\
+         \x20                  [--online] [--refresh-interval N] [--probe-frac F] \
+         [--gate-margin F]\n\
+         \x20                  [--deadline-us N] [--restart-budget N] \
+         [--checkpoint-dir D] [--checkpoint-every N]\n\
+         \x20                  [--chaos <plan>|crash-restore]\n\
          \n\
          Serves a synthetic workload through the sharded estimator service — \
          synchronously in --batch-sized\n\
@@ -336,7 +381,48 @@ fn print_serve_usage() {
          batch) absorbs bursts\n\
          without unbounded queueing; depth 1 degenerates to one-request batches \
          (parity-testing floor).\n\
-         Per-caller fairness quotas are queue-depth / callers."
+         Per-caller fairness quotas are queue-depth / callers.\n\
+         \n\
+         Choosing --deadline-us (async): the per-request staleness bound.  A queued \
+         request past its\n\
+         deadline is shed with an Expired resolution instead of executing — set it to \
+         the point where a\n\
+         late estimate is worthless to the optimizer (a few ms for interactive \
+         planning); off by default\n\
+         because expiry under overload is load-shedding policy, not a safety \
+         requirement.\n\
+         \n\
+         Choosing --restart-budget: panics per lane per minute the supervisor absorbs \
+         by restarting\n\
+         before declaring the lane sick and degrading (scheduler -> synchronous \
+         serving on the caller\n\
+         thread, maintenance -> loud shedding).  The default 3 rides out isolated \
+         poison queries; 0 turns\n\
+         every panic into an immediate degrade (strictest CI setting).\n\
+         \n\
+         Choosing --checkpoint-every: applied maintenance records between checkpoint \
+         writes to\n\
+         --checkpoint-dir (atomic temp-file + rename, checksum-verified manifest; \
+         restored on startup).\n\
+         The cadence bounds replayable loss: ~the records you can afford to re-learn \
+         after a crash.\n\
+         Writes serialize the full pool + model, so cadences below ~64 records tax the \
+         maintenance lane\n\
+         on busy feeds; 0 disables cadence writes.\n\
+         \n\
+         Choosing --chaos: a deterministic fault plan, either 'crash-restore' (kill \
+         the process state at\n\
+         the workload midpoint, restore from the checkpoint, require bit-identical \
+         estimates) or\n\
+         comma-separated site:trigger specs over sites batch-panic, scheduler-kill, \
+         maint-panic,\n\
+         maint-kill, checkpoint-fail, refresh-panic — e.g. \
+         'batch-panic:2,maint-kill,checkpoint-fail:every2'\n\
+         (bare site = first occurrence, :N = Nth, :everyN = every Nth).  Occurrence \
+         counts, not timers:\n\
+         the same plan always kills the same batch.  The run fails unless every \
+         admitted ticket resolves;\n\
+         BENCH_chaos.json (via --bench-json) carries the full resolution accounting."
     );
 }
 
@@ -359,7 +445,9 @@ fn print_usage() {
         "       repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
          [--queries N] [--batch N] [--async] [--batch-window-us N] [--queue-depth N] \
          [--callers N] [--online] [--refresh-interval N] [--probe-frac F] \
-         [--bench-json <path>]  (see `repro serve --help`)"
+         [--gate-margin F] [--deadline-us N] [--restart-budget N] [--checkpoint-dir D] \
+         [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]  \
+         (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
 }

@@ -24,13 +24,19 @@
 
 use crate::harness::{ExperimentConfig, ExperimentContext};
 use crate::metrics::QErrorSummary;
-use crn_core::{Cnt2Crd, CrnModel, EstimatorService, ServeStats, ShardedPool};
+use crn_core::{Cnt2Crd, CrnModel, EstimatorService, QueriesPool, ServeStats, ShardedPool};
 use crn_estimators::{CardinalityEstimator, PostgresEstimator};
 use crn_nn::parallel::WorkerPool;
-use crn_online::{ExecLabeler, OnlineConfig, RefreshController, RefreshDecision, RefreshOutcome};
+use crn_online::{
+    Checkpoint, CheckpointError, CheckpointSink, ExecLabeler, OnlineConfig, RefreshController,
+    RefreshDecision, RefreshOutcome,
+};
 use crn_query::generator::{GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
 use crn_query::Query;
-use crn_serve::{FeedbackObserver, RuntimeConfig, ServeRuntime};
+use crn_serve::{
+    CheckpointWriter, FaultInjector, FaultPlan, FeedbackObserver, RuntimeConfig, ServeRuntime,
+    SupervisorPolicy,
+};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -72,6 +78,25 @@ pub struct ServeDemoConfig {
     /// Fraction of the feedback stream held out as the validation gate's probe set
     /// (`--probe-frac`).
     pub probe_fraction: f64,
+    /// Relative margin a refresh candidate must beat the live model by at the
+    /// validation gate (`--gate-margin`, default 0 = strictly better).
+    pub gate_margin: f64,
+    /// Per-request deadline in µs for async submissions (`--deadline-us`); `None`
+    /// disables deadlines (requests wait however long the queue takes).
+    pub deadline_us: Option<u64>,
+    /// Checkpoint directory (`--checkpoint-dir`): restored from on startup when it
+    /// holds a committed checkpoint, written to on the maintenance cadence.
+    pub checkpoint_dir: Option<String>,
+    /// Applied maintenance records between checkpoint writes (`--checkpoint-every`);
+    /// 0 disables cadence-driven checkpoints.
+    pub checkpoint_every: u64,
+    /// Per-lane restart budget inside the supervisor's window (`--restart-budget`);
+    /// `None` keeps the default policy.
+    pub restart_budget: Option<u32>,
+    /// Deterministic fault plan (`--chaos`): either `crash-restore` (the kill-and-
+    /// recover checkpoint demo) or a [`FaultPlan`] spec like
+    /// `batch-panic:2,maint-kill,checkpoint-fail:every2`.
+    pub chaos: Option<String>,
 }
 
 impl ServeDemoConfig {
@@ -93,6 +118,12 @@ impl ServeDemoConfig {
             online: false,
             refresh_interval: 16,
             probe_fraction: 0.25,
+            gate_margin: 0.0,
+            deadline_us: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restart_budget: None,
+            chaos: None,
         }
     }
 }
@@ -164,10 +195,42 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         ctx.pool.num_from_clauses()
     )];
 
-    let sharded = ShardedPool::from_pool(&ctx.pool, config.shards);
+    // Startup restore: with --checkpoint-dir pointing at a committed checkpoint, the
+    // serving state (pool + model, optimizer moments included) comes from disk instead
+    // of the freshly-built context — a restarted process resumes exactly where the
+    // crashed one checkpointed.  A corrupt or version-skewed checkpoint fails loudly;
+    // only a *missing* one falls back to the fresh context.
+    let (model, base_pool) = match config.checkpoint_dir.as_deref() {
+        Some(dir) => {
+            let restore_started = Instant::now();
+            match Checkpoint::load(dir) {
+                Ok((checkpoint, manifest)) => {
+                    lines.push(format!(
+                        "[serve] restored checkpoint seq {} (model v{}, pool {} entries) \
+                         from {dir} in {:.0}us",
+                        manifest.sequence,
+                        checkpoint.model_version,
+                        checkpoint.pool.len(),
+                        restore_started.elapsed().as_secs_f64() * 1e6,
+                    ));
+                    (checkpoint.model, checkpoint.pool)
+                }
+                Err(CheckpointError::Missing) => {
+                    lines.push(format!(
+                        "[serve] no committed checkpoint in {dir}; starting fresh"
+                    ));
+                    (ctx.crn.clone(), ctx.pool.clone())
+                }
+                Err(e) => return Err(format!("checkpoint restore from {dir} failed: {e}")),
+            }
+        }
+        None => (ctx.crn.clone(), ctx.pool.clone()),
+    };
+
+    let sharded = ShardedPool::from_pool(&base_pool, config.shards);
     let workers = WorkerPool::shared(config.threads.max(1));
     let service = Arc::new(
-        EstimatorService::new(ctx.crn.clone(), sharded, workers)
+        EstimatorService::new(model.clone(), sharded, workers)
             .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
     );
 
@@ -178,8 +241,30 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
     let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
     workload.truncate(config.queries.max(1));
 
-    let sequential = Cnt2Crd::new(ctx.crn.clone(), ctx.pool.clone())
-        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let sequential =
+        Cnt2Crd::new(model, base_pool).with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+
+    if let Some(plan) = &config.chaos {
+        let summary = if plan.trim() == "crash-restore" {
+            run_crash_restore_demo(config, &ctx, &workload, &mut lines)
+        } else {
+            run_chaos_demo(config, &ctx, &service, plan, &workload, &mut lines)
+        };
+        let summary = match summary {
+            Ok(summary) => summary,
+            Err(violation) => {
+                eprintln!("{}", lines.join("\n"));
+                return Err(violation);
+            }
+        };
+        if let Some(path) = &config.bench_json {
+            let json =
+                serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lines.push(format!("[serve] wrote chaos bench summary to {path}"));
+        }
+        return Ok(lines.join("\n"));
+    }
 
     if config.online {
         let summary =
@@ -314,19 +399,21 @@ fn run_async_demo(
     lines: &mut Vec<String>,
 ) -> Result<BenchRecord, String> {
     let callers = config.callers.max(1);
-    let runtime_config = RuntimeConfig::default()
-        .with_window_us(config.batch_window_us)
-        .with_queue_depth(config.queue_depth.max(1))
-        .with_per_caller_depth((config.queue_depth.max(1) / callers).max(1))
-        .with_batch_max(config.batch.max(1));
+    let runtime_config = resilient_runtime_config(config, callers);
     let runtime = ServeRuntime::new(Arc::clone(service), runtime_config);
+    attach_checkpoint_sink(config, service, &runtime, lines);
     lines.push(format!(
         "[serve] async runtime up: window {}us, queue depth {}, per-caller quota {}, \
-         batch max {}",
+         batch max {}, deadline {}, restart budget {}/lane",
         config.batch_window_us,
         runtime.config().queue_depth,
         runtime.config().per_caller_depth,
         runtime.config().batch_max,
+        match config.deadline_us {
+            Some(us) => format!("{us}us"),
+            None => "off".to_string(),
+        },
+        runtime.config().restart_policy.max_restarts,
     ));
 
     // Parity tripwire: the first batch goes through the *runtime* (so the whole
@@ -334,16 +421,7 @@ fn run_async_demo(
     // single-query semantics.  Closed-loop one at a time: the warmup then neither skews
     // `max_batch` nor the fusion stats of the measured run below.
     let first_batch = &workload[..workload.len().min(config.batch.max(1))];
-    let estimates: Vec<f64> = first_batch
-        .iter()
-        .map(|query| {
-            runtime
-                .submit_retrying(0, query)
-                .expect("the driver owns the runtime")
-                .wait()
-                .estimate
-        })
-        .collect();
+    let estimates = serve_all(&runtime, 0, first_batch)?;
     verify_parity(&estimates, first_batch, sequential, "async")?;
     lines.push(format!(
         "[serve] parity check passed: {} async estimates bit-identical to the sequential \
@@ -370,8 +448,12 @@ fn run_async_demo(
                                 .submit_retrying(caller as u64, query)
                                 .expect("the driver owns the runtime")
                                 .wait();
-                            own.push(submitted.elapsed().as_secs_f64() * 1e6);
-                            debug_assert!(outcome.estimate >= 0.0);
+                            // Expired/failed tickets are visible in the runtime's own
+                            // counters; only served requests fund the latency sample.
+                            if let Ok(outcome) = outcome {
+                                own.push(submitted.elapsed().as_secs_f64() * 1e6);
+                                debug_assert!(outcome.estimate >= 0.0);
+                            }
                         }
                     }
                     own
@@ -423,6 +505,28 @@ fn run_async_demo(
         stats.maintenance_applied,
         stats.maintenance_failed,
         service.pool().len(),
+    ));
+    lines.push(format!(
+        "[serve] resilience: {} expired, {} failed, {} degraded, {} sync-served; \
+         restarts scheduler {} maintenance {}{}{}; checkpoints {} written, {} failed",
+        stats.expired,
+        stats.failed,
+        stats.degraded,
+        stats.sync_served,
+        stats.scheduler_restarts,
+        stats.maintenance_restarts,
+        if stats.degraded_sync_mode {
+            " [DEGRADED-SYNC]"
+        } else {
+            ""
+        },
+        if stats.maintenance_down {
+            " [MAINTENANCE DOWN]"
+        } else {
+            ""
+        },
+        stats.checkpoints_written,
+        stats.checkpoints_failed,
     ));
     lines.push(format!(
         "[serve] aggregate (incl. parity warmup) {}",
@@ -522,10 +626,13 @@ fn serve_all(
     queries
         .iter()
         .map(|query| {
-            runtime
+            let ticket = runtime
                 .submit_retrying(caller, query)
-                .map(|ticket| ticket.wait().estimate)
-                .map_err(|e| format!("submission failed: {e}"))
+                .map_err(|e| format!("submission failed: {e}"))?;
+            ticket
+                .wait()
+                .map(|outcome| outcome.estimate)
+                .map_err(|e| format!("ticket unresolved: {e}"))
         })
         .collect()
 }
@@ -619,6 +726,7 @@ fn run_online_demo(
         min_probe: 6,
         fine_tune_epochs: 8,
         seed: ctx.config.seed,
+        gate_margin: config.gate_margin,
         ..OnlineConfig::default()
     };
     let controller = Arc::new(RefreshController::new(
@@ -822,6 +930,455 @@ fn run_online_demo(
     })
 }
 
+/// The shared runtime configuration of the async/chaos demos: batching knobs plus the
+/// fault-tolerance knobs (deadline, restart budget, checkpoint cadence).
+fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> RuntimeConfig {
+    let mut runtime_config = RuntimeConfig::default()
+        .with_window_us(config.batch_window_us)
+        .with_queue_depth(config.queue_depth.max(1))
+        .with_per_caller_depth((config.queue_depth.max(1) / callers).max(1))
+        .with_batch_max(config.batch.max(1))
+        .with_checkpoint_every(config.checkpoint_every);
+    if let Some(micros) = config.deadline_us {
+        runtime_config = runtime_config.with_deadline_us(micros);
+    }
+    if let Some(budget) = config.restart_budget {
+        runtime_config = runtime_config
+            .with_restart_policy(SupervisorPolicy::default().with_max_restarts(budget));
+    }
+    runtime_config
+}
+
+/// Wires a [`CheckpointSink`] into the runtime's maintenance lane when
+/// `--checkpoint-dir` is set (the cadence itself comes from `--checkpoint-every`).
+fn attach_checkpoint_sink(
+    config: &ServeDemoConfig,
+    service: &Arc<EstimatorService<CrnModel>>,
+    runtime: &ServeRuntime<CrnModel>,
+    lines: &mut Vec<String>,
+) {
+    if let Some(dir) = &config.checkpoint_dir {
+        let sink = Arc::new(CheckpointSink::new(Arc::clone(service), dir.clone()));
+        runtime.set_checkpoint_writer(sink as Arc<dyn CheckpointWriter>);
+        lines.push(format!(
+            "[serve] checkpointing to {dir} every {} applied maintenance records",
+            config.checkpoint_every
+        ));
+    }
+}
+
+/// The `BENCH_chaos.json` shape: the fault-injection run's resolution accounting.  The
+/// headline field is `unresolved`, which must be 0 — every admitted ticket resolves
+/// (computed, degraded, expired or failed) under every plan.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosBenchSummary {
+    /// Format version tag for downstream tooling.
+    pub schema: String,
+    /// The experiment preset.
+    pub preset: String,
+    /// The fault plan driven (`crash-restore` or a [`FaultPlan`] spec).
+    pub plan: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Closed-loop callers.
+    pub callers: usize,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Tickets resolved with a computed estimate.
+    pub completed: u64,
+    /// Tickets resolved with a degraded (fallback-path) estimate.
+    pub degraded: u64,
+    /// Tickets shed at their deadline.
+    pub expired: u64,
+    /// Tickets failed outright (fallback path itself panicked).
+    pub failed: u64,
+    /// `submitted - (completed + degraded + expired + failed)` — MUST be 0.
+    pub unresolved: u64,
+    /// Requests served synchronously on the caller thread after a scheduler degrade.
+    pub sync_served: u64,
+    /// Whether the run ended in degraded synchronous serving.
+    pub degraded_sync_mode: bool,
+    /// Whether the maintenance lane was down at shutdown.
+    pub maintenance_down: bool,
+    /// Supervisor restarts of the scheduler lane.
+    pub scheduler_restarts: u64,
+    /// Supervisor restarts of the maintenance lane.
+    pub maintenance_restarts: u64,
+    /// Faults the injector actually fired.
+    pub faults_injected: u64,
+    /// Maintenance records applied / failed.
+    pub maintenance_applied: u64,
+    /// See [`ChaosBenchSummary::maintenance_applied`].
+    pub maintenance_failed: u64,
+    /// Checkpoints committed / failed during the run.
+    pub checkpoints_written: u64,
+    /// See [`ChaosBenchSummary::checkpoints_written`].
+    pub checkpoints_failed: u64,
+    /// Crash-restore only: µs to load + verify + rebuild serving state from disk.
+    pub restore_micros: Option<f64>,
+    /// Crash-restore only: whether the restored run's estimates were bit-identical to
+    /// the uninterrupted run's.
+    pub bit_identical: Option<bool>,
+}
+
+/// The deterministic fault-injection demo (`repro serve --chaos <plan>`): drives the
+/// workload through a runtime whose injector fires the plan's faults at exact
+/// occurrence counts (no wall clock, no randomness — the same plan always kills the
+/// same batch), then checks the headline invariant: **every admitted ticket resolved**.
+fn run_chaos_demo(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    service: &Arc<EstimatorService<CrnModel>>,
+    plan_text: &str,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<ChaosBenchSummary, String> {
+    let plan = FaultPlan::parse(plan_text).map_err(|e| format!("--chaos: {e}"))?;
+    let injector = FaultInjector::new(plan);
+    let callers = config.callers.max(1);
+    let runtime = ServeRuntime::with_faults(
+        Arc::clone(service),
+        resilient_runtime_config(config, callers),
+        Arc::clone(&injector),
+    );
+    attach_checkpoint_sink(config, service, &runtime, lines);
+    lines.push(format!(
+        "[serve] chaos runtime up: plan '{plan_text}', {} callers, deadline {}, restart \
+         budget {}/lane",
+        callers,
+        match config.deadline_us {
+            Some(us) => format!("{us}us"),
+            None => "off".to_string(),
+        },
+        runtime.config().restart_policy.max_restarts,
+    ));
+
+    // The load phase: closed-loop callers, every outcome tallied, none unwrapped — a
+    // hung `wait()` here is exactly the bug the invariant exists to catch.
+    let run_started = Instant::now();
+    std::thread::scope(|scope| {
+        for caller in 0..callers {
+            let runtime = &runtime;
+            scope.spawn(move || {
+                for (index, query) in workload.iter().enumerate() {
+                    if index % callers == caller {
+                        if let Ok(ticket) = runtime.submit_retrying(caller as u64, query) {
+                            // Any resolution is acceptable under chaos; what is not
+                            // acceptable is no resolution (wait() blocking forever).
+                            let _ = ticket.wait();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The maintenance phase: feedback records so maintenance-lane faults (maint-panic,
+    // maint-kill, checkpoint-fail) have upserts to fire on.
+    let executor = crn_exec::Executor::new(&ctx.db);
+    let mut feedback_sent = 0usize;
+    for query in workload.iter().take(workload.len().min(12)) {
+        let cardinality = executor.cardinality(query);
+        if runtime.record_feedback(query.clone(), cardinality).is_ok() {
+            feedback_sent += 1;
+        }
+    }
+    runtime.flush();
+    let elapsed = run_started.elapsed();
+
+    let fired: Vec<String> = injector
+        .fired()
+        .iter()
+        .map(|fault| format!("{}#{}", fault.site.name(), fault.occurrence))
+        .collect();
+    let stats = runtime.shutdown();
+    lines.push(format!(
+        "[serve] chaos: {} faults fired [{}] in {:.3}s; {} submitted -> {} computed, {} \
+         degraded, {} expired, {} failed ({} sync-served); restarts scheduler {} \
+         maintenance {}{}{}",
+        stats.faults_injected,
+        fired.join(", "),
+        elapsed.as_secs_f64(),
+        stats.submitted,
+        stats.completed,
+        stats.degraded,
+        stats.expired,
+        stats.failed,
+        stats.sync_served,
+        stats.scheduler_restarts,
+        stats.maintenance_restarts,
+        if stats.degraded_sync_mode {
+            " [DEGRADED-SYNC]"
+        } else {
+            ""
+        },
+        if stats.maintenance_down {
+            " [MAINTENANCE DOWN]"
+        } else {
+            ""
+        },
+    ));
+    lines.push(format!(
+        "[serve] chaos maintenance: {} of {feedback_sent} records applied, {} failed; \
+         checkpoints {} written, {} failed",
+        stats.maintenance_applied,
+        stats.maintenance_failed,
+        stats.checkpoints_written,
+        stats.checkpoints_failed,
+    ));
+
+    let resolved = stats.completed + stats.degraded + stats.expired + stats.failed;
+    let unresolved = stats.submitted.saturating_sub(resolved);
+    if unresolved != 0 {
+        return Err(format!(
+            "chaos invariant violated: {} of {} admitted tickets never resolved \
+             (plan '{plan_text}')",
+            unresolved, stats.submitted
+        ));
+    }
+    lines.push(format!(
+        "[serve] chaos invariant holds: all {} admitted tickets resolved",
+        stats.submitted
+    ));
+    Ok(ChaosBenchSummary {
+        schema: "crn-chaos-bench-v1".to_string(),
+        preset: config.preset_label.clone(),
+        plan: plan_text.to_string(),
+        threads: config.threads,
+        callers,
+        submitted: stats.submitted,
+        completed: stats.completed,
+        degraded: stats.degraded,
+        expired: stats.expired,
+        failed: stats.failed,
+        unresolved,
+        sync_served: stats.sync_served,
+        degraded_sync_mode: stats.degraded_sync_mode,
+        maintenance_down: stats.maintenance_down,
+        scheduler_restarts: stats.scheduler_restarts,
+        maintenance_restarts: stats.maintenance_restarts,
+        faults_injected: stats.faults_injected,
+        maintenance_applied: stats.maintenance_applied,
+        maintenance_failed: stats.maintenance_failed,
+        checkpoints_written: stats.checkpoints_written,
+        checkpoints_failed: stats.checkpoints_failed,
+        restore_micros: None,
+        bit_identical: None,
+    })
+}
+
+/// Serves `segment` closed-loop on one caller, feeding each served `(query, truth,
+/// estimate)` triple through the maintenance lane, then flushes and shuts down —
+/// returning the runtime's final stats.  The building block of the crash-restore demo:
+/// both lineages (uninterrupted and restored) run their halves through this exact path,
+/// so any divergence is attributable to the checkpoint round-trip alone.
+fn serve_segment_with_feedback(
+    config: &ServeDemoConfig,
+    service: &Arc<EstimatorService<CrnModel>>,
+    observer: Option<&Arc<RefreshController>>,
+    segment: &[Query],
+    truths: &[u64],
+) -> Result<crn_serve::RuntimeStats, String> {
+    let runtime = ServeRuntime::new(Arc::clone(service), resilient_runtime_config(config, 1));
+    if let Some(observer) = observer {
+        runtime.set_feedback_observer(Arc::clone(observer) as Arc<dyn FeedbackObserver>);
+    }
+    for (query, truth) in segment.iter().zip(truths) {
+        let estimate = runtime
+            .submit_retrying(0, query)
+            .map_err(|e| format!("submission failed: {e}"))?
+            .wait()
+            .map_err(|e| format!("ticket unresolved: {e}"))?
+            .estimate;
+        runtime
+            .record_observed(query.clone(), *truth, estimate)
+            .map_err(|e| format!("maintenance rejected feedback: {e}"))?;
+    }
+    runtime.flush();
+    Ok(runtime.shutdown())
+}
+
+/// The crash-and-restore demo (`repro serve --chaos crash-restore`): runs the workload
+/// twice — once uninterrupted, once "crashed" at the midpoint and restored from the
+/// checkpoint written there — and requires the two lineages' final estimates to be
+/// **bit-identical** over the whole workload.  The checkpoint round-trip (pool, model,
+/// optimizer moments and controller counters, through JSON and back) is the only thing
+/// that differs between the lineages, so this pins exact-restoration end to end.
+fn run_crash_restore_demo(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<ChaosBenchSummary, String> {
+    let threads = config.threads.max(1);
+    let executor = crn_exec::Executor::new(&ctx.db);
+    let truths: Vec<u64> = workload.iter().map(|q| executor.cardinality(q)).collect();
+    let split = (workload.len() / 2).max(1).min(workload.len());
+    let (first_half, second_half) = workload.split_at(split);
+    let (first_truths, second_truths) = truths.split_at(split);
+    let build_service = |model: CrnModel, pool: &QueriesPool| {
+        Arc::new(
+            EstimatorService::new(
+                model,
+                ShardedPool::from_pool(pool, config.shards),
+                WorkerPool::shared(threads),
+            )
+            .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
+        )
+    };
+    let (dir, ephemeral_dir) = match &config.checkpoint_dir {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("crn_crash_restore_{}", std::process::id())),
+            true,
+        ),
+    };
+
+    // Lineage A — uninterrupted: both halves, then the final estimates over the whole
+    // workload (the reference the restored lineage must match bit for bit).
+    let reference_service = build_service(ctx.crn.clone(), &ctx.pool);
+    serve_segment_with_feedback(config, &reference_service, None, first_half, first_truths)?;
+    serve_segment_with_feedback(config, &reference_service, None, second_half, second_truths)?;
+    let reference = reference_service.serve(workload).estimates;
+    lines.push(format!(
+        "[serve] crash-restore: uninterrupted lineage done ({} queries, pool now {} \
+         entries)",
+        workload.len(),
+        reference_service.pool().len(),
+    ));
+
+    // Lineage B — crashed: first half with a live refresh controller observing the
+    // feedback, checkpoint at the midpoint, then the process state is dropped.
+    let crashed_service = build_service(ctx.crn.clone(), &ctx.pool);
+    let controller = Arc::new(RefreshController::new(
+        Arc::clone(&crashed_service),
+        Box::new(ExecLabeler::new(Arc::new(ctx.db.clone()), threads)),
+        OnlineConfig {
+            gate_margin: config.gate_margin,
+            ..OnlineConfig::default()
+        },
+    ));
+    let first_stats = serve_segment_with_feedback(
+        config,
+        &crashed_service,
+        Some(&controller),
+        first_half,
+        first_truths,
+    )?;
+    let sink = CheckpointSink::new(Arc::clone(&crashed_service), dir.clone())
+        .with_controller(Arc::clone(&controller));
+    let manifest = sink
+        .write()
+        .map_err(|e| format!("midpoint checkpoint: {e}"))?;
+    let counters_at_crash = controller.stats();
+    lines.push(format!(
+        "[serve] crash-restore: checkpoint seq {} committed at the midpoint ({} feedback \
+         records observed); crashing",
+        manifest.sequence, counters_at_crash.feedback_seen,
+    ));
+    drop(sink);
+    drop(controller);
+    drop(crashed_service); // the "crash": every in-memory artifact of lineage B is gone
+
+    // Restore: load + verify + rebuild the service and controller from disk alone.
+    let restore_started = Instant::now();
+    let (checkpoint, loaded_manifest) =
+        Checkpoint::load(&dir).map_err(|e| format!("restore: {e}"))?;
+    let restored_service = build_service(checkpoint.model, &checkpoint.pool);
+    let restored_controller = Arc::new(RefreshController::new(
+        Arc::clone(&restored_service),
+        Box::new(ExecLabeler::new(Arc::new(ctx.db.clone()), threads)),
+        OnlineConfig {
+            gate_margin: config.gate_margin,
+            ..OnlineConfig::default()
+        },
+    ));
+    let online_state = checkpoint
+        .online
+        .ok_or("restore: checkpoint holds no controller state")?;
+    restored_controller.restore_state(online_state);
+    let restore_micros = restore_started.elapsed().as_secs_f64() * 1e6;
+    if loaded_manifest != manifest {
+        return Err("restore: reloaded manifest differs from the committed one".to_string());
+    }
+    let restored_counters = restored_controller.stats();
+    if restored_counters.feedback_seen != counters_at_crash.feedback_seen
+        || restored_counters.refreshes_attempted != counters_at_crash.refreshes_attempted
+    {
+        return Err(format!(
+            "restore: controller counters did not round-trip ({} vs {} feedback records)",
+            restored_counters.feedback_seen, counters_at_crash.feedback_seen
+        ));
+    }
+    lines.push(format!(
+        "[serve] crash-restore: restored seq {} in {restore_micros:.0}us (pool {} \
+         entries, controller counters intact)",
+        loaded_manifest.sequence,
+        restored_service.pool().len(),
+    ));
+
+    // The restored lineage finishes the run, then the verdict: bit-identical finals.
+    let second_stats = serve_segment_with_feedback(
+        config,
+        &restored_service,
+        Some(&restored_controller),
+        second_half,
+        second_truths,
+    )?;
+    let restored = restored_service.serve(workload).estimates;
+    let mut bit_identical = true;
+    for (index, (a, b)) in restored.iter().zip(&reference).enumerate() {
+        if a != b {
+            lines.push(format!(
+                "[serve] crash-restore MISMATCH at query {index}: restored {a} vs \
+                 uninterrupted {b}"
+            ));
+            bit_identical = false;
+        }
+    }
+    if ephemeral_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !bit_identical {
+        return Err(
+            "crash-restore violation: restored lineage is not bit-identical to the \
+             uninterrupted one"
+                .to_string(),
+        );
+    }
+    lines.push(format!(
+        "[serve] crash-restore invariant holds: {} estimates bit-identical after \
+         mid-run crash + restore",
+        restored.len()
+    ));
+    let submitted = first_stats.submitted + second_stats.submitted;
+    Ok(ChaosBenchSummary {
+        schema: "crn-chaos-bench-v1".to_string(),
+        preset: config.preset_label.clone(),
+        plan: "crash-restore".to_string(),
+        threads: config.threads,
+        callers: 1,
+        submitted,
+        completed: first_stats.completed + second_stats.completed,
+        degraded: first_stats.degraded + second_stats.degraded,
+        expired: first_stats.expired + second_stats.expired,
+        failed: first_stats.failed + second_stats.failed,
+        unresolved: 0,
+        sync_served: first_stats.sync_served + second_stats.sync_served,
+        degraded_sync_mode: second_stats.degraded_sync_mode,
+        maintenance_down: second_stats.maintenance_down,
+        scheduler_restarts: first_stats.scheduler_restarts + second_stats.scheduler_restarts,
+        maintenance_restarts: first_stats.maintenance_restarts + second_stats.maintenance_restarts,
+        faults_injected: 0,
+        maintenance_applied: first_stats.maintenance_applied + second_stats.maintenance_applied,
+        maintenance_failed: first_stats.maintenance_failed + second_stats.maintenance_failed,
+        checkpoints_written: 1,
+        checkpoints_failed: 0,
+        restore_micros: Some(restore_micros),
+        bit_identical: Some(bit_identical),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -884,6 +1441,61 @@ mod tests {
         assert!(report.contains("refresh OFF"));
         assert!(report.contains("model v1"));
         assert!(report.contains("0 cycles"));
+    }
+
+    /// The fault-plan chaos demo: every injected fault fires at its scripted
+    /// occurrence, every admitted ticket resolves, and the run's resolution accounting
+    /// lands in BENCH_chaos.json.
+    #[test]
+    fn chaos_demo_resolves_every_ticket_and_emits_bench_json() {
+        let dir = std::env::temp_dir().join("crn_chaos_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_chaos.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        config.chaos = Some("batch-panic:2,maint-kill".to_string());
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("every ticket resolves");
+        assert!(report.contains("chaos runtime up"));
+        assert!(report.contains("batch-panic#2"));
+        assert!(report.contains("maint-kill#1"));
+        assert!(report.contains("chaos invariant holds"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(json.contains("crn-chaos-bench-v1"));
+        assert!(json.contains("\"unresolved\":0"));
+        assert!(json.contains("\"degraded\":"));
+        assert!(json.contains("\"maintenance_restarts\":1"));
+    }
+
+    /// The crash-restore demo: a mid-run crash restored from the checkpoint must serve
+    /// bit-identically to the uninterrupted lineage, and the restore latency lands in
+    /// the bench record.
+    #[test]
+    fn crash_restore_demo_is_bit_identical() {
+        let dir = std::env::temp_dir().join("crn_crash_restore_demo_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_chaos.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 16;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        config.chaos = Some("crash-restore".to_string());
+        config.checkpoint_dir = Some(dir.join("ckpt").to_string_lossy().to_string());
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("restored lineage matches");
+        assert!(report.contains("checkpoint seq 1 committed"));
+        assert!(report.contains("crash-restore invariant holds"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(json.contains("\"plan\":\"crash-restore\""));
+        assert!(json.contains("\"bit_identical\":true"));
+        assert!(json.contains("restore_micros"));
     }
 
     #[test]

@@ -14,6 +14,8 @@ use crn_estimators::CardinalityEstimator;
 use crn_exec::{label_containment_pairs, ContainmentSample};
 use crn_nn::{Adam, ReplayBuffer};
 use crn_query::ast::Query;
+use crn_serve::{FaultInjector, FaultSite, Supervisor, SupervisorPolicy, SupervisorVerdict};
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -50,6 +52,13 @@ pub struct OnlineConfig {
     /// Cap on freshly labelled pairs per refresh (labelling executes queries; this
     /// bounds the background-work budget of one cycle).
     pub max_pairs_per_refresh: usize,
+    /// Relative margin the validation gate demands: a candidate is applied only when
+    /// its probe median beats the live model's by this *fraction* —
+    /// `candidate < live * (1 - gate_margin)`.  0 (the default) keeps the original
+    /// strictly-better gate; a few percent (e.g. 0.05) buys hysteresis against noisy
+    /// probe sets, where a statistically meaningless hair's-width "win" would otherwise
+    /// churn the live model.  Clamped to `[0, 1]`.
+    pub gate_margin: f64,
     /// Seed of the controller's deterministic machinery (replay reservoir).
     pub seed: u64,
 }
@@ -69,6 +78,7 @@ impl Default for OnlineConfig {
             fine_tune_epochs: 6,
             learning_rate_scale: 0.25,
             max_pairs_per_refresh: 256,
+            gate_margin: 0.0,
             seed: 42,
         }
     }
@@ -196,22 +206,29 @@ pub struct RefreshOutcome {
     pub replayed: usize,
     /// Probe records the gate evaluated on.
     pub probe_records: usize,
+    /// The (clamped) relative gate margin the cycle enforced
+    /// ([`OnlineConfig::gate_margin`]).
+    pub gate_margin: f64,
 }
 
 impl RefreshOutcome {
-    /// The gate invariant: an applied refresh must have strictly beaten the live model
-    /// on the probe set.  `repro serve --online` re-checks this per cycle and exits
-    /// non-zero on violation (the CI tripwire).
+    /// The gate invariant: an applied refresh must have beaten the live model on the
+    /// probe set by at least the configured relative margin.  `repro serve --online`
+    /// re-checks this per cycle and exits non-zero on violation (the CI tripwire).
     pub fn gate_respected(&self) -> bool {
         match self.decision {
-            RefreshDecision::Applied => self.candidate_probe_median < self.live_probe_median,
+            RefreshDecision::Applied => {
+                self.candidate_probe_median < self.live_probe_median * (1.0 - self.gate_margin)
+            }
             RefreshDecision::RejectedByGate | RefreshDecision::NoTrainingPairs => true,
         }
     }
 }
 
-/// Monotonic counters describing a controller's lifetime.
-#[derive(Debug, Clone, Default)]
+/// Monotonic counters describing a controller's lifetime.  Serializable: they ride
+/// along in [`Checkpoint`](crate::Checkpoint)s so a restored process resumes its
+/// refresh history instead of starting the counters over.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct OnlineStats {
     /// Feedback records observed (probe + fresh).
     pub feedback_seen: u64,
@@ -398,6 +415,7 @@ impl RefreshController {
 
     /// The cycle body: label, mix, fine-tune, gate, swap.  Runs without the intake lock.
     fn run_cycle(&self, fresh: &[FeedbackRecord], probe: &[FeedbackRecord]) -> RefreshOutcome {
+        let gate_margin = self.config.gate_margin.clamp(0.0, 1.0);
         // One flattened pool snapshot for the whole cycle, with every probe query
         // *removed*: the maintenance lane upserts executed queries (including the
         // probe-routed ones) into the pool with their true cardinalities, so a pool
@@ -422,6 +440,7 @@ impl RefreshController {
                 labeled_pairs: 0,
                 replayed: 0,
                 probe_records: probe.len(),
+                gate_margin,
             };
         }
 
@@ -452,10 +471,11 @@ impl RefreshController {
         candidate.fit_incremental(&corpus, &mut adam, self.config.fine_tune_epochs);
 
         // The validation gate: both models on the same probe set over the same pool and
-        // serving configuration.  Strictly-better or discarded.
+        // serving configuration.  Better by at least the relative margin, or discarded
+        // (margin 0 = the original strictly-better gate).
         let live_probe_median = self.probe_median(&live, &pool, probe);
         let candidate_probe_median = self.probe_median(&candidate, &pool, probe);
-        if candidate_probe_median < live_probe_median {
+        if candidate_probe_median < live_probe_median * (1.0 - gate_margin) {
             let model_version = self.service.swap_model(candidate);
             // The candidate's Adam moments are now live; resume its step count too.
             self.state.lock().expect("controller state lock").adam = adam;
@@ -468,6 +488,7 @@ impl RefreshController {
                 labeled_pairs: labeled.len(),
                 replayed: replayed.len(),
                 probe_records: probe.len(),
+                gate_margin,
             }
         } else {
             // Discard the candidate (and its advanced Adam state — the moments live in
@@ -482,6 +503,7 @@ impl RefreshController {
                 labeled_pairs: labeled.len(),
                 replayed: replayed.len(),
                 probe_records: probe.len(),
+                gate_margin,
             }
         }
     }
@@ -506,6 +528,49 @@ impl RefreshController {
         FinalFunction::Median.apply(&errors).unwrap_or(0.0)
     }
 
+    /// Captures the controller state a [`Checkpoint`](crate::Checkpoint) carries: the
+    /// lifetime counters plus the optimizer step count and probe-routing position.  The
+    /// transient windows (drift detector, fresh/probe/replay buffers) are deliberately
+    /// *not* persisted — they describe recent traffic, which a restored process no
+    /// longer has; refilling them from live feedback is both correct and cheap, while a
+    /// wrong optimizer step count would silently mis-scale every future fine-tune.
+    pub fn checkpoint_state(&self) -> ControllerCheckpoint {
+        let state = self.state.lock().expect("controller state lock");
+        ControllerCheckpoint {
+            stats: state.stats.clone(),
+            adam: state.adam.clone(),
+            route_count: state.route_count,
+            probe_routed_acc: state.probe_routed_acc,
+        }
+    }
+
+    /// Restores the durable state captured by
+    /// [`checkpoint_state`](RefreshController::checkpoint_state) into this (freshly
+    /// constructed) controller.  The restored Adam step count must accompany the
+    /// restored model's parameters (whose moments travel inside the model itself) —
+    /// together they make a restored run's future fine-tunes bit-identical to an
+    /// uninterrupted one's.
+    pub fn restore_state(&self, checkpoint: ControllerCheckpoint) {
+        let mut state = self.state.lock().expect("controller state lock");
+        state.stats = checkpoint.stats;
+        state.stats.live_model_version = self.service.model_version();
+        state.adam = checkpoint.adam;
+        state.route_count = checkpoint.route_count;
+        state.probe_routed_acc = checkpoint.probe_routed_acc;
+    }
+
+    /// Reconciles the controller after a refresh-worker panic: clears the in-flight
+    /// cycle flag so future cycles can trigger again (the panicked cycle's taken fresh
+    /// records are lost — feedback keeps flowing, the next window refills).  Tolerates
+    /// the poisoned lock a mid-cycle panic leaves behind.
+    pub fn recover_after_panic(&self) {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.refreshing = false;
+    }
+
     /// Parks the calling thread until a refresh becomes possible or the timeout elapses
     /// (the [`RefreshWorker`]'s wait primitive).  Returns whether a refresh is possible.
     fn wait_for_trigger(&self, timeout: Duration) -> bool {
@@ -519,6 +584,22 @@ impl RefreshController {
             .expect("controller state lock");
         self.refresh_possible(&state)
     }
+}
+
+/// The controller's durable state, as carried inside a [`Checkpoint`](crate::Checkpoint):
+/// lifetime counters, optimizer step count (the moments live inside the checkpointed
+/// model's parameters) and the deterministic probe-routing position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// The lifetime counters at capture time.
+    pub stats: OnlineStats,
+    /// The resumed optimizer (its step count drives Adam's bias correction; restoring
+    /// it keeps post-restore fine-tunes bit-identical to an uninterrupted run's).
+    pub adam: Adam,
+    /// Feedback records routed so far (the probe-routing stride position).
+    pub route_count: u64,
+    /// The fractional probe-routing accumulator.
+    pub probe_routed_acc: f64,
 }
 
 impl crn_serve::FeedbackObserver for RefreshController {
@@ -555,8 +636,34 @@ pub struct RefreshWorker {
 impl RefreshWorker {
     /// Spawns the worker over a shared controller.  `poll_interval` bounds how long the
     /// worker sleeps between trigger checks (it also wakes immediately when intake
-    /// signals a possible refresh).
+    /// signals a possible refresh).  The worker runs under its own default-policy
+    /// supervisor; use [`spawn_supervised`](RefreshWorker::spawn_supervised) to budget
+    /// it together with a serving runtime's lanes.
     pub fn spawn(controller: Arc<RefreshController>, poll_interval: Duration) -> Self {
+        Self::spawn_supervised(
+            controller,
+            poll_interval,
+            Arc::new(Supervisor::new(SupervisorPolicy::default())),
+            FaultInjector::none(),
+        )
+    }
+
+    /// [`spawn`](RefreshWorker::spawn) under an explicit supervisor (typically the
+    /// serving runtime's, so all three background lanes budget under one policy and
+    /// report in one place) and fault injector (the chaos suite's
+    /// [`FaultSite::RefreshCycle`] scripts a panic right before a cycle runs).
+    ///
+    /// A panicked cycle loses its taken fresh-feedback window, nothing else: the
+    /// recovery hook clears the in-flight flag, the supervisor grants a restart within
+    /// budget (lane [`crn_serve::LANE_REFRESH`]), and the worker re-enters its loop.
+    /// Past the budget the worker stays down — the model stops refreshing, visible in
+    /// the supervisor's `degraded` view, while serving continues unharmed.
+    pub fn spawn_supervised(
+        controller: Arc<RefreshController>,
+        poll_interval: Duration,
+        supervisor: Arc<Supervisor>,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
         let stop = Arc::new(Mutex::new(false));
         let handle = {
             let controller = Arc::clone(&controller);
@@ -564,11 +671,31 @@ impl RefreshWorker {
             std::thread::Builder::new()
                 .name("crn-online-refresh".into())
                 .spawn(move || loop {
-                    if *stop.lock().expect("stop flag lock") {
-                        return;
-                    }
-                    if controller.wait_for_trigger(poll_interval) {
-                        controller.refresh_if_needed();
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                        let stopped = match stop.lock() {
+                            Ok(flag) => *flag,
+                            Err(poisoned) => *poisoned.into_inner(),
+                        };
+                        if stopped {
+                            return;
+                        }
+                        if controller.wait_for_trigger(poll_interval) {
+                            // Scripted refresh-cycle panic: outside the cycle's own
+                            // work, so the injected death exercises exactly the
+                            // supervision path.
+                            injector.fire(FaultSite::RefreshCycle);
+                            controller.refresh_if_needed();
+                        }
+                    }));
+                    match run {
+                        Ok(()) => return,
+                        Err(_panic) => {
+                            controller.recover_after_panic();
+                            match supervisor.on_panic(crn_serve::LANE_REFRESH) {
+                                SupervisorVerdict::Restart => continue,
+                                SupervisorVerdict::Degrade => return,
+                            }
+                        }
                     }
                 })
                 .expect("spawn refresh worker")

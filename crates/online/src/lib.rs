@@ -42,11 +42,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod controller;
 pub mod feedback;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointSink, Manifest, CHECKPOINT_FORMAT_VERSION,
+};
 pub use controller::{
-    ExecLabeler, FeedbackLabeler, OnlineConfig, OnlineStats, RefreshController, RefreshDecision,
-    RefreshOutcome, RefreshWorker,
+    ControllerCheckpoint, ExecLabeler, FeedbackLabeler, OnlineConfig, OnlineStats,
+    RefreshController, RefreshDecision, RefreshOutcome, RefreshWorker,
 };
 pub use feedback::{DriftDetector, FeedbackRecord};

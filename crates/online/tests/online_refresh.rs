@@ -164,6 +164,7 @@ fn workload_shift_triggers_a_gated_refresh_through_the_runtime() {
             .submit_retrying(0, query)
             .expect("runtime alive")
             .wait()
+            .expect("served")
             .estimate;
         runtime
             .record_observed(query.clone(), truth.cardinality(query), estimate)
@@ -205,7 +206,8 @@ fn workload_shift_triggers_a_gated_refresh_through_the_runtime() {
         let outcome = runtime
             .submit_retrying(1, query)
             .expect("runtime alive")
-            .wait();
+            .wait()
+            .expect("served");
         assert!(outcome.estimate >= 0.0);
     }
     assert!(controller.refresh_if_needed().is_none());

@@ -39,15 +39,44 @@
 //! computes.  The parity tests in `tests/async_parity.rs` pin the full
 //! window × depth × workers matrix.
 //!
+//! # Fault tolerance
+//!
+//! PR 6 hardens the runtime against the failure modes a long-lived serving process
+//! actually meets:
+//!
+//! * [`ticket`] resolutions became a `Result`: per-request **deadlines** shed stale
+//!   queued requests ([`TicketError::Expired`]), and a panicked batch resolves its
+//!   waiters through the service's **degraded** fallback path, tagged in
+//!   [`EstimateSource`] — never a hang, never a silent wrong answer.
+//! * [`supervisor`] — bounded panic-restart budgets: a panic that escapes per-batch /
+//!   per-upsert containment restarts the lane *with its queues intact*; past the budget
+//!   the runtime degrades to synchronous serving instead of crash-looping.
+//! * [`runtime::CheckpointWriter`] — the crash-safe persistence hook the maintenance
+//!   lane invokes on a configurable cadence (`crn-online` implements it with atomic
+//!   temp-file + rename checkpoints).
+//! * [`fault`] — the deterministic, occurrence-counted [`FaultInjector`] that scripts
+//!   exactly these failures for the chaos suite and `repro serve --chaos`.
+//!
+//! The headline invariant, pinned by `tests/chaos.rs`: **every admitted ticket
+//! resolves** — completed, degraded, expired or failed — under every fault plan.
+//!
 //! [`EstimatorService::serve`]: crn_core::EstimatorService::serve
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod queue;
 pub mod runtime;
+pub mod supervisor;
 pub mod ticket;
 
+pub use fault::{
+    FaultInjector, FaultPlan, FaultPlanError, FaultSite, FaultSpec, FaultTrigger, FiredFault,
+};
 pub use queue::{RejectReason, SubmitError};
-pub use runtime::{FeedbackObserver, RuntimeConfig, RuntimeStats, ServeRuntime};
-pub use ticket::{Ticket, TicketOutcome};
+pub use runtime::{CheckpointWriter, FeedbackObserver, RuntimeConfig, RuntimeStats, ServeRuntime};
+pub use supervisor::{
+    Supervisor, SupervisorPolicy, SupervisorVerdict, LANE_MAINTENANCE, LANE_REFRESH, LANE_SCHEDULER,
+};
+pub use ticket::{EstimateSource, Ticket, TicketError, TicketOutcome};

@@ -38,6 +38,12 @@ pub enum SubmitError {
     /// The runtime is shutting down and no longer admits work (already-admitted requests
     /// still complete — the scheduler drains the queue before exiting).
     ShuttingDown,
+    /// A retrying submission ([`submit_retrying_for`]) exhausted its patience budget
+    /// before admission succeeded — the backoff's deadline cap, so a closed-loop caller
+    /// under sustained overload gets a bounded-latency "no" instead of parking forever.
+    ///
+    /// [`submit_retrying_for`]: crate::ServeRuntime::submit_retrying_for
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -53,6 +59,9 @@ impl std::fmt::Display for SubmitError {
                 ),
             },
             SubmitError::ShuttingDown => write!(f, "runtime is shutting down"),
+            SubmitError::DeadlineExceeded => {
+                write!(f, "submission deadline exceeded while retrying admission")
+            }
         }
     }
 }
@@ -65,6 +74,10 @@ pub(crate) struct Request {
     pub(crate) query: Query,
     pub(crate) ticket: Arc<TicketCell>,
     pub(crate) enqueued: Instant,
+    /// Absolute deadline after which the request must not be executed: the scheduler
+    /// sheds it at batch-pop time and its ticket resolves
+    /// [`Expired`](crate::ticket::TicketError::Expired).  `None` = no deadline.
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// The scheduler-facing queue state (guarded by the runtime's queue mutex).
@@ -96,6 +109,7 @@ impl QueueState {
         &mut self,
         caller: u64,
         query: Query,
+        deadline: Option<Instant>,
         queue_depth: usize,
         per_caller_depth: usize,
     ) -> Result<Arc<TicketCell>, SubmitError> {
@@ -122,8 +136,45 @@ impl QueueState {
             query,
             ticket: Arc::clone(&ticket),
             enqueued: Instant::now(),
+            deadline,
         });
         Ok(ticket)
+    }
+
+    /// Releases one caller's quota share (on pop or deadline shed).
+    fn release_quota(&mut self, caller: u64) {
+        match self.per_caller.get_mut(&caller) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                self.per_caller.remove(&caller);
+            }
+        }
+    }
+
+    /// Removes every pending request whose deadline has passed at `now`, releasing its
+    /// quota share, and returns them (arrival order) for the scheduler to resolve as
+    /// expired.  Runs right before a batch pops, so no expired request ever executes.
+    pub(crate) fn shed_expired(&mut self, now: Instant) -> Vec<Request> {
+        if self
+            .pending
+            .iter()
+            .all(|request| request.deadline.is_none_or(|deadline| deadline > now))
+        {
+            return Vec::new();
+        }
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        let mut expired = Vec::new();
+        for request in self.pending.drain(..) {
+            match request.deadline {
+                Some(deadline) if deadline <= now => expired.push(request),
+                _ => kept.push_back(request),
+            }
+        }
+        self.pending = kept;
+        for request in &expired {
+            self.release_quota(request.caller);
+        }
+        expired
     }
 
     /// Pops up to `max` requests in arrival order into a batch, releasing their callers'
@@ -132,12 +183,7 @@ impl QueueState {
         let take = self.pending.len().min(max);
         let batch: Vec<Request> = self.pending.drain(..take).collect();
         for request in &batch {
-            match self.per_caller.get_mut(&request.caller) {
-                Some(count) if *count > 1 => *count -= 1,
-                _ => {
-                    self.per_caller.remove(&request.caller);
-                }
-            }
+            self.release_quota(request.caller);
         }
         self.in_flight += batch.len();
         batch
@@ -157,19 +203,19 @@ mod tests {
         let mut state = QueueState::new();
         // Caller 1 fills its quota of 2; the third submission is shed with CallerQuota
         // while caller 2 is still admissible — per-caller fairness.
-        assert!(state.admit(1, query(), 4, 2).is_ok());
-        assert!(state.admit(1, query(), 4, 2).is_ok());
+        assert!(state.admit(1, query(), None, 4, 2).is_ok());
+        assert!(state.admit(1, query(), None, 4, 2).is_ok());
         assert_eq!(
-            state.admit(1, query(), 4, 2).map(|_| ()).unwrap_err(),
+            state.admit(1, query(), None, 4, 2).map(|_| ()).unwrap_err(),
             SubmitError::Overloaded {
                 reason: RejectReason::CallerQuota,
                 pending: 2,
             }
         );
-        assert!(state.admit(2, query(), 4, 2).is_ok());
-        assert!(state.admit(3, query(), 4, 2).is_ok());
+        assert!(state.admit(2, query(), None, 4, 2).is_ok());
+        assert!(state.admit(3, query(), None, 4, 2).is_ok());
         // The queue itself is now at depth 4: even a fresh caller is shed.
-        let rejection = state.admit(4, query(), 4, 2).map(|_| ()).unwrap_err();
+        let rejection = state.admit(4, query(), None, 4, 2).map(|_| ()).unwrap_err();
         assert_eq!(
             rejection,
             SubmitError::Overloaded {
@@ -184,21 +230,56 @@ mod tests {
         assert_eq!(batch.len(), 3);
         assert_eq!(state.in_flight, 3);
         assert_eq!(state.pending.len(), 1);
-        assert!(state.admit(1, query(), 4, 2).is_ok());
+        assert!(state.admit(1, query(), None, 4, 2).is_ok());
 
         // Closing stops admission entirely.
         state.closed = true;
         assert_eq!(
-            state.admit(9, query(), 4, 2).map(|_| ()).unwrap_err(),
+            state.admit(9, query(), None, 4, 2).map(|_| ()).unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn shed_expired_removes_only_passed_deadlines_and_releases_quota() {
+        let mut state = QueueState::new();
+        let now = Instant::now();
+        let passed = Some(now - std::time::Duration::from_millis(1));
+        let future = Some(now + std::time::Duration::from_secs(60));
+        state.admit(1, query(), passed, 8, 8).expect("admitted");
+        state.admit(1, query(), future, 8, 8).expect("admitted");
+        state.admit(2, query(), None, 8, 8).expect("admitted");
+        state.admit(2, query(), passed, 8, 8).expect("admitted");
+
+        let expired = state.shed_expired(now);
+        assert_eq!(
+            expired.iter().map(|r| r.caller).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(state.pending.len(), 2);
+        assert_eq!(state.per_caller[&1], 1);
+        assert_eq!(state.per_caller[&2], 1);
+        assert_eq!(state.in_flight, 0, "shed requests never count in flight");
+        // Nothing else is due yet: the scan sheds nothing and keeps the order.
+        assert!(state
+            .shed_expired(now + std::time::Duration::from_secs(1))
+            .is_empty());
+        assert_eq!(state.pending.len(), 2);
+        // Once the future deadline passes, it sheds too; the deadline-free request stays.
+        let late = state.shed_expired(now + std::time::Duration::from_secs(61));
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].caller, 1);
+        assert_eq!(state.pending.len(), 1);
+        assert!(!state.per_caller.contains_key(&1));
     }
 
     #[test]
     fn pop_batch_respects_arrival_order_and_max() {
         let mut state = QueueState::new();
         for caller in 0..5u64 {
-            state.admit(caller, query(), 16, 16).expect("admitted");
+            state
+                .admit(caller, query(), None, 16, 16)
+                .expect("admitted");
         }
         let first = state.pop_batch(2);
         assert_eq!(

@@ -1,4 +1,5 @@
-//! The serving runtime: batch-forming scheduler, admission front door, maintenance lane.
+//! The serving runtime: batch-forming scheduler, admission front door, maintenance lane —
+//! now supervised, deadline-aware and checkpoint-capable.
 //!
 //! One [`ServeRuntime`] owns two background threads:
 //!
@@ -6,27 +7,45 @@
 //!   request arrives, and closes it when either the size threshold
 //!   ([`RuntimeConfig::batch_max`]) is reached or the batching window
 //!   ([`RuntimeConfig::batch_window`]) measured from that first request expires — then
-//!   executes the batch as **one** [`EstimatorService::serve`] call (so cross-call
-//!   traffic fuses into the same multi-query head batches a single synchronous caller
-//!   would get) and resolves the tickets;
+//!   sheds queued requests whose deadline passed (their tickets resolve
+//!   [`Expired`](crate::TicketError::Expired)) and executes the batch as **one**
+//!   [`EstimatorService::serve`] call (so cross-call traffic fuses into the same
+//!   multi-query head batches a single synchronous caller would get) and resolves the
+//!   tickets.  A panicked batch resolves its tickets through the service's degraded
+//!   fallback path, tagged [`Degraded`](crate::EstimateSource::Degraded) — never a hang,
+//!   never a silent wrong answer;
 //! * the **maintenance lane** drains the feedback queue of `(query, true cardinality)`
 //!   records and applies each one to the pool as a single-swap copy-on-write
-//!   [`upsert`](crn_core::ShardedPool::upsert) — the paper's pool-refresh loop, running
-//!   concurrently with serving and never blocking snapshot readers.
+//!   [`upsert`](crn_core::ShardedPool::upsert) — the paper's §5.2 pool-refresh loop,
+//!   running concurrently with serving and never blocking snapshot readers.  On a
+//!   configurable cadence ([`RuntimeConfig::checkpoint_every`]) it invokes the installed
+//!   [`CheckpointWriter`] — the crash-safe persistence hook `crn-online` implements.
+//!
+//! Both threads run under the [`Supervisor`]: a panic that escapes the per-batch /
+//! per-upsert containment restarts the thread **with its queues intact** (all lane state
+//! lives in the shared block), up to the restart budget; past the budget the scheduler
+//! degrades to synchronous serving on the submitting thread (visible in
+//! [`RuntimeStats::degraded_sync_mode`]) and the maintenance lane starts shedding —
+//! reduced service, loudly reported, instead of a dead runtime.  The deterministic
+//! [`FaultInjector`] drives exactly these paths in the chaos suite.
 //!
 //! Shutdown is graceful: [`ServeRuntime::shutdown`] (or drop) stops admission, drains
 //! both queues — every admitted ticket resolves, every accepted feedback record applies —
 //! and joins both threads.
 
+use crate::fault::{FaultInjector, FaultSite};
 use crate::queue::{QueueState, SubmitError};
-use crate::ticket::{Ticket, TicketOutcome};
+use crate::supervisor::{
+    Supervisor, SupervisorPolicy, SupervisorVerdict, LANE_MAINTENANCE, LANE_SCHEDULER,
+};
+use crate::ticket::{EstimateSource, Ticket, TicketCell, TicketOutcome};
 use crn_core::{query_hash, EstimatorService, ServeStats};
 use crn_estimators::ContainmentEstimator;
 use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
 use crn_query::ast::Query;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,6 +64,21 @@ pub trait FeedbackObserver: Send + Sync {
     /// One applied feedback record: the executed query, its true cardinality, and the
     /// estimate the runtime served for it (what the drift detector compares).
     fn observe(&self, query: &Query, true_cardinality: u64, estimate: f64);
+}
+
+/// The crash-safe persistence hook the maintenance lane invokes on its checkpoint
+/// cadence ([`RuntimeConfig::checkpoint_every`]).
+///
+/// Defined here (not in `crn-online`, which implements it over the service + refresh
+/// controller) so the runtime stays model-refresh-agnostic.  Implementations must write
+/// **atomically** (temp-file + rename with a manifest — `crn_online::Checkpoint` is the
+/// canonical one): the lane treats any `Err` or panic as a failed write, counts it in
+/// [`RuntimeStats::checkpoints_failed`] and simply retries after the next interval —
+/// a checkpoint failure must never take serving down with it.
+pub trait CheckpointWriter: Send + Sync {
+    /// Captures and durably writes one checkpoint; `Err(reason)` marks the attempt
+    /// failed.
+    fn write_checkpoint(&self) -> Result<(), String>;
 }
 
 /// Configuration of one [`ServeRuntime`].
@@ -69,11 +103,24 @@ pub struct RuntimeConfig {
     /// Bound on queued maintenance records; feedback against a full lane is shed (serving
     /// traffic is never displaced by maintenance).
     pub maintenance_depth: usize,
+    /// Deadline attached to every [`submit`](ServeRuntime::submit) /
+    /// [`submit_retrying`](ServeRuntime::submit_retrying) request that does not carry
+    /// its own: a request still queued this long after submission is shed unexecuted
+    /// and its ticket resolves [`Expired`](crate::TicketError::Expired).  `None` (the
+    /// default) = requests wait as long as the queue holds them.
+    pub default_deadline: Option<Duration>,
+    /// Restart budget of the supervised lanes (scheduler, maintenance — and the refresh
+    /// worker, when `crn-online` shares this runtime's supervisor).
+    pub restart_policy: SupervisorPolicy,
+    /// Checkpoint cadence: invoke the installed [`CheckpointWriter`] after every this
+    /// many *applied* maintenance records.  0 (the default) disables checkpointing.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RuntimeConfig {
     /// Defaults matching the CI smoke: depth 64, no per-caller cap beyond the depth,
-    /// batches of at most 32 closing after 100µs, maintenance lane of 1024.
+    /// batches of at most 32 closing after 100µs, maintenance lane of 1024, no request
+    /// deadline, 3 restarts / 60 s supervision budget, checkpointing off.
     fn default() -> Self {
         RuntimeConfig {
             queue_depth: 64,
@@ -81,6 +128,9 @@ impl Default for RuntimeConfig {
             batch_max: 32,
             batch_window: Duration::from_micros(100),
             maintenance_depth: 1024,
+            default_deadline: None,
+            restart_policy: SupervisorPolicy::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -110,6 +160,32 @@ impl RuntimeConfig {
         self.batch_max = max.max(1);
         self
     }
+
+    /// Sets the default per-request deadline (see
+    /// [`default_deadline`](RuntimeConfig::default_deadline)).
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Sets the default per-request deadline from microseconds (the `--deadline-us` CLI
+    /// unit).
+    pub fn with_deadline_us(mut self, micros: u64) -> Self {
+        self.default_deadline = Some(Duration::from_micros(micros));
+        self
+    }
+
+    /// Sets the supervision restart budget.
+    pub fn with_restart_policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
+    /// Sets the checkpoint cadence in applied maintenance records (0 disables).
+    pub fn with_checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records;
+        self
+    }
 }
 
 /// Why the scheduler closed a batch (counted in [`RuntimeStats`]).
@@ -127,12 +203,20 @@ enum CloseReason {
 /// [`ServeRuntime::stats`]).
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
-    /// Requests admitted by the submission queue.
+    /// Requests admitted by the submission queue (including degraded-sync submissions).
     pub submitted: u64,
-    /// Requests whose tickets have resolved with an estimate.
+    /// Requests whose tickets resolved with a full-path
+    /// ([`Computed`](crate::EstimateSource::Computed)) estimate.
     pub completed: u64,
-    /// Requests whose batch panicked during execution (their tickets re-raise; the
-    /// scheduler survives and keeps serving).
+    /// Requests resolved through the degraded fallback path after their batch panicked
+    /// ([`Degraded`](crate::EstimateSource::Degraded) provenance) — answered, but not by
+    /// the model.
+    pub degraded: u64,
+    /// Requests shed unexecuted because their deadline passed while queued (tickets
+    /// resolve [`Expired`](crate::TicketError::Expired)).
+    pub expired: u64,
+    /// Requests whose batch panicked *and* whose degraded fallback panicked too (tickets
+    /// resolve [`BatchFailed`](crate::TicketError::BatchFailed); the runtime survives).
     pub failed: u64,
     /// Submissions shed because the queue was at depth.
     pub rejected_queue_full: u64,
@@ -152,15 +236,41 @@ pub struct RuntimeStats {
     /// queries inside one batch (by canonical query hash) are coalesced into a single
     /// served row fanned out to every duplicate's ticket.
     pub coalesced: u64,
+    /// Requests served synchronously on the submitting thread because the scheduler
+    /// lane breached its restart budget (see
+    /// [`degraded_sync_mode`](RuntimeStats::degraded_sync_mode)).
+    pub sync_served: u64,
     /// Maintenance records applied to the pool.
     pub maintenance_applied: u64,
-    /// Maintenance records shed because the lane was at depth.
+    /// Maintenance records shed because the lane was at depth (or down).
     pub maintenance_rejected: u64,
-    /// Maintenance records whose upsert panicked (contained; the lane keeps draining).
+    /// Maintenance records whose upsert panicked (contained; the lane keeps draining),
+    /// or that were lost to a maintenance-thread kill / budget-breach drain.
     pub maintenance_failed: u64,
     /// Applied records whose [`FeedbackObserver`] panicked (contained separately: the
     /// upsert itself succeeded and stays counted in `maintenance_applied`).
     pub observer_failed: u64,
+    /// Scheduler-thread restarts the supervisor granted (panics that escaped batch
+    /// containment and came back up with the queue intact).
+    pub scheduler_restarts: u64,
+    /// Maintenance-thread restarts the supervisor granted.
+    pub maintenance_restarts: u64,
+    /// True once the scheduler lane breached its restart budget: the runtime now serves
+    /// every submission synchronously on the submitting thread — reduced service, said
+    /// out loud.
+    pub degraded_sync_mode: bool,
+    /// True once the maintenance lane breached its restart budget: feedback records are
+    /// shed from here on.
+    pub maintenance_down: bool,
+    /// Checkpoints the maintenance lane wrote successfully through the installed
+    /// [`CheckpointWriter`].
+    pub checkpoints_written: u64,
+    /// Checkpoint attempts that failed (writer error, writer panic, or an injected
+    /// [`CheckpointWrite`](crate::FaultSite::CheckpointWrite) fault) — retried after the
+    /// next interval.
+    pub checkpoints_failed: u64,
+    /// Faults the [`FaultInjector`] fired so far (0 outside chaos runs).
+    pub faults_injected: u64,
     /// The accumulated per-layer serving stats over every executed batch
     /// (see [`ServeStats::accumulate`]).
     pub serve: ServeStats,
@@ -175,6 +285,12 @@ impl RuntimeStats {
             self.completed as f64 / self.batches as f64
         }
     }
+
+    /// The chaos suite's headline invariant, checkable at quiescence: every admitted
+    /// request resolved one way or another — completed, degraded, expired or failed.
+    pub fn fully_resolved(&self) -> bool {
+        self.submitted == self.completed + self.degraded + self.expired + self.failed
+    }
 }
 
 /// Lock-free counter block (the scheduler and submitters bump these without the queue
@@ -183,6 +299,8 @@ impl RuntimeStats {
 struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
+    degraded: AtomicU64,
+    expired: AtomicU64,
     failed: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_caller_quota: AtomicU64,
@@ -192,10 +310,13 @@ struct Counters {
     drain_closes: AtomicU64,
     max_batch: AtomicUsize,
     coalesced: AtomicU64,
+    sync_served: AtomicU64,
     maintenance_applied: AtomicU64,
     maintenance_rejected: AtomicU64,
     maintenance_failed: AtomicU64,
     observer_failed: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoints_failed: AtomicU64,
 }
 
 /// One queued maintenance record: the query, its observed true cardinality, and — when
@@ -214,6 +335,18 @@ struct MaintState {
     /// for the in-flight upsert, not just an empty queue).
     applying: bool,
     closed: bool,
+    /// Set when the lane breached its restart budget: records are shed from here on.
+    dead: bool,
+}
+
+/// The batch the scheduler is currently executing, parked in a shared slot so the
+/// supervisor's recovery hook can resolve its tickets if the scheduler thread dies
+/// mid-batch (nothing admitted may ever hang).
+struct InflightBatch {
+    tickets: Vec<Arc<TicketCell>>,
+    slots: Vec<usize>,
+    unique: Vec<Query>,
+    size: usize,
 }
 
 /// Everything both background threads and the handle share.
@@ -236,9 +369,26 @@ struct Shared<M> {
     maint_idle: Condvar,
     /// The downstream feedback consumer (the online refresh controller), if any.
     feedback_observer: Mutex<Option<Arc<dyn FeedbackObserver>>>,
+    /// The crash-safe persistence hook, if any (see [`CheckpointWriter`]).
+    checkpoint_writer: Mutex<Option<Arc<dyn CheckpointWriter>>>,
+    /// Applied maintenance records since the last checkpoint attempt.
+    since_checkpoint: AtomicU64,
+    /// The scheduler's in-flight batch (see [`InflightBatch`]).
+    inflight: Mutex<Option<InflightBatch>>,
+    supervisor: Arc<Supervisor>,
+    injector: Arc<FaultInjector>,
+    /// Set (under the queue lock) when the scheduler lane degrades: submissions execute
+    /// synchronously on the submitting thread from then on.
+    degraded_sync: AtomicBool,
     counters: Counters,
     serve_stats: Mutex<ServeStats>,
 }
+
+/// Blocking-retry backoff bounds of [`ServeRuntime::submit_retrying`]: exponential from
+/// the floor, capped at the ceiling — bounded rather than condvar-park-forever, so a
+/// missed wakeup or a dead scheduler can only ever cost one backoff step.
+const RETRY_BACKOFF_FLOOR: Duration = Duration::from_micros(50);
+const RETRY_BACKOFF_CEIL: Duration = Duration::from_millis(2);
 
 /// The async request-queue serving runtime over an [`EstimatorService`].
 ///
@@ -252,8 +402,19 @@ pub struct ServeRuntime<M: ContainmentEstimator + Send + Sync + 'static> {
 }
 
 impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
-    /// Spawns the runtime (scheduler + maintenance threads) over a shared service.
+    /// Spawns the runtime (scheduler + maintenance threads) over a shared service, with
+    /// no faults scripted.
     pub fn new(service: Arc<EstimatorService<M>>, config: RuntimeConfig) -> Self {
+        Self::with_faults(service, config, FaultInjector::none())
+    }
+
+    /// [`new`](ServeRuntime::new) with a scripted [`FaultInjector`] — the chaos suite's
+    /// entry point.  With the empty plan this is exactly `new`.
+    pub fn with_faults(
+        service: Arc<EstimatorService<M>>,
+        config: RuntimeConfig,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
         let queue_depth = config.queue_depth.max(1);
         let config = RuntimeConfig {
             queue_depth,
@@ -263,7 +424,11 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             batch_max: config.batch_max.clamp(1, queue_depth),
             batch_window: config.batch_window,
             maintenance_depth: config.maintenance_depth.max(1),
+            default_deadline: config.default_deadline,
+            restart_policy: config.restart_policy,
+            checkpoint_every: config.checkpoint_every,
         };
+        let supervisor = Arc::new(Supervisor::new(config.restart_policy));
         let shared = Arc::new(Shared {
             service,
             config,
@@ -275,10 +440,17 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 pending: VecDeque::new(),
                 applying: false,
                 closed: false,
+                dead: false,
             }),
             maint_ready: Condvar::new(),
             maint_idle: Condvar::new(),
             feedback_observer: Mutex::new(None),
+            checkpoint_writer: Mutex::new(None),
+            since_checkpoint: AtomicU64::new(0),
+            inflight: Mutex::new(None),
+            supervisor,
+            injector,
+            degraded_sync: AtomicBool::new(false),
             counters: Counters::default(),
             serve_stats: Mutex::new(ServeStats::default()),
         });
@@ -286,14 +458,14 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("crn-serve-scheduler".into())
-                .spawn(move || scheduler_loop(&shared))
+                .spawn(move || scheduler_thread(&shared))
                 .expect("spawn scheduler thread")
         };
         let maintenance = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("crn-serve-maintenance".into())
-                .spawn(move || maintenance_loop(&shared))
+                .spawn(move || maintenance_thread(&shared))
                 .expect("spawn maintenance thread")
         };
         ServeRuntime {
@@ -313,15 +485,54 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         &self.shared.config
     }
 
+    /// The lanes' supervisor — share it with a `crn-online` `RefreshWorker` so all
+    /// three supervised threads budget under one policy and report in one place.
+    pub fn supervisor(&self) -> &Arc<Supervisor> {
+        &self.shared.supervisor
+    }
+
+    /// The runtime's fault injector (the empty plan unless scripted via
+    /// [`with_faults`](ServeRuntime::with_faults)).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.shared.injector
+    }
+
     /// Submits one query on behalf of `caller`, returning its completion [`Ticket`].
     ///
     /// Never blocks: a full queue (or an exhausted caller quota) sheds the submission
     /// with [`SubmitError::Overloaded`] immediately — admission control, not backpressure
     /// by stalling.  `caller` is an arbitrary fairness key (connection id, tenant, ...).
+    /// The request carries the configured
+    /// [`default_deadline`](RuntimeConfig::default_deadline), if any.
     pub fn submit(&self, caller: u64, query: Query) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(caller, query, self.shared.config.default_deadline)
+    }
+
+    /// [`submit`](ServeRuntime::submit) with an explicit per-request deadline
+    /// (overriding the configured default; `None` = wait indefinitely): if the request
+    /// is still queued when the deadline passes, the scheduler sheds it unexecuted and
+    /// its ticket resolves [`Expired`](crate::TicketError::Expired) — a stale answer is
+    /// worth nothing to a query optimizer that already picked a plan.
+    pub fn submit_with_deadline(
+        &self,
+        caller: u64,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let due = deadline.map(|d| Instant::now() + d);
         let admitted = {
             let mut state = lock_ignoring_poison(&self.shared.queue);
-            self.try_admit(&mut state, caller, query)
+            // The degrade transition happens under this lock, so the flag read is
+            // race-free: either we admit into a live scheduler's queue, or we serve
+            // synchronously ourselves.
+            if self.shared.degraded_sync.load(Ordering::Relaxed) {
+                if state.closed {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                drop(state);
+                return Ok(self.serve_degraded_sync(query));
+            }
+            self.try_admit(&mut state, caller, query, due)
         };
         admitted.map(|cell| {
             self.shared.queue_ready.notify_all();
@@ -329,28 +540,119 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         })
     }
 
-    /// [`submit`](ServeRuntime::submit) for closed-loop clients: when admission sheds the
-    /// attempt, parks on the queue-space condvar (woken whenever the scheduler pops a
-    /// batch, freeing depth and quota) and retries — no busy-spinning, and each shed
-    /// attempt counts once in the rejection stats.  Returns `Err` only once the runtime
-    /// is shutting down.  This is the one blocking submission shape — the load generator,
+    /// [`submit`](ServeRuntime::submit) for closed-loop clients: when admission sheds
+    /// the attempt, backs off exponentially (timed waits on the queue-space condvar,
+    /// [`RETRY_BACKOFF_FLOOR`] doubling to [`RETRY_BACKOFF_CEIL`], woken early whenever
+    /// the scheduler pops a batch) and retries — no busy-spinning, and each shed attempt
+    /// counts once in the rejection stats.  Returns `Err` only once the runtime is
+    /// shutting down.  This is the one blocking submission shape — the load generator,
     /// the benches and the parity tests all go through it, so they measure the same
     /// client behaviour.
     pub fn submit_retrying(&self, caller: u64, query: &Query) -> Result<Ticket, SubmitError> {
+        self.submit_retrying_for(caller, query, None)
+    }
+
+    /// [`submit_retrying`](ServeRuntime::submit_retrying) with a patience cap: gives up
+    /// with [`SubmitError::DeadlineExceeded`] if admission has not succeeded within
+    /// `patience` — the bounded-latency "no" a caller with its own budget needs under
+    /// sustained overload.  `None` retries indefinitely.
+    pub fn submit_retrying_for(
+        &self,
+        caller: u64,
+        query: &Query,
+        patience: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let give_up = patience.map(|p| Instant::now() + p);
+        let mut backoff = RETRY_BACKOFF_FLOOR;
         let mut state = lock_ignoring_poison(&self.shared.queue);
         loop {
-            match self.try_admit(&mut state, caller, query.clone()) {
+            if self.shared.degraded_sync.load(Ordering::Relaxed) {
+                if state.closed {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                drop(state);
+                return Ok(self.serve_degraded_sync(query.clone()));
+            }
+            let due = self
+                .shared
+                .config
+                .default_deadline
+                .map(|d| Instant::now() + d);
+            match self.try_admit(&mut state, caller, query.clone(), due) {
                 Ok(cell) => {
                     drop(state);
                     self.shared.queue_ready.notify_all();
                     return Ok(Ticket::new(cell));
                 }
                 Err(SubmitError::Overloaded { .. }) => {
-                    state = wait_ignoring_poison(&self.shared.queue_space, state);
+                    let now = Instant::now();
+                    if let Some(give_up) = give_up {
+                        if now >= give_up {
+                            return Err(SubmitError::DeadlineExceeded);
+                        }
+                    }
+                    let mut wait = backoff;
+                    if let Some(give_up) = give_up {
+                        wait = wait.min(give_up.saturating_duration_since(now));
+                    }
+                    let (next, _timed_out) =
+                        wait_timeout_ignoring_poison(&self.shared.queue_space, state, wait);
+                    state = next;
+                    backoff = (backoff * 2).min(RETRY_BACKOFF_CEIL);
                 }
-                Err(error @ SubmitError::ShuttingDown) => return Err(error),
+                Err(error) => return Err(error),
             }
         }
+    }
+
+    /// The degraded-sync serving path: once the scheduler lane has breached its restart
+    /// budget, every submission executes as a one-query batch on the *submitting*
+    /// thread — same service, same estimates (the bit-parity contract is per-query), no
+    /// cross-call batching, no background thread to die.  Its ticket is resolved before
+    /// this returns.
+    fn serve_degraded_sync(&self, query: Query) -> Ticket {
+        let shared = &self.shared;
+        let counters = &shared.counters;
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        counters.sync_served.fetch_add(1, Ordering::Relaxed);
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(Arc::clone(&cell));
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            shared.service.serve(std::slice::from_ref(&query))
+        }));
+        let batch_seq = counters.batches.fetch_add(1, Ordering::Relaxed);
+        match response {
+            Ok(response) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
+                cell.complete(TicketOutcome {
+                    estimate: response.estimates[0],
+                    source: EstimateSource::Computed,
+                    batch_size: 1,
+                    batch_seq,
+                    queue_wait: Duration::ZERO,
+                });
+            }
+            Err(_panic) => match catch_unwind(AssertUnwindSafe(|| {
+                shared.service.fallback_estimate(&query)
+            })) {
+                Ok(estimate) => {
+                    counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    cell.complete(TicketOutcome {
+                        estimate,
+                        source: EstimateSource::Degraded,
+                        batch_size: 1,
+                        batch_seq,
+                        queue_wait: Duration::ZERO,
+                    });
+                }
+                Err(_panic) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    cell.fail();
+                }
+            },
+        }
+        ticket
     }
 
     /// The shared admission step of [`submit`](ServeRuntime::submit) and
@@ -361,10 +663,12 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         state: &mut QueueState,
         caller: u64,
         query: Query,
-    ) -> Result<Arc<crate::ticket::TicketCell>, SubmitError> {
+        deadline: Option<Instant>,
+    ) -> Result<Arc<TicketCell>, SubmitError> {
         let admitted = state.admit(
             caller,
             query,
+            deadline,
             self.shared.config.queue_depth,
             self.shared.config.per_caller_depth,
         );
@@ -386,7 +690,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
             }
-            Err(SubmitError::ShuttingDown) => {}
+            Err(_) => {}
         }
         admitted
     }
@@ -396,8 +700,8 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     /// The record is applied asynchronously as a single-swap
     /// [`upsert`](crn_core::ShardedPool::upsert) — new entries join the pool, stale
     /// entries get their cardinality refreshed, and in-flight snapshots are untouched.
-    /// A full lane sheds the record ([`SubmitError::Overloaded`]); the next execution of
-    /// the same query can resubmit it.
+    /// A full (or budget-breached) lane sheds the record ([`SubmitError::Overloaded`]);
+    /// the next execution of the same query can resubmit it.
     pub fn record_feedback(&self, query: Query, cardinality: u64) -> Result<(), SubmitError> {
         self.enqueue_maintenance(query, cardinality, None)
     }
@@ -423,6 +727,13 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         *lock_ignoring_poison(&self.shared.feedback_observer) = Some(observer);
     }
 
+    /// Installs (or replaces) the crash-safe persistence hook the maintenance lane
+    /// invokes every [`checkpoint_every`](RuntimeConfig::checkpoint_every) applied
+    /// records.
+    pub fn set_checkpoint_writer(&self, writer: Arc<dyn CheckpointWriter>) {
+        *lock_ignoring_poison(&self.shared.checkpoint_writer) = Some(writer);
+    }
+
     /// The shared admission step of both feedback shapes.
     fn enqueue_maintenance(
         &self,
@@ -434,7 +745,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         if state.closed {
             return Err(SubmitError::ShuttingDown);
         }
-        if state.pending.len() >= self.shared.config.maintenance_depth {
+        if state.dead || state.pending.len() >= self.shared.config.maintenance_depth {
             self.shared
                 .counters
                 .maintenance_rejected
@@ -475,9 +786,12 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     /// A point-in-time snapshot of the runtime's counters and accumulated serving stats.
     pub fn stats(&self) -> RuntimeStats {
         let counters = &self.shared.counters;
+        let supervisor = &self.shared.supervisor;
         RuntimeStats {
             submitted: counters.submitted.load(Ordering::Relaxed),
             completed: counters.completed.load(Ordering::Relaxed),
+            degraded: counters.degraded.load(Ordering::Relaxed),
+            expired: counters.expired.load(Ordering::Relaxed),
             failed: counters.failed.load(Ordering::Relaxed),
             rejected_queue_full: counters.rejected_queue_full.load(Ordering::Relaxed),
             rejected_caller_quota: counters.rejected_caller_quota.load(Ordering::Relaxed),
@@ -487,10 +801,18 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             drain_closes: counters.drain_closes.load(Ordering::Relaxed),
             max_batch: counters.max_batch.load(Ordering::Relaxed) as u64,
             coalesced: counters.coalesced.load(Ordering::Relaxed),
+            sync_served: counters.sync_served.load(Ordering::Relaxed),
             maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
             maintenance_rejected: counters.maintenance_rejected.load(Ordering::Relaxed),
             maintenance_failed: counters.maintenance_failed.load(Ordering::Relaxed),
             observer_failed: counters.observer_failed.load(Ordering::Relaxed),
+            scheduler_restarts: supervisor.restarts(LANE_SCHEDULER),
+            maintenance_restarts: supervisor.restarts(LANE_MAINTENANCE),
+            degraded_sync_mode: self.shared.degraded_sync.load(Ordering::Relaxed),
+            maintenance_down: supervisor.degraded(LANE_MAINTENANCE),
+            checkpoints_written: counters.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_failed: counters.checkpoints_failed.load(Ordering::Relaxed),
+            faults_injected: self.shared.injector.faults_injected(),
             serve: lock_ignoring_poison(&self.shared.serve_stats).clone(),
         }
     }
@@ -548,7 +870,153 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> std::fmt::Debug for ServeR
     }
 }
 
-/// The scheduler: forms batches off the submission queue and executes them.
+/// The scheduler lane's supervision wrapper: runs [`scheduler_loop`] and, when a panic
+/// escapes it (a loop bug, or an injected
+/// [`SchedulerLoop`](crate::FaultSite::SchedulerLoop) kill), reconciles the shared
+/// state — the orphaned in-flight batch resolves through the degraded path, nothing
+/// hangs — and either re-enters the loop (queue intact) or, past the restart budget,
+/// flips the runtime to degraded-sync serving.
+fn scheduler_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M>>) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| scheduler_loop(shared))) {
+            Ok(()) => return, // clean shutdown drain
+            Err(_panic) => {
+                recover_orphaned_batch(shared);
+                match shared.supervisor.on_panic(LANE_SCHEDULER) {
+                    SupervisorVerdict::Restart => continue,
+                    SupervisorVerdict::Degrade => {
+                        degrade_to_sync(shared);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the batch a killed scheduler left behind (tickets via the degraded path)
+/// and retires it from the in-flight accounting, so `flush` and waiters see a
+/// consistent queue again before the loop restarts.
+fn recover_orphaned_batch<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    let orphan = lock_ignoring_poison(&shared.inflight).take();
+    let Some(batch) = orphan else { return };
+    let batch_seq = shared.counters.batches.load(Ordering::Relaxed);
+    resolve_degraded(
+        shared,
+        &batch.tickets,
+        &batch.slots,
+        &batch.unique,
+        batch.size,
+        batch_seq,
+        None,
+    );
+    let mut state = lock_ignoring_poison(&shared.queue);
+    state.in_flight -= batch.size;
+    let idle = state.pending.is_empty() && state.in_flight == 0;
+    drop(state);
+    shared.queue_space.notify_all();
+    if idle {
+        shared.queue_idle.notify_all();
+    }
+}
+
+/// The budget-breach transition: flips the runtime to degraded-sync serving (under the
+/// queue lock, so no submission races past the flag into a queue nobody drains) and
+/// settles everything still pending — expired deadlines expire, the rest resolve through
+/// the degraded path.
+fn degrade_to_sync<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    let (expired, stranded) = {
+        let mut state = lock_ignoring_poison(&shared.queue);
+        shared.degraded_sync.store(true, Ordering::Relaxed);
+        let expired = state.shed_expired(Instant::now());
+        let remaining = state.pending.len();
+        let stranded = state.pop_batch(remaining);
+        state.in_flight -= stranded.len(); // pop counted them in flight; nothing executes
+        (expired, stranded)
+    };
+    shared.queue_ready.notify_all();
+    shared.queue_space.notify_all();
+    shared.queue_idle.notify_all();
+    if !expired.is_empty() {
+        shared
+            .counters
+            .expired
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        for request in &expired {
+            request.ticket.expire();
+        }
+    }
+    if !stranded.is_empty() {
+        let batch_seq = shared.counters.batches.load(Ordering::Relaxed);
+        let tickets: Vec<Arc<TicketCell>> = stranded
+            .iter()
+            .map(|request| Arc::clone(&request.ticket))
+            .collect();
+        let slots: Vec<usize> = (0..stranded.len()).collect();
+        let unique: Vec<Query> = stranded.into_iter().map(|request| request.query).collect();
+        resolve_degraded(
+            shared,
+            &tickets,
+            &slots,
+            &unique,
+            tickets.len(),
+            batch_seq,
+            None,
+        );
+    }
+}
+
+/// Resolves a set of tickets through the degraded fallback path (after a panicked batch
+/// or a scheduler kill): per-unique-query [`fallback_estimate`]s, tagged
+/// [`Degraded`](EstimateSource::Degraded).  If even the fallback panics, the tickets
+/// fail — resolved either way, never stranded.
+///
+/// [`fallback_estimate`]: crn_core::EstimatorService::fallback_estimate
+fn resolve_degraded<M: ContainmentEstimator + Send + Sync>(
+    shared: &Shared<M>,
+    tickets: &[Arc<TicketCell>],
+    slots: &[usize],
+    unique: &[Query],
+    batch_size: usize,
+    batch_seq: u64,
+    waits: Option<&[Duration]>,
+) {
+    let fallback = catch_unwind(AssertUnwindSafe(|| {
+        unique
+            .iter()
+            .map(|query| shared.service.fallback_estimate(query))
+            .collect::<Vec<f64>>()
+    }));
+    match fallback {
+        Ok(estimates) => {
+            shared
+                .counters
+                .degraded
+                .fetch_add(tickets.len() as u64, Ordering::Relaxed);
+            for (index, (ticket, &slot)) in tickets.iter().zip(slots).enumerate() {
+                ticket.complete(TicketOutcome {
+                    estimate: estimates[slot],
+                    source: EstimateSource::Degraded,
+                    batch_size,
+                    batch_seq,
+                    queue_wait: waits.map_or(Duration::ZERO, |waits| waits[index]),
+                });
+            }
+        }
+        Err(_panic) => {
+            shared
+                .counters
+                .failed
+                .fetch_add(tickets.len() as u64, Ordering::Relaxed);
+            for ticket in tickets {
+                ticket.fail();
+            }
+        }
+    }
+}
+
+/// The scheduler: forms batches off the submission queue and executes them.  Runs until
+/// the shutdown drain completes; panics escape to [`scheduler_thread`]'s supervision.
 fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     loop {
         // Phase 1 — wait for the batch-opening request (or shutdown with an empty queue).
@@ -584,10 +1052,31 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         } else {
             CloseReason::Window
         };
+        // Deadline shedding happens exactly here — after the close decision, before the
+        // pop — so an expired request never reaches execution and never displaces queue
+        // capacity a live request could use.
+        let expired = state.shed_expired(Instant::now());
         let batch = state.pop_batch(shared.config.batch_max);
         drop(state);
         // The pop freed queue depth and caller quotas: wake parked blocking submitters.
         shared.queue_space.notify_all();
+        if !expired.is_empty() {
+            shared
+                .counters
+                .expired
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for request in &expired {
+                request.ticket.expire();
+            }
+        }
+        if batch.is_empty() {
+            // Everything that had accumulated expired: no batch to run this round.
+            let state = lock_ignoring_poison(&shared.queue);
+            if state.pending.is_empty() && state.in_flight == 0 {
+                shared.queue_idle.notify_all();
+            }
+            continue;
+        }
 
         // Phase 3 — execute the whole batch as ONE service call: this is where
         // cross-call traffic fuses into the service's multi-query head batches.
@@ -623,10 +1112,25 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             waits.push(closed_at.saturating_duration_since(request.enqueued));
         }
         let coalesced = batch_size - unique.len();
+        // Park the batch in the recovery slot: if this thread dies anywhere below, the
+        // supervision wrapper resolves these tickets and retires the batch.
+        *lock_ignoring_poison(&shared.inflight) = Some(InflightBatch {
+            tickets: tickets.clone(),
+            slots: slots.clone(),
+            unique: unique.clone(),
+            size: batch_size,
+        });
+        // Scripted scheduler kill: OUTSIDE every containment, mid-batch — the genuine
+        // thread-death path the supervisor exists for.
+        shared.injector.fire(FaultSite::SchedulerLoop);
         // The worker pool propagates shard panics to its submitter — here, this thread.
-        // Contain them: a panicked batch must neither strand its waiters (they re-raise
-        // through their tickets) nor kill the scheduler (later batches still serve).
-        let response = catch_unwind(AssertUnwindSafe(|| shared.service.serve(&unique)));
+        // Contain them: a panicked batch must neither strand its waiters (they resolve
+        // through the degraded path below) nor kill the scheduler (later batches still
+        // serve).
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            shared.injector.fire(FaultSite::BatchExecute);
+            shared.service.serve(&unique)
+        }));
 
         // Phase 4 — bookkeeping, then resolve every ticket.
         let counters = &shared.counters;
@@ -650,6 +1154,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 for ((ticket, &slot), queue_wait) in tickets.iter().zip(&slots).zip(waits) {
                     ticket.complete(TicketOutcome {
                         estimate: response.estimates[slot],
+                        source: EstimateSource::Computed,
                         batch_size,
                         batch_seq,
                         queue_wait,
@@ -657,14 +1162,21 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 }
             }
             Err(_panic) => {
-                counters
-                    .failed
-                    .fetch_add(batch_size as u64, Ordering::Relaxed);
-                for ticket in &tickets {
-                    ticket.fail();
-                }
+                // The model panicked on this batch: answer every ticket from the
+                // stats/fallback path, tagged Degraded — within budget, never silent.
+                resolve_degraded(
+                    shared,
+                    &tickets,
+                    &slots,
+                    &unique,
+                    batch_size,
+                    batch_seq,
+                    Some(&waits),
+                );
             }
         }
+        // Resolution done: the recovery slot no longer owns these tickets.
+        lock_ignoring_poison(&shared.inflight).take();
 
         // Phase 5 — retire the batch; wake `flush` when fully idle.
         let mut state = lock_ignoring_poison(&shared.queue);
@@ -675,8 +1187,95 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     }
 }
 
+/// The maintenance lane's supervision wrapper (mirror of [`scheduler_thread`]): a panic
+/// that escapes the per-record containment loses at most the in-flight record (counted
+/// failed), the queue survives, and the lane restarts — or, past the budget, goes down
+/// for good with its backlog counted and shed.
+fn maintenance_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M>>) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| maintenance_loop(shared))) {
+            Ok(()) => return,
+            Err(_panic) => {
+                recover_maintenance(shared);
+                match shared.supervisor.on_panic(LANE_MAINTENANCE) {
+                    SupervisorVerdict::Restart => continue,
+                    SupervisorVerdict::Degrade => {
+                        degrade_maintenance(shared);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reconciles the maintenance state after a mid-record kill: the popped record is lost
+/// (counted failed), the `applying` flag clears so `flush` cannot wedge.
+fn recover_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    let mut state = lock_ignoring_poison(&shared.maint);
+    if state.applying {
+        state.applying = false;
+        shared
+            .counters
+            .maintenance_failed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let idle = state.pending.is_empty();
+    drop(state);
+    if idle {
+        shared.maint_idle.notify_all();
+    }
+}
+
+/// The maintenance lane's budget-breach transition: the lane stays down, its backlog is
+/// counted failed and dropped, and admission sheds from here on (`dead`).
+fn degrade_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    let mut state = lock_ignoring_poison(&shared.maint);
+    state.dead = true;
+    let dropped = state.pending.len() as u64;
+    state.pending.clear();
+    drop(state);
+    if dropped > 0 {
+        shared
+            .counters
+            .maintenance_failed
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+    shared.maint_idle.notify_all();
+}
+
+/// One checkpoint attempt through the installed [`CheckpointWriter`] (if any): failures
+/// — writer errors, writer panics, injected write faults — are counted and contained;
+/// the lane keeps draining and retries after the next interval.
+fn run_checkpoint<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+    let writer = lock_ignoring_poison(&shared.checkpoint_writer).clone();
+    let Some(writer) = writer else { return };
+    if shared.injector.should_fire(FaultSite::CheckpointWrite) {
+        shared
+            .counters
+            .checkpoints_failed
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match catch_unwind(AssertUnwindSafe(|| writer.write_checkpoint())) {
+        Ok(Ok(())) => {
+            shared
+                .counters
+                .checkpoints_written
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(_)) | Err(_) => {
+            shared
+                .counters
+                .checkpoints_failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The maintenance lane: applies feedback records to the pool, one single-swap upsert at
-/// a time, concurrently with serving.
+/// a time, concurrently with serving.  Panics escape to [`maintenance_thread`]'s
+/// supervision.
 fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     loop {
         let record = {
@@ -693,9 +1292,13 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 state = wait_ignoring_poison(&shared.maint_ready, state);
             }
         };
+        // Scripted maintenance kill: mid-record (popped, not yet applied), outside the
+        // containment below — the record is lost, the supervisor restarts the lane.
+        shared.injector.fire(FaultSite::MaintenanceLoop);
         // Same containment as the scheduler: a panicking upsert must not wedge `flush`
         // (the `applying` flag below) or kill the lane for later records.
         let applied = catch_unwind(AssertUnwindSafe(|| {
+            shared.injector.fire(FaultSite::MaintenanceUpsert);
             shared
                 .service
                 .pool()
@@ -724,6 +1327,15 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                             .observer_failed
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                }
+            }
+            // Checkpoint cadence: every `checkpoint_every` applied records, persist
+            // through the installed writer (failures counted and retried later).
+            if shared.config.checkpoint_every > 0 {
+                let due = shared.since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+                if due >= shared.config.checkpoint_every {
+                    shared.since_checkpoint.store(0, Ordering::Relaxed);
+                    run_checkpoint(shared);
                 }
             }
         }

@@ -84,7 +84,9 @@ fn async_runtime_is_bit_identical_to_synchronous_service() {
                                 }
                                 tickets
                                     .into_iter()
-                                    .map(|(index, ticket)| (index, ticket.wait().estimate))
+                                    .map(|(index, ticket)| {
+                                        (index, ticket.wait().expect("served").estimate)
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -167,7 +169,7 @@ fn maintenance_lane_matches_synchronous_upserts() {
         .map(|query| runtime.submit_retrying(0, query).expect("runtime alive"))
         .collect();
     for (index, (ticket, e)) in tickets.iter().zip(&expected).enumerate() {
-        let a = ticket.wait().estimate;
+        let a = ticket.wait().expect("served").estimate;
         assert!(
             a == *e,
             "query {index} after maintenance: async {a} vs sync-upserted {e}"
@@ -211,7 +213,8 @@ fn concurrent_callers_fuse_into_shared_batches() {
                     let outcome = runtime
                         .submit_retrying(caller, query)
                         .expect("runtime alive")
-                        .wait();
+                        .wait()
+                        .expect("served");
                     assert!(outcome.estimate == *e, "fused estimate must match");
                     assert!(outcome.batch_size >= 1);
                 }
@@ -272,7 +275,7 @@ fn duplicate_in_window_queries_coalesce_with_bit_parity() {
                         .map(|query| runtime.submit_retrying(caller, query).expect("alive"))
                         .collect();
                     for (index, (ticket, e)) in tickets.iter().zip(expected).enumerate() {
-                        let outcome = ticket.wait();
+                        let outcome = ticket.wait().expect("served");
                         assert!(
                             outcome.estimate == *e,
                             "caller {caller} query {index}: coalesced {} vs reference {e}",

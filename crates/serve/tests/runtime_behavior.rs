@@ -120,12 +120,13 @@ fn admission_sheds_load_and_drain_resolves_every_ticket() {
         runtime.record_feedback(uncovered, 9),
         Err(SubmitError::ShuttingDown)
     ));
-    for outcome in [plug.wait(), a1.wait(), a2.wait(), b1.wait(), b2.wait()] {
+    for resolution in [plug.wait(), a1.wait(), a2.wait(), b1.wait(), b2.wait()] {
+        let outcome = resolution.expect("served");
         assert_eq!(outcome.batch_size, 1, "batch max 1: served one by one");
         assert!(outcome.estimate > 0.0);
     }
     // The queued requests waited at least as long as the plug batch executed.
-    assert!(a1.wait().queue_wait > Duration::ZERO);
+    assert!(a1.wait().expect("served").queue_wait > Duration::ZERO);
 
     let stats = runtime.shutdown();
     assert_eq!(stats.submitted, 5);
@@ -165,28 +166,114 @@ fn batch_max_is_clamped_to_queue_depth() {
 }
 
 #[test]
-fn panicked_batches_fail_their_tickets_and_the_runtime_survives() {
+fn panicked_batches_resolve_degraded_and_the_runtime_survives() {
     // The pool covers `title` scans, so a title-scan query routes through the panicking
     // model; uncovered queries take the fallback path and never touch it.
     let pool = ShardedPool::new(2);
     pool.insert(Query::scan("title"), 10);
     let runtime = runtime_over(PanicModel, pool, RuntimeConfig::default().with_window_us(0));
     let doomed = runtime.submit(0, Query::scan("title")).expect("admitted");
-    let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait()));
-    assert!(observed.is_err(), "the waiter re-raises the batch panic");
+    // The waiter gets a *degraded* answer, not a hang and not a re-raised panic: the
+    // batch's panic was contained and the ticket resolved through the fallback path,
+    // tagged with its provenance.
+    let outcome = doomed.wait().expect("resolved degraded, not failed");
+    assert!(!outcome.is_computed());
+    assert_eq!(outcome.source, crn_serve::EstimateSource::Degraded);
+    assert!(outcome.estimate > 0.0, "the default estimate is usable");
 
-    // The scheduler survived: the fallback path still serves, flush() does not hang on
-    // the failed batch's accounting, and shutdown is clean.
+    // The scheduler survived: the fallback path still serves (Computed — the panicking
+    // model was never consulted), flush() does not hang on the panicked batch's
+    // accounting, and shutdown is clean.
     let ok = runtime
         .submit(0, Query::scan("cast_info"))
         .expect("admitted")
-        .wait();
+        .wait()
+        .expect("served");
+    assert!(ok.is_computed());
     assert!(ok.estimate > 0.0);
     runtime.flush();
     let stats = runtime.shutdown();
-    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.failed, 0, "the fallback path answered");
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.batches, 2);
+    assert!(stats.fully_resolved(), "{stats:?}");
+    assert_eq!(
+        stats.scheduler_restarts, 0,
+        "a contained batch panic never escalates to the supervisor"
+    );
+}
+
+#[test]
+fn queued_requests_past_their_deadline_expire_instead_of_executing() {
+    // The pool covers `title`, and the model sleeps 50ms per pair — so a first title
+    // scan pins the scheduler while short-deadline requests go stale in the queue
+    // behind it.
+    let pool = ShardedPool::new(2);
+    pool.insert(Query::scan("title"), 10);
+    let runtime = runtime_over(
+        SlowModel(Duration::from_millis(50)),
+        pool,
+        RuntimeConfig::default().with_batch_max(1).with_window_us(0),
+    );
+    let plug = runtime.submit(0, Query::scan("title")).expect("admitted");
+    std::thread::sleep(Duration::from_millis(10));
+    // Admitted behind the plug with a 1ms deadline: stale long before the plug's ~100ms
+    // batch finishes.
+    let stale = runtime
+        .submit_with_deadline(1, Query::scan("title"), Some(Duration::from_millis(1)))
+        .expect("admitted");
+    // And one without a deadline, which must still execute normally afterwards.
+    let patient = runtime
+        .submit(2, Query::scan("cast_info"))
+        .expect("admitted");
+
+    assert!(plug.wait().is_ok());
+    assert_eq!(
+        stale.wait(),
+        Err(crn_serve::TicketError::Expired),
+        "the stale request was shed unexecuted"
+    );
+    let outcome = patient.wait().expect("served");
+    assert!(outcome.is_computed());
+    let stats = runtime.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 2);
+    assert!(stats.fully_resolved(), "{stats:?}");
+}
+
+#[test]
+fn submit_retrying_for_gives_up_after_its_patience() {
+    // Queue depth 1 and a slow plug batch: admission stays full well past the 20ms
+    // patience, so the bounded backoff must give up with DeadlineExceeded instead of
+    // parking forever.
+    let pool = ShardedPool::new(2);
+    pool.insert(Query::scan("title"), 10);
+    let runtime = runtime_over(
+        SlowModel(Duration::from_millis(200)),
+        pool,
+        RuntimeConfig::default()
+            .with_queue_depth(1)
+            .with_batch_max(1)
+            .with_window_us(0),
+    );
+    let plug = runtime.submit(0, Query::scan("title")).expect("admitted");
+    std::thread::sleep(Duration::from_millis(10));
+    // The scheduler popped the plug; fill the single queue slot so admission is full.
+    let filler = runtime.submit(1, Query::scan("title")).expect("admitted");
+    let started = std::time::Instant::now();
+    match runtime.submit_retrying_for(2, &Query::scan("title"), Some(Duration::from_millis(20))) {
+        Err(SubmitError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let gave_up_after = started.elapsed();
+    assert!(
+        gave_up_after < Duration::from_millis(150),
+        "patience bounds the retry loop: {gave_up_after:?}"
+    );
+    assert!(plug.wait().is_ok());
+    assert!(filler.wait().is_ok());
+    runtime.shutdown();
 }
 
 #[test]
@@ -196,7 +283,11 @@ fn zero_window_serves_a_closed_loop_caller_one_by_one() {
     let mut estimates = Vec::new();
     for _ in 0..10 {
         // Closed loop: at most one request is ever pending, so every batch is size 1.
-        let outcome = runtime.submit(7, query.clone()).expect("admitted").wait();
+        let outcome = runtime
+            .submit(7, query.clone())
+            .expect("admitted")
+            .wait()
+            .expect("served");
         assert_eq!(outcome.batch_size, 1);
         estimates.push(outcome.estimate);
     }
@@ -222,7 +313,7 @@ fn size_threshold_closes_batches_before_the_window() {
     // Two submissions hit the size threshold immediately — the 10s window never matters.
     let t1 = runtime.submit(0, query.clone()).expect("admitted");
     let t2 = runtime.submit(1, query.clone()).expect("admitted");
-    let (o1, o2) = (t1.wait(), t2.wait());
+    let (o1, o2) = (t1.wait().expect("served"), t2.wait().expect("served"));
     assert_eq!(o1.batch_size, 2);
     assert_eq!(o1.batch_seq, o2.batch_seq);
     let stats = runtime.shutdown();
