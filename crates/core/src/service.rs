@@ -173,6 +173,12 @@ pub struct ServeResponse {
     pub estimates: Vec<f64>,
     /// How the batch was served.
     pub stats: ServeStats,
+    /// The [`PoolSnapshot::version`] of the pool snapshot the whole batch was computed
+    /// under (the model version is in [`ServeStats::model_version`]).  Together they name
+    /// the exact `(pool, model)` pairing of every estimate in this response — the key a
+    /// cross-window estimate cache files results under, so maintenance upserts and model
+    /// hot-swaps invalidate by construction.
+    pub pool_version: u64,
 }
 
 /// A per-shard cached anchor serving state, valid for one `(pool shard version, model
@@ -373,7 +379,23 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             .collect();
         stats.merge_time = merge_started.elapsed();
         stats.total_time = started.elapsed();
-        ServeResponse { estimates, stats }
+        ServeResponse {
+            estimates,
+            stats,
+            pool_version: snapshot.version(),
+        }
+    }
+
+    /// The `(pool version, model version)` pairing a `serve` issued right now would
+    /// compute under — what a cross-window estimate cache probes with at batch-build
+    /// time.  Both versions are monotonic (maintenance swaps and
+    /// [`swap_model`](EstimatorService::swap_model) only ever publish larger ones), so a
+    /// cached estimate filed under the versions its own response reported
+    /// ([`ServeResponse::pool_version`], [`ServeStats::model_version`]) matches a probe
+    /// only when neither the pool nor the model has changed since it was computed —
+    /// version-keyed invalidation, exactly the per-shard anchor caches' discipline.
+    pub fn serving_versions(&self) -> (u64, u64) {
+        (self.pool.snapshot().version(), self.model_version())
     }
 
     /// Convenience single-query entry point (a one-element `serve`).

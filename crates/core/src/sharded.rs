@@ -61,6 +61,18 @@ impl PoolSnapshot {
         self.versions[index]
     }
 
+    /// The snapshot-wide pool version: the sum of the per-shard versions.
+    ///
+    /// Every copy-on-write maintenance swap bumps exactly one shard's version to a fresh
+    /// strictly-larger value, so this sum is **strictly monotonic** across successor
+    /// snapshots of one pool: two snapshots share a pool version only if they are the
+    /// same pool state.  A query's estimate reads matching anchors from *every* shard,
+    /// so this — not the query's own shard version — is the invalidation granularity a
+    /// whole-estimate cache needs: any upsert anywhere invalidates, exactly.
+    pub fn version(&self) -> u64 {
+        self.versions.iter().sum()
+    }
+
     /// Total number of entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()

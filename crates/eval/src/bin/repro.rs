@@ -7,6 +7,7 @@
 //! repro <experiment-id> [<experiment-id> ...] [--preset ...]
 //! repro serve [--preset ...] [--shards N] [--threads N] [--queries N] [--batch N]
 //!             [--async] [--batch-window-us N] [--queue-depth N] [--callers N]
+//!             [--class-window-us N] [--class-weights A:B] [--cache-entries N]
 //!             [--online] [--refresh-interval N] [--probe-frac F] [--gate-margin F]
 //!             [--deadline-us N] [--restart-budget N] [--checkpoint-dir D]
 //!             [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]
@@ -274,6 +275,43 @@ fn run_serve(args: &[String]) {
             "--chaos" => {
                 config.chaos = Some(flag_value(&mut iter, "--chaos"));
             }
+            "--class-window-us" => {
+                // Zero is legitimate: the batch class then inherits the base
+                // --batch-window-us window (classes still admit separately).
+                let value = flag_value(&mut iter, "--class-window-us");
+                config.class_window_us = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--class-window-us requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                }));
+            }
+            "--class-weights" => {
+                let value = flag_value(&mut iter, "--class-weights");
+                let parsed = value.split_once(':').and_then(|(interactive, batch)| {
+                    Some((
+                        interactive.trim().parse::<u32>().ok()?,
+                        batch.trim().parse::<u32>().ok()?,
+                    ))
+                });
+                config.class_weights = match parsed {
+                    Some(weights) if weights != (0, 0) => Some(weights),
+                    _ => {
+                        eprintln!(
+                            "--class-weights requires INTERACTIVE:BATCH with at least one \
+                             non-zero weight (e.g. 3:1), got {value}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cache-entries" => {
+                // Zero is legitimate: it disables the estimate cache, restoring the
+                // cache-free serving path exactly.
+                let value = flag_value(&mut iter, "--cache-entries");
+                config.cache_entries = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-entries requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print_serve_usage();
                 return;
@@ -312,6 +350,8 @@ fn print_serve_usage() {
          [--queries N] [--batch N]\n\
          \x20                  [--async] [--batch-window-us N] [--queue-depth N] \
          [--callers N] [--bench-json <path>]\n\
+         \x20                  [--class-window-us N] [--class-weights A:B] \
+         [--cache-entries N]\n\
          \x20                  [--online] [--refresh-interval N] [--probe-frac F] \
          [--gate-margin F]\n\
          \x20                  [--deadline-us N] [--restart-budget N] \
@@ -383,6 +423,45 @@ fn print_serve_usage() {
          (parity-testing floor).\n\
          Per-caller fairness quotas are queue-depth / callers.\n\
          \n\
+         Choosing --class-window-us (async): the Batch-class batching window.  Setting \
+         it (or\n\
+         --class-weights) switches the load generator to mixed traffic — odd-indexed \
+         callers register\n\
+         Batch-class — and each class closes batches on its own window: keep the base \
+         --batch-window-us\n\
+         at the interactive tail budget (~100-500us) and give the batch class \
+         multi-ms (2000-20000)\n\
+         so replay/backfill traffic fuses maximally without ever holding an \
+         interactive request; the\n\
+         scheduler always closes the most urgent class first.  0 makes the batch \
+         class inherit the base\n\
+         window (admission still per class).  Estimates stay bit-identical at every \
+         setting.\n\
+         \n\
+         Choosing --class-weights (async): INTERACTIVE:BATCH shares of the queue \
+         depth, the\n\
+         anti-starvation bound — a class may only occupy ceil(depth x weight / total) \
+         slots, so a batch\n\
+         flood can never fill the queue against interactive traffic.  3:1 suits \
+         latency-first serving;\n\
+         omit the flag to let every class use the whole queue (the single-class \
+         behavior).  Every class\n\
+         always keeps at least one admissible slot.\n\
+         \n\
+         Choosing --cache-entries (async): the cross-window estimate cache, keyed on \
+         (canonical query\n\
+         hash, pool version, model version) so maintenance upserts and model \
+         hot-swaps invalidate\n\
+         exactly — hits are bit-identical to recomputing, only the compute is \
+         skipped.  Size it to\n\
+         2-4x the hot working set of distinct queries; repeated-query workloads then \
+         serve mostly at\n\
+         memory latency.  0 disables the cache and restores the cache-free path \
+         exactly.  With the\n\
+         cache on, the demo drives the workload twice so the hit path is measured \
+         (per-class p50/p99\n\
+         and hit rates land in BENCH_serving.json).\n\
+         \n\
          Choosing --deadline-us (async): the per-request staleness bound.  A queued \
          request past its\n\
          deadline is shed with an Expired resolution instead of executing — set it to \
@@ -444,7 +523,8 @@ fn print_usage() {
     eprintln!(
         "       repro serve [--preset tiny|small|paper] [--shards N] [--threads N] \
          [--queries N] [--batch N] [--async] [--batch-window-us N] [--queue-depth N] \
-         [--callers N] [--online] [--refresh-interval N] [--probe-frac F] \
+         [--callers N] [--class-window-us N] [--class-weights A:B] [--cache-entries N] \
+         [--online] [--refresh-interval N] [--probe-frac F] \
          [--gate-margin F] [--deadline-us N] [--restart-budget N] [--checkpoint-dir D] \
          [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]  \
          (see `repro serve --help`)"

@@ -35,7 +35,7 @@ use crn_query::generator::{GeneratorConfig, QueryGenerator, ScaleGenerator, Scal
 use crn_query::Query;
 use crn_serve::{
     CheckpointWriter, FaultInjector, FaultPlan, FeedbackObserver, RuntimeConfig, ServeRuntime,
-    SupervisorPolicy,
+    SloClass, SupervisorPolicy,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -97,6 +97,18 @@ pub struct ServeDemoConfig {
     /// recover checkpoint demo) or a [`FaultPlan`] spec like
     /// `batch-panic:2,maint-kill,checkpoint-fail:every2`.
     pub chaos: Option<String>,
+    /// Batch-class batching window in µs (`--class-window-us`); `None` keeps the
+    /// runtime's default batch-class window, 0 makes the batch class inherit the base
+    /// window.  Setting this (or `--class-weights`) switches the async demo to mixed
+    /// traffic: odd-indexed callers register as `Batch`-class.
+    pub class_window_us: Option<u64>,
+    /// Weighted admission shares `interactive:batch` (`--class-weights A:B`); `None`
+    /// disables weighting — every class may use the whole queue depth.
+    pub class_weights: Option<(u32, u32)>,
+    /// Cross-window estimate cache capacity in entries (`--cache-entries`); 0 disables
+    /// the cache entirely.  With the cache on, the async demo drives the workload
+    /// twice so the second pass measures the hit path.
+    pub cache_entries: usize,
 }
 
 impl ServeDemoConfig {
@@ -124,6 +136,9 @@ impl ServeDemoConfig {
             checkpoint_every: 0,
             restart_budget: None,
             chaos: None,
+            class_window_us: None,
+            class_weights: None,
+            cache_entries: 0,
         }
     }
 }
@@ -161,6 +176,28 @@ pub struct BenchRecord {
     pub mean_us: f64,
     /// End-to-end served queries per second.
     pub throughput_qps: f64,
+    /// Callers registered `Batch`-class (0 outside the mixed async mode).
+    pub batch_callers: usize,
+    /// The batch class's effective batching window in µs (0 in sync mode).
+    pub class_window_us: u64,
+    /// Median / 99th-percentile latency in µs over interactive-class requests only
+    /// (0 when no interactive caller ran).
+    pub interactive_p50_us: f64,
+    /// See [`BenchRecord::interactive_p50_us`].
+    pub interactive_p99_us: f64,
+    /// Median / 99th-percentile latency in µs over batch-class requests only
+    /// (0 when no batch caller ran).
+    pub batch_p50_us: f64,
+    /// See [`BenchRecord::batch_p50_us`].
+    pub batch_p99_us: f64,
+    /// Configured estimate-cache capacity (0 = cache off).
+    pub cache_entries: usize,
+    /// Estimate-cache hits / misses over the whole run (warmup included).
+    pub cache_hits: u64,
+    /// See [`BenchRecord::cache_hits`].
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when the cache never probed.
+    pub cache_hit_rate: f64,
 }
 
 /// The `BENCH_serving.json` shape: a schema tag plus one record per measured config.
@@ -386,6 +423,16 @@ fn run_sync_demo(
         p99_us: percentile_us(&mut latencies_us, 0.99),
         mean_us,
         throughput_qps: total.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        batch_callers: 0,
+        class_window_us: 0,
+        interactive_p50_us: 0.0,
+        interactive_p99_us: 0.0,
+        batch_p50_us: 0.0,
+        batch_p99_us: 0.0,
+        cache_entries: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
     })
 }
 
@@ -416,6 +463,32 @@ fn run_async_demo(
         runtime.config().restart_policy.max_restarts,
     ));
 
+    // Mixed SLO-class traffic: setting either class knob registers every odd-indexed
+    // caller as `Batch`-class, so the run exercises per-class windows and (with
+    // `--class-weights`) the weighted admission shares.
+    let mixed = config.class_window_us.is_some() || config.class_weights.is_some();
+    let batch_callers = if mixed { callers / 2 } else { 0 };
+    if mixed {
+        for caller in 0..callers {
+            if caller % 2 == 1 {
+                runtime.register_caller(caller as u64, SloClass::Batch);
+            }
+        }
+        let class_window = runtime.config().class_window(SloClass::Batch);
+        lines.push(format!(
+            "[serve] SLO classes on: {} interactive + {} batch callers, batch-class \
+             window {:.0}us, weights {}, cache {} entries",
+            callers - batch_callers,
+            batch_callers,
+            class_window.as_secs_f64() * 1e6,
+            match config.class_weights {
+                Some((i, b)) => format!("{i}:{b}"),
+                None => "off".to_string(),
+            },
+            config.cache_entries,
+        ));
+    }
+
     // Parity tripwire: the first batch goes through the *runtime* (so the whole
     // queue → scheduler → service path is on the hook), checked against the sequential
     // single-query semantics.  Closed-loop one at a time: the warmup then neither skews
@@ -429,42 +502,69 @@ fn run_async_demo(
         first_batch.len()
     ));
 
-    // The measured run: closed-loop callers, per-request latencies.  Every counter
-    // reported below deltas against this snapshot so the parity warmup stays out of the
-    // measured figures.
+    // The measured run: closed-loop callers, per-request latencies bucketed by SLO
+    // class.  With the cache on the workload runs twice, so the second pass measures
+    // the hit path.  Every counter reported below deltas against this snapshot so the
+    // parity warmup stays out of the measured figures.
+    let passes = if config.cache_entries > 0 { 2 } else { 1 };
     let pre_load = runtime.stats();
     let run_started = Instant::now();
     let mut latencies_us: Vec<f64> = Vec::new();
+    let mut interactive_us: Vec<f64> = Vec::new();
+    let mut batch_us: Vec<f64> = Vec::new();
     std::thread::scope(|scope| {
         let runtime = &runtime;
         let handles: Vec<_> = (0..callers)
             .map(|caller| {
                 scope.spawn(move || {
                     let mut own = Vec::new();
-                    for (index, query) in workload.iter().enumerate() {
-                        if index % callers == caller {
-                            let submitted = Instant::now();
-                            let outcome = runtime
-                                .submit_retrying(caller as u64, query)
-                                .expect("the driver owns the runtime")
-                                .wait();
-                            // Expired/failed tickets are visible in the runtime's own
-                            // counters; only served requests fund the latency sample.
-                            if let Ok(outcome) = outcome {
-                                own.push(submitted.elapsed().as_secs_f64() * 1e6);
-                                debug_assert!(outcome.estimate >= 0.0);
+                    for _pass in 0..passes {
+                        for (index, query) in workload.iter().enumerate() {
+                            if index % callers == caller {
+                                let submitted = Instant::now();
+                                let outcome = runtime
+                                    .submit_retrying(caller as u64, query)
+                                    .expect("the driver owns the runtime")
+                                    .wait();
+                                // Expired/failed tickets are visible in the runtime's
+                                // own counters; only served requests fund the latency
+                                // sample.
+                                if let Ok(outcome) = outcome {
+                                    own.push(submitted.elapsed().as_secs_f64() * 1e6);
+                                    debug_assert!(outcome.estimate >= 0.0);
+                                }
                             }
                         }
                     }
-                    own
+                    (caller, own)
                 })
             })
             .collect();
         for handle in handles {
-            latencies_us.extend(handle.join().expect("caller thread"));
+            let (caller, own) = handle.join().expect("caller thread");
+            if mixed && caller % 2 == 1 {
+                batch_us.extend(own.iter().copied());
+            } else {
+                interactive_us.extend(own.iter().copied());
+            }
+            latencies_us.extend(own);
         }
     });
     let elapsed = run_started.elapsed();
+
+    // Cache parity tripwire: with the cache warm, re-serving the warmup batch replays
+    // from it — and must STILL be bit-identical to the sequential single-query path.
+    // (Runs before the feedback phase: maintenance upserts move the pool version, which
+    // by design would turn these replays back into recomputations.)
+    if config.cache_entries > 0 {
+        let replayed = serve_all(&runtime, 0, first_batch)?;
+        verify_parity(&replayed, first_batch, sequential, "async-cache")?;
+        lines.push(format!(
+            "[serve] cache parity check passed: {} warm replays bit-identical to the \
+             sequential path",
+            first_batch.len()
+        ));
+    }
 
     // The maintenance lane: feed true cardinalities of the first few served queries back
     // into the pool (the §5.2 refresh loop) and wait for the upserts to land.
@@ -478,10 +578,14 @@ fn run_async_demo(
     }
     runtime.flush();
 
+    let class_window = runtime.config().class_window(SloClass::Batch);
+    let base_window = runtime.config().batch_window;
     let stats = runtime.shutdown();
-    let rejected = stats.rejected_queue_full + stats.rejected_caller_quota
-        - pre_load.rejected_queue_full
-        - pre_load.rejected_caller_quota;
+    let rejected =
+        stats.rejected_queue_full + stats.rejected_caller_quota + stats.rejected_class_share
+            - pre_load.rejected_queue_full
+            - pre_load.rejected_caller_quota
+            - pre_load.rejected_class_share;
     let load_completed = stats.completed - pre_load.completed;
     let load_batches = stats.batches - pre_load.batches;
     let load_mean_batch = if load_batches == 0 {
@@ -547,6 +651,54 @@ fn run_async_demo(
         p99,
         mean_us,
     ));
+
+    let interactive_p50 = percentile_us(&mut interactive_us, 0.50);
+    let interactive_p99 = percentile_us(&mut interactive_us, 0.99);
+    let batch_p50 = percentile_us(&mut batch_us, 0.50);
+    let batch_p99 = percentile_us(&mut batch_us, 0.99);
+    if mixed {
+        lines.push(format!(
+            "[serve] per-class latency: interactive p50 {:.0}us p99 {:.0}us ({} \
+             requests), batch p50 {:.0}us p99 {:.0}us ({} requests); {} class-share \
+             rejections absorbed",
+            interactive_p50,
+            interactive_p99,
+            interactive_us.len(),
+            batch_p50,
+            batch_p99,
+            batch_us.len(),
+            stats.rejected_class_share - pre_load.rejected_class_share,
+        ));
+        // The SLO tripwire: when the batch class genuinely batches longer than the
+        // interactive window, interactive tail latency must sit strictly below batch
+        // tail latency — otherwise the classes aren't isolating and the smoke fails.
+        if class_window > base_window && !interactive_us.is_empty() && !batch_us.is_empty() {
+            if interactive_p99 >= batch_p99 {
+                return Err(format!(
+                    "SLO violation: interactive p99 {interactive_p99:.0}us is not \
+                     strictly below batch p99 {batch_p99:.0}us despite a {:.0}us \
+                     batch-class window",
+                    class_window.as_secs_f64() * 1e6
+                ));
+            }
+            lines.push(format!(
+                "[serve] SLO holds: interactive p99 {interactive_p99:.0}us < batch \
+                 p99 {batch_p99:.0}us"
+            ));
+        }
+    }
+    if config.cache_entries > 0 {
+        lines.push(format!(
+            "[serve] estimate cache: {} hits / {} misses ({:.1}% hit rate), {} \
+             insertions, {} evictions over {} entries",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_hit_rate() * 100.0,
+            stats.cache_insertions,
+            stats.cache_evictions,
+            config.cache_entries,
+        ));
+    }
     Ok(BenchRecord {
         mode: "async".to_string(),
         preset: config.preset_label.clone(),
@@ -563,6 +715,20 @@ fn run_async_demo(
         p99_us: p99,
         mean_us,
         throughput_qps: total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        batch_callers,
+        class_window_us: if mixed {
+            (class_window.as_secs_f64() * 1e6).round() as u64
+        } else {
+            0
+        },
+        interactive_p50_us: interactive_p50,
+        interactive_p99_us: interactive_p99,
+        batch_p50_us: batch_p50,
+        batch_p99_us: batch_p99,
+        cache_entries: config.cache_entries,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_hit_rate: stats.cache_hit_rate(),
     })
 }
 
@@ -946,7 +1112,13 @@ fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> Runtime
         runtime_config = runtime_config
             .with_restart_policy(SupervisorPolicy::default().with_max_restarts(budget));
     }
-    runtime_config
+    if let Some(micros) = config.class_window_us {
+        runtime_config = runtime_config.with_class_window_us(SloClass::Batch, micros);
+    }
+    if let Some((interactive, batch)) = config.class_weights {
+        runtime_config = runtime_config.with_class_weights([interactive, batch]);
+    }
+    runtime_config.with_cache_entries(config.cache_entries)
 }
 
 /// Wires a [`CheckpointSink`] into the runtime's maintenance lane when
@@ -1496,6 +1668,46 @@ mod tests {
         assert!(json.contains("\"plan\":\"crash-restore\""));
         assert!(json.contains("\"bit_identical\":true"));
         assert!(json.contains("restore_micros"));
+    }
+
+    /// The mixed SLO/cache demo: batch-class callers ride a long window behind
+    /// interactive traffic (interactive p99 strictly below batch p99 — the in-demo
+    /// tripwire), warm cache replays stay bit-identical to sequential serving, and the
+    /// extended per-class/cache fields land in BENCH_serving.json.
+    #[test]
+    fn mixed_slo_cache_demo_isolates_classes_and_hits_the_cache() {
+        let dir = std::env::temp_dir().join("crn_slo_cache_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serving.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        config.async_mode = true;
+        config.batch_window_us = 100;
+        config.queue_depth = 16;
+        config.callers = 4;
+        config.class_window_us = Some(20_000);
+        config.class_weights = Some((3, 1));
+        config.cache_entries = 256;
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("parity and the SLO hold");
+        assert!(report.contains("SLO classes on: 2 interactive + 2 batch callers"));
+        assert!(report.contains("cache parity check passed"));
+        assert!(report.contains("SLO holds"));
+        assert!(report.contains("estimate cache:"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"batch_callers\":2"));
+        assert!(json.contains("\"class_window_us\":20000"));
+        assert!(json.contains("interactive_p99_us"));
+        assert!(json.contains("batch_p99_us"));
+        assert!(json.contains("\"cache_entries\":256"));
+        assert!(json.contains("cache_hit_rate"));
+        // The second workload pass replays pass 1 from the cache, so hits are
+        // structurally nonzero.
+        assert!(!json.contains("\"cache_hits\":0,"));
     }
 
     #[test]

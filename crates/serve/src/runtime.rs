@@ -33,13 +33,14 @@
 //! both queues — every admitted ticket resolves, every accepted feedback record applies —
 //! and joins both threads.
 
+use crate::cache::EstimateCache;
 use crate::fault::{FaultInjector, FaultSite};
-use crate::queue::{QueueState, SubmitError};
+use crate::queue::{QueueState, SloClass, SubmitError};
 use crate::supervisor::{
     Supervisor, SupervisorPolicy, SupervisorVerdict, LANE_MAINTENANCE, LANE_SCHEDULER,
 };
 use crate::ticket::{EstimateSource, Ticket, TicketCell, TicketOutcome};
-use crn_core::{query_hash, EstimatorService, ServeStats};
+use crn_core::{query_hash, EstimatorService, ServeResponse, ServeStats};
 use crn_estimators::ContainmentEstimator;
 use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
 use crn_query::ast::Query;
@@ -115,12 +116,32 @@ pub struct RuntimeConfig {
     /// Checkpoint cadence: invoke the installed [`CheckpointWriter`] after every this
     /// many *applied* maintenance records.  0 (the default) disables checkpointing.
     pub checkpoint_every: u64,
+    /// Per-class batching windows, indexed by [`SloClass::index`]; `None` inherits
+    /// [`batch_window`](RuntimeConfig::batch_window).  Defaults: `Interactive` inherits
+    /// (≈ 100µs — latency first), `Batch` gets 2ms (fusion first).  Unregistered callers
+    /// are `Interactive`, so a runtime that never registers a `Batch` caller behaves
+    /// exactly like the single-window runtime.
+    pub class_windows: [Option<Duration>; SloClass::COUNT],
+    /// Per-class admission weights, indexed by [`SloClass::index`]: class `c` may hold
+    /// at most `ceil(queue_depth · wᶜ / Σw)` pending requests (at least 1), so a class
+    /// with weight `w` out of `Σw` can never occupy the other classes' shares — with
+    /// weights `[3, 1]`, batch/replay floods cap at a quarter of the queue and
+    /// interactive callers always find the rest admissible: the starvation guarantee.
+    /// All-zero (the default) disables class shares entirely — every class may use the
+    /// full depth, exactly the pre-class admission behaviour.
+    pub class_weights: [u32; SloClass::COUNT],
+    /// Bound on the cross-window estimate cache ([`crate::cache`]): total resident
+    /// entries.  Size it at ~2–4× the hot repeated working set.  0 (the default)
+    /// disables the cache and restores the uncached runtime behaviour exactly —
+    /// every batch enters the compute path.
+    pub cache_entries: usize,
 }
 
 impl Default for RuntimeConfig {
     /// Defaults matching the CI smoke: depth 64, no per-caller cap beyond the depth,
     /// batches of at most 32 closing after 100µs, maintenance lane of 1024, no request
-    /// deadline, 3 restarts / 60 s supervision budget, checkpointing off.
+    /// deadline, 3 restarts / 60 s supervision budget, checkpointing off, class shares
+    /// off (batch-class window 2ms when a batch caller registers), estimate cache off.
     fn default() -> Self {
         RuntimeConfig {
             queue_depth: 64,
@@ -131,6 +152,9 @@ impl Default for RuntimeConfig {
             default_deadline: None,
             restart_policy: SupervisorPolicy::default(),
             checkpoint_every: 0,
+            class_windows: [None, Some(Duration::from_millis(2))],
+            class_weights: [0; SloClass::COUNT],
+            cache_entries: 0,
         }
     }
 }
@@ -186,6 +210,48 @@ impl RuntimeConfig {
         self.checkpoint_every = records;
         self
     }
+
+    /// Sets one class's batching window from microseconds (the `--class-window-us` CLI
+    /// unit); 0 makes the class inherit [`batch_window`](RuntimeConfig::batch_window).
+    pub fn with_class_window_us(mut self, class: SloClass, micros: u64) -> Self {
+        self.class_windows[class.index()] = if micros == 0 {
+            None
+        } else {
+            Some(Duration::from_micros(micros))
+        };
+        self
+    }
+
+    /// Sets the per-class admission weights (see
+    /// [`class_weights`](RuntimeConfig::class_weights); all-zero disables class shares).
+    pub fn with_class_weights(mut self, weights: [u32; SloClass::COUNT]) -> Self {
+        self.class_weights = weights;
+        self
+    }
+
+    /// Sets the estimate-cache bound in entries (0 disables the cache).
+    pub fn with_cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
+        self
+    }
+
+    /// One class's effective batching window: its own, or the base
+    /// [`batch_window`](RuntimeConfig::batch_window) when unset.
+    pub fn class_window(&self, class: SloClass) -> Duration {
+        self.class_windows[class.index()].unwrap_or(self.batch_window)
+    }
+
+    /// One class's weighted share of the queue depth: `ceil(queue_depth · wᶜ / Σw)`,
+    /// at least 1 — or the full depth when every weight is zero (shares disabled).
+    pub fn class_share(&self, class: SloClass) -> usize {
+        let total: u64 = self.class_weights.iter().map(|&w| u64::from(w)).sum();
+        if total == 0 {
+            return self.queue_depth;
+        }
+        let weight = u64::from(self.class_weights[class.index()]);
+        let share = (self.queue_depth as u64 * weight).div_ceil(total);
+        (share.max(1) as usize).min(self.queue_depth)
+    }
 }
 
 /// Why the scheduler closed a batch (counted in [`RuntimeStats`]).
@@ -222,7 +288,11 @@ pub struct RuntimeStats {
     pub rejected_queue_full: u64,
     /// Submissions shed by the per-caller fairness quota.
     pub rejected_caller_quota: u64,
-    /// Batches executed.
+    /// Submissions shed because the caller's [`SloClass`] was at its weighted share of
+    /// the queue depth (see [`RuntimeConfig::class_weights`]).
+    pub rejected_class_share: u64,
+    /// Batches closed (every close counts, including batches the estimate cache
+    /// resolved entirely without a service call).
     pub batches: u64,
     /// Batches closed by the size threshold.
     pub size_closes: u64,
@@ -236,6 +306,20 @@ pub struct RuntimeStats {
     /// queries inside one batch (by canonical query hash) are coalesced into a single
     /// served row fanned out to every duplicate's ticket.
     pub coalesced: u64,
+    /// Estimate-cache probes that hit (one probe per coalesced unique query per closed
+    /// batch; the hit's estimate fans out to every duplicate's ticket).  With no
+    /// degraded/failed traffic the accounting closes exactly:
+    /// `serve.queries + coalesced + cache_hits == completed`.
+    pub cache_hits: u64,
+    /// Estimate-cache probes that missed (the query then entered the compute path and
+    /// its result was filed back into the cache).  0 whenever the cache is disabled —
+    /// `cache_entries: 0` takes the exact pre-cache path.
+    pub cache_misses: u64,
+    /// Estimates filed into the cache (one per computed unique query of a cache-enabled
+    /// batch; degraded results are never cached).
+    pub cache_insertions: u64,
+    /// Cache fills that displaced a least-recently-used entry (the bound at work).
+    pub cache_evictions: u64,
     /// Requests served synchronously on the submitting thread because the scheduler
     /// lane breached its restart budget (see
     /// [`degraded_sync_mode`](RuntimeStats::degraded_sync_mode)).
@@ -288,8 +372,20 @@ impl RuntimeStats {
 
     /// The chaos suite's headline invariant, checkable at quiescence: every admitted
     /// request resolved one way or another — completed, degraded, expired or failed.
+    /// (Cache-replayed requests count in `completed`: they are full-fidelity answers.)
     pub fn fully_resolved(&self) -> bool {
         self.submitted == self.completed + self.degraded + self.expired + self.failed
+    }
+
+    /// Estimate-cache hit rate over all probes (0 when the cache never probed — i.e.
+    /// disabled or no batch closed yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
     }
 }
 
@@ -304,12 +400,17 @@ struct Counters {
     failed: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_caller_quota: AtomicU64,
+    rejected_class_share: AtomicU64,
     batches: AtomicU64,
     size_closes: AtomicU64,
     window_closes: AtomicU64,
     drain_closes: AtomicU64,
     max_batch: AtomicUsize,
     coalesced: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_insertions: AtomicU64,
+    cache_evictions: AtomicU64,
     sync_served: AtomicU64,
     maintenance_applied: AtomicU64,
     maintenance_rejected: AtomicU64,
@@ -375,6 +476,13 @@ struct Shared<M> {
     since_checkpoint: AtomicU64,
     /// The scheduler's in-flight batch (see [`InflightBatch`]).
     inflight: Mutex<Option<InflightBatch>>,
+    /// Caller → registered [`SloClass`] (unregistered callers are `Interactive`).
+    /// Looked up outside the queue lock on every submission.
+    caller_classes: Mutex<HashMap<u64, SloClass>>,
+    /// The cross-window estimate cache; `None` when
+    /// [`cache_entries`](RuntimeConfig::cache_entries) is 0 — the scheduler then takes
+    /// the exact pre-cache path.
+    cache: Option<EstimateCache>,
     supervisor: Arc<Supervisor>,
     injector: Arc<FaultInjector>,
     /// Set (under the queue lock) when the scheduler lane degrades: submissions execute
@@ -427,8 +535,12 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             default_deadline: config.default_deadline,
             restart_policy: config.restart_policy,
             checkpoint_every: config.checkpoint_every,
+            class_windows: config.class_windows,
+            class_weights: config.class_weights,
+            cache_entries: config.cache_entries,
         };
         let supervisor = Arc::new(Supervisor::new(config.restart_policy));
+        let cache = (config.cache_entries > 0).then(|| EstimateCache::new(config.cache_entries));
         let shared = Arc::new(Shared {
             service,
             config,
@@ -448,6 +560,8 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             checkpoint_writer: Mutex::new(None),
             since_checkpoint: AtomicU64::new(0),
             inflight: Mutex::new(None),
+            caller_classes: Mutex::new(HashMap::new()),
+            cache,
             supervisor,
             injector,
             degraded_sync: AtomicBool::new(false),
@@ -497,12 +611,30 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         &self.shared.injector
     }
 
+    /// Registers `caller`'s latency [`SloClass`] — its requests queue in that class's
+    /// lane, batch under that class's window
+    /// ([`RuntimeConfig::class_window`]) and admit against that class's weighted share
+    /// of the queue ([`RuntimeConfig::class_weights`]).  Unregistered callers are
+    /// [`Interactive`](SloClass::Interactive); re-registering replaces the class for
+    /// subsequent submissions.
+    pub fn register_caller(&self, caller: u64, class: SloClass) {
+        lock_ignoring_poison(&self.shared.caller_classes).insert(caller, class);
+    }
+
+    /// The class `caller`'s submissions currently admit under.
+    pub fn caller_class(&self, caller: u64) -> SloClass {
+        lock_ignoring_poison(&self.shared.caller_classes)
+            .get(&caller)
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Submits one query on behalf of `caller`, returning its completion [`Ticket`].
     ///
-    /// Never blocks: a full queue (or an exhausted caller quota) sheds the submission
-    /// with [`SubmitError::Overloaded`] immediately — admission control, not backpressure
-    /// by stalling.  `caller` is an arbitrary fairness key (connection id, tenant, ...).
-    /// The request carries the configured
+    /// Never blocks: a full queue (or an exhausted caller quota, or a full class share)
+    /// sheds the submission with [`SubmitError::Overloaded`] immediately — admission
+    /// control, not backpressure by stalling.  `caller` is an arbitrary fairness key
+    /// (connection id, tenant, ...).  The request carries the configured
     /// [`default_deadline`](RuntimeConfig::default_deadline), if any.
     pub fn submit(&self, caller: u64, query: Query) -> Result<Ticket, SubmitError> {
         self.submit_with_deadline(caller, query, self.shared.config.default_deadline)
@@ -520,6 +652,9 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
         let due = deadline.map(|d| Instant::now() + d);
+        // Class lookup happens outside the queue lock: registration is rare, admission
+        // is hot.
+        let class = self.caller_class(caller);
         let admitted = {
             let mut state = lock_ignoring_poison(&self.shared.queue);
             // The degrade transition happens under this lock, so the flag read is
@@ -532,7 +667,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 drop(state);
                 return Ok(self.serve_degraded_sync(query));
             }
-            self.try_admit(&mut state, caller, query, due)
+            self.try_admit(&mut state, caller, class, query, due)
         };
         admitted.map(|cell| {
             self.shared.queue_ready.notify_all();
@@ -563,6 +698,17 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         patience: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
         let give_up = patience.map(|p| Instant::now() + p);
+        // The request's own execution deadline anchors at the FIRST admission attempt:
+        // recomputing it per retry let the deadline slide forward with every shed
+        // attempt, so a request could wait in admission + queue far longer than its
+        // configured bound before expiring.  Patience bounds *admission*; the deadline
+        // bounds the request's total age — both from the same submission instant.
+        let due = self
+            .shared
+            .config
+            .default_deadline
+            .map(|d| Instant::now() + d);
+        let class = self.caller_class(caller);
         let mut backoff = RETRY_BACKOFF_FLOOR;
         let mut state = lock_ignoring_poison(&self.shared.queue);
         loop {
@@ -573,12 +719,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 drop(state);
                 return Ok(self.serve_degraded_sync(query.clone()));
             }
-            let due = self
-                .shared
-                .config
-                .default_deadline
-                .map(|d| Instant::now() + d);
-            match self.try_admit(&mut state, caller, query.clone(), due) {
+            match self.try_admit(&mut state, caller, class, query.clone(), due) {
                 Ok(cell) => {
                     drop(state);
                     self.shared.queue_ready.notify_all();
@@ -621,36 +762,34 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             shared.service.serve(std::slice::from_ref(&query))
         }));
         let batch_seq = counters.batches.fetch_add(1, Ordering::Relaxed);
-        match response {
-            Ok(response) => {
+        let resolution =
+            settle_sync_response(response, || shared.service.fallback_estimate(&query));
+        match resolution {
+            SyncResolution::Computed { estimate, stats } => {
                 counters.completed.fetch_add(1, Ordering::Relaxed);
-                lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
+                lock_ignoring_poison(&shared.serve_stats).accumulate(&stats);
                 cell.complete(TicketOutcome {
-                    estimate: response.estimates[0],
+                    estimate,
                     source: EstimateSource::Computed,
                     batch_size: 1,
                     batch_seq,
                     queue_wait: Duration::ZERO,
                 });
             }
-            Err(_panic) => match catch_unwind(AssertUnwindSafe(|| {
-                shared.service.fallback_estimate(&query)
-            })) {
-                Ok(estimate) => {
-                    counters.degraded.fetch_add(1, Ordering::Relaxed);
-                    cell.complete(TicketOutcome {
-                        estimate,
-                        source: EstimateSource::Degraded,
-                        batch_size: 1,
-                        batch_seq,
-                        queue_wait: Duration::ZERO,
-                    });
-                }
-                Err(_panic) => {
-                    counters.failed.fetch_add(1, Ordering::Relaxed);
-                    cell.fail();
-                }
-            },
+            SyncResolution::Degraded { estimate } => {
+                counters.degraded.fetch_add(1, Ordering::Relaxed);
+                cell.complete(TicketOutcome {
+                    estimate,
+                    source: EstimateSource::Degraded,
+                    batch_size: 1,
+                    batch_seq,
+                    queue_wait: Duration::ZERO,
+                });
+            }
+            SyncResolution::Failed => {
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+                cell.fail();
+            }
         }
         ticket
     }
@@ -662,15 +801,18 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         &self,
         state: &mut QueueState,
         caller: u64,
+        class: SloClass,
         query: Query,
         deadline: Option<Instant>,
     ) -> Result<Arc<TicketCell>, SubmitError> {
         let admitted = state.admit(
             caller,
+            class,
             query,
             deadline,
             self.shared.config.queue_depth,
             self.shared.config.per_caller_depth,
+            self.shared.config.class_share(class),
         );
         match &admitted {
             Ok(_) => {
@@ -686,6 +828,9 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                     }
                     crate::queue::RejectReason::CallerQuota => {
                         &self.shared.counters.rejected_caller_quota
+                    }
+                    crate::queue::RejectReason::ClassShare => {
+                        &self.shared.counters.rejected_class_share
                     }
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
@@ -771,7 +916,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     pub fn flush(&self) {
         {
             let mut state = lock_ignoring_poison(&self.shared.queue);
-            while !(state.pending.is_empty() && state.in_flight == 0) {
+            while !(state.total_pending() == 0 && state.in_flight == 0) {
                 state = wait_ignoring_poison(&self.shared.queue_idle, state);
             }
         }
@@ -795,12 +940,17 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             failed: counters.failed.load(Ordering::Relaxed),
             rejected_queue_full: counters.rejected_queue_full.load(Ordering::Relaxed),
             rejected_caller_quota: counters.rejected_caller_quota.load(Ordering::Relaxed),
+            rejected_class_share: counters.rejected_class_share.load(Ordering::Relaxed),
             batches: counters.batches.load(Ordering::Relaxed),
             size_closes: counters.size_closes.load(Ordering::Relaxed),
             window_closes: counters.window_closes.load(Ordering::Relaxed),
             drain_closes: counters.drain_closes.load(Ordering::Relaxed),
             max_batch: counters.max_batch.load(Ordering::Relaxed) as u64,
             coalesced: counters.coalesced.load(Ordering::Relaxed),
+            cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: counters.cache_misses.load(Ordering::Relaxed),
+            cache_insertions: counters.cache_insertions.load(Ordering::Relaxed),
+            cache_evictions: counters.cache_evictions.load(Ordering::Relaxed),
             sync_served: counters.sync_served.load(Ordering::Relaxed),
             maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
             maintenance_rejected: counters.maintenance_rejected.load(Ordering::Relaxed),
@@ -912,7 +1062,7 @@ fn recover_orphaned_batch<M: ContainmentEstimator + Send + Sync>(shared: &Shared
     );
     let mut state = lock_ignoring_poison(&shared.queue);
     state.in_flight -= batch.size;
-    let idle = state.pending.is_empty() && state.in_flight == 0;
+    let idle = state.total_pending() == 0 && state.in_flight == 0;
     drop(state);
     shared.queue_space.notify_all();
     if idle {
@@ -929,8 +1079,12 @@ fn degrade_to_sync<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         let mut state = lock_ignoring_poison(&shared.queue);
         shared.degraded_sync.store(true, Ordering::Relaxed);
         let expired = state.shed_expired(Instant::now());
-        let remaining = state.pending.len();
-        let stranded = state.pop_batch(remaining);
+        // Drain EVERY class lane: the degrade transition must strand no class.
+        let mut stranded = Vec::new();
+        for class in SloClass::ALL {
+            let remaining = state.pending_in(class);
+            stranded.extend(state.pop_batch(class, remaining));
+        }
         state.in_flight -= stranded.len(); // pop counted them in flight; nothing executes
         (expired, stranded)
     };
@@ -1015,6 +1169,72 @@ fn resolve_degraded<M: ContainmentEstimator + Send + Sync>(
     }
 }
 
+/// How one degraded-sync single-query serve attempt settles (see
+/// [`settle_sync_response`]).
+enum SyncResolution {
+    /// The serve call returned an estimate row: full-fidelity answer plus the response's
+    /// serving stats.
+    Computed { estimate: f64, stats: ServeStats },
+    /// The serve call panicked — or returned no row for the query — and the fallback
+    /// path produced the answer.
+    Degraded { estimate: f64 },
+    /// Even the fallback panicked: the ticket fails (resolved, never stranded).
+    Failed,
+}
+
+/// Settles a caught single-query serve result into what its ticket resolves to.
+///
+/// The estimate row is read with `.first()`, never indexed: a response carrying no row
+/// for the query routes through the fallback path like a panic does — indexing
+/// `estimates[0]` here used to run on the submitting thread *outside* any containment,
+/// so a malformed response panicked the caller instead of degrading the answer.  The
+/// fallback closure runs under its own `catch_unwind`.
+fn settle_sync_response<F: FnOnce() -> f64>(
+    response: std::thread::Result<ServeResponse>,
+    fallback: F,
+) -> SyncResolution {
+    if let Ok(response) = response {
+        if let Some(&estimate) = response.estimates.first() {
+            return SyncResolution::Computed {
+                estimate,
+                stats: response.stats,
+            };
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(fallback)) {
+        Ok(estimate) => SyncResolution::Degraded { estimate },
+        Err(_panic) => SyncResolution::Failed,
+    }
+}
+
+/// The most urgent non-empty class lane and its window deadline: the earliest
+/// `oldest enqueue + class window` across lanes, ties broken by [`SloClass::ALL`]
+/// priority order (iteration order plus a strict comparison).  `None` when every lane is
+/// empty.
+fn most_urgent_class(state: &QueueState, config: &RuntimeConfig) -> Option<(SloClass, Instant)> {
+    let mut best: Option<(SloClass, Instant)> = None;
+    for class in SloClass::ALL {
+        let Some(oldest) = state.oldest(class) else {
+            continue;
+        };
+        let deadline = oldest + config.class_window(class);
+        if best.is_none_or(|(_, best_deadline)| deadline < best_deadline) {
+            best = Some((class, deadline));
+        }
+    }
+    best
+}
+
+/// What the estimate cache decided for one coalesced unique slot of a closing batch.
+enum SlotFate {
+    /// Cache hit: resolve the slot's tickets with this estimate (bit-identical to what
+    /// the compute path would return under the probed versions) without serving.
+    Hit(f64),
+    /// Cache miss: the slot renumbers to this dense index in the miss sub-batch that
+    /// enters the compute path.
+    Miss(usize),
+}
+
 /// The scheduler: forms batches off the submission queue and executes them.  Runs until
 /// the shutdown drain completes; panics escape to [`scheduler_thread`]'s supervision.
 fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
@@ -1022,7 +1242,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // Phase 1 — wait for the batch-opening request (or shutdown with an empty queue).
         let mut state = lock_ignoring_poison(&shared.queue);
         loop {
-            if !state.pending.is_empty() {
+            if state.total_pending() > 0 {
                 break;
             }
             if state.closed {
@@ -1032,31 +1252,37 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             state = wait_ignoring_poison(&shared.queue_ready, state);
         }
 
-        // Phase 2 — hold the batch open until the size threshold, the window deadline
-        // (measured from the oldest pending request) or shutdown closes it.
-        let opened = state.pending.front().expect("non-empty").enqueued;
-        let deadline = opened + shared.config.batch_window;
-        while state.pending.len() < shared.config.batch_max && !state.closed {
+        // Phase 2 — hold the open batches until something closes one: a class reaching
+        // the size threshold, the most urgent class's window deadline (its oldest
+        // pending request + its class window) expiring, or shutdown.  Batches are
+        // single-class — each class keeps its own latency promise — and the close
+        // decision always picks the most urgent eligible class.  Only the scheduler
+        // pops, so lanes observed non-empty here stay non-empty until we pop below.
+        let (batch_class, reason) = loop {
+            if let Some(class) = SloClass::ALL
+                .into_iter()
+                .find(|&class| state.pending_in(class) >= shared.config.batch_max)
+            {
+                break (class, CloseReason::Size);
+            }
+            let (class, deadline) =
+                most_urgent_class(&state, &shared.config).expect("a lane is non-empty");
+            if state.closed {
+                break (class, CloseReason::Drain);
+            }
             let now = Instant::now();
             if now >= deadline {
-                break;
+                break (class, CloseReason::Window);
             }
             let (next, _timed_out) =
                 wait_timeout_ignoring_poison(&shared.queue_ready, state, deadline - now);
             state = next;
-        }
-        let reason = if state.pending.len() >= shared.config.batch_max {
-            CloseReason::Size
-        } else if state.closed {
-            CloseReason::Drain
-        } else {
-            CloseReason::Window
         };
         // Deadline shedding happens exactly here — after the close decision, before the
         // pop — so an expired request never reaches execution and never displaces queue
         // capacity a live request could use.
         let expired = state.shed_expired(Instant::now());
-        let batch = state.pop_batch(shared.config.batch_max);
+        let batch = state.pop_batch(batch_class, shared.config.batch_max);
         drop(state);
         // The pop freed queue depth and caller quotas: wake parked blocking submitters.
         shared.queue_space.notify_all();
@@ -1070,9 +1296,10 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             }
         }
         if batch.is_empty() {
-            // Everything that had accumulated expired: no batch to run this round.
+            // Everything in the chosen lane expired: no batch to run this round (other
+            // lanes, if non-empty, get their own close decision on the next pass).
             let state = lock_ignoring_poison(&shared.queue);
-            if state.pending.is_empty() && state.in_flight == 0 {
+            if state.total_pending() == 0 && state.in_flight == 0 {
                 shared.queue_idle.notify_all();
             }
             continue;
@@ -1090,10 +1317,12 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         let mut tickets = Vec::with_capacity(batch_size);
         let mut waits = Vec::with_capacity(batch_size);
         let mut unique: Vec<Query> = Vec::with_capacity(batch_size);
+        let mut unique_hashes: Vec<u64> = Vec::with_capacity(batch_size);
         let mut slots: Vec<usize> = Vec::with_capacity(batch_size);
         let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::with_capacity(batch_size);
         for request in batch {
-            let candidates = by_hash.entry(query_hash(&request.query)).or_default();
+            let hash = query_hash(&request.query);
+            let candidates = by_hash.entry(hash).or_default();
             let slot = match candidates
                 .iter()
                 .copied()
@@ -1103,6 +1332,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 None => {
                     let slot = unique.len();
                     unique.push(request.query);
+                    unique_hashes.push(hash);
                     candidates.push(slot);
                     slot
                 }
@@ -1112,27 +1342,10 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             waits.push(closed_at.saturating_duration_since(request.enqueued));
         }
         let coalesced = batch_size - unique.len();
-        // Park the batch in the recovery slot: if this thread dies anywhere below, the
-        // supervision wrapper resolves these tickets and retires the batch.
-        *lock_ignoring_poison(&shared.inflight) = Some(InflightBatch {
-            tickets: tickets.clone(),
-            slots: slots.clone(),
-            unique: unique.clone(),
-            size: batch_size,
-        });
-        // Scripted scheduler kill: OUTSIDE every containment, mid-batch — the genuine
-        // thread-death path the supervisor exists for.
-        shared.injector.fire(FaultSite::SchedulerLoop);
-        // The worker pool propagates shard panics to its submitter — here, this thread.
-        // Contain them: a panicked batch must neither strand its waiters (they resolve
-        // through the degraded path below) nor kill the scheduler (later batches still
-        // serve).
-        let response = catch_unwind(AssertUnwindSafe(|| {
-            shared.injector.fire(FaultSite::BatchExecute);
-            shared.service.serve(&unique)
-        }));
 
-        // Phase 4 — bookkeeping, then resolve every ticket.
+        // Batch bookkeeping happens at close time, before execution: a batch the cache
+        // resolves entirely still counts as one closed batch, and its tickets need the
+        // sequence number below.
         let counters = &shared.counters;
         let batch_seq = counters.batches.fetch_add(1, Ordering::Relaxed);
         match reason {
@@ -1144,14 +1357,166 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         counters
             .coalesced
             .fetch_add(coalesced as u64, Ordering::Relaxed);
+
+        // Phase 3b — consult the cross-window estimate cache (when enabled): one probe
+        // per coalesced unique query, under the versions a serve issued right now would
+        // take, so a hit is bit-identical to recomputation.  Hit tickets resolve HERE,
+        // before the in-flight batch parks in the recovery slot — a scheduler death
+        // below can then never double-resolve them — and only the misses enter the
+        // compute path.
+        let fates: Option<Vec<SlotFate>> = shared.cache.as_ref().map(|cache| {
+            let (pool_version, model_version) = shared.service.serving_versions();
+            let mut misses = 0usize;
+            unique
+                .iter()
+                .zip(&unique_hashes)
+                .map(|(query, &hash)| {
+                    match cache.lookup(query, hash, pool_version, model_version) {
+                        Some(estimate) => SlotFate::Hit(estimate),
+                        None => {
+                            let fate = SlotFate::Miss(misses);
+                            misses += 1;
+                            fate
+                        }
+                    }
+                })
+                .collect()
+        });
+        let hit_uniques = fates.as_ref().map_or(0, |fates| {
+            fates
+                .iter()
+                .filter(|fate| matches!(fate, SlotFate::Hit(_)))
+                .count()
+        });
+        if fates.is_some() {
+            counters
+                .cache_hits
+                .fetch_add(hit_uniques as u64, Ordering::Relaxed);
+            counters
+                .cache_misses
+                .fetch_add((unique.len() - hit_uniques) as u64, Ordering::Relaxed);
+        }
+        let (miss_tickets, miss_slots, miss_unique, miss_hashes, miss_waits) = match &fates {
+            Some(fates) if hit_uniques > 0 => {
+                let miss_count = unique.len() - hit_uniques;
+                let mut miss_unique = Vec::with_capacity(miss_count);
+                let mut miss_hashes = Vec::with_capacity(miss_count);
+                for (slot, query) in unique.iter().enumerate() {
+                    if matches!(fates[slot], SlotFate::Miss(_)) {
+                        miss_unique.push(query.clone());
+                        miss_hashes.push(unique_hashes[slot]);
+                    }
+                }
+                let mut miss_tickets = Vec::new();
+                let mut miss_slots = Vec::new();
+                let mut miss_waits = Vec::new();
+                let mut replayed = 0u64;
+                for ((ticket, &slot), &queue_wait) in tickets.iter().zip(&slots).zip(&waits) {
+                    match fates[slot] {
+                        SlotFate::Hit(estimate) => {
+                            ticket.complete(TicketOutcome {
+                                estimate,
+                                source: EstimateSource::Cached,
+                                batch_size,
+                                batch_seq,
+                                queue_wait,
+                            });
+                            replayed += 1;
+                        }
+                        SlotFate::Miss(miss_slot) => {
+                            miss_tickets.push(Arc::clone(ticket));
+                            miss_slots.push(miss_slot);
+                            miss_waits.push(queue_wait);
+                        }
+                    }
+                }
+                counters.completed.fetch_add(replayed, Ordering::Relaxed);
+                (
+                    miss_tickets,
+                    miss_slots,
+                    miss_unique,
+                    miss_hashes,
+                    miss_waits,
+                )
+            }
+            // Cache disabled or every probe missed: the whole batch enters the compute
+            // path unchanged (with the cache disabled this is exactly the pre-cache
+            // path — no clones, no extra work).
+            _ => (tickets, slots, unique, unique_hashes, waits),
+        };
+        if miss_unique.is_empty() {
+            // The cache resolved the entire batch: nothing to serve, nothing in flight
+            // to recover.  Retire the batch and continue.
+            let mut state = lock_ignoring_poison(&shared.queue);
+            state.in_flight -= batch_size;
+            if state.total_pending() == 0 && state.in_flight == 0 {
+                shared.queue_idle.notify_all();
+            }
+            continue;
+        }
+        // Park the miss sub-batch in the recovery slot (with the FULL batch size, so
+        // recovery retires the whole pop from the in-flight accounting): if this thread
+        // dies anywhere below, the supervision wrapper resolves these tickets and
+        // retires the batch.  The already-resolved cache hits are deliberately not in
+        // the slot — a ticket resolves exactly once.
+        *lock_ignoring_poison(&shared.inflight) = Some(InflightBatch {
+            tickets: miss_tickets.clone(),
+            slots: miss_slots.clone(),
+            unique: miss_unique.clone(),
+            size: batch_size,
+        });
+        // Scripted scheduler kill: OUTSIDE every containment, mid-batch — the genuine
+        // thread-death path the supervisor exists for.
+        shared.injector.fire(FaultSite::SchedulerLoop);
+        // The worker pool propagates shard panics to its submitter — here, this thread.
+        // Contain them: a panicked batch must neither strand its waiters (they resolve
+        // through the degraded path below) nor kill the scheduler (later batches still
+        // serve).
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            shared.injector.fire(FaultSite::BatchExecute);
+            shared.service.serve(&miss_unique)
+        }));
+
+        // Phase 4 — resolve every remaining ticket (the close-time bookkeeping already
+        // happened above, before the cache consult).
         match response {
             Ok(response) => {
-                debug_assert_eq!(response.estimates.len(), unique.len());
+                debug_assert_eq!(response.estimates.len(), miss_unique.len());
                 counters
                     .completed
-                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                    .fetch_add(miss_tickets.len() as u64, Ordering::Relaxed);
                 lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
-                for ((ticket, &slot), queue_wait) in tickets.iter().zip(&slots).zip(waits) {
+                // File the computed rows into the cache under the version pairing the
+                // response itself reports — exactly what each estimate was computed
+                // under, so a later hit replays it bit-identically.  Degraded results
+                // (the Err arm) are never cached.
+                if let Some(cache) = &shared.cache {
+                    let mut evictions = 0u64;
+                    for ((query, &hash), &estimate) in miss_unique
+                        .iter()
+                        .zip(&miss_hashes)
+                        .zip(&response.estimates)
+                    {
+                        if cache.insert(
+                            query,
+                            hash,
+                            response.pool_version,
+                            response.stats.model_version,
+                            estimate,
+                        ) {
+                            evictions += 1;
+                        }
+                    }
+                    counters
+                        .cache_insertions
+                        .fetch_add(miss_unique.len() as u64, Ordering::Relaxed);
+                    counters
+                        .cache_evictions
+                        .fetch_add(evictions, Ordering::Relaxed);
+                }
+                for ((ticket, &slot), queue_wait) in
+                    miss_tickets.iter().zip(&miss_slots).zip(miss_waits)
+                {
                     ticket.complete(TicketOutcome {
                         estimate: response.estimates[slot],
                         source: EstimateSource::Computed,
@@ -1166,12 +1531,12 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 // stats/fallback path, tagged Degraded — within budget, never silent.
                 resolve_degraded(
                     shared,
-                    &tickets,
-                    &slots,
-                    &unique,
+                    &miss_tickets,
+                    &miss_slots,
+                    &miss_unique,
                     batch_size,
                     batch_seq,
-                    Some(&waits),
+                    Some(&miss_waits),
                 );
             }
         }
@@ -1181,7 +1546,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // Phase 5 — retire the batch; wake `flush` when fully idle.
         let mut state = lock_ignoring_poison(&shared.queue);
         state.in_flight -= batch_size;
-        if state.pending.is_empty() && state.in_flight == 0 {
+        if state.total_pending() == 0 && state.in_flight == 0 {
             shared.queue_idle.notify_all();
         }
     }
@@ -1344,5 +1709,49 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         if state.pending.is_empty() {
             shared.maint_idle.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response_with(estimates: Vec<f64>) -> std::thread::Result<ServeResponse> {
+        Ok(ServeResponse {
+            estimates,
+            stats: ServeStats::default(),
+            pool_version: 0,
+        })
+    }
+
+    #[test]
+    fn settle_routes_a_rowless_response_through_the_fallback() {
+        // The bug this pins: a response with no estimate row used to be indexed
+        // `estimates[0]` on the submitting thread, outside every catch_unwind — a
+        // panic at the caller instead of a degraded answer.
+        match settle_sync_response(response_with(Vec::new()), || 123.0) {
+            SyncResolution::Degraded { estimate } => assert_eq!(estimate, 123.0),
+            _ => panic!("a rowless response must degrade, not panic or compute"),
+        }
+    }
+
+    #[test]
+    fn settle_prefers_the_computed_row_when_present() {
+        match settle_sync_response(response_with(vec![7.5]), || unreachable!("no fallback")) {
+            SyncResolution::Computed { estimate, .. } => assert_eq!(estimate, 7.5),
+            _ => panic!("a response with a row is a computed resolution"),
+        }
+    }
+
+    #[test]
+    fn settle_fails_only_when_the_fallback_panics_too() {
+        let panicked: std::thread::Result<ServeResponse> = Err(Box::new("batch panicked"));
+        match settle_sync_response(panicked, || 9.0) {
+            SyncResolution::Degraded { estimate } => assert_eq!(estimate, 9.0),
+            _ => panic!("a panicked serve with a live fallback degrades"),
+        }
+        let panicked: std::thread::Result<ServeResponse> = Err(Box::new("batch panicked"));
+        let settled = settle_sync_response(panicked, || panic!("fallback panics too"));
+        assert!(matches!(settled, SyncResolution::Failed));
     }
 }

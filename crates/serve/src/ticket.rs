@@ -25,6 +25,13 @@ pub enum EstimateSource {
     /// [`EstimatorService::serve`](crn_core::EstimatorService::serve) over any batch
     /// containing this query.
     Computed,
+    /// The estimate was replayed from the runtime's cross-window estimate cache
+    /// ([`crate::cache`]): full fidelity at memory latency.  The cached value was
+    /// computed by the full serving path and is keyed on the exact
+    /// `(pool version, model version)` pairing it was computed under, so it is
+    /// **bit-identical** to what recomputing the query right now would return — only
+    /// the compute was skipped, never the answer changed.
+    Cached,
     /// The batch's execution panicked and the estimate came from the service's
     /// stats/fallback path ([`EstimatorService::fallback_estimate`]) instead: a usable
     /// answer within budget, explicitly *not* the model's — callers that must not act
@@ -52,9 +59,14 @@ pub struct TicketOutcome {
 }
 
 impl TicketOutcome {
-    /// Whether the estimate came from the full (non-degraded) serving path.
+    /// Whether the estimate is a full-fidelity serving-path answer — directly computed,
+    /// or replayed bit-identically from the estimate cache.  `false` only for the
+    /// degraded fallback path.
     pub fn is_computed(&self) -> bool {
-        self.source == EstimateSource::Computed
+        matches!(
+            self.source,
+            EstimateSource::Computed | EstimateSource::Cached
+        )
     }
 }
 
@@ -277,5 +289,23 @@ mod tests {
         let outcome = ticket.wait().expect("resolved");
         assert!(!outcome.is_computed());
         assert_eq!(outcome.source, EstimateSource::Degraded);
+    }
+
+    #[test]
+    fn cached_outcomes_count_as_full_fidelity() {
+        let cell = TicketCell::new();
+        let ticket = Ticket::new(Arc::clone(&cell));
+        cell.complete(TicketOutcome {
+            estimate: 512.0,
+            source: EstimateSource::Cached,
+            batch_size: 2,
+            batch_seq: 5,
+            queue_wait: Duration::from_micros(40),
+        });
+        let outcome = ticket.wait().expect("resolved");
+        // A cache replay is bit-identical to recomputation: callers routing on
+        // `is_computed` must treat it as the full path, not a degraded answer.
+        assert!(outcome.is_computed());
+        assert_eq!(outcome.source, EstimateSource::Cached);
     }
 }

@@ -10,7 +10,7 @@ use crn_nn::parallel::WorkerPool;
 use crn_nn::TrainConfig;
 use crn_query::generator::{GeneratorConfig, QueryGenerator};
 use crn_query::Query;
-use crn_serve::{RuntimeConfig, ServeRuntime, Ticket};
+use crn_serve::{RuntimeConfig, ServeRuntime, SloClass, Ticket};
 use std::sync::Arc;
 
 use crn_db::imdb::{generate_imdb, ImdbConfig};
@@ -109,6 +109,109 @@ fn async_runtime_is_bit_identical_to_synchronous_service() {
                 assert_eq!(stats.submitted, queries.len() as u64);
                 assert_eq!(stats.completed, queries.len() as u64);
                 assert_eq!(stats.serve.pool_hits + stats.serve.fallbacks, 24);
+            }
+        }
+    }
+}
+
+/// The SLO-class / estimate-cache acceptance matrix: with a registered `Batch` caller,
+/// per-class windows, weighted admission shares and the cross-window cache in every
+/// combination, the estimates stay bit-identical to one synchronous `serve` — the class
+/// scheduler only re-slices batches (per-query results are batch-independent) and a
+/// cache hit only replays a computed answer under the live version pairing.
+#[test]
+fn class_windows_weights_and_cache_preserve_bit_parity() {
+    let db = generate_imdb(&ImdbConfig::tiny(78));
+    let pool = QueriesPool::generate(&db, 50, 2, 78);
+    let crn = trained_crn(&db, 78);
+    let queries = workload(&db, 79, 18);
+    let reference = EstimatorService::new(
+        crn.clone(),
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(2),
+    );
+    let expected = reference.serve(&queries).estimates;
+
+    for batch_window_us in [0u64, 3000] {
+        for weights in [[0u32, 0], [3, 1]] {
+            for cache_entries in [0usize, 64] {
+                let service = Arc::new(EstimatorService::new(
+                    crn.clone(),
+                    ShardedPool::from_pool(&pool, 4),
+                    WorkerPool::shared(2),
+                ));
+                let config = RuntimeConfig::default()
+                    .with_window_us(100)
+                    .with_class_window_us(SloClass::Batch, batch_window_us)
+                    .with_class_weights(weights)
+                    .with_cache_entries(cache_entries);
+                let runtime = ServeRuntime::new(service, config);
+                // Caller 2 is throughput-class: its third of the workload rides the
+                // batch lane while callers 0 and 1 stay interactive.
+                runtime.register_caller(2, SloClass::Batch);
+
+                // Two rounds over the same workload: with the cache on, the second
+                // round replays round one's computed answers — which must be invisible
+                // in the estimates.
+                for round in 0..2 {
+                    let mut actual = vec![f64::NAN; queries.len()];
+                    std::thread::scope(|scope| {
+                        let runtime = &runtime;
+                        let queries = &queries;
+                        let handles: Vec<_> = (0..3u64)
+                            .map(|caller| {
+                                scope.spawn(move || {
+                                    let mut tickets = Vec::new();
+                                    for (index, query) in queries.iter().enumerate() {
+                                        if index as u64 % 3 == caller {
+                                            let ticket = runtime
+                                                .submit_retrying(caller, query)
+                                                .expect("runtime alive");
+                                            tickets.push((index, ticket));
+                                        }
+                                    }
+                                    tickets
+                                        .into_iter()
+                                        .map(|(index, ticket)| {
+                                            (index, ticket.wait().expect("served").estimate)
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        for handle in handles {
+                            for (index, estimate) in handle.join().expect("caller thread") {
+                                actual[index] = estimate;
+                            }
+                        }
+                    });
+                    for (index, (a, e)) in actual.iter().zip(&expected).enumerate() {
+                        assert!(
+                            a == e,
+                            "batch-window={batch_window_us}us weights={weights:?} \
+                             cache={cache_entries} round={round} query {index}: \
+                             async {a} vs sync {e}"
+                        );
+                    }
+                }
+                let stats = runtime.shutdown();
+                assert_eq!(stats.completed, 2 * queries.len() as u64);
+                assert!(stats.fully_resolved(), "{stats:?}");
+                // The work accounting closes exactly: every completed request was
+                // computed, coalesced onto a computed row, or replayed from the cache.
+                assert_eq!(
+                    stats.serve.queries as u64 + stats.coalesced + stats.cache_hits,
+                    stats.completed,
+                    "{stats:?}"
+                );
+                if cache_entries == 0 {
+                    assert_eq!(stats.cache_hits + stats.cache_misses, 0, "{stats:?}");
+                } else {
+                    assert!(
+                        stats.cache_hits > 0,
+                        "round two repeats the workload verbatim: {stats:?}"
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,230 @@
+//! Integration tests of the versioned cross-window estimate cache: hits must be
+//! **bit-identical** to recomputing the query right now — including across pool
+//! maintenance churn and a live model hot-swap, the two events that change what
+//! "recomputing right now" would return.  The cache is keyed on
+//! `(canonical query hash, pool version, model version)`, so both events invalidate
+//! exactly by construction; these tests pin that contract end to end through the
+//! runtime, alongside the hit/miss accounting identity.
+
+use crn_core::{CrnModel, EstimatorService, QueriesPool, ShardedPool};
+use crn_exec::label_containment_pairs;
+use crn_nn::parallel::WorkerPool;
+use crn_nn::TrainConfig;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+use crn_serve::{EstimateSource, RuntimeConfig, ServeRuntime};
+use std::sync::Arc;
+
+fn trained_crn(db: &crn_db::Database, seed: u64) -> CrnModel {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let pairs = gen.generate_pairs(30, 120);
+    let samples = label_containment_pairs(db, &pairs, 4);
+    let mut crn = CrnModel::new(db, TrainConfig::fast_test());
+    crn.fit(&samples);
+    crn
+}
+
+/// Generates `count` queries with pairwise-distinct canonical hashes — the per-round
+/// source assertions rely on no query warming the cache for a later twin in the same
+/// round.
+fn workload(db: &crn_db::Database, seed: u64, count: usize) -> Vec<Query> {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let mut seen = std::collections::HashSet::new();
+    let mut queries: Vec<Query> = gen
+        .generate_queries(count * 4)
+        .into_iter()
+        .filter(|query| seen.insert(crn_core::query_hash(query)))
+        .collect();
+    assert!(
+        queries.len() >= count,
+        "generator too repetitive for {count} distinct queries"
+    );
+    queries.truncate(count);
+    queries
+}
+
+use crn_db::imdb::{generate_imdb, ImdbConfig};
+
+/// Serves the workload through the runtime one closed-loop round (window 0: every
+/// request is its own batch), asserting each outcome's provenance, and returns the
+/// estimates in workload order.
+fn serve_round<M: crn_estimators::ContainmentEstimator + Send + Sync + 'static>(
+    runtime: &ServeRuntime<M>,
+    queries: &[Query],
+    expect: EstimateSource,
+) -> Vec<f64> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(index, query)| {
+            let outcome = runtime
+                .submit_retrying(0, query)
+                .expect("admitted")
+                .wait()
+                .expect("served");
+            assert_eq!(
+                outcome.source, expect,
+                "query {index}: expected {expect:?}, got {:?}",
+                outcome.source
+            );
+            outcome.estimate
+        })
+        .collect()
+}
+
+fn bit_equal(actual: &[f64], expected: &[f64], label: &str) {
+    for (index, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert!(a == e, "{label}: query {index} diverged: {a} vs {e}");
+    }
+}
+
+/// The acceptance criterion: repeat serves hit the cache with bit-identical estimates,
+/// and both a burst of maintenance upserts and a model hot-swap force recomputation
+/// (fresh versions miss the old keys) whose results then re-cache bit-identically.
+#[test]
+fn cache_hits_stay_bit_identical_across_churn_and_a_hot_swap() {
+    let db = generate_imdb(&ImdbConfig::tiny(90));
+    let pool = QueriesPool::generate(&db, 50, 2, 90);
+    let crn = trained_crn(&db, 90);
+    let queries = workload(&db, 91, 12);
+
+    let service = Arc::new(EstimatorService::new(
+        crn,
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(2),
+    ));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default()
+            .with_window_us(0)
+            .with_cache_entries(128),
+    );
+
+    // Round 1 computes and fills; the estimates must match the synchronous reference.
+    let round1 = serve_round(&runtime, &queries, EstimateSource::Computed);
+    bit_equal(
+        &round1,
+        &service.serve(&queries).estimates,
+        "round 1 vs sync",
+    );
+    // Round 2 replays every query from the cache, bit-identically.
+    let round2 = serve_round(&runtime, &queries, EstimateSource::Cached);
+    bit_equal(&round2, &round1, "cached round vs computed round");
+
+    // Maintenance churn: upsert fresh queries through the feedback lane.  Every apply
+    // bumps a shard version, so the snapshot-wide pool version moves past the cached
+    // keys and the next round must recompute against the grown pool.
+    for (offset, update) in workload(&db, 92, 6).into_iter().enumerate() {
+        runtime
+            .record_feedback(update, 50 + offset as u64)
+            .expect("maintenance lane open");
+    }
+    runtime.flush();
+    let round3 = serve_round(&runtime, &queries, EstimateSource::Computed);
+    bit_equal(
+        &round3,
+        &service.serve(&queries).estimates,
+        "post-churn round vs post-churn sync",
+    );
+    let round4 = serve_round(&runtime, &queries, EstimateSource::Cached);
+    bit_equal(&round4, &round3, "post-churn cached round");
+
+    // Model hot-swap: a differently-trained model takes over serving atomically; the
+    // model version bump invalidates every cached key the same way.
+    let replacement = trained_crn(&db, 93);
+    let swapped_version = service.swap_model(replacement);
+    assert!(swapped_version > 1, "hot-swap advances the model version");
+    let round5 = serve_round(&runtime, &queries, EstimateSource::Computed);
+    bit_equal(
+        &round5,
+        &service.serve(&queries).estimates,
+        "post-swap round vs post-swap sync",
+    );
+    let round6 = serve_round(&runtime, &queries, EstimateSource::Cached);
+    bit_equal(&round6, &round5, "post-swap cached round");
+
+    // Accounting: 6 closed-loop rounds of 12 → 36 misses (computed) + 36 hits, and the
+    // identity `serve.queries + coalesced + cache_hits == completed` balances exactly.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 72);
+    assert_eq!(stats.cache_hits, 36);
+    assert_eq!(stats.cache_misses, 36);
+    assert_eq!(stats.cache_insertions, 36);
+    assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+    assert_eq!(
+        stats.serve.queries as u64 + stats.coalesced + stats.cache_hits,
+        stats.completed
+    );
+    assert!(stats.fully_resolved(), "{stats:?}");
+}
+
+/// `cache_entries: 0` (the default) must restore the pre-cache runtime exactly: every
+/// outcome is freshly computed, no cache counter ever moves, and the pre-cache
+/// accounting identity holds without the cache term.
+#[test]
+fn a_disabled_cache_never_intercepts_or_counts() {
+    let db = generate_imdb(&ImdbConfig::tiny(94));
+    let pool = QueriesPool::generate(&db, 40, 2, 94);
+    let crn = trained_crn(&db, 94);
+    let queries = workload(&db, 95, 8);
+
+    let service = Arc::new(EstimatorService::new(
+        crn,
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(1),
+    ));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default().with_window_us(0),
+    );
+
+    let round1 = serve_round(&runtime, &queries, EstimateSource::Computed);
+    // The repeat round recomputes too — identical answers, but via the full path.
+    let round2 = serve_round(&runtime, &queries, EstimateSource::Computed);
+    bit_equal(&round2, &round1, "repeat round without a cache");
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 0);
+    assert_eq!(stats.cache_insertions, 0);
+    assert_eq!(stats.cache_evictions, 0);
+    assert_eq!(stats.cache_hit_rate(), 0.0);
+    assert_eq!(
+        stats.serve.queries as u64 + stats.coalesced,
+        stats.completed
+    );
+    assert!(stats.fully_resolved(), "{stats:?}");
+}
+
+/// A capacity-starved cache evicts instead of growing: serving more distinct queries
+/// than the cache holds keeps it bounded and surfaces evictions in the stats.
+#[test]
+fn a_tiny_cache_stays_bounded_under_a_wide_workload() {
+    let db = generate_imdb(&ImdbConfig::tiny(96));
+    let pool = QueriesPool::generate(&db, 40, 2, 96);
+    let crn = trained_crn(&db, 96);
+    let queries = workload(&db, 97, 10);
+
+    let service = Arc::new(EstimatorService::new(
+        crn,
+        ShardedPool::from_pool(&pool, 4),
+        WorkerPool::shared(1),
+    ));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&service),
+        RuntimeConfig::default()
+            .with_window_us(0)
+            .with_cache_entries(2),
+    );
+
+    // Ten distinct queries through a 2-entry cache: everything computes, the overflow
+    // evicts, and the cache never reports a hit it could not have stored.
+    serve_round(&runtime, &queries, EstimateSource::Computed);
+    let stats = runtime.shutdown();
+    assert_eq!(stats.cache_misses, 10);
+    assert_eq!(stats.cache_insertions, 10);
+    assert_eq!(stats.cache_evictions, 8);
+    assert_eq!(stats.cache_hits, 0);
+    assert!(stats.fully_resolved(), "{stats:?}");
+}

@@ -277,6 +277,50 @@ fn submit_retrying_for_gives_up_after_its_patience() {
 }
 
 #[test]
+fn retrying_submission_deadline_anchors_at_the_first_attempt() {
+    // Regression: `submit_retrying_for` used to recompute the request deadline on every
+    // retry, so each shed attempt slid the expiry window forward and a request admitted
+    // after a long backoff could execute arbitrarily later than its configured bound.
+    // The deadline must anchor at the FIRST attempt: here admission stays full (queue
+    // depth 1 behind a ~300ms plug batch) until long after the 40ms default deadline,
+    // so once the retrying submission finally admits, it is already stale and must
+    // resolve Expired — never execute.
+    let pool = ShardedPool::new(2);
+    pool.insert(Query::scan("title"), 10);
+    let runtime = runtime_over(
+        SlowModel(Duration::from_millis(300)),
+        pool,
+        RuntimeConfig::default()
+            .with_queue_depth(1)
+            .with_batch_max(1)
+            .with_window_us(0)
+            .with_deadline_us(40_000),
+    );
+    let plug = runtime.submit(0, Query::scan("title")).expect("admitted");
+    std::thread::sleep(Duration::from_millis(10));
+    // The scheduler popped the plug; this filler occupies the single queue slot for the
+    // whole plug batch (~300ms), keeping the retry loop shedding well past 40ms.
+    let filler = runtime
+        .submit(1, Query::scan("cast_info"))
+        .expect("admitted");
+    let target = runtime
+        .submit_retrying_for(2, &Query::scan("cast_info"), Some(Duration::from_secs(5)))
+        .expect("admitted once the plug batch retired");
+    assert_eq!(
+        target.wait(),
+        Err(crn_serve::TicketError::Expired),
+        "a deadline anchored at the first attempt has long passed by admission time"
+    );
+    assert!(plug.wait().is_ok());
+    // The filler went stale in the queue too (same 40ms bound) — the point is only that
+    // the retrying submission did not get a fresh deadline per retry.
+    assert_eq!(filler.wait(), Err(crn_serve::TicketError::Expired));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.expired, 2);
+    assert!(stats.fully_resolved(), "{stats:?}");
+}
+
+#[test]
 fn zero_window_serves_a_closed_loop_caller_one_by_one() {
     let runtime = instant_runtime(RuntimeConfig::default().with_window_us(0));
     let query = Query::scan("title");
