@@ -95,6 +95,16 @@ pub struct Cnt2CrdConfig {
     pub epsilon: f64,
     /// Estimate returned when no pool entry matches and no fallback estimator is configured.
     pub default_estimate: f64,
+    /// Top-K anchor selection: `0` (the default) evaluates **all** matching anchors —
+    /// bit-identical to the pre-tier serving paths — while `k > 0` ranks the matching
+    /// anchors by featurization-space similarity ([`crate::pool::anchor_score`]) and
+    /// evaluates only the best `k`, making per-query cost O(bucket + k) model heads
+    /// instead of O(bucket).
+    ///
+    /// Top-K estimates are *not* bit-identical to the full scan; they are gated by the
+    /// estimator-quality parity budget (top-K vs full-pool median q-error delta) the
+    /// pool-scale sweep and its tests enforce.
+    pub top_k: usize,
 }
 
 impl Cnt2CrdConfig {
@@ -120,6 +130,7 @@ impl Default for Cnt2CrdConfig {
             final_function: FinalFunction::Median,
             epsilon: 0.1,
             default_estimate: 1.0,
+            top_k: 0,
         }
     }
 }
@@ -240,6 +251,9 @@ impl<M: ContainmentEstimator + Sync> Cnt2Crd<M> {
     /// sequential list with bit-identical values, so the (sorting) final functions return
     /// bit-identical estimates.
     pub fn per_entry_estimates(&self, query: &Query) -> Vec<f64> {
+        if self.config.top_k > 0 {
+            return self.per_entry_estimates_top_k(query);
+        }
         if let Some(serving) = &self.serving {
             return self.per_entry_estimates_sharded(query, serving);
         }
@@ -261,6 +275,31 @@ impl<M: ContainmentEstimator + Sync> Cnt2Crd<M> {
             .zip(rates)
             .filter_map(|(&cardinality, (x_rate, y_rate))| {
                 self.entry_estimate(cardinality, x_rate, y_rate)
+            })
+            .collect()
+    }
+
+    /// The top-K serving path (`config.top_k > 0`): rank the matching anchors by
+    /// featurization-space similarity and run only the best `k` through the containment
+    /// heads.  Takes precedence over sharded serving — with `k` anchors the per-query model
+    /// cost is already bounded, so fanning the tiny batch across workers would only add
+    /// scheduling overhead.  The prepared-anchor cache is deliberately skipped: its slots
+    /// are keyed per FROM clause, but top-K anchor sets vary per *query*.
+    fn per_entry_estimates_top_k(&self, query: &Query) -> Vec<f64> {
+        let ranked = self
+            .pool
+            .as_shard()
+            .matching_top_k(query, self.config.top_k);
+        if ranked.is_empty() {
+            return Vec::new();
+        }
+        let anchors: Vec<&Query> = ranked.iter().map(|(_, entry)| &entry.query).collect();
+        let rates = self.model.predict_batch(&anchors, query);
+        ranked
+            .iter()
+            .zip(rates)
+            .filter_map(|(&(_, entry), (x_rate, y_rate))| {
+                self.entry_estimate(entry.cardinality, x_rate, y_rate)
             })
             .collect()
     }

@@ -62,6 +62,9 @@ pub use featurize::CrnFeaturizer;
 pub use improved::ImprovedEstimator;
 pub use model::{CrnModel, CrnOptions, ExpandMode, Pooling, RATE_FLOOR};
 pub use persist::PersistError;
-pub use pool::{query_hash, PoolEntry, PoolShard, QueriesPool};
+pub use pool::{
+    anchor_score, feature_signature, query_hash, PoolEntry, PoolShard, QueriesPool,
+    DEFAULT_RETENTION_WEIGHT,
+};
 pub use service::{EstimatorService, ModelSnapshot, ServeResponse, ServeStats};
 pub use sharded::{PoolSnapshot, ShardedPool};

@@ -21,8 +21,19 @@ use crn_exec::Executor;
 use crn_query::ast::Query;
 use crn_query::generator::{GeneratorConfig, QueryGenerator};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+
+/// The retention weight every anchor starts with (and the weight a query absent from the
+/// weight side-car reports).  Feedback moves weights *down* from here toward the q-error
+/// signal, so an anchor that keeps producing bad estimates sinks below fresh ones.
+pub const DEFAULT_RETENTION_WEIGHT: f64 = 1.0;
+
+/// EMA decay of the retention weight: `w ← DECAY·w + (1 − DECAY)·signal` with
+/// `signal = 1 / max(q_error, 1)`.  At 0.7 an anchor needs a few consecutive bad
+/// estimates to sink — one outlier execution cannot evict a good anchor.
+const RETENTION_DECAY: f64 = 0.7;
 
 /// One pool entry: a previously executed query and its actual cardinality.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,7 +52,7 @@ pub struct PoolEntry {
 /// lists in canonical shard order reproduces a full scan.  [`QueriesPool`] is one shard
 /// behind the classic API; [`crate::sharded::ShardedPool`] distributes entries over many
 /// shards by canonical query hash.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PoolShard {
     entries: Vec<PoolEntry>,
     /// Index from FROM-clause key (tables joined by `,`) to entry positions.  String keys keep
@@ -58,6 +69,26 @@ pub struct PoolShard {
     /// lazily on the first mutation of a deserialized shard.
     #[serde(skip)]
     by_hash: HashMap<u64, Vec<usize>>,
+    /// Per-entry similarity signatures ([`feature_signature`]), aligned with `entries` and
+    /// maintained incrementally on every insert/remove, so the top-K scoring pass never
+    /// re-featurizes resident anchors.  Unserialized for the same hash-stability reason as
+    /// `by_hash`; rebuilt lazily on the first mutation of a deserialized shard (reads fall
+    /// back to on-the-fly signatures while the side-car is out of sync).
+    #[serde(skip)]
+    signatures: Vec<Vec<u64>>,
+    /// Per-entry retention weights, aligned with `entries` (see
+    /// [`PoolShard::record_feedback`]).  Soft serving state: never persisted — a reloaded
+    /// pool starts every anchor back at [`DEFAULT_RETENTION_WEIGHT`].
+    #[serde(skip)]
+    weights: Vec<f64>,
+}
+
+impl PartialEq for PoolShard {
+    /// Shards are equal when their entries are (both indexes are deterministic functions
+    /// of the entry sequence; the signature/weight side-cars are unserialized soft state).
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 /// The canonical hash of a query within one process ([`std::collections::hash_map::DefaultHasher`]
@@ -69,6 +100,75 @@ pub fn query_hash(query: &Query) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     query.hash(&mut hasher);
     hasher.finish()
+}
+
+/// The featurization-space similarity signature of a query: a sorted multiset of feature
+/// hashes — one per join clause, and per predicate both the exact predicate and its bare
+/// column.  [`anchor_score`] is the multiset-intersection size of two signatures, so an
+/// anchor scores 1 for every shared join, 1 for every predicate on a shared column and 2
+/// when the predicate matches exactly — the cheap scoring pass the top-K anchor selection
+/// runs ahead of the exact containment heads.  Like [`query_hash`], never persist it.
+pub fn feature_signature(query: &Query) -> Vec<u64> {
+    fn feature<T: Hash>(tag: u8, value: &T) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        tag.hash(&mut hasher);
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+    let mut features = Vec::with_capacity(query.joins().len() + 2 * query.predicates().len());
+    for join in query.joins() {
+        features.push(feature(0, join));
+    }
+    for predicate in query.predicates() {
+        features.push(feature(1, predicate));
+        features.push(feature(2, &predicate.column));
+    }
+    features.sort_unstable();
+    features
+}
+
+/// Multiset-intersection size of two sorted feature signatures (two-pointer merge).
+fn shared_features(a: &[u64], b: &[u64]) -> u64 {
+    let (mut i, mut j, mut shared) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
+}
+
+/// The similarity score of a pool anchor against an incoming query: a pure, deterministic
+/// integer function of the two queries (see [`feature_signature`] for the weighting).
+/// Entries sharing no join, predicate or predicate column score 0.
+pub fn anchor_score(anchor: &Query, query: &Query) -> u64 {
+    shared_features(&feature_signature(anchor), &feature_signature(query))
+}
+
+/// The top-K ranking order over `(score, entry)` pairs: score **descending**, ties broken
+/// by the anchor query's `Ord` **ascending**.  Pool entries have distinct queries (the
+/// duplicate index guarantees it), so this is a *total* order — which is what makes the
+/// per-shard top-K selections merge into the same global top-K at any shard count.
+pub(crate) fn rank_order(a: &(u64, &PoolEntry), b: &(u64, &PoolEntry)) -> Ordering {
+    b.0.cmp(&a.0).then_with(|| a.1.query.cmp(&b.1.query))
+}
+
+/// The structural shape of a query: FROM clause, join clauses, and the predicate
+/// `(column, op)` pairs with the compared constants stripped.  Two anchors with equal
+/// structure keys are "near duplicates" — the unit [`PoolShard::compact`] merges.
+pub(crate) fn structure_key(query: &Query) -> String {
+    let shape: Vec<_> = query
+        .predicates()
+        .iter()
+        .map(|p| (&p.column, &p.op))
+        .collect();
+    format!("{:?}|{:?}|{:?}", query.tables(), query.joins(), shape)
 }
 
 impl PoolShard {
@@ -96,11 +196,28 @@ impl PoolShard {
         }
     }
 
+    /// Restores the (unserialized) signature/weight side-cars of a deserialized shard: the
+    /// per-entry alignment makes staleness unambiguous — a length mismatch with `entries`
+    /// means the side-car was dropped by serialization and is rebuilt wholesale.
+    fn ensure_sidecars(&mut self) {
+        if self.signatures.len() != self.entries.len() {
+            self.signatures = self
+                .entries
+                .iter()
+                .map(|entry| feature_signature(&entry.query))
+                .collect();
+        }
+        if self.weights.len() != self.entries.len() {
+            self.weights = vec![DEFAULT_RETENTION_WEIGHT; self.entries.len()];
+        }
+    }
+
     /// Adds an executed query with its actual cardinality; returns whether the entry was new.
     ///
     /// Duplicate queries are ignored (the shard keeps the first recorded cardinality).
     pub fn insert(&mut self, query: Query, cardinality: u64) -> bool {
         self.ensure_hash_index();
+        self.ensure_sidecars();
         let hash = query_hash(&query);
         if let Some(indices) = self.by_hash.get(&hash) {
             if indices.iter().any(|&i| self.entries[i].query == query) {
@@ -113,6 +230,8 @@ impl PoolShard {
             .entry(from_key(&query))
             .or_default()
             .push(index);
+        self.signatures.push(feature_signature(&query));
+        self.weights.push(DEFAULT_RETENTION_WEIGHT);
         self.entries.push(PoolEntry { query, cardinality });
         true
     }
@@ -128,6 +247,7 @@ impl PoolShard {
     /// property tests below pin this.
     pub fn remove(&mut self, query: &Query) -> Option<u64> {
         self.ensure_hash_index();
+        self.ensure_sidecars();
         let hash = query_hash(query);
         let position = self
             .by_hash
@@ -136,6 +256,8 @@ impl PoolShard {
             .copied()
             .find(|&index| self.entries[index].query == *query)?;
         let removed = self.entries.remove(position);
+        self.signatures.remove(position);
+        self.weights.remove(position);
         let fix_indices = |indices: &mut Vec<usize>| {
             indices.retain(|&index| index != position);
             for index in indices.iter_mut() {
@@ -155,13 +277,21 @@ impl PoolShard {
     ///
     /// Observable semantics are **exactly** remove-then-insert: a refreshed entry moves to
     /// the end of the shard's insertion order (the proptests pin this against the
-    /// remove+insert oracle).  The point of the dedicated entry point is one level up —
+    /// remove+insert oracle).  A refreshed entry keeps its accumulated retention weight —
+    /// fresh truth does not absolve an anchor the feedback stream has marked bad.  The
+    /// point of the dedicated entry point is one level up —
     /// [`crate::sharded::ShardedPool::upsert`] turns what used to be *two* copy-on-write
     /// snapshot swaps into one, which is what the serving runtime's maintenance lane
     /// (refreshing completed queries' true cardinalities) hammers.
     pub fn upsert(&mut self, query: Query, cardinality: u64) -> Option<u64> {
+        let kept_weight = self.retention_weight(&query);
         let replaced = self.remove(&query);
         self.insert(query, cardinality);
+        if replaced.is_some() {
+            if let Some(weight) = self.weights.last_mut() {
+                *weight = kept_weight;
+            }
+        }
         replaced
     }
 
@@ -209,6 +339,213 @@ impl PoolShard {
     /// across shards).
     pub fn from_keys(&self) -> impl Iterator<Item = &str> {
         self.by_from.keys().map(|k| k.as_str())
+    }
+
+    /// Position of the query in `entries`, via the duplicate index when it is built and by
+    /// linear scan otherwise (read-only callers cannot lazily rebuild the index).
+    fn position_of(&self, query: &Query) -> Option<usize> {
+        if self.by_hash.is_empty() {
+            return self.entries.iter().position(|entry| entry.query == *query);
+        }
+        self.by_hash
+            .get(&query_hash(query))?
+            .iter()
+            .copied()
+            .find(|&index| self.entries[index].query == *query)
+    }
+
+    /// The current retention weight of an anchor ([`DEFAULT_RETENTION_WEIGHT`] when the
+    /// query is absent or the weight side-car has not been rebuilt since deserialization).
+    pub fn retention_weight(&self, query: &Query) -> f64 {
+        if self.weights.len() != self.entries.len() {
+            return DEFAULT_RETENTION_WEIGHT;
+        }
+        self.position_of(query)
+            .map(|index| self.weights[index])
+            .unwrap_or(DEFAULT_RETENTION_WEIGHT)
+    }
+
+    /// Folds an observed estimation q-error for this anchor into its retention weight
+    /// (`w ← 0.7·w + 0.3·(1/max(q_error, 1))`), returning whether the anchor is resident.
+    ///
+    /// A perfectly calibrated anchor (q-error 1) holds weight 1; an anchor that keeps
+    /// producing order-of-magnitude errors decays toward 0 and becomes the first eviction
+    /// victim.  `max` with 1 also absorbs NaN q-errors from degenerate feedback.
+    pub fn record_feedback(&mut self, query: &Query, q_error: f64) -> bool {
+        self.ensure_hash_index();
+        self.ensure_sidecars();
+        let Some(position) = self.position_of(query) else {
+            return false;
+        };
+        let signal = 1.0 / q_error.max(1.0);
+        let weight = &mut self.weights[position];
+        *weight = RETENTION_DECAY * *weight + (1.0 - RETENTION_DECAY) * signal;
+        true
+    }
+
+    /// Removes and returns the anchor with the lowest retention weight (ties broken by the
+    /// query's `Ord`, so eviction is deterministic).  `None` on an empty shard.
+    pub fn evict_lowest_weight(&mut self) -> Option<Query> {
+        self.ensure_sidecars();
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                self.weights[*i]
+                    .total_cmp(&self.weights[*j])
+                    .then_with(|| a.query.cmp(&b.query))
+            })?
+            .1
+            .query
+            .clone();
+        self.remove(&victim);
+        Some(victim)
+    }
+
+    /// Merges near-duplicate anchors: entries with the same structural shape (FROM clause,
+    /// joins, and predicate `(column, op)` pairs — compared constants ignored) collapse to
+    /// the one with the highest retention weight (ties broken by the smallest query), in
+    /// original insertion order.  Returns the number of entries removed.
+    ///
+    /// Rebuilds the indexes and side-cars wholesale — O(n), not O(n²) of repeated removes.
+    pub fn compact(&mut self) -> usize {
+        self.ensure_sidecars();
+        let mut keep_by_shape: BTreeMap<String, usize> = BTreeMap::new();
+        for (index, entry) in self.entries.iter().enumerate() {
+            match keep_by_shape.entry(structure_key(&entry.query)) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(index);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let kept = *slot.get();
+                    let better = match self.weights[index].total_cmp(&self.weights[kept]) {
+                        Ordering::Greater => true,
+                        Ordering::Less => false,
+                        Ordering::Equal => self.entries[index].query < self.entries[kept].query,
+                    };
+                    if better {
+                        slot.insert(index);
+                    }
+                }
+            }
+        }
+        let removed = self.entries.len() - keep_by_shape.len();
+        if removed == 0 {
+            return 0;
+        }
+        let mut keep_mask = vec![false; self.entries.len()];
+        for index in keep_by_shape.into_values() {
+            keep_mask[index] = true;
+        }
+        self.apply_keep_mask(&keep_mask);
+        removed
+    }
+
+    /// Entries paired with their current retention weights, in insertion order
+    /// ([`DEFAULT_RETENTION_WEIGHT`] throughout when the side-car is stale after a
+    /// deserialization).  The cross-shard compaction scan in [`crate::sharded`] reads
+    /// this without forcing a side-car rebuild on a shared snapshot.
+    pub(crate) fn entries_with_weights(&self) -> impl Iterator<Item = (&PoolEntry, f64)> + '_ {
+        let aligned = self.weights.len() == self.entries.len();
+        self.entries.iter().enumerate().map(move |(index, entry)| {
+            let weight = if aligned {
+                self.weights[index]
+            } else {
+                DEFAULT_RETENTION_WEIGHT
+            };
+            (entry, weight)
+        })
+    }
+
+    /// Drops every entry for which `keep` returns false, preserving insertion order of the
+    /// survivors.  Returns the number removed.  One O(n) rebuild like [`PoolShard::compact`]
+    /// — this is the per-shard apply step of the pool-wide compaction in [`crate::sharded`],
+    /// where the winner set is chosen across *all* shards.
+    pub(crate) fn retain_queries(&mut self, mut keep: impl FnMut(&Query) -> bool) -> usize {
+        self.ensure_sidecars();
+        let keep_mask: Vec<bool> = self.entries.iter().map(|e| keep(&e.query)).collect();
+        let removed = keep_mask.iter().filter(|kept| !**kept).count();
+        if removed == 0 {
+            return 0;
+        }
+        self.apply_keep_mask(&keep_mask);
+        removed
+    }
+
+    /// Rebuilds entries, side-cars and both indexes keeping exactly the masked positions
+    /// (side-cars must be aligned — callers run `ensure_sidecars` first).
+    fn apply_keep_mask(&mut self, keep_mask: &[bool]) {
+        let old_entries = std::mem::take(&mut self.entries);
+        let old_signatures = std::mem::take(&mut self.signatures);
+        let old_weights = std::mem::take(&mut self.weights);
+        for (index, ((entry, signature), weight)) in old_entries
+            .into_iter()
+            .zip(old_signatures)
+            .zip(old_weights)
+            .enumerate()
+        {
+            if keep_mask[index] {
+                self.entries.push(entry);
+                self.signatures.push(signature);
+                self.weights.push(weight);
+            }
+        }
+        self.by_from.clear();
+        for (index, entry) in self.entries.iter().enumerate() {
+            self.by_from
+                .entry(from_key(&entry.query))
+                .or_default()
+                .push(index);
+        }
+        self.rebuild_hash_index();
+    }
+
+    /// The `k` same-FROM anchors most similar to the query, ranked by [`rank_order`]
+    /// (score descending, ties by anchor `Ord`).  With fewer than `k` matching anchors this
+    /// is a ranked permutation of [`PoolShard::matching`]; `k == 0` selects nothing.
+    pub fn matching_top_k<'a>(&'a self, query: &Query, k: usize) -> Vec<(u64, &'a PoolEntry)> {
+        self.matching_top_k_scored(&from_key(query), &feature_signature(query), k)
+    }
+
+    /// [`PoolShard::matching_top_k`] by pre-computed FROM-clause key and query signature
+    /// (the serving layer featurizes each incoming query exactly once, then probes every
+    /// shard).  Scoring reads the incremental signature side-car when it is aligned and
+    /// falls back to on-the-fly featurization right after a deserialization.
+    ///
+    /// Cost is O(bucket) scoring + O(bucket) selection + O(k log k) ranking — independent
+    /// of total shard size and, for the selection, of the bucket's sort order.
+    pub fn matching_top_k_scored<'a>(
+        &'a self,
+        key: &str,
+        signature: &[u64],
+        k: usize,
+    ) -> Vec<(u64, &'a PoolEntry)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some(indices) = self.by_from.get(key) else {
+            return Vec::new();
+        };
+        let aligned = self.signatures.len() == self.entries.len();
+        let mut scored: Vec<(u64, &PoolEntry)> = indices
+            .iter()
+            .map(|&i| {
+                let entry = &self.entries[i];
+                let score = if aligned {
+                    shared_features(&self.signatures[i], signature)
+                } else {
+                    shared_features(&feature_signature(&entry.query), signature)
+                };
+                (score, entry)
+            })
+            .collect();
+        if k < scored.len() {
+            scored.select_nth_unstable_by(k - 1, rank_order);
+            scored.truncate(k);
+        }
+        scored.sort_unstable_by(rank_order);
+        scored
     }
 }
 
@@ -584,6 +921,131 @@ mod tests {
         assert_eq!(pool.as_shard().from_keys().count(), 1);
         let rebuilt = QueriesPool::from_shard(pool.clone().into_shard());
         assert_eq!(rebuilt, pool);
+    }
+
+    fn title_pred(column: &str, op: crn_db::value::CompareOp, value: i64) -> Query {
+        Query::new(
+            [tables::TITLE.to_string()],
+            [],
+            [crn_query::ast::Predicate::new(
+                crn_db::schema::ColumnRef::new(tables::TITLE, column),
+                op,
+                value,
+            )],
+        )
+    }
+
+    #[test]
+    fn top_k_ranks_by_shared_features_with_query_order_tie_break() {
+        use crn_db::value::CompareOp;
+        let mut shard = PoolShard::new();
+        let probe = title_pred("production_year", CompareOp::Eq, 1990);
+        // Exact predicate match (joins the column match): the strongest anchor.
+        let exact = title_pred("production_year", CompareOp::Eq, 1990);
+        // Same column, different literal: a weaker anchor.
+        let same_column = title_pred("production_year", CompareOp::Eq, 2001);
+        // Unrelated column: weakest (only probed via the FROM clause).
+        let unrelated = title_pred("kind_id", CompareOp::Le, 3);
+        shard.insert(unrelated.clone(), 5);
+        shard.insert(same_column.clone(), 7);
+        shard.insert(exact.clone(), 9);
+        assert!(anchor_score(&exact, &probe) > anchor_score(&same_column, &probe));
+        assert!(anchor_score(&same_column, &probe) > anchor_score(&unrelated, &probe));
+
+        assert!(
+            shard.matching_top_k(&probe, 0).is_empty(),
+            "k=0 selects none"
+        );
+        let top = shard.matching_top_k(&probe, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1.query, exact);
+        assert_eq!(top[1].1.query, same_column);
+        // k past the bucket returns the whole bucket, still rank-ordered.
+        let all = shard.matching_top_k(&probe, 10);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].1.query, unrelated);
+        // Equal scores fall back to ascending query order — a total order, because
+        // pool queries are distinct.
+        let tie_a = title_pred("kind_id", CompareOp::Le, 1);
+        let tie_b = title_pred("kind_id", CompareOp::Le, 2);
+        let mut tie_shard = PoolShard::new();
+        tie_shard.insert(tie_b.clone(), 1);
+        tie_shard.insert(tie_a.clone(), 1);
+        let ranked = tie_shard.matching_top_k(&probe, 2);
+        assert_eq!(
+            ranked[0].0, ranked[1].0,
+            "identical structure, identical score"
+        );
+        assert!(ranked[0].1.query < ranked[1].1.query);
+    }
+
+    #[test]
+    fn feedback_moves_retention_weights_and_eviction_takes_the_worst() {
+        use crn_db::value::CompareOp;
+        let good = title_pred("production_year", CompareOp::Eq, 1990);
+        let bad = title_pred("production_year", CompareOp::Eq, 1991);
+        let mut shard = PoolShard::new();
+        shard.insert(good.clone(), 10);
+        shard.insert(bad.clone(), 20);
+        assert_eq!(shard.retention_weight(&good), DEFAULT_RETENTION_WEIGHT);
+        // Perfect feedback (q-error 1) keeps the weight at 1; terrible feedback sinks it.
+        assert!(shard.record_feedback(&good, 1.0));
+        assert!(shard.record_feedback(&bad, 100.0));
+        assert!(
+            !shard.record_feedback(&Query::scan(tables::TITLE), 2.0),
+            "absent query"
+        );
+        assert_eq!(shard.retention_weight(&good), DEFAULT_RETENTION_WEIGHT);
+        assert!(shard.retention_weight(&bad) < shard.retention_weight(&good));
+        // NaN q-error is clamped, never poisoning the weight.
+        assert!(shard.record_feedback(&bad, f64::NAN));
+        assert!(shard.retention_weight(&bad).is_finite());
+        assert_eq!(shard.evict_lowest_weight(), Some(bad));
+        assert_eq!(shard.len(), 1);
+        assert_eq!(shard.matching(&good).count(), 1, "indexes survive eviction");
+        // All-default weights: the tie breaks on ascending query order.
+        let mut ties = PoolShard::new();
+        let a = title_pred("kind_id", CompareOp::Le, 1);
+        let b = title_pred("kind_id", CompareOp::Le, 2);
+        ties.insert(b.clone(), 1);
+        ties.insert(a.clone(), 1);
+        assert_eq!(ties.evict_lowest_weight(), Some(a.min(b)));
+    }
+
+    #[test]
+    fn compaction_merges_structural_near_duplicates_keeping_the_best_retained() {
+        use crn_db::value::CompareOp;
+        let mut shard = PoolShard::new();
+        // Three literal-only variants of one structure, plus one distinct structure.
+        let v1 = title_pred("production_year", CompareOp::Eq, 1990);
+        let v2 = title_pred("production_year", CompareOp::Eq, 1991);
+        let v3 = title_pred("production_year", CompareOp::Eq, 1992);
+        let other = title_pred("kind_id", CompareOp::Le, 3);
+        for (query, cardinality) in [(&v1, 10u64), (&v2, 11), (&v3, 12), (&other, 13)] {
+            shard.insert(query.clone(), cardinality);
+        }
+        // v2 has the best feedback record of its group; v1/v3 sank.
+        assert!(shard.record_feedback(&v1, 50.0));
+        assert!(shard.record_feedback(&v3, 50.0));
+        assert_eq!(shard.compact(), 2, "two near-duplicates merged away");
+        assert_eq!(shard.len(), 2);
+        assert_eq!(
+            shard.matching(&v2).count(),
+            2,
+            "v2 and other share the FROM clause"
+        );
+        assert_eq!(shard.matching(&v2).next().unwrap().cardinality, 11);
+        assert!(shard.matching(&other).any(|e| e.query == other));
+        // Idempotent once every structure is unique; the shard still accepts inserts.
+        assert_eq!(shard.compact(), 0);
+        shard.insert(v1.clone(), 99);
+        assert_eq!(shard.len(), 3);
+        // Equal weights inside a group: the smallest query survives.
+        let mut ties = PoolShard::new();
+        ties.insert(v2.clone(), 2);
+        ties.insert(v1.clone(), 1);
+        assert_eq!(ties.compact(), 1);
+        assert_eq!(ties.entries()[0].query, v1.clone().min(v2));
     }
 }
 

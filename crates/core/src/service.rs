@@ -299,6 +299,9 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
     /// Serves a slice of concurrent queries: one estimate per query, in input order, plus
     /// the per-layer stats.  See the module docs for the execution plan.
     pub fn serve(&self, queries: &[Query]) -> ServeResponse {
+        if self.config.top_k > 0 {
+            return self.serve_top_k(queries);
+        }
         let started = Instant::now();
         let mut stats = ServeStats {
             queries: queries.len(),
@@ -358,6 +361,98 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
                 per_query[query_index].extend(estimates);
             }
         }
+        let estimates: Vec<f64> = per_query
+            .iter()
+            .zip(queries)
+            .map(|(entry_estimates, query)| {
+                match self.config.final_function.apply(entry_estimates) {
+                    Some(value) => {
+                        stats.pool_hits += 1;
+                        value.max(0.0)
+                    }
+                    None => {
+                        stats.fallbacks += 1;
+                        match &self.fallback {
+                            Some(fallback) => fallback.estimate(query),
+                            None => self.config.default_estimate,
+                        }
+                    }
+                }
+            })
+            .collect();
+        stats.merge_time = merge_started.elapsed();
+        stats.total_time = started.elapsed();
+        ServeResponse {
+            estimates,
+            stats,
+            pool_version: snapshot.version(),
+        }
+    }
+
+    /// The top-K serving plan (`config.top_k > 0`): one work item per **query** instead of
+    /// per (FROM-clause group, shard).  Each item ranks the query's matching anchors across
+    /// all shards by featurization-space similarity ([`PoolSnapshot::matching_top_k`] — a
+    /// deterministic total order, so the result is identical at any shard/thread count) and
+    /// runs only the best `k` through the containment heads, bounding per-query model cost
+    /// by `k` regardless of pool size.
+    ///
+    /// The per-shard prepared-anchor cache is deliberately bypassed: its slots are keyed
+    /// per (shard, FROM clause), but top-K anchor sets vary per query.  Estimates are *not*
+    /// bit-identical to the full scan — they are gated by the q-error parity budget the
+    /// pool-scale sweep enforces.  `top_k == 0` never reaches this path, which is what
+    /// keeps the default configuration bit-identical to the pre-tier service.
+    fn serve_top_k(&self, queries: &[Query]) -> ServeResponse {
+        let started = Instant::now();
+        let mut stats = ServeStats {
+            queries: queries.len(),
+            ..ServeStats::default()
+        };
+
+        // Layer 1 — one immutable (pool, model) pairing for the whole batch, exactly as in
+        // the full-scan plan (swap atomicity is mode-independent).
+        let snapshot = self.pool.snapshot();
+        let model = self.model_snapshot();
+        stats.shards = snapshot.num_shards();
+        stats.pool_entries = snapshot.len();
+        stats.model_version = model.version;
+        stats.snapshot_time = started.elapsed();
+
+        // Layer 2a — plan: the unit of work is the query itself (anchor sets are
+        // query-dependent, so there is nothing to fuse across a FROM group); groups are
+        // still reported for stats continuity.
+        let group_started = Instant::now();
+        stats.groups = queries
+            .iter()
+            .map(from_key)
+            .collect::<std::collections::BTreeSet<String>>()
+            .len();
+        stats.work_items = queries.len();
+        stats.group_time = group_started.elapsed();
+
+        // Layer 2b — compute: rank, then evaluate the ≤ k survivors.
+        let compute_started = Instant::now();
+        let k = self.config.top_k;
+        let per_query: Vec<Vec<f64>> = self.workers.run_sharded(queries.len(), |index| {
+            let query = &queries[index];
+            let ranked = snapshot.matching_top_k(query, k);
+            if ranked.is_empty() {
+                return Vec::new();
+            }
+            let anchors: Vec<&Query> = ranked.iter().map(|(_, entry)| &entry.query).collect();
+            let rates = model.model.predict_batch(&anchors, query);
+            ranked
+                .iter()
+                .zip(rates)
+                .filter_map(|(&(_, entry), (x_rate, y_rate))| {
+                    self.config
+                        .entry_estimate(entry.cardinality, x_rate, y_rate)
+                })
+                .collect()
+        });
+        stats.compute_time = compute_started.elapsed();
+
+        // Layer 3 — fold each query's ranked-entry estimates through the final function.
+        let merge_started = Instant::now();
         let estimates: Vec<f64> = per_query
             .iter()
             .zip(queries)

@@ -22,9 +22,11 @@
 //!   the serving layer cache per-shard anchor state and invalidate exactly the shards a
 //!   write touched.
 
-use crate::pool::{query_hash, PoolEntry, PoolShard, QueriesPool};
+use crate::pool::{feature_signature, query_hash, rank_order, PoolEntry, PoolShard, QueriesPool};
 use crn_query::ast::Query;
 use parking_lot::RwLock;
+use std::collections::btree_map;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,6 +95,31 @@ impl PoolSnapshot {
             .flat_map(move |shard| shard.matching_key(&key).collect::<Vec<_>>())
     }
 
+    /// The `k` same-FROM anchors most similar to the query across all shards, ranked by
+    /// score descending with ties broken by the anchor query's `Ord` — the sublinear
+    /// retrieval stage ahead of the exact containment heads.
+    ///
+    /// The ranking comparator is a *total* order (pool queries are distinct), so merging
+    /// the per-shard top-`k` selections and re-selecting globally yields **exactly** the
+    /// top-`k` of the flat pool-wide ranking at any shard count — the determinism the
+    /// top-K proptests pin.  The query is featurized once; per-shard work is
+    /// O(bucket + k log k).
+    pub fn matching_top_k<'a>(&'a self, query: &Query, k: usize) -> Vec<(u64, &'a PoolEntry)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let key = crate::pool::from_key(query);
+        let signature = feature_signature(query);
+        let mut merged: Vec<(u64, &PoolEntry)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.matching_top_k_scored(&key, &signature, k))
+            .collect();
+        merged.sort_unstable_by(rank_order);
+        merged.truncate(k);
+        merged
+    }
+
     /// Number of distinct FROM clauses covered by the pool (union over shards).
     pub fn num_from_clauses(&self) -> usize {
         self.shards
@@ -132,6 +159,11 @@ pub struct ShardedPool {
     writer: parking_lot::Mutex<()>,
     /// Source of fresh shard versions (see [`PoolSnapshot::shard_version`]).
     next_version: AtomicU64,
+    /// Bounded-capacity mode ([`ShardedPool::with_capacity`]): per-shard entry quota.
+    /// `None` (the default) grows without bound, exactly the pre-tier behaviour.
+    shard_capacity: Option<usize>,
+    /// Entries evicted by the bounded-capacity mode since construction.
+    evictions: AtomicU64,
 }
 
 impl ShardedPool {
@@ -146,6 +178,8 @@ impl ShardedPool {
             snapshot: RwLock::new(Arc::new(PoolSnapshot { shards, versions })),
             writer: parking_lot::Mutex::new(()),
             next_version: AtomicU64::new(num_shards as u64 + 1),
+            shard_capacity: None,
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -164,7 +198,30 @@ impl ShardedPool {
             snapshot: RwLock::new(Arc::new(PoolSnapshot { shards, versions })),
             writer: parking_lot::Mutex::new(()),
             next_version: AtomicU64::new(num_shards as u64 + 1),
+            shard_capacity: None,
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Switches the pool into bounded-capacity mode: `capacity` total entries, split into
+    /// a per-shard quota of `ceil(capacity / num_shards)` (at least 1).  Once a shard is
+    /// at quota, every insert evicts the anchor with the lowest retention weight **in the
+    /// same copy-on-write swap** — readers never observe an over-quota snapshot.  The
+    /// freshly inserted entry itself is fair game: starting at the default weight it only
+    /// loses against anchors the feedback stream has already marked worse.
+    ///
+    /// Entries already present are not trimmed retroactively; the bound applies from the
+    /// next insert on (the sweep builds at-capacity pools through `from_pool` and relies
+    /// on this).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        let shards = self.snapshot.read().num_shards();
+        self.shard_capacity = Some(capacity.div_ceil(shards).max(1));
+        self
+    }
+
+    /// Entries evicted by the bounded-capacity mode since construction (0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of shards.
@@ -199,6 +256,7 @@ impl ShardedPool {
         if !shard.insert(query, cardinality) {
             return false;
         }
+        self.enforce_quota(&mut shard);
         let next = Arc::new(self.replaced(&current, index, shard));
         *self.snapshot.write() = next;
         true
@@ -235,9 +293,111 @@ impl ShardedPool {
         let index = (query_hash(&query) % current.num_shards() as u64) as usize;
         let mut shard = (*current.shards[index]).clone();
         let replaced = shard.upsert(query, cardinality);
+        self.enforce_quota(&mut shard);
         let next = Arc::new(self.replaced(&current, index, shard));
         *self.snapshot.write() = next;
         replaced
+    }
+
+    /// Evicts lowest-retention-weight anchors until the shard is back under its quota
+    /// (no-op in unbounded mode).  Runs on the writer's private clone, so the eviction and
+    /// the triggering insert publish as one snapshot.
+    fn enforce_quota(&self, shard: &mut PoolShard) {
+        let Some(quota) = self.shard_capacity else {
+            return;
+        };
+        while shard.len() > quota {
+            if shard.evict_lowest_weight().is_none() {
+                break;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds an observed estimation q-error into the resident anchor's retention weight
+    /// (see [`PoolShard::record_feedback`]); returns whether the anchor was resident.
+    ///
+    /// Weights steer eviction and compaction only — they are invisible to `matching` and
+    /// to estimates — but the update still publishes through the regular copy-on-write
+    /// swap so readers and the weight state can never tear.
+    pub fn record_feedback(&self, query: &Query, q_error: f64) -> bool {
+        let _writer = self.writer.lock();
+        let current = self.snapshot();
+        let index = (query_hash(query) % current.num_shards() as u64) as usize;
+        // Residency check before the O(shard) clone: feedback for evicted/foreign anchors
+        // is common once eviction is on, and must not cost a copy-on-write cycle.
+        if !current.shards[index]
+            .matching(query)
+            .any(|entry| entry.query == *query)
+        {
+            return false;
+        }
+        let mut shard = (*current.shards[index]).clone();
+        if !shard.record_feedback(query, q_error) {
+            return false;
+        }
+        let next = Arc::new(self.replaced(&current, index, shard));
+        *self.snapshot.write() = next;
+        true
+    }
+
+    /// Merges near-duplicate anchors **pool-wide**: entries sharing a structural shape
+    /// (FROM clause, joins and predicate `(column, op)` pairs — compared constants
+    /// ignored) collapse to the one with the highest retention weight, ties broken by the
+    /// smallest query.  Returns the total number of entries removed.
+    ///
+    /// Winner selection must be global, not per-shard: near-duplicates differ exactly in
+    /// their literals, so their canonical hashes — and therefore their home shards — are
+    /// unrelated, and shard-local compaction would leave every cross-shard duplicate
+    /// group resident forever.  The scan reads the shared snapshot without cloning;
+    /// only shards that actually lose an entry are cloned, filtered
+    /// ([`PoolShard::retain_queries`]) and re-versioned, and all of them publish as a
+    /// **single** successor snapshot.
+    pub fn compact(&self) -> usize {
+        let _writer = self.writer.lock();
+        let current = self.snapshot();
+        // Global winner per structural shape: (weight desc, query asc) over all shards.
+        let mut best: BTreeMap<String, (f64, &Query)> = BTreeMap::new();
+        let mut total = 0usize;
+        for shard in current.shards.iter() {
+            for (entry, weight) in shard.entries_with_weights() {
+                total += 1;
+                match best.entry(crate::pool::structure_key(&entry.query)) {
+                    btree_map::Entry::Vacant(slot) => {
+                        slot.insert((weight, &entry.query));
+                    }
+                    btree_map::Entry::Occupied(mut slot) => {
+                        let (kept_weight, kept_query) = *slot.get();
+                        let better = match weight.total_cmp(&kept_weight) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Less => false,
+                            std::cmp::Ordering::Equal => entry.query < *kept_query,
+                        };
+                        if better {
+                            slot.insert((weight, &entry.query));
+                        }
+                    }
+                }
+            }
+        }
+        let removed = total - best.len();
+        if removed == 0 {
+            return 0;
+        }
+        let winners: BTreeSet<&Query> = best.values().map(|(_, query)| *query).collect();
+        let mut shards = current.shards.clone();
+        let mut versions = current.versions.clone();
+        for (index, slot) in shards.iter_mut().enumerate() {
+            if slot.entries().iter().all(|e| winners.contains(&e.query)) {
+                continue;
+            }
+            let mut shard = (**slot).clone();
+            shard.retain_queries(|query| winners.contains(query));
+            *slot = Arc::new(shard);
+            versions[index] = self.next_version.fetch_add(1, Ordering::Relaxed);
+        }
+        *self.snapshot.write() = Arc::new(PoolSnapshot { shards, versions });
+        removed
     }
 
     /// Total number of entries (over the current snapshot).
@@ -275,6 +435,8 @@ impl Clone for ShardedPool {
             snapshot: RwLock::new(snapshot),
             writer: parking_lot::Mutex::new(()),
             next_version: AtomicU64::new(self.next_version.load(Ordering::Relaxed)),
+            shard_capacity: self.shard_capacity,
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
         }
     }
 }
@@ -468,6 +630,94 @@ mod tests {
     }
 
     #[test]
+    fn bounded_capacity_evicts_lowest_retention_weight_on_insert() {
+        let db = generate_imdb(&ImdbConfig::tiny(95));
+        let pool = QueriesPool::generate(&db, 40, 1, 95);
+        let unbounded = ShardedPool::from_pool(&pool, 2);
+        assert_eq!(unbounded.evictions(), 0);
+
+        // Capacity is split into per-shard quotas enforced from the next insert on.
+        // Size the bound so the shard the fresh entry routes to sits exactly at quota:
+        // its insert must then evict exactly one entry — the lowest-weight one.
+        let fresh = Query::scan("a_table_surely_not_in_the_pool");
+        let unbounded_target = ShardedPool::from_pool(&pool, 2);
+        let target = unbounded_target.shard_of(&fresh);
+        let target_len = unbounded_target.snapshot().shards()[target].len();
+        assert!(target_len > 0, "the generated pool populates both shards");
+        let bounded = unbounded_target.with_capacity(target_len * 2);
+        // Sink one resident anchor of the target shard so the victim is observable.
+        let probe = bounded.snapshot().shards()[target].entries()[0]
+            .query
+            .clone();
+        assert!(bounded.record_feedback(&probe, 1_000.0));
+        assert!(bounded.insert(fresh.clone(), 7));
+        let snapshot = bounded.snapshot();
+        assert_eq!(
+            snapshot.shards()[target].len(),
+            target_len,
+            "insert past quota evicts back to the bound"
+        );
+        assert_eq!(bounded.evictions(), 1);
+        assert!(
+            !snapshot.matching(&probe).any(|e| e.query == probe),
+            "the weight-sunk anchor is the victim"
+        );
+        assert!(snapshot.matching(&fresh).any(|e| e.query == fresh));
+
+        // Feedback on an absent query touches nothing (and publishes no snapshot).
+        let before = bounded.snapshot().version();
+        assert!(!bounded.record_feedback(&Query::scan("nope"), 9.0));
+        assert_eq!(bounded.snapshot().version(), before);
+    }
+
+    #[test]
+    fn compaction_publishes_one_snapshot_and_leaves_old_readers_intact() {
+        let db = generate_imdb(&ImdbConfig::tiny(96));
+        let pool = QueriesPool::generate(&db, 30, 1, 96);
+        let sharded = ShardedPool::from_pool(&pool, 3);
+        // Collapse any structural duplicates the generator itself produced, so the
+        // baseline below is structurally distinct and the synthetic count is exact.
+        sharded.compact();
+        let baseline = sharded.to_pool();
+        // Duplicate every predicate-bearing entry's structure with shifted literals so
+        // compaction has genuine near-duplicate groups to merge.  The shifted literal
+        // changes the canonical hash, so most variants land on a *different* shard than
+        // their base — exactly the cross-shard case global winner selection must cover.
+        let mut added = 0usize;
+        for entry in baseline.entries() {
+            if !entry.query.predicates().is_empty() {
+                let predicate = entry.query.predicates()[0].clone();
+                let shifted = crn_query::ast::Predicate::new(
+                    predicate.column.clone(),
+                    predicate.op,
+                    predicate.value.wrapping_add(1_000_003),
+                );
+                if sharded.insert(
+                    entry.query.with_replaced_predicate(0, shifted),
+                    entry.cardinality + 1,
+                ) {
+                    added += 1;
+                }
+            }
+        }
+        assert!(
+            added > 0,
+            "the generated pool has predicate-bearing entries"
+        );
+        let before = sharded.snapshot();
+        let removed = sharded.compact();
+        assert_eq!(removed, added, "every synthetic near-duplicate merges away");
+        assert_eq!(sharded.len(), baseline.len());
+        // Old readers still see the pre-compaction world; the new snapshot moved on.
+        assert_eq!(before.len(), baseline.len() + added);
+        assert!(sharded.snapshot().version() > before.version());
+        // A second pass finds nothing; versions stay put on the no-op.
+        let settled = sharded.snapshot().version();
+        assert_eq!(sharded.compact(), 0);
+        assert_eq!(sharded.snapshot().version(), settled);
+    }
+
+    #[test]
     fn to_pool_round_trips_through_any_shard_count() {
         let db = generate_imdb(&ImdbConfig::tiny(92));
         let pool = QueriesPool::generate(&db, 50, 2, 92);
@@ -596,6 +846,46 @@ mod routing_proptests {
                     }
                 }
                 assert_sharded_agrees(&sharded, &oracle)?;
+            }
+        }
+
+        /// Tentpole invariant: top-K anchor selection is a pure function of (query, pool
+        /// contents, k) — the same ranked (score, anchor) sequence at EVERY shard count,
+        /// equal to a flat score-all-then-sort oracle.  The rank order is total (score
+        /// descending, then ascending query order over distinct pool queries), so
+        /// per-shard top-k followed by the global merge-and-reselect cannot disagree
+        /// with the global sort; and because per-query work reads only the immutable
+        /// snapshot, the ranked set is thread-count invariant by construction.
+        #[test]
+        fn top_k_selection_matches_flat_oracle_at_every_shard_count(seed in 0u64..10_000) {
+            let universe = query_universe();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pool = QueriesPool::new();
+            for query in universe {
+                if rng.gen_bool(0.7) {
+                    pool.insert(query.clone(), rng.gen_range(1..1000u64));
+                }
+            }
+            let probe = universe[rng.gen_range(0..universe.len())].clone();
+            let k = rng.gen_range(1usize..=8);
+            let mut oracle: Vec<(u64, Query)> = pool
+                .matching(&probe)
+                .map(|e| (crate::pool::anchor_score(&e.query, &probe), e.query.clone()))
+                .collect();
+            oracle.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            oracle.truncate(k);
+            for shards in [1usize, 2, 3, 8] {
+                let sharded = ShardedPool::from_pool(&pool, shards);
+                let snapshot = sharded.snapshot();
+                let ranked: Vec<(u64, Query)> = snapshot
+                    .matching_top_k(&probe, k)
+                    .into_iter()
+                    .map(|(score, entry)| (score, entry.query.clone()))
+                    .collect();
+                prop_assert!(
+                    ranked == oracle,
+                    "shards = {shards}: ranked {ranked:?} vs oracle {oracle:?}"
+                );
             }
         }
     }

@@ -9,8 +9,10 @@
 //!             [--async] [--batch-window-us N] [--queue-depth N] [--callers N]
 //!             [--class-window-us N] [--class-weights A:B] [--cache-entries N]
 //!             [--online] [--refresh-interval N] [--probe-frac F] [--gate-margin F]
-//!             [--deadline-us N] [--restart-budget N] [--checkpoint-dir D]
-//!             [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]
+//!             [--deadline-us N] [--batch-deadline-us N] [--restart-budget N]
+//!             [--checkpoint-dir D] [--checkpoint-every N] [--chaos <plan>]
+//!             [--top-k K] [--pool-cap N] [--pool-scale a,b,...]
+//!             [--q-error-budget F] [--bench-json <path>]
 //! repro list
 //! ```
 //!
@@ -312,6 +314,56 @@ fn run_serve(args: &[String]) {
                     std::process::exit(2);
                 });
             }
+            "--top-k" => {
+                // Zero is legitimate: it keeps the full-pool path, bit-identical to
+                // the pre-pool-tier serving semantics.
+                let value = flag_value(&mut iter, "--top-k");
+                config.top_k = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--top-k requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--pool-cap" => {
+                // Zero is legitimate: it means unbounded (no eviction on insert).
+                let value = flag_value(&mut iter, "--pool-cap");
+                config.pool_cap = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--pool-cap requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--q-error-budget" => {
+                let value = flag_value(&mut iter, "--q-error-budget");
+                config.q_error_budget = match value.parse::<f64>() {
+                    Ok(parsed) if parsed >= 1.0 => parsed,
+                    _ => {
+                        eprintln!("--q-error-budget requires a factor >= 1.0, got {value}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--pool-scale" => {
+                let value = flag_value(&mut iter, "--pool-scale");
+                let sizes: Option<Vec<usize>> = value
+                    .split(',')
+                    .map(|size| size.trim().parse::<usize>().ok().filter(|&s| s >= 1))
+                    .collect();
+                config.pool_scale = match sizes {
+                    Some(sizes) if !sizes.is_empty() => Some(sizes),
+                    _ => {
+                        eprintln!(
+                            "--pool-scale requires comma-separated positive pool sizes \
+                             (e.g. 100000,1000000), got {value}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--batch-deadline-us" => {
+                config.batch_deadline_us = Some(parse_count(
+                    &flag_value(&mut iter, "--batch-deadline-us"),
+                    "--batch-deadline-us",
+                ) as u64);
+            }
             "--help" | "-h" => {
                 print_serve_usage();
                 return;
@@ -354,9 +406,10 @@ fn print_serve_usage() {
          [--cache-entries N]\n\
          \x20                  [--online] [--refresh-interval N] [--probe-frac F] \
          [--gate-margin F]\n\
-         \x20                  [--deadline-us N] [--restart-budget N] \
-         [--checkpoint-dir D] [--checkpoint-every N]\n\
-         \x20                  [--chaos <plan>|crash-restore]\n\
+         \x20                  [--deadline-us N] [--batch-deadline-us N] \
+         [--restart-budget N] [--checkpoint-dir D] [--checkpoint-every N]\n\
+         \x20                  [--chaos <plan>|crash-restore] [--top-k K] \
+         [--pool-cap N] [--pool-scale a,b,...] [--q-error-budget F]\n\
          \n\
          Serves a synthetic workload through the sharded estimator service — \
          synchronously in --batch-sized\n\
@@ -471,6 +524,58 @@ fn print_serve_usage() {
          because expiry under overload is load-shedding policy, not a safety \
          requirement.\n\
          \n\
+         Choosing --batch-deadline-us (async): a Batch-class override of --deadline-us. \
+         Batch traffic\n\
+         rides multi-ms batching windows by design, so a tight interactive deadline \
+         would shed it\n\
+         spuriously — give batch ~10-50x the interactive deadline (or leave unset to \
+         inherit\n\
+         --deadline-us for every class).\n\
+         \n\
+         Choosing --top-k: per-FROM-bucket anchor selection ahead of the containment \
+         heads.  0 (default)\n\
+         scores nothing and runs model inference over the whole bucket — bit-identical \
+         to pre-pool-tier\n\
+         serving.  K>0 ranks the bucket by cheap featurization-space similarity \
+         (shared joins and\n\
+         predicates) and only the K most similar anchors reach the model: per-query \
+         cost drops from\n\
+         O(bucket) to O(K) inferences + O(bucket) integer scoring.  16-64 holds \
+         median q-error at\n\
+         million-entry scale (the --pool-scale gates verify this); below ~8 the \
+         median over anchors\n\
+         thins and quality degrades.  Ranking is deterministic at every shard/thread \
+         count.\n\
+         \n\
+         Choosing --pool-cap: the bounded-capacity pool tier.  Maintenance inserts \
+         past the cap evict\n\
+         the lowest-retention-weight anchors (weights track feedback q-errors: \
+         well-calibrated anchors\n\
+         stay, persistently-wrong ones go).  Size it to the memory budget divided by \
+         ~entry size;\n\
+         0 = unbounded (the default, exactly the pre-cap behavior).\n\
+         \n\
+         Choosing --pool-scale: the production-scale latency sweep.  Comma-separated \
+         pool sizes\n\
+         (e.g. 100000,1000000) are synthesized from the preset's pool by literal \
+         perturbation; each size\n\
+         serves the workload through the full-pool arm and the top-K arm \
+         (K = --top-k, default 32),\n\
+         recording per-size p50/p99 curves and median q-errors into --bench-json.  \
+         The run exits\n\
+         non-zero unless (a) the top-K arm's median q-error stays within \
+         --q-error-budget of the full\n\
+         arm at every size, (b) top-K p50 grows sublinearly across sizes, and (c) \
+         top-K beats the full\n\
+         arm at the largest size.\n\
+         \n\
+         Choosing --q-error-budget: the estimator-quality parity bound of the sweep, \
+         as a factor\n\
+         (1.1 = top-K may cost at most 10% median-q-error headroom).  Tighten toward \
+         1.0 to demand\n\
+         near-exactness (larger K needed); loosen above ~1.5 only for latency-first \
+         deployments.\n\
+         \n\
          Choosing --restart-budget: panics per lane per minute the supervisor absorbs \
          by restarting\n\
          before declaring the lane sick and degrading (scheduler -> synchronous \
@@ -525,8 +630,10 @@ fn print_usage() {
          [--queries N] [--batch N] [--async] [--batch-window-us N] [--queue-depth N] \
          [--callers N] [--class-window-us N] [--class-weights A:B] [--cache-entries N] \
          [--online] [--refresh-interval N] [--probe-frac F] \
-         [--gate-margin F] [--deadline-us N] [--restart-budget N] [--checkpoint-dir D] \
-         [--checkpoint-every N] [--chaos <plan>] [--bench-json <path>]  \
+         [--gate-margin F] [--deadline-us N] [--batch-deadline-us N] \
+         [--restart-budget N] [--checkpoint-dir D] \
+         [--checkpoint-every N] [--chaos <plan>] [--top-k K] [--pool-cap N] \
+         [--pool-scale a,b,...] [--q-error-budget F] [--bench-json <path>]  \
          (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));

@@ -24,7 +24,9 @@
 
 use crate::harness::{ExperimentConfig, ExperimentContext};
 use crate::metrics::QErrorSummary;
-use crn_core::{Cnt2Crd, CrnModel, EstimatorService, QueriesPool, ServeStats, ShardedPool};
+use crn_core::{
+    Cnt2Crd, Cnt2CrdConfig, CrnModel, EstimatorService, QueriesPool, ServeStats, ShardedPool,
+};
 use crn_estimators::{CardinalityEstimator, PostgresEstimator};
 use crn_nn::parallel::WorkerPool;
 use crn_online::{
@@ -109,6 +111,22 @@ pub struct ServeDemoConfig {
     /// the cache entirely.  With the cache on, the async demo drives the workload
     /// twice so the second pass measures the hit path.
     pub cache_entries: usize,
+    /// Top-K anchor selection per FROM bucket (`--top-k`); 0 keeps the full-pool path,
+    /// which is bit-identical to the pre-pool-tier serving semantics.
+    pub top_k: usize,
+    /// Total pool capacity (`--pool-cap`); 0 = unbounded.  With a bound, maintenance
+    /// inserts past it evict the lowest-retention-weight anchors.
+    pub pool_cap: usize,
+    /// The estimator-quality parity budget of the pool-scale sweep
+    /// (`--q-error-budget`): the top-K arm's median q-error may exceed the full-pool
+    /// arm's by at most this factor, else the sweep errors out (non-zero exit).
+    pub q_error_budget: f64,
+    /// Pool sizes of the production-scale latency sweep (`--pool-scale a,b,...`);
+    /// `None` runs the regular demo instead.
+    pub pool_scale: Option<Vec<usize>>,
+    /// Batch-class deadline in µs (`--batch-deadline-us`); `None` inherits
+    /// `--deadline-us` for batch traffic too.
+    pub batch_deadline_us: Option<u64>,
 }
 
 impl ServeDemoConfig {
@@ -139,6 +157,11 @@ impl ServeDemoConfig {
             class_window_us: None,
             class_weights: None,
             cache_entries: 0,
+            top_k: 0,
+            pool_cap: 0,
+            q_error_budget: 1.1,
+            pool_scale: None,
+            batch_deadline_us: None,
         }
     }
 }
@@ -198,6 +221,14 @@ pub struct BenchRecord {
     pub cache_misses: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when the cache never probed.
     pub cache_hit_rate: f64,
+    /// Pool entries this configuration served from.
+    pub pool_entries: usize,
+    /// Top-K anchor selection in force (0 = full-pool path).
+    pub top_k: usize,
+    /// Median q-error of the served estimates against executed truths — measured by
+    /// the pool-scale sweep (0 in the regular demos, which gate on bit-parity with the
+    /// sequential path instead).
+    pub median_q_error: f64,
 }
 
 /// The `BENCH_serving.json` shape: a schema tag plus one record per measured config.
@@ -232,6 +263,30 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         ctx.pool.num_from_clauses()
     )];
 
+    // The production-scale sweep replaces the regular demo outright: it builds its own
+    // pools (one per requested size) and gates on estimator-quality parity and
+    // sublinear latency growth instead of bit-parity with a single configuration.
+    if let Some(sizes) = &config.pool_scale {
+        let records = match run_pool_scale_sweep(config, &ctx, sizes, &mut lines) {
+            Ok(records) => records,
+            Err(violation) => {
+                eprintln!("{}", lines.join("\n"));
+                return Err(violation);
+            }
+        };
+        if let Some(path) = &config.bench_json {
+            let summary = BenchSummary {
+                schema: "crn-serve-bench-v1".to_string(),
+                configs: records,
+            };
+            let json =
+                serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lines.push(format!("[serve] wrote pool-scale bench summary to {path}"));
+        }
+        return Ok(lines.join("\n"));
+    }
+
     // Startup restore: with --checkpoint-dir pointing at a committed checkpoint, the
     // serving state (pool + model, optimizer moments included) comes from disk instead
     // of the freshly-built context — a restarted process resumes exactly where the
@@ -264,10 +319,20 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         None => (ctx.crn.clone(), ctx.pool.clone()),
     };
 
-    let sharded = ShardedPool::from_pool(&base_pool, config.shards);
+    let mut sharded = ShardedPool::from_pool(&base_pool, config.shards);
+    if config.pool_cap > 0 {
+        sharded = sharded.with_capacity(config.pool_cap);
+    }
+    // One estimator config for BOTH the served and the sequential path: parity then
+    // holds at any --top-k, because the two paths select the same ranked anchor set.
+    let estimator_config = Cnt2CrdConfig {
+        top_k: config.top_k,
+        ..Cnt2CrdConfig::default()
+    };
     let workers = WorkerPool::shared(config.threads.max(1));
     let service = Arc::new(
         EstimatorService::new(model.clone(), sharded, workers)
+            .with_config(estimator_config)
             .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
     );
 
@@ -278,8 +343,9 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
     let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
     workload.truncate(config.queries.max(1));
 
-    let sequential =
-        Cnt2Crd::new(model, base_pool).with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let sequential = Cnt2Crd::new(model, base_pool)
+        .with_config(estimator_config)
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
 
     if let Some(plan) = &config.chaos {
         let summary = if plan.trim() == "crash-restore" {
@@ -433,7 +499,225 @@ fn run_sync_demo(
         cache_hits: 0,
         cache_misses: 0,
         cache_hit_rate: 0.0,
+        pool_entries: service.pool().len(),
+        top_k: config.top_k,
+        median_q_error: 0.0,
     })
+}
+
+/// Deterministically grows the context pool to `target` entries by cloning
+/// predicate-bearing anchors with shifted literals and perturbed cardinalities — the
+/// synthetic production-scale pool of the `--pool-scale` sweep.  Every variant keeps
+/// its base's structure (FROM clause, joins, predicate shapes), so the workload
+/// exercises the same FROM buckets at every size and bucket sizes grow proportionally
+/// with the pool.
+fn synthesize_pool(base: &QueriesPool, target: usize) -> Result<QueriesPool, String> {
+    if base.len() >= target {
+        return Ok(base.truncated(target));
+    }
+    let mut pool = base.clone();
+    let perturbable: Vec<(Query, u64)> = base
+        .entries()
+        .iter()
+        .filter(|e| !e.query.predicates().is_empty())
+        .map(|e| (e.query.clone(), e.cardinality))
+        .collect();
+    if perturbable.is_empty() {
+        return Err("pool-scale: the base pool has no predicate-bearing entries".to_string());
+    }
+    let mut variant = 0usize;
+    // `insert` dedups, so a (rare) literal collision with a resident entry just skips a
+    // variant; the attempt bound keeps a pathological base pool from spinning forever.
+    let max_attempts = target.saturating_mul(2) + 1_000;
+    while pool.len() < target {
+        if variant > max_attempts {
+            return Err(format!(
+                "pool-scale: could not synthesize {target} entries ({} after {variant} \
+                 attempts)",
+                pool.len()
+            ));
+        }
+        let (query, cardinality) = &perturbable[variant % perturbable.len()];
+        let round = (variant / perturbable.len() + 1) as i64;
+        let predicate = query.predicates()[0].clone();
+        let shifted = crn_query::ast::Predicate::new(
+            predicate.column.clone(),
+            predicate.op,
+            predicate.value.wrapping_add(round.wrapping_mul(7_919)),
+        );
+        pool.insert(
+            query.with_replaced_predicate(0, shifted),
+            cardinality + (variant % 31) as u64 + 1,
+        );
+        variant += 1;
+    }
+    Ok(pool)
+}
+
+/// The production-scale latency sweep (`repro serve --pool-scale a,b,...`): per
+/// requested pool size, the whole workload is served query-at-a-time through two arms —
+/// the full-pool path (`top_k = 0`, per-anchor model inference over entire FROM
+/// buckets) and the top-K path (cheap featurization-space scoring selects the K most
+/// similar anchors; only those reach the model) — recording per-query p50/p99 latency
+/// curves and median q-errors into `BENCH_serving.json`.
+///
+/// Hard gates (each returns `Err`, so `repro` exits non-zero and CI fails loudly):
+///
+/// * **Estimator-quality parity budget**, per size: the top-K arm's median q-error must
+///   not exceed the full arm's by more than `--q-error-budget`.
+/// * **Sublinear growth**, with ≥ 2 sizes: the top-K arm's p50 may grow by at most half
+///   the pool-size ratio between the smallest and largest size (the full arm's per-query
+///   cost is Θ(bucket), i.e. linear in the pool).
+/// * **Top-K wins at scale**: at the largest size the top-K arm's p50 must sit below
+///   the full arm's.
+fn run_pool_scale_sweep(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    sizes: &[usize],
+    lines: &mut Vec<String>,
+) -> Result<Vec<BenchRecord>, String> {
+    if sizes.is_empty() {
+        return Err("--pool-scale needs at least one size".to_string());
+    }
+    let top_k = if config.top_k > 0 { config.top_k } else { 32 };
+    let workers = WorkerPool::shared(config.threads.max(1));
+    let mut generator =
+        QueryGenerator::new(&ctx.db, GeneratorConfig::paper(ctx.config.seed ^ 0x5e));
+    let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
+    workload.truncate(config.queries.max(1));
+    let executor = crn_exec::Executor::new(&ctx.db);
+    let truths: Vec<u64> = workload.iter().map(|q| executor.cardinality(q)).collect();
+    lines.push(format!(
+        "[serve] pool-scale sweep: sizes {:?}, top-K {top_k}, {} queries/arm, q-error \
+         budget {:.2}x",
+        sizes,
+        workload.len(),
+        config.q_error_budget,
+    ));
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    // Per size: (pool entries, full-arm p50 µs, top-K-arm p50 µs).
+    let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+    for &size in sizes {
+        let pool = synthesize_pool(&ctx.pool, size)?;
+        let mut arm_median = [0.0f64; 2];
+        let mut arm_p50 = [0.0f64; 2];
+        for (arm, k) in [(0usize, 0usize), (1, top_k)] {
+            let service = EstimatorService::new(
+                ctx.crn.clone(),
+                ShardedPool::from_pool(&pool, config.shards),
+                workers.clone(),
+            )
+            .with_config(Cnt2CrdConfig {
+                top_k: k,
+                ..Cnt2CrdConfig::default()
+            })
+            .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+            // One warmup serve primes lazily-built state so the measured single-query
+            // latencies below are steady-state retrieval + inference.
+            let _ = service.serve(&workload[..1]);
+            let mut latencies_us: Vec<f64> = Vec::with_capacity(workload.len());
+            let mut estimates: Vec<f64> = Vec::with_capacity(workload.len());
+            let run_started = Instant::now();
+            for query in &workload {
+                let serve_started = Instant::now();
+                let response = service.serve(std::slice::from_ref(query));
+                latencies_us.push(serve_started.elapsed().as_secs_f64() * 1e6);
+                estimates.push(response.estimates[0]);
+            }
+            let elapsed = run_started.elapsed();
+            let median = median_q_error(&estimates, &truths);
+            let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+            let p50 = percentile_us(&mut latencies_us, 0.50);
+            let p99 = percentile_us(&mut latencies_us, 0.99);
+            arm_median[arm] = median;
+            arm_p50[arm] = p50;
+            records.push(BenchRecord {
+                mode: if k == 0 {
+                    "pool-scale-full".to_string()
+                } else {
+                    "pool-scale-topk".to_string()
+                },
+                preset: config.preset_label.clone(),
+                shards: config.shards,
+                threads: config.threads,
+                queue_depth: 0,
+                batch_window_us: 0,
+                callers: 1,
+                queries: workload.len(),
+                batches: workload.len() as u64,
+                mean_batch: 1.0,
+                rejected: 0,
+                p50_us: p50,
+                p99_us: p99,
+                mean_us,
+                throughput_qps: workload.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+                batch_callers: 0,
+                class_window_us: 0,
+                interactive_p50_us: 0.0,
+                interactive_p99_us: 0.0,
+                batch_p50_us: 0.0,
+                batch_p99_us: 0.0,
+                cache_entries: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_hit_rate: 0.0,
+                pool_entries: pool.len(),
+                top_k: k,
+                median_q_error: median,
+            });
+        }
+        lines.push(format!(
+            "[serve] pool {} entries: full p50 {:.0}us (median q-error {:.3}) vs top-{} \
+             p50 {:.0}us (median q-error {:.3})",
+            pool.len(),
+            arm_p50[0],
+            arm_median[0],
+            top_k,
+            arm_p50[1],
+            arm_median[1],
+        ));
+        // The estimator-quality parity budget, per size.
+        if arm_median[1] > arm_median[0] * config.q_error_budget {
+            return Err(format!(
+                "pool-scale quality violation at {} entries: top-{top_k} median q-error \
+                 {:.3} exceeds the full-pool {:.3} by more than the {:.2}x budget",
+                pool.len(),
+                arm_median[1],
+                arm_median[0],
+                config.q_error_budget,
+            ));
+        }
+        curve.push((pool.len(), arm_p50[0], arm_p50[1]));
+    }
+
+    if curve.len() >= 2 {
+        let (first_size, _, first_topk) = curve[0];
+        let (last_size, last_full, last_topk) = curve[curve.len() - 1];
+        let size_ratio = last_size as f64 / first_size.max(1) as f64;
+        let growth = last_topk / first_topk.max(1e-9);
+        if growth > 0.5 * size_ratio {
+            return Err(format!(
+                "pool-scale latency violation: top-{top_k} p50 grew {growth:.2}x over a \
+                 {size_ratio:.2}x pool-size ratio (bound: {:.2}x) — retrieval is not \
+                 sublinear",
+                0.5 * size_ratio,
+            ));
+        }
+        if last_topk >= last_full {
+            return Err(format!(
+                "pool-scale latency violation: top-{top_k} p50 {last_topk:.0}us is not \
+                 below the full-pool p50 {last_full:.0}us at {last_size} entries",
+            ));
+        }
+        lines.push(format!(
+            "[serve] pool-scale gates hold: top-{top_k} p50 grew {growth:.2}x over a \
+             {size_ratio:.2}x size ratio (bound {:.2}x) and beats the full path at \
+             {last_size} entries",
+            0.5 * size_ratio,
+        ));
+    }
+    Ok(records)
 }
 
 /// The async demo: runtime + closed-loop multi-caller load generator + maintenance lane.
@@ -512,6 +796,7 @@ fn run_async_demo(
     let mut latencies_us: Vec<f64> = Vec::new();
     let mut interactive_us: Vec<f64> = Vec::new();
     let mut batch_us: Vec<f64> = Vec::new();
+    let mut queued_gauge = [0u64; SloClass::COUNT];
     std::thread::scope(|scope| {
         let runtime = &runtime;
         let handles: Vec<_> = (0..callers)
@@ -540,6 +825,11 @@ fn run_async_demo(
                 })
             })
             .collect();
+        // A mid-load point-in-time sample of the per-class queue-depth gauge: the
+        // closed-loop callers are in flight right now, so this observes live depths
+        // (possibly 0 when the scheduler drains faster than submission).
+        std::thread::sleep(std::time::Duration::from_micros(500));
+        queued_gauge = runtime.stats().queued_by_class;
         for handle in handles {
             let (caller, own) = handle.join().expect("caller thread");
             if mixed && caller % 2 == 1 {
@@ -642,7 +932,8 @@ fn run_async_demo(
     let p99 = percentile_us(&mut latencies_us, 0.99);
     lines.push(format!(
         "[serve] served {} queries via {} callers in {:.3}s ({:.0} queries/s); latency \
-         p50 {:.0}us p99 {:.0}us mean {:.0}us",
+         p50 {:.0}us p99 {:.0}us mean {:.0}us; mid-load queue gauge interactive {} \
+         batch {}",
         total_queries,
         callers,
         elapsed.as_secs_f64(),
@@ -650,6 +941,8 @@ fn run_async_demo(
         p50,
         p99,
         mean_us,
+        queued_gauge[SloClass::Interactive.index()],
+        queued_gauge[SloClass::Batch.index()],
     ));
 
     let interactive_p50 = percentile_us(&mut interactive_us, 0.50);
@@ -729,6 +1022,9 @@ fn run_async_demo(
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         cache_hit_rate: stats.cache_hit_rate(),
+        pool_entries: service.pool().len(),
+        top_k: config.top_k,
+        median_q_error: 0.0,
     })
 }
 
@@ -1107,6 +1403,9 @@ fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> Runtime
         .with_checkpoint_every(config.checkpoint_every);
     if let Some(micros) = config.deadline_us {
         runtime_config = runtime_config.with_deadline_us(micros);
+    }
+    if let Some(micros) = config.batch_deadline_us {
+        runtime_config = runtime_config.with_class_deadline_us(SloClass::Batch, micros);
     }
     if let Some(budget) = config.restart_budget {
         runtime_config = runtime_config
@@ -1708,6 +2007,59 @@ mod tests {
         // The second workload pass replays pass 1 from the cache, so hits are
         // structurally nonzero.
         assert!(!json.contains("\"cache_hits\":0,"));
+    }
+
+    /// Top-K serving stays bit-identical to the sequential path when BOTH run the same
+    /// `Cnt2CrdConfig`: the parity tripwire holds at k > 0, not just on the full-pool
+    /// path.  (`--top-k 0` bit-parity with the pre-pool-tier semantics is pinned by
+    /// every other test in this module — the default config leaves `top_k` at 0.)
+    #[test]
+    fn serve_demo_parity_holds_with_top_k_selection() {
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 3;
+        config.threads = 2;
+        config.top_k = 4;
+        let report = run_serve_demo(&config).expect("top-K parity holds");
+        assert!(report.contains("parity check passed"));
+    }
+
+    /// The pool-scale sweep on the tiny preset: synthesized pools at two sizes, both
+    /// arms measured, the q-error budget and the sublinear/top-K-wins latency gates
+    /// enforced, and per-arm records (pool_entries, top_k, median_q_error) in the
+    /// bench JSON.
+    #[test]
+    fn pool_scale_sweep_gates_hold_and_emit_bench_json() {
+        let dir = std::env::temp_dir().join("crn_pool_scale_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serving.json");
+        let mut config = ServeDemoConfig::new(ExperimentConfig::tiny());
+        config.queries = 24;
+        config.batch = 8;
+        config.shards = 2;
+        config.threads = 2;
+        config.top_k = 8;
+        config.pool_scale = Some(vec![300, 1500]);
+        config.q_error_budget = 1.25;
+        config.bench_json = Some(path.to_string_lossy().to_string());
+        let report = run_serve_demo(&config).expect("sweep gates hold");
+        assert!(report.contains("pool-scale sweep: sizes [300, 1500]"));
+        assert!(report.contains("pool-scale gates hold"));
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("crn-serve-bench-v1"));
+        assert!(json.contains("\"mode\":\"pool-scale-full\""));
+        assert!(json.contains("\"mode\":\"pool-scale-topk\""));
+        assert!(json.contains("\"top_k\":8"));
+        assert!(json.contains("median_q_error"));
+        assert!(json.contains("\"pool_entries\":300"));
+        assert!(json.contains("\"pool_entries\":1500"));
+        assert_eq!(
+            json.matches("\"mode\":\"pool-scale-").count(),
+            4,
+            "two sizes x two arms"
+        );
     }
 
     #[test]

@@ -209,6 +209,9 @@ pub struct RefreshOutcome {
     /// The (clamped) relative gate margin the cycle enforced
     /// ([`OnlineConfig::gate_margin`]).
     pub gate_margin: f64,
+    /// Near-duplicate anchors merged by the post-swap pool compaction (0 unless the
+    /// cycle was [`Applied`](RefreshDecision::Applied)).
+    pub pool_compacted: usize,
 }
 
 impl RefreshOutcome {
@@ -250,6 +253,8 @@ pub struct OnlineStats {
     pub last_candidate_probe_median: f64,
     /// The drift window's current median q-error (serving health at a glance).
     pub window_median: f64,
+    /// Near-duplicate anchors merged by post-swap pool compactions, cumulatively.
+    pub pool_compacted: u64,
 }
 
 /// Mutable controller state behind one mutex (intake is cheap; refresh cycles move the
@@ -410,6 +415,7 @@ impl RefreshController {
         state.stats.live_model_version = outcome.model_version;
         state.stats.last_live_probe_median = outcome.live_probe_median;
         state.stats.last_candidate_probe_median = outcome.candidate_probe_median;
+        state.stats.pool_compacted += outcome.pool_compacted as u64;
         Some(outcome)
     }
 
@@ -441,6 +447,7 @@ impl RefreshController {
                 replayed: 0,
                 probe_records: probe.len(),
                 gate_margin,
+                pool_compacted: 0,
             };
         }
 
@@ -479,6 +486,13 @@ impl RefreshController {
             let model_version = self.service.swap_model(candidate);
             // The candidate's Adam moments are now live; resume its step count too.
             self.state.lock().expect("controller state lock").adam = adam;
+            // The anchor population churns most around an applied refresh — the
+            // maintenance lane has been upserting drifted traffic the whole window —
+            // so this is the cadence at which near-duplicate anchors accumulate.
+            // Compacting here (never on rejected cycles: nothing changed) folds each
+            // structural near-duplicate group into its best-retained representative,
+            // off the serving path like everything else in the cycle body.
+            let pool_compacted = self.service.pool().compact();
             RefreshOutcome {
                 decision: RefreshDecision::Applied,
                 live_probe_median,
@@ -489,6 +503,7 @@ impl RefreshController {
                 replayed: replayed.len(),
                 probe_records: probe.len(),
                 gate_margin,
+                pool_compacted,
             }
         } else {
             // Discard the candidate (and its advanced Adam state — the moments live in
@@ -504,6 +519,7 @@ impl RefreshController {
                 replayed: replayed.len(),
                 probe_records: probe.len(),
                 gate_margin,
+                pool_compacted: 0,
             }
         }
     }

@@ -192,6 +192,27 @@ impl EstimateCache {
         evict
     }
 
+    /// Proactively drops every entry whose version pairing differs from the given
+    /// current one, returning how many were purged.
+    ///
+    /// Stale generations can never *hit* (probes carry the current versions), so this
+    /// changes no answer — but without it they linger until the LRU ages them out,
+    /// wasting capacity that live entries could use.  The scheduler calls this once per
+    /// observed `(pool, model)` version movement, so at million-entry pool scale a
+    /// maintenance burst does not leave the cache full of dead weight.
+    pub fn purge_stale(&self, pool_version: u64, model_version: u64) -> usize {
+        let mut purged = 0usize;
+        for shard in &self.shards {
+            let mut shard = lock_ignoring_poison(shard);
+            let before = shard.entries.len();
+            shard.entries.retain(|key, _| {
+                key.pool_version == pool_version && key.model_version == model_version
+            });
+            purged += before - shard.entries.len();
+        }
+        purged
+    }
+
     /// Total entries currently resident (sums the shards; a point-in-time figure).
     pub fn len(&self) -> usize {
         self.shards
@@ -253,6 +274,31 @@ mod tests {
         // Re-filling a resident key refreshes, never evicts.
         assert!(!cache.insert(&query, 0, 1, 1, 1.0));
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn purge_stale_drops_exactly_the_dead_generations() {
+        let cache = EstimateCache::new(64);
+        let query = scan("title");
+        // Three generations: two dead pairings and the live one.
+        for hash in 0..5u64 {
+            cache.insert(&query, hash, 1, 1, hash as f64);
+        }
+        for hash in 0..3u64 {
+            cache.insert(&query, hash, 2, 1, hash as f64);
+        }
+        for hash in 0..4u64 {
+            cache.insert(&query, hash, 2, 2, hash as f64);
+        }
+        assert_eq!(cache.len(), 12);
+        assert_eq!(cache.purge_stale(2, 2), 8, "both dead generations drop");
+        assert_eq!(cache.len(), 4);
+        // Live entries still hit; purging again is a no-op.
+        for hash in 0..4u64 {
+            assert_eq!(cache.lookup(&query, hash, 2, 2), Some(hash as f64));
+        }
+        assert!(cache.lookup(&query, 0, 1, 1).is_none());
+        assert_eq!(cache.purge_stale(2, 2), 0);
     }
 
     #[test]

@@ -135,6 +135,12 @@ pub struct RuntimeConfig {
     /// disables the cache and restores the uncached runtime behaviour exactly —
     /// every batch enters the compute path.
     pub cache_entries: usize,
+    /// Per-class default deadlines, indexed by [`SloClass::index`]; `None` inherits
+    /// [`default_deadline`](RuntimeConfig::default_deadline).  Lets `Batch` traffic run
+    /// with a looser staleness bound than `Interactive` — a replay pipeline tolerates
+    /// seconds of queueing that would make an optimizer's estimate worthless.  Both
+    /// `None` by default, so plain configurations keep the single-deadline behaviour.
+    pub class_deadlines: [Option<Duration>; SloClass::COUNT],
 }
 
 impl Default for RuntimeConfig {
@@ -155,6 +161,7 @@ impl Default for RuntimeConfig {
             class_windows: [None, Some(Duration::from_millis(2))],
             class_weights: [0; SloClass::COUNT],
             cache_entries: 0,
+            class_deadlines: [None; SloClass::COUNT],
         }
     }
 }
@@ -233,6 +240,25 @@ impl RuntimeConfig {
     pub fn with_cache_entries(mut self, entries: usize) -> Self {
         self.cache_entries = entries;
         self
+    }
+
+    /// Sets one class's default request deadline from microseconds (the
+    /// `--class-deadline-us` CLI unit); 0 makes the class inherit
+    /// [`default_deadline`](RuntimeConfig::default_deadline).
+    pub fn with_class_deadline_us(mut self, class: SloClass, micros: u64) -> Self {
+        self.class_deadlines[class.index()] = if micros == 0 {
+            None
+        } else {
+            Some(Duration::from_micros(micros))
+        };
+        self
+    }
+
+    /// One class's effective default deadline: its own, or the base
+    /// [`default_deadline`](RuntimeConfig::default_deadline) when unset (which may
+    /// itself be `None` — wait indefinitely).
+    pub fn class_deadline(&self, class: SloClass) -> Option<Duration> {
+        self.class_deadlines[class.index()].or(self.default_deadline)
     }
 
     /// One class's effective batching window: its own, or the base
@@ -320,6 +346,10 @@ pub struct RuntimeStats {
     pub cache_insertions: u64,
     /// Cache fills that displaced a least-recently-used entry (the bound at work).
     pub cache_evictions: u64,
+    /// Stale-generation cache entries proactively purged on observed `(pool, model)`
+    /// version movement (see [`crate::EstimateCache::purge_stale`]) — without this they
+    /// would only age out of the LRU, wasting capacity.
+    pub cache_purged: u64,
     /// Requests served synchronously on the submitting thread because the scheduler
     /// lane breached its restart budget (see
     /// [`degraded_sync_mode`](RuntimeStats::degraded_sync_mode)).
@@ -334,6 +364,19 @@ pub struct RuntimeStats {
     /// Applied records whose [`FeedbackObserver`] panicked (contained separately: the
     /// upsert itself succeeded and stays counted in `maintenance_applied`).
     pub observer_failed: u64,
+    /// Applied observed-feedback records whose served-estimate q-error was folded into
+    /// the pool anchor's retention weight
+    /// ([`record_feedback`](crn_core::ShardedPool::record_feedback)) — the signal the
+    /// bounded-capacity pool's eviction ranks by.
+    pub retention_updates: u64,
+    /// Anchors the bounded-capacity pool evicted so far
+    /// ([`ShardedPool::evictions`](crn_core::ShardedPool::evictions); 0 in unbounded
+    /// mode).
+    pub pool_evictions: u64,
+    /// Requests currently queued (admitted, not yet popped into a batch) per
+    /// [`SloClass`], indexed by [`SloClass::index`] — a point-in-time gauge, unlike the
+    /// monotonic counters around it.
+    pub queued_by_class: [u64; SloClass::COUNT],
     /// Scheduler-thread restarts the supervisor granted (panics that escaped batch
     /// containment and came back up with the queue intact).
     pub scheduler_restarts: u64,
@@ -411,6 +454,8 @@ struct Counters {
     cache_misses: AtomicU64,
     cache_insertions: AtomicU64,
     cache_evictions: AtomicU64,
+    cache_purged: AtomicU64,
+    retention_updates: AtomicU64,
     sync_served: AtomicU64,
     maintenance_applied: AtomicU64,
     maintenance_rejected: AtomicU64,
@@ -483,6 +528,11 @@ struct Shared<M> {
     /// [`cache_entries`](RuntimeConfig::cache_entries) is 0 — the scheduler then takes
     /// the exact pre-cache path.
     cache: Option<EstimateCache>,
+    /// The `(pool, model)` version pairing the scheduler last probed the cache under —
+    /// movement triggers the proactive stale-generation purge.  Only the scheduler
+    /// thread writes these (0 until the first cache-enabled batch).
+    last_pool_version: AtomicU64,
+    last_model_version: AtomicU64,
     supervisor: Arc<Supervisor>,
     injector: Arc<FaultInjector>,
     /// Set (under the queue lock) when the scheduler lane degrades: submissions execute
@@ -538,6 +588,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             class_windows: config.class_windows,
             class_weights: config.class_weights,
             cache_entries: config.cache_entries,
+            class_deadlines: config.class_deadlines,
         };
         let supervisor = Arc::new(Supervisor::new(config.restart_policy));
         let cache = (config.cache_entries > 0).then(|| EstimateCache::new(config.cache_entries));
@@ -562,6 +613,8 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             inflight: Mutex::new(None),
             caller_classes: Mutex::new(HashMap::new()),
             cache,
+            last_pool_version: AtomicU64::new(0),
+            last_model_version: AtomicU64::new(0),
             supervisor,
             injector,
             degraded_sync: AtomicBool::new(false),
@@ -634,10 +687,12 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     /// Never blocks: a full queue (or an exhausted caller quota, or a full class share)
     /// sheds the submission with [`SubmitError::Overloaded`] immediately — admission
     /// control, not backpressure by stalling.  `caller` is an arbitrary fairness key
-    /// (connection id, tenant, ...).  The request carries the configured
-    /// [`default_deadline`](RuntimeConfig::default_deadline), if any.
+    /// (connection id, tenant, ...).  The request carries the caller's class deadline
+    /// ([`RuntimeConfig::class_deadline`] — the class's own default, else the base
+    /// [`default_deadline`](RuntimeConfig::default_deadline)), if any.
     pub fn submit(&self, caller: u64, query: Query) -> Result<Ticket, SubmitError> {
-        self.submit_with_deadline(caller, query, self.shared.config.default_deadline)
+        let deadline = self.shared.config.class_deadline(self.caller_class(caller));
+        self.submit_with_deadline(caller, query, deadline)
     }
 
     /// [`submit`](ServeRuntime::submit) with an explicit per-request deadline
@@ -698,6 +753,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         patience: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
         let give_up = patience.map(|p| Instant::now() + p);
+        let class = self.caller_class(caller);
         // The request's own execution deadline anchors at the FIRST admission attempt:
         // recomputing it per retry let the deadline slide forward with every shed
         // attempt, so a request could wait in admission + queue far longer than its
@@ -706,9 +762,8 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         let due = self
             .shared
             .config
-            .default_deadline
+            .class_deadline(class)
             .map(|d| Instant::now() + d);
-        let class = self.caller_class(caller);
         let mut backoff = RETRY_BACKOFF_FLOOR;
         let mut state = lock_ignoring_poison(&self.shared.queue);
         loop {
@@ -932,6 +987,14 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     pub fn stats(&self) -> RuntimeStats {
         let counters = &self.shared.counters;
         let supervisor = &self.shared.supervisor;
+        let queued_by_class = {
+            let state = lock_ignoring_poison(&self.shared.queue);
+            let mut queued = [0u64; SloClass::COUNT];
+            for class in SloClass::ALL {
+                queued[class.index()] = state.pending_in(class) as u64;
+            }
+            queued
+        };
         RuntimeStats {
             submitted: counters.submitted.load(Ordering::Relaxed),
             completed: counters.completed.load(Ordering::Relaxed),
@@ -951,6 +1014,10 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             cache_misses: counters.cache_misses.load(Ordering::Relaxed),
             cache_insertions: counters.cache_insertions.load(Ordering::Relaxed),
             cache_evictions: counters.cache_evictions.load(Ordering::Relaxed),
+            cache_purged: counters.cache_purged.load(Ordering::Relaxed),
+            retention_updates: counters.retention_updates.load(Ordering::Relaxed),
+            pool_evictions: self.shared.service.pool().evictions(),
+            queued_by_class,
             sync_served: counters.sync_served.load(Ordering::Relaxed),
             maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
             maintenance_rejected: counters.maintenance_rejected.load(Ordering::Relaxed),
@@ -1366,6 +1433,25 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // compute path.
         let fates: Option<Vec<SlotFate>> = shared.cache.as_ref().map(|cache| {
             let (pool_version, model_version) = shared.service.serving_versions();
+            // Proactive purge on version movement: entries filed under older pairings
+            // can never hit again (probes carry the current versions), so drop them now
+            // instead of letting them squat in the LRU.  Only this thread writes the
+            // last-seen pair, so the read-compare-store needs no stronger ordering.
+            let moved = shared.last_pool_version.load(Ordering::Relaxed) != pool_version
+                || shared.last_model_version.load(Ordering::Relaxed) != model_version;
+            if moved {
+                shared
+                    .last_pool_version
+                    .store(pool_version, Ordering::Relaxed);
+                shared
+                    .last_model_version
+                    .store(model_version, Ordering::Relaxed);
+                let purged = cache.purge_stale(pool_version, model_version);
+                shared
+                    .counters
+                    .cache_purged
+                    .fetch_add(purged as u64, Ordering::Relaxed);
+            }
             let mut misses = 0usize;
             unique
                 .iter()
@@ -1681,6 +1767,25 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // upsert as a maintenance failure.
         if applied.is_ok() {
             if let Some(estimate) = record.estimate {
+                // Fold the served estimate's q-error into the (just-refreshed) anchor's
+                // retention weight: anchors that keep producing bad estimates sink in
+                // the bounded-capacity pool's eviction order.  Same containment rules
+                // as the observer below — a panic here must not kill the lane or
+                // mislabel the applied upsert.
+                let retained = catch_unwind(AssertUnwindSafe(|| {
+                    let q_error =
+                        crn_nn::q_error(estimate.max(1.0), (record.cardinality.max(1)) as f64, 1.0);
+                    shared
+                        .service
+                        .pool()
+                        .record_feedback(&record.query, q_error)
+                }));
+                if matches!(retained, Ok(true)) {
+                    shared
+                        .counters
+                        .retention_updates
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 let observer = lock_ignoring_poison(&shared.feedback_observer).clone();
                 if let Some(observer) = observer {
                     let observed = catch_unwind(AssertUnwindSafe(|| {
@@ -1753,5 +1858,34 @@ mod tests {
         let panicked: std::thread::Result<ServeResponse> = Err(Box::new("batch panicked"));
         let settled = settle_sync_response(panicked, || panic!("fallback panics too"));
         assert!(matches!(settled, SyncResolution::Failed));
+    }
+
+    #[test]
+    fn class_deadlines_override_per_class_and_inherit_the_default_when_unset() {
+        let config = RuntimeConfig::default()
+            .with_deadline_us(1_000)
+            .with_class_deadline_us(SloClass::Batch, 50_000);
+        assert_eq!(
+            config.class_deadline(SloClass::Batch),
+            Some(Duration::from_micros(50_000))
+        );
+        // Classes without an override inherit the base deadline.
+        assert_eq!(
+            config.class_deadline(SloClass::Interactive),
+            Some(Duration::from_micros(1_000))
+        );
+        // Zero micros clears the override back to inheritance.
+        let cleared = config.with_class_deadline_us(SloClass::Batch, 0);
+        assert_eq!(
+            cleared.class_deadline(SloClass::Batch),
+            Some(Duration::from_micros(1_000))
+        );
+        // With no base deadline either, the class runs undeadlined.
+        let bare = RuntimeConfig::default().with_class_deadline_us(SloClass::Interactive, 200);
+        assert_eq!(bare.class_deadline(SloClass::Batch), None);
+        assert_eq!(
+            bare.class_deadline(SloClass::Interactive),
+            Some(Duration::from_micros(200))
+        );
     }
 }
