@@ -15,6 +15,12 @@
 //!   wall clock must drop vs `one_per_query_callers4` — the acceptance criterion this
 //!   bench exists to witness.  Window size then only bounds the straggler wait: 200µs
 //!   vs 2000µs should measure alike in steady closed-loop state.
+//!
+//! The `obs_*` pair repeats the busiest configuration with the `crn-obs` layer off
+//! (the default — disabled obs takes the exact pre-obs code path) and fully on
+//! (spans + histograms + journal): the enabled/disabled delta is the observability
+//! overhead, which must stay within a few percent for the layer to be left on in
+//! production serving.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -65,28 +71,34 @@ fn bench_async_sweep(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_secs(1))
         .measurement_time(Duration::from_secs(3));
-    for (label, callers, window_us, batch_max) in [
+    for (label, callers, window_us, batch_max, obs_on) in [
         // One batch per request: the no-batching overhead profile.
-        ("one_per_query_callers1", 1usize, 0u64, 1usize),
-        ("one_per_query_callers4", 4, 0, 1),
+        ("one_per_query_callers1", 1usize, 0u64, 1usize, false),
+        ("one_per_query_callers4", 4, 0, 1, false),
         // Cross-call fusion: a round of concurrent callers closes one batch by size,
         // the window only bounds stragglers.
-        ("fused_callers2_window200", 2, 200, 2),
-        ("fused_callers4_window200", 4, 200, 4),
-        ("fused_callers4_window2000", 4, 2000, 4),
+        ("fused_callers2_window200", 2, 200, 2, false),
+        ("fused_callers4_window200", 4, 200, 4, false),
+        ("fused_callers4_window2000", 4, 2000, 4, false),
+        // The observability overhead pair: the busiest fused configuration with obs
+        // explicitly disabled (bit-identical to the row above — the parity witness)
+        // and fully enabled (the ≤ a-few-percent overhead witness).
+        ("obs_off_callers4_window200", 4, 200, 4, false),
+        ("obs_on_callers4_window200", 4, 200, 4, true),
     ] {
         let service = Arc::new(EstimatorService::new(
             ctx.crn.clone(),
             ShardedPool::from_pool(&ctx.pool, 2),
             WorkerPool::shared(2),
         ));
-        let runtime = ServeRuntime::new(
-            service,
-            RuntimeConfig::default()
-                .with_window_us(window_us)
-                .with_batch_max(batch_max)
-                .with_queue_depth(64),
-        );
+        let mut config = RuntimeConfig::default()
+            .with_window_us(window_us)
+            .with_batch_max(batch_max)
+            .with_queue_depth(64);
+        if obs_on {
+            config = config.with_obs(crn_obs::Obs::new(crn_obs::ObsConfig::enabled()));
+        }
+        let runtime = ServeRuntime::new(service, config);
         // Warm the per-shard anchor caches so steady-state serving is measured.
         run_closed_loop(&runtime, &queries, callers);
         group.bench_function(label, |b| {

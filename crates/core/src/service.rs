@@ -40,6 +40,46 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Pre-registered per-phase latency histograms ([`EstimatorService::with_obs`]): one
+/// registry lookup each at wiring time, a single-bool guard per `serve` call after.
+/// With the default disabled [`crn_obs::Obs`] every handle is inert and `observe` is one
+/// predictable branch — the serve path is otherwise unchanged.
+struct PhaseHists {
+    enabled: bool,
+    snapshot_us: crn_obs::HistHandle,
+    group_us: crn_obs::HistHandle,
+    compute_us: crn_obs::HistHandle,
+    merge_us: crn_obs::HistHandle,
+    total_us: crn_obs::HistHandle,
+}
+
+impl PhaseHists {
+    fn from_obs(obs: &crn_obs::Obs) -> Self {
+        PhaseHists {
+            enabled: obs.enabled(),
+            snapshot_us: obs.hist("svc.phase.snapshot_us"),
+            group_us: obs.hist("svc.phase.group_us"),
+            compute_us: obs.hist("svc.phase.compute_us"),
+            merge_us: obs.hist("svc.phase.merge_us"),
+            total_us: obs.hist("svc.phase.total_us"),
+        }
+    }
+
+    /// Feeds one served batch's phase timings into the histograms.
+    fn observe(&self, stats: &ServeStats) {
+        if !self.enabled {
+            return;
+        }
+        self.snapshot_us
+            .record(stats.snapshot_time.as_micros() as u64);
+        self.group_us.record(stats.group_time.as_micros() as u64);
+        self.compute_us
+            .record(stats.compute_time.as_micros() as u64);
+        self.merge_us.record(stats.merge_time.as_micros() as u64);
+        self.total_us.record(stats.total_time.as_micros() as u64);
+    }
+}
+
 /// A versioned, immutable view of the served containment model — the model-side analogue
 /// of [`PoolSnapshot`].
 ///
@@ -212,6 +252,9 @@ pub struct EstimatorService<M> {
     /// Per-`(shard, FROM-clause)` anchor serving state, keyed by the shard's snapshot
     /// version *and* the model version (see [`CachedShardAnchors`]).
     prepared: Mutex<BTreeMap<(usize, String), CachedShardAnchors>>,
+    /// Per-phase latency histograms (inert unless wired via
+    /// [`with_obs`](EstimatorService::with_obs)).
+    phase_hists: PhaseHists,
 }
 
 impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
@@ -230,7 +273,16 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             fallback: None,
             name,
             prepared: Mutex::new(BTreeMap::new()),
+            phase_hists: PhaseHists::from_obs(&crn_obs::Obs::disabled()),
         }
+    }
+
+    /// Wires the service's per-phase timings (snapshot / group / compute / merge /
+    /// total, µs) into `obs` as `svc.phase.*` histograms.  With a disabled `obs` this
+    /// is a no-op wiring: the serve path keeps its exact pre-observability behavior.
+    pub fn with_obs(mut self, obs: &crn_obs::Obs) -> Self {
+        self.phase_hists = PhaseHists::from_obs(obs);
+        self
     }
 
     /// Overrides the Cnt2Crd configuration (final function, ε, default estimate).
@@ -382,6 +434,7 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             .collect();
         stats.merge_time = merge_started.elapsed();
         stats.total_time = started.elapsed();
+        self.phase_hists.observe(&stats);
         ServeResponse {
             estimates,
             stats,
@@ -474,6 +527,7 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             .collect();
         stats.merge_time = merge_started.elapsed();
         stats.total_time = started.elapsed();
+        self.phase_hists.observe(&stats);
         ServeResponse {
             estimates,
             stats,

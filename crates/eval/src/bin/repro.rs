@@ -364,6 +364,15 @@ fn run_serve(args: &[String]) {
                     "--batch-deadline-us",
                 ) as u64);
             }
+            "--metrics-jsonl" => {
+                config.metrics_jsonl = Some(flag_value(&mut iter, "--metrics-jsonl"));
+            }
+            "--metrics-interval-ms" => {
+                config.metrics_interval_ms = parse_count(
+                    &flag_value(&mut iter, "--metrics-interval-ms"),
+                    "--metrics-interval-ms",
+                ) as u64;
+            }
             "--help" | "-h" => {
                 print_serve_usage();
                 return;
@@ -410,6 +419,7 @@ fn print_serve_usage() {
          [--restart-budget N] [--checkpoint-dir D] [--checkpoint-every N]\n\
          \x20                  [--chaos <plan>|crash-restore] [--top-k K] \
          [--pool-cap N] [--pool-scale a,b,...] [--q-error-budget F]\n\
+         \x20                  [--metrics-jsonl <path>] [--metrics-interval-ms N]\n\
          \n\
          Serves a synthetic workload through the sharded estimator service — \
          synchronously in --batch-sized\n\
@@ -606,7 +616,28 @@ fn print_serve_usage() {
          counts, not timers:\n\
          the same plan always kills the same batch.  The run fails unless every \
          admitted ticket resolves;\n\
-         BENCH_chaos.json (via --bench-json) carries the full resolution accounting."
+         BENCH_chaos.json (via --bench-json) carries the full resolution accounting.\n\
+         \n\
+         Choosing --metrics-jsonl: live observability export.  The serve demos always \
+         run with the\n\
+         crn-obs layer enabled (per-request spans, per-class log2 latency histograms, \
+         a bounded event\n\
+         journal of batch closes / restarts / gate decisions / checkpoints / \
+         evictions); this flag\n\
+         streams periodic JSONL snapshots of every counter, gauge and histogram — \
+         plus journal events\n\
+         as they happen — to <path>, and prints the end-of-run metrics table.  Each \
+         line is one JSON\n\
+         object (kind: snapshot|event), safe to tail.  Omit the flag and nothing is \
+         exported.\n\
+         \n\
+         Choosing --metrics-interval-ms: the snapshot cadence of --metrics-jsonl \
+         (default 50).  Tens of\n\
+         ms suits short demo runs; hundreds of ms suits long soaks where per-snapshot \
+         volume matters.\n\
+         The emitter is a single background thread reading lock-light shards — \
+         cadence does not perturb\n\
+         the serving path."
     );
 }
 
@@ -633,7 +664,8 @@ fn print_usage() {
          [--gate-margin F] [--deadline-us N] [--batch-deadline-us N] \
          [--restart-budget N] [--checkpoint-dir D] \
          [--checkpoint-every N] [--chaos <plan>] [--top-k K] [--pool-cap N] \
-         [--pool-scale a,b,...] [--q-error-budget F] [--bench-json <path>]  \
+         [--pool-scale a,b,...] [--q-error-budget F] [--bench-json <path>] \
+         [--metrics-jsonl <path>] [--metrics-interval-ms N]  \
          (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));

@@ -127,6 +127,11 @@ pub struct ServeDemoConfig {
     /// Batch-class deadline in µs (`--batch-deadline-us`); `None` inherits
     /// `--deadline-us` for batch traffic too.
     pub batch_deadline_us: Option<u64>,
+    /// Live metrics export: append one JSON snapshot line (plus journal events) to this
+    /// path on every interval tick (`--metrics-jsonl`).
+    pub metrics_jsonl: Option<String>,
+    /// Export interval in milliseconds for `--metrics-jsonl` (`--metrics-interval-ms`).
+    pub metrics_interval_ms: u64,
 }
 
 impl ServeDemoConfig {
@@ -162,6 +167,8 @@ impl ServeDemoConfig {
             q_error_budget: 1.1,
             pool_scale: None,
             batch_deadline_us: None,
+            metrics_jsonl: None,
+            metrics_interval_ms: 50,
         }
     }
 }
@@ -229,6 +236,30 @@ pub struct BenchRecord {
     /// the pool-scale sweep (0 in the regular demos, which gate on bit-parity with the
     /// sequential path instead).
     pub median_q_error: f64,
+    /// Histogram-derived interactive-class p50 (µs): the driver's measured latencies
+    /// replayed through a `crn-obs` log₂ histogram, cross-checked in-process against
+    /// the sort-based `interactive_p50_us` to within one bucket.  0 outside async mode
+    /// or when the class saw no traffic.
+    pub hist_interactive_p50_us: u64,
+    /// See [`BenchRecord::hist_interactive_p50_us`].
+    pub hist_interactive_p99_us: u64,
+    /// Histogram-derived batch-class p50 (µs); see
+    /// [`BenchRecord::hist_interactive_p50_us`].
+    pub hist_batch_p50_us: u64,
+    /// See [`BenchRecord::hist_batch_p50_us`].
+    pub hist_batch_p99_us: u64,
+    /// Requests whose resolved ticket carried a recorded span.
+    pub span_requests: usize,
+    /// Mean per-request queue-wait segment (µs) over the recorded spans.
+    pub span_queue_wait_us: f64,
+    /// Mean batch-wait segment (µs): batch close → serve start, probe time excluded.
+    pub span_batch_wait_us: f64,
+    /// Mean cache-probe segment (µs); 0 with the cache off.
+    pub span_cache_probe_us: f64,
+    /// Mean shard-compute segment (µs) attributed from the service's phase stats.
+    pub span_shard_compute_us: f64,
+    /// Mean merge segment (µs) attributed from the service's phase stats.
+    pub span_merge_us: f64,
 }
 
 /// The `BENCH_serving.json` shape: a schema tag plus one record per measured config.
@@ -330,10 +361,15 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         ..Cnt2CrdConfig::default()
     };
     let workers = WorkerPool::shared(config.threads.max(1));
+    // The demo always runs with observability enabled (the hist/span fields in the
+    // bench record come from it); the zero-overhead disabled path is pinned by the
+    // serving-runtime tests and the obs-off criterion baseline instead.
+    let obs = crn_obs::Obs::new(crn_obs::ObsConfig::enabled());
     let service = Arc::new(
         EstimatorService::new(model.clone(), sharded, workers)
             .with_config(estimator_config)
-            .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
+            .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)))
+            .with_obs(&obs),
     );
 
     // `generate_queries` expands each initial query with perturbed variants, so truncate to
@@ -351,7 +387,7 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         let summary = if plan.trim() == "crash-restore" {
             run_crash_restore_demo(config, &ctx, &workload, &mut lines)
         } else {
-            run_chaos_demo(config, &ctx, &service, plan, &workload, &mut lines)
+            run_chaos_demo(config, &ctx, &service, &obs, plan, &workload, &mut lines)
         };
         let summary = match summary {
             Ok(summary) => summary,
@@ -370,16 +406,23 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
     }
 
     if config.online {
-        let summary =
-            match run_online_demo(config, &ctx, &service, &sequential, &workload, &mut lines) {
-                Ok(summary) => summary,
-                Err(violation) => {
-                    // The report so far is the diagnostic context of the violation: emit it
-                    // on stderr so the CI log shows what led up to the non-zero exit.
-                    eprintln!("{}", lines.join("\n"));
-                    return Err(violation);
-                }
-            };
+        let summary = match run_online_demo(
+            config,
+            &ctx,
+            &service,
+            &obs,
+            &sequential,
+            &workload,
+            &mut lines,
+        ) {
+            Ok(summary) => summary,
+            Err(violation) => {
+                // The report so far is the diagnostic context of the violation: emit it
+                // on stderr so the CI log shows what led up to the non-zero exit.
+                eprintln!("{}", lines.join("\n"));
+                return Err(violation);
+            }
+        };
         if let Some(path) = &config.bench_json {
             let json =
                 serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
@@ -390,7 +433,15 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
     }
 
     let record = if config.async_mode {
-        run_async_demo(config, &ctx, &service, &sequential, &workload, &mut lines)?
+        run_async_demo(
+            config,
+            &ctx,
+            &service,
+            &obs,
+            &sequential,
+            &workload,
+            &mut lines,
+        )?
     } else {
         run_sync_demo(config, &service, &sequential, &workload, &mut lines)?
     };
@@ -502,6 +553,16 @@ fn run_sync_demo(
         pool_entries: service.pool().len(),
         top_k: config.top_k,
         median_q_error: 0.0,
+        hist_interactive_p50_us: 0,
+        hist_interactive_p99_us: 0,
+        hist_batch_p50_us: 0,
+        hist_batch_p99_us: 0,
+        span_requests: 0,
+        span_queue_wait_us: 0.0,
+        span_batch_wait_us: 0.0,
+        span_cache_probe_us: 0.0,
+        span_shard_compute_us: 0.0,
+        span_merge_us: 0.0,
     })
 }
 
@@ -665,6 +726,16 @@ fn run_pool_scale_sweep(
                 pool_entries: pool.len(),
                 top_k: k,
                 median_q_error: median,
+                hist_interactive_p50_us: 0,
+                hist_interactive_p99_us: 0,
+                hist_batch_p50_us: 0,
+                hist_batch_p99_us: 0,
+                span_requests: 0,
+                span_queue_wait_us: 0.0,
+                span_batch_wait_us: 0.0,
+                span_cache_probe_us: 0.0,
+                span_shard_compute_us: 0.0,
+                span_merge_us: 0.0,
             });
         }
         lines.push(format!(
@@ -721,18 +792,21 @@ fn run_pool_scale_sweep(
 }
 
 /// The async demo: runtime + closed-loop multi-caller load generator + maintenance lane.
+#[allow(clippy::too_many_arguments)]
 fn run_async_demo(
     config: &ServeDemoConfig,
     ctx: &ExperimentContext,
     service: &Arc<EstimatorService<crn_core::CrnModel>>,
+    obs: &crn_obs::Obs,
     sequential: &Cnt2Crd<crn_core::CrnModel>,
     workload: &[Query],
     lines: &mut Vec<String>,
 ) -> Result<BenchRecord, String> {
     let callers = config.callers.max(1);
-    let runtime_config = resilient_runtime_config(config, callers);
+    let runtime_config = resilient_runtime_config(config, callers).with_obs(obs.clone());
     let runtime = ServeRuntime::new(Arc::clone(service), runtime_config);
     attach_checkpoint_sink(config, service, &runtime, lines);
+    let emitter = spawn_metrics_emitter(config, obs, lines)?;
     lines.push(format!(
         "[serve] async runtime up: window {}us, queue depth {}, per-caller quota {}, \
          batch max {}, deadline {}, restart budget {}/lane",
@@ -796,13 +870,22 @@ fn run_async_demo(
     let mut latencies_us: Vec<f64> = Vec::new();
     let mut interactive_us: Vec<f64> = Vec::new();
     let mut batch_us: Vec<f64> = Vec::new();
+    let mut spans: Vec<crn_obs::RequestTrace> = Vec::new();
     let mut queued_gauge = [0u64; SloClass::COUNT];
+    // The driver's own view of the measured latencies, replayed through crn-obs log₂
+    // histograms: same samples as the sort-based percentiles below, so the two must
+    // agree to within one bucket (the cross-check at the end of this function).
+    let driver_hists = [
+        obs.hist("driver.latency_us.interactive"),
+        obs.hist("driver.latency_us.batch"),
+    ];
     std::thread::scope(|scope| {
         let runtime = &runtime;
         let handles: Vec<_> = (0..callers)
             .map(|caller| {
                 scope.spawn(move || {
                     let mut own = Vec::new();
+                    let mut own_spans = Vec::new();
                     for _pass in 0..passes {
                         for (index, query) in workload.iter().enumerate() {
                             if index % callers == caller {
@@ -816,12 +899,15 @@ fn run_async_demo(
                                 // sample.
                                 if let Ok(outcome) = outcome {
                                     own.push(submitted.elapsed().as_secs_f64() * 1e6);
+                                    if let Some(trace) = outcome.trace {
+                                        own_spans.push(trace);
+                                    }
                                     debug_assert!(outcome.estimate >= 0.0);
                                 }
                             }
                         }
                     }
-                    (caller, own)
+                    (caller, own, own_spans)
                 })
             })
             .collect();
@@ -831,13 +917,22 @@ fn run_async_demo(
         std::thread::sleep(std::time::Duration::from_micros(500));
         queued_gauge = runtime.stats().queued_by_class;
         for handle in handles {
-            let (caller, own) = handle.join().expect("caller thread");
-            if mixed && caller % 2 == 1 {
+            let (caller, own, own_spans) = handle.join().expect("caller thread");
+            let class = if mixed && caller % 2 == 1 {
+                SloClass::Batch
+            } else {
+                SloClass::Interactive
+            };
+            for &latency in &own {
+                driver_hists[class.index()].record(latency as u64);
+            }
+            if class == SloClass::Batch {
                 batch_us.extend(own.iter().copied());
             } else {
                 interactive_us.extend(own.iter().copied());
             }
             latencies_us.extend(own);
+            spans.extend(own_spans);
         }
     });
     let elapsed = run_started.elapsed();
@@ -926,6 +1021,18 @@ fn run_async_demo(
         "[serve] aggregate (incl. parity warmup) {}",
         stats.serve.render()
     ));
+    // The complete counter audit: every RuntimeStats scalar, printed from the same
+    // enumeration the field-coverage test pins — a counter added to the struct without
+    // extending `counter_fields` fails that test, so this line can never silently lag.
+    lines.push(format!(
+        "[serve] runtime counters: {}",
+        stats
+            .counter_fields()
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
     let total_queries = latencies_us.len();
     let mean_us = latencies_us.iter().sum::<f64>() / total_queries.max(1) as f64;
     let p50 = percentile_us(&mut latencies_us, 0.50);
@@ -992,6 +1099,46 @@ fn run_async_demo(
             config.cache_entries,
         ));
     }
+
+    // Histogram-vs-sort cross-check over the identical driver samples, per class.
+    if !interactive_us.is_empty() {
+        lines.push(check_hist_vs_sort(
+            "driver.latency_us.interactive",
+            &driver_hists[SloClass::Interactive.index()],
+            interactive_p50,
+            interactive_p99,
+            interactive_us.len(),
+        )?);
+    }
+    if !batch_us.is_empty() {
+        lines.push(check_hist_vs_sort(
+            "driver.latency_us.batch",
+            &driver_hists[SloClass::Batch.index()],
+            batch_p50,
+            batch_p99,
+            batch_us.len(),
+        )?);
+    }
+
+    // Per-request phase breakdown: mean of each span segment over every resolved
+    // request that carried a trace (computed and cache-hit paths both do).
+    let span_requests = spans.len();
+    let span_mean = |segment: fn(&crn_obs::RequestTrace) -> u64| {
+        spans.iter().map(|trace| segment(trace) as f64).sum::<f64>() / span_requests.max(1) as f64
+    };
+    let span_queue_wait_us = span_mean(|t| t.queue_wait_us);
+    let span_batch_wait_us = span_mean(|t| t.batch_wait_us);
+    let span_cache_probe_us = span_mean(|t| t.cache_probe_us);
+    let span_shard_compute_us = span_mean(|t| t.shard_compute_us);
+    let span_merge_us = span_mean(|t| t.merge_us);
+    lines.push(format!(
+        "[serve] span breakdown over {span_requests} requests (mean µs): queue-wait \
+         {span_queue_wait_us:.0}, batch-wait {span_batch_wait_us:.0}, cache-probe \
+         {span_cache_probe_us:.0}, shard-compute {span_shard_compute_us:.0}, merge \
+         {span_merge_us:.0}"
+    ));
+    finish_metrics(emitter, obs, lines);
+
     Ok(BenchRecord {
         mode: "async".to_string(),
         preset: config.preset_label.clone(),
@@ -1025,6 +1172,16 @@ fn run_async_demo(
         pool_entries: service.pool().len(),
         top_k: config.top_k,
         median_q_error: 0.0,
+        hist_interactive_p50_us: driver_hists[SloClass::Interactive.index()].quantile(0.50),
+        hist_interactive_p99_us: driver_hists[SloClass::Interactive.index()].quantile(0.99),
+        hist_batch_p50_us: driver_hists[SloClass::Batch.index()].quantile(0.50),
+        hist_batch_p99_us: driver_hists[SloClass::Batch.index()].quantile(0.99),
+        span_requests,
+        span_queue_wait_us,
+        span_batch_wait_us,
+        span_cache_probe_us,
+        span_shard_compute_us,
+        span_merge_us,
     })
 }
 
@@ -1132,10 +1289,12 @@ fn median_q_error(estimates: &[f64], truths: &[u64]) -> f64 {
 ///    invariant, an applied refresh that fails to beat the frozen model on the shifted
 ///    segment, or a swap with refresh disabled returns `Err` — `repro` exits non-zero
 ///    and the CI smoke fails loudly.
+#[allow(clippy::too_many_arguments)]
 fn run_online_demo(
     config: &ServeDemoConfig,
     ctx: &ExperimentContext,
     service: &Arc<EstimatorService<CrnModel>>,
+    obs: &crn_obs::Obs,
     sequential: &Cnt2Crd<CrnModel>,
     workload: &[Query],
     lines: &mut Vec<String>,
@@ -1143,8 +1302,10 @@ fn run_online_demo(
     let runtime_config = RuntimeConfig::default()
         .with_window_us(config.batch_window_us)
         .with_queue_depth(config.queue_depth.max(1))
-        .with_batch_max(config.batch.max(1));
+        .with_batch_max(config.batch.max(1))
+        .with_obs(obs.clone());
     let runtime = ServeRuntime::new(Arc::clone(service), runtime_config);
+    let emitter = spawn_metrics_emitter(config, obs, lines)?;
     let refresh_enabled = config.refresh_interval > 0;
     lines.push(format!(
         "[serve] online runtime up: refresh {} (interval {}), probe fraction {:.2}",
@@ -1191,14 +1352,17 @@ fn run_online_demo(
         gate_margin: config.gate_margin,
         ..OnlineConfig::default()
     };
-    let controller = Arc::new(RefreshController::new(
-        Arc::clone(service),
-        Box::new(ExecLabeler::new(
-            Arc::new(ctx.db.clone()),
-            config.threads.max(1),
-        )),
-        online_config,
-    ));
+    let controller = Arc::new(
+        RefreshController::new(
+            Arc::clone(service),
+            Box::new(ExecLabeler::new(
+                Arc::new(ctx.db.clone()),
+                config.threads.max(1),
+            )),
+            online_config,
+        )
+        .with_obs(obs),
+    );
     runtime.set_feedback_observer(Arc::clone(&controller) as Arc<dyn FeedbackObserver>);
 
     // Phase 3 — the shift: scale-generator traffic (equality-biased, actual-row
@@ -1366,6 +1530,7 @@ fn run_online_demo(
              the shifted segment"
         ));
     }
+    finish_metrics(emitter, obs, lines);
 
     Ok(OnlineBenchSummary {
         schema: "crn-online-bench-v1".to_string(),
@@ -1394,6 +1559,78 @@ fn run_online_demo(
 
 /// The shared runtime configuration of the async/chaos demos: batching knobs plus the
 /// fault-tolerance knobs (deadline, restart budget, checkpoint cadence).
+/// Starts the periodic JSONL metrics emitter when `--metrics-jsonl` is set.
+fn spawn_metrics_emitter(
+    config: &ServeDemoConfig,
+    obs: &crn_obs::Obs,
+    lines: &mut Vec<String>,
+) -> Result<Option<crn_obs::JsonlEmitter>, String> {
+    let Some(path) = &config.metrics_jsonl else {
+        return Ok(None);
+    };
+    let interval_ms = config.metrics_interval_ms.max(1);
+    let emitter = crn_obs::JsonlEmitter::spawn(
+        obs.clone(),
+        std::path::Path::new(path),
+        std::time::Duration::from_millis(interval_ms),
+    )
+    .map_err(|e| format!("cannot open metrics jsonl {path}: {e}"))?;
+    lines.push(format!(
+        "[serve] metrics: JSONL export to {path} every {interval_ms}ms"
+    ));
+    Ok(Some(emitter))
+}
+
+/// Stops the emitter (flushing a final snapshot plus any undrained journal events) and,
+/// when export was on, appends the end-of-run plain-text metrics table to the report.
+fn finish_metrics(
+    emitter: Option<crn_obs::JsonlEmitter>,
+    obs: &crn_obs::Obs,
+    lines: &mut Vec<String>,
+) {
+    if let Some(emitter) = emitter {
+        emitter.stop();
+        lines.push("[serve] metrics table:".to_string());
+        lines.extend(
+            crn_obs::render_table(&obs.snapshot())
+                .lines()
+                .map(|line| format!("  {line}")),
+        );
+    }
+}
+
+/// The histogram/sort agreement tripwire: the driver's measured latencies were replayed
+/// into a `crn-obs` log₂ histogram, so each reported percentile must land within one
+/// bucket of the sort-based oracle over the identical sample — else the histogram path
+/// is broken and the run fails loudly.
+fn check_hist_vs_sort(
+    name: &str,
+    hist: &crn_obs::HistHandle,
+    sorted_p50: f64,
+    sorted_p99: f64,
+    samples: usize,
+) -> Result<String, String> {
+    let hist_p50 = hist.quantile(0.50);
+    let hist_p99 = hist.quantile(0.99);
+    for (label, hist_value, sorted_value) in
+        [("p50", hist_p50, sorted_p50), ("p99", hist_p99, sorted_p99)]
+    {
+        let hist_bucket = crn_obs::bucket_index(hist_value);
+        let sorted_bucket = crn_obs::bucket_index(sorted_value as u64);
+        if hist_bucket.abs_diff(sorted_bucket) > 1 {
+            return Err(format!(
+                "histogram/sort divergence on {name} {label}: hist {hist_value}us \
+                 (bucket {hist_bucket}) vs sorted {sorted_value:.0}us (bucket \
+                 {sorted_bucket}) over {samples} samples"
+            ));
+        }
+    }
+    Ok(format!(
+        "[serve] hist/sort agree on {name}: hist p50 {hist_p50}us p99 {hist_p99}us vs \
+         sorted p50 {sorted_p50:.0}us p99 {sorted_p99:.0}us ({samples} samples)"
+    ))
+}
+
 fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> RuntimeConfig {
     let mut runtime_config = RuntimeConfig::default()
         .with_window_us(config.batch_window_us)
@@ -1496,10 +1733,12 @@ pub struct ChaosBenchSummary {
 /// workload through a runtime whose injector fires the plan's faults at exact
 /// occurrence counts (no wall clock, no randomness — the same plan always kills the
 /// same batch), then checks the headline invariant: **every admitted ticket resolved**.
+#[allow(clippy::too_many_arguments)]
 fn run_chaos_demo(
     config: &ServeDemoConfig,
     ctx: &ExperimentContext,
     service: &Arc<EstimatorService<CrnModel>>,
+    obs: &crn_obs::Obs,
     plan_text: &str,
     workload: &[Query],
     lines: &mut Vec<String>,
@@ -1509,10 +1748,11 @@ fn run_chaos_demo(
     let callers = config.callers.max(1);
     let runtime = ServeRuntime::with_faults(
         Arc::clone(service),
-        resilient_runtime_config(config, callers),
+        resilient_runtime_config(config, callers).with_obs(obs.clone()),
         Arc::clone(&injector),
     );
     attach_checkpoint_sink(config, service, &runtime, lines);
+    let emitter = spawn_metrics_emitter(config, obs, lines)?;
     lines.push(format!(
         "[serve] chaos runtime up: plan '{plan_text}', {} callers, deadline {}, restart \
          budget {}/lane",
@@ -1611,6 +1851,17 @@ fn run_chaos_demo(
         "[serve] chaos invariant holds: all {} admitted tickets resolved",
         stats.submitted
     ));
+    let restart_events = obs
+        .events_since(0)
+        .iter()
+        .filter(|entry| matches!(entry.event, crn_obs::Event::SupervisorRestart { .. }))
+        .count();
+    lines.push(format!(
+        "[serve] journal: {} events recorded ({} supervisor restarts)",
+        obs.snapshot().journal_recorded,
+        restart_events,
+    ));
+    finish_metrics(emitter, obs, lines);
     Ok(ChaosBenchSummary {
         schema: "crn-chaos-bench-v1".to_string(),
         preset: config.preset_label.clone(),

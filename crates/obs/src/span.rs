@@ -1,0 +1,55 @@
+//! Per-request spans: a trace ID minted at `submit` and carried through the ticket,
+//! with the scheduler filling in per-segment timings as the request moves
+//! queue → batch close → cache probe → shard compute → merge.
+//!
+//! Both types are `Copy` so they ride inside `TicketOutcome` without breaking its
+//! `Copy` contract, and both are plain data — the serving crates own when and how the
+//! segments are measured.
+
+/// Minted at `submit` when observability is enabled: the request's trace identity and
+/// submission timestamp on the injected clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStart {
+    /// Unique (per-`Obs`) trace ID.
+    pub id: u64,
+    /// Submission time in clock microseconds.
+    pub submitted_us: u64,
+}
+
+/// The per-request span a resolved ticket carries back to the caller: where its
+/// end-to-end latency actually went. Segment semantics:
+///
+/// - `queue_wait_us` — submission to batch close (admission queue residency).
+/// - `batch_wait_us` — batch close to service dispatch (drain, dedup, bookkeeping).
+/// - `cache_probe_us` — the batch's estimate-cache probe (0 when the cache is off).
+/// - `shard_compute_us` — the service's per-shard anchor retrieval + model inference.
+/// - `merge_us` — cross-shard merge of partial results.
+///
+/// Compute and merge segments are batch-level attributions (every request in a batch
+/// shares the batch's service timings); queue wait is exact per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestTrace {
+    /// The trace ID minted at submission.
+    pub trace_id: u64,
+    /// See the type-level docs for segment semantics.
+    pub queue_wait_us: u64,
+    /// See the type-level docs for segment semantics.
+    pub batch_wait_us: u64,
+    /// See the type-level docs for segment semantics.
+    pub cache_probe_us: u64,
+    /// See the type-level docs for segment semantics.
+    pub shard_compute_us: u64,
+    /// See the type-level docs for segment semantics.
+    pub merge_us: u64,
+}
+
+impl RequestTrace {
+    /// Total time accounted to the recorded segments, in microseconds.
+    pub fn accounted_us(&self) -> u64 {
+        self.queue_wait_us
+            + self.batch_wait_us
+            + self.cache_probe_us
+            + self.shard_compute_us
+            + self.merge_us
+    }
+}

@@ -137,6 +137,10 @@ pub(crate) struct Request {
     /// sheds it at batch-pop time and its ticket resolves
     /// [`Expired`](crate::ticket::TicketError::Expired).  `None` = no deadline.
     pub(crate) deadline: Option<Instant>,
+    /// The trace minted at submission when observability is enabled (`None` on the
+    /// zero-overhead disabled path) — carried to the scheduler, which fills in the
+    /// per-segment [`RequestTrace`](crn_obs::RequestTrace) at resolution.
+    pub(crate) trace: Option<crn_obs::TraceStart>,
 }
 
 /// The scheduler-facing queue state (guarded by the runtime's queue mutex).
@@ -192,6 +196,7 @@ impl QueueState {
         class: SloClass,
         query: Query,
         deadline: Option<Instant>,
+        trace: Option<crn_obs::TraceStart>,
         queue_depth: usize,
         per_caller_depth: usize,
         class_share: usize,
@@ -229,6 +234,7 @@ impl QueueState {
             ticket: Arc::clone(&ticket),
             enqueued: Instant::now(),
             deadline,
+            trace,
         });
         Ok(ticket)
     }
@@ -309,6 +315,7 @@ mod tests {
             SloClass::Interactive,
             query(),
             deadline,
+            None,
             queue_depth,
             per_caller_depth,
             queue_depth,
@@ -400,7 +407,7 @@ mod tests {
         for caller in 200..232u64 {
             assert_eq!(
                 state
-                    .admit(caller, SloClass::Batch, query(), None, 64, 64, 0)
+                    .admit(caller, SloClass::Batch, query(), None, None, 64, 64, 0)
                     .map(|_| ())
                     .unwrap_err(),
                 SubmitError::Overloaded {
@@ -418,13 +425,13 @@ mod tests {
         // Batch's share is 2 of depth 8: the third batch submission sheds with
         // ClassShare...
         assert!(state
-            .admit(7, SloClass::Batch, query(), None, 8, 8, 2)
+            .admit(7, SloClass::Batch, query(), None, None, 8, 8, 2)
             .is_ok());
         assert!(state
-            .admit(7, SloClass::Batch, query(), None, 8, 8, 2)
+            .admit(7, SloClass::Batch, query(), None, None, 8, 8, 2)
             .is_ok());
         let rejection = state
-            .admit(7, SloClass::Batch, query(), None, 8, 8, 2)
+            .admit(7, SloClass::Batch, query(), None, None, 8, 8, 2)
             .map(|_| ())
             .unwrap_err();
         assert_eq!(
@@ -439,7 +446,7 @@ mod tests {
         // guarantee in one assertion.
         for caller in 0..6u64 {
             assert!(state
-                .admit(caller, SloClass::Interactive, query(), None, 8, 8, 6)
+                .admit(caller, SloClass::Interactive, query(), None, None, 8, 8, 6)
                 .is_ok());
         }
         assert_eq!(state.total_pending(), 8);
@@ -491,13 +498,13 @@ mod tests {
         let now = Instant::now();
         let passed = Some(now - std::time::Duration::from_millis(1));
         state
-            .admit(1, SloClass::Interactive, query(), passed, 8, 8, 8)
+            .admit(1, SloClass::Interactive, query(), passed, None, 8, 8, 8)
             .expect("admitted");
         state
-            .admit(2, SloClass::Batch, query(), passed, 8, 8, 8)
+            .admit(2, SloClass::Batch, query(), passed, None, 8, 8, 8)
             .expect("admitted");
         state
-            .admit(3, SloClass::Batch, query(), None, 8, 8, 8)
+            .admit(3, SloClass::Batch, query(), None, None, 8, 8, 8)
             .expect("admitted");
         let expired = state.shed_expired(now);
         assert_eq!(
@@ -574,7 +581,7 @@ mod tests {
                             } else {
                                 Some(epoch + std::time::Duration::from_secs(3600))
                             };
-                            let _ = state.admit(caller, class, query(), deadline, 12, 4, 8);
+                            let _ = state.admit(caller, class, query(), deadline, None, 12, 4, 8);
                         }
                         2 => {
                             let _ = state.shed_expired(Instant::now());

@@ -43,6 +43,7 @@ use crate::ticket::{EstimateSource, Ticket, TicketCell, TicketOutcome};
 use crn_core::{query_hash, EstimatorService, ServeResponse, ServeStats};
 use crn_estimators::ContainmentEstimator;
 use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
+use crn_obs::{Counter, Event, Gauge, HistHandle, Obs, RequestTrace, TraceStart};
 use crn_query::ast::Query;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -141,6 +142,12 @@ pub struct RuntimeConfig {
     /// seconds of queueing that would make an optimizer's estimate worthless.  Both
     /// `None` by default, so plain configurations keep the single-deadline behaviour.
     pub class_deadlines: [Option<Duration>; SloClass::COUNT],
+    /// The observability handle ([`crn_obs::Obs`]) the runtime records into: per-class
+    /// latency histograms, per-request spans carried on [`TicketOutcome`], and the
+    /// structured event journal.  The default is [`Obs::disabled`] — the scheduler then
+    /// takes the exact pre-observability code path (no clock reads, no allocations, no
+    /// atomics beyond the existing counters).
+    pub obs: Obs,
 }
 
 impl Default for RuntimeConfig {
@@ -162,6 +169,7 @@ impl Default for RuntimeConfig {
             class_weights: [0; SloClass::COUNT],
             cache_entries: 0,
             class_deadlines: [None; SloClass::COUNT],
+            obs: Obs::disabled(),
         }
     }
 }
@@ -254,6 +262,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Installs the observability handle (see [`RuntimeConfig::obs`]); pass an enabled
+    /// [`Obs`] to turn on metrics, spans and the event journal for this runtime.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// One class's effective default deadline: its own, or the base
     /// [`default_deadline`](RuntimeConfig::default_deadline) when unset (which may
     /// itself be `None` — wait indefinitely).
@@ -289,6 +304,17 @@ enum CloseReason {
     Window,
     /// Shutdown drain: the queue is being emptied without waiting for windows.
     Drain,
+}
+
+impl CloseReason {
+    /// Stable journal/event label.
+    fn label(self) -> &'static str {
+        match self {
+            CloseReason::Size => "size",
+            CloseReason::Window => "window",
+            CloseReason::Drain => "drain",
+        }
+    }
 }
 
 /// Monotonic counters describing a runtime's lifetime (snapshot via
@@ -430,6 +456,62 @@ impl RuntimeStats {
             self.cache_hits as f64 / probes as f64
         }
     }
+
+    /// Every counter, gauge and mode flag of this snapshot as `(name, value)` pairs —
+    /// the **complete** enumeration the end-of-run summary prints from, so no counter
+    /// can silently fall out of reporting.  Booleans render as 0/1; the per-class
+    /// queue gauge expands to one entry per [`SloClass`].  The nested
+    /// [`serve`](RuntimeStats::serve) stats are excluded (they have their own
+    /// [`render`](ServeStats::render)); the field-coverage test enforces that every
+    /// *other* field of this struct appears here, so adding a counter without extending
+    /// this list fails the build's tests.
+    pub fn counter_fields(&self) -> Vec<(&'static str, u64)> {
+        let mut fields = vec![
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("degraded", self.degraded),
+            ("expired", self.expired),
+            ("failed", self.failed),
+            ("rejected_queue_full", self.rejected_queue_full),
+            ("rejected_caller_quota", self.rejected_caller_quota),
+            ("rejected_class_share", self.rejected_class_share),
+            ("batches", self.batches),
+            ("size_closes", self.size_closes),
+            ("window_closes", self.window_closes),
+            ("drain_closes", self.drain_closes),
+            ("max_batch", self.max_batch),
+            ("coalesced", self.coalesced),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_insertions", self.cache_insertions),
+            ("cache_evictions", self.cache_evictions),
+            ("cache_purged", self.cache_purged),
+            ("sync_served", self.sync_served),
+            ("maintenance_applied", self.maintenance_applied),
+            ("maintenance_rejected", self.maintenance_rejected),
+            ("maintenance_failed", self.maintenance_failed),
+            ("observer_failed", self.observer_failed),
+            ("retention_updates", self.retention_updates),
+            ("pool_evictions", self.pool_evictions),
+            ("scheduler_restarts", self.scheduler_restarts),
+            ("maintenance_restarts", self.maintenance_restarts),
+            ("degraded_sync_mode", self.degraded_sync_mode as u64),
+            ("maintenance_down", self.maintenance_down as u64),
+            ("checkpoints_written", self.checkpoints_written),
+            ("checkpoints_failed", self.checkpoints_failed),
+            ("faults_injected", self.faults_injected),
+        ];
+        for class in SloClass::ALL {
+            fields.push((
+                match class {
+                    SloClass::Interactive => "queued_by_class.interactive",
+                    SloClass::Batch => "queued_by_class.batch",
+                },
+                self.queued_by_class[class.index()],
+            ));
+        }
+        fields
+    }
 }
 
 /// Lock-free counter block (the scheduler and submitters bump these without the queue
@@ -463,6 +545,94 @@ struct Counters {
     observer_failed: AtomicU64,
     checkpoints_written: AtomicU64,
     checkpoints_failed: AtomicU64,
+}
+
+/// The runtime's pre-registered observability handles: one registry lookup each at
+/// construction, so the scheduler's hot path never touches the registry mutex.  Every
+/// handle is a no-op when the configured [`Obs`] is disabled; `enabled` is hoisted so
+/// the scheduler can skip whole instrumentation blocks (clock reads, trace vectors)
+/// with a single branch — the disabled path is the exact pre-observability path.
+struct ObsHooks {
+    obs: Obs,
+    enabled: bool,
+    /// End-to-end served latency per [`SloClass`] (submit → resolution, µs).
+    latency_us: [HistHandle; SloClass::COUNT],
+    /// Queue residency per request (submit → batch close, µs).
+    queue_wait_us: HistHandle,
+    /// Closed-batch sizes.
+    batch_size: HistHandle,
+    /// Counter mirrors for the live JSONL export (the authoritative numbers stay in
+    /// [`Counters`]; these exist so an exporter holding only the [`Obs`] sees them).
+    completed: Counter,
+    batches: Counter,
+    coalesced: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    expired: Counter,
+    degraded: Counter,
+    /// Live queue-depth gauge per class, sampled at batch close.
+    queued_gauge: [Gauge; SloClass::COUNT],
+    /// Pool evictions already journaled (delta detection; only touched when enabled).
+    journaled_pool_evictions: AtomicU64,
+}
+
+impl ObsHooks {
+    fn new(obs: Obs) -> Self {
+        let enabled = obs.enabled();
+        ObsHooks {
+            enabled,
+            latency_us: [
+                obs.hist("serve.latency_us.interactive"),
+                obs.hist("serve.latency_us.batch"),
+            ],
+            queue_wait_us: obs.hist("serve.queue_wait_us"),
+            batch_size: obs.hist("serve.batch_size"),
+            completed: obs.counter("serve.completed"),
+            batches: obs.counter("serve.batches"),
+            coalesced: obs.counter("serve.coalesced"),
+            cache_hits: obs.counter("serve.cache_hits"),
+            cache_misses: obs.counter("serve.cache_misses"),
+            expired: obs.counter("serve.expired"),
+            degraded: obs.counter("serve.degraded"),
+            queued_gauge: [
+                obs.gauge("serve.queued.interactive"),
+                obs.gauge("serve.queued.batch"),
+            ],
+            journaled_pool_evictions: AtomicU64::new(0),
+            obs,
+        }
+    }
+
+    /// Records one request's end-to-end latency (submit → resolution, on the obs clock)
+    /// into its class histogram.  No-op for requests admitted before obs was minted a
+    /// trace (never happens in practice — the runtime owns both).
+    fn record_latency(&self, class: SloClass, start: Option<TraceStart>, resolved_us: u64) {
+        if let Some(start) = start {
+            self.latency_us[class.index()].record(resolved_us.saturating_sub(start.submitted_us));
+        }
+    }
+}
+
+/// Builds a resolved request's span from its submission trace and the batch-level
+/// segment timings.  Queue wait is exact per request; the remaining segments are
+/// batch-level attributions (every request in a batch shares its close, probe, compute
+/// and merge phases — that sharing is the point of batching).
+fn finish_trace(
+    start: Option<TraceStart>,
+    queue_wait: Duration,
+    batch_wait_us: u64,
+    cache_probe_us: u64,
+    shard_compute_us: u64,
+    merge_us: u64,
+) -> Option<RequestTrace> {
+    start.map(|start| RequestTrace {
+        trace_id: start.id,
+        queue_wait_us: queue_wait.as_micros() as u64,
+        batch_wait_us,
+        cache_probe_us,
+        shard_compute_us,
+        merge_us,
+    })
 }
 
 /// One queued maintenance record: the query, its observed true cardinality, and — when
@@ -540,6 +710,9 @@ struct Shared<M> {
     degraded_sync: AtomicBool,
     counters: Counters,
     serve_stats: Mutex<ServeStats>,
+    /// Pre-registered observability handles (no-ops when [`RuntimeConfig::obs`] is
+    /// disabled).
+    hooks: ObsHooks,
 }
 
 /// Blocking-retry backoff bounds of [`ServeRuntime::submit_retrying`]: exponential from
@@ -589,9 +762,11 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             class_weights: config.class_weights,
             cache_entries: config.cache_entries,
             class_deadlines: config.class_deadlines,
+            obs: config.obs,
         };
         let supervisor = Arc::new(Supervisor::new(config.restart_policy));
         let cache = (config.cache_entries > 0).then(|| EstimateCache::new(config.cache_entries));
+        let hooks = ObsHooks::new(config.obs.clone());
         let shared = Arc::new(Shared {
             service,
             config,
@@ -620,6 +795,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             degraded_sync: AtomicBool::new(false),
             counters: Counters::default(),
             serve_stats: Mutex::new(ServeStats::default()),
+            hooks,
         });
         let scheduler = {
             let shared = Arc::clone(&shared);
@@ -662,6 +838,13 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
     /// [`with_faults`](ServeRuntime::with_faults)).
     pub fn injector(&self) -> &Arc<FaultInjector> {
         &self.shared.injector
+    }
+
+    /// The runtime's observability handle (the disabled no-op handle unless an enabled
+    /// [`Obs`] was installed via [`RuntimeConfig::with_obs`]) — what exporters and the
+    /// eval driver snapshot metrics and drain journal events from.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.hooks.obs
     }
 
     /// Registers `caller`'s latency [`SloClass`] — its requests queue in that class's
@@ -829,6 +1012,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                     batch_size: 1,
                     batch_seq,
                     queue_wait: Duration::ZERO,
+                    trace: None,
                 });
             }
             SyncResolution::Degraded { estimate } => {
@@ -839,6 +1023,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                     batch_size: 1,
                     batch_seq,
                     queue_wait: Duration::ZERO,
+                    trace: None,
                 });
             }
             SyncResolution::Failed => {
@@ -860,11 +1045,15 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         query: Query,
         deadline: Option<Instant>,
     ) -> Result<Arc<TicketCell>, SubmitError> {
+        // Minted only when observability is enabled — `None` otherwise, with no clock
+        // read, so the disabled admission path is exactly the prior one.
+        let trace = self.shared.hooks.obs.mint_trace();
         let admitted = state.admit(
             caller,
             class,
             query,
             deadline,
+            trace,
             self.shared.config.queue_depth,
             self.shared.config.per_caller_depth,
             self.shared.config.class_share(class),
@@ -1100,8 +1289,17 @@ fn scheduler_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M
             Err(_panic) => {
                 recover_orphaned_batch(shared);
                 match shared.supervisor.on_panic(LANE_SCHEDULER) {
-                    SupervisorVerdict::Restart => continue,
+                    SupervisorVerdict::Restart => {
+                        shared.hooks.obs.record_event(Event::SupervisorRestart {
+                            lane: LANE_SCHEDULER,
+                            restarts: shared.supervisor.restarts(LANE_SCHEDULER),
+                        });
+                        continue;
+                    }
                     SupervisorVerdict::Degrade => {
+                        shared.hooks.obs.record_event(Event::LaneDegraded {
+                            lane: LANE_SCHEDULER,
+                        });
                         degrade_to_sync(shared);
                         return;
                     }
@@ -1214,6 +1412,7 @@ fn resolve_degraded<M: ContainmentEstimator + Send + Sync>(
                 .counters
                 .degraded
                 .fetch_add(tickets.len() as u64, Ordering::Relaxed);
+            shared.hooks.degraded.add(tickets.len() as u64);
             for (index, (ticket, &slot)) in tickets.iter().zip(slots).enumerate() {
                 ticket.complete(TicketOutcome {
                     estimate: estimates[slot],
@@ -1221,6 +1420,7 @@ fn resolve_degraded<M: ContainmentEstimator + Send + Sync>(
                     batch_size,
                     batch_seq,
                     queue_wait: waits.map_or(Duration::ZERO, |waits| waits[index]),
+                    trace: None,
                 });
             }
         }
@@ -1350,6 +1550,13 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // capacity a live request could use.
         let expired = state.shed_expired(Instant::now());
         let batch = state.pop_batch(batch_class, shared.config.batch_max);
+        let hooks = &shared.hooks;
+        if hooks.enabled {
+            // Post-pop queue depth per class: the live gauge the JSONL export samples.
+            for class in SloClass::ALL {
+                hooks.queued_gauge[class.index()].set(state.pending_in(class) as f64);
+            }
+        }
         drop(state);
         // The pop freed queue depth and caller quotas: wake parked blocking submitters.
         shared.queue_space.notify_all();
@@ -1358,6 +1565,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 .counters
                 .expired
                 .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            hooks.expired.add(expired.len() as u64);
             for request in &expired {
                 request.ticket.expire();
             }
@@ -1380,7 +1588,14 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // batch composition (the service's bit-parity contract), so a duplicate's answer
         // is exactly what its own row would have computed.
         let closed_at = Instant::now();
+        // The obs clock reads the close timestamp once per batch; with obs disabled this
+        // branch is the whole cost and `traces` stays an unallocated `Vec::new()`.
+        let close_us = if hooks.enabled { hooks.obs.now_us() } else { 0 };
         let batch_size = batch.len();
+        let mut traces: Vec<Option<TraceStart>> = Vec::new();
+        if hooks.enabled {
+            traces.reserve(batch_size);
+        }
         let mut tickets = Vec::with_capacity(batch_size);
         let mut waits = Vec::with_capacity(batch_size);
         let mut unique: Vec<Query> = Vec::with_capacity(batch_size);
@@ -1407,6 +1622,9 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             slots.push(slot);
             tickets.push(request.ticket);
             waits.push(closed_at.saturating_duration_since(request.enqueued));
+            if hooks.enabled {
+                traces.push(request.trace);
+            }
         }
         let coalesced = batch_size - unique.len();
 
@@ -1424,6 +1642,19 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         counters
             .coalesced
             .fetch_add(coalesced as u64, Ordering::Relaxed);
+        if hooks.enabled {
+            hooks.batches.inc();
+            hooks.coalesced.add(coalesced as u64);
+            hooks.batch_size.record(batch_size as u64);
+            for wait in &waits {
+                hooks.queue_wait_us.record(wait.as_micros() as u64);
+            }
+            hooks.obs.record_event(Event::BatchClosed {
+                reason: reason.label(),
+                size: batch_size,
+                class: batch_class.name(),
+            });
+        }
 
         // Phase 3b — consult the cross-window estimate cache (when enabled): one probe
         // per coalesced unique query, under the versions a serve issued right now would
@@ -1431,6 +1662,11 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // before the in-flight batch parks in the recovery slot — a scheduler death
         // below can then never double-resolve them — and only the misses enter the
         // compute path.
+        let probe_start_us = if hooks.enabled && shared.cache.is_some() {
+            hooks.obs.now_us()
+        } else {
+            0
+        };
         let fates: Option<Vec<SlotFate>> = shared.cache.as_ref().map(|cache| {
             let (pool_version, model_version) = shared.service.serving_versions();
             // Proactive purge on version movement: entries filed under older pairings
@@ -1451,6 +1687,11 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                     .counters
                     .cache_purged
                     .fetch_add(purged as u64, Ordering::Relaxed);
+                if purged > 0 {
+                    shared.hooks.obs.record_event(Event::CachePurge {
+                        purged: purged as u64,
+                    });
+                }
             }
             let mut misses = 0usize;
             unique
@@ -1481,55 +1722,96 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             counters
                 .cache_misses
                 .fetch_add((unique.len() - hit_uniques) as u64, Ordering::Relaxed);
-        }
-        let (miss_tickets, miss_slots, miss_unique, miss_hashes, miss_waits) = match &fates {
-            Some(fates) if hit_uniques > 0 => {
-                let miss_count = unique.len() - hit_uniques;
-                let mut miss_unique = Vec::with_capacity(miss_count);
-                let mut miss_hashes = Vec::with_capacity(miss_count);
-                for (slot, query) in unique.iter().enumerate() {
-                    if matches!(fates[slot], SlotFate::Miss(_)) {
-                        miss_unique.push(query.clone());
-                        miss_hashes.push(unique_hashes[slot]);
-                    }
-                }
-                let mut miss_tickets = Vec::new();
-                let mut miss_slots = Vec::new();
-                let mut miss_waits = Vec::new();
-                let mut replayed = 0u64;
-                for ((ticket, &slot), &queue_wait) in tickets.iter().zip(&slots).zip(&waits) {
-                    match fates[slot] {
-                        SlotFate::Hit(estimate) => {
-                            ticket.complete(TicketOutcome {
-                                estimate,
-                                source: EstimateSource::Cached,
-                                batch_size,
-                                batch_seq,
-                                queue_wait,
-                            });
-                            replayed += 1;
-                        }
-                        SlotFate::Miss(miss_slot) => {
-                            miss_tickets.push(Arc::clone(ticket));
-                            miss_slots.push(miss_slot);
-                            miss_waits.push(queue_wait);
-                        }
-                    }
-                }
-                counters.completed.fetch_add(replayed, Ordering::Relaxed);
-                (
-                    miss_tickets,
-                    miss_slots,
-                    miss_unique,
-                    miss_hashes,
-                    miss_waits,
-                )
+            if hooks.enabled {
+                hooks.cache_hits.add(hit_uniques as u64);
+                hooks.cache_misses.add((unique.len() - hit_uniques) as u64);
             }
-            // Cache disabled or every probe missed: the whole batch enters the compute
-            // path unchanged (with the cache disabled this is exactly the pre-cache
-            // path — no clones, no extra work).
-            _ => (tickets, slots, unique, unique_hashes, waits),
+        }
+        // A cache probe ran iff `fates` is Some; the segment is charged to every request
+        // in the batch (hit or miss — misses paid the probe before computing).
+        let cache_probe_us = if hooks.enabled && fates.is_some() {
+            hooks.obs.now_us().saturating_sub(probe_start_us)
+        } else {
+            0
         };
+        let (miss_tickets, miss_slots, miss_unique, miss_hashes, miss_waits, miss_traces) =
+            match &fates {
+                Some(fates) if hit_uniques > 0 => {
+                    let miss_count = unique.len() - hit_uniques;
+                    let mut miss_unique = Vec::with_capacity(miss_count);
+                    let mut miss_hashes = Vec::with_capacity(miss_count);
+                    for (slot, query) in unique.iter().enumerate() {
+                        if matches!(fates[slot], SlotFate::Miss(_)) {
+                            miss_unique.push(query.clone());
+                            miss_hashes.push(unique_hashes[slot]);
+                        }
+                    }
+                    let mut miss_tickets = Vec::new();
+                    let mut miss_slots = Vec::new();
+                    let mut miss_waits = Vec::new();
+                    let mut miss_traces = Vec::new();
+                    let mut replayed = 0u64;
+                    // One clock read covers every hit resolved in this pass.
+                    let hit_resolved_us = if hooks.enabled { hooks.obs.now_us() } else { 0 };
+                    for (index, ((ticket, &slot), &queue_wait)) in
+                        tickets.iter().zip(&slots).zip(&waits).enumerate()
+                    {
+                        match fates[slot] {
+                            SlotFate::Hit(estimate) => {
+                                let trace = if hooks.enabled {
+                                    hooks.record_latency(
+                                        batch_class,
+                                        traces[index],
+                                        hit_resolved_us,
+                                    );
+                                    // A hit's span ends at the probe: zero compute, zero merge.
+                                    finish_trace(
+                                        traces[index],
+                                        queue_wait,
+                                        probe_start_us.saturating_sub(close_us),
+                                        cache_probe_us,
+                                        0,
+                                        0,
+                                    )
+                                } else {
+                                    None
+                                };
+                                ticket.complete(TicketOutcome {
+                                    estimate,
+                                    source: EstimateSource::Cached,
+                                    batch_size,
+                                    batch_seq,
+                                    queue_wait,
+                                    trace,
+                                });
+                                replayed += 1;
+                            }
+                            SlotFate::Miss(miss_slot) => {
+                                miss_tickets.push(Arc::clone(ticket));
+                                miss_slots.push(miss_slot);
+                                miss_waits.push(queue_wait);
+                                if hooks.enabled {
+                                    miss_traces.push(traces[index]);
+                                }
+                            }
+                        }
+                    }
+                    counters.completed.fetch_add(replayed, Ordering::Relaxed);
+                    hooks.completed.add(replayed);
+                    (
+                        miss_tickets,
+                        miss_slots,
+                        miss_unique,
+                        miss_hashes,
+                        miss_waits,
+                        miss_traces,
+                    )
+                }
+                // Cache disabled or every probe missed: the whole batch enters the compute
+                // path unchanged (with the cache disabled this is exactly the pre-cache
+                // path — no clones, no extra work).
+                _ => (tickets, slots, unique, unique_hashes, waits, traces),
+            };
         if miss_unique.is_empty() {
             // The cache resolved the entire batch: nothing to serve, nothing in flight
             // to recover.  Retire the batch and continue.
@@ -1558,6 +1840,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         // Contain them: a panicked batch must neither strand its waiters (they resolve
         // through the degraded path below) nor kill the scheduler (later batches still
         // serve).
+        let serve_start_us = if hooks.enabled { hooks.obs.now_us() } else { 0 };
         let response = catch_unwind(AssertUnwindSafe(|| {
             shared.injector.fire(FaultSite::BatchExecute);
             shared.service.serve(&miss_unique)
@@ -1571,6 +1854,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 counters
                     .completed
                     .fetch_add(miss_tickets.len() as u64, Ordering::Relaxed);
+                hooks.completed.add(miss_tickets.len() as u64);
                 lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
                 // File the computed rows into the cache under the version pairing the
                 // response itself reports — exactly what each estimate was computed
@@ -1600,15 +1884,45 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                         .cache_evictions
                         .fetch_add(evictions, Ordering::Relaxed);
                 }
-                for ((ticket, &slot), queue_wait) in
-                    miss_tickets.iter().zip(&miss_slots).zip(miss_waits)
+                // Span segments for every computed request in this batch: batch-wait is
+                // the close→probe gap plus nothing (probe time is its own segment), and
+                // compute/merge come from the service's own phase stats.
+                let (resolved_us, batch_wait_us, shard_compute_us, merge_us) = if hooks.enabled {
+                    (
+                        hooks.obs.now_us(),
+                        serve_start_us.saturating_sub(close_us.saturating_add(cache_probe_us)),
+                        response.stats.compute_time.as_micros() as u64,
+                        response.stats.merge_time.as_micros() as u64,
+                    )
+                } else {
+                    (0, 0, 0, 0)
+                };
+                for (index, ((ticket, &slot), queue_wait)) in miss_tickets
+                    .iter()
+                    .zip(&miss_slots)
+                    .zip(miss_waits)
+                    .enumerate()
                 {
+                    let trace = if hooks.enabled {
+                        hooks.record_latency(batch_class, miss_traces[index], resolved_us);
+                        finish_trace(
+                            miss_traces[index],
+                            queue_wait,
+                            batch_wait_us,
+                            cache_probe_us,
+                            shard_compute_us,
+                            merge_us,
+                        )
+                    } else {
+                        None
+                    };
                     ticket.complete(TicketOutcome {
                         estimate: response.estimates[slot],
                         source: EstimateSource::Computed,
                         batch_size,
                         batch_seq,
                         queue_wait,
+                        trace,
                     });
                 }
             }
@@ -1649,8 +1963,17 @@ fn maintenance_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared
             Err(_panic) => {
                 recover_maintenance(shared);
                 match shared.supervisor.on_panic(LANE_MAINTENANCE) {
-                    SupervisorVerdict::Restart => continue,
+                    SupervisorVerdict::Restart => {
+                        shared.hooks.obs.record_event(Event::SupervisorRestart {
+                            lane: LANE_MAINTENANCE,
+                            restarts: shared.supervisor.restarts(LANE_MAINTENANCE),
+                        });
+                        continue;
+                    }
                     SupervisorVerdict::Degrade => {
+                        shared.hooks.obs.record_event(Event::LaneDegraded {
+                            lane: LANE_MAINTENANCE,
+                        });
                         degrade_maintenance(shared);
                         return;
                     }
@@ -1710,10 +2033,15 @@ fn run_checkpoint<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     }
     match catch_unwind(AssertUnwindSafe(|| writer.write_checkpoint())) {
         Ok(Ok(())) => {
-            shared
+            let written = shared
                 .counters
                 .checkpoints_written
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            shared
+                .hooks
+                .obs
+                .record_event(Event::CheckpointCommit { written });
         }
         Ok(Err(_)) | Err(_) => {
             shared
@@ -1797,6 +2125,21 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                             .observer_failed
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                }
+            }
+            // Journal pool evictions as a delta against the pool's own counter: the
+            // maintenance lane is the only serving-side writer, so this races with at
+            // most the refresh worker's compactions — the swap keeps the delta exact.
+            if shared.hooks.enabled {
+                let evictions = shared.service.pool().evictions();
+                let seen = shared
+                    .hooks
+                    .journaled_pool_evictions
+                    .swap(evictions, Ordering::Relaxed);
+                if evictions > seen {
+                    shared.hooks.obs.record_event(Event::PoolEviction {
+                        evicted: evictions - seen,
+                    });
                 }
             }
             // Checkpoint cadence: every `checkpoint_every` applied records, persist

@@ -56,6 +56,11 @@ pub struct TicketOutcome {
     pub batch_seq: u64,
     /// How long the request waited in the submission queue before its batch closed.
     pub queue_wait: Duration,
+    /// The request's per-segment span (queue-wait / batch-wait / cache-probe /
+    /// shard-compute / merge, in clock microseconds), recorded only when the runtime's
+    /// observability layer is enabled — `None` on the zero-overhead disabled path and
+    /// on degraded resolutions.
+    pub trace: Option<crn_obs::RequestTrace>,
 }
 
 impl TicketOutcome {
@@ -239,6 +244,7 @@ mod tests {
             batch_size: 3,
             batch_seq: 7,
             queue_wait: Duration::from_micros(120),
+            trace: None,
         };
         let completer = {
             let cell = Arc::clone(&cell);
@@ -285,6 +291,7 @@ mod tests {
             batch_size: 4,
             batch_seq: 0,
             queue_wait: Duration::ZERO,
+            trace: None,
         });
         let outcome = ticket.wait().expect("resolved");
         assert!(!outcome.is_computed());
@@ -301,6 +308,7 @@ mod tests {
             batch_size: 2,
             batch_seq: 5,
             queue_wait: Duration::from_micros(40),
+            trace: None,
         });
         let outcome = ticket.wait().expect("resolved");
         // A cache replay is bit-identical to recomputation: callers routing on
