@@ -44,7 +44,11 @@ fn workload(ctx: &crn_eval::ExperimentContext, count: usize) -> Vec<Query> {
 
 /// One closed-loop pass: `callers` threads interleave the workload round-robin, each
 /// waiting for every outcome before its next submission (retrying when admission sheds).
-fn run_closed_loop(runtime: &ServeRuntime<crn_core::CrnModel>, queries: &[Query], callers: usize) {
+fn run_closed_loop(
+    runtime: &ServeRuntime<crn_core::EstimatorService<crn_core::CrnModel>>,
+    queries: &[Query],
+    callers: usize,
+) {
     std::thread::scope(|scope| {
         for caller in 0..callers {
             scope.spawn(move || {

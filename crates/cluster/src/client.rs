@@ -1,0 +1,769 @@
+//! The coordinator-side cluster client: a [`ComputeBackend`] that scatters batches to
+//! shard-owning worker processes and gathers their entry lists back into estimates.
+//!
+//! # Bit-parity by construction
+//!
+//! The client never re-implements serving math.  It keeps the authoritative pool
+//! mirror in the same [`ShardedPool`] the single-process service uses, plans batches
+//! with the same [`plan_groups`], and folds gathered lists with the same
+//! [`fold_entry_lists`].  Workers return raw per-shard ε-filtered entry-estimate
+//! lists; the client concatenates them **in canonical (ascending global) shard
+//! order** — exactly the order the single-process `serve_entry_lists` concatenates
+//! its work items — so every non-degraded estimate is bit-identical to single-process
+//! serving.  The loopback parity tests pin this at workers {1,2,4} × shards {1,4,8}.
+//!
+//! # Never hung, never silently wrong
+//!
+//! Every socket carries a read/write timeout.  A worker that dies, stalls past its
+//! timeout, or answers the wrong model version is treated as **lost**: its queries in
+//! the current batch degrade to the coordinator-local fallback path, are reported in
+//! [`ServeResponse::degraded`] (the runtime tags those tickets
+//! `EstimateSource::Degraded` and keeps them out of the estimate cache), counted in
+//! [`ClusterStats`], and journaled as [`Event::WorkerLost`].  Lost workers are
+//! re-dialled with bounded backoff (reusing the serve tier's
+//! [`RETRY_BACKOFF_FLOOR`]/[`RETRY_BACKOFF_CEIL`] envelope) and re-shipped their full
+//! assignment on reconnect.
+//!
+//! # Canary rollout
+//!
+//! [`roll_out`](ClusterClient::roll_out) stages a candidate model on one canary
+//! worker, mirrors held-out probe traffic through the live model *and* the candidate
+//! on that worker's own anchors, and applies the refresh tier's gate rule
+//! ([`crn_online::gate_accepts`]).  Only an accepted candidate is staged + swapped
+//! fleet-wide under a new version.  Rollout and serving share one lock, and every
+//! [`EvalRequest`](crate::wire::EvalRequest) carries the version it must be served
+//! under (workers refuse mismatches), so a batch can never blend model generations.
+
+use crate::wire::{
+    read_message, write_message, Assignment, EvalRequest, Message, ProbeRequest, ShardPayload,
+    StageModel, SwapModel, UpsertRequest, WireError,
+};
+use crn_core::{
+    fold_entry_lists, plan_groups, Cnt2CrdConfig, CrnModel, QueriesPool, ServeResponse, ServeStats,
+    ShardedPool,
+};
+use crn_estimators::CardinalityEstimator;
+use crn_obs::{Event, Obs};
+use crn_query::ast::Query;
+use crn_serve::{
+    ComputeBackend, FaultInjector, FaultSite, RETRY_BACKOFF_CEIL, RETRY_BACKOFF_FLOOR,
+};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Coordinator-side knobs (serving math comes from [`Cnt2CrdConfig`], which is shared
+/// with the workers via the assignment).
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// The serving configuration shipped to every worker and used by the local fold.
+    pub config: Cnt2CrdConfig,
+    /// Per-socket read/write timeout; a worker slower than this on one reply is
+    /// treated as lost for the batch.
+    pub worker_timeout: Duration,
+    /// Canary gate margin (the refresh tier's rule: candidate must beat live by this
+    /// relative margin on probe median q-error).
+    pub gate_margin: f64,
+    /// Batches between reconnect attempts to a lost worker.
+    pub reconnect_every: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            config: Cnt2CrdConfig::default(),
+            worker_timeout: Duration::from_secs(2),
+            gate_margin: 0.0,
+            reconnect_every: 4,
+        }
+    }
+}
+
+/// A point-in-time read of the cluster's health counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Workers in the fleet.
+    pub workers: usize,
+    /// Workers currently connected.
+    pub workers_up: usize,
+    /// Batches scattered so far.
+    pub batches: u64,
+    /// Queries answered by the degraded (coordinator-local fallback) path.
+    pub degraded_queries: u64,
+    /// Times a worker was declared lost (dead socket, timeout, wrong version).
+    pub worker_losses: u64,
+    /// Successful reconnect + re-ship cycles.
+    pub reconnects: u64,
+    /// Canary decisions that promoted the candidate fleet-wide.
+    pub canary_promoted: u64,
+    /// Canary decisions that rejected the candidate.
+    pub canary_rejected: u64,
+    /// Feedback upserts forwarded to shard owners.
+    pub upserts_forwarded: u64,
+}
+
+/// A canary rollout's verdict (medians are the canary worker's probe q-errors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RolloutOutcome {
+    /// The candidate beat the gate and now serves fleet-wide under `version`.
+    Promoted {
+        /// The new fleet model version.
+        version: u64,
+        /// Live model's probe median at decision time.
+        live_median: f64,
+        /// Candidate's probe median at decision time.
+        candidate_median: f64,
+    },
+    /// The candidate failed the gate; the fleet still serves the prior version.
+    Rejected {
+        /// Live model's probe median at decision time.
+        live_median: f64,
+        /// Candidate's probe median at decision time.
+        candidate_median: f64,
+    },
+}
+
+/// One worker connection.  `stream: None` means lost — awaiting reconnect cadence.
+struct WorkerLink {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    batches_since_attempt: u64,
+}
+
+struct Counters {
+    batches: AtomicU64,
+    degraded_queries: AtomicU64,
+    worker_losses: AtomicU64,
+    reconnects: AtomicU64,
+    canary_promoted: AtomicU64,
+    canary_rejected: AtomicU64,
+    upserts_forwarded: AtomicU64,
+}
+
+/// The coordinator-side scatter/gather backend.  See the module docs for the three
+/// contracts (parity, liveness, canary).
+pub struct ClusterClient {
+    mirror: ShardedPool,
+    options: ClusterOptions,
+    fallback: Option<Box<dyn CardinalityEstimator + Send + Sync>>,
+    links: Mutex<Vec<WorkerLink>>,
+    /// Fleet model version (workers refuse batches under any other).
+    model_version: AtomicU64,
+    /// The live model, kept for re-shipping assignments to reconnecting workers.
+    live_model: Mutex<CrnModel>,
+    counters: Counters,
+    faults: Arc<FaultInjector>,
+    obs: Obs,
+    name: String,
+}
+
+fn lock_links(links: &Mutex<Vec<WorkerLink>>) -> MutexGuard<'_, Vec<WorkerLink>> {
+    links
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ClusterClient {
+    /// Connects to `addrs` (one worker process each), shards `pool` into
+    /// `total_shards` canonical shards, and ships every worker its assignment (shard
+    /// `s` is owned by worker `s % addrs.len()`).  Fails if any worker is unreachable
+    /// at startup — a fleet that begins degraded is a deployment error, not a runtime
+    /// condition.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        model: CrnModel,
+        pool: &QueriesPool,
+        total_shards: usize,
+        options: ClusterOptions,
+    ) -> Result<Self, WireError> {
+        assert!(!addrs.is_empty(), "cluster needs at least one worker");
+        let total_shards = total_shards.max(1);
+        let mirror = ShardedPool::from_pool(pool, total_shards);
+        let client = Self {
+            mirror,
+            name: format!("crn-cluster({} workers)", addrs.len()),
+            options,
+            fallback: None,
+            links: Mutex::new(
+                addrs
+                    .iter()
+                    .map(|addr| WorkerLink {
+                        addr: *addr,
+                        stream: None,
+                        batches_since_attempt: 0,
+                    })
+                    .collect(),
+            ),
+            model_version: AtomicU64::new(1),
+            live_model: Mutex::new(model),
+            counters: Counters {
+                batches: AtomicU64::new(0),
+                degraded_queries: AtomicU64::new(0),
+                worker_losses: AtomicU64::new(0),
+                reconnects: AtomicU64::new(0),
+                canary_promoted: AtomicU64::new(0),
+                canary_rejected: AtomicU64::new(0),
+                upserts_forwarded: AtomicU64::new(0),
+            },
+            faults: FaultInjector::none(),
+            obs: Obs::disabled(),
+        };
+        {
+            let mut links = lock_links(&client.links);
+            let workers = links.len();
+            for worker_id in 0..workers {
+                let stream = client.dial(links[worker_id].addr)?;
+                links[worker_id].stream = Some(stream);
+                client.ship_assignment(&mut links[worker_id], worker_id, workers)?;
+            }
+        }
+        Ok(client)
+    }
+
+    /// Replaces the degraded-path estimator (default: the flat
+    /// `config.default_estimate`).
+    pub fn with_fallback(mut self, fallback: Box<dyn CardinalityEstimator + Send + Sync>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Attaches an observability handle (per-worker RTT/in-flight gauges,
+    /// scatter/gather timing histograms, worker-loss + canary journal events).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches a fault injector (the chaos tests script
+    /// [`FaultSite::ClusterFrameDrop`] through it).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The cluster health counters.
+    pub fn stats(&self) -> ClusterStats {
+        let links = lock_links(&self.links);
+        ClusterStats {
+            workers: links.len(),
+            workers_up: links.iter().filter(|link| link.stream.is_some()).count(),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            degraded_queries: self.counters.degraded_queries.load(Ordering::Relaxed),
+            worker_losses: self.counters.worker_losses.load(Ordering::Relaxed),
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+            canary_promoted: self.counters.canary_promoted.load(Ordering::Relaxed),
+            canary_rejected: self.counters.canary_rejected.load(Ordering::Relaxed),
+            upserts_forwarded: self.counters.upserts_forwarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fleet model version (what batches are currently served under).
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::Acquire)
+    }
+
+    fn dial(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.options.worker_timeout))
+            .ok();
+        stream
+            .set_write_timeout(Some(self.options.worker_timeout))
+            .ok();
+        Ok(stream)
+    }
+
+    /// Ships `worker_id`'s full assignment (owned shards + live model + version) over
+    /// its connected link and waits for the ack.
+    fn ship_assignment(
+        &self,
+        link: &mut WorkerLink,
+        worker_id: usize,
+        workers: usize,
+    ) -> Result<(), WireError> {
+        let snapshot = self.mirror.snapshot();
+        let shards = (0..snapshot.num_shards())
+            .filter(|shard| shard % workers == worker_id)
+            .map(|shard| ShardPayload {
+                index: shard,
+                version: snapshot.shard_version(shard),
+                pool: snapshot.shard_pool(shard),
+            })
+            .collect();
+        let assignment = Message::Assign(Assignment {
+            worker_id,
+            total_shards: snapshot.num_shards(),
+            model_version: self.model_version.load(Ordering::Acquire),
+            config: self.options.config,
+            model: lock_ignoring_poison_model(&self.live_model).clone(),
+            shards,
+        });
+        let stream = link.stream.as_mut().expect("ship over connected link");
+        write_message(stream, &assignment)?;
+        match read_message(stream)? {
+            Message::AssignAck(_) => Ok(()),
+            Message::Error(error) => Err(WireError::BadPayload(error.reason)),
+            other => Err(WireError::BadPayload(format!(
+                "unexpected {} to assignment",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Declares `worker_id` lost: drops the socket, bumps the loss counters, journals
+    /// the event.  Its shards degrade until the reconnect cadence restores it.
+    fn declare_lost(&self, links: &mut [WorkerLink], worker_id: usize) {
+        if links[worker_id].stream.take().is_some() {
+            links[worker_id].batches_since_attempt = 0;
+            self.counters.worker_losses.fetch_add(1, Ordering::Relaxed);
+            self.obs
+                .record_event(Event::WorkerLost { worker: worker_id });
+        }
+    }
+
+    /// Reconnect cadence, run at the top of every batch: each lost worker is
+    /// re-dialled every `reconnect_every` batches with the serve tier's bounded
+    /// backoff envelope between dial attempts — the cost is bounded per batch, so a
+    /// permanently dead worker can only degrade its own shards, never stall serving.
+    fn reconnect_due(&self, links: &mut [WorkerLink]) {
+        let workers = links.len();
+        for (worker_id, link) in links.iter_mut().enumerate() {
+            if link.stream.is_some() {
+                continue;
+            }
+            link.batches_since_attempt += 1;
+            if link.batches_since_attempt < self.options.reconnect_every.max(1) {
+                continue;
+            }
+            link.batches_since_attempt = 0;
+            let mut backoff = RETRY_BACKOFF_FLOOR;
+            for attempt in 0..3 {
+                if attempt > 0 {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(RETRY_BACKOFF_CEIL);
+                }
+                let Ok(stream) = self.dial(link.addr) else {
+                    continue;
+                };
+                link.stream = Some(stream);
+                match self.ship_assignment(link, worker_id, workers) {
+                    Ok(()) => {
+                        self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(_) => {
+                        link.stream = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scripted mid-frame connection drop ([`FaultSite::ClusterFrameDrop`]): write
+    /// a deliberately truncated frame, then kill the socket — the worker sees a
+    /// mid-frame EOF, the coordinator a dead link.  Entirely occurrence-counted; no
+    /// wall clock involved.
+    fn inject_frame_drop(&self, link: &mut WorkerLink) {
+        if let Some(stream) = link.stream.as_mut() {
+            let _ = stream.write_all(&[0xFF, 0xFF]);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Scatters `queries` to shard owners, gathers entry lists in canonical shard
+    /// order, folds locally.  See module docs for the degradation contract.
+    fn serve_locked(&self, links: &mut [WorkerLink], queries: &[Query]) -> ServeResponse {
+        let start = Instant::now();
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.reconnect_due(links);
+
+        let snapshot = self.mirror.snapshot();
+        let model_version = self.model_version.load(Ordering::Acquire);
+        let workers = links.len();
+        let mut stats = ServeStats {
+            queries: queries.len(),
+            shards: snapshot.num_shards(),
+            pool_entries: snapshot.len(),
+            model_version,
+            ..ServeStats::default()
+        };
+
+        let group_start = Instant::now();
+        let groups = plan_groups(queries);
+        stats.groups = groups.len();
+        // Which query indices each worker must evaluate: a group goes to every worker
+        // owning at least one shard with anchors matching its FROM key (the same
+        // non-empty-shard test the single-process planner uses for its work items).
+        let mut sent: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (key, indices) in &groups {
+            let mut dest = vec![false; workers];
+            for shard in 0..snapshot.num_shards() {
+                if snapshot.shard(shard).matching_key(key).next().is_some() {
+                    stats.work_items += 1;
+                    dest[shard % workers] = true;
+                }
+            }
+            for (worker_id, wanted) in dest.into_iter().enumerate() {
+                if wanted {
+                    sent[worker_id].extend(indices.iter().copied());
+                }
+            }
+        }
+        stats.group_time = group_start.elapsed();
+
+        // Scatter.
+        let scatter_start = Instant::now();
+        let mut in_flight: Vec<bool> = vec![false; workers];
+        let mut degraded: Vec<bool> = vec![false; queries.len()];
+        for worker_id in 0..workers {
+            if sent[worker_id].is_empty() {
+                continue;
+            }
+            if links[worker_id].stream.is_some()
+                && self.faults.should_fire(FaultSite::ClusterFrameDrop)
+            {
+                self.inject_frame_drop(&mut links[worker_id]);
+                self.declare_lost(links, worker_id);
+            }
+            let Some(stream) = links[worker_id].stream.as_mut() else {
+                for &query in &sent[worker_id] {
+                    degraded[query] = true;
+                }
+                continue;
+            };
+            let request = Message::Eval(EvalRequest {
+                model_version,
+                queries: sent[worker_id]
+                    .iter()
+                    .map(|&index| queries[index].clone())
+                    .collect(),
+            });
+            self.gauge_in_flight(worker_id, 1.0);
+            if write_message(stream, &request).is_err() {
+                self.gauge_in_flight(worker_id, 0.0);
+                self.declare_lost(links, worker_id);
+                for &query in &sent[worker_id] {
+                    degraded[query] = true;
+                }
+            } else {
+                in_flight[worker_id] = true;
+            }
+        }
+        self.obs
+            .hist("cluster.scatter_us")
+            .record(scatter_start.elapsed().as_micros() as u64);
+
+        // Gather: per-shard lists keyed by global shard, then concatenated ascending.
+        let gather_start = Instant::now();
+        let mut per_shard: Vec<Option<Vec<Vec<f64>>>> = vec![None; snapshot.num_shards()];
+        for worker_id in 0..workers {
+            if !in_flight[worker_id] {
+                continue;
+            }
+            let rtt_start = Instant::now();
+            let reply = {
+                let stream = links[worker_id].stream.as_mut().expect("in-flight link");
+                read_message(stream)
+            };
+            self.gauge_in_flight(worker_id, 0.0);
+            let response = match reply {
+                Ok(Message::EvalResult(response)) if response.model_version == model_version => {
+                    self.obs
+                        .gauge(&format!("cluster.worker.{worker_id}.rtt_us"))
+                        .set(rtt_start.elapsed().as_micros() as f64);
+                    response
+                }
+                // Wrong version, an Error reply, a timeout, or a dead socket: the
+                // worker cannot serve THIS batch — degrade its slice loudly.
+                _ => {
+                    self.declare_lost(links, worker_id);
+                    for &query in &sent[worker_id] {
+                        degraded[query] = true;
+                    }
+                    continue;
+                }
+            };
+            for lists in response.shards {
+                if lists.index < per_shard.len() && lists.lists.len() == sent[worker_id].len() {
+                    per_shard[lists.index] = Some(lists.lists);
+                }
+            }
+        }
+
+        let mut per_query: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        for (shard, lists) in per_shard.into_iter().enumerate() {
+            let Some(lists) = lists else { continue };
+            let owner = shard % workers;
+            for (position, &query) in sent[owner].iter().enumerate() {
+                per_query[query].extend(lists[position].iter().copied());
+            }
+        }
+        stats.compute_time = gather_start.elapsed();
+        self.obs
+            .hist("cluster.gather_us")
+            .record(gather_start.elapsed().as_micros() as u64);
+
+        // A degraded query may still have partial lists from surviving workers; a
+        // partial fold would be silently wrong, so the whole query drops to the
+        // fallback path (the shared fold's own fallback arm answers it).
+        let merge_start = Instant::now();
+        let mut degraded_indices = Vec::new();
+        for (index, flag) in degraded.iter().enumerate() {
+            if *flag {
+                per_query[index].clear();
+                degraded_indices.push(index);
+            }
+        }
+        self.counters
+            .degraded_queries
+            .fetch_add(degraded_indices.len() as u64, Ordering::Relaxed);
+        let estimates = fold_entry_lists(
+            &self.options.config,
+            self.fallback.as_deref(),
+            &per_query,
+            queries,
+            &mut stats,
+        );
+        stats.merge_time = merge_start.elapsed();
+        stats.total_time = start.elapsed();
+
+        ServeResponse {
+            estimates,
+            stats,
+            pool_version: snapshot.version(),
+            degraded: degraded_indices,
+        }
+    }
+
+    fn gauge_in_flight(&self, worker_id: usize, value: f64) {
+        if self.obs.enabled() {
+            self.obs
+                .gauge(&format!("cluster.worker.{worker_id}.in_flight"))
+                .set(value);
+        }
+    }
+
+    /// Stages `candidate` on a canary worker, mirrors `probe` traffic through live and
+    /// candidate there, and — only if the refresh tier's gate accepts — stages + swaps
+    /// it fleet-wide under a fresh version.  Holds the serve lock throughout, so no
+    /// batch can interleave with a half-rolled-out fleet.
+    pub fn roll_out(
+        &self,
+        candidate: CrnModel,
+        probe_queries: &[Query],
+        probe_truths: &[u64],
+    ) -> Result<RolloutOutcome, WireError> {
+        let mut links = lock_links(&self.links);
+        let workers = links.len();
+        let next_version = self.model_version.load(Ordering::Acquire) + 1;
+        let canary = (0..workers)
+            .find(|&worker| links[worker].stream.is_some())
+            .ok_or_else(|| WireError::BadPayload("no live worker to canary a rollout on".into()))?;
+
+        let exchange = |links: &mut [WorkerLink], worker: usize, message: &Message| {
+            let stream = links[worker].stream.as_mut().expect("live link");
+            write_message(stream, message).and_then(|()| read_message(stream))
+        };
+
+        // Stage on the canary and mirror the probe set through both models.
+        exchange(
+            &mut links,
+            canary,
+            &Message::Stage(StageModel {
+                version: next_version,
+                model: candidate.clone(),
+            }),
+        )?;
+        let probe = exchange(
+            &mut links,
+            canary,
+            &Message::Probe(ProbeRequest {
+                queries: probe_queries.to_vec(),
+                truths: probe_truths.to_vec(),
+            }),
+        )?;
+        let Message::ProbeResult(probe) = probe else {
+            return Err(WireError::BadPayload(format!(
+                "unexpected {} to canary probe",
+                probe.kind()
+            )));
+        };
+
+        if !crn_online::gate_accepts(
+            probe.live_median,
+            probe.candidate_median,
+            self.options.gate_margin,
+        ) {
+            let _ = exchange(&mut links, canary, &Message::Discard);
+            self.counters
+                .canary_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            self.obs.record_event(Event::CanaryDecision {
+                decision: "rejected",
+                live_median: probe.live_median,
+                candidate_median: probe.candidate_median,
+            });
+            return Ok(RolloutOutcome::Rejected {
+                live_median: probe.live_median,
+                candidate_median: probe.candidate_median,
+            });
+        }
+
+        // Accepted: stage on the rest of the fleet, then swap everywhere.  The live
+        // model/version flip first, so a worker lost mid-rollout is re-shipped the NEW
+        // assignment on reconnect; until then its stale version makes every Eval fail
+        // loudly (degraded), never blend.
+        *lock_ignoring_poison_model(&self.live_model) = candidate.clone();
+        self.model_version.store(next_version, Ordering::Release);
+        for worker in 0..workers {
+            if worker != canary && links[worker].stream.is_some() {
+                let staged = exchange(
+                    &mut links,
+                    worker,
+                    &Message::Stage(StageModel {
+                        version: next_version,
+                        model: candidate.clone(),
+                    }),
+                );
+                if !matches!(staged, Ok(Message::StageAck)) {
+                    self.declare_lost(&mut links, worker);
+                }
+            }
+        }
+        for worker in 0..workers {
+            if links[worker].stream.is_some() {
+                let swapped = exchange(
+                    &mut links,
+                    worker,
+                    &Message::Swap(SwapModel {
+                        version: next_version,
+                    }),
+                );
+                if !matches!(swapped, Ok(Message::SwapAck)) {
+                    self.declare_lost(&mut links, worker);
+                }
+            }
+        }
+        self.counters
+            .canary_promoted
+            .fetch_add(1, Ordering::Relaxed);
+        self.obs.record_event(Event::CanaryDecision {
+            decision: "promoted",
+            live_median: probe.live_median,
+            candidate_median: probe.candidate_median,
+        });
+        Ok(RolloutOutcome::Promoted {
+            version: next_version,
+            live_median: probe.live_median,
+            candidate_median: probe.candidate_median,
+        })
+    }
+
+    /// Sends every connected worker a shutdown frame (the eval demo's clean teardown;
+    /// lost workers are simply left to their own exit).
+    pub fn shutdown_workers(&self) {
+        let mut links = lock_links(&self.links);
+        for link in links.iter_mut() {
+            if let Some(stream) = link.stream.as_mut() {
+                let _ = write_message(stream, &Message::Shutdown);
+            }
+            link.stream = None;
+        }
+    }
+}
+
+fn lock_ignoring_poison_model(model: &Mutex<CrnModel>) -> MutexGuard<'_, CrnModel> {
+    model
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ComputeBackend for ClusterClient {
+    fn serve(&self, queries: &[Query]) -> ServeResponse {
+        let mut links = lock_links(&self.links);
+        self.serve_locked(&mut links, queries)
+    }
+
+    fn fallback_estimate(&self, query: &Query) -> f64 {
+        match &self.fallback {
+            Some(fallback) => fallback.estimate(query),
+            None => self.options.config.default_estimate,
+        }
+    }
+
+    fn serving_versions(&self) -> (u64, u64) {
+        (
+            self.mirror.snapshot().version(),
+            self.model_version.load(Ordering::Acquire),
+        )
+    }
+
+    fn apply_feedback(&self, query: &Query, cardinality: u64) {
+        self.mirror.upsert(query.clone(), cardinality);
+        let shard = self.mirror.shard_of(query);
+        let mut links = lock_links(&self.links);
+        let workers = links.len();
+        let owner = shard % workers;
+        if links[owner].stream.is_some() {
+            let outcome = {
+                let stream = links[owner].stream.as_mut().expect("live link");
+                write_message(
+                    stream,
+                    &Message::Upsert(UpsertRequest {
+                        shard,
+                        query: query.clone(),
+                        cardinality,
+                    }),
+                )
+                .and_then(|()| read_message(stream))
+            };
+            match outcome {
+                Ok(Message::UpsertAck) => {
+                    self.counters
+                        .upserts_forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                _ => self.declare_lost(&mut links, owner),
+            }
+        }
+        // A lost owner misses this upsert now, but reconnect re-ships the whole
+        // mirror, so its shard converges to the authoritative state.
+    }
+
+    fn record_retention(&self, query: &Query, q_error: f64) -> bool {
+        // Retention weights steer coordinator-side eviction/compaction only; they
+        // never change what a shard scan returns, so workers don't need them.
+        self.mirror.record_feedback(query, q_error)
+    }
+
+    fn pool_evictions(&self) -> u64 {
+        self.mirror.evictions()
+    }
+
+    fn compact(&self) -> usize {
+        let merged = self.mirror.compact();
+        if merged > 0 {
+            // Compaction restructures shard contents; re-ship every live worker its
+            // assignment so worker shards stay bit-identical to the mirror.
+            let mut links = lock_links(&self.links);
+            let workers = links.len();
+            for worker_id in 0..workers {
+                if links[worker_id].stream.is_some()
+                    && self
+                        .ship_assignment(&mut links[worker_id], worker_id, workers)
+                        .is_err()
+                {
+                    self.declare_lost(&mut links, worker_id);
+                }
+            }
+        }
+        merged
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,281 @@
+//! The worker process: owns a subset of the global pool shards and serves the
+//! shard-local half of layer 3 (pool scan + per-entry containment estimates) for
+//! batches scattered to it by the coordinator.
+//!
+//! A worker is deliberately dumb: it holds no routing knowledge, makes no gate
+//! decisions, and never folds entry lists into estimates — it applies whatever
+//! [`Assignment`](crate::wire::Assignment) the coordinator ships, answers
+//! [`EvalRequest`](crate::wire::EvalRequest)s with raw per-shard entry-estimate lists,
+//! and mirrors probe traffic through live + staged models when asked to play canary.
+//! All policy (canonical-order merging, degradation, canary verdicts, reconnect
+//! cadence) lives on the coordinator, so adding a worker never adds a decision point.
+//!
+//! Bit-parity note: each owned shard is reconstructed as a **one-shard**
+//! [`ShardedPool`] from the shipped shard payload.  One-shard reconstruction
+//! preserves entry order, so the worker's shard scan visits entries in exactly the
+//! order the single-process service would — the lists it returns are bit-identical
+//! to the corresponding single-process work items.
+//!
+//! Version discipline: an [`EvalRequest`] carries the fleet model version it must be
+//! served under.  A worker whose live version differs (e.g. a swap raced a scatter)
+//! answers [`ErrorReply`](crate::wire::ErrorReply) rather than serving — a mixed
+//! fleet can degrade a batch, but can never silently blend model generations inside
+//! one batch.
+
+use crate::wire::{
+    read_message, write_message, AssignAck, Assignment, ErrorReply, EvalResponse, Message,
+    ProbeResponse, ShardLists, WireError,
+};
+use crn_core::{
+    Cnt2Crd, Cnt2CrdConfig, CrnModel, EstimatorService, FinalFunction, QueriesPool, ShardedPool,
+};
+use crn_estimators::CardinalityEstimator;
+use crn_nn::WorkerPool;
+use crn_query::ast::Query;
+use std::net::{TcpListener, TcpStream};
+
+/// Matches `crn_online::feedback::CARDINALITY_FLOOR` (not re-exported there): the
+/// floor under q-error ratios, so probe medians here are comparable to the refresh
+/// controller's gate inputs.
+const CARDINALITY_FLOOR: f64 = 1.0;
+
+/// Everything a worker holds between messages.  Built wholesale from an
+/// [`Assignment`]; absent until the first one arrives.
+struct WorkerState {
+    worker_id: usize,
+    /// Live fleet model version this worker serves under.
+    version: u64,
+    config: Cnt2CrdConfig,
+    /// The live model (kept outside the services for probe mirroring).
+    model: CrnModel,
+    /// One single-shard service per owned global shard, ascending by shard index.
+    services: Vec<(usize, EstimatorService<CrnModel>)>,
+    /// Union of the owned shards' anchors, used for canary probe traffic.
+    owned_pool: QueriesPool,
+    /// A staged candidate model awaiting a canary verdict: `(version, model)`.
+    staged: Option<(u64, CrnModel)>,
+}
+
+impl WorkerState {
+    fn from_assignment(assignment: Assignment, threads: usize) -> Self {
+        let workers = WorkerPool::shared(threads.max(1));
+        let mut owned_pool = QueriesPool::default();
+        let mut shards = assignment.shards;
+        shards.sort_by_key(|shard| shard.index);
+        let services = shards
+            .into_iter()
+            .map(|payload| {
+                for entry in payload.pool.entries() {
+                    owned_pool.upsert(entry.query.clone(), entry.cardinality);
+                }
+                let sharded = ShardedPool::from_pool(&payload.pool, 1);
+                let service =
+                    EstimatorService::new(assignment.model.clone(), sharded, workers.clone())
+                        .with_config(assignment.config);
+                (payload.index, service)
+            })
+            .collect();
+        WorkerState {
+            worker_id: assignment.worker_id,
+            version: assignment.model_version,
+            config: assignment.config,
+            model: assignment.model,
+            services,
+            owned_pool,
+            staged: None,
+        }
+    }
+
+    /// Median q-error of `model` over the probe set, evaluated through the sequential
+    /// `Cnt2Crd` path over this worker's anchors — the same machinery for the live
+    /// model and the staged candidate, so the canary comparison is apples-to-apples.
+    fn probe_median(&self, model: &CrnModel, queries: &[Query], truths: &[u64]) -> f64 {
+        let estimator =
+            Cnt2Crd::new(model.clone(), self.owned_pool.clone()).with_config(self.config);
+        let errors: Vec<f64> = queries
+            .iter()
+            .zip(truths)
+            .map(|(query, &truth)| {
+                crn_nn::q_error(
+                    estimator.estimate(query).max(CARDINALITY_FLOOR),
+                    (truth as f64).max(CARDINALITY_FLOOR),
+                    CARDINALITY_FLOOR,
+                )
+            })
+            .collect();
+        FinalFunction::Median.apply(&errors).unwrap_or(0.0)
+    }
+}
+
+fn error_reply(reason: impl Into<String>) -> Message {
+    Message::Error(ErrorReply {
+        reason: reason.into(),
+    })
+}
+
+/// Handles one message against the (possibly absent) worker state.  Returns the reply
+/// to send, or `None` for [`Message::Shutdown`].
+fn handle(state: &mut Option<WorkerState>, message: Message, threads: usize) -> Option<Message> {
+    match message {
+        Message::Assign(assignment) => {
+            let worker_id = assignment.worker_id;
+            let model_version = assignment.model_version;
+            let fresh = WorkerState::from_assignment(assignment, threads);
+            let shards = fresh.services.len();
+            *state = Some(fresh);
+            Some(Message::AssignAck(AssignAck {
+                worker_id,
+                shards,
+                model_version,
+            }))
+        }
+        Message::Eval(request) => {
+            let Some(state) = state.as_ref() else {
+                return Some(error_reply("eval before assignment"));
+            };
+            if request.model_version != state.version {
+                return Some(error_reply(format!(
+                    "model version mismatch: batch wants v{}, worker {} serves v{}",
+                    request.model_version, state.worker_id, state.version
+                )));
+            }
+            let shards = state
+                .services
+                .iter()
+                .map(|(index, service)| ShardLists {
+                    index: *index,
+                    lists: service.serve_entry_lists(&request.queries).per_query,
+                })
+                .collect();
+            Some(Message::EvalResult(EvalResponse {
+                model_version: state.version,
+                shards,
+            }))
+        }
+        Message::Stage(stage) => {
+            let Some(state) = state.as_mut() else {
+                return Some(error_reply("stage before assignment"));
+            };
+            state.staged = Some((stage.version, stage.model));
+            Some(Message::StageAck)
+        }
+        Message::Probe(request) => {
+            let Some(state) = state.as_ref() else {
+                return Some(error_reply("probe before assignment"));
+            };
+            let Some((_, candidate)) = state.staged.as_ref() else {
+                return Some(error_reply("probe without a staged candidate"));
+            };
+            let live_median = state.probe_median(&state.model, &request.queries, &request.truths);
+            let candidate_median = state.probe_median(candidate, &request.queries, &request.truths);
+            Some(Message::ProbeResult(ProbeResponse {
+                live_median,
+                candidate_median,
+            }))
+        }
+        Message::Swap(swap) => {
+            let Some(state) = state.as_mut() else {
+                return Some(error_reply("swap before assignment"));
+            };
+            match state.staged.take() {
+                Some((version, model)) if version == swap.version => {
+                    for (_, service) in &state.services {
+                        service.swap_model(model.clone());
+                    }
+                    state.model = model;
+                    state.version = version;
+                    Some(Message::SwapAck)
+                }
+                other => {
+                    state.staged = other;
+                    Some(error_reply(format!(
+                        "swap v{} without a matching staged candidate",
+                        swap.version
+                    )))
+                }
+            }
+        }
+        Message::Discard => {
+            if let Some(state) = state.as_mut() {
+                state.staged = None;
+            }
+            Some(Message::DiscardAck)
+        }
+        Message::Upsert(request) => {
+            let Some(state) = state.as_mut() else {
+                return Some(error_reply("upsert before assignment"));
+            };
+            let Some((_, service)) = state
+                .services
+                .iter()
+                .find(|(index, _)| *index == request.shard)
+            else {
+                return Some(error_reply(format!(
+                    "upsert for shard {} not owned by worker {}",
+                    request.shard, state.worker_id
+                )));
+            };
+            service
+                .pool()
+                .upsert(request.query.clone(), request.cardinality);
+            state.owned_pool.upsert(request.query, request.cardinality);
+            Some(Message::UpsertAck)
+        }
+        Message::Shutdown => None,
+        // Coordinator-bound message kinds arriving at a worker are protocol bugs;
+        // answer loudly instead of hanging the connection.
+        other => Some(error_reply(format!(
+            "unexpected message kind {:?} at worker",
+            other.kind()
+        ))),
+    }
+}
+
+/// Serves one coordinator connection until it closes, shutdown arrives, or the wire
+/// breaks.  Returns `true` if the worker should exit (explicit shutdown).
+fn serve_connection(
+    stream: TcpStream,
+    state: &mut Option<WorkerState>,
+    threads: usize,
+) -> Result<bool, WireError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        let message = match read_message(&mut reader) {
+            Ok(message) => message,
+            // A dead coordinator link is not a worker failure: drop back to accept
+            // and wait for the coordinator to re-dial (it re-ships the assignment).
+            Err(WireError::Io(_)) => return Ok(false),
+            Err(error) => return Err(error),
+        };
+        match handle(state, message, threads) {
+            Some(reply) => write_message(&mut writer, &reply)?,
+            None => return Ok(true),
+        }
+    }
+}
+
+/// Runs a worker on `listener` until a [`Message::Shutdown`] arrives.  Accepts one
+/// coordinator connection at a time; a dropped connection returns the worker to
+/// `accept`, where the coordinator's reconnect path re-dials and re-ships state.
+pub fn run_worker(listener: TcpListener, threads: usize) -> Result<(), WireError> {
+    let mut state: Option<WorkerState> = None;
+    loop {
+        let (stream, _) = listener.accept().map_err(WireError::Io)?;
+        stream.set_nodelay(true).ok();
+        if serve_connection(stream, &mut state, threads)? {
+            return Ok(());
+        }
+    }
+}
+
+/// Spawns [`run_worker`] on a named thread — the in-process harness used by the
+/// loopback parity and chaos tests (the eval demo forks real processes instead).
+pub fn spawn_worker(listener: TcpListener, threads: usize) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("crn-cluster-worker".into())
+        .spawn(move || {
+            let _ = run_worker(listener, threads);
+        })
+        .expect("spawn cluster worker thread")
+}

@@ -1,0 +1,167 @@
+//! Shared loopback-cluster fixture: a tiny IMDB-shaped database, a trained CRN model,
+//! a queries pool, and helpers to spawn an in-process worker fleet on ephemeral
+//! loopback listeners.
+//!
+//! Each test binary compiles its own copy, so not every helper is used everywhere.
+#![allow(dead_code)]
+
+use crn_cluster::worker::spawn_worker;
+use crn_core::{CrnModel, QueriesPool};
+use crn_db::imdb::{generate_imdb, ImdbConfig};
+use crn_db::Database;
+use crn_exec::label_containment_pairs;
+use crn_nn::parallel::ThreadPoolConfig;
+use crn_nn::TrainConfig;
+use crn_query::generator::{GeneratorConfig, QueryGenerator};
+use crn_query::Query;
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+
+/// Deterministic training config: canonical shards + canonical reduction order, so
+/// parity assertions are bit-identical whatever `THREADS` the CI matrix sets.
+pub fn train_config() -> TrainConfig {
+    let mut config = TrainConfig::fast_test();
+    config.parallel = ThreadPoolConfig::deterministic(config.parallel.threads.max(1));
+    config
+}
+
+pub fn trained_crn(db: &Database, seed: u64) -> CrnModel {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let pairs = gen.generate_pairs(40, 160);
+    let samples = label_containment_pairs(db, &pairs, 4);
+    let mut crn = CrnModel::new(db, train_config());
+    crn.fit(&samples);
+    crn
+}
+
+/// An *untrained* (random-init) model.
+pub fn untrained_crn(db: &Database) -> CrnModel {
+    CrnModel::new(db, train_config())
+}
+
+/// An actively harmful model: trained on **inverted** containment rates (the online
+/// suite's sabotage shape).  Guaranteed to lose a probe comparison against a properly
+/// trained model — the deterministic canary-reject candidate.
+pub fn sabotaged_crn(db: &Database, seed: u64) -> CrnModel {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let pairs = gen.generate_pairs(40, 160);
+    let mut samples = label_containment_pairs(db, &pairs, 4);
+    for sample in &mut samples {
+        sample.rate = 0.0;
+    }
+    // Long, patient, high-LR training on the constant-zero labels drives every
+    // predicted rate under the serving epsilon: the sabotaged model turns every
+    // anchor into an epsilon-filtered miss, so every probe falls back to the flat
+    // default estimate -- objectively, decisively worse than any live model.
+    let mut config = train_config();
+    config.epochs = 60;
+    config.patience = None;
+    config.learning_rate = 0.01;
+    let mut crn = CrnModel::new(db, config);
+    crn.fit(&samples);
+    crn
+}
+
+pub fn workload(db: &Database, seed: u64, count: usize) -> Vec<Query> {
+    let mut gen = QueryGenerator::new(db, GeneratorConfig::paper(seed));
+    let mut queries = gen.generate_queries(count);
+    queries.truncate(count);
+    queries
+}
+
+pub struct Fixture {
+    pub db: Database,
+    pub pool: QueriesPool,
+    pub model: CrnModel,
+}
+
+pub fn fixture(seed: u64) -> Fixture {
+    let db = generate_imdb(&ImdbConfig::tiny(seed));
+    let pool = QueriesPool::generate(&db, 60, 2, seed);
+    let model = trained_crn(&db, seed);
+    Fixture { db, pool, model }
+}
+
+/// Spawns `workers` in-process worker threads, each on its own ephemeral loopback
+/// listener.  Returns their addresses (fleet order) and join handles.
+pub fn spawn_fleet(workers: usize, threads: usize) -> (Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    let mut addrs = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        addrs.push(listener.local_addr().expect("listener addr"));
+        handles.push(spawn_worker(listener, threads));
+    }
+    (addrs, handles)
+}
+
+/// The anchors the canary worker (fleet index 0) owns under `shards` global shards
+/// spread over `workers` workers — the pool its mirrored probe traffic is served from.
+pub fn canary_owned_pool(pool: &QueriesPool, shards: usize, workers: usize) -> QueriesPool {
+    let sharded = crn_core::ShardedPool::from_pool(pool, shards);
+    let snapshot = sharded.snapshot();
+    let mut owned = QueriesPool::new();
+    for shard in (0..shards).filter(|shard| shard % workers == 0) {
+        for entry in snapshot.shard_pool(shard).entries() {
+            owned.upsert(entry.query.clone(), entry.cardinality);
+        }
+    }
+    owned
+}
+
+/// A canary probe set that actually exercises the model: scale-generator queries
+/// (structurally unlike the anchors, so containment rates matter) covered by the
+/// canary worker's own anchors (no fallback noise for a healthy model) with
+/// non-trivial true cardinalities (a fallback-flooded sabotaged model scores the
+/// truth itself as its q-error — decisively bad).
+pub fn covered_probe(
+    db: &Database,
+    owned: &QueriesPool,
+    seed: u64,
+    count: usize,
+) -> (Vec<Query>, Vec<u64>) {
+    use crn_query::generator::{ScaleGenerator, ScaleGeneratorConfig};
+    let truth = crn_exec::Executor::new(db);
+    let mut gen = ScaleGenerator::new(
+        db,
+        ScaleGeneratorConfig {
+            seed,
+            max_joins: 2,
+            eq_bias: 0.7,
+        },
+    );
+    let mut queries = Vec::new();
+    let mut truths = Vec::new();
+    for query in gen.generate(count * 20) {
+        if owned.matching(&query).next().is_none() {
+            continue;
+        }
+        let cardinality = truth.cardinality(&query);
+        if cardinality < 8 {
+            continue;
+        }
+        queries.push(query);
+        truths.push(cardinality);
+        if queries.len() == count {
+            break;
+        }
+    }
+    assert!(
+        queries.len() >= count / 2,
+        "probe generator starved: only {} covered queries",
+        queries.len()
+    );
+    (queries, truths)
+}
+
+/// Bitwise equality over estimate slices with a context label.
+pub fn assert_bit_identical(actual: &[f64], expected: &[f64], context: &str) {
+    assert_eq!(actual.len(), expected.len(), "{context}: length mismatch");
+    for (index, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            e.to_bits(),
+            "{context}: estimate {index} diverged ({a} vs {e})"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The wire codec's contracts: lossless encode/decode roundtrips (a proptest over
+//! queries, estimate lists and snapshot shard payloads — `f64`s must survive
+//! bit-exactly), zero-length batches, oversized-frame rejection, and mid-frame EOF
+//! surfacing as an IO error (the coordinator's lost-worker signal).
+
+mod common;
+
+use common::fixture;
+use crn_cluster::wire::{
+    decode_body, encode, read_message, roundtrip, Assignment, EvalRequest, EvalResponse, Message,
+    ProbeResponse, ShardLists, ShardPayload, WireError, MAX_FRAME,
+};
+use crn_core::{Cnt2CrdConfig, CrnModel, QueriesPool, ShardedPool};
+use crn_db::Database;
+use crn_query::Query;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The proptest cases share one fixture (building a database + trained model per case
+/// would dominate the suite's runtime).
+fn shared() -> &'static (Database, QueriesPool, CrnModel, Vec<Query>) {
+    static SHARED: OnceLock<(Database, QueriesPool, CrnModel, Vec<Query>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let fx = fixture(31);
+        let queries = common::workload(&fx.db, 63, 32);
+        (fx.db, fx.pool, fx.model, queries)
+    })
+}
+
+/// Deterministic xorshift64* stream — the proptest seed fans out into query subsets
+/// and adversarially-shaped `f64`s without `Math.random`-style ambient state.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        self.0 = x;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    /// A finite `f64` with an adversarial spread: subnormals, huge magnitudes,
+    /// negative zero, long mantissas — everything the shortest-roundtrip JSON
+    /// formatting must carry bit-exactly.
+    fn finite_f64(&mut self) -> f64 {
+        let value = f64::from_bits(self.next());
+        if value.is_finite() {
+            value
+        } else {
+            (self.next() as f64) / ((self.next() | 1) as f64)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eval_messages_roundtrip_losslessly(seed in 0u64..512) {
+        let (_, _, _, queries) = shared();
+        let mut rng = Rng(seed);
+        let picked: Vec<Query> = (0..(rng.next() as usize % 8))
+            .map(|_| queries[rng.next() as usize % queries.len()].clone())
+            .collect();
+
+        let request = Message::Eval(EvalRequest {
+            model_version: rng.next(),
+            queries: picked.clone(),
+        });
+        let Message::Eval(back) = roundtrip(&request).expect("eval roundtrip") else {
+            panic!("wrong message kind back");
+        };
+        prop_assert_eq!(&back.queries, &picked);
+
+        let lists: Vec<Vec<f64>> = (0..picked.len().max(1))
+            .map(|_| (0..(rng.next() as usize % 6)).map(|_| rng.finite_f64()).collect())
+            .collect();
+        let response = Message::EvalResult(EvalResponse {
+            model_version: rng.next(),
+            shards: vec![ShardLists { index: rng.next() as usize % 16, lists: lists.clone() }],
+        });
+        let Message::EvalResult(back) = roundtrip(&response).expect("result roundtrip") else {
+            panic!("wrong message kind back");
+        };
+        prop_assert_eq!(back.shards.len(), 1);
+        for (sent, received) in lists.iter().zip(&back.shards[0].lists) {
+            prop_assert_eq!(sent.len(), received.len());
+            for (a, b) in sent.iter().zip(received) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_payload_assignments_roundtrip_losslessly(seed in 0u64..64) {
+        let (_, pool, model, _) = shared();
+        let shards = 1 + (seed as usize % 4) * 2;
+        let sharded = ShardedPool::from_pool(pool, shards);
+        let snapshot = sharded.snapshot();
+        let assignment = Message::Assign(Assignment {
+            worker_id: seed as usize % 4,
+            total_shards: shards,
+            model_version: seed,
+            config: Cnt2CrdConfig::default(),
+            model: model.clone(),
+            shards: (0..shards)
+                .map(|shard| ShardPayload {
+                    index: shard,
+                    version: snapshot.shard_version(shard),
+                    pool: snapshot.shard_pool(shard),
+                })
+                .collect(),
+        });
+        let Message::Assign(back) = roundtrip(&assignment).expect("assign roundtrip") else {
+            panic!("wrong message kind back");
+        };
+        prop_assert_eq!(back.total_shards, shards);
+        let mut entries = 0usize;
+        for (shard, payload) in back.shards.iter().enumerate() {
+            let original = snapshot.shard_pool(shard);
+            prop_assert_eq!(payload.pool.len(), original.len());
+            for (a, b) in payload.pool.entries().iter().zip(original.entries()) {
+                prop_assert_eq!(&a.query, &b.query);
+                prop_assert_eq!(a.cardinality, b.cardinality);
+            }
+            entries += payload.pool.len();
+        }
+        prop_assert_eq!(entries, pool.len());
+    }
+
+    #[test]
+    fn probe_medians_roundtrip_bit_exactly(seed in 0u64..256) {
+        let mut rng = Rng(seed);
+        let message = Message::ProbeResult(ProbeResponse {
+            live_median: rng.finite_f64(),
+            candidate_median: rng.finite_f64(),
+        });
+        let Message::ProbeResult(back) = roundtrip(&message).expect("probe roundtrip") else {
+            panic!("wrong message kind back");
+        };
+        let Message::ProbeResult(sent) = message else { unreachable!() };
+        prop_assert_eq!(back.live_median.to_bits(), sent.live_median.to_bits());
+        prop_assert_eq!(back.candidate_median.to_bits(), sent.candidate_median.to_bits());
+    }
+}
+
+#[test]
+fn zero_length_batches_and_payloadless_frames_roundtrip() {
+    let empty = Message::Eval(EvalRequest {
+        model_version: 1,
+        queries: Vec::new(),
+    });
+    let Message::Eval(back) = roundtrip(&empty).expect("empty eval") else {
+        panic!("wrong kind");
+    };
+    assert!(back.queries.is_empty());
+
+    for message in [Message::StageAck, Message::SwapAck, Message::Shutdown] {
+        let kind = message.kind();
+        let back = roundtrip(&message).expect("payloadless roundtrip");
+        assert_eq!(back.kind(), kind);
+    }
+}
+
+#[test]
+fn oversized_and_empty_frames_are_rejected_before_allocation() {
+    // Length announcing more than MAX_FRAME: rejected from the 4 length bytes alone.
+    let mut oversized = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+    oversized.extend_from_slice(&[3u8; 16]);
+    let mut cursor = std::io::Cursor::new(oversized);
+    match read_message(&mut cursor) {
+        Err(WireError::BadLength(len)) => assert_eq!(len, MAX_FRAME + 1),
+        other => panic!("oversized frame accepted: {other:?}"),
+    }
+
+    // Zero-length frame (no type byte): equally rejected.
+    let mut cursor = std::io::Cursor::new(0u32.to_le_bytes().to_vec());
+    assert!(matches!(
+        read_message(&mut cursor),
+        Err(WireError::BadLength(0))
+    ));
+
+    // An unknown type byte is a decode error, not a hang or a panic.
+    assert!(matches!(
+        decode_body(&[200u8]),
+        Err(WireError::BadType(200))
+    ));
+}
+
+#[test]
+fn mid_frame_eof_surfaces_as_io_error() {
+    // A frame that announces 100 bytes but delivers 10 — the shape of a connection
+    // dying mid-frame.  Must resolve to an IO error (the lost-worker signal), never
+    // block or mis-decode.
+    let mut truncated = 100u32.to_le_bytes().to_vec();
+    truncated.extend_from_slice(&[1u8; 10]);
+    let mut cursor = std::io::Cursor::new(truncated);
+    assert!(matches!(read_message(&mut cursor), Err(WireError::Io(_))));
+
+    // Sanity: a well-formed frame straight from `encode` still parses.
+    let frame = encode(&Message::Shutdown).expect("encode");
+    let mut cursor = std::io::Cursor::new(frame.as_ref().to_vec());
+    assert!(matches!(read_message(&mut cursor), Ok(Message::Shutdown)));
+}

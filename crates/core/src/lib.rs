@@ -63,8 +63,11 @@ pub use improved::ImprovedEstimator;
 pub use model::{CrnModel, CrnOptions, ExpandMode, Pooling, RATE_FLOOR};
 pub use persist::PersistError;
 pub use pool::{
-    anchor_score, feature_signature, query_hash, PoolEntry, PoolShard, QueriesPool,
+    anchor_score, feature_signature, from_key, query_hash, PoolEntry, PoolShard, QueriesPool,
     DEFAULT_RETENTION_WEIGHT,
 };
-pub use service::{EstimatorService, ModelSnapshot, ServeResponse, ServeStats};
+pub use service::{
+    fold_entry_lists, plan_groups, EntryLists, EstimatorService, ModelSnapshot, ServeResponse,
+    ServeStats,
+};
 pub use sharded::{PoolSnapshot, ShardedPool};

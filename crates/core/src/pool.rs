@@ -735,8 +735,9 @@ impl QueriesPool {
 
 /// Canonical string key of a query's FROM clause (tables are already sorted in the AST).
 /// Shared with the Cnt2Crd serving cache, whose per-FROM-clause anchor groups must match
-/// [`QueriesPool::matching`]'s grouping exactly.
-pub(crate) fn from_key(query: &Query) -> String {
+/// [`QueriesPool::matching`]'s grouping exactly — and with the distributed coordinator's
+/// group→shard plan, which routes each FROM group to the shards whose anchors match it.
+pub fn from_key(query: &Query) -> String {
     query
         .tables()
         .iter()

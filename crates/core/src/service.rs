@@ -219,6 +219,80 @@ pub struct ServeResponse {
     /// cross-window estimate cache files results under, so maintenance upserts and model
     /// hot-swaps invalidate by construction.
     pub pool_version: u64,
+    /// Indices (into `estimates`) that were answered by a *degraded* path — e.g. a
+    /// distributed backend's coordinator-side fallback after losing the worker that
+    /// owned the query's shards.  Always empty for the in-process
+    /// [`EstimatorService`]: its fallbacks are the technique's own §5.2 semantics, not a
+    /// fidelity loss.  Consumers (the serving runtime) tag these tickets
+    /// `EstimateSource::Degraded` and keep them out of version-keyed caches.
+    pub degraded: Vec<usize>,
+}
+
+/// The un-folded result of the service's layered plan ([`EstimatorService::
+/// serve_entry_lists`]): per-query per-entry estimate lists in canonical shard order,
+/// before the final function folds them.  A distributed coordinator gathers these
+/// lists from shard-owning workers and folds them with [`fold_entry_lists`] — the fold
+/// is the one shared definition, so the distributed estimate is bit-identical to the
+/// single-process one.
+#[derive(Debug, Clone)]
+pub struct EntryLists {
+    /// Per input query (in input order), the ε-surviving per-entry estimates,
+    /// concatenated across shards in canonical shard order (within a shard: entry
+    /// order).
+    pub per_query: Vec<Vec<f64>>,
+    /// How the plan was executed (fold-time counters `pool_hits`/`fallbacks` are still
+    /// zero; [`fold_entry_lists`] fills them).
+    pub stats: ServeStats,
+    /// The pool snapshot version the lists were computed under.
+    pub pool_version: u64,
+}
+
+/// Groups a query slice by FROM clause in deterministic order (sorted by key — the
+/// `BTreeMap` iteration order every serving layer uses): one `(from_key, input query
+/// indices)` entry per distinct FROM clause.  This is the group→shard plan a
+/// distributed coordinator scatters: each group only needs the shards whose anchors
+/// match its key.
+pub fn plan_groups(queries: &[Query]) -> Vec<(String, Vec<usize>)> {
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (index, query) in queries.iter().enumerate() {
+        groups.entry(from_key(query)).or_default().push(index);
+    }
+    groups.into_iter().collect()
+}
+
+/// Folds per-query per-entry estimate lists through the technique's final function —
+/// the **one shared definition** of the pool-hit / fallback decision, used by the
+/// in-process serve paths and by the distributed coordinator's gather.  A query whose
+/// list survives the final function is a pool hit (`value.max(0.0)`); an empty list
+/// falls back to the configured estimator (or the flat default), exactly like
+/// [`Cnt2Crd`](crate::cnt2crd::Cnt2Crd).  Increments `stats.pool_hits` /
+/// `stats.fallbacks`.
+pub fn fold_entry_lists(
+    config: &Cnt2CrdConfig,
+    fallback: Option<&(dyn CardinalityEstimator + Send + Sync)>,
+    per_query: &[Vec<f64>],
+    queries: &[Query],
+    stats: &mut ServeStats,
+) -> Vec<f64> {
+    per_query
+        .iter()
+        .zip(queries)
+        .map(
+            |(entry_estimates, query)| match config.final_function.apply(entry_estimates) {
+                Some(value) => {
+                    stats.pool_hits += 1;
+                    value.max(0.0)
+                }
+                None => {
+                    stats.fallbacks += 1;
+                    match fallback {
+                        Some(fallback) => fallback.estimate(query),
+                        None => config.default_estimate,
+                    }
+                }
+            },
+        )
+        .collect()
 }
 
 /// A per-shard cached anchor serving state, valid for one `(pool shard version, model
@@ -355,6 +429,41 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             return self.serve_top_k(queries);
         }
         let started = Instant::now();
+        let EntryLists {
+            per_query,
+            mut stats,
+            pool_version,
+        } = self.serve_entry_lists(queries);
+
+        // Fold each query's concatenated list through the final function — the shared
+        // definition in `fold_entry_lists`, so a distributed gather folds identically.
+        let merge_started = Instant::now();
+        let estimates = fold_entry_lists(
+            &self.config,
+            self.fallback.as_deref(),
+            &per_query,
+            queries,
+            &mut stats,
+        );
+        stats.merge_time += merge_started.elapsed();
+        stats.total_time = started.elapsed();
+        self.phase_hists.observe(&stats);
+        ServeResponse {
+            estimates,
+            stats,
+            pool_version,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// Layers 1–3 of the full-scan plan, stopping just short of the final-function fold:
+    /// one ε-filtered per-entry estimate list per query, concatenated in canonical shard
+    /// order.  This is the distributed-serving seam — a shard-owning worker runs exactly
+    /// this over its own (sub)pool, the coordinator concatenates workers' lists in
+    /// canonical shard order and folds with [`fold_entry_lists`], and the result is
+    /// bit-identical to a single-process [`serve`](EstimatorService::serve).
+    pub fn serve_entry_lists(&self, queries: &[Query]) -> EntryLists {
+        let started = Instant::now();
         let mut stats = ServeStats {
             queries: queries.len(),
             ..ServeStats::default()
@@ -371,14 +480,10 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
         stats.model_version = model.version;
         stats.snapshot_time = started.elapsed();
 
-        // Layer 2a — plan: group queries by FROM clause (BTreeMap: deterministic group
-        // order), then one work item per (group, shard with matching anchors).
+        // Layer 2a — plan: group queries by FROM clause (deterministic group order),
+        // then one work item per (group, shard with matching anchors).
         let group_started = Instant::now();
-        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        for (index, query) in queries.iter().enumerate() {
-            groups.entry(from_key(query)).or_default().push(index);
-        }
-        let groups: Vec<(String, Vec<usize>)> = groups.into_iter().collect();
+        let groups = plan_groups(queries);
         stats.groups = groups.len();
         let mut work_items: Vec<(usize, usize)> = Vec::new(); // (group index, shard index)
         for (group_index, (key, _)) in groups.iter().enumerate() {
@@ -402,9 +507,9 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
         });
         stats.compute_time = compute_started.elapsed();
 
-        // Layer 3 — merge: per-query estimate lists concatenate in canonical shard order
-        // (work items are sorted by (group, shard) and returned in item order), then the
-        // final function folds each query's list.
+        // Layer 3 (concatenation half) — per-query estimate lists concatenate in
+        // canonical shard order (work items are sorted by (group, shard) and returned in
+        // item order).
         let merge_started = Instant::now();
         let mut per_query: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
         for ((group_index, _), item_estimates) in work_items.iter().zip(per_item) {
@@ -413,30 +518,10 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
                 per_query[query_index].extend(estimates);
             }
         }
-        let estimates: Vec<f64> = per_query
-            .iter()
-            .zip(queries)
-            .map(|(entry_estimates, query)| {
-                match self.config.final_function.apply(entry_estimates) {
-                    Some(value) => {
-                        stats.pool_hits += 1;
-                        value.max(0.0)
-                    }
-                    None => {
-                        stats.fallbacks += 1;
-                        match &self.fallback {
-                            Some(fallback) => fallback.estimate(query),
-                            None => self.config.default_estimate,
-                        }
-                    }
-                }
-            })
-            .collect();
         stats.merge_time = merge_started.elapsed();
         stats.total_time = started.elapsed();
-        self.phase_hists.observe(&stats);
-        ServeResponse {
-            estimates,
+        EntryLists {
+            per_query,
             stats,
             pool_version: snapshot.version(),
         }
@@ -506,25 +591,13 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
 
         // Layer 3 — fold each query's ranked-entry estimates through the final function.
         let merge_started = Instant::now();
-        let estimates: Vec<f64> = per_query
-            .iter()
-            .zip(queries)
-            .map(|(entry_estimates, query)| {
-                match self.config.final_function.apply(entry_estimates) {
-                    Some(value) => {
-                        stats.pool_hits += 1;
-                        value.max(0.0)
-                    }
-                    None => {
-                        stats.fallbacks += 1;
-                        match &self.fallback {
-                            Some(fallback) => fallback.estimate(query),
-                            None => self.config.default_estimate,
-                        }
-                    }
-                }
-            })
-            .collect();
+        let estimates = fold_entry_lists(
+            &self.config,
+            self.fallback.as_deref(),
+            &per_query,
+            queries,
+            &mut stats,
+        );
         stats.merge_time = merge_started.elapsed();
         stats.total_time = started.elapsed();
         self.phase_hists.observe(&stats);
@@ -532,6 +605,7 @@ impl<M: ContainmentEstimator + Send + Sync> EstimatorService<M> {
             estimates,
             stats,
             pool_version: snapshot.version(),
+            degraded: Vec::new(),
         }
     }
 

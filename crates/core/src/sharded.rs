@@ -141,6 +141,20 @@ impl PoolSnapshot {
         }
         pool
     }
+
+    /// Flattens **one** shard into a single-owner pool, preserving the shard's entry
+    /// order exactly.  This is the unit a distributed deployment ships to a worker: a
+    /// worker that rebuilds a one-shard [`ShardedPool`] from this pool reproduces the
+    /// shard's entry order (pinned by the one-shard round-trip test below), so its
+    /// per-entry estimate lists are bit-identical to this shard's contribution in a
+    /// single-process serve.
+    pub fn shard_pool(&self, index: usize) -> QueriesPool {
+        let mut pool = QueriesPool::new();
+        for entry in self.shards[index].entries() {
+            pool.insert(entry.query.clone(), entry.cardinality);
+        }
+        pool
+    }
 }
 
 /// `N` pool shards keyed by canonical query hash behind an immutable-snapshot API.

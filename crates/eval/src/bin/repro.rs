@@ -13,6 +13,8 @@
 //!             [--checkpoint-dir D] [--checkpoint-every N] [--chaos <plan>]
 //!             [--top-k K] [--pool-cap N] [--pool-scale a,b,...]
 //!             [--q-error-budget F] [--bench-json <path>]
+//!             [--cluster N] [--worker-timeout-us N] [--compact-every N]
+//! repro cluster-worker [--threads N]
 //! repro list
 //! ```
 //!
@@ -50,6 +52,10 @@ fn main() {
     }
     if args[0] == "serve" {
         run_serve(&args[1..]);
+        return;
+    }
+    if args[0] == "cluster-worker" {
+        run_cluster_worker(&args[1..]);
         return;
     }
 
@@ -373,6 +379,23 @@ fn run_serve(args: &[String]) {
                     "--metrics-interval-ms",
                 ) as u64;
             }
+            "--cluster" => {
+                config.cluster = parse_count(&flag_value(&mut iter, "--cluster"), "--cluster");
+            }
+            "--worker-timeout-us" => {
+                config.worker_timeout_us = parse_count(
+                    &flag_value(&mut iter, "--worker-timeout-us"),
+                    "--worker-timeout-us",
+                ) as u64;
+            }
+            "--compact-every" => {
+                // Zero is legitimate: it disables periodic compaction (the default).
+                let value = flag_value(&mut iter, "--compact-every");
+                config.compact_every = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--compact-every requires a non-negative integer, got {value}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print_serve_usage();
                 return;
@@ -404,6 +427,46 @@ fn run_serve(args: &[String]) {
     }
 }
 
+/// `repro cluster-worker [--threads N]` — the worker half of `repro serve --cluster`.
+///
+/// Binds an ephemeral loopback listener, announces it on stdout as
+/// `CLUSTER_WORKER_PORT=<port>` (the coordinator parses exactly this line), then blocks
+/// in the worker serve loop until the coordinator sends Shutdown.  Not meant to be run
+/// by hand, but harmless if it is: with no coordinator it just waits for a connection.
+fn run_cluster_worker(args: &[String]) {
+    let mut threads = 1usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--threads requires a value");
+                    std::process::exit(2);
+                });
+                threads = parse_count(&value, "--threads");
+            }
+            other => {
+                eprintln!("unknown cluster-worker flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("[cluster-worker] cannot bind a loopback listener: {e}");
+        std::process::exit(1);
+    });
+    let port = listener
+        .local_addr()
+        .expect("a bound listener has an address")
+        .port();
+    println!("CLUSTER_WORKER_PORT={port}");
+    std::io::stdout().flush().expect("announce the port");
+    if let Err(e) = crn_cluster::run_worker(listener, threads) {
+        eprintln!("[cluster-worker] serve loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// `repro serve --help`: flags plus the parameter-selection guidance.
 fn print_serve_usage() {
     eprintln!(
@@ -420,6 +483,8 @@ fn print_serve_usage() {
          \x20                  [--chaos <plan>|crash-restore] [--top-k K] \
          [--pool-cap N] [--pool-scale a,b,...] [--q-error-budget F]\n\
          \x20                  [--metrics-jsonl <path>] [--metrics-interval-ms N]\n\
+         \x20                  [--cluster N] [--worker-timeout-us N] \
+         [--compact-every N]\n\
          \n\
          Serves a synthetic workload through the sharded estimator service — \
          synchronously in --batch-sized\n\
@@ -637,7 +702,44 @@ fn print_serve_usage() {
          volume matters.\n\
          The emitter is a single background thread reading lock-light shards — \
          cadence does not perturb\n\
-         the serving path."
+         the serving path.\n\
+         \n\
+         Choosing --cluster: cross-process distributed serving.  N worker processes \
+         are forked (this\n\
+         binary in cluster-worker mode), each owning the pool shards s with \
+         s mod N == its fleet index;\n\
+         the coordinator scatters each batch's FROM-clause groups to the owning \
+         workers, gathers the\n\
+         per-shard entry lists and merges them in canonical shard order — estimates \
+         are bit-identical\n\
+         to single-process serving at every worker count, and the first batch is \
+         verified so at startup\n\
+         (non-zero exit on violation).  Use --shards >= N so every worker owns at \
+         least one shard; N\n\
+         up to the physical cores left after --threads per worker.  A lost worker \
+         degrades only its own\n\
+         shards (loudly: counted, journaled, Degraded-tagged) and is re-dialed with \
+         bounded backoff.\n\
+         \n\
+         Choosing --worker-timeout-us (cluster): the per-worker gather budget.  A \
+         worker that misses it\n\
+         is declared lost and its queries degrade to the coordinator-local fallback \
+         for that batch —\n\
+         never a hang, never a silently-wrong merge.  Set it well above the p99 \
+         single-process batch\n\
+         latency (10-50x; the default 2s suits CI-sized demos); too tight turns \
+         ordinary scheduling\n\
+         jitter into spurious degradation.\n\
+         \n\
+         Choosing --compact-every: applied maintenance records between pool \
+         compactions on the\n\
+         maintenance lane.  Compaction rebuilds eviction-fragmented shards off the \
+         critical path (the\n\
+         serving snapshot swaps atomically); with --cluster the compacted shards are \
+         re-shipped to their\n\
+         owners.  ~4-16x the eviction churn per window keeps fragmentation bounded \
+         without busywork;\n\
+         0 (default) disables periodic compaction."
     );
 }
 
@@ -665,7 +767,8 @@ fn print_usage() {
          [--restart-budget N] [--checkpoint-dir D] \
          [--checkpoint-every N] [--chaos <plan>] [--top-k K] [--pool-cap N] \
          [--pool-scale a,b,...] [--q-error-budget F] [--bench-json <path>] \
-         [--metrics-jsonl <path>] [--metrics-interval-ms N]  \
+         [--metrics-jsonl <path>] [--metrics-interval-ms N] [--cluster N] \
+         [--worker-timeout-us N] [--compact-every N]  \
          (see `repro serve --help`)"
     );
     eprintln!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));

@@ -24,6 +24,7 @@
 
 use crate::harness::{ExperimentConfig, ExperimentContext};
 use crate::metrics::QErrorSummary;
+use crn_cluster::{ClusterClient, ClusterOptions};
 use crn_core::{
     Cnt2Crd, Cnt2CrdConfig, CrnModel, EstimatorService, QueriesPool, ServeStats, ShardedPool,
 };
@@ -36,8 +37,8 @@ use crn_online::{
 use crn_query::generator::{GeneratorConfig, QueryGenerator, ScaleGenerator, ScaleGeneratorConfig};
 use crn_query::Query;
 use crn_serve::{
-    CheckpointWriter, FaultInjector, FaultPlan, FeedbackObserver, RuntimeConfig, ServeRuntime,
-    SloClass, SupervisorPolicy,
+    CheckpointWriter, ComputeBackend, FaultInjector, FaultPlan, FeedbackObserver, RuntimeConfig,
+    ServeRuntime, SloClass, SupervisorPolicy,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -132,6 +133,16 @@ pub struct ServeDemoConfig {
     pub metrics_jsonl: Option<String>,
     /// Export interval in milliseconds for `--metrics-jsonl` (`--metrics-interval-ms`).
     pub metrics_interval_ms: u64,
+    /// Cross-process distributed serving (`--cluster N`): fork N worker processes, ship
+    /// them the shard subsets and serve the workload through the scatter/gather
+    /// coordinator instead of the in-process service.  0 keeps single-process serving.
+    pub cluster: usize,
+    /// Per-worker gather timeout in µs for cluster mode (`--worker-timeout-us`); a
+    /// worker that misses it is declared lost and its queries degrade loudly.
+    pub worker_timeout_us: u64,
+    /// Applied maintenance records between pool compactions on the maintenance lane
+    /// (`--compact-every`); 0 disables periodic compaction.
+    pub compact_every: u64,
 }
 
 impl ServeDemoConfig {
@@ -169,6 +180,9 @@ impl ServeDemoConfig {
             batch_deadline_us: None,
             metrics_jsonl: None,
             metrics_interval_ms: 50,
+            cluster: 0,
+            worker_timeout_us: 2_000_000,
+            compact_every: 0,
         }
     }
 }
@@ -260,6 +274,11 @@ pub struct BenchRecord {
     pub span_shard_compute_us: f64,
     /// Mean merge segment (µs) attributed from the service's phase stats.
     pub span_merge_us: f64,
+    /// Worker processes of the cluster mode (0 = single-process serving).
+    pub cluster_workers: usize,
+    /// Queries answered by the coordinator-local degraded path (0 outside cluster
+    /// mode; non-zero means a worker was lost or timed out mid-run).
+    pub degraded_queries: u64,
 }
 
 /// The `BENCH_serving.json` shape: a schema tag plus one record per measured config.
@@ -378,6 +397,38 @@ pub fn run_serve_demo(config: &ServeDemoConfig) -> Result<String, String> {
         QueryGenerator::new(&ctx.db, GeneratorConfig::paper(ctx.config.seed ^ 0x5e));
     let mut workload: Vec<Query> = generator.generate_queries(config.queries.max(1));
     workload.truncate(config.queries.max(1));
+
+    // Cluster mode replaces the in-process service with the scatter/gather coordinator
+    // over forked worker processes; it builds its own sequential oracle from the same
+    // model and pool, so the startup parity tripwire spans process boundaries.
+    if config.cluster > 0 {
+        let record = match run_cluster_demo(
+            config,
+            &ctx,
+            estimator_config,
+            &model,
+            &base_pool,
+            &workload,
+            &mut lines,
+        ) {
+            Ok(record) => record,
+            Err(violation) => {
+                eprintln!("{}", lines.join("\n"));
+                return Err(violation);
+            }
+        };
+        if let Some(path) = &config.bench_json {
+            let summary = BenchSummary {
+                schema: "crn-serve-bench-v1".to_string(),
+                configs: vec![record],
+            };
+            let json =
+                serde_json::to_string(&summary).map_err(|e| format!("bench json render: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lines.push(format!("[serve] wrote cluster bench summary to {path}"));
+        }
+        return Ok(lines.join("\n"));
+    }
 
     let sequential = Cnt2Crd::new(model, base_pool)
         .with_config(estimator_config)
@@ -563,6 +614,276 @@ fn run_sync_demo(
         span_cache_probe_us: 0.0,
         span_shard_compute_us: 0.0,
         span_merge_us: 0.0,
+        cluster_workers: 0,
+        degraded_queries: 0,
+    })
+}
+
+/// The cluster demo (`repro serve --cluster N`): forks N worker *processes* (this same
+/// binary in `cluster-worker` mode), ships each its shard subset over the wire,
+/// verifies the first scatter/gather batch **bit-for-bit** against the sequential
+/// single-query path (the cross-process parity tripwire — a violation exits non-zero),
+/// then drives the workload through a closed-loop [`ServeRuntime`] over the coordinator
+/// and reports latency plus the degraded-query accounting.
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_demo(
+    config: &ServeDemoConfig,
+    ctx: &ExperimentContext,
+    estimator_config: Cnt2CrdConfig,
+    model: &CrnModel,
+    base_pool: &QueriesPool,
+    workload: &[Query],
+    lines: &mut Vec<String>,
+) -> Result<BenchRecord, String> {
+    use std::io::BufRead;
+
+    let kill_fleet = |children: &mut Vec<std::process::Child>| {
+        for child in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+
+    // Fork the fleet: each worker binds an ephemeral loopback port and announces it on
+    // stdout as `CLUSTER_WORKER_PORT=<port>` before blocking in its serve loop.
+    let workers = config.cluster;
+    let exe = std::env::current_exe().map_err(|e| format!("cluster: current_exe: {e}"))?;
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let mut addrs: Vec<std::net::SocketAddr> = Vec::new();
+    let spawn_started = Instant::now();
+    for worker in 0..workers {
+        let mut child = std::process::Command::new(&exe)
+            .arg("cluster-worker")
+            .arg("--threads")
+            .arg(config.threads.max(1).to_string())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cluster: fork worker {worker}: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        children.push(child);
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        let port = loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("cluster: worker {worker} stdout: {e}"))?;
+            if read == 0 {
+                kill_fleet(&mut children);
+                return Err(format!(
+                    "cluster: worker {worker} exited before announcing its port"
+                ));
+            }
+            if let Some(rest) = line.trim().strip_prefix("CLUSTER_WORKER_PORT=") {
+                match rest.parse::<u16>() {
+                    Ok(port) => break port,
+                    Err(e) => {
+                        kill_fleet(&mut children);
+                        return Err(format!(
+                            "cluster: worker {worker} announced a bad port {rest:?}: {e}"
+                        ));
+                    }
+                }
+            }
+        };
+        addrs.push(std::net::SocketAddr::from(([127, 0, 0, 1], port)));
+    }
+    lines.push(format!(
+        "[serve] cluster: forked {workers} worker processes in {:.0}ms ({})",
+        spawn_started.elapsed().as_secs_f64() * 1e3,
+        addrs
+            .iter()
+            .map(|addr| addr.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+
+    let options = ClusterOptions {
+        config: estimator_config,
+        worker_timeout: std::time::Duration::from_micros(config.worker_timeout_us.max(1)),
+        ..ClusterOptions::default()
+    };
+    let client =
+        match ClusterClient::connect(&addrs, model.clone(), base_pool, config.shards, options) {
+            Ok(client) => client.with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db))),
+            Err(e) => {
+                kill_fleet(&mut children);
+                return Err(format!("cluster: connect failed: {e}"));
+            }
+        };
+
+    // The startup parity tripwire, now spanning process boundaries: the first
+    // scatter/gather batch must match the sequential single-query oracle bit-for-bit.
+    let sequential = Cnt2Crd::new(model.clone(), base_pool.clone())
+        .with_config(estimator_config)
+        .with_fallback(Box::new(PostgresEstimator::analyze(&ctx.db)));
+    let first_batch = &workload[..workload.len().min(config.batch.max(1))];
+    let response = client.serve(first_batch);
+    if !response.degraded.is_empty() {
+        kill_fleet(&mut children);
+        return Err(format!(
+            "cluster: startup batch degraded queries {:?} — fleet unhealthy at launch",
+            response.degraded
+        ));
+    }
+    if let Err(violation) = verify_parity(&response.estimates, first_batch, &sequential, "cluster")
+    {
+        kill_fleet(&mut children);
+        return Err(violation);
+    }
+    lines.push(format!(
+        "[serve] cluster parity check passed: {} scatter/gather estimates bit-identical \
+         to the sequential path",
+        first_batch.len()
+    ));
+
+    // The measured run: the same closed-loop load shape as the async demo, but the
+    // runtime's backend is the cluster coordinator — every batch crosses the wire.
+    let callers = config.callers.max(1);
+    let client = Arc::new(client);
+    let runtime = ServeRuntime::new(
+        Arc::clone(&client),
+        resilient_runtime_config(config, callers),
+    );
+    let run_started = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let runtime = &runtime;
+        let handles: Vec<_> = (0..callers)
+            .map(|caller| {
+                scope.spawn(move || {
+                    let mut own = Vec::new();
+                    for (index, query) in workload.iter().enumerate() {
+                        if index % callers == caller {
+                            let submitted = Instant::now();
+                            let outcome = runtime
+                                .submit_retrying(caller as u64, query)
+                                .expect("the driver owns the runtime")
+                                .wait();
+                            if outcome.is_ok() {
+                                own.push(submitted.elapsed().as_secs_f64() * 1e6);
+                            }
+                        }
+                    }
+                    own
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies_us.extend(handle.join().expect("caller thread"));
+        }
+    });
+    let elapsed = run_started.elapsed();
+
+    // Maintenance-lane feedback: upserts are mirrored locally and forwarded to the
+    // owning worker, and (with --compact-every) periodic compaction re-ships the
+    // compacted shards — the cross-process pool-refresh loop live.
+    let executor = crn_exec::Executor::new(&ctx.db);
+    for query in workload.iter().take(workload.len().min(8)) {
+        let cardinality = executor.cardinality(query);
+        if runtime.record_feedback(query.clone(), cardinality).is_err() {
+            break;
+        }
+    }
+    runtime.flush();
+    let runtime_stats = runtime.shutdown();
+
+    let stats = client.stats();
+    lines.push(format!(
+        "[serve] cluster: {} coordinator batches over {} workers ({} up at shutdown); \
+         {} degraded queries, {} worker losses, {} reconnects, {} upserts forwarded",
+        stats.batches,
+        stats.workers,
+        stats.workers_up,
+        stats.degraded_queries,
+        stats.worker_losses,
+        stats.reconnects,
+        stats.upserts_forwarded,
+    ));
+
+    // Orderly teardown: Shutdown frames first, then reap; a worker that survived a
+    // severed link cannot receive the frame, so reap with a bounded grace period.
+    client.shutdown_workers();
+    for (worker, mut child) in children.into_iter().enumerate() {
+        let mut reaped = false;
+        for _ in 0..250 {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        lines.push(format!(
+                            "[serve] cluster: worker {worker} exited with {status}"
+                        ));
+                    }
+                    reaped = true;
+                    break;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                Err(e) => {
+                    lines.push(format!("[serve] cluster: worker {worker} wait failed: {e}"));
+                    reaped = true;
+                    break;
+                }
+            }
+        }
+        if !reaped {
+            let _ = child.kill();
+            let _ = child.wait();
+            lines.push(format!(
+                "[serve] cluster: worker {worker} missed the shutdown grace period; killed"
+            ));
+        }
+    }
+
+    let total_queries = latencies_us.len();
+    let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+    Ok(BenchRecord {
+        mode: "cluster".to_string(),
+        preset: config.preset_label.clone(),
+        shards: config.shards,
+        threads: config.threads,
+        queue_depth: config.queue_depth,
+        batch_window_us: config.batch_window_us,
+        callers,
+        queries: total_queries,
+        batches: runtime_stats.batches,
+        mean_batch: if runtime_stats.batches == 0 {
+            0.0
+        } else {
+            runtime_stats.completed as f64 / runtime_stats.batches as f64
+        },
+        rejected: runtime_stats.rejected_queue_full
+            + runtime_stats.rejected_caller_quota
+            + runtime_stats.rejected_class_share,
+        p50_us: percentile_us(&mut latencies_us, 0.50),
+        p99_us: percentile_us(&mut latencies_us, 0.99),
+        mean_us,
+        throughput_qps: total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        batch_callers: 0,
+        class_window_us: 0,
+        interactive_p50_us: 0.0,
+        interactive_p99_us: 0.0,
+        batch_p50_us: 0.0,
+        batch_p99_us: 0.0,
+        cache_entries: config.cache_entries,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
+        pool_entries: base_pool.len(),
+        top_k: config.top_k,
+        median_q_error: 0.0,
+        hist_interactive_p50_us: 0,
+        hist_interactive_p99_us: 0,
+        hist_batch_p50_us: 0,
+        hist_batch_p99_us: 0,
+        span_requests: 0,
+        span_queue_wait_us: 0.0,
+        span_batch_wait_us: 0.0,
+        span_cache_probe_us: 0.0,
+        span_shard_compute_us: 0.0,
+        span_merge_us: 0.0,
+        cluster_workers: workers,
+        degraded_queries: stats.degraded_queries,
     })
 }
 
@@ -736,6 +1057,8 @@ fn run_pool_scale_sweep(
                 span_cache_probe_us: 0.0,
                 span_shard_compute_us: 0.0,
                 span_merge_us: 0.0,
+                cluster_workers: 0,
+                degraded_queries: 0,
             });
         }
         lines.push(format!(
@@ -1182,6 +1505,8 @@ fn run_async_demo(
         span_cache_probe_us,
         span_shard_compute_us,
         span_merge_us,
+        cluster_workers: 0,
+        degraded_queries: 0,
     })
 }
 
@@ -1237,8 +1562,8 @@ pub struct OnlineBenchSummary {
 
 /// Serves `queries` through the runtime closed-loop on one caller, returning the
 /// estimates in query order.
-fn serve_all(
-    runtime: &ServeRuntime<CrnModel>,
+fn serve_all<B: ComputeBackend + Send + Sync + 'static>(
+    runtime: &ServeRuntime<B>,
     caller: u64,
     queries: &[Query],
 ) -> Result<Vec<f64>, String> {
@@ -1654,7 +1979,9 @@ fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> Runtime
     if let Some((interactive, batch)) = config.class_weights {
         runtime_config = runtime_config.with_class_weights([interactive, batch]);
     }
-    runtime_config.with_cache_entries(config.cache_entries)
+    runtime_config
+        .with_cache_entries(config.cache_entries)
+        .with_compact_every(config.compact_every)
 }
 
 /// Wires a [`CheckpointSink`] into the runtime's maintenance lane when
@@ -1662,7 +1989,7 @@ fn resilient_runtime_config(config: &ServeDemoConfig, callers: usize) -> Runtime
 fn attach_checkpoint_sink(
     config: &ServeDemoConfig,
     service: &Arc<EstimatorService<CrnModel>>,
-    runtime: &ServeRuntime<CrnModel>,
+    runtime: &ServeRuntime<EstimatorService<CrnModel>>,
     lines: &mut Vec<String>,
 ) {
     if let Some(dir) = &config.checkpoint_dir {

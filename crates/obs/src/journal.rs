@@ -65,6 +65,23 @@ pub enum Event {
         /// Entries purged.
         purged: u64,
     },
+    /// A cluster coordinator lost contact with a worker process (dead connection or
+    /// exceeded timeout); the worker's shards degrade to the fallback path until it
+    /// reconnects.
+    WorkerLost {
+        /// Zero-based worker index in the fleet.
+        worker: usize,
+    },
+    /// The cluster canary gate decided a staged candidate model's fate after mirrored
+    /// probe traffic on the canary worker.
+    CanaryDecision {
+        /// Outcome: `"promoted"` or `"rejected"`.
+        decision: &'static str,
+        /// Live model's probe median q-error on the canary worker.
+        live_median: f64,
+        /// Candidate model's probe median q-error on the canary worker.
+        candidate_median: f64,
+    },
 }
 
 impl Event {
@@ -80,6 +97,8 @@ impl Event {
             Event::PoolEviction { .. } => "pool_eviction",
             Event::PoolCompaction { .. } => "pool_compaction",
             Event::CachePurge { .. } => "cache_purge",
+            Event::WorkerLost { .. } => "worker_lost",
+            Event::CanaryDecision { .. } => "canary_decision",
         }
     }
 
@@ -128,6 +147,21 @@ impl Event {
             }
             Event::CachePurge { purged } => {
                 let _ = write!(out, "\"purged\":{purged}");
+            }
+            Event::WorkerLost { worker } => {
+                let _ = write!(out, "\"worker\":{worker}");
+            }
+            Event::CanaryDecision {
+                decision,
+                live_median,
+                candidate_median,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"decision\":\"{decision}\",\"live_median\":{},\"candidate_median\":{}",
+                    crate::export::json_f64(*live_median),
+                    crate::export::json_f64(*candidate_median)
+                );
             }
         }
     }

@@ -59,6 +59,12 @@ pub struct OnlineConfig {
     /// probe sets, where a statistically meaningless hair's-width "win" would otherwise
     /// churn the live model.  Clamped to `[0, 1]`.
     pub gate_margin: f64,
+    /// Cap on original-training-corpus samples pushed into the replay reservoir at
+    /// startup via [`RefreshController::seed_replay_from`] (0, the default, disables
+    /// seeding).  Without it the buffer starts empty, so the *first* fine-tune trains
+    /// on fresh drift alone and can forget the original workload; seeding makes the
+    /// very first cycle mix history like every later one.
+    pub seed_replay: usize,
     /// Seed of the controller's deterministic machinery (replay reservoir).
     pub seed: u64,
 }
@@ -79,9 +85,19 @@ impl Default for OnlineConfig {
             learning_rate_scale: 0.25,
             max_pairs_per_refresh: 256,
             gate_margin: 0.0,
+            seed_replay: 0,
             seed: 42,
         }
     }
+}
+
+/// The validation-gate rule, shared by the refresh controller's probe gate and the
+/// cluster canary rollout: a candidate is accepted only when its probe median q-error
+/// beats the live model's by at least the relative `gate_margin` fraction
+/// (`candidate < live * (1 - margin)`; margin is clamped to `[0, 1]`, and 0 keeps the
+/// strictly-better rule).
+pub fn gate_accepts(live_median: f64, candidate_median: f64, gate_margin: f64) -> bool {
+    candidate_median < live_median * (1.0 - gate_margin.clamp(0.0, 1.0))
 }
 
 /// Produces labelled containment training pairs for fresh feedback queries — the bridge
@@ -220,9 +236,11 @@ impl RefreshOutcome {
     /// re-checks this per cycle and exits non-zero on violation (the CI tripwire).
     pub fn gate_respected(&self) -> bool {
         match self.decision {
-            RefreshDecision::Applied => {
-                self.candidate_probe_median < self.live_probe_median * (1.0 - self.gate_margin)
-            }
+            RefreshDecision::Applied => gate_accepts(
+                self.live_probe_median,
+                self.candidate_probe_median,
+                self.gate_margin,
+            ),
             RefreshDecision::RejectedByGate | RefreshDecision::NoTrainingPairs => true,
         }
     }
@@ -348,6 +366,25 @@ impl RefreshController {
             trigger: Condvar::new(),
             obs: OnlineObs::from_obs(crn_obs::Obs::disabled()),
         }
+    }
+
+    /// Seeds the replay reservoir from the original training corpus (capped at
+    /// [`OnlineConfig::seed_replay`]; a no-op at the default 0).  Call once at startup,
+    /// before feedback flows: the very first fine-tune then mixes original-workload
+    /// history into its corpus exactly like later cycles mix their banked labels —
+    /// without this the first cycle trains on fresh drift alone.  Returns how many
+    /// samples were pushed.
+    pub fn seed_replay_from(&self, corpus: &[ContainmentSample]) -> usize {
+        let cap = self.config.seed_replay;
+        if cap == 0 {
+            return 0;
+        }
+        let mut state = self.state.lock().expect("controller state lock");
+        let take = corpus.len().min(cap);
+        for sample in &corpus[..take] {
+            state.replay.push(sample.clone());
+        }
+        take
     }
 
     /// Wires the controller's refresh telemetry into `obs`: the live
@@ -543,7 +580,7 @@ impl RefreshController {
         // (margin 0 = the original strictly-better gate).
         let live_probe_median = self.probe_median(&live, &pool, probe);
         let candidate_probe_median = self.probe_median(&candidate, &pool, probe);
-        if candidate_probe_median < live_probe_median * (1.0 - gate_margin) {
+        if gate_accepts(live_probe_median, candidate_probe_median, gate_margin) {
             let model_version = self.service.swap_model(candidate);
             // The candidate's Adam moments are now live; resume its step count too.
             self.state.lock().expect("controller state lock").adam = adam;

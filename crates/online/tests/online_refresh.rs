@@ -357,3 +357,83 @@ fn refresh_worker_applies_refreshes_in_the_background() {
         assert_eq!(fx.service.model_version(), 1, "rejected cycles never swap");
     }
 }
+
+/// Replay seeding (`OnlineConfig::seed_replay` + `seed_replay_from`): with the reservoir
+/// seeded from the original training corpus at startup, the very FIRST fine-tune cycle
+/// already mixes seeded history into its corpus — unseeded controllers provably replay
+/// nothing on their first cycle (the reservoir banks labels only *after* sampling).
+#[test]
+fn first_fine_tune_mixes_replay_seeded_from_the_training_corpus() {
+    let config = OnlineConfig {
+        drift_window: 32,
+        drift_threshold: 1.5,
+        min_observations: 12,
+        min_fresh: 12,
+        probe_fraction: 0.25,
+        min_probe: 3,
+        fine_tune_epochs: 2,
+        replay_fraction: 0.5,
+        seed_replay: 64,
+        ..OnlineConfig::default()
+    };
+
+    // The original training corpus — exactly what `trained_crn` fits on.
+    let fx = fixture(150);
+    let corpus = {
+        let mut gen = QueryGenerator::new(&fx.db, GeneratorConfig::paper(150));
+        let pairs = gen.generate_pairs(40, 160);
+        label_containment_pairs(&fx.db, &pairs, 4)
+    };
+    assert!(corpus.len() > 8, "fixture needs a real corpus");
+
+    let drive_first_cycle = |controller: &RefreshController| {
+        let truth = Executor::new(&fx.db);
+        for query in shifted_workload(&fx.db, &fx.pool, 151, 40) {
+            let estimate = fx.service.estimate_one(&query);
+            controller.record(FeedbackRecord {
+                query: query.clone(),
+                true_cardinality: truth.cardinality(&query),
+                estimate,
+            });
+        }
+        controller
+            .refresh_if_needed()
+            .expect("drift + fresh data must trigger a cycle")
+    };
+
+    // Unseeded control: the first cycle has no history to draw.
+    let unseeded = RefreshController::new(
+        Arc::clone(&fx.service),
+        Box::new(ExecLabeler::new(Arc::new(fx.db.clone()), 2)),
+        OnlineConfig {
+            seed_replay: 0,
+            ..config.clone()
+        },
+    );
+    let outcome = drive_first_cycle(&unseeded);
+    assert!(outcome.labeled_pairs > 0);
+    assert_eq!(
+        outcome.replayed, 0,
+        "an unseeded reservoir is empty at the first cycle"
+    );
+
+    // Seeded: same traffic, same knobs — but the reservoir starts with original-corpus
+    // history, so the first fine-tune's mix already replays.
+    let fx2 = fixture(150);
+    let seeded = RefreshController::new(
+        Arc::clone(&fx2.service),
+        Box::new(ExecLabeler::new(Arc::new(fx2.db.clone()), 2)),
+        config.clone(),
+    );
+    let pushed = seeded.seed_replay_from(&corpus);
+    assert_eq!(pushed, corpus.len().min(config.seed_replay));
+    let outcome = drive_first_cycle(&seeded);
+    assert!(outcome.labeled_pairs > 0);
+    assert!(
+        outcome.replayed > 0,
+        "the seeded reservoir must contribute history to the first fine-tune \
+         (labeled {} pairs, replayed {})",
+        outcome.labeled_pairs,
+        outcome.replayed
+    );
+}

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use crn_nn::parallel::lock_ignoring_poison;
 
 /// Number of distinct [`FaultSite`]s (sizes the per-site arrival counters).
-const SITE_COUNT: usize = 6;
+const SITE_COUNT: usize = 7;
 
 /// Where in the serving stack a scripted fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,11 @@ pub enum FaultSite {
     /// Panics the background refresh worker's cycle (`crn-online`): its supervised loop
     /// restarts the worker.
     RefreshCycle,
+    /// Drops a cluster connection **mid-frame** (`crn-cluster`): the coordinator writes
+    /// a truncated frame and shuts the socket, so the worker sees a torn stream and the
+    /// coordinator must degrade that worker's queries — deterministically, no wall
+    /// clock involved.
+    ClusterFrameDrop,
 }
 
 impl FaultSite {
@@ -65,6 +70,7 @@ impl FaultSite {
             FaultSite::MaintenanceLoop => 3,
             FaultSite::CheckpointWrite => 4,
             FaultSite::RefreshCycle => 5,
+            FaultSite::ClusterFrameDrop => 6,
         }
     }
 
@@ -77,6 +83,7 @@ impl FaultSite {
             FaultSite::MaintenanceLoop => "maint-kill",
             FaultSite::CheckpointWrite => "checkpoint-fail",
             FaultSite::RefreshCycle => "refresh-panic",
+            FaultSite::ClusterFrameDrop => "cluster-frame-drop",
         }
     }
 }
@@ -200,6 +207,7 @@ const ALL_SITES: [FaultSite; SITE_COUNT] = [
     FaultSite::MaintenanceLoop,
     FaultSite::CheckpointWrite,
     FaultSite::RefreshCycle,
+    FaultSite::ClusterFrameDrop,
 ];
 
 fn parse_count(fragment: &str, text: &str) -> Result<u64, FaultPlanError> {

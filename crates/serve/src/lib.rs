@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cache;
 pub mod fault;
 pub mod queue;
@@ -94,12 +95,16 @@ pub mod runtime;
 pub mod supervisor;
 pub mod ticket;
 
+pub use backend::ComputeBackend;
 pub use cache::EstimateCache;
 pub use fault::{
     FaultInjector, FaultPlan, FaultPlanError, FaultSite, FaultSpec, FaultTrigger, FiredFault,
 };
 pub use queue::{RejectReason, SloClass, SubmitError};
-pub use runtime::{CheckpointWriter, FeedbackObserver, RuntimeConfig, RuntimeStats, ServeRuntime};
+pub use runtime::{
+    CheckpointWriter, FeedbackObserver, RuntimeConfig, RuntimeStats, ServeRuntime,
+    RETRY_BACKOFF_CEIL, RETRY_BACKOFF_FLOOR,
+};
 pub use supervisor::{
     Supervisor, SupervisorPolicy, SupervisorVerdict, LANE_MAINTENANCE, LANE_REFRESH, LANE_SCHEDULER,
 };

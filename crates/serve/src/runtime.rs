@@ -33,6 +33,7 @@
 //! both queues — every admitted ticket resolves, every accepted feedback record applies —
 //! and joins both threads.
 
+use crate::backend::ComputeBackend;
 use crate::cache::EstimateCache;
 use crate::fault::{FaultInjector, FaultSite};
 use crate::queue::{QueueState, SloClass, SubmitError};
@@ -40,8 +41,7 @@ use crate::supervisor::{
     Supervisor, SupervisorPolicy, SupervisorVerdict, LANE_MAINTENANCE, LANE_SCHEDULER,
 };
 use crate::ticket::{EstimateSource, Ticket, TicketCell, TicketOutcome};
-use crn_core::{query_hash, EstimatorService, ServeResponse, ServeStats};
-use crn_estimators::ContainmentEstimator;
+use crn_core::{query_hash, ServeResponse, ServeStats};
 use crn_nn::parallel::{lock_ignoring_poison, wait_ignoring_poison, wait_timeout_ignoring_poison};
 use crn_obs::{Counter, Event, Gauge, HistHandle, Obs, RequestTrace, TraceStart};
 use crn_query::ast::Query;
@@ -117,6 +117,11 @@ pub struct RuntimeConfig {
     /// Checkpoint cadence: invoke the installed [`CheckpointWriter`] after every this
     /// many *applied* maintenance records.  0 (the default) disables checkpointing.
     pub checkpoint_every: u64,
+    /// Background pool-compaction cadence: run [`ComputeBackend::compact`] on the
+    /// maintenance lane after every this many *applied* feedback records — structural
+    /// dedup keeping the highest-retention anchor per shape, not only post-model-swap.
+    /// 0 (the default) disables periodic compaction.
+    pub compact_every: u64,
     /// Per-class batching windows, indexed by [`SloClass::index`]; `None` inherits
     /// [`batch_window`](RuntimeConfig::batch_window).  Defaults: `Interactive` inherits
     /// (≈ 100µs — latency first), `Batch` gets 2ms (fusion first).  Unregistered callers
@@ -165,6 +170,7 @@ impl Default for RuntimeConfig {
             default_deadline: None,
             restart_policy: SupervisorPolicy::default(),
             checkpoint_every: 0,
+            compact_every: 0,
             class_windows: [None, Some(Duration::from_millis(2))],
             class_weights: [0; SloClass::COUNT],
             cache_entries: 0,
@@ -223,6 +229,13 @@ impl RuntimeConfig {
     /// Sets the checkpoint cadence in applied maintenance records (0 disables).
     pub fn with_checkpoint_every(mut self, records: u64) -> Self {
         self.checkpoint_every = records;
+        self
+    }
+
+    /// Sets the background pool-compaction cadence in applied maintenance records
+    /// (the `--compact-every` CLI unit; 0 disables).
+    pub fn with_compact_every(mut self, records: u64) -> Self {
+        self.compact_every = records;
         self
     }
 
@@ -399,6 +412,9 @@ pub struct RuntimeStats {
     /// ([`ShardedPool::evictions`](crn_core::ShardedPool::evictions); 0 in unbounded
     /// mode).
     pub pool_evictions: u64,
+    /// Background pool compactions the maintenance lane ran (see
+    /// [`RuntimeConfig::compact_every`]; 0 when periodic compaction is disabled).
+    pub compactions: u64,
     /// Requests currently queued (admitted, not yet popped into a batch) per
     /// [`SloClass`], indexed by [`SloClass::index`] — a point-in-time gauge, unlike the
     /// monotonic counters around it.
@@ -493,6 +509,7 @@ impl RuntimeStats {
             ("observer_failed", self.observer_failed),
             ("retention_updates", self.retention_updates),
             ("pool_evictions", self.pool_evictions),
+            ("compactions", self.compactions),
             ("scheduler_restarts", self.scheduler_restarts),
             ("maintenance_restarts", self.maintenance_restarts),
             ("degraded_sync_mode", self.degraded_sync_mode as u64),
@@ -545,6 +562,7 @@ struct Counters {
     observer_failed: AtomicU64,
     checkpoints_written: AtomicU64,
     checkpoints_failed: AtomicU64,
+    compactions: AtomicU64,
 }
 
 /// The runtime's pre-registered observability handles: one registry lookup each at
@@ -665,9 +683,22 @@ struct InflightBatch {
     size: usize,
 }
 
-/// Everything both background threads and the handle share.
-struct Shared<M> {
-    service: Arc<EstimatorService<M>>,
+/// Handoff cell between the maintenance lane and the checkpoint helper thread.  The
+/// lane only flips `requested` (cheap, never blocks on IO); the helper does the actual
+/// [`CheckpointWriter`] call off the critical path.  Requests coalesce: a cadence hit
+/// while a write is already pending or in flight folds into that write's successor.
+struct CkptState {
+    /// A checkpoint is due and not yet picked up by the helper.
+    requested: bool,
+    /// The helper is inside a writer call right now.
+    writing: bool,
+    /// Shutdown: the helper drains any pending request, then exits.
+    closed: bool,
+}
+
+/// Everything the background threads and the handle share.
+struct Shared<B> {
+    service: Arc<B>,
     config: RuntimeConfig,
     queue: Mutex<QueueState>,
     /// Submitters → scheduler: a new request (or shutdown) arrived.
@@ -689,6 +720,15 @@ struct Shared<M> {
     checkpoint_writer: Mutex<Option<Arc<dyn CheckpointWriter>>>,
     /// Applied maintenance records since the last checkpoint attempt.
     since_checkpoint: AtomicU64,
+    /// Applied maintenance records since the last background compaction (see
+    /// [`RuntimeConfig::compact_every`]).
+    since_compaction: AtomicU64,
+    /// Maintenance → checkpoint-helper handoff (see [`CkptState`]).
+    ckpt: Mutex<CkptState>,
+    /// Maintenance lane → checkpoint helper: a request (or shutdown) arrived.
+    ckpt_ready: Condvar,
+    /// Checkpoint helper → [`flush`](ServeRuntime::flush) waiters: the writer went idle.
+    ckpt_idle: Condvar,
     /// The scheduler's in-flight batch (see [`InflightBatch`]).
     inflight: Mutex<Option<InflightBatch>>,
     /// Caller → registered [`SloClass`] (unregistered callers are `Interactive`).
@@ -717,32 +757,36 @@ struct Shared<M> {
 
 /// Blocking-retry backoff bounds of [`ServeRuntime::submit_retrying`]: exponential from
 /// the floor, capped at the ceiling — bounded rather than condvar-park-forever, so a
-/// missed wakeup or a dead scheduler can only ever cost one backoff step.
-const RETRY_BACKOFF_FLOOR: Duration = Duration::from_micros(50);
-const RETRY_BACKOFF_CEIL: Duration = Duration::from_millis(2);
+/// missed wakeup or a dead scheduler can only ever cost one backoff step.  Public so
+/// other reconnect-style loops (e.g. `crn-cluster`'s worker re-dial) share the same
+/// bounded-backoff envelope instead of inventing their own.
+pub const RETRY_BACKOFF_FLOOR: Duration = Duration::from_micros(50);
+/// Upper bound of the [`RETRY_BACKOFF_FLOOR`] doubling schedule.
+pub const RETRY_BACKOFF_CEIL: Duration = Duration::from_millis(2);
 
 /// The async request-queue serving runtime over an [`EstimatorService`].
 ///
 /// See the [module docs](self) for the execution model and the crate docs for the
 /// bit-parity contract.  The handle is the only owner of the background threads: dropping
 /// it shuts the runtime down gracefully (drain, then join).
-pub struct ServeRuntime<M: ContainmentEstimator + Send + Sync + 'static> {
-    shared: Arc<Shared<M>>,
+pub struct ServeRuntime<B: ComputeBackend> {
+    shared: Arc<Shared<B>>,
     scheduler: Option<std::thread::JoinHandle<()>>,
     maintenance: Option<std::thread::JoinHandle<()>>,
+    checkpoint: Option<std::thread::JoinHandle<()>>,
 }
 
-impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
+impl<B: ComputeBackend> ServeRuntime<B> {
     /// Spawns the runtime (scheduler + maintenance threads) over a shared service, with
     /// no faults scripted.
-    pub fn new(service: Arc<EstimatorService<M>>, config: RuntimeConfig) -> Self {
+    pub fn new(service: Arc<B>, config: RuntimeConfig) -> Self {
         Self::with_faults(service, config, FaultInjector::none())
     }
 
     /// [`new`](ServeRuntime::new) with a scripted [`FaultInjector`] — the chaos suite's
     /// entry point.  With the empty plan this is exactly `new`.
     pub fn with_faults(
-        service: Arc<EstimatorService<M>>,
+        service: Arc<B>,
         config: RuntimeConfig,
         injector: Arc<FaultInjector>,
     ) -> Self {
@@ -758,6 +802,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             default_deadline: config.default_deadline,
             restart_policy: config.restart_policy,
             checkpoint_every: config.checkpoint_every,
+            compact_every: config.compact_every,
             class_windows: config.class_windows,
             class_weights: config.class_weights,
             cache_entries: config.cache_entries,
@@ -785,6 +830,14 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             feedback_observer: Mutex::new(None),
             checkpoint_writer: Mutex::new(None),
             since_checkpoint: AtomicU64::new(0),
+            since_compaction: AtomicU64::new(0),
+            ckpt: Mutex::new(CkptState {
+                requested: false,
+                writing: false,
+                closed: false,
+            }),
+            ckpt_ready: Condvar::new(),
+            ckpt_idle: Condvar::new(),
             inflight: Mutex::new(None),
             caller_classes: Mutex::new(HashMap::new()),
             cache,
@@ -811,15 +864,23 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 .spawn(move || maintenance_thread(&shared))
                 .expect("spawn maintenance thread")
         };
+        let checkpoint = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("crn-serve-checkpoint".into())
+                .spawn(move || checkpoint_thread(&shared))
+                .expect("spawn checkpoint thread")
+        };
         ServeRuntime {
             shared,
             scheduler: Some(scheduler),
             maintenance: Some(maintenance),
+            checkpoint: Some(checkpoint),
         }
     }
 
     /// The wrapped service (its pool is the one the maintenance lane refreshes).
-    pub fn service(&self) -> &Arc<EstimatorService<M>> {
+    pub fn service(&self) -> &Arc<B> {
         &self.shared.service
     }
 
@@ -1170,6 +1231,14 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
                 state = wait_ignoring_poison(&self.shared.maint_idle, state);
             }
         }
+        {
+            // The checkpoint helper runs off the maintenance lane's critical path, so a
+            // quiesce must also wait out any write the drained records requested.
+            let mut state = lock_ignoring_poison(&self.shared.ckpt);
+            while state.requested || state.writing {
+                state = wait_ignoring_poison(&self.shared.ckpt_idle, state);
+            }
+        }
     }
 
     /// A point-in-time snapshot of the runtime's counters and accumulated serving stats.
@@ -1205,7 +1274,8 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
             cache_evictions: counters.cache_evictions.load(Ordering::Relaxed),
             cache_purged: counters.cache_purged.load(Ordering::Relaxed),
             retention_updates: counters.retention_updates.load(Ordering::Relaxed),
-            pool_evictions: self.shared.service.pool().evictions(),
+            pool_evictions: self.shared.service.pool_evictions(),
+            compactions: counters.compactions.load(Ordering::Relaxed),
             queued_by_class,
             sync_served: counters.sync_served.load(Ordering::Relaxed),
             maintenance_applied: counters.maintenance_applied.load(Ordering::Relaxed),
@@ -1258,16 +1328,26 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> ServeRuntime<M> {
         if let Some(handle) = self.maintenance.take() {
             handle.join().expect("maintenance thread exits cleanly");
         }
+        // Only after the maintenance lane drained: its last records may still have
+        // requested a checkpoint, which the helper must write before exiting.
+        {
+            let mut state = lock_ignoring_poison(&self.shared.ckpt);
+            state.closed = true;
+        }
+        self.shared.ckpt_ready.notify_all();
+        if let Some(handle) = self.checkpoint.take() {
+            handle.join().expect("checkpoint thread exits cleanly");
+        }
     }
 }
 
-impl<M: ContainmentEstimator + Send + Sync + 'static> Drop for ServeRuntime<M> {
+impl<B: ComputeBackend> Drop for ServeRuntime<B> {
     fn drop(&mut self) {
         self.shutdown_impl();
     }
 }
 
-impl<M: ContainmentEstimator + Send + Sync + 'static> std::fmt::Debug for ServeRuntime<M> {
+impl<B: ComputeBackend> std::fmt::Debug for ServeRuntime<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeRuntime")
             .field("service", &self.shared.service.name())
@@ -1282,7 +1362,7 @@ impl<M: ContainmentEstimator + Send + Sync + 'static> std::fmt::Debug for ServeR
 /// state — the orphaned in-flight batch resolves through the degraded path, nothing
 /// hangs — and either re-enters the loop (queue intact) or, past the restart budget,
 /// flips the runtime to degraded-sync serving.
-fn scheduler_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M>>) {
+fn scheduler_thread<B: ComputeBackend>(shared: &Arc<Shared<B>>) {
     loop {
         match catch_unwind(AssertUnwindSafe(|| scheduler_loop(shared))) {
             Ok(()) => return, // clean shutdown drain
@@ -1312,7 +1392,7 @@ fn scheduler_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M
 /// Resolves the batch a killed scheduler left behind (tickets via the degraded path)
 /// and retires it from the in-flight accounting, so `flush` and waiters see a
 /// consistent queue again before the loop restarts.
-fn recover_orphaned_batch<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn recover_orphaned_batch<B: ComputeBackend>(shared: &Shared<B>) {
     let orphan = lock_ignoring_poison(&shared.inflight).take();
     let Some(batch) = orphan else { return };
     let batch_seq = shared.counters.batches.load(Ordering::Relaxed);
@@ -1339,7 +1419,7 @@ fn recover_orphaned_batch<M: ContainmentEstimator + Send + Sync>(shared: &Shared
 /// queue lock, so no submission races past the flag into a queue nobody drains) and
 /// settles everything still pending — expired deadlines expire, the rest resolve through
 /// the degraded path.
-fn degrade_to_sync<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn degrade_to_sync<B: ComputeBackend>(shared: &Shared<B>) {
     let (expired, stranded) = {
         let mut state = lock_ignoring_poison(&shared.queue);
         shared.degraded_sync.store(true, Ordering::Relaxed);
@@ -1391,8 +1471,8 @@ fn degrade_to_sync<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
 /// fail — resolved either way, never stranded.
 ///
 /// [`fallback_estimate`]: crn_core::EstimatorService::fallback_estimate
-fn resolve_degraded<M: ContainmentEstimator + Send + Sync>(
-    shared: &Shared<M>,
+fn resolve_degraded<B: ComputeBackend>(
+    shared: &Shared<B>,
     tickets: &[Arc<TicketCell>],
     slots: &[usize],
     unique: &[Query],
@@ -1462,6 +1542,12 @@ fn settle_sync_response<F: FnOnce() -> f64>(
 ) -> SyncResolution {
     if let Ok(response) = response {
         if let Some(&estimate) = response.estimates.first() {
+            // A backend that answered this very slot through its own reduced-fidelity
+            // path (e.g. a cluster coordinator covering a lost worker) already holds the
+            // degraded estimate — honor the tag rather than relabeling it `Computed`.
+            if response.degraded.contains(&0) {
+                return SyncResolution::Degraded { estimate };
+            }
             return SyncResolution::Computed {
                 estimate,
                 stats: response.stats,
@@ -1504,7 +1590,7 @@ enum SlotFate {
 
 /// The scheduler: forms batches off the submission queue and executes them.  Runs until
 /// the shutdown drain completes; panics escape to [`scheduler_thread`]'s supervision.
-fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn scheduler_loop<B: ComputeBackend>(shared: &Shared<B>) {
     loop {
         // Phase 1 — wait for the batch-opening request (or shutdown with an empty queue).
         let mut state = lock_ignoring_poison(&shared.queue);
@@ -1851,22 +1937,53 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
         match response {
             Ok(response) => {
                 debug_assert_eq!(response.estimates.len(), miss_unique.len());
+                // The backend may have answered some slots through its own
+                // reduced-fidelity path (`ServeResponse::degraded` — e.g. a cluster
+                // coordinator covering a lost worker's shards from the fallback
+                // estimator).  Those slots' tickets resolve `Degraded`, count in the
+                // degraded totals, and never enter the estimate cache.
+                let degraded_slots: Vec<bool> = {
+                    let mut flags = vec![false; miss_unique.len()];
+                    for &slot in &response.degraded {
+                        if let Some(flag) = flags.get_mut(slot) {
+                            *flag = true;
+                        }
+                    }
+                    flags
+                };
+                let degraded_tickets = miss_slots
+                    .iter()
+                    .filter(|&&slot| degraded_slots[slot])
+                    .count() as u64;
+                let computed_tickets = miss_tickets.len() as u64 - degraded_tickets;
                 counters
                     .completed
-                    .fetch_add(miss_tickets.len() as u64, Ordering::Relaxed);
-                hooks.completed.add(miss_tickets.len() as u64);
+                    .fetch_add(computed_tickets, Ordering::Relaxed);
+                hooks.completed.add(computed_tickets);
+                if degraded_tickets > 0 {
+                    counters
+                        .degraded
+                        .fetch_add(degraded_tickets, Ordering::Relaxed);
+                    hooks.degraded.add(degraded_tickets);
+                }
                 lock_ignoring_poison(&shared.serve_stats).accumulate(&response.stats);
                 // File the computed rows into the cache under the version pairing the
                 // response itself reports — exactly what each estimate was computed
                 // under, so a later hit replays it bit-identically.  Degraded results
-                // (the Err arm) are never cached.
+                // (the Err arm, and any backend-tagged degraded slot) are never cached.
                 if let Some(cache) = &shared.cache {
                     let mut evictions = 0u64;
-                    for ((query, &hash), &estimate) in miss_unique
+                    let mut filed = 0u64;
+                    for (slot, ((query, &hash), &estimate)) in miss_unique
                         .iter()
                         .zip(&miss_hashes)
                         .zip(&response.estimates)
+                        .enumerate()
                     {
+                        if degraded_slots[slot] {
+                            continue;
+                        }
+                        filed += 1;
                         if cache.insert(
                             query,
                             hash,
@@ -1879,7 +1996,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                     }
                     counters
                         .cache_insertions
-                        .fetch_add(miss_unique.len() as u64, Ordering::Relaxed);
+                        .fetch_add(filed, Ordering::Relaxed);
                     counters
                         .cache_evictions
                         .fetch_add(evictions, Ordering::Relaxed);
@@ -1918,7 +2035,11 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                     };
                     ticket.complete(TicketOutcome {
                         estimate: response.estimates[slot],
-                        source: EstimateSource::Computed,
+                        source: if degraded_slots[slot] {
+                            EstimateSource::Degraded
+                        } else {
+                            EstimateSource::Computed
+                        },
                         batch_size,
                         batch_seq,
                         queue_wait,
@@ -1956,7 +2077,7 @@ fn scheduler_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
 /// that escapes the per-record containment loses at most the in-flight record (counted
 /// failed), the queue survives, and the lane restarts — or, past the budget, goes down
 /// for good with its backlog counted and shed.
-fn maintenance_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared<M>>) {
+fn maintenance_thread<B: ComputeBackend>(shared: &Arc<Shared<B>>) {
     loop {
         match catch_unwind(AssertUnwindSafe(|| maintenance_loop(shared))) {
             Ok(()) => return,
@@ -1985,7 +2106,7 @@ fn maintenance_thread<M: ContainmentEstimator + Send + Sync>(shared: &Arc<Shared
 
 /// Reconciles the maintenance state after a mid-record kill: the popped record is lost
 /// (counted failed), the `applying` flag clears so `flush` cannot wedge.
-fn recover_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn recover_maintenance<B: ComputeBackend>(shared: &Shared<B>) {
     let mut state = lock_ignoring_poison(&shared.maint);
     if state.applying {
         state.applying = false;
@@ -2003,7 +2124,7 @@ fn recover_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>
 
 /// The maintenance lane's budget-breach transition: the lane stays down, its backlog is
 /// counted failed and dropped, and admission sheds from here on (`dead`).
-fn degrade_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn degrade_maintenance<B: ComputeBackend>(shared: &Shared<B>) {
     let mut state = lock_ignoring_poison(&shared.maint);
     state.dead = true;
     let dropped = state.pending.len() as u64;
@@ -2021,7 +2142,7 @@ fn degrade_maintenance<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>
 /// One checkpoint attempt through the installed [`CheckpointWriter`] (if any): failures
 /// — writer errors, writer panics, injected write faults — are counted and contained;
 /// the lane keeps draining and retries after the next interval.
-fn run_checkpoint<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn run_checkpoint<B: ComputeBackend>(shared: &Shared<B>) {
     let writer = lock_ignoring_poison(&shared.checkpoint_writer).clone();
     let Some(writer) = writer else { return };
     if shared.injector.should_fire(FaultSite::CheckpointWrite) {
@@ -2052,10 +2173,40 @@ fn run_checkpoint<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
     }
 }
 
+/// The checkpoint helper thread: waits for the maintenance lane to request a write,
+/// runs [`run_checkpoint`] off the lane's critical path, and goes back to sleep.  The
+/// writer itself snapshots the pool/model Arcs, so the lane keeps applying upserts
+/// concurrently with the (possibly slow) serialization + two-phase rename.  Exits when
+/// the runtime closes the cell, after draining a final pending request.
+fn checkpoint_thread<B: ComputeBackend>(shared: &Arc<Shared<B>>) {
+    loop {
+        {
+            let mut state = lock_ignoring_poison(&shared.ckpt);
+            loop {
+                if state.requested {
+                    state.requested = false;
+                    state.writing = true;
+                    break;
+                }
+                if state.closed {
+                    return;
+                }
+                state = wait_ignoring_poison(&shared.ckpt_ready, state);
+            }
+        }
+        // Lock released: the lane can keep requesting (coalesced into the next pass)
+        // while the writer serializes and commits.
+        run_checkpoint(shared);
+        let mut state = lock_ignoring_poison(&shared.ckpt);
+        state.writing = false;
+        shared.ckpt_idle.notify_all();
+    }
+}
+
 /// The maintenance lane: applies feedback records to the pool, one single-swap upsert at
 /// a time, concurrently with serving.  Panics escape to [`maintenance_thread`]'s
 /// supervision.
-fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
+fn maintenance_loop<B: ComputeBackend>(shared: &Shared<B>) {
     loop {
         let record = {
             let mut state = lock_ignoring_poison(&shared.maint);
@@ -2080,8 +2231,7 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             shared.injector.fire(FaultSite::MaintenanceUpsert);
             shared
                 .service
-                .pool()
-                .upsert(record.query.clone(), record.cardinality);
+                .apply_feedback(&record.query, record.cardinality);
         }));
         let counter = match &applied {
             Ok(_) => &shared.counters.maintenance_applied,
@@ -2103,10 +2253,7 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                 let retained = catch_unwind(AssertUnwindSafe(|| {
                     let q_error =
                         crn_nn::q_error(estimate.max(1.0), (record.cardinality.max(1)) as f64, 1.0);
-                    shared
-                        .service
-                        .pool()
-                        .record_feedback(&record.query, q_error)
+                    shared.service.record_retention(&record.query, q_error)
                 }));
                 if matches!(retained, Ok(true)) {
                     shared
@@ -2131,7 +2278,7 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
             // maintenance lane is the only serving-side writer, so this races with at
             // most the refresh worker's compactions — the swap keeps the delta exact.
             if shared.hooks.enabled {
-                let evictions = shared.service.pool().evictions();
+                let evictions = shared.service.pool_evictions();
                 let seen = shared
                     .hooks
                     .journaled_pool_evictions
@@ -2142,13 +2289,34 @@ fn maintenance_loop<M: ContainmentEstimator + Send + Sync>(shared: &Shared<M>) {
                     });
                 }
             }
-            // Checkpoint cadence: every `checkpoint_every` applied records, persist
-            // through the installed writer (failures counted and retried later).
+            // Checkpoint cadence: every `checkpoint_every` applied records, hand the
+            // write to the checkpoint helper thread — the lane only flips a flag, so a
+            // slow writer (fsync stall, big pool) never blocks upsert application.
+            // Requests coalesce while a write is pending or in flight.
             if shared.config.checkpoint_every > 0 {
                 let due = shared.since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
                 if due >= shared.config.checkpoint_every {
                     shared.since_checkpoint.store(0, Ordering::Relaxed);
-                    run_checkpoint(shared);
+                    lock_ignoring_poison(&shared.ckpt).requested = true;
+                    shared.ckpt_ready.notify_all();
+                }
+            }
+            // Background compaction cadence: every `compact_every` applied records,
+            // structurally dedup the pool on this lane — not only after model swaps.
+            if shared.config.compact_every > 0 {
+                let due = shared.since_compaction.fetch_add(1, Ordering::Relaxed) + 1;
+                if due >= shared.config.compact_every {
+                    shared.since_compaction.store(0, Ordering::Relaxed);
+                    let merged = catch_unwind(AssertUnwindSafe(|| shared.service.compact()));
+                    if let Ok(merged) = merged {
+                        shared.counters.compactions.fetch_add(1, Ordering::Relaxed);
+                        if merged > 0 {
+                            shared
+                                .hooks
+                                .obs
+                                .record_event(Event::PoolCompaction { merged });
+                        }
+                    }
                 }
             }
         }
@@ -2169,6 +2337,7 @@ mod tests {
             estimates,
             stats: ServeStats::default(),
             pool_version: 0,
+            degraded: Vec::new(),
         })
     }
 

@@ -49,7 +49,7 @@ use crn_db::imdb::{generate_imdb, ImdbConfig};
 /// request is its own batch), asserting each outcome's provenance, and returns the
 /// estimates in workload order.
 fn serve_round<M: crn_estimators::ContainmentEstimator + Send + Sync + 'static>(
-    runtime: &ServeRuntime<M>,
+    runtime: &ServeRuntime<EstimatorService<M>>,
     queries: &[Query],
     expect: EstimateSource,
 ) -> Vec<f64> {

@@ -30,7 +30,7 @@ impl ContainmentEstimator for ConstModel {
     }
 }
 
-fn instant_runtime(config: RuntimeConfig) -> ServeRuntime<ConstModel> {
+fn instant_runtime(config: RuntimeConfig) -> ServeRuntime<EstimatorService<ConstModel>> {
     let pool = ShardedPool::new(2);
     pool.insert(Query::scan("title"), 10);
     let service = Arc::new(EstimatorService::new(
@@ -209,7 +209,7 @@ mod accounting_identity {
 }
 
 fn run_closed_loop(
-    runtime: &ServeRuntime<ConstModel>,
+    runtime: &ServeRuntime<EstimatorService<ConstModel>>,
 ) -> Vec<(f64, Option<crn_obs::RequestTrace>)> {
     const TABLES: [&str; 3] = ["title", "cast_info", "movie_companies"];
     (0..12)

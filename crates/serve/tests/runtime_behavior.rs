@@ -56,12 +56,12 @@ fn runtime_over<M: ContainmentEstimator + Send + Sync + 'static>(
     model: M,
     pool: ShardedPool,
     config: RuntimeConfig,
-) -> ServeRuntime<M> {
+) -> ServeRuntime<EstimatorService<M>> {
     let service = Arc::new(EstimatorService::new(model, pool, WorkerPool::shared(1)));
     ServeRuntime::new(service, config)
 }
 
-fn instant_runtime(config: RuntimeConfig) -> ServeRuntime<ConstModel> {
+fn instant_runtime(config: RuntimeConfig) -> ServeRuntime<EstimatorService<ConstModel>> {
     runtime_over(ConstModel, ShardedPool::new(2), config)
 }
 
@@ -487,5 +487,128 @@ fn feedback_observer_receives_applied_triples_in_order() {
         stats.maintenance_applied, 6,
         "4 initial + panicky-observer + 1 more"
     );
+    runtime.shutdown();
+}
+
+#[test]
+fn a_slow_checkpoint_write_does_not_stall_the_maintenance_lane() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    // A writer that parks until the test releases it: while it is parked, the
+    // maintenance lane must keep applying upserts — the write happens on the checkpoint
+    // helper thread, off the lane's critical path.
+    struct GatedWriter {
+        gate: Mutex<bool>,
+        open: Condvar,
+        writes: AtomicU64,
+    }
+    impl crn_serve::CheckpointWriter for GatedWriter {
+        fn write_checkpoint(&self) -> Result<(), String> {
+            let mut open = self.gate.lock().unwrap();
+            while !*open {
+                open = self.open.wait(open).unwrap();
+            }
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    let runtime = instant_runtime(RuntimeConfig::default().with_checkpoint_every(1));
+    let writer = Arc::new(GatedWriter {
+        gate: Mutex::new(false),
+        open: Condvar::new(),
+        writes: AtomicU64::new(0),
+    });
+    runtime.set_checkpoint_writer(Arc::clone(&writer) as Arc<dyn crn_serve::CheckpointWriter>);
+
+    // First record: its cadence hands a write to the helper, which blocks in the gate.
+    runtime
+        .record_feedback(Query::scan("title"), 5)
+        .expect("maintenance admits");
+    let parked_at = std::time::Instant::now();
+    while writer.writes.load(Ordering::Relaxed) == 0
+        && runtime.stats().maintenance_applied < 1
+        && parked_at.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::yield_now();
+    }
+
+    // The writer is still parked (gate closed) — and the lane keeps applying.
+    let tables = [
+        "cast_info",
+        "movie_companies",
+        "movie_keyword",
+        "movie_info",
+    ];
+    for table in tables {
+        runtime
+            .record_feedback(Query::scan(table), 7)
+            .expect("maintenance admits");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while runtime.stats().maintenance_applied < 5 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "upserts stalled behind a slow checkpoint write: \
+             applied = {} after 5s with the writer parked",
+            runtime.stats().maintenance_applied
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        writer.writes.load(Ordering::Relaxed),
+        0,
+        "the write is still parked while the lane advanced"
+    );
+
+    // Release the gate: the parked write (plus the coalesced later cadences) completes
+    // and `flush` observes a quiescent checkpoint helper.
+    {
+        let mut open = writer.gate.lock().unwrap();
+        *open = true;
+    }
+    writer.open.notify_all();
+    runtime.flush();
+    let stats = runtime.stats();
+    assert!(
+        stats.checkpoints_written >= 1,
+        "the released write committed (then coalesced successors may add more)"
+    );
+    assert_eq!(stats.maintenance_applied, 5);
+    runtime.shutdown();
+}
+
+#[test]
+fn periodic_compaction_runs_on_the_maintenance_lane() {
+    // Five inserts of structurally-identical scans (same shape, different literals would
+    // share a structure key; identical queries upsert in place, so use distinct tables
+    // to grow then duplicates to compact).  The cadence is in *applied records*.
+    let pool = ShardedPool::new(2);
+    let runtime = runtime_over(
+        ConstModel,
+        pool,
+        RuntimeConfig::default().with_compact_every(3),
+    );
+    for table in ["title", "cast_info", "movie_keyword", "movie_info", "name"] {
+        runtime
+            .record_feedback(Query::scan(table), 11)
+            .expect("maintenance admits");
+    }
+    runtime.flush();
+    let stats = runtime.stats();
+    assert_eq!(stats.maintenance_applied, 5);
+    assert_eq!(
+        stats.compactions, 1,
+        "one cadence hit at the 3rd applied record (the 6th has not arrived)"
+    );
+    // Disabled cadence never compacts.
+    let quiet = instant_runtime(RuntimeConfig::default());
+    quiet
+        .record_feedback(Query::scan("title"), 3)
+        .expect("maintenance admits");
+    quiet.flush();
+    assert_eq!(quiet.stats().compactions, 0);
+    quiet.shutdown();
     runtime.shutdown();
 }

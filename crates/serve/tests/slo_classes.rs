@@ -44,7 +44,7 @@ fn runtime_over<M: ContainmentEstimator + Send + Sync + 'static>(
     model: M,
     pool: ShardedPool,
     config: RuntimeConfig,
-) -> ServeRuntime<M> {
+) -> ServeRuntime<EstimatorService<M>> {
     let service = Arc::new(EstimatorService::new(model, pool, WorkerPool::shared(1)));
     ServeRuntime::new(service, config)
 }
